@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks of the infrastructure's core data paths:
+//! guest decode, interpreter dispatch, host emulator throughput, the
+//! optimizer pipeline, code-cache lookup, and the timing core.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::{exec, Asm, Cond, GuestState, Gpr};
+use darco_host::sink::NullSink;
+use darco_host::{HostEmulator, ProfTable};
+use darco_timing::{InOrderCore, TimingConfig};
+use darco_tol::{Tol, TolConfig, TolEvent};
+
+fn counting_loop(iters: i32) -> darco_guest::GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ecx, iters);
+    let top = a.here();
+    a.add_rr(Gpr::Eax, Gpr::Ecx);
+    a.alu_ri(darco_guest::AluOp::Xor, Gpr::Ebx, 0x5A);
+    a.alu_ri(darco_guest::AluOp::Sub, Gpr::Ecx, 1);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    a.into_program()
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let p = counting_loop(1);
+    let mut g = c.benchmark_group("guest");
+    g.throughput(Throughput::Elements(p.static_insn_count() as u64));
+    g.bench_function("decode_image", |b| {
+        b.iter(|| {
+            let mut off = 0;
+            let mut n = 0;
+            while off < p.code.len() {
+                let (_, len) = darco_guest::decode(&p.code[off..]).unwrap();
+                off += len;
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let p = counting_loop(10_000);
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(40_001));
+    g.bench_function("dispatch_loop", |b| {
+        b.iter_batched(
+            || GuestState::boot(&p),
+            |mut st| {
+                loop {
+                    if exec::step(&mut st).unwrap().next == exec::Next::Halt {
+                        break;
+                    }
+                }
+                st
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_tol_full_stack(c: &mut Criterion) {
+    let p = counting_loop(20_000);
+    let mut g = c.benchmark_group("tol");
+    g.throughput(Throughput::Elements(80_001));
+    g.sample_size(20);
+    g.bench_function("translate_and_run", |b| {
+        b.iter_batched(
+            || (GuestState::boot(&p), Tol::new(TolConfig::default())),
+            |(mut st, mut tol)| {
+                loop {
+                    match tol.run(&mut st, u64::MAX, &mut NullSink) {
+                        TolEvent::Halted => break,
+                        TolEvent::PageFault { addr, .. } => st.mem.map_zero(addr >> 12),
+                        ev => panic!("{ev:?}"),
+                    }
+                }
+                st
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_host_emulator(c: &mut Criterion) {
+    use darco_host::{HAluOp, HInsn, HReg};
+    // A tight self-loop: chkpt + 6 ALU ops + gcnt + branch.
+    let code = vec![
+        HInsn::Chkpt,
+        HInsn::AluI { op: HAluOp::Add, rd: HReg(16), ra: HReg(16), imm: 1 },
+        HInsn::Alu { op: HAluOp::Xor, rd: HReg(17), ra: HReg(17), rb: HReg(16) },
+        HInsn::AluI { op: HAluOp::Add, rd: HReg(18), ra: HReg(18), imm: 3 },
+        HInsn::Alu { op: HAluOp::Or, rd: HReg(19), ra: HReg(19), rb: HReg(18) },
+        HInsn::AluI { op: HAluOp::Sub, rd: HReg(20), ra: HReg(20), imm: 1 },
+        HInsn::Alu { op: HAluOp::And, rd: HReg(21), ra: HReg(21), rb: HReg(20) },
+        HInsn::Gcnt { n: 4, sb: true },
+        HInsn::B { rel: -9 },
+    ];
+    let mut g = c.benchmark_group("host_emu");
+    g.throughput(Throughput::Elements(9 * 25_000));
+    g.bench_function("alu_loop", |b| {
+        b.iter(|| {
+            let mut emu = HostEmulator::new();
+            let mut mem = darco_guest::GuestMem::new();
+            let ibtc = darco_host::emu::IbtcTable::new();
+            let mut prof = ProfTable::new();
+            emu.execute(&code, 0, &mut mem, &ibtc, &mut prof, 100_000, &mut NullSink)
+        })
+    });
+    g.finish();
+}
+
+fn bench_timing_core(c: &mut Criterion) {
+    use darco_host::sink::{EventKind, InsnSink, RetireEvent};
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("inorder_100k_events", |b| {
+        b.iter(|| {
+            let mut core = InOrderCore::new(TimingConfig::default());
+            for i in 0..100_000u64 {
+                core.retire(&RetireEvent {
+                    host_pc: i % 64,
+                    kind: if i % 5 == 0 {
+                        EventKind::Load { addr: (i * 16) as u32 & 0xFFFF, bytes: 4 }
+                    } else {
+                        EventKind::IntAlu
+                    },
+                    dst: Some(16 + (i % 8) as u8),
+                    srcs: [Some(16 + ((i + 1) % 8) as u8), None],
+                });
+            }
+            core.stats().cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    use darco_tol::translate::{build_bb_region, decode_block};
+    let p = counting_loop(1);
+    let mut mem = darco_guest::GuestMem::new();
+    p.map_into(&mut mem);
+    let plan = decode_block(&mem, DEFAULT_CODE_BASE + 6).unwrap();
+    let mut g = c.benchmark_group("optimizer");
+    g.bench_function("bb_translate_and_o1", |b| {
+        b.iter(|| {
+            let mut region = build_bb_region(&plan, None, false);
+            darco_ir::passes::run_pipeline(&mut region, darco_ir::OptLevel::O1);
+            region.insts.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_decode,
+    bench_interpreter,
+    bench_tol_full_stack,
+    bench_host_emulator,
+    bench_timing_core,
+    bench_optimizer
+);
+criterion_main!(micro);

@@ -1,0 +1,32 @@
+//! **A2** — Translation chaining and the IBTC (§V-D "minimum TOL
+//! overhead"): disabling them must multiply TOL invocations (prologue +
+//! lookup overhead).
+
+use darco_bench::{default_config, run_one, Scale};
+use darco_workloads::benchmarks;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== A2: chaining + IBTC on/off ==");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "benchmark", "ovh% chained", "ovh% unchained", "dispatch x"
+    );
+    for idx in [0usize, 4, 13, 24, 28] {
+        let b = &benchmarks()[idx];
+        let on = run_one(b, scale, default_config());
+        let mut cfg = default_config();
+        cfg.tol.chaining = false;
+        cfg.tol.ibtc = false;
+        let off = run_one(b, scale, cfg);
+        let disp_ratio = (off.overhead.prologue + off.overhead.cache_lookup) as f64
+            / (on.overhead.prologue + on.overhead.cache_lookup).max(1) as f64;
+        println!(
+            "{:<16} {:>13.1}% {:>13.1}% {:>10.1}",
+            b.name,
+            on.overhead_fraction() * 100.0,
+            off.overhead_fraction() * 100.0,
+            disp_ratio
+        );
+    }
+}

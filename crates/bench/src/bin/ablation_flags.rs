@@ -1,0 +1,35 @@
+//! **A1** — Lazy vs strict flag materialization (§V-D "DARCO writes to
+//! the flag registers only if the written value is really going to be
+//! consumed"): strict mode materializes all five flags at every
+//! flag-writing instruction and must raise the SBM emulation cost.
+
+use darco_bench::{default_config, run_one, suite_avg, Scale};
+use darco_workloads::{benchmarks, Suite};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ints: Vec<_> = benchmarks().into_iter().filter(|b| b.suite == Suite::SpecInt).collect();
+    let mut rows_lazy = Vec::new();
+    let mut rows_strict = Vec::new();
+    println!("== A1: lazy vs strict guest-flag materialization (SPECINT) ==");
+    println!("{:<16} {:>10} {:>10} {:>8}", "benchmark", "lazy", "strict", "strict/lazy");
+    for b in &ints {
+        let lazy = run_one(b, scale, default_config());
+        let mut cfg = default_config();
+        cfg.tol.strict_flags = true;
+        let strict = run_one(b, scale, cfg);
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>8.2}",
+            b.name,
+            lazy.sbm_emulation_cost,
+            strict.sbm_emulation_cost,
+            strict.sbm_emulation_cost / lazy.sbm_emulation_cost
+        );
+        rows_lazy.push((b.clone(), lazy));
+        rows_strict.push((b.clone(), strict));
+    }
+    let l = suite_avg(&rows_lazy, Suite::SpecInt, |r| r.sbm_emulation_cost);
+    let s = suite_avg(&rows_strict, Suite::SpecInt, |r| r.sbm_emulation_cost);
+    println!("{:-<48}", "");
+    println!("avg SBM cost: lazy {l:.2}, strict {s:.2} ({:.0}% increase)", (s / l - 1.0) * 100.0);
+}

@@ -1,0 +1,28 @@
+//! **A5** — Optimization level sweep (plug-and-play optimizer, §V-D):
+//! O0 (straight translation), O1 (fold+DCE), O2 (+copy-prop/CSE),
+//! O3 (+memory disambiguation, scheduling).
+
+use darco_bench::{default_config, run_one, Scale};
+use darco_ir::OptLevel;
+use darco_workloads::benchmarks;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== A5: SBM emulation cost by optimization level ==");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "benchmark", "O0", "O1", "O2", "O3");
+    for idx in [13usize, 17, 24, 0] {
+        let b = &benchmarks()[idx];
+        let mut cells = Vec::new();
+        for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let mut cfg = default_config();
+            cfg.tol.opt_level = lvl;
+            let r = run_one(b, scale, cfg);
+            cells.push(r.sbm_emulation_cost);
+        }
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            b.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("(lower is better; the drop from O0 to O3 is the optimizer's emulation-cost win)");
+}

@@ -1,0 +1,61 @@
+//! **E1 / §VI-A** — DARCO speed: guest/host instruction rates with and
+//! without the timing simulator.
+//!
+//! Paper (on their cluster): 3.4 guest MIPS emulated, 0.37 guest MIPS with
+//! timing; 20 host MIPS emulated, 2 host MIPS with timing. Absolute rates
+//! depend on the machine; the experiment checks the relative slowdown of
+//! attaching the timing model.
+
+use darco_bench::{default_config, paper, run_one, with_timing, Scale};
+use darco::SinkChoice;
+use darco_workloads::benchmarks;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    // A representative subset (one per suite) keeps the run short.
+    let set = [0usize, 13, 24];
+    let mut rows = Vec::new();
+    for idx in set {
+        let b = &benchmarks()[idx];
+        let t0 = Instant::now();
+        let r = run_one(b, scale, default_config());
+        let dt_fun = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let rt = run_one(b, scale, with_timing(default_config(), SinkChoice::InOrder));
+        let dt_tim = t0.elapsed().as_secs_f64();
+        let host_fun = (r.host_app_insns + r.overhead.total()) as f64;
+        let host_tim = (rt.host_app_insns + rt.overhead.total()) as f64;
+        rows.push((
+            b.name,
+            r.guest_insns as f64 / dt_fun / 1e6,
+            rt.guest_insns as f64 / dt_tim / 1e6,
+            host_fun / dt_fun / 1e6,
+            host_tim / dt_tim / 1e6,
+        ));
+    }
+    println!("== §VI-A: DARCO speed ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "guest MIPS", "guest+tim", "host MIPS", "host+tim"
+    );
+    for (n, a, b, c, d) in &rows {
+        println!("{n:<16} {a:>12.2} {b:>12.2} {c:>12.2} {d:>12.2}");
+    }
+    let avg = |f: fn(&(&str, f64, f64, f64, f64)) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let (ga, gt, ha, ht) = (avg(|r| r.1), avg(|r| r.2), avg(|r| r.3), avg(|r| r.4));
+    println!("{:-<68}", "");
+    println!(
+        "average          {ga:>12.2} {gt:>12.2} {ha:>12.2} {ht:>12.2}   (paper: {:.2} / {:.2} / {:.0} / {:.0})",
+        paper::SPEED.0, paper::SPEED.1, paper::SPEED.2, paper::SPEED.3
+    );
+    println!(
+        "timing-attach slowdown: guest {:.1}x (paper {:.1}x), host {:.1}x (paper {:.1}x)",
+        ga / gt,
+        paper::SPEED.0 / paper::SPEED.1,
+        ha / ht,
+        paper::SPEED.2 / paper::SPEED.3
+    );
+}

@@ -1,0 +1,158 @@
+//! `darco-run` — the command-line face of the controller: run a suite
+//! benchmark or a built-in kernel through the full infrastructure and
+//! report what happened.
+//!
+//! ```text
+//! darco-run --list
+//! darco-run 401.bzip2 --scale 1/8 --timing --power
+//! darco-run kernel:nbody --validate-every 10000 --json
+//! darco-run continuous --ooo --strict-flags --no-chain
+//! ```
+
+use darco::{SinkChoice, System, SystemConfig};
+use darco_workloads::{benchmarks, kernels};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: darco-run <benchmark|kernel:NAME> [options]\n\
+         \n\
+         benchmarks: any name from --list (e.g. 403.gcc, breakable)\n\
+         kernels:    kernel:dot, kernel:matmul, kernel:search, kernel:nbody,\n             kernel:quicksort, kernel:crc32\n\
+         \n\
+         options:\n\
+           --list                 list suite benchmarks and exit\n\
+           --scale N/D            scale iteration counts (default 1/1)\n\
+           --timing               attach the in-order timing simulator\n\
+           --ooo                  attach the out-of-order core instead\n\
+           --power                add the power report (implies --timing)\n\
+           --validate-every N     periodic state validation interval\n\
+           --strict-flags         materialize all guest flags (ablation)\n\
+           --no-chain             disable chaining and the IBTC\n\
+           --no-spec              disable speculation (multi-exit SBs)\n\
+           --opt LEVEL            O0|O1|O2|O3 (default O3)\n\
+           --json                 print the full report as JSON"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for b in benchmarks() {
+            println!("{:<16} {}", b.name, b.suite.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(target) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
+
+    let mut cfg = SystemConfig::default();
+    let mut scale = (1u32, 1u32);
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                let mut it = v.split('/');
+                scale = (
+                    it.next().and_then(|x| x.parse().ok()).unwrap_or(1),
+                    it.next().and_then(|x| x.parse().ok()).unwrap_or(1),
+                );
+            }
+            "--timing" => cfg.sink = SinkChoice::InOrder,
+            "--ooo" => cfg.sink = SinkChoice::OutOfOrder,
+            "--power" => {
+                if cfg.sink == SinkChoice::None {
+                    cfg.sink = SinkChoice::InOrder;
+                }
+                cfg.power = true;
+            }
+            "--validate-every" => {
+                i += 1;
+                cfg.validate_every =
+                    Some(args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--strict-flags" => cfg.tol.strict_flags = true,
+            "--no-chain" => {
+                cfg.tol.chaining = false;
+                cfg.tol.ibtc = false;
+            }
+            "--no-spec" => cfg.tol.speculation = false,
+            "--opt" => {
+                i += 1;
+                cfg.tol.opt_level = match args.get(i).map(String::as_str) {
+                    Some("O0") => darco_ir::OptLevel::O0,
+                    Some("O1") => darco_ir::OptLevel::O1,
+                    Some("O2") => darco_ir::OptLevel::O2,
+                    Some("O3") => darco_ir::OptLevel::O3,
+                    _ => usage(),
+                };
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let program = if let Some(k) = target.strip_prefix("kernel:") {
+        match k {
+            "dot" => kernels::dot_product(20_000),
+            "matmul" => kernels::matmul(24),
+            "search" => kernels::string_search(200_000, 123_456),
+            "nbody" => kernels::nbody_step(64, 500),
+            "quicksort" => kernels::quicksort(4_000),
+            "crc32" => kernels::crc32(50_000),
+            _ => usage(),
+        }
+    } else {
+        match benchmarks().into_iter().find(|b| b.name == target) {
+            Some(b) => darco_workloads::build(&b.profile.scaled(scale.0, scale.1)),
+            None => usage(),
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let report = match System::new(cfg, program).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dt = t0.elapsed().as_secs_f64();
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        return ExitCode::SUCCESS;
+    }
+    let (im, bbm, sbm) = report.mode_insns;
+    let total = (im + bbm + sbm).max(1) as f64;
+    println!("{}", report.name);
+    println!("  guest instructions   {:>12}  ({:.2} MIPS wall-clock)", report.guest_insns, report.guest_insns as f64 / dt / 1e6);
+    println!("  mode split           IM {:.1}% / BBM {:.1}% / SBM {:.1}%", im as f64 / total * 100.0, bbm as f64 / total * 100.0, sbm as f64 / total * 100.0);
+    println!("  SBM emulation cost   {:>12.2}  host insns / guest insn", report.sbm_emulation_cost);
+    println!("  TOL overhead         {:>11.1}%  of the host dynamic stream", report.overhead_fraction() * 100.0);
+    println!("  translations         {:>12}  ({} BB, {} SB, {} recreations)",
+        report.tol_stats.translations_bb + report.tol_stats.translations_sb,
+        report.tol_stats.translations_bb, report.tol_stats.translations_sb, report.tol_stats.recreations);
+    println!("  speculation          {:>12}  rollbacks", report.rollbacks);
+    println!("  protocol             {:>12}  pages served, {} syscalls, {} validations",
+        report.pages_served, report.syscalls, report.validations);
+    if let Some(t) = &report.timing {
+        println!("  timing               {:>12}  cycles, IPC {:.2}, CPI(guest) {:.2}",
+            t.cycles, t.ipc(), t.cycles as f64 / report.guest_insns as f64);
+        println!("  caches               L1D miss {:.2}%, L2 miss {:.2}%, bpred miss {:.2}%",
+            t.dl1_misses as f64 / t.dl1_accesses.max(1) as f64 * 100.0,
+            t.l2_misses as f64 / t.l2_accesses.max(1) as f64 * 100.0,
+            t.mispredicts as f64 / t.branches.max(1) as f64 * 100.0);
+    }
+    if let Some(p) = &report.power {
+        println!("  power                {:>9.1} mW  avg, {:.1} pJ/insn", p.avg_power_mw, p.total_pj / report.guest_insns as f64);
+    }
+    if let Some(f) = &report.guest_fault {
+        println!("  guest fault          {f}");
+    }
+    ExitCode::SUCCESS
+}

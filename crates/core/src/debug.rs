@@ -1,0 +1,187 @@
+//! The debug toolchain (paper §IV "powerful debug toolchain", §V-D).
+//!
+//! "DARCO, first of all, pinpoints the exact basic block where the problem
+//! was originated. Then it traces back to find out the particular step
+//! where the bug first appeared, e.g. while translation to IR, any of the
+//! several optimizations, during emulation in the host ISA emulator, etc."
+//!
+//! [`diagnose`] does exactly that: it localizes the first divergent
+//! region with fine-grained validation, then replays the program through a
+//! ladder of configurations — interpreter-only, unoptimized translations,
+//! optimizer without scheduling/speculation, full pipeline — and blames
+//! the first stage whose output diverges from the authoritative state.
+
+use crate::machine::{Machine, MachineError};
+use darco_guest::GuestProgram;
+use darco_host::sink::NullSink;
+use darco_ir::OptLevel;
+use darco_tol::TolConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline stage introduced the divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Even pure interpretation diverges (guest executor / protocol bug).
+    Interpreter,
+    /// Unoptimized translations diverge: guest→IR translation or host
+    /// code generation.
+    TranslatorOrCodegen,
+    /// Divergence appears when the optimizer passes run.
+    Optimizer,
+    /// Divergence appears only with scheduling/speculative memory
+    /// reordering enabled.
+    SchedulerOrSpeculation,
+    /// No divergence found.
+    None,
+}
+
+/// Diagnosis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// The culprit stage.
+    pub stage: Stage,
+    /// Instruction count of the first failed validation (region
+    /// granularity), for the failing configuration.
+    pub divergence_at: Option<u64>,
+    /// Authoritative guest PC at that point.
+    pub guest_pc: Option<u32>,
+    /// First differing state element.
+    pub detail: Option<String>,
+}
+
+/// Runs the program under `cfg` with per-region validation; returns the
+/// first divergence, if any.
+fn first_divergence(program: &GuestProgram, cfg: &TolConfig, max: u64) -> Option<(u64, u32, String)> {
+    let mut m = Machine::new(cfg.clone(), program);
+    loop {
+        if m.insns() >= max {
+            return None;
+        }
+        // Step one region-sized quantum at a time, validating after each.
+        // (Large enough not to perturb promotion decisions, small enough
+        // to localize the divergence to a few basic blocks.)
+        let target = m.insns() + 64;
+        match m.run_to(target, true, &mut NullSink) {
+            Ok(ev) => {
+                if m.xcomp.run_until(m.insns()).is_err() {
+                    return Some((m.insns(), m.xcomp.state.eip, "count overrun".into()));
+                }
+                if let Err(MachineError::Validation { at_insns, guest_pc, detail }) =
+                    m.validate(true)
+                {
+                    return Some((at_insns, guest_pc, detail));
+                }
+                match ev {
+                    crate::machine::MachineEvent::Reached => {}
+                    _ => return None, // ended cleanly
+                }
+            }
+            Err(MachineError::Validation { at_insns, guest_pc, detail }) => {
+                return Some((at_insns, guest_pc, detail));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Diagnoses a misbehaving configuration: localizes the first divergent
+/// region and attributes it to a pipeline stage.
+pub fn diagnose(program: &GuestProgram, cfg: &TolConfig, max_insns: u64) -> Diagnosis {
+    // Stage ladder, each inheriting the suspect configuration (including
+    // any planted bug) but progressively enabling machinery.
+    let im_only = TolConfig { bbm_threshold: u64::MAX, ..cfg.clone() };
+    let o0 = TolConfig {
+        opt_level: OptLevel::O0,
+        speculation: false,
+        unroll: false,
+        ..cfg.clone()
+    };
+    let o2 = TolConfig {
+        opt_level: OptLevel::O2,
+        speculation: false,
+        unroll: false,
+        ..cfg.clone()
+    };
+    let ladder: [(Stage, &TolConfig); 4] = [
+        (Stage::Interpreter, &im_only),
+        (Stage::TranslatorOrCodegen, &o0),
+        (Stage::Optimizer, &o2),
+        (Stage::SchedulerOrSpeculation, cfg),
+    ];
+    for (stage, c) in ladder {
+        if let Some((at, pc, detail)) = first_divergence(program, c, max_insns) {
+            return Diagnosis {
+                stage,
+                divergence_at: Some(at),
+                guest_pc: Some(pc),
+                detail: Some(detail),
+            };
+        }
+    }
+    Diagnosis { stage: Stage::None, divergence_at: None, guest_pc: None, detail: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{AluOp, Asm, Cond, Gpr};
+    use darco_tol::{BugKind, Injection};
+
+    fn program() -> GuestProgram {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, 400);
+        let top = a.here();
+        a.alu_ri(AluOp::Add, Gpr::Eax, 7);
+        a.mov_ri(Gpr::Ebx, 3);
+        a.alu_rr(AluOp::Add, Gpr::Ebx, Gpr::Eax);
+        a.store(
+            darco_guest::Addr::abs(0x0040_0000),
+            Gpr::Ebx,
+            darco_guest::Width::D,
+        );
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        a.into_program().with_data(vec![0; 64])
+    }
+
+    fn cfg_with(kind: BugKind) -> TolConfig {
+        TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 12,
+            injection: Some(Injection { kind, translation_ordinal: 0 }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_program_diagnoses_as_no_divergence() {
+        let d = diagnose(
+            &program(),
+            &TolConfig { bbm_threshold: 3, sbm_threshold: 12, ..Default::default() },
+            1_000_000,
+        );
+        assert_eq!(d.stage, Stage::None);
+    }
+
+    #[test]
+    fn translator_bug_is_attributed_to_translation() {
+        let d = diagnose(&program(), &cfg_with(BugKind::TranslatorWrongConstant), 1_000_000);
+        assert_eq!(d.stage, Stage::TranslatorOrCodegen, "{d:?}");
+        assert!(d.divergence_at.unwrap() > 0);
+        assert!(d.guest_pc.is_some());
+    }
+
+    #[test]
+    fn codegen_bug_is_attributed_to_translation_stage() {
+        let d = diagnose(&program(), &cfg_with(BugKind::CodegenDropStore), 1_000_000);
+        assert_eq!(d.stage, Stage::TranslatorOrCodegen, "{d:?}");
+    }
+
+    #[test]
+    fn optimizer_bug_is_attributed_to_the_optimizer() {
+        let d = diagnose(&program(), &cfg_with(BugKind::OptimizerBadFold), 1_000_000);
+        assert_eq!(d.stage, Stage::Optimizer, "{d:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # DARCO — the complete co-designed-processor simulation infrastructure
+//!
+//! This crate ties the pieces together the way Fig. 2 of the paper draws
+//! them:
+//!
+//! * the **co-designed component** — the Translation Optimization Layer
+//!   (`darco-tol`) plus the host functional emulator (`darco-host`),
+//!   keeping the *emulated* guest architectural and memory state;
+//! * the **x86 component** — the authoritative full-system emulator with
+//!   OS-lite (`darco-xcomp`);
+//! * the **timing simulator** (`darco-timing`) and **power model**
+//!   (`darco-power`), both optional;
+//! * the **controller** ([`System`]) — the main user interface: it runs
+//!   the three-phase execution flow (Initialization / Execution /
+//!   Synchronization), resolves data requests, executes system calls on
+//!   the authoritative side, and validates the co-designed state at
+//!   syscalls, at end of application and at a user-chosen period.
+//!
+//! The [`debug`] module is the debug toolchain: on a validation mismatch
+//! it pinpoints the first divergent region and replays it per-stage
+//! (interpreter / translator / optimizer / scheduler+speculation) to name
+//! the culprit. The [`sampling`] module implements the paper's §VI-E
+//! warm-up simulation methodology (promotion-threshold downscaling with
+//! an offline configuration-matching heuristic).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use darco::{System, SystemConfig};
+//! use darco_guest::{Asm, Gpr, Cond};
+//!
+//! let mut a = Asm::new(0x10_0000);
+//! a.mov_ri(Gpr::Ecx, 100);
+//! let top = a.here();
+//! a.add_rr(Gpr::Eax, Gpr::Ecx);
+//! a.dec(Gpr::Ecx);
+//! a.jcc_to(Cond::Ne, top);
+//! a.halt();
+//! let report = System::new(SystemConfig::default(), a.into_program()).run().unwrap();
+//! assert_eq!(report.guest_insns, 1 + 3 * 100);
+//! ```
+
+pub mod debug;
+pub mod machine;
+pub mod sampling;
+pub mod system;
+
+pub use machine::{Machine, MachineEvent};
+pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig};

@@ -1,0 +1,341 @@
+//! The coupled machine: co-designed component + authoritative component
+//! with the DARCO synchronization protocol.
+//!
+//! [`Machine::run_to`] implements the paper's Execution/Synchronization
+//! phases at the granularity callers need (the [`crate::System`] controller
+//! for whole runs, the [`crate::sampling`] harness for windows).
+
+use darco_guest::{Fault, GuestMem, GuestProgram, GuestState};
+use darco_host::sink::InsnSink;
+use darco_tol::{flags, Tol, TolConfig, TolEvent};
+use darco_xcomp::{SyscallOutcome, XComponent, XcompError};
+
+/// Why [`Machine::run_to`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// Reached the requested instruction count.
+    Reached,
+    /// The application ended (halt or exit syscall); count is final.
+    Ended {
+        /// Exit status when the program exited via syscall.
+        exit_status: Option<u32>,
+    },
+    /// Both components raised the same guest fault (program error).
+    GuestFault(Fault),
+}
+
+/// Errors during coupled execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The co-designed and authoritative states disagreed.
+    Validation {
+        /// Retired guest instructions at the failed check.
+        at_insns: u64,
+        /// Authoritative `EIP` at that point.
+        guest_pc: u32,
+        /// Human-readable description of the first difference.
+        detail: String,
+    },
+    /// Protocol-level failure in the authoritative component.
+    Xcomp(XcompError),
+    /// The components disagreed about a guest fault.
+    FaultMismatch(String),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Validation { at_insns, guest_pc, detail } => write!(
+                f,
+                "state validation failed after {at_insns} instructions (pc {guest_pc:#010x}): {detail}"
+            ),
+            MachineError::Xcomp(e) => write!(f, "{e}"),
+            MachineError::FaultMismatch(m) => write!(f, "fault mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The coupled co-designed + authoritative machine.
+pub struct Machine {
+    /// The co-designed component's software layer.
+    pub tol: Tol,
+    /// The co-designed component's emulated guest state.
+    pub state: GuestState,
+    /// The authoritative component.
+    pub xcomp: XComponent,
+    /// Validations performed.
+    pub validations: u64,
+    /// Pages served through data-request synchronization.
+    pub pages_served: u64,
+    /// Syscall synchronizations.
+    pub syscalls: u64,
+    ended: Option<MachineEvent>,
+}
+
+impl Machine {
+    /// Initialization phase: launches both components and forwards the
+    /// initial architectural state to the co-designed side.
+    pub fn new(cfg: TolConfig, program: &GuestProgram) -> Machine {
+        let xcomp = XComponent::new(program);
+        let mut state = GuestState::boot_regs_only(program);
+        state.copy_regs_from(&xcomp.initial_regs());
+        Machine {
+            tol: Tol::new(cfg),
+            state,
+            xcomp,
+            validations: 0,
+            pages_served: 0,
+            syscalls: 0,
+            ended: None,
+        }
+    }
+
+    /// Total retired guest instructions (the protocol's synchronization
+    /// currency).
+    pub fn insns(&self) -> u64 {
+        self.tol.total_guest()
+    }
+
+    /// Whether the application has ended.
+    pub fn ended(&self) -> bool {
+        self.ended.is_some()
+    }
+
+    /// Runs the co-designed component until `target` retired guest
+    /// instructions (or the end of the application), resolving
+    /// synchronization events against the authoritative component.
+    ///
+    /// # Errors
+    /// Returns [`MachineError`] on validation failures or protocol errors.
+    pub fn run_to(
+        &mut self,
+        target: u64,
+        compare_flags: bool,
+        sink: &mut dyn InsnSink,
+    ) -> Result<MachineEvent, MachineError> {
+        if let Some(ev) = &self.ended {
+            return Ok(ev.clone());
+        }
+        loop {
+            let now = self.insns();
+            if now >= target {
+                return Ok(MachineEvent::Reached);
+            }
+            match self.tol.run(&mut self.state, target - now, sink) {
+                TolEvent::FuelOut => return Ok(MachineEvent::Reached),
+                TolEvent::PageFault { addr, .. } => {
+                    // Data request: drive the authoritative component to the
+                    // same execution point, then transfer the page.
+                    let count = self.insns();
+                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    let page = self.xcomp.page_for(addr);
+                    self.state.mem.install_page(GuestMem::page_of(addr), page);
+                    self.pages_served += 1;
+                }
+                TolEvent::Syscall => {
+                    let count = self.insns();
+                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    // The paper validates at system calls.
+                    self.validate(compare_flags)?;
+                    let outcome = self.xcomp.exec_syscall().map_err(MachineError::Xcomp)?;
+                    self.syscalls += 1;
+                    // Apply the syscall's effects to the co-designed state:
+                    // registers (incl. EIP past the syscall) and any pages
+                    // the kernel wrote that the co-designed side already
+                    // holds.
+                    self.state.copy_regs_from(&self.xcomp.state);
+                    self.tol.pending_flags = None;
+                    self.tol.credit_external(1);
+                    if let SyscallOutcome::Ok { modified } = &outcome {
+                        for (addr, len) in modified {
+                            let first = GuestMem::page_of(*addr);
+                            let last = GuestMem::page_of(addr.wrapping_add(len.saturating_sub(1)));
+                            for p in first..=last {
+                                if self.state.mem.is_mapped(p << 12) {
+                                    let data = self.xcomp.page_for(p << 12);
+                                    self.state.mem.install_page(p, data);
+                                }
+                            }
+                        }
+                    }
+                    if let SyscallOutcome::Exit(code) = outcome {
+                        let ev = MachineEvent::Ended { exit_status: Some(code) };
+                        self.ended = Some(ev.clone());
+                        return Ok(ev);
+                    }
+                }
+                TolEvent::Halted => {
+                    let count = self.insns();
+                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.xcomp.confirm_halt().map_err(MachineError::Xcomp)?;
+                    // End-of-application validation (mandatory in the paper).
+                    self.validate(compare_flags)?;
+                    let ev = MachineEvent::Ended { exit_status: None };
+                    self.ended = Some(ev.clone());
+                    return Ok(ev);
+                }
+                TolEvent::GuestError(fault) => {
+                    // The authoritative component must hit the same fault.
+                    let count = self.insns();
+                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    return match self.xcomp.run_until(count + 1) {
+                        Err(XcompError::GuestFault(f)) if f == fault => {
+                            self.validate(compare_flags)?;
+                            let ev = MachineEvent::GuestFault(fault);
+                            self.ended = Some(ev.clone());
+                            Ok(ev)
+                        }
+                        other => Err(MachineError::FaultMismatch(format!(
+                            "co-designed faulted with {fault}, authoritative: {other:?}"
+                        ))),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Validates the co-designed state against the authoritative state.
+    /// The authoritative component must already be at the same
+    /// instruction count.
+    ///
+    /// # Errors
+    /// [`MachineError::Validation`] with the first difference found.
+    pub fn validate(&mut self, compare_flags: bool) -> Result<(), MachineError> {
+        self.validations += 1;
+        // Materialize lazily deferred flags first (semantically a no-op).
+        flags::resolve(&mut self.state, &mut self.tol.pending_flags);
+        if let Some(detail) = self.state.first_reg_mismatch(&self.xcomp.state, compare_flags) {
+            return Err(MachineError::Validation {
+                at_insns: self.insns(),
+                guest_pc: self.xcomp.state.eip,
+                detail,
+            });
+        }
+        if let Some(addr) = self.state.mem.first_difference(&self.xcomp.state.mem) {
+            let got = self.state.mem.read_u8(addr).unwrap_or(0);
+            let want = self.xcomp.state.mem.read_u8(addr).unwrap_or(0);
+            return Err(MachineError::Validation {
+                at_insns: self.insns(),
+                guest_pc: self.xcomp.state.eip,
+                detail: format!("memory at {addr:#010x}: {got:#04x} != {want:#04x}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{Asm, Cond, Gpr};
+    use darco_host::sink::NullSink;
+    use darco_xcomp::OS_WRITE;
+
+    fn hot() -> TolConfig {
+        TolConfig { bbm_threshold: 3, sbm_threshold: 12, ..TolConfig::default() }
+    }
+
+    #[test]
+    fn coupled_run_with_demand_paging_validates() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Esi, 0x0040_0000);
+        a.mov_ri(Gpr::Ecx, 200);
+        let top = a.here();
+        a.store(
+            darco_guest::Addr::base_index(Gpr::Esi, Gpr::Ecx, darco_guest::Scale::S4),
+            Gpr::Ecx,
+            darco_guest::Width::D,
+        );
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        let p = a.into_program().with_data(vec![0; 2048]);
+        let mut m = Machine::new(hot(), &p);
+        let ev = m.run_to(u64::MAX, true, &mut NullSink).unwrap();
+        assert_eq!(ev, MachineEvent::Ended { exit_status: None });
+        assert!(m.pages_served > 0, "code + data pages must be requested");
+        assert!(m.validations >= 1, "end-of-application validation");
+    }
+
+    #[test]
+    fn syscall_synchronization_transfers_results() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, 30);
+        let top = a.here();
+        a.push(Gpr::Ecx);
+        a.mov_ri(Gpr::Eax, OS_WRITE as i32);
+        a.mov_ri(Gpr::Ebx, 1);
+        a.mov_ri(Gpr::Ecx, 0x0040_0000);
+        a.mov_ri(Gpr::Edx, 3);
+        a.syscall();
+        a.pop(Gpr::Ecx);
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        let p = a.into_program().with_data(b"ab\n".to_vec());
+        let mut m = Machine::new(hot(), &p);
+        let ev = m.run_to(u64::MAX, true, &mut NullSink).unwrap();
+        assert_eq!(ev, MachineEvent::Ended { exit_status: None });
+        assert_eq!(m.syscalls, 30);
+        assert_eq!(m.xcomp.output.len(), 90);
+        // Syscall retirements are in the count (insns must match xcomp).
+        assert_eq!(m.insns(), m.xcomp.insns);
+    }
+
+    #[test]
+    fn run_to_stops_at_target_and_resumes() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, 1000);
+        let top = a.here();
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        let p = a.into_program();
+        let mut m = Machine::new(hot(), &p);
+        let ev = m.run_to(500, true, &mut NullSink).unwrap();
+        assert_eq!(ev, MachineEvent::Reached);
+        assert!(m.insns() >= 500 && m.insns() < 900, "stops near target: {}", m.insns());
+        // Mid-run validation works.
+        m.xcomp.run_until(m.insns()).unwrap();
+        m.validate(true).unwrap();
+        let ev = m.run_to(u64::MAX, true, &mut NullSink).unwrap();
+        assert_eq!(ev, MachineEvent::Ended { exit_status: None });
+    }
+
+    #[test]
+    fn guest_fault_is_synchronized() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Eax, 5);
+        a.mov_ri(Gpr::Ebx, 0);
+        a.emit(darco_guest::Insn::Idiv { dst: Gpr::Eax, src: Gpr::Ebx });
+        a.halt();
+        let p = a.into_program();
+        let mut m = Machine::new(hot(), &p);
+        let ev = m.run_to(u64::MAX, true, &mut NullSink).unwrap();
+        assert!(matches!(ev, MachineEvent::GuestFault(Fault::DivByZero { .. })));
+    }
+
+    #[test]
+    fn planted_bug_is_caught_by_validation() {
+        use darco_tol::{BugKind, Injection};
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, 300);
+        let top = a.here();
+        a.alu_ri(darco_guest::AluOp::Add, Gpr::Eax, 7);
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        let p = a.into_program();
+        let mut cfg = hot();
+        cfg.injection = Some(Injection {
+            kind: BugKind::TranslatorWrongConstant,
+            translation_ordinal: 0,
+        });
+        let mut m = Machine::new(cfg, &p);
+        let err = m.run_to(u64::MAX, true, &mut NullSink).unwrap_err();
+        assert!(matches!(err, MachineError::Validation { .. }), "{err}");
+    }
+}

@@ -1,0 +1,358 @@
+//! The controller and top-level [`System`] — DARCO's main user interface.
+
+use crate::machine::{Machine, MachineError, MachineEvent};
+use darco_guest::{Fault, GuestProgram};
+use darco_host::sink::{InsnSink, NullSink, RetireEvent};
+use darco_power::{EnergyModel, PowerReport};
+use darco_timing::{InOrderCore, OooCore, TimingConfig, TimingStats};
+use darco_tol::{Overhead, TolConfig, TolStats};
+use serde::{Deserialize, Serialize};
+
+/// Which timing sink to attach (the paper: "the use of the timing and
+/// power simulators is optional and does not affect the functionality of
+/// the rest of the infrastructure").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SinkChoice {
+    /// Functional simulation only.
+    None,
+    /// The in-order core model.
+    InOrder,
+    /// The out-of-order extension (§III design-choice study).
+    OutOfOrder,
+}
+
+/// Top-level configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Software-layer configuration.
+    pub tol: TolConfig,
+    /// Validate co-designed vs authoritative state every N guest
+    /// instructions (`None`: only at syscalls and end of application) —
+    /// the paper's "the user can also decide how often to validate".
+    pub validate_every: Option<u64>,
+    /// Include the flags register in state comparison.
+    pub compare_flags: bool,
+    /// Timing simulation.
+    pub sink: SinkChoice,
+    /// Timing configuration (used when `sink != None`).
+    pub timing: TimingConfig,
+    /// Synthesize TOL-overhead instructions into the timing stream.
+    pub timing_includes_tol: bool,
+    /// Produce a power report (requires timing).
+    pub power: bool,
+    /// Safety bound on guest instructions.
+    pub max_guest_insns: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            tol: TolConfig::default(),
+            validate_every: None,
+            compare_flags: true,
+            sink: SinkChoice::None,
+            timing: TimingConfig::default(),
+            timing_includes_tol: true,
+            power: false,
+            max_guest_insns: 2_000_000_000,
+        }
+    }
+}
+
+/// Errors from a system run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DarcoError {
+    /// Co-designed state diverged from the authoritative state.
+    Validation {
+        /// Instruction count at the failed check.
+        at_insns: u64,
+        /// Authoritative PC.
+        guest_pc: u32,
+        /// First difference.
+        detail: String,
+    },
+    /// Protocol error.
+    Protocol(String),
+    /// The run exceeded `max_guest_insns`.
+    BudgetExceeded,
+}
+
+impl std::fmt::Display for DarcoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DarcoError::Validation { at_insns, guest_pc, detail } => write!(
+                f,
+                "validation failed after {at_insns} instructions at {guest_pc:#010x}: {detail}"
+            ),
+            DarcoError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DarcoError::BudgetExceeded => write!(f, "guest instruction budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for DarcoError {}
+
+impl From<MachineError> for DarcoError {
+    fn from(e: MachineError) -> DarcoError {
+        match e {
+            MachineError::Validation { at_insns, guest_pc, detail } => {
+                DarcoError::Validation { at_insns, guest_pc, detail }
+            }
+            MachineError::Xcomp(x) => DarcoError::Protocol(x.to_string()),
+            MachineError::FaultMismatch(m) => DarcoError::Protocol(m),
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Program name.
+    pub name: String,
+    /// Total retired guest instructions.
+    pub guest_insns: u64,
+    /// Per-mode guest instructions `(IM, BBM, SBM)` — Fig. 4.
+    pub mode_insns: (u64, u64, u64),
+    /// Host instructions executed as application code.
+    pub host_app_insns: u64,
+    /// TOL overhead, by category — Figs. 6 and 7.
+    pub overhead: Overhead,
+    /// Dynamic host-per-guest ratio in SBM — Fig. 5.
+    pub sbm_emulation_cost: f64,
+    /// Full TOL statistics.
+    pub tol_stats: TolStats,
+    /// Host emulator counters (checkpoints, rollbacks, IBTC, ...).
+    pub chkpts: u64,
+    /// Assert + alias rollbacks.
+    pub rollbacks: u64,
+    /// State validations performed.
+    pub validations: u64,
+    /// Pages served via data requests.
+    pub pages_served: u64,
+    /// Synchronized system calls.
+    pub syscalls: u64,
+    /// Guest stdout.
+    pub output: Vec<u8>,
+    /// Exit status (when the guest exited via syscall).
+    pub exit_status: Option<u32>,
+    /// A guest program fault, when execution ended with one (verified
+    /// identical on both components).
+    pub guest_fault: Option<String>,
+    /// Timing statistics (when a sink was attached).
+    pub timing: Option<TimingStats>,
+    /// Power report (when requested).
+    pub power: Option<PowerReport>,
+}
+
+impl RunReport {
+    /// Fraction of the host dynamic stream that is TOL overhead (Fig. 6).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.overhead.total() + self.host_app_insns;
+        if total == 0 {
+            0.0
+        } else {
+            self.overhead.total() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of guest instructions executed in SBM (Fig. 4).
+    pub fn sbm_fraction(&self) -> f64 {
+        let total = self.mode_insns.0 + self.mode_insns.1 + self.mode_insns.2;
+        if total == 0 {
+            0.0
+        } else {
+            self.mode_insns.2 as f64 / total as f64
+        }
+    }
+}
+
+enum Sink {
+    Null(NullSink),
+    InOrder(Box<InOrderCore>),
+    Ooo(Box<OooCore>),
+}
+
+impl InsnSink for Sink {
+    fn retire(&mut self, ev: &RetireEvent) {
+        match self {
+            Sink::Null(s) => s.retire(ev),
+            Sink::InOrder(s) => s.retire(ev),
+            Sink::Ooo(s) => s.retire(ev),
+        }
+    }
+}
+
+/// The DARCO system: program + configuration, run end to end.
+pub struct System {
+    cfg: SystemConfig,
+    program: GuestProgram,
+}
+
+impl System {
+    /// Creates a system for a program.
+    pub fn new(cfg: SystemConfig, program: GuestProgram) -> System {
+        System { cfg, program }
+    }
+
+    /// Runs the program to completion under the full protocol.
+    ///
+    /// # Errors
+    /// Returns [`DarcoError`] on validation failures, protocol errors or
+    /// budget exhaustion.
+    pub fn run(self) -> Result<RunReport, DarcoError> {
+        let System { cfg, program } = self;
+        let mut machine = Machine::new(cfg.tol.clone(), &program);
+        if cfg.timing_includes_tol && cfg.sink != SinkChoice::None {
+            machine.tol.set_synthesize_overhead(true);
+        }
+        let mut sink = match cfg.sink {
+            SinkChoice::None => Sink::Null(NullSink),
+            SinkChoice::InOrder => Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone()))),
+            SinkChoice::OutOfOrder => Sink::Ooo(Box::new(OooCore::new(cfg.timing.clone()))),
+        };
+        let step = cfg.validate_every.unwrap_or(u64::MAX);
+        let mut fault: Option<Fault> = None;
+        let mut exit_status = None;
+        loop {
+            if machine.insns() >= cfg.max_guest_insns {
+                return Err(DarcoError::BudgetExceeded);
+            }
+            let target = machine.insns().saturating_add(step).min(cfg.max_guest_insns);
+            match machine.run_to(target, cfg.compare_flags, &mut sink)? {
+                MachineEvent::Reached => {
+                    if cfg.validate_every.is_some() {
+                        machine.xcomp.run_until(machine.insns()).map_err(|e| {
+                            DarcoError::Protocol(e.to_string())
+                        })?;
+                        machine.validate(cfg.compare_flags)?;
+                    }
+                }
+                MachineEvent::Ended { exit_status: es } => {
+                    exit_status = es;
+                    break;
+                }
+                MachineEvent::GuestFault(f) => {
+                    fault = Some(f);
+                    break;
+                }
+            }
+        }
+
+        let timing = match &sink {
+            Sink::Null(_) => None,
+            Sink::InOrder(c) => Some(c.stats()),
+            Sink::Ooo(c) => Some(c.stats()),
+        };
+        let power = match (&timing, cfg.power) {
+            (Some(ts), true) => Some(darco_power::report(ts, &cfg.timing, &EnergyModel::default())),
+            _ => None,
+        };
+        let m = machine;
+        Ok(RunReport {
+            name: program.name.clone(),
+            guest_insns: m.tol.total_guest(),
+            mode_insns: m.tol.mode_split(),
+            host_app_insns: m.tol.stats.host_app,
+            overhead: *m.tol.overhead(),
+            sbm_emulation_cost: m.tol.sbm_emulation_cost(),
+            tol_stats: m.tol.stats,
+            chkpts: m.tol.emu.counters.chkpts,
+            rollbacks: m.tol.emu.counters.assert_fails + m.tol.emu.counters.alias_fails,
+            validations: m.validations,
+            pages_served: m.pages_served,
+            syscalls: m.syscalls,
+            output: m.xcomp.output.clone(),
+            exit_status,
+            guest_fault: fault.map(|f| f.to_string()),
+            timing,
+            power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{Asm, Cond, Gpr};
+
+    fn loop_program(iters: i32) -> GuestProgram {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, iters);
+        let top = a.here();
+        a.add_rr(Gpr::Eax, Gpr::Ecx);
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        a.into_program()
+    }
+
+    fn hot_cfg() -> SystemConfig {
+        SystemConfig {
+            tol: darco_tol::TolConfig {
+                bbm_threshold: 3,
+                sbm_threshold: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn functional_run_produces_report() {
+        let r = System::new(hot_cfg(), loop_program(500)).run().unwrap();
+        assert_eq!(r.guest_insns, 1 + 3 * 500);
+        assert!(r.sbm_fraction() > 0.8, "hot loop runs in SBM: {}", r.sbm_fraction());
+        assert!(r.overhead.total() > 0);
+        assert!(r.timing.is_none());
+    }
+
+    #[test]
+    fn periodic_validation_runs() {
+        let mut cfg = hot_cfg();
+        cfg.validate_every = Some(200);
+        let r = System::new(cfg, loop_program(2000)).run().unwrap();
+        assert!(r.validations >= 10, "periodic checks: {}", r.validations);
+    }
+
+    #[test]
+    fn timing_and_power_attach() {
+        let mut cfg = hot_cfg();
+        cfg.sink = SinkChoice::InOrder;
+        cfg.power = true;
+        let r = System::new(cfg, loop_program(3000)).run().unwrap();
+        let t = r.timing.unwrap();
+        assert!(t.insns > r.guest_insns, "host stream is larger than guest");
+        assert!(t.cycles > 0);
+        let p = r.power.unwrap();
+        assert!(p.total_pj > 0.0);
+    }
+
+    #[test]
+    fn ooo_sink_runs_the_same_program() {
+        let mut cfg = hot_cfg();
+        cfg.sink = SinkChoice::OutOfOrder;
+        let r = System::new(cfg, loop_program(3000)).run().unwrap();
+        assert!(r.timing.unwrap().cycles > 0);
+    }
+
+    #[test]
+    fn budget_guard_fires() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        let top = a.here();
+        a.inc(Gpr::Eax);
+        a.emit(darco_guest::Insn::Jmp { rel: 0 });
+        // infinite loop: jmp back
+        let _ = top;
+        let p = {
+            let mut a = Asm::new(DEFAULT_CODE_BASE);
+            let top = a.here();
+            a.inc(Gpr::Eax);
+            a.jmp_to(top);
+            a.into_program()
+        };
+        let mut cfg = hot_cfg();
+        cfg.max_guest_insns = 10_000;
+        assert_eq!(System::new(cfg, p).run().unwrap_err(), DarcoError::BudgetExceeded);
+    }
+}

@@ -1,0 +1,305 @@
+//! A small two-pass assembler for building guest programs.
+//!
+//! [`Asm`] appends instructions, resolves forward label references at
+//! [`Asm::finish`] time, and can package the result as a [`GuestProgram`].
+//! The workload suite (`darco-workloads`) and most tests build their guest
+//! code through this type.
+
+use crate::encode::encode;
+use crate::insn::{AluOp, Insn, ShiftAmount, ShiftOp};
+use crate::program::GuestProgram;
+use crate::reg::{Addr, Cond, Fpr, Gpr, Width};
+
+/// A code label. Created unbound with [`Asm::label`] and bound with
+/// [`Asm::bind`], or created already bound with [`Asm::here`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// `jmp` — imm at offset 1, length 5.
+    Jmp,
+    /// `jcc` — imm at offset 2, length 6.
+    Jcc,
+    /// `call` — imm at offset 1, length 5.
+    Call,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    insn_off: usize,
+    kind: BranchKind,
+    label: Label,
+}
+
+/// Two-pass assembler.
+#[derive(Debug)]
+pub struct Asm {
+    base: u32,
+    buf: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+    end_label: Label,
+}
+
+impl Asm {
+    /// Creates an assembler emitting at `base`.
+    pub fn new(base: u32) -> Asm {
+        let mut a = Asm { base, buf: Vec::new(), labels: Vec::new(), fixups: Vec::new(), end_label: Label(0) };
+        a.end_label = a.label();
+        a
+    }
+
+    /// The current emission address.
+    pub fn addr(&self) -> u32 {
+        self.base + self.buf.len() as u32
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.addr());
+    }
+
+    /// Creates a label bound to the current address.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction. Branch instructions emitted this way use
+    /// their literal `rel` field; prefer the `*_to` helpers for labels.
+    pub fn emit(&mut self, insn: Insn) {
+        encode(&insn, &mut self.buf);
+    }
+
+    fn emit_fixup(&mut self, insn: Insn, kind: BranchKind, label: Label) {
+        let off = self.buf.len();
+        encode(&insn, &mut self.buf);
+        self.fixups.push(Fixup { insn_off: off, kind, label });
+    }
+
+    /// `jmp label`.
+    pub fn jmp_to(&mut self, label: Label) {
+        self.emit_fixup(Insn::Jmp { rel: 0 }, BranchKind::Jmp, label);
+    }
+
+    /// `jcc label`.
+    pub fn jcc_to(&mut self, cc: Cond, label: Label) {
+        self.emit_fixup(Insn::Jcc { cc, rel: 0 }, BranchKind::Jcc, label);
+    }
+
+    /// `call label`.
+    pub fn call_to(&mut self, label: Label) {
+        self.emit_fixup(Insn::Call { rel: 0 }, BranchKind::Call, label);
+    }
+
+    /// `jmp` to the address just past the last instruction of the final
+    /// program (where callers conventionally place `halt`).
+    pub fn jmp_to_end(&mut self) {
+        let end = self.end_label;
+        self.jmp_to(end);
+    }
+
+    // ---- frequent-instruction sugar ----------------------------------------
+
+    /// `mov dst, imm`.
+    pub fn mov_ri(&mut self, dst: Gpr, imm: i32) {
+        self.emit(Insn::MovRI { dst, imm });
+    }
+
+    /// `mov dst, src`.
+    pub fn mov_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.emit(Insn::MovRR { dst, src });
+    }
+
+    /// `op dst, src`.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Gpr, src: Gpr) {
+        self.emit(Insn::AluRR { op, dst, src });
+    }
+
+    /// `op dst, imm`.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Gpr, imm: i32) {
+        self.emit(Insn::AluRI { op, dst, imm });
+    }
+
+    /// `add dst, src`.
+    pub fn add_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.alu_rr(AluOp::Add, dst, src);
+    }
+
+    /// `sub dst, src`.
+    pub fn sub_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.alu_rr(AluOp::Sub, dst, src);
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp_rr(&mut self, a: Gpr, b: Gpr) {
+        self.emit(Insn::CmpRR { a, b });
+    }
+
+    /// `cmp a, imm`.
+    pub fn cmp_ri(&mut self, a: Gpr, imm: i32) {
+        self.emit(Insn::CmpRI { a, imm });
+    }
+
+    /// 32-bit load `mov dst, [addr]`.
+    pub fn load(&mut self, dst: Gpr, addr: Addr) {
+        self.emit(Insn::Load { dst, addr, width: Width::D, sign: false });
+    }
+
+    /// Store `mov [addr], src`.
+    pub fn store(&mut self, addr: Addr, src: Gpr, width: Width) {
+        self.emit(Insn::Store { addr, src, width });
+    }
+
+    /// `lea dst, [addr]`.
+    pub fn lea(&mut self, dst: Gpr, addr: Addr) {
+        self.emit(Insn::Lea { dst, addr });
+    }
+
+    /// `push src`.
+    pub fn push(&mut self, src: Gpr) {
+        self.emit(Insn::Push { src });
+    }
+
+    /// `pop dst`.
+    pub fn pop(&mut self, dst: Gpr) {
+        self.emit(Insn::Pop { dst });
+    }
+
+    /// `inc dst`.
+    pub fn inc(&mut self, dst: Gpr) {
+        self.emit(Insn::Unary { op: crate::insn::UnaryOp::Inc, dst });
+    }
+
+    /// `dec dst`.
+    pub fn dec(&mut self, dst: Gpr) {
+        self.emit(Insn::Unary { op: crate::insn::UnaryOp::Dec, dst });
+    }
+
+    /// `shl dst, imm`.
+    pub fn shl_i(&mut self, dst: Gpr, n: u8) {
+        self.emit(Insn::Shift { op: ShiftOp::Shl, dst, amount: ShiftAmount::Imm(n) });
+    }
+
+    /// `imul dst, src`.
+    pub fn imul(&mut self, dst: Gpr, src: Gpr) {
+        self.emit(Insn::Imul { dst, src });
+    }
+
+    /// Loads an FP immediate.
+    pub fn fld_i(&mut self, dst: Fpr, v: f64) {
+        self.emit(Insn::FldI { dst, bits: v.to_bits() });
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.emit(Insn::Ret);
+    }
+
+    /// `syscall`.
+    pub fn syscall(&mut self) {
+        self.emit(Insn::Syscall);
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Insn::Halt);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Insn::Nop);
+    }
+
+    /// Resolves all labels and returns the encoded bytes.
+    ///
+    /// # Panics
+    /// Panics if a referenced label was never bound.
+    pub fn finish(mut self) -> Vec<u8> {
+        let end = self.addr();
+        self.labels[self.end_label.0].get_or_insert(end);
+        for f in &self.fixups {
+            let target = self.labels[f.label.0].expect("branch to unbound label");
+            let (imm_off, insn_len) = match f.kind {
+                BranchKind::Jmp | BranchKind::Call => (1usize, 5u32),
+                BranchKind::Jcc => (2usize, 6u32),
+            };
+            let insn_end = self.base + f.insn_off as u32 + insn_len;
+            let rel = target.wrapping_sub(insn_end) as i32;
+            self.buf[f.insn_off + imm_off..f.insn_off + imm_off + 4]
+                .copy_from_slice(&rel.to_le_bytes());
+        }
+        self.buf
+    }
+
+    /// Resolves labels and wraps the code in a [`GuestProgram`] with the
+    /// default memory layout and this assembler's base as the entry point.
+    pub fn into_program(self) -> GuestProgram {
+        let base = self.base;
+        let code = self.finish();
+        let mut p = GuestProgram::new("asm", code);
+        p.code_base = base;
+        p.entry = base;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{step, Next};
+    use crate::state::GuestState;
+
+    #[test]
+    fn backward_and_forward_branches_resolve() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Gpr::Eax, 0);
+        a.mov_ri(Gpr::Ecx, 4);
+        let top = a.here();
+        a.add_rr(Gpr::Eax, Gpr::Ecx);
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top); // backward
+        let done = a.label();
+        a.jmp_to(done); // forward
+        a.mov_ri(Gpr::Eax, -1); // skipped
+        a.bind(done);
+        a.halt();
+        let p = a.into_program();
+        let mut st = GuestState::boot(&p);
+        loop {
+            if step(&mut st).unwrap().next == Next::Halt {
+                break;
+            }
+        }
+        assert_eq!(st.gpr(Gpr::Eax), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.jmp_to(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.here();
+        a.bind(l);
+    }
+}

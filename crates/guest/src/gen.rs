@@ -1,0 +1,179 @@
+//! Random generation of well-formed instructions.
+//!
+//! Used by the encode/decode round-trip tests here, by the
+//! translator-equivalence property tests in `darco-tol`, and as a building
+//! block of the workload generator. All generation is seeded and
+//! deterministic.
+
+use crate::insn::{AluOp, FBinOp, FUnOp, Insn, RepCond, ShiftAmount, ShiftOp, UnaryOp};
+use crate::reg::{Addr, Cond, Fpr, Gpr, Scale, Width};
+use rand::Rng;
+
+/// Generates a random well-formed addressing mode.
+pub fn arbitrary_addr<R: Rng>(rng: &mut R) -> Addr {
+    let base = if rng.gen_bool(0.8) { Some(arbitrary_gpr(rng)) } else { None };
+    let index = if rng.gen_bool(0.3) { Some(arbitrary_gpr(rng)) } else { None };
+    let scale = Scale::from_index(rng.gen_range(0..4));
+    let disp = match rng.gen_range(0..3) {
+        0 => 0,
+        1 => rng.gen_range(-128..128),
+        _ => rng.gen_range(i32::MIN..i32::MAX),
+    };
+    Addr { base, index, scale, disp }
+}
+
+/// Generates a random general-purpose register.
+pub fn arbitrary_gpr<R: Rng>(rng: &mut R) -> Gpr {
+    Gpr::from_index(rng.gen_range(0..8))
+}
+
+/// Generates a random FP register.
+pub fn arbitrary_fpr<R: Rng>(rng: &mut R) -> Fpr {
+    Fpr::new(rng.gen_range(0..8))
+}
+
+/// Generates a random condition code.
+pub fn arbitrary_cond<R: Rng>(rng: &mut R) -> Cond {
+    Cond::from_index(rng.gen_range(0..16))
+}
+
+/// Generates one random well-formed instruction, covering every variant.
+pub fn arbitrary_insn<R: Rng>(rng: &mut R) -> Insn {
+    let imm = || 0;
+    let _ = imm;
+    match rng.gen_range(0..48) {
+        0 => Insn::MovRR { dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng) },
+        1 => Insn::MovRI { dst: arbitrary_gpr(rng), imm: rng.gen() },
+        2 => Insn::Load {
+            dst: arbitrary_gpr(rng),
+            addr: arbitrary_addr(rng),
+            width: Width::from_index(rng.gen_range(0..3)),
+            sign: rng.gen(),
+        },
+        3 => Insn::Store {
+            addr: arbitrary_addr(rng),
+            src: arbitrary_gpr(rng),
+            width: Width::from_index(rng.gen_range(0..3)),
+        },
+        4 => Insn::StoreI {
+            addr: arbitrary_addr(rng),
+            imm: rng.gen(),
+            width: Width::from_index(rng.gen_range(0..3)),
+        },
+        5 => Insn::Lea { dst: arbitrary_gpr(rng), addr: arbitrary_addr(rng) },
+        6 => Insn::Xchg { a: arbitrary_gpr(rng), b: arbitrary_gpr(rng) },
+        7 => Insn::Cmov { cc: arbitrary_cond(rng), dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng) },
+        8 => Insn::Setcc { cc: arbitrary_cond(rng), dst: arbitrary_gpr(rng) },
+        9 => Insn::Push { src: arbitrary_gpr(rng) },
+        10 => Insn::PushI { imm: rng.gen() },
+        11 => Insn::Pop { dst: arbitrary_gpr(rng) },
+        12 => Insn::AluRR {
+            op: AluOp::from_index(rng.gen_range(0..7)),
+            dst: arbitrary_gpr(rng),
+            src: arbitrary_gpr(rng),
+        },
+        13 => Insn::AluRI {
+            op: AluOp::from_index(rng.gen_range(0..7)),
+            dst: arbitrary_gpr(rng),
+            imm: rng.gen(),
+        },
+        14 => Insn::AluRM {
+            op: AluOp::from_index(rng.gen_range(0..7)),
+            dst: arbitrary_gpr(rng),
+            addr: arbitrary_addr(rng),
+        },
+        15 => Insn::AluMR {
+            op: AluOp::from_index(rng.gen_range(0..7)),
+            addr: arbitrary_addr(rng),
+            src: arbitrary_gpr(rng),
+        },
+        16 => Insn::AluMI {
+            op: AluOp::from_index(rng.gen_range(0..7)),
+            addr: arbitrary_addr(rng),
+            imm: rng.gen(),
+        },
+        17 => Insn::CmpRR { a: arbitrary_gpr(rng), b: arbitrary_gpr(rng) },
+        18 => Insn::CmpRI { a: arbitrary_gpr(rng), imm: rng.gen() },
+        19 => Insn::CmpRM { a: arbitrary_gpr(rng), addr: arbitrary_addr(rng) },
+        20 => Insn::TestRR { a: arbitrary_gpr(rng), b: arbitrary_gpr(rng) },
+        21 => Insn::TestRI { a: arbitrary_gpr(rng), imm: rng.gen() },
+        22 => Insn::Unary { op: UnaryOp::from_index(rng.gen_range(0..4)), dst: arbitrary_gpr(rng) },
+        23 => Insn::UnaryM {
+            op: UnaryOp::from_index(rng.gen_range(0..4)),
+            addr: arbitrary_addr(rng),
+            width: Width::from_index(rng.gen_range(0..3)),
+        },
+        24 => Insn::Shift {
+            op: ShiftOp::from_index(rng.gen_range(0..5)),
+            dst: arbitrary_gpr(rng),
+            amount: if rng.gen() {
+                ShiftAmount::Imm(rng.gen_range(0..32))
+            } else {
+                ShiftAmount::Cl
+            },
+        },
+        25 => Insn::Imul { dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng) },
+        26 => Insn::ImulI { dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng), imm: rng.gen() },
+        27 => Insn::Idiv { dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng) },
+        28 => Insn::Irem { dst: arbitrary_gpr(rng), src: arbitrary_gpr(rng) },
+        29 => Insn::Jmp { rel: rng.gen() },
+        30 => Insn::Jcc { cc: arbitrary_cond(rng), rel: rng.gen() },
+        31 => Insn::JmpInd { target: arbitrary_gpr(rng) },
+        32 => Insn::Call { rel: rng.gen() },
+        33 => Insn::CallInd { target: arbitrary_gpr(rng) },
+        34 => Insn::Ret,
+        35 => Insn::Movs { width: Width::from_index(rng.gen_range(0..3)), rep: rng.gen() },
+        36 => Insn::Stos { width: Width::from_index(rng.gen_range(0..3)), rep: rng.gen() },
+        37 => Insn::Lods { width: Width::from_index(rng.gen_range(0..3)), rep: rng.gen() },
+        38 => Insn::Scas {
+            width: Width::from_index(rng.gen_range(0..3)),
+            rep: match rng.gen_range(0..3) {
+                0 => None,
+                1 => Some(RepCond::Eq),
+                _ => Some(RepCond::Ne),
+            },
+        },
+        39 => Insn::Cmps {
+            width: Width::from_index(rng.gen_range(0..3)),
+            rep: match rng.gen_range(0..3) {
+                0 => None,
+                1 => Some(RepCond::Eq),
+                _ => Some(RepCond::Ne),
+            },
+        },
+        40 => Insn::Fld { dst: arbitrary_fpr(rng), addr: arbitrary_addr(rng) },
+        41 => Insn::Fst { addr: arbitrary_addr(rng), src: arbitrary_fpr(rng) },
+        42 => Insn::FldI { dst: arbitrary_fpr(rng), bits: rng.gen() },
+        43 => match rng.gen_range(0..4) {
+            0 => Insn::FmovRR { dst: arbitrary_fpr(rng), src: arbitrary_fpr(rng) },
+            1 => Insn::Fbin {
+                op: FBinOp::from_index(rng.gen_range(0..6)),
+                dst: arbitrary_fpr(rng),
+                src: arbitrary_fpr(rng),
+            },
+            2 => Insn::FbinM {
+                op: FBinOp::from_index(rng.gen_range(0..6)),
+                dst: arbitrary_fpr(rng),
+                addr: arbitrary_addr(rng),
+            },
+            _ => Insn::Funary {
+                op: FUnOp::from_index(rng.gen_range(0..5)),
+                dst: arbitrary_fpr(rng),
+            },
+        },
+        44 => Insn::Fcmp { a: arbitrary_fpr(rng), b: arbitrary_fpr(rng) },
+        45 => {
+            if rng.gen() {
+                Insn::Cvtsi2f { dst: arbitrary_fpr(rng), src: arbitrary_gpr(rng) }
+            } else {
+                Insn::Cvtf2si { dst: arbitrary_gpr(rng), src: arbitrary_fpr(rng) }
+            }
+        }
+        46 => Insn::Nop,
+        _ => match rng.gen_range(0..3) {
+            0 => Insn::Syscall,
+            1 => Insn::Halt,
+            _ => Insn::Nop,
+        },
+    }
+}

@@ -1,0 +1,490 @@
+//! The guest instruction set.
+
+use crate::reg::{Addr, Cond, Fpr, Gpr, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-operand ALU operations (flag-writing, like their x86 namesakes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    Adc = 2,
+    Sbb = 3,
+    And = 4,
+    Or = 5,
+    Xor = 6,
+}
+
+impl AluOp {
+    pub const ALL: [AluOp; 7] =
+        [AluOp::Add, AluOp::Sub, AluOp::Adc, AluOp::Sbb, AluOp::And, AluOp::Or, AluOp::Xor];
+
+    /// Decodes a 3-bit ALU op field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 7`.
+    pub fn from_index(idx: usize) -> AluOp {
+        Self::ALL[idx]
+    }
+
+    /// True for `Adc`/`Sbb`, which read CF as an input.
+    pub fn reads_carry(self) -> bool {
+        matches!(self, AluOp::Adc | AluOp::Sbb)
+    }
+}
+
+/// Single-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum UnaryOp {
+    /// Increment; leaves CF unchanged (x86 quirk preserved).
+    Inc = 0,
+    /// Decrement; leaves CF unchanged.
+    Dec = 1,
+    /// Bitwise not; writes no flags.
+    Not = 2,
+    /// Two's complement negate.
+    Neg = 3,
+}
+
+impl UnaryOp {
+    pub const ALL: [UnaryOp; 4] = [UnaryOp::Inc, UnaryOp::Dec, UnaryOp::Not, UnaryOp::Neg];
+
+    /// Decodes a 2-bit unary op field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 4`.
+    pub fn from_index(idx: usize) -> UnaryOp {
+        Self::ALL[idx]
+    }
+}
+
+/// Shift and rotate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ShiftOp {
+    Shl = 0,
+    Shr = 1,
+    Sar = 2,
+    Rol = 3,
+    Ror = 4,
+}
+
+impl ShiftOp {
+    pub const ALL: [ShiftOp; 5] =
+        [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar, ShiftOp::Rol, ShiftOp::Ror];
+
+    /// Decodes a 3-bit shift op field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 5`.
+    pub fn from_index(idx: usize) -> ShiftOp {
+        Self::ALL[idx]
+    }
+}
+
+/// Shift amount: an immediate or the low bits of `ECX` (x86's `CL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftAmount {
+    Imm(u8),
+    Cl,
+}
+
+/// Repeat-prefix condition for `SCAS`/`CMPS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum RepCond {
+    /// `REPE`: repeat while equal (ZF set) and ECX != 0.
+    Eq = 0,
+    /// `REPNE`: repeat while not equal (ZF clear) and ECX != 0.
+    Ne = 1,
+}
+
+/// Binary floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FBinOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Min = 4,
+    Max = 5,
+}
+
+impl FBinOp {
+    pub const ALL: [FBinOp; 6] =
+        [FBinOp::Add, FBinOp::Sub, FBinOp::Mul, FBinOp::Div, FBinOp::Min, FBinOp::Max];
+
+    /// Decodes a 3-bit FP binary op field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 6`.
+    pub fn from_index(idx: usize) -> FBinOp {
+        Self::ALL[idx]
+    }
+}
+
+/// Unary floating-point operations.
+///
+/// `Sin` and `Cos` are architecturally defined as the fixed polynomial in
+/// [`crate::softfp`]; a host implementation must evaluate the identical
+/// operation sequence to be bit-compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FUnOp {
+    Sqrt = 0,
+    Abs = 1,
+    Neg = 2,
+    Sin = 3,
+    Cos = 4,
+}
+
+impl FUnOp {
+    pub const ALL: [FUnOp; 5] = [FUnOp::Sqrt, FUnOp::Abs, FUnOp::Neg, FUnOp::Sin, FUnOp::Cos];
+
+    /// Decodes a 3-bit FP unary op field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 5`.
+    pub fn from_index(idx: usize) -> FUnOp {
+        Self::ALL[idx]
+    }
+
+    /// Software-emulated on the host (no hardware functional unit): the
+    /// translator expands these into a call to a host runtime routine,
+    /// which is where Physicsbench's high emulation cost comes from.
+    pub fn is_soft(self) -> bool {
+        matches!(self, FUnOp::Sin | FUnOp::Cos)
+    }
+}
+
+/// A guest instruction.
+///
+/// The set is a faithful user-level x86 subset re-spelled as an enum:
+/// moves, memory-operand ALU forms, pushes/pops, shifts, multiplies and
+/// divides, conditional moves/sets, direct/indirect control flow, string
+/// operations with `REP` prefixes, scalar floating point with
+/// transcendentals, and a syscall/halt pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Insn {
+    // -- data movement ------------------------------------------------------
+    /// `mov dst, src`.
+    MovRR { dst: Gpr, src: Gpr },
+    /// `mov dst, imm`.
+    MovRI { dst: Gpr, imm: i32 },
+    /// Load: `mov dst, [addr]` (`width`+`sign` cover `movzx`/`movsx`).
+    Load { dst: Gpr, addr: Addr, width: Width, sign: bool },
+    /// Store: `mov [addr], src` (sub-word widths store the low bytes).
+    Store { addr: Addr, src: Gpr, width: Width },
+    /// `mov [addr], imm`.
+    StoreI { addr: Addr, imm: i32, width: Width },
+    /// `lea dst, [addr]`: address arithmetic without memory access.
+    Lea { dst: Gpr, addr: Addr },
+    /// `xchg a, b`.
+    Xchg { a: Gpr, b: Gpr },
+    /// `cmovcc dst, src`.
+    Cmov { cc: Cond, dst: Gpr, src: Gpr },
+    /// `setcc dst`: dst = cc ? 1 : 0.
+    Setcc { cc: Cond, dst: Gpr },
+    /// `push src`.
+    Push { src: Gpr },
+    /// `push imm`.
+    PushI { imm: i32 },
+    /// `pop dst`.
+    Pop { dst: Gpr },
+
+    // -- integer ALU ---------------------------------------------------------
+    /// `op dst, src` (register-register).
+    AluRR { op: AluOp, dst: Gpr, src: Gpr },
+    /// `op dst, imm`.
+    AluRI { op: AluOp, dst: Gpr, imm: i32 },
+    /// `op dst, [addr]` (register-memory).
+    AluRM { op: AluOp, dst: Gpr, addr: Addr },
+    /// `op [addr], src` (read-modify-write memory form).
+    AluMR { op: AluOp, addr: Addr, src: Gpr },
+    /// `op [addr], imm` (read-modify-write memory form).
+    AluMI { op: AluOp, addr: Addr, imm: i32 },
+    /// `cmp a, b`.
+    CmpRR { a: Gpr, b: Gpr },
+    /// `cmp a, imm`.
+    CmpRI { a: Gpr, imm: i32 },
+    /// `cmp a, [addr]`.
+    CmpRM { a: Gpr, addr: Addr },
+    /// `test a, b` (flags of `a & b`).
+    TestRR { a: Gpr, b: Gpr },
+    /// `test a, imm`.
+    TestRI { a: Gpr, imm: i32 },
+    /// `inc`/`dec`/`not`/`neg dst`.
+    Unary { op: UnaryOp, dst: Gpr },
+    /// Read-modify-write unary on memory.
+    UnaryM { op: UnaryOp, addr: Addr, width: Width },
+    /// Shifts and rotates.
+    Shift { op: ShiftOp, dst: Gpr, amount: ShiftAmount },
+    /// `imul dst, src` (truncating 32-bit product; CF/OF on overflow).
+    Imul { dst: Gpr, src: Gpr },
+    /// `imul dst, src, imm`.
+    ImulI { dst: Gpr, src: Gpr, imm: i32 },
+    /// Signed division `dst = dst / src` (GISA deviates from x86's
+    /// EDX:EAX pair form; quotient only, no flags).
+    Idiv { dst: Gpr, src: Gpr },
+    /// Signed remainder `dst = dst % src`.
+    Irem { dst: Gpr, src: Gpr },
+
+    // -- control flow --------------------------------------------------------
+    /// Unconditional relative jump (target = end-of-insn + rel).
+    Jmp { rel: i32 },
+    /// Conditional relative jump.
+    Jcc { cc: Cond, rel: i32 },
+    /// Indirect jump through a register.
+    JmpInd { target: Gpr },
+    /// Relative call: pushes the return address.
+    Call { rel: i32 },
+    /// Indirect call through a register.
+    CallInd { target: Gpr },
+    /// Return: pops the return address.
+    Ret,
+
+    // -- string operations ----------------------------------------------------
+    /// `movs`: `[EDI] <- [ESI]`, advance both; with `rep`, repeat ECX times.
+    Movs { width: Width, rep: bool },
+    /// `stos`: `[EDI] <- EAX`, advance EDI.
+    Stos { width: Width, rep: bool },
+    /// `lods`: `EAX <- [ESI]`, advance ESI.
+    Lods { width: Width, rep: bool },
+    /// `scas`: compare EAX with `[EDI]`, advance EDI.
+    Scas { width: Width, rep: Option<RepCond> },
+    /// `cmps`: compare `[ESI]` with `[EDI]`, advance both.
+    Cmps { width: Width, rep: Option<RepCond> },
+
+    // -- floating point --------------------------------------------------------
+    /// Load an `f64` from memory.
+    Fld { dst: Fpr, addr: Addr },
+    /// Store an `f64` to memory.
+    Fst { addr: Addr, src: Fpr },
+    /// Load an immediate `f64` (by bit pattern).
+    FldI { dst: Fpr, bits: u64 },
+    /// FP register move.
+    FmovRR { dst: Fpr, src: Fpr },
+    /// FP binary operation `dst = dst op src`.
+    Fbin { op: FBinOp, dst: Fpr, src: Fpr },
+    /// FP binary operation with memory source `dst = dst op [addr]`.
+    FbinM { op: FBinOp, dst: Fpr, addr: Addr },
+    /// FP unary operation (in place).
+    Funary { op: FUnOp, dst: Fpr },
+    /// FP compare, sets ZF/CF/PF like x86 `comisd` (PF = unordered).
+    Fcmp { a: Fpr, b: Fpr },
+    /// Convert signed integer to f64.
+    Cvtsi2f { dst: Fpr, src: Gpr },
+    /// Convert f64 to signed integer (truncating).
+    Cvtf2si { dst: Gpr, src: Fpr },
+
+    // -- system -----------------------------------------------------------------
+    /// System call: number in EAX, arguments in EBX/ECX/EDX, result in EAX.
+    Syscall,
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse classification used by profilers and the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsnClass {
+    Alu,
+    Mem,
+    Branch,
+    Call,
+    Ret,
+    String,
+    Fp,
+    FpSoft,
+    System,
+}
+
+impl Insn {
+    /// Classifies the instruction.
+    pub fn class(&self) -> InsnClass {
+        use Insn::*;
+        match self {
+            MovRR { .. } | MovRI { .. } | Lea { .. } | Xchg { .. } | Cmov { .. }
+            | Setcc { .. } | AluRR { .. } | AluRI { .. } | CmpRR { .. } | CmpRI { .. }
+            | TestRR { .. } | TestRI { .. } | Unary { .. } | Shift { .. } | Imul { .. }
+            | ImulI { .. } | Idiv { .. } | Irem { .. } | Nop => InsnClass::Alu,
+            Load { .. } | Store { .. } | StoreI { .. } | Push { .. } | PushI { .. }
+            | Pop { .. } | AluRM { .. } | AluMR { .. } | AluMI { .. } | CmpRM { .. }
+            | UnaryM { .. } => InsnClass::Mem,
+            Jmp { .. } | Jcc { .. } | JmpInd { .. } => InsnClass::Branch,
+            Call { .. } | CallInd { .. } => InsnClass::Call,
+            Ret => InsnClass::Ret,
+            Movs { .. } | Stos { .. } | Lods { .. } | Scas { .. } | Cmps { .. } => {
+                InsnClass::String
+            }
+            Funary { op, .. } if op.is_soft() => InsnClass::FpSoft,
+            Fld { .. } | Fst { .. } | FldI { .. } | FmovRR { .. } | Fbin { .. }
+            | FbinM { .. } | Funary { .. } | Fcmp { .. } | Cvtsi2f { .. } | Cvtf2si { .. } => {
+                InsnClass::Fp
+            }
+            Syscall | Halt => InsnClass::System,
+        }
+    }
+
+    /// True if this instruction ends a basic block.
+    pub fn ends_block(&self) -> bool {
+        use Insn::*;
+        matches!(
+            self,
+            Jmp { .. }
+                | Jcc { .. }
+                | JmpInd { .. }
+                | Call { .. }
+                | CallInd { .. }
+                | Ret
+                | Syscall
+                | Halt
+        )
+    }
+
+    /// True for control transfers whose target is not a static constant.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Insn::JmpInd { .. } | Insn::CallInd { .. } | Insn::Ret)
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Insn::*;
+        match self {
+            MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            MovRI { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Load { dst, addr, width, sign } => {
+                write!(f, "mov{} {dst}, {addr}", suffix(*width, *sign))
+            }
+            Store { addr, src, width } => write!(f, "mov{} {addr}, {src}", suffix(*width, false)),
+            StoreI { addr, imm, width } => {
+                write!(f, "mov{} {addr}, {imm:#x}", suffix(*width, false))
+            }
+            Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Xchg { a, b } => write!(f, "xchg {a}, {b}"),
+            Cmov { cc, dst, src } => write!(f, "cmov{cc:?} {dst}, {src}"),
+            Setcc { cc, dst } => write!(f, "set{cc:?} {dst}"),
+            Push { src } => write!(f, "push {src}"),
+            PushI { imm } => write!(f, "push {imm:#x}"),
+            Pop { dst } => write!(f, "pop {dst}"),
+            AluRR { op, dst, src } => write!(f, "{op:?} {dst}, {src}"),
+            AluRI { op, dst, imm } => write!(f, "{op:?} {dst}, {imm:#x}"),
+            AluRM { op, dst, addr } => write!(f, "{op:?} {dst}, {addr}"),
+            AluMR { op, addr, src } => write!(f, "{op:?} {addr}, {src}"),
+            AluMI { op, addr, imm } => write!(f, "{op:?} {addr}, {imm:#x}"),
+            CmpRR { a, b } => write!(f, "cmp {a}, {b}"),
+            CmpRI { a, imm } => write!(f, "cmp {a}, {imm:#x}"),
+            CmpRM { a, addr } => write!(f, "cmp {a}, {addr}"),
+            TestRR { a, b } => write!(f, "test {a}, {b}"),
+            TestRI { a, imm } => write!(f, "test {a}, {imm:#x}"),
+            Unary { op, dst } => write!(f, "{op:?} {dst}"),
+            UnaryM { op, addr, .. } => write!(f, "{op:?} {addr}"),
+            Shift { op, dst, amount } => match amount {
+                ShiftAmount::Imm(n) => write!(f, "{op:?} {dst}, {n}"),
+                ShiftAmount::Cl => write!(f, "{op:?} {dst}, cl"),
+            },
+            Imul { dst, src } => write!(f, "imul {dst}, {src}"),
+            ImulI { dst, src, imm } => write!(f, "imul {dst}, {src}, {imm:#x}"),
+            Idiv { dst, src } => write!(f, "idiv {dst}, {src}"),
+            Irem { dst, src } => write!(f, "irem {dst}, {src}"),
+            Jmp { rel } => write!(f, "jmp {rel:+}"),
+            Jcc { cc, rel } => write!(f, "j{cc:?} {rel:+}"),
+            JmpInd { target } => write!(f, "jmp {target}"),
+            Call { rel } => write!(f, "call {rel:+}"),
+            CallInd { target } => write!(f, "call {target}"),
+            Ret => write!(f, "ret"),
+            Movs { width, rep } => write!(f, "{}movs{}", rep_str(*rep), w(*width)),
+            Stos { width, rep } => write!(f, "{}stos{}", rep_str(*rep), w(*width)),
+            Lods { width, rep } => write!(f, "{}lods{}", rep_str(*rep), w(*width)),
+            Scas { width, rep } => write!(f, "{}scas{}", repc_str(*rep), w(*width)),
+            Cmps { width, rep } => write!(f, "{}cmps{}", repc_str(*rep), w(*width)),
+            Fld { dst, addr } => write!(f, "fld {dst}, {addr}"),
+            Fst { addr, src } => write!(f, "fst {addr}, {src}"),
+            FldI { dst, bits } => write!(f, "fldi {dst}, {}", f64::from_bits(*bits)),
+            FmovRR { dst, src } => write!(f, "fmov {dst}, {src}"),
+            Fbin { op, dst, src } => write!(f, "f{op:?} {dst}, {src}"),
+            FbinM { op, dst, addr } => write!(f, "f{op:?} {dst}, {addr}"),
+            Funary { op, dst } => write!(f, "f{op:?} {dst}"),
+            Fcmp { a, b } => write!(f, "fcmp {a}, {b}"),
+            Cvtsi2f { dst, src } => write!(f, "cvtsi2f {dst}, {src}"),
+            Cvtf2si { dst, src } => write!(f, "cvtf2si {dst}, {src}"),
+            Syscall => write!(f, "syscall"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+fn suffix(width: Width, sign: bool) -> &'static str {
+    match (width, sign) {
+        (Width::D, _) => "",
+        (Width::B, false) => "zxb",
+        (Width::B, true) => "sxb",
+        (Width::W, false) => "zxw",
+        (Width::W, true) => "sxw",
+    }
+}
+
+fn w(width: Width) -> &'static str {
+    match width {
+        Width::B => "b",
+        Width::W => "w",
+        Width::D => "d",
+    }
+}
+
+fn rep_str(rep: bool) -> &'static str {
+    if rep {
+        "rep "
+    } else {
+        ""
+    }
+}
+
+fn repc_str(rep: Option<RepCond>) -> &'static str {
+    match rep {
+        None => "",
+        Some(RepCond::Eq) => "repe ",
+        Some(RepCond::Ne) => "repne ",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_enders() {
+        assert!(Insn::Ret.ends_block());
+        assert!(Insn::Jcc { cc: Cond::E, rel: 4 }.ends_block());
+        assert!(Insn::Syscall.ends_block());
+        assert!(!Insn::Nop.ends_block());
+        assert!(!Insn::Movs { width: Width::B, rep: true }.ends_block());
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Insn::Funary { op: FUnOp::Sin, dst: Fpr::new(0) }.class(), InsnClass::FpSoft);
+        assert_eq!(Insn::Funary { op: FUnOp::Sqrt, dst: Fpr::new(0) }.class(), InsnClass::Fp);
+        assert_eq!(Insn::Push { src: Gpr::Eax }.class(), InsnClass::Mem);
+        assert_eq!(Insn::Ret.class(), InsnClass::Ret);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let samples = [
+            Insn::MovRI { dst: Gpr::Eax, imm: 5 },
+            Insn::Shift { op: ShiftOp::Shl, dst: Gpr::Ebx, amount: ShiftAmount::Cl },
+            Insn::Cmps { width: Width::B, rep: Some(RepCond::Ne) },
+        ];
+        for s in samples {
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+}

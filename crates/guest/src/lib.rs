@@ -1,0 +1,67 @@
+//! # GISA — the guest ISA of the DARCO reproduction
+//!
+//! DARCO (ISPASS 2017) simulates a HW/SW co-designed processor that executes
+//! guest **x86** binaries on a PowerPC-like RISC host. This crate defines the
+//! guest side: a 32-bit CISC ISA deliberately modeled on user-level x86,
+//! with every property the paper's evaluation exercises:
+//!
+//! * eight general-purpose registers with x86 names ([`Gpr`]), an
+//!   instruction pointer and a five-bit flags register ([`Flags`]:
+//!   CF/ZF/SF/OF/PF) written as an implicit side effect of ALU operations;
+//! * complex addressing modes (`base + index * scale + disp`, [`Addr`]);
+//! * memory-operand (read-modify-write) ALU forms, push/pop, `REP`-prefixed
+//!   string operations and condition-code driven instructions;
+//! * a floating-point register file with transcendentals (`sin`, `cos`)
+//!   whose architectural definition is a fixed polynomial ([`softfp`]), so
+//!   that an interpreter and a binary translator can produce bit-identical
+//!   results;
+//! * a variable-length byte [`encoding`](mod@encode) with an exact
+//!   encoder/decoder pair.
+//!
+//! The single-instruction executor in [`exec`] is the *architectural
+//! specification*: both the authoritative full-system component
+//! (`darco-xcomp`) and the interpreter inside the Translation Optimization
+//! Layer (`darco-tol`) call it, which is what makes DARCO-style state
+//! comparison meaningful.
+//!
+//! ## Example
+//!
+//! ```
+//! use darco_guest::{Asm, Gpr, GuestState, exec, Cond};
+//!
+//! // Sum the integers 1..=10.
+//! let mut a = Asm::new(0x1000);
+//! a.mov_ri(Gpr::Eax, 0);
+//! a.mov_ri(Gpr::Ecx, 10);
+//! let top = a.here();
+//! a.add_rr(Gpr::Eax, Gpr::Ecx);
+//! a.dec(Gpr::Ecx);
+//! a.jcc_to(Cond::Ne, top);
+//! a.halt();
+//!
+//! let program = a.into_program();
+//! let mut st = GuestState::boot(&program);
+//! while !matches!(exec::step(&mut st).unwrap().next, exec::Next::Halt) {}
+//! assert_eq!(st.gpr(Gpr::Eax), 55);
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod exec;
+pub mod insn;
+pub mod mem;
+pub mod program;
+pub mod reg;
+pub mod softfp;
+pub mod state;
+
+pub use asm::Asm;
+pub use encode::{decode, encode, DecodeError};
+pub use exec::{Fault, Next, StepInfo};
+pub use insn::{AluOp, FBinOp, FUnOp, Insn, RepCond, ShiftAmount, ShiftOp, UnaryOp};
+pub use mem::{GuestMem, PAGE_SHIFT, PAGE_SIZE};
+pub use program::GuestProgram;
+pub use reg::{Addr, Cond, Flags, Fpr, Gpr, Scale, Width};
+pub use state::GuestState;
+
+pub mod gen;

@@ -1,0 +1,333 @@
+//! Paged guest memory.
+//!
+//! Guest memory is a sparse collection of 4 KiB pages. Accessing an
+//! unmapped page returns a fault rather than mapping silently: in the
+//! co-designed component this is what raises DARCO's *data request*
+//! synchronization event (the page is then fetched from the authoritative
+//! x86 component), while the authoritative component itself maps pages
+//! on demand like an OS would.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Guest page size in bytes (4 KiB).
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// A memory access fault: the referenced page is not mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The exact address whose page is missing.
+    pub addr: u32,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+/// Sparse, paged guest memory.
+///
+/// All accesses are little-endian and may straddle page boundaries; an
+/// access faults if *any* byte of it touches an unmapped page, and a
+/// faulting access performs no partial writes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GuestMem {
+    pages: BTreeMap<u32, Vec<u8>>,
+}
+
+impl GuestMem {
+    /// Creates empty memory with no mapped pages.
+    pub fn new() -> GuestMem {
+        GuestMem::default()
+    }
+
+    /// Page number of an address.
+    #[inline]
+    pub fn page_of(addr: u32) -> u32 {
+        addr >> PAGE_SHIFT
+    }
+
+    /// Whether the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.pages.contains_key(&Self::page_of(addr))
+    }
+
+    /// Maps a zero-filled page (no-op if already mapped).
+    pub fn map_zero(&mut self, page: u32) {
+        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
+    }
+
+    /// Installs page contents, replacing any existing mapping.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly [`PAGE_SIZE`] bytes.
+    pub fn install_page(&mut self, page: u32, data: Vec<u8>) {
+        assert_eq!(data.len(), PAGE_SIZE as usize, "page must be {PAGE_SIZE} bytes");
+        self.pages.insert(page, data);
+    }
+
+    /// Returns a copy of a page's contents, if mapped.
+    pub fn page(&self, page: u32) -> Option<&[u8]> {
+        self.pages.get(&page).map(|p| p.as_slice())
+    }
+
+    /// Iterates over `(page_number, contents)` for all mapped pages.
+    pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.pages.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Number of mapped pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Checks that `len` bytes starting at `addr` are all mapped.
+    ///
+    /// # Errors
+    /// Returns the first missing page's fault.
+    pub fn probe(&self, addr: u32, len: u32, write: bool) -> Result<(), PageFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr.wrapping_add(len - 1));
+        let mut p = first;
+        loop {
+            if !self.pages.contains_key(&p) {
+                let fault_addr = if p == first { addr } else { p << PAGE_SHIFT };
+                return Err(PageFault { addr: fault_addr, write });
+            }
+            if p == last {
+                return Ok(());
+            }
+            p = p.wrapping_add(1);
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped; no partial reads are observable.
+    pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), PageFault> {
+        self.probe(addr, buf.len() as u32, false)?;
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            let page = &self.pages[&Self::page_of(a)];
+            *b = page[(a & (PAGE_SIZE - 1)) as usize];
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` at `addr`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped; a faulting write changes nothing.
+    pub fn write(&mut self, addr: u32, buf: &[u8]) -> Result<(), PageFault> {
+        self.probe(addr, buf.len() as u32, true)?;
+        for (i, b) in buf.iter().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            let page = self.pages.get_mut(&Self::page_of(a)).expect("probed");
+            page[(a & (PAGE_SIZE - 1)) as usize] = *b;
+        }
+        Ok(())
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    /// Faults if the page is unmapped.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, PageFault> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, PageFault> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, PageFault> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn read_u64(&self, addr: u32) -> Result<u64, PageFault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a `u8`.
+    ///
+    /// # Errors
+    /// Faults if the page is unmapped.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), PageFault> {
+        self.write(addr, &[v])
+    }
+
+    /// Writes a little-endian `u16`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), PageFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), PageFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn write_u64(&mut self, addr: u32, v: u64) -> Result<(), PageFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a value of the given width, zero- or sign-extended to 32 bits.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn read_width(&self, addr: u32, width: crate::reg::Width, sign: bool) -> Result<u32, PageFault> {
+        use crate::reg::Width;
+        Ok(match (width, sign) {
+            (Width::B, false) => self.read_u8(addr)? as u32,
+            (Width::B, true) => self.read_u8(addr)? as i8 as i32 as u32,
+            (Width::W, false) => self.read_u16(addr)? as u32,
+            (Width::W, true) => self.read_u16(addr)? as i16 as i32 as u32,
+            (Width::D, _) => self.read_u32(addr)?,
+        })
+    }
+
+    /// Writes the low `width` bytes of `v`.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn write_width(&mut self, addr: u32, v: u32, width: crate::reg::Width) -> Result<(), PageFault> {
+        use crate::reg::Width;
+        match width {
+            Width::B => self.write_u8(addr, v as u8),
+            Width::W => self.write_u16(addr, v as u16),
+            Width::D => self.write_u32(addr, v),
+        }
+    }
+
+    /// Copies a byte range into a fresh `Vec`, mapping nothing.
+    ///
+    /// # Errors
+    /// Faults if any byte is unmapped.
+    pub fn read_vec(&self, addr: u32, len: u32) -> Result<Vec<u8>, PageFault> {
+        let mut v = vec![0u8; len as usize];
+        self.read(addr, &mut v)?;
+        Ok(v)
+    }
+
+    /// Compares this memory's mapped pages against another's.
+    ///
+    /// Only pages mapped in **both** are compared byte-for-byte (the
+    /// co-designed component lazily fetches pages, so it legitimately maps a
+    /// subset of the authoritative memory). Returns the first differing
+    /// address, if any.
+    pub fn first_difference(&self, other: &GuestMem) -> Option<u32> {
+        for (num, data) in &self.pages {
+            if let Some(odata) = other.pages.get(num) {
+                if let Some(off) = data.iter().zip(odata.iter()).position(|(a, b)| a != b) {
+                    return Some((num << PAGE_SHIFT) + off as u32);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults_with_address() {
+        let mut m = GuestMem::new();
+        assert_eq!(m.read_u32(0x5000), Err(PageFault { addr: 0x5000, write: false }));
+        assert_eq!(m.write_u8(0x5001, 1), Err(PageFault { addr: 0x5001, write: true }));
+        m.map_zero(5);
+        assert_eq!(m.read_u32(0x5000), Ok(0));
+    }
+
+    #[test]
+    fn cross_page_access_faults_atomically() {
+        let mut m = GuestMem::new();
+        m.map_zero(0);
+        // u32 at 0xFFE crosses into page 1 (unmapped): must fault and write nothing.
+        let err = m.write_u32(0xFFE, 0xDEAD_BEEF).unwrap_err();
+        assert!(err.write);
+        assert_eq!(err.addr, 0x1000);
+        assert_eq!(m.read_u16(0xFFE).unwrap(), 0, "no partial write");
+        m.map_zero(1);
+        m.write_u32(0xFFE, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_u32(0xFFE).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = GuestMem::new();
+        m.map_zero(0);
+        m.write_u32(0x10, 0x0403_0201).unwrap();
+        assert_eq!(m.read_u8(0x10).unwrap(), 1);
+        assert_eq!(m.read_u8(0x13).unwrap(), 4);
+        assert_eq!(m.read_u16(0x11).unwrap(), 0x0302);
+    }
+
+    #[test]
+    fn width_reads_extend_properly() {
+        use crate::reg::Width;
+        let mut m = GuestMem::new();
+        m.map_zero(0);
+        m.write_u8(0, 0x80).unwrap();
+        assert_eq!(m.read_width(0, Width::B, false).unwrap(), 0x80);
+        assert_eq!(m.read_width(0, Width::B, true).unwrap(), 0xFFFF_FF80);
+        m.write_u16(2, 0x8000).unwrap();
+        assert_eq!(m.read_width(2, Width::W, true).unwrap(), 0xFFFF_8000);
+    }
+
+    #[test]
+    fn first_difference_ignores_unshared_pages() {
+        let mut a = GuestMem::new();
+        let mut b = GuestMem::new();
+        a.map_zero(1);
+        b.map_zero(1);
+        b.map_zero(9); // only in b: ignored
+        assert_eq!(a.first_difference(&b), None);
+        b.write_u8(0x1234, 7).unwrap();
+        assert_eq!(a.first_difference(&b), Some(0x1234));
+    }
+
+    #[test]
+    fn install_page_replaces() {
+        let mut m = GuestMem::new();
+        m.map_zero(2);
+        m.write_u8(0x2000, 9).unwrap();
+        let mut fresh = vec![0u8; PAGE_SIZE as usize];
+        fresh[0] = 42;
+        m.install_page(2, fresh);
+        assert_eq!(m.read_u8(0x2000).unwrap(), 42);
+    }
+}

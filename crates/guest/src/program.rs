@@ -1,0 +1,137 @@
+//! Guest program images.
+
+use crate::mem::{GuestMem, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Default base address of the code segment.
+pub const DEFAULT_CODE_BASE: u32 = 0x0010_0000;
+/// Default base address of the data segment.
+pub const DEFAULT_DATA_BASE: u32 = 0x0040_0000;
+/// Default initial stack pointer (grows down).
+pub const DEFAULT_STACK_TOP: u32 = 0x7FFF_F000;
+/// Default mapped stack size in bytes.
+pub const DEFAULT_STACK_SIZE: u32 = 16 * PAGE_SIZE;
+/// Default program break (heap base) for the `sbrk` syscall.
+pub const DEFAULT_BRK_BASE: u32 = 0x0100_0000;
+
+/// A complete guest program image: what the paper's controller hands to
+/// both the authoritative x86 component and the co-designed component at
+/// initialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuestProgram {
+    /// Human-readable name (benchmark name in the workload suite).
+    pub name: String,
+    /// Encoded instruction bytes.
+    pub code: Vec<u8>,
+    /// Load address of `code`.
+    pub code_base: u32,
+    /// Initial data segment contents.
+    pub data: Vec<u8>,
+    /// Load address of `data`.
+    pub data_base: u32,
+    /// Entry point.
+    pub entry: u32,
+    /// Initial stack pointer.
+    pub stack_top: u32,
+    /// Bytes of stack mapped below `stack_top`.
+    pub stack_size: u32,
+    /// Program break base for `sbrk`.
+    pub brk_base: u32,
+    /// Deterministic input stream served by the `read` syscall.
+    pub input: Vec<u8>,
+}
+
+impl GuestProgram {
+    /// Creates a program with the default memory layout.
+    pub fn new(name: impl Into<String>, code: Vec<u8>) -> GuestProgram {
+        GuestProgram {
+            name: name.into(),
+            entry: DEFAULT_CODE_BASE,
+            code,
+            code_base: DEFAULT_CODE_BASE,
+            data: Vec::new(),
+            data_base: DEFAULT_DATA_BASE,
+            stack_top: DEFAULT_STACK_TOP,
+            stack_size: DEFAULT_STACK_SIZE,
+            brk_base: DEFAULT_BRK_BASE,
+            input: Vec::new(),
+        }
+    }
+
+    /// Sets the data segment.
+    pub fn with_data(mut self, data: Vec<u8>) -> GuestProgram {
+        self.data = data;
+        self
+    }
+
+    /// Sets the input stream consumed by the `read` syscall.
+    pub fn with_input(mut self, input: Vec<u8>) -> GuestProgram {
+        self.input = input;
+        self
+    }
+
+    /// Number of static instructions in the code image.
+    ///
+    /// Decodes the image front to back; stops at the first undecodable byte
+    /// (data embedded in code is not supported by the loader).
+    pub fn static_insn_count(&self) -> usize {
+        let mut n = 0;
+        let mut off = 0;
+        while off < self.code.len() {
+            match crate::encode::decode(&self.code[off..]) {
+                Ok((_, len)) => {
+                    off += len;
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Maps the full image (code, data, stack) into `mem`.
+    pub fn map_into(&self, mem: &mut GuestMem) {
+        map_segment(mem, self.code_base, &self.code);
+        map_segment(mem, self.data_base, &self.data);
+        let stack_lo = self.stack_top.wrapping_sub(self.stack_size);
+        let first = GuestMem::page_of(stack_lo);
+        let last = GuestMem::page_of(self.stack_top.wrapping_sub(1));
+        for p in first..=last {
+            mem.map_zero(p);
+        }
+    }
+}
+
+fn map_segment(mem: &mut GuestMem, base: u32, bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    let first = GuestMem::page_of(base);
+    let last = GuestMem::page_of(base + bytes.len() as u32 - 1);
+    for p in first..=last {
+        mem.map_zero(p);
+    }
+    mem.write(base, bytes).expect("segment pages were just mapped");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Gpr;
+
+    #[test]
+    fn map_into_covers_segments() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Eax, 1);
+        a.halt();
+        let p = a.into_program().with_data(vec![1, 2, 3]);
+        let mut mem = GuestMem::new();
+        p.map_into(&mut mem);
+        assert!(mem.is_mapped(p.code_base));
+        assert!(mem.is_mapped(p.data_base));
+        assert!(mem.is_mapped(p.stack_top - 4));
+        assert_eq!(mem.read_u8(p.data_base + 2).unwrap(), 3);
+        assert_eq!(p.static_insn_count(), 2);
+    }
+}

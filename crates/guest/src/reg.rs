@@ -1,0 +1,488 @@
+//! Registers, flags, condition codes, addressing modes and operand widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A guest general-purpose register.
+///
+/// The eight registers keep their x86 names; `Esp` is the stack pointer
+/// used implicitly by `push`/`pop`/`call`/`ret`, `Esi`/`Edi`/`Ecx` are used
+/// implicitly by the string instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Gpr {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl Gpr {
+    /// All registers in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// The register's 3-bit encoding index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes a 3-bit index back into a register.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Gpr {
+        Self::ALL[idx]
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Gpr::Eax => "eax",
+            Gpr::Ecx => "ecx",
+            Gpr::Edx => "edx",
+            Gpr::Ebx => "ebx",
+            Gpr::Esp => "esp",
+            Gpr::Ebp => "ebp",
+            Gpr::Esi => "esi",
+            Gpr::Edi => "edi",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A guest floating-point register (`f64`-valued).
+///
+/// Unlike real x87 these are directly addressed rather than a stack; this is
+/// the same simplification SSE2 made and it does not change any behaviour
+/// the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fpr(pub u8);
+
+impl Fpr {
+    /// Number of architectural FP registers.
+    pub const COUNT: u8 = 8;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn new(idx: u8) -> Fpr {
+        assert!(idx < Self::COUNT, "FP register index out of range: {idx}");
+        Fpr(idx)
+    }
+
+    /// The register's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The guest flags register.
+///
+/// GISA keeps the five x86 status flags that user code can observe through
+/// conditional instructions. Every flag-writing instruction defines all of
+/// its output flags deterministically (GISA has no "undefined" flag states,
+/// so translated code can be validated bit-exactly against the interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Carry flag: unsigned overflow / borrow.
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag: bit 31 of the result.
+    pub sf: bool,
+    /// Overflow flag: signed overflow.
+    pub of: bool,
+    /// Parity flag: even parity of the least-significant result byte.
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Sets ZF, SF and PF from an ALU result (the "result flags").
+    #[inline]
+    pub fn set_result(&mut self, r: u32) {
+        self.zf = r == 0;
+        self.sf = (r as i32) < 0;
+        self.pf = (r as u8).count_ones() % 2 == 0;
+    }
+
+    /// Packs the flags into a 5-bit integer (CF|ZF|SF|OF|PF from bit 0).
+    #[inline]
+    pub fn to_bits(self) -> u8 {
+        (self.cf as u8)
+            | (self.zf as u8) << 1
+            | (self.sf as u8) << 2
+            | (self.of as u8) << 3
+            | (self.pf as u8) << 4
+    }
+
+    /// Unpacks flags produced by [`Flags::to_bits`].
+    #[inline]
+    pub fn from_bits(bits: u8) -> Flags {
+        Flags {
+            cf: bits & 1 != 0,
+            zf: bits & 2 != 0,
+            sf: bits & 4 != 0,
+            of: bits & 8 != 0,
+            pf: bits & 16 != 0,
+        }
+    }
+
+    /// Evaluates an x86 condition code against these flags.
+    #[inline]
+    pub fn cond(&self, cc: Cond) -> bool {
+        match cc {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !(self.cf || self.zf),
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::P => self.pf,
+            Cond::Np => !self.pf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || (self.sf != self.of),
+            Cond::G => !self.zf && (self.sf == self.of),
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}]",
+            if self.cf { 'C' } else { '-' },
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.of { 'O' } else { '-' },
+            if self.pf { 'P' } else { '-' },
+        )
+    }
+}
+
+/// x86 condition codes, used by `Jcc`, `SETcc` and `CMOVcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0,
+    /// Not overflow.
+    No = 1,
+    /// Below (unsigned <).
+    B = 2,
+    /// Above or equal (unsigned >=).
+    Ae = 3,
+    /// Equal.
+    E = 4,
+    /// Not equal.
+    Ne = 5,
+    /// Below or equal (unsigned <=).
+    Be = 6,
+    /// Above (unsigned >).
+    A = 7,
+    /// Sign (negative).
+    S = 8,
+    /// Not sign.
+    Ns = 9,
+    /// Parity even.
+    P = 10,
+    /// Parity odd.
+    Np = 11,
+    /// Less (signed <).
+    L = 12,
+    /// Greater or equal (signed >=).
+    Ge = 13,
+    /// Less or equal (signed <=).
+    Le = 14,
+    /// Greater (signed >).
+    G = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// 4-bit encoding of the condition.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes a 4-bit condition index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 16`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Cond {
+        Self::ALL[idx]
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    #[inline]
+    pub fn negate(self) -> Cond {
+        // Conditions come in adjacent true/false pairs.
+        Cond::from_index(self.index() ^ 1)
+    }
+
+    /// The set of flags this condition reads, as a [`Flags::to_bits`]-style
+    /// mask. Used by the translator's lazy flag materialization.
+    pub fn flags_read(self) -> u8 {
+        let (cf, zf, sf, of, pf) = match self {
+            Cond::O | Cond::No => (false, false, false, true, false),
+            Cond::B | Cond::Ae => (true, false, false, false, false),
+            Cond::E | Cond::Ne => (false, true, false, false, false),
+            Cond::Be | Cond::A => (true, true, false, false, false),
+            Cond::S | Cond::Ns => (false, false, true, false, false),
+            Cond::P | Cond::Np => (false, false, false, false, true),
+            Cond::L | Cond::Ge => (false, false, true, true, false),
+            Cond::Le | Cond::G => (false, true, true, true, false),
+        };
+        (cf as u8) | (zf as u8) << 1 | (sf as u8) << 2 | (of as u8) << 3 | (pf as u8) << 4
+    }
+}
+
+/// Scale factor of an indexed addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Scale {
+    S1 = 0,
+    S2 = 1,
+    S4 = 2,
+    S8 = 3,
+}
+
+impl Scale {
+    /// The multiplication factor (1, 2, 4 or 8).
+    #[inline]
+    pub fn factor(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// log2 of the factor.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes a 2-bit scale field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Scale {
+        [Scale::S1, Scale::S2, Scale::S4, Scale::S8][idx]
+    }
+}
+
+/// An x86-style memory operand: `[base + index * scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Optional base register.
+    pub base: Option<Gpr>,
+    /// Optional index register.
+    pub index: Option<Gpr>,
+    /// Scale applied to the index register.
+    pub scale: Scale,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Addr {
+    /// An absolute address (displacement only).
+    pub fn abs(disp: u32) -> Addr {
+        Addr { base: None, index: None, scale: Scale::S1, disp: disp as i32 }
+    }
+
+    /// `[base]`.
+    pub fn base(base: Gpr) -> Addr {
+        Addr { base: Some(base), index: None, scale: Scale::S1, disp: 0 }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: Gpr, disp: i32) -> Addr {
+        Addr { base: Some(base), index: None, scale: Scale::S1, disp }
+    }
+
+    /// `[base + index * scale]`.
+    pub fn base_index(base: Gpr, index: Gpr, scale: Scale) -> Addr {
+        Addr { base: Some(base), index: Some(index), scale, disp: 0 }
+    }
+
+    /// `[base + index * scale + disp]`.
+    pub fn full(base: Gpr, index: Gpr, scale: Scale, disp: i32) -> Addr {
+        Addr { base: Some(base), index: Some(index), scale, disp }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale.factor())?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if !first && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{:#x}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Operand width for memory accesses and string operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Width {
+    /// 8-bit.
+    B = 0,
+    /// 16-bit.
+    W = 1,
+    /// 32-bit.
+    D = 2,
+}
+
+impl Width {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Decodes a 2-bit width field.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 3`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Width {
+        [Width::B, Width::W, Width::D][idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_index_roundtrip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_opposite() {
+        let mut fl = Flags::default();
+        fl.set_result(0); // ZF set
+        for cc in Cond::ALL {
+            assert_eq!(cc.negate().negate(), cc);
+            assert_ne!(fl.cond(cc), fl.cond(cc.negate()), "{cc:?}");
+        }
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn parity_matches_x86_definition() {
+        let mut fl = Flags::default();
+        fl.set_result(0x0000_0300); // low byte 0x00 -> even parity (0 ones)
+        assert!(fl.pf);
+        fl.set_result(0x1); // one bit -> odd
+        assert!(!fl.pf);
+        fl.set_result(0x3); // two bits -> even
+        assert!(fl.pf);
+    }
+
+    #[test]
+    fn cond_eval_signed_unsigned() {
+        // 3 - 5: CF (borrow), SF, no OF.
+        let mut fl = Flags::default();
+        let a: u32 = 3;
+        let b: u32 = 5;
+        let r = a.wrapping_sub(b);
+        fl.cf = a < b;
+        fl.of = ((a ^ b) & (a ^ r)) >> 31 != 0;
+        fl.set_result(r);
+        assert!(fl.cond(Cond::B));
+        assert!(fl.cond(Cond::L));
+        assert!(!fl.cond(Cond::E));
+        assert!(fl.cond(Cond::Le));
+        assert!(!fl.cond(Cond::G));
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::S1.factor(), 1);
+        assert_eq!(Scale::S8.factor(), 8);
+        assert_eq!(Width::D.bytes(), 4);
+    }
+
+    #[test]
+    fn addr_display_covers_forms() {
+        let a = Addr::full(Gpr::Ebx, Gpr::Ecx, Scale::S4, -8);
+        let s = format!("{a}");
+        assert!(s.contains("ebx") && s.contains("ecx*4"));
+        assert_eq!(format!("{}", Addr::abs(0x100)), "[0x100]");
+    }
+}

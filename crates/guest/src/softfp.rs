@@ -1,0 +1,152 @@
+//! Architectural definition of the guest's software-emulated
+//! transcendentals.
+//!
+//! Real x86 `fsin`/`fcos` have no direct host equivalent on a simple RISC
+//! core, so DARCO's software layer emulates them — the paper names this as
+//! the reason Physicsbench's emulation cost is high (Fig. 5). To let the
+//! interpreter and the binary-translated host code produce **bit-identical**
+//! results, GISA defines `sin`/`cos` *architecturally* as the fixed sequence
+//! of IEEE-754 double operations below. The host runtime routine in
+//! `darco-host::runtime` evaluates exactly the same sequence, so
+//! co-designed state validation can compare FP registers exactly.
+//!
+//! Accuracy is that of a degree-15 Taylor expansion after range reduction to
+//! `[-π, π)` (absolute error < 2e-6), which is ample for the synthetic
+//! physics workloads.
+
+/// 1/(2π), round-to-nearest double.
+pub const INV_2PI: f64 = 0.159_154_943_091_895_35;
+/// 2π, round-to-nearest double.
+pub const TWO_PI: f64 = 6.283_185_307_179_586;
+/// Arguments with magnitude above this are architecturally NaN.
+pub const DOMAIN_LIMIT: f64 = 1_073_741_824.0; // 2^30
+
+/// Number of host instructions a call to a soft-FP runtime routine
+/// executes, including call/return overhead. Kept in sync with the
+/// hand-written HISA routines by a test in `darco-host`.
+pub const SOFT_FP_HOST_COST: u64 = 42;
+
+/// Range-reduces `x` to `r ∈ [-π, π)` with `x = r + k·2π`.
+///
+/// Uses truncation plus a floor correction, matching the exact operation
+/// sequence of the host routine (which only has a truncating f64→i32
+/// conversion).
+#[inline]
+pub fn range_reduce(x: f64) -> f64 {
+    let t = x * INV_2PI;
+    let kt = t + 0.5;
+    let mut k = kt as i32 as f64; // truncating conversion
+    if k > kt {
+        k -= 1.0; // floor correction for negative kt
+    }
+    x - k * TWO_PI
+}
+
+/// Architectural `sin`.
+///
+/// Non-finite or out-of-domain arguments yield NaN.
+pub fn sin_spec(x: f64) -> f64 {
+    if !x.is_finite() || x.abs() > DOMAIN_LIMIT {
+        return f64::NAN;
+    }
+    let r = range_reduce(x);
+    sin_poly(r)
+}
+
+/// Architectural `cos`.
+///
+/// Non-finite or out-of-domain arguments yield NaN.
+pub fn cos_spec(x: f64) -> f64 {
+    if !x.is_finite() || x.abs() > DOMAIN_LIMIT {
+        return f64::NAN;
+    }
+    let r = range_reduce(x);
+    cos_poly(r)
+}
+
+/// Degree-15 Taylor polynomial for sin on the reduced range, evaluated in
+/// Horner form. The operation order is part of the architecture.
+#[inline]
+pub fn sin_poly(r: f64) -> f64 {
+    const S3: f64 = -1.0 / 6.0;
+    const S5: f64 = 1.0 / 120.0;
+    const S7: f64 = -1.0 / 5040.0;
+    const S9: f64 = 1.0 / 362_880.0;
+    const S11: f64 = -1.0 / 39_916_800.0;
+    const S13: f64 = 1.0 / 6_227_020_800.0;
+    const S15: f64 = -1.0 / 1_307_674_368_000.0;
+    let r2 = r * r;
+    let mut p = S15;
+    p = p * r2 + S13;
+    p = p * r2 + S11;
+    p = p * r2 + S9;
+    p = p * r2 + S7;
+    p = p * r2 + S5;
+    p = p * r2 + S3;
+    r + (r * r2) * p
+}
+
+/// Degree-16 Taylor polynomial for cos on the reduced range (Horner form).
+#[inline]
+pub fn cos_poly(r: f64) -> f64 {
+    const C2: f64 = -0.5;
+    const C4: f64 = 1.0 / 24.0;
+    const C6: f64 = -1.0 / 720.0;
+    const C8: f64 = 1.0 / 40_320.0;
+    const C10: f64 = -1.0 / 3_628_800.0;
+    const C12: f64 = 1.0 / 479_001_600.0;
+    const C14: f64 = -1.0 / 87_178_291_200.0;
+    const C16: f64 = 1.0 / 20_922_789_888_000.0;
+    let r2 = r * r;
+    let mut p = C16;
+    p = p * r2 + C14;
+    p = p * r2 + C12;
+    p = p * r2 + C10;
+    p = p * r2 + C8;
+    p = p * r2 + C6;
+    p = p * r2 + C4;
+    p = p * r2 + C2;
+    1.0 + r2 * p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_to_libm_on_reduced_range() {
+        for i in -314..=314 {
+            let x = i as f64 / 100.0;
+            assert!((sin_spec(x) - x.sin()).abs() < 3e-6, "sin({x})");
+            assert!((cos_spec(x) - x.cos()).abs() < 3e-6, "cos({x})");
+        }
+    }
+
+    #[test]
+    fn range_reduction_keeps_identity() {
+        for i in 0..1000 {
+            let x = (i as f64) * 7.77 - 3000.0;
+            let r = range_reduce(x);
+            assert!((-3.1416..3.1416).contains(&r), "reduce({x}) = {r}");
+            assert!((sin_spec(x) - x.sin()).abs() < 1e-5, "sin({x})");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_nan() {
+        assert!(sin_spec(f64::NAN).is_nan());
+        assert!(sin_spec(f64::INFINITY).is_nan());
+        assert!(cos_spec(2.0e9).is_nan());
+        assert!(cos_spec(-2.0e9).is_nan());
+        // Just inside the domain is fine.
+        assert!(!sin_spec(DOMAIN_LIMIT).is_nan());
+    }
+
+    #[test]
+    fn determinism() {
+        // The spec must be a pure function of the bit pattern.
+        let x = 123.456_789;
+        assert_eq!(sin_spec(x).to_bits(), sin_spec(x).to_bits());
+        assert_eq!(cos_spec(x).to_bits(), cos_spec(x).to_bits());
+    }
+}

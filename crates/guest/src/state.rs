@@ -1,0 +1,163 @@
+//! Architectural guest state.
+
+use crate::mem::GuestMem;
+use crate::program::GuestProgram;
+use crate::reg::{Flags, Fpr, Gpr};
+use serde::{Deserialize, Serialize};
+
+/// The complete architectural state of the guest: registers, flags,
+/// instruction pointer and memory.
+///
+/// Both DARCO components carry one of these. The authoritative x86
+/// component's copy is ground truth; the co-designed component's copy is
+/// the *emulated* state that translation/optimization must keep equal to it
+/// at every synchronization point.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GuestState {
+    gprs: [u32; 8],
+    fprs: [f64; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Status flags.
+    pub flags: Flags,
+    /// Paged memory.
+    pub mem: GuestMem,
+}
+
+impl GuestState {
+    /// Creates a zeroed state with empty memory.
+    pub fn new() -> GuestState {
+        GuestState::default()
+    }
+
+    /// Boots a program with its full image mapped (authoritative component).
+    pub fn boot(program: &GuestProgram) -> GuestState {
+        let mut st = GuestState::boot_regs_only(program);
+        program.map_into(&mut st.mem);
+        st
+    }
+
+    /// Boots only the register state (co-designed component): memory starts
+    /// empty and pages arrive through data-request synchronization.
+    pub fn boot_regs_only(program: &GuestProgram) -> GuestState {
+        let mut st = GuestState::new();
+        st.eip = program.entry;
+        st.set_gpr(Gpr::Esp, program.stack_top);
+        st
+    }
+
+    /// Reads a general-purpose register.
+    #[inline]
+    pub fn gpr(&self, r: Gpr) -> u32 {
+        self.gprs[r.index()]
+    }
+
+    /// Writes a general-purpose register.
+    #[inline]
+    pub fn set_gpr(&mut self, r: Gpr, v: u32) {
+        self.gprs[r.index()] = v;
+    }
+
+    /// Reads an FP register.
+    #[inline]
+    pub fn fpr(&self, r: Fpr) -> f64 {
+        self.fprs[r.index()]
+    }
+
+    /// Writes an FP register.
+    #[inline]
+    pub fn set_fpr(&mut self, r: Fpr, v: f64) {
+        self.fprs[r.index()] = v;
+    }
+
+    /// All GPR values in encoding order.
+    pub fn gprs(&self) -> [u32; 8] {
+        self.gprs
+    }
+
+    /// All FPR values in encoding order.
+    pub fn fprs(&self) -> [f64; 8] {
+        self.fprs
+    }
+
+    /// Copies the register file (GPRs, FPRs, EIP, flags) from another state,
+    /// leaving memory untouched. This is the "initial x86 architectural
+    /// state" message of the paper's Initialization phase.
+    pub fn copy_regs_from(&mut self, other: &GuestState) {
+        self.gprs = other.gprs;
+        self.fprs = other.fprs;
+        self.eip = other.eip;
+        self.flags = other.flags;
+    }
+
+    /// Compares the register state against another, returning a description
+    /// of the first mismatch.
+    ///
+    /// `check_flags` controls whether the flags register participates: with
+    /// lazy flag materialization the co-designed component only guarantees
+    /// flags that a consumer observed (see `DESIGN.md` §4), matching the
+    /// paper's "write the flag register only if consumed" optimization.
+    pub fn first_reg_mismatch(&self, other: &GuestState, check_flags: bool) -> Option<String> {
+        for r in Gpr::ALL {
+            if self.gpr(r) != other.gpr(r) {
+                return Some(format!(
+                    "{r}: {:#010x} != {:#010x}",
+                    self.gpr(r),
+                    other.gpr(r)
+                ));
+            }
+        }
+        for i in 0..8 {
+            let (a, b) = (self.fprs[i], other.fprs[i]);
+            if a.to_bits() != b.to_bits() {
+                return Some(format!("f{i}: {a:?} ({:#x}) != {b:?} ({:#x})", a.to_bits(), b.to_bits()));
+            }
+        }
+        if self.eip != other.eip {
+            return Some(format!("eip: {:#010x} != {:#010x}", self.eip, other.eip));
+        }
+        if check_flags && self.flags != other.flags {
+            return Some(format!("flags: {} != {}", self.flags, other.flags));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::program::DEFAULT_CODE_BASE;
+
+    #[test]
+    fn boot_sets_entry_and_stack() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.halt();
+        let p = a.into_program();
+        let st = GuestState::boot(&p);
+        assert_eq!(st.eip, p.entry);
+        assert_eq!(st.gpr(Gpr::Esp), p.stack_top);
+        assert!(st.mem.is_mapped(p.entry));
+
+        let st2 = GuestState::boot_regs_only(&p);
+        assert!(!st2.mem.is_mapped(p.entry));
+        assert_eq!(st2.eip, p.entry);
+    }
+
+    #[test]
+    fn mismatch_reporting() {
+        let mut a = GuestState::new();
+        let mut b = GuestState::new();
+        assert_eq!(a.first_reg_mismatch(&b, true), None);
+        b.set_gpr(Gpr::Ebx, 7);
+        assert!(a.first_reg_mismatch(&b, true).unwrap().contains("ebx"));
+        b.set_gpr(Gpr::Ebx, 0);
+        b.flags.cf = true;
+        assert!(a.first_reg_mismatch(&b, true).unwrap().contains("flags"));
+        assert_eq!(a.first_reg_mismatch(&b, false), None);
+        // NaN payloads are compared bitwise, not with ==.
+        a.set_fpr(Fpr::new(0), f64::NAN);
+        b.set_fpr(Fpr::new(0), f64::NAN);
+        assert_eq!(a.first_reg_mismatch(&b, false), None);
+    }
+}

@@ -1,0 +1,441 @@
+//! Fixed-width 32-bit encoding of host instructions.
+//!
+//! Plain instructions occupy one word. Speculative memory operations are
+//! two-word molecules (the second word carries the original-program-order
+//! sequence number used by alias detection), and `fli` is a three-word
+//! molecule carrying a 64-bit immediate. The software layer uses these
+//! encodings for code-cache size accounting; execution runs over the
+//! decoded form.
+
+use crate::insn::{FAluOp, FCmpOp, FUnOp2, HAluOp, HInsn};
+use crate::regs::{HFreg, HReg};
+use darco_guest::Width;
+use std::fmt;
+
+/// Error returned by [`decode_insn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HDecodeError {
+    /// Unknown major opcode.
+    BadOpcode(u8),
+    /// Invalid sub-opcode field.
+    BadSubOp,
+    /// A multi-word molecule was truncated.
+    Truncated,
+}
+
+impl fmt::Display for HDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HDecodeError::BadOpcode(op) => write!(f, "invalid host opcode {op:#04x}"),
+            HDecodeError::BadSubOp => write!(f, "invalid host sub-opcode"),
+            HDecodeError::Truncated => write!(f, "truncated host molecule"),
+        }
+    }
+}
+
+impl std::error::Error for HDecodeError {}
+
+const OP_ALU: u8 = 0x01;
+const OP_LUI: u8 = 0x03;
+const OP_ORIZ: u8 = 0x04;
+const OP_LI16: u8 = 0x05;
+
+const OP_LB: u8 = 0x10;
+const OP_LBU: u8 = 0x11;
+const OP_LH: u8 = 0x12;
+const OP_LHU: u8 = 0x13;
+const OP_LW: u8 = 0x14;
+const OP_SB: u8 = 0x18;
+const OP_SH: u8 = 0x19;
+const OP_SW: u8 = 0x1a;
+const OP_LFD: u8 = 0x1c;
+const OP_SFD: u8 = 0x1d;
+/// ORed into a memory opcode for the speculative two-word form.
+const SPEC_BIT: u8 = 0x80;
+
+const OP_B: u8 = 0x30;
+const OP_BL: u8 = 0x31;
+const OP_BZ: u8 = 0x32;
+const OP_BNZ: u8 = 0x33;
+const OP_BLR: u8 = 0x34;
+
+const OP_FALU: u8 = 0x40;
+const OP_FUN: u8 = 0x41;
+const OP_FCMP: u8 = 0x42;
+const OP_CVTIF: u8 = 0x43;
+const OP_CVTFI: u8 = 0x44;
+const OP_FLI: u8 = 0x45;
+
+const OP_CHKPT: u8 = 0x50;
+const OP_COMMIT: u8 = 0x51;
+const OP_ASSERTZ: u8 = 0x52;
+const OP_ASSERTNZ: u8 = 0x53;
+const OP_TOLEXIT: u8 = 0x54;
+const OP_CHAINSLOT: u8 = 0x55;
+const OP_IBTCJMP: u8 = 0x56;
+const OP_GCNT: u8 = 0x57;
+const OP_GCNT_SB: u8 = 0x58;
+const OP_COUNT: u8 = 0x59;
+const OP_NOP: u8 = 0x5f;
+
+/// Base for the register-immediate ALU family (one major opcode per op).
+const OP_ALUI_BASE: u8 = 0x60;
+
+#[inline]
+fn word(op: u8, rest: u32) -> u32 {
+    (op as u32) << 24 | (rest & 0x00FF_FFFF)
+}
+
+#[inline]
+fn r3(a: HReg, b: HReg, c: HReg, sub: u8) -> u32 {
+    (a.0 as u32) << 18 | (b.0 as u32) << 12 | (c.0 as u32) << 6 | sub as u32
+}
+
+#[inline]
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Encodes one instruction, appending 1–3 words to `out`.
+///
+/// # Panics
+/// Panics if an immediate or offset exceeds its encodable range (the code
+/// generator legalizes these before emission).
+pub fn encode_insn(insn: &HInsn, out: &mut Vec<u32>) {
+    match *insn {
+        HInsn::Alu { op, rd, ra, rb } => out.push(word(OP_ALU, r3(rd, ra, rb, op as u8))),
+        HInsn::AluI { op, rd, ra, imm } => {
+            assert!((-2048..2048).contains(&imm), "AluI immediate out of i12 range: {imm}");
+            out.push(word(
+                OP_ALUI_BASE + op as u8,
+                (rd.0 as u32) << 18 | (ra.0 as u32) << 12 | (imm as u32 & 0xFFF),
+            ));
+        }
+        HInsn::Lui { rd, imm } => out.push(word(OP_LUI, (rd.0 as u32) << 18 | imm as u32)),
+        HInsn::OriZ { rd, imm } => out.push(word(OP_ORIZ, (rd.0 as u32) << 18 | imm as u32)),
+        HInsn::Li16 { rd, imm } => {
+            out.push(word(OP_LI16, (rd.0 as u32) << 18 | (imm as u16 as u32)))
+        }
+        HInsn::Load { rd, base, off, width, sign, spec, seq } => {
+            let op = match (width, sign) {
+                (Width::B, true) => OP_LB,
+                (Width::B, false) => OP_LBU,
+                (Width::W, true) => OP_LH,
+                (Width::W, false) => OP_LHU,
+                (Width::D, _) => OP_LW,
+            };
+            mem_word(op, rd.0, base, off, spec, seq, out);
+        }
+        HInsn::Store { rs, base, off, width, spec, seq } => {
+            let op = match width {
+                Width::B => OP_SB,
+                Width::W => OP_SH,
+                Width::D => OP_SW,
+            };
+            mem_word(op, rs.0, base, off, spec, seq, out);
+        }
+        HInsn::LoadF { fd, base, off, spec, seq } => {
+            mem_word(OP_LFD, fd.0, base, off, spec, seq, out)
+        }
+        HInsn::StoreF { fs, base, off, spec, seq } => {
+            mem_word(OP_SFD, fs.0, base, off, spec, seq, out)
+        }
+        HInsn::B { rel } => {
+            assert!((-(1 << 23)..(1 << 23)).contains(&rel), "B rel out of range");
+            out.push(word(OP_B, rel as u32));
+        }
+        HInsn::Bl { rel } => {
+            assert!((-(1 << 23)..(1 << 23)).contains(&rel), "Bl rel out of range");
+            out.push(word(OP_BL, rel as u32));
+        }
+        HInsn::Bz { rs, rel } => {
+            assert!((-(1 << 17)..(1 << 17)).contains(&rel), "Bz rel out of range");
+            out.push(word(OP_BZ, (rs.0 as u32) << 18 | (rel as u32 & 0x3FFFF)));
+        }
+        HInsn::Bnz { rs, rel } => {
+            assert!((-(1 << 17)..(1 << 17)).contains(&rel), "Bnz rel out of range");
+            out.push(word(OP_BNZ, (rs.0 as u32) << 18 | (rel as u32 & 0x3FFFF)));
+        }
+        HInsn::Blr => out.push(word(OP_BLR, 0)),
+        HInsn::FAlu { op, fd, fa, fb } => {
+            out.push(word(OP_FALU, r3(HReg(fd.0), HReg(fa.0), HReg(fb.0), op as u8)))
+        }
+        HInsn::FUn { op, fd, fa } => {
+            out.push(word(OP_FUN, (fd.0 as u32) << 18 | (fa.0 as u32) << 12 | op as u32))
+        }
+        HInsn::FCmp { op, rd, fa, fb } => {
+            out.push(word(OP_FCMP, r3(rd, HReg(fa.0), HReg(fb.0), op as u8)))
+        }
+        HInsn::CvtIF { fd, ra } => {
+            out.push(word(OP_CVTIF, (fd.0 as u32) << 18 | (ra.0 as u32) << 12))
+        }
+        HInsn::CvtFI { rd, fa } => {
+            out.push(word(OP_CVTFI, (rd.0 as u32) << 18 | (fa.0 as u32) << 12))
+        }
+        HInsn::FLoadImm { fd, bits } => {
+            out.push(word(OP_FLI, (fd.0 as u32) << 18));
+            out.push(bits as u32);
+            out.push((bits >> 32) as u32);
+        }
+        HInsn::Chkpt => out.push(word(OP_CHKPT, 0)),
+        HInsn::Commit => out.push(word(OP_COMMIT, 0)),
+        HInsn::AssertZ { rs } => out.push(word(OP_ASSERTZ, (rs.0 as u32) << 18)),
+        HInsn::AssertNz { rs } => out.push(word(OP_ASSERTNZ, (rs.0 as u32) << 18)),
+        HInsn::TolExit { id } => out.push(word(OP_TOLEXIT, id as u32)),
+        HInsn::ChainSlot { id } => out.push(word(OP_CHAINSLOT, id as u32)),
+        HInsn::IbtcJmp { rs, id } => {
+            out.push(word(OP_IBTCJMP, (rs.0 as u32) << 18 | id as u32))
+        }
+        HInsn::Gcnt { n, sb } => {
+            out.push(word(if sb { OP_GCNT_SB } else { OP_GCNT }, n as u32))
+        }
+        HInsn::Count { idx } => {
+            assert!(idx < (1 << 24), "profile counter index out of range");
+            out.push(word(OP_COUNT, idx));
+        }
+        HInsn::Nop => out.push(word(OP_NOP, 0)),
+    }
+}
+
+fn mem_word(op: u8, reg: u8, base: HReg, off: i32, spec: bool, seq: u16, out: &mut Vec<u32>) {
+    assert!((-2048..2048).contains(&off), "memory offset out of i12 range: {off}");
+    let op = if spec { op | SPEC_BIT } else { op };
+    out.push(word(op, (reg as u32) << 18 | (base.0 as u32) << 12 | (off as u32 & 0xFFF)));
+    if spec {
+        out.push(seq as u32);
+    }
+}
+
+/// Decodes one instruction from the front of `words`, returning it and the
+/// number of words consumed.
+///
+/// # Errors
+/// Returns [`HDecodeError`] on malformed input.
+pub fn decode_insn(words: &[u32]) -> Result<(HInsn, usize), HDecodeError> {
+    let w = *words.first().ok_or(HDecodeError::Truncated)?;
+    let op = (w >> 24) as u8;
+    let rd = HReg(((w >> 18) & 63) as u8);
+    let ra = HReg(((w >> 12) & 63) as u8);
+    let rb = HReg(((w >> 6) & 63) as u8);
+    let sub = (w & 63) as u8;
+    let imm16 = (w & 0xFFFF) as u16;
+
+    // Memory family (possibly with the spec bit set).
+    let base_op = op & !SPEC_BIT;
+    if (OP_LB..=OP_SFD).contains(&base_op) {
+        if let Some(mem) = decode_mem(op, words)? {
+            return Ok(mem);
+        }
+    }
+
+    let insn = match op {
+        OP_ALU => {
+            if sub as usize >= HAluOp::ALL.len() {
+                return Err(HDecodeError::BadSubOp);
+            }
+            HInsn::Alu { op: HAluOp::from_index(sub as usize), rd, ra, rb }
+        }
+        OP_LUI => HInsn::Lui { rd, imm: imm16 },
+        OP_ORIZ => HInsn::OriZ { rd, imm: imm16 },
+        OP_LI16 => HInsn::Li16 { rd, imm: imm16 as i16 },
+        OP_B => HInsn::B { rel: sext(w, 24) },
+        OP_BL => HInsn::Bl { rel: sext(w, 24) },
+        OP_BZ => HInsn::Bz { rs: rd, rel: sext(w, 18) },
+        OP_BNZ => HInsn::Bnz { rs: rd, rel: sext(w, 18) },
+        OP_BLR => HInsn::Blr,
+        OP_FALU => {
+            if sub as usize >= FAluOp::ALL.len() {
+                return Err(HDecodeError::BadSubOp);
+            }
+            HInsn::FAlu {
+                op: FAluOp::from_index(sub as usize),
+                fd: HFreg(rd.0),
+                fa: HFreg(ra.0),
+                fb: HFreg(rb.0),
+            }
+        }
+        OP_FUN => {
+            if sub as usize >= FUnOp2::ALL.len() {
+                return Err(HDecodeError::BadSubOp);
+            }
+            HInsn::FUn { op: FUnOp2::from_index(sub as usize), fd: HFreg(rd.0), fa: HFreg(ra.0) }
+        }
+        OP_FCMP => {
+            if sub as usize >= FCmpOp::ALL.len() {
+                return Err(HDecodeError::BadSubOp);
+            }
+            HInsn::FCmp {
+                op: FCmpOp::from_index(sub as usize),
+                rd,
+                fa: HFreg(ra.0),
+                fb: HFreg(rb.0),
+            }
+        }
+        OP_CVTIF => HInsn::CvtIF { fd: HFreg(rd.0), ra },
+        OP_CVTFI => HInsn::CvtFI { rd, fa: HFreg(ra.0) },
+        OP_FLI => {
+            if words.len() < 3 {
+                return Err(HDecodeError::Truncated);
+            }
+            let bits = words[1] as u64 | (words[2] as u64) << 32;
+            return Ok((HInsn::FLoadImm { fd: HFreg(rd.0), bits }, 3));
+        }
+        OP_CHKPT => HInsn::Chkpt,
+        OP_COMMIT => HInsn::Commit,
+        OP_ASSERTZ => HInsn::AssertZ { rs: rd },
+        OP_ASSERTNZ => HInsn::AssertNz { rs: rd },
+        OP_TOLEXIT => HInsn::TolExit { id: imm16 },
+        OP_CHAINSLOT => HInsn::ChainSlot { id: imm16 },
+        OP_IBTCJMP => HInsn::IbtcJmp { rs: rd, id: imm16 },
+        OP_GCNT => HInsn::Gcnt { n: imm16, sb: false },
+        OP_GCNT_SB => HInsn::Gcnt { n: imm16, sb: true },
+        OP_COUNT => HInsn::Count { idx: w & 0x00FF_FFFF },
+        OP_NOP => HInsn::Nop,
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + HAluOp::ALL.len() as u8).contains(&o) => HInsn::AluI {
+            op: HAluOp::from_index((o - OP_ALUI_BASE) as usize),
+            rd,
+            ra,
+            imm: sext(w, 12) as i16,
+        },
+        other => return Err(HDecodeError::BadOpcode(other)),
+    };
+    Ok((insn, 1))
+}
+
+fn decode_mem(op: u8, words: &[u32]) -> Result<Option<(HInsn, usize)>, HDecodeError> {
+    let w = words[0];
+    let spec = op & SPEC_BIT != 0;
+    let base_op = op & !SPEC_BIT;
+    let reg = ((w >> 18) & 63) as u8;
+    let base = HReg(((w >> 12) & 63) as u8);
+    let off = sext(w, 12);
+    let (seq, len) = if spec {
+        let s = *words.get(1).ok_or(HDecodeError::Truncated)?;
+        (s as u16, 2usize)
+    } else {
+        (0u16, 1usize)
+    };
+    let insn = match base_op {
+        OP_LB => HInsn::Load { rd: HReg(reg), base, off, width: Width::B, sign: true, spec, seq },
+        OP_LBU => HInsn::Load { rd: HReg(reg), base, off, width: Width::B, sign: false, spec, seq },
+        OP_LH => HInsn::Load { rd: HReg(reg), base, off, width: Width::W, sign: true, spec, seq },
+        OP_LHU => HInsn::Load { rd: HReg(reg), base, off, width: Width::W, sign: false, spec, seq },
+        OP_LW => HInsn::Load { rd: HReg(reg), base, off, width: Width::D, sign: false, spec, seq },
+        OP_SB => HInsn::Store { rs: HReg(reg), base, off, width: Width::B, spec, seq },
+        OP_SH => HInsn::Store { rs: HReg(reg), base, off, width: Width::W, spec, seq },
+        OP_SW => HInsn::Store { rs: HReg(reg), base, off, width: Width::D, spec, seq },
+        OP_LFD => HInsn::LoadF { fd: HFreg(reg), base, off, spec, seq },
+        OP_SFD => HInsn::StoreF { fs: HFreg(reg), base, off, spec, seq },
+        _ => return Ok(None),
+    };
+    Ok(Some((insn, len)))
+}
+
+/// Encodes a whole instruction sequence.
+pub fn encode_all(insns: &[HInsn]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(insns.len());
+    for i in insns {
+        encode_insn(i, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{HFreg, HReg};
+
+    fn roundtrip(insn: HInsn) {
+        let mut buf = Vec::new();
+        encode_insn(&insn, &mut buf);
+        assert_eq!(buf.len(), insn.encoded_words(), "{insn:?}");
+        let (got, len) = decode_insn(&buf).unwrap();
+        assert_eq!(got, insn);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn roundtrip_all_families() {
+        let r = HReg;
+        let f = HFreg;
+        let cases = vec![
+            HInsn::Alu { op: HAluOp::Parity, rd: r(63), ra: r(0), rb: r(31) },
+            HInsn::AluI { op: HAluOp::SltU, rd: r(16), ra: r(7), imm: -2048 },
+            HInsn::AluI { op: HAluOp::Add, rd: r(16), ra: r(7), imm: 2047 },
+            HInsn::Lui { rd: r(5), imm: 0xFFFF },
+            HInsn::OriZ { rd: r(5), imm: 0xABCD },
+            HInsn::Li16 { rd: r(20), imm: -1 },
+            HInsn::Load {
+                rd: r(1),
+                base: r(2),
+                off: -7,
+                width: Width::W,
+                sign: true,
+                spec: false,
+                seq: 0,
+            },
+            HInsn::Load {
+                rd: r(1),
+                base: r(2),
+                off: 2047,
+                width: Width::D,
+                sign: false,
+                spec: true,
+                seq: 999,
+            },
+            HInsn::Store { rs: r(3), base: r(4), off: -2048, width: Width::B, spec: true, seq: 7 },
+            HInsn::LoadF { fd: f(8), base: r(2), off: 16, spec: false, seq: 0 },
+            HInsn::StoreF { fs: f(55), base: r(62), off: -8, spec: true, seq: 12 },
+            HInsn::B { rel: -8_000_000 },
+            HInsn::Bl { rel: 8_388_607 },
+            HInsn::Bz { rs: r(16), rel: -131_072 },
+            HInsn::Bnz { rs: r(16), rel: 131_071 },
+            HInsn::Blr,
+            HInsn::FAlu { op: FAluOp::Max, fd: f(0), fa: f(62), fb: f(63) },
+            HInsn::FUn { op: FUnOp2::Sqrt, fd: f(1), fa: f(2) },
+            HInsn::FCmp { op: FCmpOp::Unord, rd: r(9), fa: f(3), fb: f(4) },
+            HInsn::CvtIF { fd: f(9), ra: r(1) },
+            HInsn::CvtFI { rd: r(1), fa: f(9) },
+            HInsn::FLoadImm { fd: f(57), bits: f64::to_bits(-0.12345) },
+            HInsn::Chkpt,
+            HInsn::Commit,
+            HInsn::AssertZ { rs: r(17) },
+            HInsn::AssertNz { rs: r(18) },
+            HInsn::TolExit { id: 65535 },
+            HInsn::ChainSlot { id: 1 },
+            HInsn::IbtcJmp { rs: r(16), id: 1234 },
+            HInsn::Nop,
+        ];
+        for c in cases {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        assert_eq!(decode_insn(&[0xFFu32 << 24]), Err(HDecodeError::BadOpcode(0xFF)));
+        assert_eq!(decode_insn(&[]), Err(HDecodeError::Truncated));
+        // FLI missing its immediate words.
+        let mut buf = Vec::new();
+        encode_insn(&HInsn::FLoadImm { fd: HFreg(0), bits: 1 }, &mut buf);
+        assert_eq!(decode_insn(&buf[..1]), Err(HDecodeError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of i12 range")]
+    fn rejects_oversized_offset() {
+        let mut buf = Vec::new();
+        encode_insn(
+            &HInsn::Store {
+                rs: HReg(0),
+                base: HReg(1),
+                off: 4096,
+                width: Width::D,
+                spec: false,
+                seq: 0,
+            },
+            &mut buf,
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Host-code assembler with label resolution.
+//!
+//! Branch `rel` fields are in instruction slots relative to the *next*
+//! instruction. [`HAsm`] lets the runtime routines and tests write host
+//! code with labels; the TOL code generator builds instruction vectors
+//! directly.
+
+use crate::insn::HInsn;
+use crate::regs::HReg;
+
+/// A label into host code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HLabel(usize);
+
+#[derive(Debug)]
+enum PendKind {
+    B,
+    Bl,
+    Bz(HReg),
+    Bnz(HReg),
+}
+
+/// Host assembler.
+#[derive(Debug, Default)]
+pub struct HAsm {
+    code: Vec<HInsn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, PendKind, HLabel)>,
+}
+
+impl HAsm {
+    /// Creates an empty assembler.
+    pub fn new() -> HAsm {
+        HAsm::default()
+    }
+
+    /// Current position (instruction index).
+    pub fn pos(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Emits an instruction.
+    pub fn push(&mut self, insn: HInsn) {
+        self.code.push(insn);
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> HLabel {
+        self.labels.push(None);
+        HLabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` here.
+    ///
+    /// # Panics
+    /// Panics if already bound.
+    pub fn bind(&mut self, label: HLabel) {
+        assert!(self.labels[label.0].is_none(), "host label bound twice");
+        self.labels[label.0] = Some(self.pos());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> HLabel {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// `b label`.
+    pub fn b_to(&mut self, label: HLabel) {
+        self.fixups.push((self.pos(), PendKind::B, label));
+        self.code.push(HInsn::B { rel: 0 });
+    }
+
+    /// `bl label`.
+    pub fn bl_to(&mut self, label: HLabel) {
+        self.fixups.push((self.pos(), PendKind::Bl, label));
+        self.code.push(HInsn::Bl { rel: 0 });
+    }
+
+    /// `bz rs, label`.
+    pub fn bz_to(&mut self, rs: HReg, label: HLabel) {
+        self.fixups.push((self.pos(), PendKind::Bz(rs), label));
+        self.code.push(HInsn::Bz { rs, rel: 0 });
+    }
+
+    /// `bnz rs, label`.
+    pub fn bnz_to(&mut self, rs: HReg, label: HLabel) {
+        self.fixups.push((self.pos(), PendKind::Bnz(rs), label));
+        self.code.push(HInsn::Bnz { rs, rel: 0 });
+    }
+
+    /// Resolves labels and returns the code.
+    ///
+    /// # Panics
+    /// Panics if a referenced label is unbound.
+    pub fn finish(mut self) -> Vec<HInsn> {
+        for (at, kind, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0].expect("branch to unbound host label");
+            let rel = target as i32 - (at as i32 + 1);
+            self.code[at] = match kind {
+                PendKind::B => HInsn::B { rel },
+                PendKind::Bl => HInsn::Bl { rel },
+                PendKind::Bz(rs) => HInsn::Bz { rs, rel },
+                PendKind::Bnz(rs) => HInsn::Bnz { rs, rel },
+            };
+        }
+        self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::HInsn;
+
+    #[test]
+    fn labels_resolve_to_slot_relative_offsets() {
+        let mut a = HAsm::new();
+        let top = a.here();
+        a.push(HInsn::Nop);
+        let end = a.label();
+        a.bz_to(HReg(1), end);
+        a.b_to(top);
+        a.bind(end);
+        a.push(HInsn::Blr);
+        let code = a.finish();
+        // bz at index 1 targets index 3 -> rel = 3 - 2 = 1
+        assert_eq!(code[1], HInsn::Bz { rs: HReg(1), rel: 1 });
+        // b at index 2 targets index 0 -> rel = 0 - 3 = -3
+        assert_eq!(code[2], HInsn::B { rel: -3 });
+    }
+}

@@ -1,0 +1,374 @@
+//! The host instruction set.
+
+use crate::regs::{HFreg, HReg};
+use darco_guest::Width;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Integer ALU operations (three-register or register-immediate).
+///
+/// Comparison operations produce 0/1 in the destination register — HISA has
+/// no flags register of its own; guest flags are explicit values, which is
+/// what enables the translator's lazy flag materialization. `Parity` is a
+/// guest-assist operation (co-designed hosts add such instructions to cut
+/// the cost of emulating guest flag semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum HAluOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    /// High 32 bits of the signed 64-bit product.
+    MulHS = 3,
+    /// Signed division (`i32::MIN / -1` wraps; division by zero traps).
+    Div = 4,
+    /// Signed remainder.
+    Rem = 5,
+    And = 6,
+    Or = 7,
+    Xor = 8,
+    /// Logical shift left (amount masked to 5 bits).
+    Shl = 9,
+    /// Logical shift right.
+    Shr = 10,
+    /// Arithmetic shift right.
+    Sar = 11,
+    /// Set if less-than, signed.
+    SltS = 12,
+    /// Set if less-than, unsigned.
+    SltU = 13,
+    /// Set if equal.
+    Seq = 14,
+    /// Set if not equal.
+    Sne = 15,
+    /// Set if less-or-equal, signed.
+    SleS = 16,
+    /// Set if less-or-equal, unsigned.
+    SleU = 17,
+    /// Even parity of the low byte of the first operand (guest assist).
+    Parity = 18,
+    /// Sign-extend low byte of the first operand (second ignored).
+    Sext8 = 19,
+    /// Sign-extend low halfword of the first operand.
+    Sext16 = 20,
+}
+
+impl HAluOp {
+    /// All operations in encoding order.
+    pub const ALL: [HAluOp; 21] = [
+        HAluOp::Add,
+        HAluOp::Sub,
+        HAluOp::Mul,
+        HAluOp::MulHS,
+        HAluOp::Div,
+        HAluOp::Rem,
+        HAluOp::And,
+        HAluOp::Or,
+        HAluOp::Xor,
+        HAluOp::Shl,
+        HAluOp::Shr,
+        HAluOp::Sar,
+        HAluOp::SltS,
+        HAluOp::SltU,
+        HAluOp::Seq,
+        HAluOp::Sne,
+        HAluOp::SleS,
+        HAluOp::SleU,
+        HAluOp::Parity,
+        HAluOp::Sext8,
+        HAluOp::Sext16,
+    ];
+
+    /// Decodes a 6-bit sub-opcode.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn from_index(idx: usize) -> HAluOp {
+        Self::ALL[idx]
+    }
+}
+
+/// FP binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FAluOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    /// GISA min: NaN in either operand yields NaN.
+    Min = 4,
+    /// GISA max.
+    Max = 5,
+}
+
+impl FAluOp {
+    pub const ALL: [FAluOp; 6] =
+        [FAluOp::Add, FAluOp::Sub, FAluOp::Mul, FAluOp::Div, FAluOp::Min, FAluOp::Max];
+
+    /// Decodes a sub-opcode.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn from_index(idx: usize) -> FAluOp {
+        Self::ALL[idx]
+    }
+}
+
+/// FP unary operations (hardware ones — `sin`/`cos` are runtime routines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FUnOp2 {
+    Mov = 0,
+    Sqrt = 1,
+    Abs = 2,
+    Neg = 3,
+}
+
+impl FUnOp2 {
+    pub const ALL: [FUnOp2; 4] = [FUnOp2::Mov, FUnOp2::Sqrt, FUnOp2::Abs, FUnOp2::Neg];
+
+    /// Decodes a sub-opcode.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn from_index(idx: usize) -> FUnOp2 {
+        Self::ALL[idx]
+    }
+}
+
+/// FP comparisons, producing 0/1 in an integer register. All are false on
+/// NaN except `Unord`, which is true iff either operand is NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FCmpOp {
+    Lt = 0,
+    Le = 1,
+    Eq = 2,
+    Unord = 3,
+}
+
+impl FCmpOp {
+    pub const ALL: [FCmpOp; 4] = [FCmpOp::Lt, FCmpOp::Le, FCmpOp::Eq, FCmpOp::Unord];
+
+    /// Decodes a sub-opcode.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn from_index(idx: usize) -> FCmpOp {
+        Self::ALL[idx]
+    }
+}
+
+/// A host instruction.
+///
+/// Branch offsets (`rel`) are in instruction slots relative to the *next*
+/// instruction. Memory operations address guest memory (`base + off`);
+/// `spec`-marked operations participate in alias detection with their
+/// original program-order sequence number `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HInsn {
+    /// Three-register ALU operation.
+    Alu { op: HAluOp, rd: HReg, ra: HReg, rb: HReg },
+    /// Register-immediate ALU operation (imm is sign-extended).
+    AluI { op: HAluOp, rd: HReg, ra: HReg, imm: i16 },
+    /// `rd = imm << 16`.
+    Lui { rd: HReg, imm: u16 },
+    /// `rd = rd | zext(imm)` (pairs with `Lui` to build 32-bit constants).
+    OriZ { rd: HReg, imm: u16 },
+    /// `rd = sext(imm)` (small-constant load; HISA has no zero register).
+    Li16 { rd: HReg, imm: i16 },
+    /// Integer load, zero/sign-extended to 32 bits.
+    Load { rd: HReg, base: HReg, off: i32, width: Width, sign: bool, spec: bool, seq: u16 },
+    /// Integer store of the low `width` bytes.
+    Store { rs: HReg, base: HReg, off: i32, width: Width, spec: bool, seq: u16 },
+    /// f64 load.
+    LoadF { fd: HFreg, base: HReg, off: i32, spec: bool, seq: u16 },
+    /// f64 store.
+    StoreF { fs: HFreg, base: HReg, off: i32, spec: bool, seq: u16 },
+    /// Unconditional relative branch.
+    B { rel: i32 },
+    /// Branch if `rs == 0`.
+    Bz { rs: HReg, rel: i32 },
+    /// Branch if `rs != 0`.
+    Bnz { rs: HReg, rel: i32 },
+    /// Call: `r63 = pc + 1`, branch.
+    Bl { rel: i32 },
+    /// Return through `r63`.
+    Blr,
+    /// FP binary operation.
+    FAlu { op: FAluOp, fd: HFreg, fa: HFreg, fb: HFreg },
+    /// FP unary operation.
+    FUn { op: FUnOp2, fd: HFreg, fa: HFreg },
+    /// FP compare into an integer register.
+    FCmp { op: FCmpOp, rd: HReg, fa: HFreg, fb: HFreg },
+    /// Convert i32 → f64.
+    CvtIF { fd: HFreg, ra: HReg },
+    /// Convert f64 → i32 (truncating, saturating, NaN → 0).
+    CvtFI { rd: HReg, fa: HFreg },
+    /// Load an f64 constant (three-word molecule).
+    FLoadImm { fd: HFreg, bits: u64 },
+    /// Commit the running transaction and open a new checkpoint.
+    Chkpt,
+    /// Commit the running transaction (stores drain to memory).
+    Commit,
+    /// Assert `rs == 0`; on failure roll back to the last checkpoint.
+    AssertZ { rs: HReg },
+    /// Assert `rs != 0`.
+    AssertNz { rs: HReg },
+    /// Leave the code cache with exit id `id` (meaning is per-translation
+    /// metadata kept by the software layer).
+    TolExit { id: u16 },
+    /// Patchable exit: behaves as `TolExit` until the chainer patches it
+    /// into a direct `B`.
+    ChainSlot { id: u16 },
+    /// Indirect-branch translation cache jump: looks up the guest address
+    /// in `rs`; on hit, continues at the cached host address, else exits
+    /// with `id`.
+    IbtcJmp { rs: HReg, id: u16 },
+    /// Guest retired-instruction counter update: adds `n` to the hardware
+    /// guest-instruction counter (attributed to superblock mode when `sb`).
+    /// Co-designed processors maintain this counter in hardware for
+    /// precise-state bookkeeping, so it costs no execution slot.
+    Gcnt { n: u16, sb: bool },
+    /// Software profiling counter: increments counter `idx` in the
+    /// software layer's profile table; when the counter reaches its trip
+    /// threshold, execution exits to the software layer
+    /// (hot-region promotion). Models the three-instruction
+    /// load/add/store counter sequence of the paper's BBM profiling.
+    Count { idx: u32 },
+    /// No operation.
+    Nop,
+}
+
+impl HInsn {
+    /// Dynamic cost in host instructions. `IbtcJmp` models the inline
+    /// software IBTC probe sequence of Scott et al. (paper reference
+    /// \[17\]: hash, compare, indirect jump), so it costs more than one
+    /// slot.
+    pub fn dyn_cost(&self) -> u64 {
+        match self {
+            HInsn::IbtcJmp { .. } => 6,
+            HInsn::Gcnt { .. } => 0,
+            HInsn::Count { .. } => 3,
+            _ => 1,
+        }
+    }
+
+    /// Number of 32-bit words in the encoded form.
+    pub fn encoded_words(&self) -> usize {
+        match self {
+            HInsn::FLoadImm { .. } => 3,
+            HInsn::Load { spec, .. }
+            | HInsn::Store { spec, .. }
+            | HInsn::LoadF { spec, .. }
+            | HInsn::StoreF { spec, .. } => {
+                if *spec {
+                    2
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for HInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use HInsn::*;
+        match self {
+            Alu { op, rd, ra, rb } => write!(f, "{op:?} {rd}, {ra}, {rb}"),
+            AluI { op, rd, ra, imm } => write!(f, "{op:?}i {rd}, {ra}, {imm}"),
+            Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            OriZ { rd, imm } => write!(f, "oriz {rd}, {imm:#x}"),
+            Li16 { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Load { rd, base, off, width, sign, spec, seq } => write!(
+                f,
+                "l{}{}{} {rd}, {off}({base}) #s{seq}",
+                width_ch(*width),
+                if *sign { "s" } else { "" },
+                if *spec { ".spec" } else { "" },
+            ),
+            Store { rs, base, off, width, spec, seq } => write!(
+                f,
+                "s{}{} {rs}, {off}({base}) #s{seq}",
+                width_ch(*width),
+                if *spec { ".spec" } else { "" },
+            ),
+            LoadF { fd, base, off, spec, seq } => write!(
+                f,
+                "lfd{} {fd}, {off}({base}) #s{seq}",
+                if *spec { ".spec" } else { "" }
+            ),
+            StoreF { fs, base, off, spec, seq } => write!(
+                f,
+                "sfd{} {fs}, {off}({base}) #s{seq}",
+                if *spec { ".spec" } else { "" }
+            ),
+            B { rel } => write!(f, "b {rel:+}"),
+            Bz { rs, rel } => write!(f, "bz {rs}, {rel:+}"),
+            Bnz { rs, rel } => write!(f, "bnz {rs}, {rel:+}"),
+            Bl { rel } => write!(f, "bl {rel:+}"),
+            Blr => write!(f, "blr"),
+            FAlu { op, fd, fa, fb } => write!(f, "f{op:?} {fd}, {fa}, {fb}"),
+            FUn { op, fd, fa } => write!(f, "f{op:?} {fd}, {fa}"),
+            FCmp { op, rd, fa, fb } => write!(f, "fcmp.{op:?} {rd}, {fa}, {fb}"),
+            CvtIF { fd, ra } => write!(f, "cvtif {fd}, {ra}"),
+            CvtFI { rd, fa } => write!(f, "cvtfi {rd}, {fa}"),
+            FLoadImm { fd, bits } => write!(f, "fli {fd}, {}", f64::from_bits(*bits)),
+            Chkpt => write!(f, "chkpt"),
+            Commit => write!(f, "commit"),
+            AssertZ { rs } => write!(f, "assert.z {rs}"),
+            AssertNz { rs } => write!(f, "assert.nz {rs}"),
+            TolExit { id } => write!(f, "tolexit #{id}"),
+            ChainSlot { id } => write!(f, "chainslot #{id}"),
+            IbtcJmp { rs, id } => write!(f, "ibtcjmp {rs} #{id}"),
+            Gcnt { n, sb } => write!(f, "gcnt {n}{}", if *sb { " sb" } else { "" }),
+            Count { idx } => write!(f, "count #{idx}"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+fn width_ch(w: Width) -> char {
+    match w {
+        Width::B => 'b',
+        Width::W => 'h',
+        Width::D => 'w',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_and_sizes() {
+        assert_eq!(HInsn::Nop.dyn_cost(), 1);
+        assert_eq!(HInsn::IbtcJmp { rs: HReg(3), id: 0 }.dyn_cost(), 6);
+        assert_eq!(HInsn::FLoadImm { fd: HFreg(1), bits: 0 }.encoded_words(), 3);
+        let spec_load = HInsn::Load {
+            rd: HReg(1),
+            base: HReg(2),
+            off: 0,
+            width: Width::D,
+            sign: false,
+            spec: true,
+            seq: 9,
+        };
+        assert_eq!(spec_load.encoded_words(), 2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let samples = [
+            HInsn::Alu { op: HAluOp::SltU, rd: HReg(16), ra: HReg(0), rb: HReg(1) },
+            HInsn::AssertNz { rs: HReg(20) },
+            HInsn::ChainSlot { id: 3 },
+        ];
+        for s in samples {
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Host register files and the register convention.
+//!
+//! The convention implements the paper's emulation-cost optimizations:
+//! guest architectural registers are *pinned* to fixed host registers so
+//! that translated code never loads/stores them around guest-register
+//! accesses, and the five guest status flags have dedicated host registers
+//! that are written only when a consumer exists (lazy flag
+//! materialization).
+//!
+//! | host regs  | use                                                  |
+//! |------------|------------------------------------------------------|
+//! | r0–r7      | guest GPRs (EAX…EDI), pinned                          |
+//! | r8–r12     | guest flags CF, ZF, SF, OF, PF (0/1 values)           |
+//! | r13–r14    | deferred-flag descriptor operands at translation exits |
+//! | r15        | deferred-flag descriptor *kind* (0 = flags in r8–r12)  |
+//! | r16–r55    | allocatable temporaries (linear-scan pool)            |
+//! | r56        | indirect-branch target at exits / runtime scratch    |
+//! | r57–r61    | runtime-routine scratch (never allocated)             |
+//! | r62        | spill-area base pointer                               |
+//! | r63        | link register (`bl` writes, `blr` reads)              |
+//! | f0–f7      | guest FP registers, pinned                            |
+//! | f8–f55     | allocatable FP temporaries                            |
+//! | f56        | runtime-routine argument/result                       |
+//! | f57–f63    | runtime-routine scratch                               |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of host integer registers.
+pub const NUM_IREGS: usize = 64;
+/// Number of host floating-point registers.
+pub const NUM_FREGS: usize = 64;
+
+/// A host integer register (`r0`–`r63`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HReg(pub u8);
+
+/// A host floating-point register (`f0`–`f63`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HFreg(pub u8);
+
+impl HReg {
+    /// Creates a register, checking the index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 64`.
+    #[inline]
+    pub fn new(idx: u8) -> HReg {
+        assert!((idx as usize) < NUM_IREGS, "host ireg out of range: {idx}");
+        HReg(idx)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl HFreg {
+    /// Creates a register, checking the index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 64`.
+    #[inline]
+    pub fn new(idx: u8) -> HFreg {
+        assert!((idx as usize) < NUM_FREGS, "host freg out of range: {idx}");
+        HFreg(idx)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for HFreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Host register pinned to a guest GPR (`r0`–`r7`).
+#[inline]
+pub fn guest_gpr(idx: usize) -> HReg {
+    debug_assert!(idx < 8);
+    HReg(idx as u8)
+}
+
+/// Host FP register pinned to a guest FPR (`f0`–`f7`).
+#[inline]
+pub fn guest_fpr(idx: usize) -> HFreg {
+    debug_assert!(idx < 8);
+    HFreg(idx as u8)
+}
+
+/// Flag registers CF, ZF, SF, OF, PF in order (`r8`–`r12`).
+pub const FLAG_REGS: [HReg; 5] = [HReg(8), HReg(9), HReg(10), HReg(11), HReg(12)];
+/// Carry flag register.
+pub const R_CF: HReg = HReg(8);
+/// Zero flag register.
+pub const R_ZF: HReg = HReg(9);
+/// Sign flag register.
+pub const R_SF: HReg = HReg(10);
+/// Overflow flag register.
+pub const R_OF: HReg = HReg(11);
+/// Parity flag register.
+pub const R_PF: HReg = HReg(12);
+/// First deferred-flag descriptor operand.
+pub const R_DEF_A: HReg = HReg(13);
+/// Second deferred-flag descriptor operand.
+pub const R_DEF_B: HReg = HReg(14);
+/// Deferred-flag descriptor kind (0 means "flags live in r8–r12").
+pub const R_DEF_KIND: HReg = HReg(15);
+/// Indirect-branch guest target at exit stubs (shared with runtime
+/// scratch; consumed immediately by `ibtcjmp`).
+pub const R_IND: HReg = HReg(56);
+/// First allocatable temporary.
+pub const R_TMP_FIRST: u8 = 16;
+/// Last allocatable temporary (inclusive).
+pub const R_TMP_LAST: u8 = 55;
+/// First runtime scratch register.
+pub const R_RT_FIRST: u8 = 56;
+/// Spill-area base pointer.
+pub const R_SPILL_BASE: HReg = HReg(62);
+/// Link register.
+pub const R_LINK: HReg = HReg(63);
+
+/// Runtime-routine FP argument/result register.
+pub const F_RT_ARG: HFreg = HFreg(56);
+/// First allocatable FP temporary.
+pub const F_TMP_FIRST: u8 = 8;
+/// Last allocatable FP temporary (inclusive).
+pub const F_TMP_LAST: u8 = 55;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convention_is_disjoint() {
+        // Pinned guest regs, flags, glue, temps, runtime scratch, spill and
+        // link must not overlap.
+        assert!(FLAG_REGS.iter().all(|r| r.index() >= 8 && r.index() <= 12));
+        assert!(R_TMP_FIRST > R_DEF_KIND.0);
+        assert_eq!(R_IND.0, R_RT_FIRST);
+        assert!(R_RT_FIRST > R_TMP_LAST);
+        assert!(R_SPILL_BASE.0 > 61 - 1);
+        assert_eq!(R_LINK.0, 63);
+        assert!(F_RT_ARG.0 > F_TMP_LAST);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hreg_range_checked() {
+        let _ = HReg::new(64);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", HReg(5)), "r5");
+        assert_eq!(format!("{}", HFreg(63)), "f63");
+    }
+}

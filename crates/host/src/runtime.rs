@@ -1,0 +1,201 @@
+//! Hand-written host runtime routines for software-emulated guest
+//! instructions.
+//!
+//! Guest `fsin`/`fcos` have no host functional unit (the paper: "these x86
+//! instructions are not directly mapped to the host instructions, however,
+//! they are emulated in software" — the reason Physicsbench's emulation
+//! cost is high). The translator emits a `bl` to these routines.
+//!
+//! Each routine evaluates **exactly** the operation sequence of the
+//! architectural spec in [`darco_guest::softfp`], so results are
+//! bit-identical to the interpreter's and state validation can compare FP
+//! registers exactly. A property test below verifies this on a large
+//! sample.
+//!
+//! Calling convention: argument and result in `f56`; clobbers `f57`–`f59`
+//! and `r56`–`r57`; returns through `r63`.
+
+use crate::hasm::HAsm;
+use crate::insn::{FAluOp, FCmpOp, FUnOp2, HInsn};
+use crate::regs::{HFreg, HReg};
+use darco_guest::softfp;
+
+/// The assembled runtime routines and their entry offsets (word indices
+/// relative to the start of the routine block).
+#[derive(Debug, Clone)]
+pub struct RuntimeRoutines {
+    /// The code block; the software layer copies it into the code cache.
+    pub code: Vec<HInsn>,
+    /// Entry offset of `sin`.
+    pub sin_entry: usize,
+    /// Entry offset of `cos`.
+    pub cos_entry: usize,
+}
+
+const FA: HFreg = HFreg(56); // argument/result
+const FT: HFreg = HFreg(57); // t, kt, r2
+const FK: HFreg = HFreg(58); // k, then polynomial accumulator
+const FS: HFreg = HFreg(59); // scratch constants
+const RT: HReg = HReg(56);
+const RU: HReg = HReg(57);
+
+/// Builds the runtime routine block.
+pub fn build_runtime() -> RuntimeRoutines {
+    let mut a = HAsm::new();
+    let sin_entry = a.pos();
+    emit_trig(&mut a, true);
+    let cos_entry = a.pos();
+    emit_trig(&mut a, false);
+    RuntimeRoutines { code: a.finish(), sin_entry, cos_entry }
+}
+
+/// Emits the body shared by sin and cos: domain check, range reduction,
+/// then the respective Horner polynomial — operation-for-operation the
+/// sequence of `softfp::{sin,cos}_spec`.
+fn emit_trig(a: &mut HAsm, sin: bool) {
+    let ok = a.label();
+    // Domain check: |x| <= LIMIT, false on NaN, catches +-inf too.
+    a.push(HInsn::FUn { op: FUnOp2::Abs, fd: FT, fa: FA });
+    a.push(HInsn::FLoadImm { fd: FS, bits: softfp::DOMAIN_LIMIT.to_bits() });
+    a.push(HInsn::FCmp { op: FCmpOp::Le, rd: RT, fa: FT, fb: FS });
+    a.bnz_to(RT, ok);
+    a.push(HInsn::FLoadImm { fd: FA, bits: f64::NAN.to_bits() });
+    a.push(HInsn::Blr);
+    a.bind(ok);
+
+    // t = x * INV_2PI
+    a.push(HInsn::FLoadImm { fd: FS, bits: softfp::INV_2PI.to_bits() });
+    a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FT, fa: FA, fb: FS });
+    // kt = t + 0.5
+    a.push(HInsn::FLoadImm { fd: FS, bits: 0.5f64.to_bits() });
+    a.push(HInsn::FAlu { op: FAluOp::Add, fd: FT, fa: FT, fb: FS });
+    // k = trunc(kt), floor-corrected
+    a.push(HInsn::CvtFI { rd: RT, fa: FT });
+    a.push(HInsn::CvtIF { fd: FK, ra: RT });
+    let nofix = a.label();
+    a.push(HInsn::FCmp { op: FCmpOp::Lt, rd: RU, fa: FT, fb: FK }); // kt < k ?
+    a.bz_to(RU, nofix);
+    a.push(HInsn::FLoadImm { fd: FS, bits: 1.0f64.to_bits() });
+    a.push(HInsn::FAlu { op: FAluOp::Sub, fd: FK, fa: FK, fb: FS });
+    a.bind(nofix);
+    // r = x - k * 2π   (result in FA)
+    a.push(HInsn::FLoadImm { fd: FS, bits: softfp::TWO_PI.to_bits() });
+    a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FK, fa: FK, fb: FS });
+    a.push(HInsn::FAlu { op: FAluOp::Sub, fd: FA, fa: FA, fb: FK });
+
+    // r2 in FT
+    a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FT, fa: FA, fb: FA });
+
+    if sin {
+        // Horner: p = S15; p = p*r2 + c ...
+        let coeffs: [f64; 7] = [
+            -1.0 / 1_307_674_368_000.0, // S15 (initial p)
+            1.0 / 6_227_020_800.0,      // S13
+            -1.0 / 39_916_800.0,        // S11
+            1.0 / 362_880.0,            // S9
+            -1.0 / 5040.0,              // S7
+            1.0 / 120.0,                // S5
+            -1.0 / 6.0,                 // S3
+        ];
+        a.push(HInsn::FLoadImm { fd: FK, bits: coeffs[0].to_bits() });
+        for c in &coeffs[1..] {
+            a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FK, fa: FK, fb: FT });
+            a.push(HInsn::FLoadImm { fd: FS, bits: c.to_bits() });
+            a.push(HInsn::FAlu { op: FAluOp::Add, fd: FK, fa: FK, fb: FS });
+        }
+        // result = r + (r * r2) * p
+        a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FS, fa: FA, fb: FT }); // r*r2
+        a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FK, fa: FS, fb: FK }); // (r*r2)*p
+        a.push(HInsn::FAlu { op: FAluOp::Add, fd: FA, fa: FA, fb: FK });
+    } else {
+        let coeffs: [f64; 8] = [
+            1.0 / 20_922_789_888_000.0, // C16 (initial p)
+            -1.0 / 87_178_291_200.0,    // C14
+            1.0 / 479_001_600.0,        // C12
+            -1.0 / 3_628_800.0,         // C10
+            1.0 / 40_320.0,             // C8
+            -1.0 / 720.0,               // C6
+            1.0 / 24.0,                 // C4
+            -0.5,                       // C2
+        ];
+        a.push(HInsn::FLoadImm { fd: FK, bits: coeffs[0].to_bits() });
+        for c in &coeffs[1..] {
+            a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FK, fa: FK, fb: FT });
+            a.push(HInsn::FLoadImm { fd: FS, bits: c.to_bits() });
+            a.push(HInsn::FAlu { op: FAluOp::Add, fd: FK, fa: FK, fb: FS });
+        }
+        // result = 1.0 + r2 * p
+        a.push(HInsn::FAlu { op: FAluOp::Mul, fd: FK, fa: FT, fb: FK }); // r2*p
+        a.push(HInsn::FLoadImm { fd: FS, bits: 1.0f64.to_bits() });
+        a.push(HInsn::FAlu { op: FAluOp::Add, fd: FA, fa: FS, fb: FK });
+    }
+    a.push(HInsn::Blr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::{ExitCause, HostEmulator, IbtcTable};
+    use crate::sink::NullSink;
+    use darco_guest::GuestMem;
+
+    fn call(entry_off: usize, x: f64) -> (f64, u64) {
+        let rt = build_runtime();
+        // Wrap the routine in a caller that bl's into it and exits.
+        let mut code = vec![HInsn::Chkpt, HInsn::Bl { rel: 1 }, HInsn::TolExit { id: 0 }];
+        let base = code.len();
+        code.extend(rt.code.iter().copied());
+        // Patch the bl to target the routine entry.
+        code[1] = HInsn::Bl { rel: (base + entry_off) as i32 - 2 };
+        let mut emu = HostEmulator::new();
+        emu.fregs[FA.index()] = x;
+        let mut mem = GuestMem::new();
+        let ibtc = IbtcTable::new();
+        let mut prof = crate::emu::ProfTable::new();
+        let info = emu.execute(&code, 0, &mut mem, &ibtc, &mut prof, u64::MAX, &mut NullSink);
+        assert_eq!(info.cause, ExitCause::Exit { id: 0 });
+        (emu.fregs[FA.index()], info.executed)
+    }
+
+    #[test]
+    fn sin_routine_is_bit_identical_to_spec() {
+        let rt = build_runtime();
+        for i in 0..500 {
+            let x = (i as f64) * 13.37 - 3000.0;
+            let (got, _) = call(rt.sin_entry, x);
+            let want = darco_guest::softfp::sin_spec(x);
+            assert_eq!(got.to_bits(), want.to_bits(), "sin({x})");
+        }
+    }
+
+    #[test]
+    fn cos_routine_is_bit_identical_to_spec() {
+        let rt = build_runtime();
+        for i in 0..500 {
+            let x = (i as f64) * 0.731 - 150.0;
+            let (got, _) = call(rt.cos_entry, x);
+            let want = darco_guest::softfp::cos_spec(x);
+            assert_eq!(got.to_bits(), want.to_bits(), "cos({x})");
+        }
+    }
+
+    #[test]
+    fn nan_and_domain_paths() {
+        let rt = build_runtime();
+        assert!(call(rt.sin_entry, f64::NAN).0.is_nan());
+        assert!(call(rt.sin_entry, f64::INFINITY).0.is_nan());
+        assert!(call(rt.cos_entry, 3.0e9).0.is_nan());
+    }
+
+    #[test]
+    fn cost_is_near_the_documented_constant() {
+        let rt = build_runtime();
+        let (_, cost) = call(rt.sin_entry, 1.0);
+        let cost = cost - 3; // subtract the wrapper's chkpt/bl/exit
+        let doc = darco_guest::softfp::SOFT_FP_HOST_COST;
+        assert!(
+            (cost as i64 - doc as i64).unsigned_abs() <= 8,
+            "sin cost {cost} deviates from documented {doc}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Retired-instruction event stream.
+//!
+//! DARCO's timing simulator "receives the dynamic instruction stream from
+//! the co-designed component" (§V-C). [`InsnSink`] is that interface: the
+//! host emulator (and the TOL-overhead synthesizer) push one
+//! [`RetireEvent`] per executed host instruction; the timing simulator in
+//! `darco-timing` implements the trait.
+
+/// Classified retired host instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Simple integer operation (1-cycle class).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// FP add/sub/compare/convert class.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// FP square root.
+    FpSqrt,
+    /// Memory load with its guest effective address.
+    Load { addr: u32, bytes: u8 },
+    /// Memory store with its guest effective address.
+    Store { addr: u32, bytes: u8 },
+    /// Control transfer. `cond` distinguishes conditional branches (which
+    /// train the direction predictor) from unconditional ones.
+    Branch { taken: bool, target: u64, cond: bool },
+    /// Anything else (checkpoint bookkeeping, immediate moves, ...).
+    Other,
+}
+
+/// Register operand in the unified timing namespace: `0–63` integer
+/// registers, `64–127` FP registers, `None` when absent.
+pub type RegId = Option<u8>;
+
+/// Encodes an FP register index into the unified namespace.
+#[inline]
+pub fn fp_reg(idx: u8) -> u8 {
+    64 + idx
+}
+
+/// One retired host instruction, with its register dependences (the
+/// timing simulator's scoreboard consumes these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetireEvent {
+    /// Host program counter, in code-cache word units.
+    pub host_pc: u64,
+    /// Instruction class.
+    pub kind: EventKind,
+    /// Destination register.
+    pub dst: RegId,
+    /// Source registers.
+    pub srcs: [RegId; 2],
+}
+
+impl RetireEvent {
+    /// An event with no register operands.
+    pub fn plain(host_pc: u64, kind: EventKind) -> RetireEvent {
+        RetireEvent { host_pc, kind, dst: None, srcs: [None, None] }
+    }
+}
+
+/// Consumer of the retired-instruction stream.
+pub trait InsnSink {
+    /// Receives one retired instruction.
+    fn retire(&mut self, ev: &RetireEvent);
+}
+
+/// Sink that discards everything (functional-only simulation).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl InsnSink for NullSink {
+    #[inline]
+    fn retire(&mut self, _ev: &RetireEvent) {}
+}
+
+/// Sink that counts events by class; useful in tests and quick stats.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// Total events seen.
+    pub total: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches (conditional and unconditional).
+    pub branches: u64,
+    /// Taken branches.
+    pub taken: u64,
+}
+
+impl InsnSink for CountingSink {
+    fn retire(&mut self, ev: &RetireEvent) {
+        self.total += 1;
+        match ev.kind {
+            EventKind::Load { .. } => self.loads += 1,
+            EventKind::Store { .. } => self.stores += 1,
+            EventKind::Branch { taken, .. } => {
+                self.branches += 1;
+                if taken {
+                    self.taken += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_classifies() {
+        let mut s = CountingSink::default();
+        s.retire(&RetireEvent::plain(0, EventKind::Load { addr: 4, bytes: 4 }));
+        s.retire(&RetireEvent::plain(
+            1,
+            EventKind::Branch { taken: true, target: 9, cond: true },
+        ));
+        s.retire(&RetireEvent::plain(2, EventKind::IntAlu));
+        assert_eq!((s.total, s.loads, s.branches, s.taken), (3, 1, 1, 1));
+    }
+
+    #[test]
+    fn fp_registers_map_above_integer_space() {
+        assert_eq!(fp_reg(0), 64);
+        assert_eq!(fp_reg(63), 127);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based round-trip tests for the host instruction encoding.
+
+use darco_guest::Width;
+use darco_host::{decode_insn, encode_insn, FAluOp, FCmpOp, FUnOp2, HAluOp, HFreg, HInsn, HReg};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = HReg> {
+    (0u8..64).prop_map(HReg)
+}
+
+fn freg() -> impl Strategy<Value = HFreg> {
+    (0u8..64).prop_map(HFreg)
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B), Just(Width::W), Just(Width::D)]
+}
+
+fn insn() -> impl Strategy<Value = HInsn> {
+    prop_oneof![
+        (0usize..HAluOp::ALL.len(), reg(), reg(), reg())
+            .prop_map(|(o, rd, ra, rb)| HInsn::Alu { op: HAluOp::from_index(o), rd, ra, rb }),
+        (0usize..HAluOp::ALL.len(), reg(), reg(), -2048i16..2048)
+            .prop_map(|(o, rd, ra, imm)| HInsn::AluI { op: HAluOp::from_index(o), rd, ra, imm }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| HInsn::Lui { rd, imm }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| HInsn::OriZ { rd, imm }),
+        (reg(), any::<i16>()).prop_map(|(rd, imm)| HInsn::Li16 { rd, imm }),
+        (reg(), reg(), -2048i32..2048, width(), any::<bool>(), any::<bool>(), any::<u16>())
+            .prop_map(|(rd, base, off, width, sign, spec, seq)| HInsn::Load {
+                rd,
+                base,
+                off,
+                width,
+                // 32-bit loads have no extension; the encoding canonicalizes
+                // their sign bit to false.
+                sign: sign && width != Width::D,
+                spec,
+                seq: if spec { seq } else { 0 },
+            }),
+        (reg(), reg(), -2048i32..2048, width(), any::<bool>(), any::<u16>())
+            .prop_map(|(rs, base, off, width, spec, seq)| HInsn::Store {
+                rs, base, off, width, spec, seq: if spec { seq } else { 0 },
+            }),
+        (freg(), reg(), -2048i32..2048, any::<bool>(), any::<u16>())
+            .prop_map(|(fd, base, off, spec, seq)| HInsn::LoadF {
+                fd, base, off, spec, seq: if spec { seq } else { 0 },
+            }),
+        (freg(), reg(), -2048i32..2048, any::<bool>(), any::<u16>())
+            .prop_map(|(fs, base, off, spec, seq)| HInsn::StoreF {
+                fs, base, off, spec, seq: if spec { seq } else { 0 },
+            }),
+        (-(1i32 << 23)..(1 << 23)).prop_map(|rel| HInsn::B { rel }),
+        (-(1i32 << 23)..(1 << 23)).prop_map(|rel| HInsn::Bl { rel }),
+        (reg(), -(1i32 << 17)..(1 << 17)).prop_map(|(rs, rel)| HInsn::Bz { rs, rel }),
+        (reg(), -(1i32 << 17)..(1 << 17)).prop_map(|(rs, rel)| HInsn::Bnz { rs, rel }),
+        Just(HInsn::Blr),
+        (0usize..FAluOp::ALL.len(), freg(), freg(), freg())
+            .prop_map(|(o, fd, fa, fb)| HInsn::FAlu { op: FAluOp::from_index(o), fd, fa, fb }),
+        (0usize..FUnOp2::ALL.len(), freg(), freg())
+            .prop_map(|(o, fd, fa)| HInsn::FUn { op: FUnOp2::from_index(o), fd, fa }),
+        (0usize..FCmpOp::ALL.len(), reg(), freg(), freg())
+            .prop_map(|(o, rd, fa, fb)| HInsn::FCmp { op: FCmpOp::from_index(o), rd, fa, fb }),
+        (freg(), reg()).prop_map(|(fd, ra)| HInsn::CvtIF { fd, ra }),
+        (reg(), freg()).prop_map(|(rd, fa)| HInsn::CvtFI { rd, fa }),
+        (freg(), any::<u64>()).prop_map(|(fd, bits)| HInsn::FLoadImm { fd, bits }),
+        Just(HInsn::Chkpt),
+        Just(HInsn::Commit),
+        reg().prop_map(|rs| HInsn::AssertZ { rs }),
+        reg().prop_map(|rs| HInsn::AssertNz { rs }),
+        any::<u16>().prop_map(|id| HInsn::TolExit { id }),
+        any::<u16>().prop_map(|id| HInsn::ChainSlot { id }),
+        (reg(), any::<u16>()).prop_map(|(rs, id)| HInsn::IbtcJmp { rs, id }),
+        (any::<u16>(), any::<bool>()).prop_map(|(n, sb)| HInsn::Gcnt { n, sb }),
+        (0u32..(1 << 24)).prop_map(|idx| HInsn::Count { idx }),
+        Just(HInsn::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2000, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrip(i in insn()) {
+        let mut buf = Vec::new();
+        encode_insn(&i, &mut buf);
+        prop_assert_eq!(buf.len(), i.encoded_words());
+        let (got, len) = decode_insn(&buf).unwrap();
+        prop_assert_eq!(got, i);
+        prop_assert_eq!(len, buf.len());
+    }
+
+    /// Sequences of instructions decode back as the same sequence
+    /// (the encoding is a prefix code over words).
+    #[test]
+    fn sequences_roundtrip(insns in prop::collection::vec(insn(), 1..40)) {
+        let words = darco_host::encode::encode_all(&insns);
+        let mut off = 0;
+        let mut got = Vec::new();
+        while off < words.len() {
+            let (i, len) = decode_insn(&words[off..]).unwrap();
+            got.push(i);
+            off += len;
+        }
+        prop_assert_eq!(got, insns);
+    }
+}

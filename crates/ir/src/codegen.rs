@@ -1,0 +1,1286 @@
+//! Host code generation: linear-scan register allocation over the
+//! scheduled region, immediate/address folding, exit stubs with parallel
+//! copies into the pinned guest registers, and speculation glue.
+//!
+//! The allocator implements the paper's emulation-cost optimizations:
+//! guest registers stay pinned (`r0`–`r7`, `f0`–`f7`), constants fold into
+//! immediate forms, and `base + constant` addresses fold into load/store
+//! offsets, so a typical guest ALU instruction costs a single host
+//! instruction.
+
+use crate::ddg::{addr_expr, def_map, AddrExpr};
+use crate::ir::{ExitKind, FlagsKind, IrOp, Region, VReg};
+use darco_host::regs::{
+    self, HFreg, HReg, F_TMP_FIRST, F_TMP_LAST, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND,
+    R_SPILL_BASE, R_TMP_FIRST, R_TMP_LAST,
+};
+use darco_host::{HAluOp, HInsn};
+use darco_guest::Width;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Base guest address of the translator-private spill area. The software
+/// layer maps this page in the emulated memory only; the authoritative
+/// component never maps it, so state comparison ignores it.
+pub const SPILL_AREA_BASE: u32 = 0xE000_0000;
+
+/// First sequence number used for spill traffic (above any guest memory
+/// operation's seq, so store-buffer forwarding serves reloads correctly).
+const SPILL_SEQ_BASE: u16 = 0x8000;
+
+/// Parameters the code generator needs from the software layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodegenCtx {
+    /// Host address (word index) where this translation will be installed.
+    pub base: usize,
+    /// Absolute host address of the `sin` runtime routine.
+    pub sin_addr: usize,
+    /// Absolute host address of the `cos` runtime routine.
+    pub cos_addr: usize,
+    /// Software profile counter bumped on entry (BBM execution counter;
+    /// trips to the software layer for superblock promotion).
+    pub entry_count_idx: Option<u32>,
+    /// Whether guest-counter updates attribute to superblock mode.
+    pub sb_mode: bool,
+}
+
+/// Per-exit metadata the software layer keeps with a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitMeta {
+    /// Where the exit goes.
+    pub kind: ExitKind,
+    /// Bit mask (CF|ZF<<1|SF<<2|OF<<3|PF<<4) of flags materialized into
+    /// the flag registers on this exit.
+    pub flags_valid: u8,
+    /// Deferred flag descriptor kind; operands are in `r13`/`r14`.
+    pub deferred: Option<FlagsKind>,
+    /// Offset (within the translation) of the patchable `chainslot`, for
+    /// [`ExitKind::Jump`] exits.
+    pub chain_slot: Option<usize>,
+}
+
+/// Code generation result.
+#[derive(Debug, Clone)]
+pub struct CodegenOut {
+    /// The host instructions (install at `ctx.base`).
+    pub code: Vec<HInsn>,
+    /// Exit metadata, indexed by exit id.
+    pub exits: Vec<ExitMeta>,
+    /// Encoded size in 32-bit words.
+    pub encoded_words: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Loc {
+    R(u8),
+    F(u8),
+    SpillInt(u16),
+    SpillFp(u16),
+    ConstI(u32),
+    ConstF(u64),
+}
+
+/// Generates host code for a (scheduled, validated) region.
+///
+/// # Panics
+/// Panics on malformed regions (use [`Region::validate`] first).
+pub fn generate(region: &Region, ctx: &CodegenCtx) -> CodegenOut {
+    Codegen::new(region, ctx).run()
+}
+
+struct Codegen<'a> {
+    region: &'a Region,
+    ctx: &'a CodegenCtx,
+    code: Vec<HInsn>,
+    loc: Vec<Option<Loc>>,
+    reg_holds: [Option<VReg>; 64],
+    freg_holds: [Option<VReg>; 64],
+    free_int: Vec<u8>,
+    free_fp: Vec<u8>,
+    last_use: Vec<usize>,
+    use_positions: HashMap<VReg, Vec<usize>>,
+    slot_of: HashMap<VReg, u16>,
+    next_slot: u16,
+    spill_seq: u16,
+    /// Per-instruction folded immediate for ALU ops.
+    imm_fold: HashMap<usize, i16>,
+    /// Per-instruction folded (base vreg, offset) for memory ops.
+    addr_fold: HashMap<usize, (VReg, i16)>,
+    /// Instructions whose emission is skipped (folded-away address adds).
+    skip: Vec<bool>,
+    final_exits: Vec<(usize, ExitMeta)>,
+    /// `(branch code index, exit id, location snapshot at the branch)`.
+    /// The snapshot is essential for correctness: a value the exit needs
+    /// may be moved (e.g. spilled) *after* the branch; on the exit path
+    /// those later moves never execute, so the stub must read each value
+    /// from where it lived when the branch was taken.
+    pending_branches: Vec<(usize, usize, HashMap<u32, Loc>)>,
+    stub_pos: Vec<Option<usize>>, // exit id -> stub start
+}
+
+const NEVER: usize = usize::MAX;
+
+impl<'a> Codegen<'a> {
+    fn new(region: &'a Region, ctx: &'a CodegenCtx) -> Codegen<'a> {
+        let n = region.insts.len();
+        let nv = region.vreg_count();
+        let mut cg = Codegen {
+            region,
+            ctx,
+            code: Vec::with_capacity(n * 2),
+            loc: vec![None; nv],
+            reg_holds: [None; 64],
+            freg_holds: [None; 64],
+            free_int: (R_TMP_FIRST..=R_TMP_LAST).rev().collect(),
+            free_fp: (F_TMP_FIRST..=F_TMP_LAST).rev().collect(),
+            last_use: vec![0; nv],
+            use_positions: HashMap::new(),
+            slot_of: HashMap::new(),
+            next_slot: 0,
+            spill_seq: SPILL_SEQ_BASE,
+            imm_fold: HashMap::new(),
+            addr_fold: HashMap::new(),
+            skip: vec![false; n],
+            final_exits: Vec::new(),
+            pending_branches: Vec::new(),
+            stub_pos: vec![None; region.exits.len()],
+        };
+        cg.bind_entries();
+        cg.analyze();
+        cg
+    }
+
+    fn bind_entries(&mut self) {
+        for (i, v) in self.region.entry.gprs.iter().enumerate() {
+            if let Some(v) = v {
+                self.loc[v.0 as usize] = Some(Loc::R(i as u8));
+            }
+        }
+        for (i, v) in self.region.entry.fprs.iter().enumerate() {
+            if let Some(v) = v {
+                self.loc[v.0 as usize] = Some(Loc::F(i as u8));
+            }
+        }
+        for (i, v) in self.region.entry.flags.iter().enumerate() {
+            if let Some(v) = v {
+                self.loc[v.0 as usize] = Some(Loc::R(regs::FLAG_REGS[i].0));
+            }
+        }
+    }
+
+    fn analyze(&mut self) {
+        let region = self.region;
+        let mut use_count: HashMap<VReg, usize> = HashMap::new();
+        for (p, inst) in region.insts.iter().enumerate() {
+            for s in &inst.srcs {
+                // Exit uses pin the live range open (NEVER); a later
+                // ordinary use must not shorten it again.
+                if self.last_use[s.0 as usize] != NEVER {
+                    self.last_use[s.0 as usize] = p;
+                }
+                self.use_positions.entry(*s).or_default().push(p);
+                *use_count.entry(*s).or_default() += 1;
+            }
+            if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+                for u in region.exits[exit].used_vregs() {
+                    self.last_use[u.0 as usize] = NEVER;
+                    *use_count.entry(u).or_default() += 1;
+                }
+            }
+        }
+
+        // Folding decisions.
+        let defs = def_map(region);
+        let const_def = |v: VReg| -> Option<u32> {
+            defs.get(&v).and_then(|&d| match region.insts[d].op {
+                IrOp::ConstI(c) => Some(c),
+                _ => None,
+            })
+        };
+        for (i, inst) in region.insts.iter().enumerate() {
+            match inst.op {
+                IrOp::Alu(op) if inst.srcs.len() == 2 => {
+                    if matches!(op, HAluOp::Div | HAluOp::Rem) {
+                        continue; // keep register form so zero check stays uniform
+                    }
+                    if let Some(c) = const_def(inst.srcs[1]) {
+                        if (-2048..2048).contains(&(c as i32)) {
+                            self.imm_fold.insert(i, c as i32 as i16);
+                        }
+                    }
+                }
+                IrOp::Load { .. } | IrOp::LoadF | IrOp::Store { .. } | IrOp::StoreF => {
+                    let addr = inst.srcs[0];
+                    if use_count.get(&addr) == Some(&1) && self.last_use[addr.0 as usize] != NEVER
+                    {
+                        if let Some(&d) = defs.get(&addr) {
+                            if let AddrExpr::Affine { root, off } = addr_expr(region, &defs, addr)
+                            {
+                                if root != addr && (-2048..2048).contains(&off) {
+                                    // Only fold single-level chains whose
+                                    // intermediate defs are all single-use
+                                    // adds/subs/copies ending at `root`.
+                                    if chain_foldable(region, &defs, &use_count, addr, root) {
+                                        self.addr_fold.insert(i, (root, off as i16));
+                                        mark_chain_skipped(
+                                            region, &defs, &mut self.skip, addr, root,
+                                        );
+                                        let _ = d;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Constants are lazy: never emitted at their def site.
+        for (i, inst) in region.insts.iter().enumerate() {
+            if let IrOp::ConstI(_) | IrOp::ConstF(_) = inst.op {
+                self.skip[i] = true;
+            }
+        }
+        // Address folding gives the root register a use at the memory op
+        // itself; extend its live range accordingly.
+        for (&i, &(root, _)) in &self.addr_fold {
+            let lu = &mut self.last_use[root.0 as usize];
+            if *lu != NEVER {
+                *lu = (*lu).max(i);
+            }
+            self.use_positions.entry(root).or_default().push(i);
+        }
+        for uses in self.use_positions.values_mut() {
+            uses.sort_unstable();
+        }
+    }
+
+    fn run(mut self) -> CodegenOut {
+        self.code.push(HInsn::Chkpt);
+        if let Some(idx) = self.ctx.entry_count_idx {
+            self.code.push(HInsn::Count { idx });
+        }
+        for i in 0..self.region.insts.len() {
+            self.emit_inst(i);
+        }
+        // Stubs for side exits, one per branch site (the location
+        // snapshot is branch-site-specific).
+        for (branch_idx, exit_id, snapshot) in std::mem::take(&mut self.pending_branches) {
+            assert!(
+                self.stub_pos[exit_id].is_none(),
+                "exit {exit_id} referenced by more than one branch"
+            );
+            let pos = self.code.len();
+            self.stub_pos[exit_id] = Some(pos);
+            self.emit_stub(exit_id, &snapshot);
+            let rel = pos as i32 - (branch_idx as i32 + 1);
+            match &mut self.code[branch_idx] {
+                HInsn::Bnz { rel: r, .. } | HInsn::Bz { rel: r, .. } => *r = rel,
+                other => panic!("pending branch patch hit {other:?}"),
+            }
+        }
+        let encoded_words = self.code.iter().map(|i| i.encoded_words()).sum();
+        // Exit metas are produced in stub-emission order; index by exit id.
+        let mut exits = vec![
+            ExitMeta { kind: ExitKind::Halt, flags_valid: 0, deferred: None, chain_slot: None };
+            self.region.exits.len()
+        ];
+        for (id, m) in self.final_exits.drain(..) {
+            exits[id] = m;
+        }
+        CodegenOut { code: self.code, exits, encoded_words }
+    }
+
+    fn emit_inst(&mut self, i: usize) {
+        if self.skip[i] {
+            // Still record lazy constant locations.
+            let inst = &self.region.insts[i];
+            match inst.op {
+                IrOp::ConstI(c) => self.loc[inst.dst.unwrap().0 as usize] = Some(Loc::ConstI(c)),
+                IrOp::ConstF(c) => self.loc[inst.dst.unwrap().0 as usize] = Some(Loc::ConstF(c)),
+                _ => {}
+            }
+            return;
+        }
+        let inst = self.region.insts[i].clone();
+        match inst.op {
+            IrOp::ConstI(_) | IrOp::ConstF(_) => unreachable!("constants are lazy"),
+            IrOp::Copy => {
+                // Copies can survive to codegen when redundant-load
+                // elimination introduces them after the pass pipeline; emit
+                // a real move so the value has its own stable location.
+                match self.region.class(inst.dst.unwrap()) {
+                    crate::ir::RegClass::Int => {
+                        let s = self.ensure_int(inst.srcs[0], &[]);
+                        let rd = self.alloc_int_dst(inst.dst.unwrap(), &[s], i);
+                        self.emit_int_move_rd(rd, s);
+                    }
+                    crate::ir::RegClass::Fp => {
+                        let s = self.ensure_fp(inst.srcs[0]);
+                        let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                        self.emit_fp_move(fd, s);
+                    }
+                }
+            }
+            IrOp::Alu(op) => {
+                let a = self.ensure_int(inst.srcs[0], &[]);
+                if let Some(imm) = self.imm_fold.get(&i).copied() {
+                    let rd = self.alloc_int_dst(inst.dst.unwrap(), &[a], i);
+                    self.code.push(HInsn::AluI { op, rd: HReg(rd), ra: HReg(a), imm });
+                } else if inst.srcs.len() == 2 {
+                    let b = self.ensure_int(inst.srcs[1], &[a]);
+                    let rd = self.alloc_int_dst(inst.dst.unwrap(), &[a, b], i);
+                    self.code.push(HInsn::Alu { op, rd: HReg(rd), ra: HReg(a), rb: HReg(b) });
+                } else {
+                    // Unary host ops (Sext8/Sext16/Parity) ignore rb.
+                    let rd = self.alloc_int_dst(inst.dst.unwrap(), &[a], i);
+                    self.code.push(HInsn::Alu { op, rd: HReg(rd), ra: HReg(a), rb: HReg(a) });
+                }
+            }
+            IrOp::Load { width, sign } => {
+                let (base, off) = self.mem_addr(i, &inst);
+                let rd = self.alloc_int_dst(inst.dst.unwrap(), &[base], i);
+                self.code.push(HInsn::Load {
+                    rd: HReg(rd),
+                    base: HReg(base),
+                    off: off as i32,
+                    width,
+                    sign,
+                    spec: inst.spec,
+                    seq: inst.seq,
+                });
+            }
+            IrOp::Store { width } => {
+                let (base, off) = self.mem_addr(i, &inst);
+                let rs = self.ensure_int(inst.srcs[1], &[base]);
+                self.code.push(HInsn::Store {
+                    rs: HReg(rs),
+                    base: HReg(base),
+                    off: off as i32,
+                    width,
+                    spec: inst.spec,
+                    seq: inst.seq,
+                });
+                self.free_after(i, &inst);
+            }
+            IrOp::LoadF => {
+                let (base, off) = self.mem_addr(i, &inst);
+                let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                self.code.push(HInsn::LoadF {
+                    fd: HFreg(fd),
+                    base: HReg(base),
+                    off: off as i32,
+                    spec: inst.spec,
+                    seq: inst.seq,
+                });
+            }
+            IrOp::StoreF => {
+                let (base, off) = self.mem_addr(i, &inst);
+                let fs = self.ensure_fp(inst.srcs[1]);
+                self.code.push(HInsn::StoreF {
+                    fs: HFreg(fs),
+                    base: HReg(base),
+                    off: off as i32,
+                    spec: inst.spec,
+                    seq: inst.seq,
+                });
+                self.free_after(i, &inst);
+            }
+            IrOp::FAlu(op) => {
+                let a = self.ensure_fp(inst.srcs[0]);
+                let b = self.ensure_fp(inst.srcs[1]);
+                let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                self.code.push(HInsn::FAlu { op, fd: HFreg(fd), fa: HFreg(a), fb: HFreg(b) });
+            }
+            IrOp::FUn(op) => {
+                let a = self.ensure_fp(inst.srcs[0]);
+                let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                self.code.push(HInsn::FUn { op, fd: HFreg(fd), fa: HFreg(a) });
+            }
+            IrOp::FCmp(op) => {
+                let a = self.ensure_fp(inst.srcs[0]);
+                let b = self.ensure_fp(inst.srcs[1]);
+                let rd = self.alloc_int_dst(inst.dst.unwrap(), &[], i);
+                self.code.push(HInsn::FCmp { op, rd: HReg(rd), fa: HFreg(a), fb: HFreg(b) });
+            }
+            IrOp::CvtIF => {
+                let a = self.ensure_int(inst.srcs[0], &[]);
+                let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                self.code.push(HInsn::CvtIF { fd: HFreg(fd), ra: HReg(a) });
+            }
+            IrOp::CvtFI => {
+                let a = self.ensure_fp(inst.srcs[0]);
+                let rd = self.alloc_int_dst(inst.dst.unwrap(), &[], i);
+                self.code.push(HInsn::CvtFI { rd: HReg(rd), fa: HFreg(a) });
+            }
+            IrOp::FSin | IrOp::FCos => {
+                let a = self.ensure_fp(inst.srcs[0]);
+                self.code.push(HInsn::FUn {
+                    op: darco_host::FUnOp2::Mov,
+                    fd: regs::F_RT_ARG,
+                    fa: HFreg(a),
+                });
+                let target = if inst.op == IrOp::FSin { self.ctx.sin_addr } else { self.ctx.cos_addr };
+                let here = self.ctx.base + self.code.len();
+                self.code.push(HInsn::Bl { rel: target as i32 - (here as i32 + 1) });
+                let fd = self.alloc_fp_dst(inst.dst.unwrap(), i);
+                self.code.push(HInsn::FUn {
+                    op: darco_host::FUnOp2::Mov,
+                    fd: HFreg(fd),
+                    fa: regs::F_RT_ARG,
+                });
+            }
+            IrOp::Assert { expect_nz } => {
+                let c = self.ensure_int(inst.srcs[0], &[]);
+                self.code.push(if expect_nz {
+                    HInsn::AssertNz { rs: HReg(c) }
+                } else {
+                    HInsn::AssertZ { rs: HReg(c) }
+                });
+                self.free_after(i, &inst);
+            }
+            IrOp::ExitIf { exit } => {
+                let c = self.ensure_int(inst.srcs[0], &[]);
+                let snapshot = self.snapshot_exit_locs(exit);
+                self.pending_branches.push((self.code.len(), exit, snapshot));
+                self.code.push(HInsn::Bnz { rs: HReg(c), rel: 0 });
+                self.free_after(i, &inst);
+            }
+            IrOp::ExitAlways { exit } => {
+                let snapshot = self.snapshot_exit_locs(exit);
+                self.stub_pos[exit] = Some(self.code.len());
+                self.emit_stub(exit, &snapshot);
+            }
+        }
+        if !inst.op.is_store() && !inst.op.is_exit() && !matches!(inst.op, IrOp::Assert { .. }) {
+            self.free_after(i, &inst);
+        }
+    }
+
+    // -- allocator ----------------------------------------------------------
+
+    fn free_after(&mut self, pos: usize, inst: &crate::ir::Inst) {
+        for s in &inst.srcs {
+            if self.last_use[s.0 as usize] == pos {
+                match self.loc[s.0 as usize] {
+                    Some(Loc::R(r)) if r >= R_TMP_FIRST && r <= R_TMP_LAST => {
+                        self.reg_holds[r as usize] = None;
+                        self.free_int.push(r);
+                    }
+                    Some(Loc::F(f)) if f >= F_TMP_FIRST && f <= F_TMP_LAST => {
+                        self.freg_holds[f as usize] = None;
+                        self.free_fp.push(f);
+                    }
+                    _ => {}
+                }
+                self.loc[s.0 as usize] = None;
+            }
+        }
+    }
+
+    fn next_use_after(&self, v: VReg, pos: usize) -> usize {
+        if self.last_use[v.0 as usize] == NEVER {
+            return NEVER - 1;
+        }
+        match self.use_positions.get(&v) {
+            Some(uses) => uses.iter().copied().find(|&u| u > pos).unwrap_or(NEVER - 1),
+            None => NEVER - 1,
+        }
+    }
+
+    fn spill_slot(&mut self, v: VReg) -> u16 {
+        let next = &mut self.next_slot;
+        *self.slot_of.entry(v).or_insert_with(|| {
+            let s = *next;
+            *next += 1;
+            assert!(s < 256, "spill area page exceeded");
+            s
+        })
+    }
+
+    fn alloc_int(&mut self, locked: &[u8], pos: usize) -> u8 {
+        if let Some(r) = self.free_int.pop() {
+            return r;
+        }
+        // Spill the temp whose next use is farthest.
+        let victim_reg = (R_TMP_FIRST..=R_TMP_LAST)
+            .filter(|r| !locked.contains(r))
+            .max_by_key(|&r| {
+                self.reg_holds[r as usize]
+                    .map(|v| self.next_use_after(v, pos))
+                    .unwrap_or(NEVER) // unheld (shouldn't happen) = best
+            })
+            .expect("no spillable integer register");
+        let v = self.reg_holds[victim_reg as usize].expect("victim must hold a value");
+        let slot = self.spill_slot(v);
+        let seq = self.bump_spill_seq();
+        self.code.push(HInsn::Store {
+            rs: HReg(victim_reg),
+            base: R_SPILL_BASE,
+            off: slot as i32 * 8,
+            width: Width::D,
+            spec: false,
+            seq,
+        });
+        self.loc[v.0 as usize] = Some(Loc::SpillInt(slot));
+        self.reg_holds[victim_reg as usize] = None;
+        victim_reg
+    }
+
+    fn alloc_fp(&mut self, pos: usize) -> u8 {
+        if let Some(f) = self.free_fp.pop() {
+            return f;
+        }
+        let victim = (F_TMP_FIRST..=F_TMP_LAST)
+            .max_by_key(|&r| {
+                self.freg_holds[r as usize]
+                    .map(|v| self.next_use_after(v, pos))
+                    .unwrap_or(NEVER)
+            })
+            .expect("no spillable fp register");
+        let v = self.freg_holds[victim as usize].expect("victim must hold a value");
+        let slot = self.spill_slot(v);
+        let seq = self.bump_spill_seq();
+        self.code.push(HInsn::StoreF {
+            fs: HFreg(victim),
+            base: R_SPILL_BASE,
+            off: slot as i32 * 8,
+            spec: false,
+            seq,
+        });
+        self.loc[v.0 as usize] = Some(Loc::SpillFp(slot));
+        self.freg_holds[victim as usize] = None;
+        victim
+    }
+
+    fn bump_spill_seq(&mut self) -> u16 {
+        let s = self.spill_seq;
+        self.spill_seq = self.spill_seq.checked_add(1).expect("spill seq overflow");
+        s
+    }
+
+    fn alloc_int_dst(&mut self, v: VReg, locked: &[u8], pos: usize) -> u8 {
+        let r = self.alloc_int(locked, pos);
+        self.reg_holds[r as usize] = Some(v);
+        self.loc[v.0 as usize] = Some(Loc::R(r));
+        r
+    }
+
+    fn alloc_fp_dst(&mut self, v: VReg, pos: usize) -> u8 {
+        let f = self.alloc_fp(pos);
+        self.freg_holds[f as usize] = Some(v);
+        self.loc[v.0 as usize] = Some(Loc::F(f));
+        f
+    }
+
+    /// Ensures `v` is in an integer register and returns it.
+    fn ensure_int(&mut self, v: VReg, locked: &[u8]) -> u8 {
+        match self.loc[v.0 as usize].expect("use of value with no location") {
+            Loc::R(r) => r,
+            Loc::SpillInt(slot) => {
+                let r = self.alloc_int(locked, 0);
+                let seq = self.bump_spill_seq();
+                self.code.push(HInsn::Load {
+                    rd: HReg(r),
+                    base: R_SPILL_BASE,
+                    off: slot as i32 * 8,
+                    width: Width::D,
+                    sign: false,
+                    spec: false,
+                    seq,
+                });
+                self.reg_holds[r as usize] = Some(v);
+                self.loc[v.0 as usize] = Some(Loc::R(r));
+                r
+            }
+            Loc::ConstI(c) => {
+                let r = self.alloc_int(locked, 0);
+                self.materialize_const_into(HReg(r), c);
+                self.reg_holds[r as usize] = Some(v);
+                self.loc[v.0 as usize] = Some(Loc::R(r));
+                r
+            }
+            other => panic!("expected int location, found {other:?}"),
+        }
+    }
+
+    /// Ensures `v` is in an FP register and returns it.
+    fn ensure_fp(&mut self, v: VReg) -> u8 {
+        match self.loc[v.0 as usize].expect("use of value with no location") {
+            Loc::F(f) => f,
+            Loc::SpillFp(slot) => {
+                let f = self.alloc_fp(0);
+                let seq = self.bump_spill_seq();
+                self.code.push(HInsn::LoadF {
+                    fd: HFreg(f),
+                    base: R_SPILL_BASE,
+                    off: slot as i32 * 8,
+                    spec: false,
+                    seq,
+                });
+                self.freg_holds[f as usize] = Some(v);
+                self.loc[v.0 as usize] = Some(Loc::F(f));
+                f
+            }
+            Loc::ConstF(bits) => {
+                let f = self.alloc_fp(0);
+                self.code.push(HInsn::FLoadImm { fd: HFreg(f), bits });
+                self.freg_holds[f as usize] = Some(v);
+                self.loc[v.0 as usize] = Some(Loc::F(f));
+                f
+            }
+            other => panic!("expected fp location, found {other:?}"),
+        }
+    }
+
+    fn materialize_const_into(&mut self, rd: HReg, c: u32) {
+        let as_i = c as i32;
+        if (-32768..32768).contains(&as_i) {
+            self.code.push(HInsn::Li16 { rd, imm: as_i as i16 });
+        } else {
+            self.code.push(HInsn::Lui { rd, imm: (c >> 16) as u16 });
+            if c & 0xFFFF != 0 {
+                self.code.push(HInsn::OriZ { rd, imm: c as u16 });
+            }
+        }
+    }
+
+    /// Resolves the (base register, folded offset) for a memory op.
+    fn mem_addr(&mut self, i: usize, inst: &crate::ir::Inst) -> (u8, i16) {
+        if let Some((root, off)) = self.addr_fold.get(&i).copied() {
+            let base = self.ensure_int(root, &[]);
+            // The folded intermediate vregs die here; release root if this
+            // was its last use position.
+            (base, off)
+        } else {
+            let base = self.ensure_int(inst.srcs[0], &[]);
+            (base, 0)
+        }
+    }
+
+    // -- exit stubs -----------------------------------------------------------
+
+    /// Captures where every value the exit uses lives *right now* — the
+    /// locations the stub must read from when entered via its branch.
+    fn snapshot_exit_locs(&self, exit_id: usize) -> HashMap<u32, Loc> {
+        self.region.exits[exit_id]
+            .used_vregs()
+            .into_iter()
+            .map(|v| (v.0, self.loc_of(v)))
+            .collect()
+    }
+
+    fn emit_stub(&mut self, exit_id: usize, locs: &HashMap<u32, Loc>) {
+        let e = self.region.exits[exit_id].clone();
+        let at = |v: VReg| -> Loc { locs[&v.0] };
+        let mut int_pairs: Vec<(u8, Loc)> = Vec::new();
+        let mut fp_pairs: Vec<(u8, Loc)> = Vec::new();
+        for (g, v) in e.gprs.iter().enumerate() {
+            if let Some(v) = v {
+                int_pairs.push((g as u8, at(*v)));
+            }
+        }
+        let mut flags_valid = 0u8;
+        for (j, v) in e.flags.iter().enumerate() {
+            if let Some(v) = v {
+                int_pairs.push((regs::FLAG_REGS[j].0, at(*v)));
+                flags_valid |= 1 << j;
+            }
+        }
+        if let Some((_, a, b)) = e.deferred {
+            int_pairs.push((R_DEF_A.0, at(a)));
+            int_pairs.push((R_DEF_B.0, at(b)));
+        }
+        if let Some(t) = e.indirect_target {
+            int_pairs.push((R_IND.0, at(t)));
+        }
+        for (g, v) in e.fprs.iter().enumerate() {
+            if let Some(v) = v {
+                fp_pairs.push((g as u8, at(*v)));
+            }
+        }
+        self.parallel_copy_int(int_pairs);
+        self.parallel_copy_fp(fp_pairs);
+        // Publish the dynamic flag-descriptor kind so the lazy-flags state
+        // threads through chained translations (see DESIGN.md §4).
+        match (e.deferred, flags_valid) {
+            (Some((k, _, _)), _) => {
+                self.code.push(HInsn::Li16 { rd: R_DEF_KIND, imm: k.code() as i16 });
+            }
+            (None, 0x1F) => {
+                self.code.push(HInsn::Li16 { rd: R_DEF_KIND, imm: 0 });
+            }
+            (None, 0) => {}
+            (None, partial) => {
+                panic!("exit with partial flags {partial:#x} but no descriptor")
+            }
+        }
+        if e.gcnt > 0 {
+            self.code.push(HInsn::Gcnt { n: e.gcnt, sb: self.ctx.sb_mode });
+        }
+        if let Some(idx) = e.count_idx {
+            self.code.push(HInsn::Count { idx });
+        }
+
+        let chain_slot = match e.kind {
+            ExitKind::Jump { .. } => {
+                let p = self.code.len();
+                self.code.push(HInsn::ChainSlot { id: exit_id as u16 });
+                Some(p)
+            }
+            ExitKind::Indirect => {
+                self.code.push(HInsn::IbtcJmp { rs: R_IND, id: exit_id as u16 });
+                None
+            }
+            ExitKind::Syscall { .. } | ExitKind::Halt => {
+                self.code.push(HInsn::TolExit { id: exit_id as u16 });
+                None
+            }
+        };
+        self.final_exits.push((
+            exit_id,
+            ExitMeta {
+                kind: e.kind,
+                flags_valid,
+                deferred: e.deferred.map(|(k, _, _)| k),
+                chain_slot,
+            },
+        ));
+    }
+
+    fn loc_of(&self, v: VReg) -> Loc {
+        self.loc[v.0 as usize].expect("exit uses value with no location")
+    }
+
+    fn parallel_copy_int(&mut self, mut pairs: Vec<(u8, Loc)>) {
+        // Drop no-op moves.
+        pairs.retain(|(d, s)| !matches!(s, Loc::R(r) if r == d));
+        // Stage 1: register-to-register with cycle breaking via r56.
+        let mut reg_pairs: Vec<(u8, u8)> = pairs
+            .iter()
+            .filter_map(|(d, s)| match s {
+                Loc::R(r) => Some((*d, *r)),
+                _ => None,
+            })
+            .collect();
+        const SCRATCH: u8 = 57;
+        while !reg_pairs.is_empty() {
+            if let Some(idx) = reg_pairs
+                .iter()
+                .position(|(d, _)| !reg_pairs.iter().any(|(_, s)| s == d))
+            {
+                let (d, s) = reg_pairs.swap_remove(idx);
+                self.emit_int_move(d, s);
+            } else {
+                // Cycle: park one destination's current value in scratch.
+                let (d, _) = reg_pairs[0];
+                self.emit_int_move(SCRATCH, d);
+                for (_, s) in reg_pairs.iter_mut() {
+                    if *s == d {
+                        *s = SCRATCH;
+                    }
+                }
+            }
+        }
+        // Stage 2: spilled and constant sources.
+        for (d, s) in pairs {
+            match s {
+                Loc::R(_) => {}
+                Loc::SpillInt(slot) => {
+                    let seq = self.bump_spill_seq();
+                    self.code.push(HInsn::Load {
+                        rd: HReg(d),
+                        base: R_SPILL_BASE,
+                        off: slot as i32 * 8,
+                        width: Width::D,
+                        sign: false,
+                        spec: false,
+                        seq,
+                    });
+                }
+                Loc::ConstI(c) => self.materialize_const_into(HReg(d), c),
+                other => panic!("int copy from {other:?}"),
+            }
+        }
+    }
+
+    fn emit_int_move(&mut self, d: u8, s: u8) {
+        self.code.push(HInsn::AluI { op: HAluOp::Add, rd: HReg(d), ra: HReg(s), imm: 0 });
+    }
+
+    fn emit_int_move_rd(&mut self, d: u8, s: u8) {
+        self.emit_int_move(d, s);
+    }
+
+    fn parallel_copy_fp(&mut self, mut pairs: Vec<(u8, Loc)>) {
+        pairs.retain(|(d, s)| !matches!(s, Loc::F(r) if r == d));
+        let mut reg_pairs: Vec<(u8, u8)> = pairs
+            .iter()
+            .filter_map(|(d, s)| match s {
+                Loc::F(r) => Some((*d, *r)),
+                _ => None,
+            })
+            .collect();
+        const SCRATCH: u8 = 57;
+        while !reg_pairs.is_empty() {
+            if let Some(idx) = reg_pairs
+                .iter()
+                .position(|(d, _)| !reg_pairs.iter().any(|(_, s)| s == d))
+            {
+                let (d, s) = reg_pairs.swap_remove(idx);
+                self.emit_fp_move(d, s);
+            } else {
+                let (d, _) = reg_pairs[0];
+                self.emit_fp_move(SCRATCH, d);
+                for (_, s) in reg_pairs.iter_mut() {
+                    if *s == d {
+                        *s = SCRATCH;
+                    }
+                }
+            }
+        }
+        for (d, s) in pairs {
+            match s {
+                Loc::F(_) => {}
+                Loc::SpillFp(slot) => {
+                    let seq = self.bump_spill_seq();
+                    self.code.push(HInsn::LoadF {
+                        fd: HFreg(d),
+                        base: R_SPILL_BASE,
+                        off: slot as i32 * 8,
+                        spec: false,
+                        seq,
+                    });
+                }
+                Loc::ConstF(bits) => self.code.push(HInsn::FLoadImm { fd: HFreg(d), bits }),
+                other => panic!("fp copy from {other:?}"),
+            }
+        }
+    }
+
+    fn emit_fp_move(&mut self, d: u8, s: u8) {
+        self.code.push(HInsn::FUn {
+            op: darco_host::FUnOp2::Mov,
+            fd: HFreg(d),
+            fa: HFreg(s),
+        });
+    }
+}
+
+/// Checks that the address chain from `addr` down to `root` consists of
+/// single-use adds/subs/copies over constants (so skipping them is safe).
+fn chain_foldable(
+    region: &Region,
+    defs: &HashMap<VReg, usize>,
+    use_count: &HashMap<VReg, usize>,
+    mut v: VReg,
+    root: VReg,
+) -> bool {
+    let mut first = true;
+    while v != root {
+        let Some(&d) = defs.get(&v) else { return false };
+        if !first && use_count.get(&v).copied().unwrap_or(0) != 1 {
+            return false;
+        }
+        first = false;
+        let inst = &region.insts[d];
+        match inst.op {
+            IrOp::Copy => v = inst.srcs[0],
+            IrOp::Alu(HAluOp::Add) | IrOp::Alu(HAluOp::Sub) if inst.srcs.len() == 2 => {
+                // One operand is the chain, the other a constant.
+                let c0 = matches!(
+                    defs.get(&inst.srcs[0]).map(|&x| &region.insts[x].op),
+                    Some(IrOp::ConstI(_))
+                );
+                v = if c0 { inst.srcs[1] } else { inst.srcs[0] };
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Marks the chain instructions (and constants used only by them) as
+/// skipped.
+fn mark_chain_skipped(
+    region: &Region,
+    defs: &HashMap<VReg, usize>,
+    skip: &mut [bool],
+    mut v: VReg,
+    root: VReg,
+) {
+    while v != root {
+        let Some(&d) = defs.get(&v) else { return };
+        skip[d] = true;
+        let inst = &region.insts[d];
+        match inst.op {
+            IrOp::Copy => v = inst.srcs[0],
+            IrOp::Alu(_) if inst.srcs.len() == 2 => {
+                let c0 = matches!(
+                    defs.get(&inst.srcs[0]).map(|&x| &region.insts[x].op),
+                    Some(IrOp::ConstI(_))
+                );
+                v = if c0 { inst.srcs[1] } else { inst.srcs[0] };
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg;
+    use crate::ir::{ExitDesc, Inst, RegClass};
+    use crate::sched::{list_schedule, SchedConfig};
+    use darco_guest::{GuestMem, PAGE_SIZE};
+    use darco_host::emu::{ExitCause, HostEmulator, IbtcTable};
+    use darco_host::runtime::build_runtime;
+    use darco_host::sink::NullSink;
+
+    /// Compiles a region (optionally scheduling it) and executes it on the
+    /// host emulator with the runtime routines installed.
+    fn compile_and_run(
+        mut region: Region,
+        schedule: bool,
+        setup: impl FnOnce(&mut HostEmulator, &mut GuestMem),
+    ) -> (HostEmulator, GuestMem, ExitCause, CodegenOut) {
+        region.validate();
+        if schedule {
+            ddg::memory_opt(&mut region);
+            let g = ddg::build(&mut region, true);
+            list_schedule(&mut region, &g, &SchedConfig::default());
+            region.validate();
+        }
+        let rt = build_runtime();
+        let base = rt.code.len();
+        let ctx = CodegenCtx {
+            base,
+            sin_addr: rt.sin_entry,
+            cos_addr: rt.cos_entry,
+            entry_count_idx: None,
+            sb_mode: false,
+        };
+        let out = generate(&region, &ctx);
+        let mut arena = rt.code.clone();
+        arena.extend(out.code.iter().copied());
+
+        let mut emu = HostEmulator::new();
+        let mut mem = GuestMem::new();
+        mem.map_zero(0);
+        // Spill area page.
+        mem.map_zero(SPILL_AREA_BASE >> 12);
+        setup(&mut emu, &mut mem);
+        emu.iregs[R_SPILL_BASE.index()] = SPILL_AREA_BASE;
+        let ibtc = IbtcTable::new();
+        let mut prof = darco_host::ProfTable::new();
+        let info = emu.execute(&arena, base, &mut mem, &ibtc, &mut prof, u64::MAX, &mut NullSink);
+        (emu, mem, info.cause, out)
+    }
+
+    fn jump_exit(region: &mut Region, gprs: &[(usize, VReg)]) -> usize {
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0x2000 });
+        for (g, v) in gprs {
+            e.gprs[*g] = Some(*v);
+        }
+        region.exits.push(e);
+        region.exits.len() - 1
+    }
+
+    #[test]
+    fn add_with_folded_immediate() {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let c = r.emit(IrOp::ConstI(5), vec![], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Add), vec![a, c], RegClass::Int);
+        let e = jump_exit(&mut r, &[(0, s)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+        let (emu, _, cause, out) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 37;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[0], 42);
+        // Folding: chkpt + addi + move-to-r0? The stub's copy may or may
+        // not be a no-op; at minimum no Li16 was needed.
+        assert!(
+            !out.code.iter().any(|i| matches!(i, HInsn::Li16 { .. })),
+            "constant must fold into the AluI immediate: {:?}",
+            out.code
+        );
+    }
+
+    #[test]
+    fn exit_stub_swaps_registers_through_cycle() {
+        // Guest: xchg eax, ebx -> exit wants r0 <- old r3... (ebx is idx 3)
+        let mut r = Region::new(0x1000);
+        let veax = r.new_vreg(RegClass::Int);
+        let vebx = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(veax);
+        r.entry.gprs[3] = Some(vebx);
+        let e = jump_exit(&mut r, &[(0, vebx), (3, veax)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+        let (emu, _, cause, _) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 111;
+            emu.iregs[3] = 222;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[0], 222, "parallel-copy cycle must swap");
+        assert_eq!(emu.iregs[3], 111);
+    }
+
+    #[test]
+    fn folded_address_load_store() {
+        // [ebx + 16] <- eax; ecx <- [ebx + 16]
+        let mut r = Region::new(0x1000);
+        let veax = r.new_vreg(RegClass::Int);
+        let vebx = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(veax);
+        r.entry.gprs[3] = Some(vebx);
+        let c16 = r.emit(IrOp::ConstI(16), vec![], RegClass::Int);
+        let addr = r.emit(IrOp::Alu(HAluOp::Add), vec![vebx, c16], RegClass::Int);
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![addr, veax]);
+        st.seq = 1;
+        r.push(st);
+        let c16b = r.emit(IrOp::ConstI(16), vec![], RegClass::Int);
+        let addr2 = r.emit(IrOp::Alu(HAluOp::Add), vec![vebx, c16b], RegClass::Int);
+        let mut ld = Inst::new(
+            IrOp::Load { width: Width::D, sign: false },
+            Some(r.new_vreg(RegClass::Int)),
+            vec![addr2],
+        );
+        ld.seq = 2;
+        let lv = ld.dst.unwrap();
+        r.push(ld);
+        let e = jump_exit(&mut r, &[(1, lv)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+        let (emu, mem, cause, out) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 0xDEAD;
+            emu.iregs[3] = 0x200;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[1], 0xDEAD);
+        assert_eq!(mem.read_u32(0x210).unwrap(), 0xDEAD);
+        // Address adds folded into offsets: no Alu Add remains for them.
+        let adds = out
+            .code
+            .iter()
+            .filter(|i| matches!(i, HInsn::Alu { op: HAluOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 0, "address adds must fold into load/store offsets");
+    }
+
+    #[test]
+    fn assert_failure_rolls_back_stub_effects() {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let c = r.emit(IrOp::ConstI(0), vec![], RegClass::Int);
+        let eq = r.emit(IrOp::Alu(HAluOp::Seq), vec![a, c], RegClass::Int);
+        r.push(Inst::new(IrOp::Assert { expect_nz: true }, None, vec![eq])); // assert a == 0
+        let v = r.emit(IrOp::ConstI(99), vec![], RegClass::Int);
+        let e = jump_exit(&mut r, &[(0, v)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+
+        // Pass: a == 0.
+        let (emu, _, cause, _) = compile_and_run(r.clone(), false, |_, _| {});
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[0], 99);
+
+        // Fail: a != 0 -> rollback, r0 keeps its entry value.
+        let (emu, _, cause, _) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 7;
+        });
+        assert_eq!(cause, ExitCause::AssertFail);
+        assert_eq!(emu.iregs[0], 7);
+    }
+
+    #[test]
+    fn side_exit_taken_and_not_taken() {
+        let build = || {
+            let mut r = Region::new(0x1000);
+            let a = r.new_vreg(RegClass::Int);
+            r.entry.gprs[0] = Some(a);
+            let c = r.emit(IrOp::ConstI(10), vec![], RegClass::Int);
+            let lt = r.emit(IrOp::Alu(HAluOp::SltS), vec![a, c], RegClass::Int);
+            let marker1 = r.emit(IrOp::ConstI(111), vec![], RegClass::Int);
+            let side = jump_exit(&mut r, &[(1, marker1)]);
+            r.push(Inst::new(IrOp::ExitIf { exit: side }, None, vec![lt]));
+            let marker2 = r.emit(IrOp::ConstI(222), vec![], RegClass::Int);
+            let term = jump_exit(&mut r, &[(1, marker2)]);
+            r.push(Inst::new(IrOp::ExitAlways { exit: term }, None, vec![]));
+            r
+        };
+        // a < 10 -> side exit (id 0).
+        let (emu, _, cause, _) = compile_and_run(build(), false, |emu, _| {
+            emu.iregs[0] = 3;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[1], 111);
+        // a >= 10 -> terminal exit (id 1).
+        let (emu, _, cause, _) = compile_and_run(build(), false, |emu, _| {
+            emu.iregs[0] = 30;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 1 });
+        assert_eq!(emu.iregs[1], 222);
+    }
+
+    #[test]
+    fn fsin_goes_through_runtime_routine() {
+        let mut r = Region::new(0x1000);
+        let x = r.new_vreg(RegClass::Fp);
+        r.entry.fprs[2] = Some(x);
+        let s = r.emit(IrOp::FSin, vec![x], RegClass::Fp);
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0x2000 });
+        e.fprs[2] = Some(s);
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        let (emu, _, cause, _) = compile_and_run(r, false, |emu, _| {
+            emu.fregs[2] = 1.25;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(
+            emu.fregs[2].to_bits(),
+            darco_guest::softfp::sin_spec(1.25).to_bits(),
+            "translated sin must be bit-identical to the architectural spec"
+        );
+    }
+
+    #[test]
+    fn register_pressure_forces_spills_and_stays_correct() {
+        // 60 live values exceed the 40-temp pool.
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let mut vals = Vec::new();
+        for k in 0..60u32 {
+            let c = r.emit(IrOp::ConstI(k), vec![], RegClass::Int);
+            // Make each value non-foldable by involving the entry reg.
+            let v = r.emit(IrOp::Alu(HAluOp::Xor), vec![a, c], RegClass::Int);
+            vals.push(v);
+        }
+        // Sum them all (uses every value late, keeping them live).
+        let mut sum = vals[0];
+        for v in &vals[1..] {
+            sum = r.emit(IrOp::Alu(HAluOp::Add), vec![sum, *v], RegClass::Int);
+        }
+        let e = jump_exit(&mut r, &[(0, sum)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+        let seed = 0x5A5A_0F0Fu32;
+        let (emu, _, cause, out) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = seed;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        let expect: u32 = (0..60u32).fold(0u32, |acc, k| acc.wrapping_add(seed ^ k));
+        assert_eq!(emu.iregs[0], expect);
+        let spills = out
+            .code
+            .iter()
+            .filter(|i| matches!(i, HInsn::Store { base, .. } if *base == R_SPILL_BASE))
+            .count();
+        assert!(spills > 0, "this region must actually spill");
+    }
+
+    #[test]
+    fn scheduled_region_remains_correct() {
+        // Same pressure test but through memory_opt + DDG + scheduler.
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let mut sum = a;
+        for k in 1..20u32 {
+            let c = r.emit(IrOp::ConstI(k * 3), vec![], RegClass::Int);
+            let m = r.emit(IrOp::Alu(HAluOp::Mul), vec![sum, c], RegClass::Int);
+            sum = r.emit(IrOp::Alu(HAluOp::Xor), vec![m, a], RegClass::Int);
+        }
+        let e = jump_exit(&mut r, &[(0, sum)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: e }, None, vec![]));
+        let (emu, _, cause, _) = compile_and_run(r, true, |emu, _| {
+            emu.iregs[0] = 9;
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        let mut expect = 9u32;
+        let a = 9u32;
+        for k in 1..20u32 {
+            expect = expect.wrapping_mul(k * 3) ^ a;
+        }
+        assert_eq!(emu.iregs[0], expect);
+    }
+
+    #[test]
+    fn deferred_flags_and_indirect_exit_plumbing() {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        let t = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        r.entry.gprs[1] = Some(t);
+        let c = r.emit(IrOp::ConstI(5), vec![], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Sub), vec![a, c], RegClass::Int);
+        let mut e = ExitDesc::new(ExitKind::Indirect);
+        e.indirect_target = Some(t);
+        e.gprs[0] = Some(s);
+        e.deferred = Some((FlagsKind::Sub, a, c));
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        let (emu, _, cause, out) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 12;
+            emu.iregs[1] = 0x4444; // guest target (IBTC miss -> exit 0)
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[0], 7);
+        assert_eq!(emu.iregs[R_IND.index()], 0x4444, "indirect target register");
+        assert_eq!(emu.iregs[R_DEF_A.index()], 12, "deferred operand a");
+        assert_eq!(emu.iregs[R_DEF_B.index()], 5, "deferred operand b");
+        assert_eq!(emu.iregs[R_DEF_KIND.index()], FlagsKind::Sub.code() as u32);
+        assert_eq!(out.exits[0].deferred, Some(FlagsKind::Sub));
+        assert_eq!(out.exits[0].kind, ExitKind::Indirect);
+    }
+
+    /// Regression test: a value an exit publishes may be spilled *after*
+    /// the exit's branch. On the exit path that spill never executes, so
+    /// the stub must read the value from where it lived at the branch —
+    /// not from the spill slot the allocator moved it to later.
+    #[test]
+    fn side_exit_reads_values_from_branch_time_locations() {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        // The value the side exit publishes.
+        let published = r.emit(IrOp::Alu(HAluOp::Add), vec![a, a], RegClass::Int);
+        // Take the side exit when a != 0.
+        let cond = r.emit(IrOp::Alu(HAluOp::Sne), vec![a, published], RegClass::Int);
+        let side = jump_exit(&mut r, &[(0, published)]);
+        r.push(Inst::new(IrOp::ExitIf { exit: side }, None, vec![cond]));
+        // Massive register pressure AFTER the branch: `published` gets
+        // spilled by stores that never run on the exit path.
+        let mut vals = Vec::new();
+        for k in 0..55u32 {
+            let c = r.emit(IrOp::ConstI(k | 0x100), vec![], RegClass::Int);
+            vals.push(r.emit(IrOp::Alu(HAluOp::Xor), vec![a, c], RegClass::Int));
+        }
+        let mut sum = published;
+        for v in &vals {
+            sum = r.emit(IrOp::Alu(HAluOp::Add), vec![sum, *v], RegClass::Int);
+        }
+        let term = jump_exit(&mut r, &[(0, sum)]);
+        r.push(Inst::new(IrOp::ExitAlways { exit: term }, None, vec![]));
+        let (emu, _, cause, out) = compile_and_run(r, false, |emu, _| {
+            emu.iregs[0] = 21; // a != a+a -> side exit taken
+        });
+        assert_eq!(cause, ExitCause::Exit { id: 0 });
+        assert_eq!(emu.iregs[0], 42, "exit must publish the branch-time value");
+        // The test is only meaningful if the region actually spills.
+        let spills = out
+            .code
+            .iter()
+            .filter(|i| matches!(i, HInsn::Store { base, .. } if *base == R_SPILL_BASE))
+            .count();
+        assert!(spills > 0, "region must spill for this regression test");
+    }
+
+    #[test]
+    fn spill_area_constant_fits_one_page() {
+        assert_eq!(SPILL_AREA_BASE % PAGE_SIZE, 0);
+        assert!(256 * 8 <= PAGE_SIZE as usize);
+    }
+}

@@ -1,0 +1,442 @@
+//! Data dependence graph construction, memory disambiguation, redundant
+//! load elimination and store forwarding (paper §V-B3, "DDG phase").
+
+use crate::ir::{IrOp, Region, VReg};
+use crate::sched::latency;
+use std::collections::HashMap;
+
+/// Result of address analysis: `root + offset` when the address is an
+/// affine chain over a single root, or `Unknown`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrExpr {
+    /// A compile-time constant address.
+    Const(u32),
+    /// `root + off`.
+    Affine { root: VReg, off: i64 },
+    /// Not analyzable.
+    Unknown,
+}
+
+/// Alias relation between two memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alias {
+    /// Provably disjoint.
+    No,
+    /// Provably overlapping (same bytes may be touched).
+    Must,
+    /// Cannot prove either way.
+    May,
+}
+
+/// Analyzes the address operand of a memory op by walking its def chain
+/// through copies and add/sub-constant operations.
+pub fn addr_expr(region: &Region, defs: &HashMap<VReg, usize>, mut v: VReg) -> AddrExpr {
+    let mut off: i64 = 0;
+    for _ in 0..64 {
+        let Some(&di) = defs.get(&v) else {
+            return AddrExpr::Affine { root: v, off }; // entry vreg
+        };
+        let inst = &region.insts[di];
+        match inst.op {
+            IrOp::ConstI(c) => return AddrExpr::Const((c as i64 + off) as u32),
+            IrOp::Copy => v = inst.srcs[0],
+            IrOp::Alu(darco_host::HAluOp::Add) if inst.srcs.len() == 2 => {
+                if let Some(c) = const_of(region, defs, inst.srcs[1]) {
+                    off += c as i32 as i64;
+                    v = inst.srcs[0];
+                } else if let Some(c) = const_of(region, defs, inst.srcs[0]) {
+                    off += c as i32 as i64;
+                    v = inst.srcs[1];
+                } else {
+                    return AddrExpr::Affine { root: v, off };
+                }
+            }
+            IrOp::Alu(darco_host::HAluOp::Sub) if inst.srcs.len() == 2 => {
+                if let Some(c) = const_of(region, defs, inst.srcs[1]) {
+                    off -= c as i32 as i64;
+                    v = inst.srcs[0];
+                } else {
+                    return AddrExpr::Affine { root: v, off };
+                }
+            }
+            _ => return AddrExpr::Affine { root: v, off },
+        }
+    }
+    AddrExpr::Unknown
+}
+
+fn const_of(region: &Region, defs: &HashMap<VReg, usize>, v: VReg) -> Option<u32> {
+    let &di = defs.get(&v)?;
+    match region.insts[di].op {
+        IrOp::ConstI(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Decides the alias relation of two accesses.
+pub fn alias(a: AddrExpr, abytes: u8, b: AddrExpr, bbytes: u8) -> Alias {
+    let ranges = |x: AddrExpr, n: u8| -> Option<(i64, i64, Option<VReg>)> {
+        match x {
+            AddrExpr::Const(c) => Some((c as i64, c as i64 + n as i64, None)),
+            AddrExpr::Affine { root, off } => Some((off, off + n as i64, Some(root))),
+            AddrExpr::Unknown => None,
+        }
+    };
+    match (ranges(a, abytes), ranges(b, bbytes)) {
+        (Some((alo, ahi, ra)), Some((blo, bhi, rb))) if ra == rb => {
+            if alo < bhi && blo < ahi {
+                Alias::Must
+            } else {
+                Alias::No
+            }
+        }
+        _ => Alias::May,
+    }
+}
+
+/// Map of vreg → defining instruction index.
+pub fn def_map(region: &Region) -> HashMap<VReg, usize> {
+    let mut m = HashMap::new();
+    for (i, inst) in region.insts.iter().enumerate() {
+        if let Some(d) = inst.dst {
+            m.insert(d, i);
+        }
+    }
+    m
+}
+
+/// Redundant load elimination and store forwarding (runs before DDG edge
+/// construction, as in the paper's DDG phase). Returns the number of
+/// loads replaced by copies.
+pub fn memory_opt(region: &mut Region) -> u64 {
+    #[derive(Clone, Copy)]
+    struct MemRec {
+        expr: AddrExpr,
+        bytes: u8,
+        value: VReg,
+        is_fp: bool,
+    }
+    let defs = def_map(region);
+    let mut recs: Vec<MemRec> = Vec::new();
+    let mut replaced = 0;
+    for i in 0..region.insts.len() {
+        let inst = &region.insts[i];
+        match inst.op {
+            IrOp::Store { .. } | IrOp::StoreF => {
+                let is_fp = inst.op == IrOp::StoreF;
+                let bytes = inst.op.mem_bytes().unwrap();
+                let expr = addr_expr(region, &defs, region.insts[i].srcs[0]);
+                let value = region.insts[i].srcs[1];
+                // Invalidate every record this store may touch.
+                recs.retain(|r| alias(r.expr, r.bytes, expr, bytes) == Alias::No);
+                recs.push(MemRec { expr, bytes, value, is_fp });
+            }
+            IrOp::Load { .. } | IrOp::LoadF => {
+                let is_fp = inst.op == IrOp::LoadF;
+                let bytes = inst.op.mem_bytes().unwrap();
+                // Only full-width (4/8-byte) accesses are forwarded; sub-word
+                // forwarding would need an extra extend and is rare.
+                let forwardable = bytes == 4 || bytes == 8;
+                let expr = addr_expr(region, &defs, region.insts[i].srcs[0]);
+                let hit = forwardable
+                    .then(|| {
+                        recs.iter().find(|r| {
+                            r.is_fp == is_fp
+                                && r.bytes == bytes
+                                && exact_same(r.expr, expr)
+                        })
+                    })
+                    .flatten()
+                    .map(|r| r.value);
+                match hit {
+                    Some(v) => {
+                        let inst = &mut region.insts[i];
+                        inst.op = IrOp::Copy;
+                        inst.srcs = vec![v];
+                        inst.seq = 0;
+                        replaced += 1;
+                    }
+                    None => {
+                        if let Some(dst) = region.insts[i].dst {
+                            if forwardable {
+                                recs.push(MemRec { expr, bytes, value: dst, is_fp });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    replaced
+}
+
+fn exact_same(a: AddrExpr, b: AddrExpr) -> bool {
+    match (a, b) {
+        (AddrExpr::Const(x), AddrExpr::Const(y)) => x == y,
+        (AddrExpr::Affine { root: r1, off: o1 }, AddrExpr::Affine { root: r2, off: o2 }) => {
+            r1 == r2 && o1 == o2
+        }
+        _ => false,
+    }
+}
+
+/// The data dependence graph: for each instruction, its predecessors with
+/// edge latencies.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    /// `preds[i]` = list of `(pred_index, latency)`.
+    pub preds: Vec<Vec<(usize, u32)>>,
+    /// `succs[i]` = list of successor indices.
+    pub succs: Vec<Vec<usize>>,
+}
+
+/// Builds the DDG.
+///
+/// With `allow_spec_mem` (assert-mode superblocks), may-alias store→load
+/// edges are dropped and the load is marked speculative — the host alias
+/// table catches mis-speculation at run time. Without it (basic blocks and
+/// multi-exit superblocks), may-alias pairs stay ordered, which is the
+/// paper's "multiple exits … reduces available optimization opportunities".
+pub fn build(region: &mut Region, allow_spec_mem: bool) -> Ddg {
+    let n = region.insts.len();
+    let defs = def_map(region);
+    let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let add_edge = |preds: &mut Vec<Vec<(usize, u32)>>, from: usize, to: usize, lat: u32| {
+        if from != to {
+            preds[to].push((from, lat));
+        }
+    };
+
+    // Dataflow edges.
+    for i in 0..n {
+        let mut uses: Vec<VReg> = region.insts[i].srcs.clone();
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = region.insts[i].op {
+            uses.extend(region.exits[exit].used_vregs());
+        }
+        for u in uses {
+            if let Some(&d) = defs.get(&u) {
+                add_edge(&mut preds, d, i, latency(&region.insts[d].op));
+            }
+        }
+    }
+
+    // Memory ordering: store → later aliasing load.
+    let mem_info: Vec<Option<(AddrExpr, u8, bool)>> = region
+        .insts
+        .iter()
+        .map(|inst| {
+            inst.op.mem_bytes().map(|b| {
+                (addr_expr(region, &defs, inst.srcs[0]), b, inst.op.is_store())
+            })
+        })
+        .collect();
+    let mut spec_marks: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let Some((le, lb, false)) = mem_info[i] else { continue }; // loads only
+        for j in 0..i {
+            let Some((se, sb, true)) = mem_info[j] else { continue }; // stores only
+            match alias(se, sb, le, lb) {
+                Alias::No => {}
+                Alias::Must => add_edge(&mut preds, j, i, 1),
+                Alias::May => {
+                    if allow_spec_mem {
+                        spec_marks.push(i);
+                    } else {
+                        add_edge(&mut preds, j, i, 1);
+                    }
+                }
+            }
+        }
+    }
+    for i in spec_marks {
+        region.insts[i].spec = true;
+    }
+
+    // Control ordering: exits stay in order; stores stay on their side of
+    // exits; asserts stay before later exits.
+    let mut last_exit: Option<usize> = None;
+    let mut pending_stores: Vec<usize> = Vec::new();
+    let mut pending_asserts: Vec<usize> = Vec::new();
+    for i in 0..n {
+        match region.insts[i].op {
+            IrOp::Store { .. } | IrOp::StoreF => {
+                if let Some(e) = last_exit {
+                    add_edge(&mut preds, e, i, 0);
+                }
+                pending_stores.push(i);
+            }
+            IrOp::Assert { .. } => {
+                pending_asserts.push(i);
+            }
+            IrOp::ExitIf { .. } | IrOp::ExitAlways { .. } => {
+                if let Some(e) = last_exit {
+                    add_edge(&mut preds, e, i, 0);
+                }
+                for s in pending_stores.drain(..) {
+                    add_edge(&mut preds, s, i, 0);
+                }
+                for a in pending_asserts.drain(..) {
+                    add_edge(&mut preds, a, i, 0);
+                }
+                last_exit = Some(i);
+            }
+            _ => {}
+        }
+    }
+
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for (p, _) in ps {
+            succs[*p].push(i);
+        }
+    }
+    Ddg { preds, succs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ExitDesc, ExitKind, Inst, RegClass};
+    use darco_guest::Width;
+    use darco_host::HAluOp;
+
+    fn close(r: &mut Region) {
+        r.exits.push(ExitDesc::new(ExitKind::Halt));
+        let idx = r.exits.len() - 1;
+        r.push(Inst::new(IrOp::ExitAlways { exit: idx }, None, vec![]));
+    }
+
+    #[test]
+    fn addr_analysis_walks_chains() {
+        let mut r = Region::new(0);
+        let base = r.new_vreg(RegClass::Int);
+        r.entry.gprs[3] = Some(base);
+        let c = r.emit(IrOp::ConstI(16), vec![], RegClass::Int);
+        let a1 = r.emit(IrOp::Alu(HAluOp::Add), vec![base, c], RegClass::Int);
+        let c2 = r.emit(IrOp::ConstI(8), vec![], RegClass::Int);
+        let a2 = r.emit(IrOp::Alu(HAluOp::Sub), vec![a1, c2], RegClass::Int);
+        let defs = def_map(&r);
+        assert_eq!(addr_expr(&r, &defs, a2), AddrExpr::Affine { root: base, off: 8 });
+        let abs = r.emit(IrOp::ConstI(0x100), vec![], RegClass::Int);
+        assert_eq!(addr_expr(&r, &defs2(&r), abs), AddrExpr::Const(0x100));
+        fn defs2(r: &Region) -> HashMap<VReg, usize> {
+            def_map(r)
+        }
+    }
+
+    #[test]
+    fn alias_decisions() {
+        let root = VReg(0);
+        let a = AddrExpr::Affine { root, off: 0 };
+        let b = AddrExpr::Affine { root, off: 4 };
+        let c = AddrExpr::Affine { root, off: 2 };
+        assert_eq!(alias(a, 4, b, 4), Alias::No);
+        assert_eq!(alias(a, 4, c, 4), Alias::Must);
+        let other = AddrExpr::Affine { root: VReg(1), off: 0 };
+        assert_eq!(alias(a, 4, other, 4), Alias::May);
+        assert_eq!(alias(AddrExpr::Const(0x10), 4, AddrExpr::Const(0x14), 4), Alias::No);
+    }
+
+    #[test]
+    fn store_forwarding_replaces_load() {
+        let mut r = Region::new(0);
+        let base = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        let val = r.emit(IrOp::ConstI(42), vec![], RegClass::Int);
+        r.push(Inst::new(IrOp::Store { width: Width::D }, None, vec![base, val]));
+        let l = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![base], RegClass::Int);
+        let mut e = ExitDesc::new(ExitKind::Halt);
+        e.gprs[1] = Some(l);
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        assert_eq!(memory_opt(&mut r), 1);
+        let load = &r.insts[2];
+        assert_eq!(load.op, IrOp::Copy);
+        assert_eq!(load.srcs, vec![val]);
+        r.validate();
+    }
+
+    #[test]
+    fn intervening_may_alias_store_blocks_forwarding() {
+        let mut r = Region::new(0);
+        let base = r.new_vreg(RegClass::Int);
+        let other = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(other);
+        let val = r.emit(IrOp::ConstI(42), vec![], RegClass::Int);
+        r.push(Inst::new(IrOp::Store { width: Width::D }, None, vec![base, val]));
+        // Unknown-base store in between.
+        r.push(Inst::new(IrOp::Store { width: Width::D }, None, vec![other, val]));
+        let l = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![base], RegClass::Int);
+        let _ = l;
+        close(&mut r);
+        assert_eq!(memory_opt(&mut r), 0, "may-alias store kills the record");
+    }
+
+    #[test]
+    fn redundant_load_elimination() {
+        let mut r = Region::new(0);
+        let base = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        let l1 = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![base], RegClass::Int);
+        let l2 = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![base], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Add), vec![l1, l2], RegClass::Int);
+        let _ = s;
+        close(&mut r);
+        assert_eq!(memory_opt(&mut r), 1);
+    }
+
+    #[test]
+    fn ddg_orders_may_alias_unless_speculative() {
+        let build_region = || {
+            let mut r = Region::new(0);
+            let a = r.new_vreg(RegClass::Int);
+            let b = r.new_vreg(RegClass::Int);
+            r.entry.gprs[0] = Some(a);
+            r.entry.gprs[1] = Some(b);
+            let v = r.emit(IrOp::ConstI(1), vec![], RegClass::Int);
+            let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![a, v]);
+            st.seq = 1;
+            r.push(st);
+            let mut ld = Inst::new(
+                IrOp::Load { width: Width::D, sign: false },
+                Some(r.new_vreg(RegClass::Int)),
+                vec![b],
+            );
+            ld.seq = 2;
+            r.push(ld);
+            close(&mut r);
+            r
+        };
+        // Conservative: edge store -> load.
+        let mut r1 = build_region();
+        let g1 = build(&mut r1, false);
+        assert!(g1.preds[2].iter().any(|(p, _)| *p == 1));
+        assert!(!r1.insts[2].spec);
+        // Speculative: no edge, load marked spec.
+        let mut r2 = build_region();
+        let g2 = build(&mut r2, true);
+        assert!(!g2.preds[2].iter().any(|(p, _)| *p == 1));
+        assert!(r2.insts[2].spec);
+    }
+
+    #[test]
+    fn ddg_keeps_stores_ordered_around_exits() {
+        let mut r = Region::new(0);
+        let a = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        r.entry.gprs[1] = Some(cond);
+        let v = r.emit(IrOp::ConstI(1), vec![], RegClass::Int);
+        r.exits.push(ExitDesc::new(ExitKind::Jump { target: 0x99 }));
+        r.push(Inst::new(IrOp::ExitIf { exit: 0 }, None, vec![cond]));
+        r.push(Inst::new(IrOp::Store { width: Width::D }, None, vec![a, v]));
+        close(&mut r);
+        let g = build(&mut r, true);
+        // Store (index 2) must have the exit (index 1) as predecessor.
+        assert!(g.preds[2].iter().any(|(p, _)| *p == 1), "store may not hoist above exit");
+        // Terminal exit (index 3) must have the store as predecessor.
+        assert!(g.preds[3].iter().any(|(p, _)| *p == 2), "store may not sink below exit");
+    }
+}

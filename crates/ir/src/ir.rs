@@ -1,0 +1,493 @@
+//! IR data structures: virtual registers, instructions, regions, exits.
+
+use darco_guest::{Width};
+use darco_host::{FAluOp, FCmpOp, FUnOp2, HAluOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register. The register class is recorded in the owning
+/// [`Region`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Register class of a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 32-bit integer.
+    Int,
+    /// f64 floating point.
+    Fp,
+}
+
+/// IR operations.
+///
+/// Integer ALU operations reuse the host [`HAluOp`] vocabulary (the IR is
+/// host-leaning, as in any dynamic binary translator), plus a few
+/// region-structure operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IrOp {
+    /// Integer constant.
+    ConstI(u32),
+    /// FP constant (by bit pattern, so NaNs survive).
+    ConstF(u64),
+    /// Register copy (same class).
+    Copy,
+    /// Integer ALU operation; srcs `[a, b]` (unary host ops ignore `b`,
+    /// and take srcs `[a]`).
+    Alu(HAluOp),
+    /// Memory load; srcs `[addr]`.
+    Load { width: Width, sign: bool },
+    /// Memory store; srcs `[addr, value]`; no dst.
+    Store { width: Width },
+    /// f64 load; srcs `[addr]`.
+    LoadF,
+    /// f64 store; srcs `[addr, value]`.
+    StoreF,
+    /// FP ALU operation; srcs `[a, b]`.
+    FAlu(FAluOp),
+    /// FP unary; srcs `[a]`.
+    FUn(FUnOp2),
+    /// FP compare producing 0/1 int; srcs `[a, b]`.
+    FCmp(FCmpOp),
+    /// i32 → f64; srcs `[a]` (int), dst fp.
+    CvtIF,
+    /// f64 → i32 truncating; srcs `[a]` (fp), dst int.
+    CvtFI,
+    /// Software-emulated sin (runtime routine call); srcs `[a]`, dst fp.
+    FSin,
+    /// Software-emulated cos.
+    FCos,
+    /// Assert: speculation check replacing a biased branch. srcs `[cond]`;
+    /// fails (rolls back) when the condition does not match `expect_nz`.
+    Assert {
+        /// `true`: fail if cond == 0; `false`: fail if cond != 0.
+        expect_nz: bool,
+    },
+    /// Conditional side exit: leave the region through `exits[exit]` when
+    /// the condition (srcs `[cond]`) is non-zero.
+    ExitIf {
+        /// Index into [`Region::exits`].
+        exit: usize,
+    },
+    /// Unconditional exit; must be the last instruction of a region.
+    ExitAlways {
+        /// Index into [`Region::exits`].
+        exit: usize,
+    },
+}
+
+impl IrOp {
+    /// True if the operation has no side effect and produces a value that
+    /// only depends on its operands (safe to CSE and to kill when dead).
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            IrOp::ConstI(_)
+                | IrOp::ConstF(_)
+                | IrOp::Copy
+                | IrOp::Alu(_)
+                | IrOp::FAlu(_)
+                | IrOp::FUn(_)
+                | IrOp::FCmp(_)
+                | IrOp::CvtIF
+                | IrOp::CvtFI
+                | IrOp::FSin
+                | IrOp::FCos
+        )
+    }
+
+    /// True for operations that end or leave the region.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, IrOp::ExitIf { .. } | IrOp::ExitAlways { .. })
+    }
+
+    /// True for memory reads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, IrOp::Load { .. } | IrOp::LoadF)
+    }
+
+    /// True for memory writes.
+    pub fn is_store(&self) -> bool {
+        matches!(self, IrOp::Store { .. } | IrOp::StoreF)
+    }
+
+    /// Access size in bytes for memory operations.
+    pub fn mem_bytes(&self) -> Option<u8> {
+        match self {
+            IrOp::Load { width, .. } | IrOp::Store { width } => Some(width.bytes() as u8),
+            IrOp::LoadF | IrOp::StoreF => Some(8),
+            _ => None,
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// The operation.
+    pub op: IrOp,
+    /// Destination, if the operation produces a value.
+    pub dst: Option<VReg>,
+    /// Source operands.
+    pub srcs: Vec<VReg>,
+    /// Original program-order sequence number (memory operations only;
+    /// carried through to the host's alias-detection hardware).
+    pub seq: u16,
+    /// Whether a load may be speculatively reordered past may-alias
+    /// stores (set by the DDG phase; checked by the host alias table).
+    pub spec: bool,
+    /// Guest PC of the originating instruction (debug toolchain).
+    pub guest_pc: u32,
+}
+
+impl Inst {
+    /// Creates an instruction with no memory/debug annotations.
+    pub fn new(op: IrOp, dst: Option<VReg>, srcs: Vec<VReg>) -> Inst {
+        Inst { op, dst, srcs, seq: 0, spec: false, guest_pc: 0 }
+    }
+}
+
+/// How control leaves a region through a given exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitKind {
+    /// Continue at a statically known guest PC (chainable).
+    Jump {
+        /// Next guest PC.
+        target: u32,
+    },
+    /// Continue at a guest PC held in a virtual register (goes through
+    /// the IBTC).
+    Indirect,
+    /// The guest executed `syscall`; the controller takes over. The
+    /// co-designed component stops *at* the syscall instruction (the
+    /// authoritative component executes it).
+    Syscall {
+        /// Guest PC of the syscall instruction itself.
+        pc: u32,
+    },
+    /// The guest executed `halt`.
+    Halt,
+}
+
+/// The flag-producer descriptor published at an exit for lazy (deferred)
+/// flag materialization: instead of computing the five guest flags, the
+/// exit records which operation last defined them and its operands; a
+/// later consumer (or the state validator in strict mode) re-derives the
+/// flags from the descriptor. This is the paper's "write to the flag
+/// registers only if the value is really going to be consumed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlagsKind {
+    /// Flags of `a + b`.
+    Add,
+    /// Flags of `a - b` (also cmp/neg/scas/cmps).
+    Sub,
+    /// Flags of a logic op result `a` (CF=OF=0).
+    Logic,
+    /// Flags of `a + 1` with CF preserved.
+    Inc,
+    /// Flags of `a - 1` with CF preserved.
+    Dec,
+    /// Flags of the signed multiply `a * b`.
+    Imul,
+    /// Flags of `a << b` (b is a non-zero constant).
+    Shl,
+    /// Flags of `a >> b` (logical).
+    Shr,
+    /// Flags of `a >> b` (arithmetic).
+    Sar,
+}
+
+impl FlagsKind {
+    /// Runtime code of the descriptor kind, held in the dedicated host
+    /// register `r15` so the descriptor threads through chained
+    /// translations (0 is reserved for "no descriptor; flags are
+    /// materialized in r8–r12").
+    pub fn code(self) -> u16 {
+        match self {
+            FlagsKind::Add => 1,
+            FlagsKind::Sub => 2,
+            FlagsKind::Logic => 3,
+            FlagsKind::Inc => 4,
+            FlagsKind::Dec => 5,
+            FlagsKind::Imul => 6,
+            FlagsKind::Shl => 7,
+            FlagsKind::Shr => 8,
+            FlagsKind::Sar => 9,
+        }
+    }
+
+    /// Inverse of [`FlagsKind::code`].
+    pub fn from_code(code: u32) -> Option<FlagsKind> {
+        Some(match code {
+            1 => FlagsKind::Add,
+            2 => FlagsKind::Sub,
+            3 => FlagsKind::Logic,
+            4 => FlagsKind::Inc,
+            5 => FlagsKind::Dec,
+            6 => FlagsKind::Imul,
+            7 => FlagsKind::Shl,
+            8 => FlagsKind::Shr,
+            9 => FlagsKind::Sar,
+            _ => return None,
+        })
+    }
+}
+
+/// An exit descriptor: target kind plus the guest-state mapping the code
+/// generator must restore into the pinned host registers on that path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExitDesc {
+    /// Where this exit goes.
+    pub kind: ExitKind,
+    /// For [`ExitKind::Indirect`]: the vreg holding the guest target.
+    pub indirect_target: Option<VReg>,
+    /// Guest GPR values live at this exit (`None` = unchanged since entry).
+    pub gprs: [Option<VReg>; 8],
+    /// Guest FPR values live at this exit.
+    pub fprs: [Option<VReg>; 8],
+    /// Materialized guest flags (CF, ZF, SF, OF, PF) at this exit.
+    pub flags: [Option<VReg>; 5],
+    /// Deferred flag descriptor: kind plus the two operand vregs.
+    pub deferred: Option<(FlagsKind, VReg, VReg)>,
+    /// Guest instructions retired along the path to this exit (emitted as
+    /// a `gcnt` hardware-counter update in the exit stub).
+    pub gcnt: u16,
+    /// Software profile counter bumped on this exit (BBM edge profiling).
+    pub count_idx: Option<u32>,
+}
+
+impl ExitDesc {
+    /// Creates an exit with no state changes.
+    pub fn new(kind: ExitKind) -> ExitDesc {
+        ExitDesc {
+            kind,
+            indirect_target: None,
+            gprs: [None; 8],
+            fprs: [None; 8],
+            flags: [None; 5],
+            deferred: None,
+            gcnt: 0,
+            count_idx: None,
+        }
+    }
+
+    /// All vregs this exit uses (inputs the scheduler must order before
+    /// the exit).
+    pub fn used_vregs(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        v.extend(self.indirect_target);
+        v.extend(self.gprs.iter().flatten());
+        v.extend(self.fprs.iter().flatten());
+        v.extend(self.flags.iter().flatten());
+        if let Some((_, a, b)) = self.deferred {
+            v.push(a);
+            v.push(b);
+        }
+        v
+    }
+}
+
+/// Entry bindings: which vregs hold the guest state on region entry (these
+/// are pre-colored to the pinned host registers by the allocator).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EntryBindings {
+    /// Entry vreg for each guest GPR actually read before being written.
+    pub gprs: [Option<VReg>; 8],
+    /// Entry vreg for each guest FPR.
+    pub fprs: [Option<VReg>; 8],
+    /// Entry vreg for each guest flag (CF, ZF, SF, OF, PF).
+    pub flags: [Option<VReg>; 5],
+}
+
+/// A translation region: a linear, single-entry sequence of IR
+/// instructions with side exits — a basic block (one exit) or a superblock
+/// (asserts, or multiple side exits after assert-failure recreation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// The instructions, in program order (until the scheduler reorders).
+    pub insts: Vec<Inst>,
+    /// Exit descriptors referenced by `ExitIf`/`ExitAlways`.
+    pub exits: Vec<ExitDesc>,
+    /// Entry guest-state bindings.
+    pub entry: EntryBindings,
+    /// Guest PC of the region entry.
+    pub guest_entry_pc: u32,
+    classes: Vec<RegClass>,
+}
+
+impl Region {
+    /// Creates an empty region anchored at a guest PC.
+    pub fn new(guest_entry_pc: u32) -> Region {
+        Region {
+            insts: Vec::new(),
+            exits: Vec::new(),
+            entry: EntryBindings::default(),
+            guest_entry_pc,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: RegClass) -> VReg {
+        self.classes.push(class);
+        VReg(self.classes.len() as u32 - 1)
+    }
+
+    /// The class of a vreg.
+    ///
+    /// # Panics
+    /// Panics if the vreg does not belong to this region.
+    pub fn class(&self, v: VReg) -> RegClass {
+        self.classes[v.0 as usize]
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn vreg_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Pushes an instruction and returns its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Convenience: emit a pure op producing a fresh vreg.
+    pub fn emit(&mut self, op: IrOp, srcs: Vec<VReg>, class: RegClass) -> VReg {
+        let dst = self.new_vreg(class);
+        self.push(Inst::new(op, Some(dst), srcs));
+        dst
+    }
+
+    /// Checks structural invariants (used by tests and after passes).
+    ///
+    /// # Panics
+    /// Panics if an invariant is violated, naming it.
+    pub fn validate(&self) {
+        assert!(
+            matches!(self.insts.last().map(|i| &i.op), Some(IrOp::ExitAlways { .. })),
+            "region must end with ExitAlways"
+        );
+        let mut defined: Vec<bool> = vec![false; self.vreg_count()];
+        for e in [
+            self.entry.gprs.iter().flatten(),
+            self.entry.fprs.iter().flatten(),
+            self.entry.flags.iter().flatten(),
+        ] {
+            for v in e {
+                defined[v.0 as usize] = true;
+            }
+        }
+        for (idx, inst) in self.insts.iter().enumerate() {
+            for s in &inst.srcs {
+                assert!(defined[s.0 as usize], "use of undefined {s} at inst {idx}: {:?}", inst.op);
+            }
+            if let Some(d) = inst.dst {
+                assert!(!defined[d.0 as usize], "SSA violation: {d} defined twice (inst {idx})");
+                defined[d.0 as usize] = true;
+            }
+            if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+                assert!(exit < self.exits.len(), "exit index out of range at inst {idx}");
+                for u in self.exits[exit].used_vregs() {
+                    assert!(defined[u.0 as usize], "exit {exit} uses undefined {u}");
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "region @ {:#010x}:", self.guest_entry_pc)?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            write!(f, "  {i:3}: ")?;
+            if let Some(d) = inst.dst {
+                write!(f, "{d} = ")?;
+            }
+            write!(f, "{:?}", inst.op)?;
+            for s in &inst.srcs {
+                write!(f, " {s}")?;
+            }
+            if inst.spec {
+                write!(f, " [spec]")?;
+            }
+            writeln!(f)?;
+        }
+        for (i, e) in self.exits.iter().enumerate() {
+            writeln!(f, "  exit {i}: {:?}", e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_region() -> Region {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let c = r.emit(IrOp::ConstI(5), vec![], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Add), vec![a, c], RegClass::Int);
+        let mut exit = ExitDesc::new(ExitKind::Jump { target: 0x1010 });
+        exit.gprs[0] = Some(s);
+        r.exits.push(exit);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        r
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        tiny_region().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "use of undefined")]
+    fn validate_rejects_undefined_use() {
+        let mut r = tiny_region();
+        let ghost = VReg(999);
+        r.classes.resize(1000, RegClass::Int);
+        let dst = r.new_vreg(RegClass::Int);
+        r.insts.insert(0, Inst::new(IrOp::Alu(HAluOp::Add), Some(dst), vec![ghost]));
+        // ghost (v999) was never defined before use at index 0… but we
+        // resized classes so only definedness fails.
+        r.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must end with ExitAlways")]
+    fn validate_rejects_missing_terminal() {
+        let mut r = tiny_region();
+        r.insts.pop();
+        r.validate();
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = tiny_region();
+        let s = format!("{r}");
+        assert!(s.contains("region @"));
+        assert!(s.contains("exit 0"));
+    }
+
+    #[test]
+    fn exit_used_vregs_collects_everything() {
+        let mut r = Region::new(0);
+        let a = r.new_vreg(RegClass::Int);
+        let b = r.new_vreg(RegClass::Int);
+        let mut e = ExitDesc::new(ExitKind::Indirect);
+        e.indirect_target = Some(a);
+        e.deferred = Some((FlagsKind::Sub, a, b));
+        e.flags[1] = Some(b);
+        let used = e.used_vregs();
+        assert_eq!(used.iter().filter(|v| **v == a).count(), 2);
+        assert_eq!(used.iter().filter(|v| **v == b).count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # DARCO's intermediate representation and optimizer
+//!
+//! The Translation Optimization Layer translates guest instructions into
+//! this IR, optimizes it, and generates host code from it (paper §V-B3).
+//! The pipeline implemented here, in the paper's order:
+//!
+//! 1. regions are built in **SSA form** (translation assigns a fresh
+//!    virtual register to every definition, which removes anti and output
+//!    dependences by construction — the effect of the paper's SSA
+//!    transformation);
+//! 2. a **forward pass** applies constant folding, constant propagation,
+//!    copy propagation and common subexpression elimination
+//!    ([`passes::ConstFold`], [`passes::CopyProp`], [`passes::Cse`]);
+//! 3. a **backward pass** applies dead code elimination ([`passes::Dce`]);
+//! 4. the **data dependence graph** is built with memory disambiguation;
+//!    may-alias pairs are either ordered or speculatively reordered
+//!    (loads get the `spec` mark checked by the host alias table), and
+//!    **redundant load elimination** and **store forwarding** run during
+//!    DDG construction ([`ddg`]);
+//! 5. a conventional **list scheduler** orders the region ([`sched`]);
+//! 6. a **linear-scan register allocator** and the code generator emit
+//!    host instructions ([`codegen`]), pinning guest state to host
+//!    registers and resolving exit-time parallel copies.
+//!
+//! Passes implement the [`passes::Pass`] trait so new optimizations can be
+//! plugged in or disabled individually — the paper's "plug-and-play"
+//! requirement, exercised by the optimization-level ablation benches.
+
+pub mod codegen;
+pub mod ddg;
+pub mod ir;
+pub mod passes;
+pub mod sched;
+
+pub use codegen::{CodegenCtx, CodegenOut, ExitMeta};
+pub use ir::{EntryBindings, ExitDesc, ExitKind, FlagsKind, Inst, IrOp, RegClass, Region, VReg};
+pub use passes::{run_pipeline, OptLevel, Pass, PassStats};

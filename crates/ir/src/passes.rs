@@ -1,0 +1,511 @@
+//! The optimizer passes.
+//!
+//! Each pass implements [`Pass`] and can be enabled, disabled or reordered
+//! independently ("plug-and-play", paper §IV/§V-D). [`run_pipeline`] runs
+//! the paper's pipeline for a given [`OptLevel`].
+
+use crate::ir::{Inst, IrOp, Region, VReg};
+use darco_guest::exec as gexec;
+use darco_guest::insn::AluOp;
+use darco_guest::Flags;
+use darco_host::emu::{eval_falu, eval_halu};
+use darco_host::{FCmpOp, FUnOp2, HAluOp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics returned by one pass invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassStats {
+    /// Instructions rewritten in place (e.g. folded to constants).
+    pub rewritten: u64,
+    /// Instructions removed.
+    pub removed: u64,
+}
+
+impl PassStats {
+    /// Merges another pass's stats into this one.
+    pub fn absorb(&mut self, other: PassStats) {
+        self.rewritten += other.rewritten;
+        self.removed += other.removed;
+    }
+}
+
+/// An optimizer pass over a region.
+pub trait Pass {
+    /// Short name (for the debug toolchain's per-stage replay).
+    fn name(&self) -> &'static str;
+    /// Runs the pass.
+    fn run(&self, region: &mut Region) -> PassStats;
+}
+
+/// Optimization levels for the ablation benches.
+///
+/// * `O0` — straight translation, no optimization;
+/// * `O1` — constant folding + DCE (the paper's BBM-level optimizations);
+/// * `O2` — adds copy propagation and CSE (the SBM forward pass);
+/// * `O3` — `O2` plus DDG memory optimizations and scheduling (handled by
+///   the caller; the pass pipeline itself is the same as `O2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    O0,
+    O1,
+    O2,
+    O3,
+}
+
+/// Runs the pass pipeline for an optimization level, returning accumulated
+/// stats.
+pub fn run_pipeline(region: &mut Region, level: OptLevel) -> PassStats {
+    let mut stats = PassStats::default();
+    let passes: Vec<Box<dyn Pass>> = match level {
+        OptLevel::O0 => vec![],
+        OptLevel::O1 => vec![Box::new(ConstFold), Box::new(Dce)],
+        OptLevel::O2 | OptLevel::O3 => vec![
+            Box::new(ConstFold),
+            Box::new(CopyProp),
+            Box::new(Cse),
+            Box::new(CopyProp),
+            Box::new(Dce),
+        ],
+    };
+    for p in passes {
+        stats.absorb(p.run(region));
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------------
+
+/// Constant folding (and constant propagation: operands are resolved
+/// through already-folded constants, so chains collapse in one pass).
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+
+    fn run(&self, region: &mut Region) -> PassStats {
+        let mut stats = PassStats::default();
+        let mut iconst: HashMap<VReg, u32> = HashMap::new();
+        let mut fconst: HashMap<VReg, u64> = HashMap::new();
+        for inst in &mut region.insts {
+            match inst.op {
+                IrOp::ConstI(v) => {
+                    iconst.insert(inst.dst.unwrap(), v);
+                    continue;
+                }
+                IrOp::ConstF(v) => {
+                    fconst.insert(inst.dst.unwrap(), v);
+                    continue;
+                }
+                _ => {}
+            }
+            let folded: Option<IrOp> = match inst.op {
+                IrOp::Copy => match region_class_is_int(inst, &iconst, &fconst) {
+                    Some(FoldedConst::I(v)) => Some(IrOp::ConstI(v)),
+                    Some(FoldedConst::F(v)) => Some(IrOp::ConstF(v)),
+                    None => None,
+                },
+                IrOp::Alu(op) => {
+                    // Division folding is skipped: a guest divide-by-zero
+                    // must fault at runtime, not at translation time.
+                    if matches!(op, HAluOp::Div | HAluOp::Rem) {
+                        None
+                    } else {
+                        let a = iconst.get(&inst.srcs[0]).copied();
+                        let b = inst.srcs.get(1).and_then(|s| iconst.get(s)).copied();
+                        match (a, b, inst.srcs.len()) {
+                            (Some(a), Some(b), 2) => Some(IrOp::ConstI(eval_halu(op, a, b))),
+                            (Some(a), None, 1) => Some(IrOp::ConstI(eval_halu(op, a, 0))),
+                            _ => None,
+                        }
+                    }
+                }
+                IrOp::FAlu(op) => {
+                    let a = fconst.get(&inst.srcs[0]).copied();
+                    let b = fconst.get(&inst.srcs[1]).copied();
+                    if let (Some(a), Some(b)) = (a, b) {
+                        let r = eval_falu(op, f64::from_bits(a), f64::from_bits(b));
+                        Some(IrOp::ConstF(r.to_bits()))
+                    } else {
+                        None
+                    }
+                }
+                IrOp::FUn(op) => fconst.get(&inst.srcs[0]).map(|a| {
+                    let a = f64::from_bits(*a);
+                    let r = match op {
+                        FUnOp2::Mov => a,
+                        FUnOp2::Sqrt => a.sqrt(),
+                        FUnOp2::Abs => a.abs(),
+                        FUnOp2::Neg => -a,
+                    };
+                    IrOp::ConstF(r.to_bits())
+                }),
+                IrOp::FCmp(op) => {
+                    let a = fconst.get(&inst.srcs[0]).copied();
+                    let b = fconst.get(&inst.srcs[1]).copied();
+                    if let (Some(a), Some(b)) = (a, b) {
+                        let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+                        let v = match op {
+                            FCmpOp::Lt => a < b,
+                            FCmpOp::Le => a <= b,
+                            FCmpOp::Eq => a == b,
+                            FCmpOp::Unord => a.is_nan() || b.is_nan(),
+                        };
+                        Some(IrOp::ConstI(v as u32))
+                    } else {
+                        None
+                    }
+                }
+                IrOp::CvtIF => iconst
+                    .get(&inst.srcs[0])
+                    .map(|a| IrOp::ConstF(((*a as i32) as f64).to_bits())),
+                IrOp::CvtFI => fconst
+                    .get(&inst.srcs[0])
+                    .map(|a| IrOp::ConstI(f64::from_bits(*a) as i32 as u32)),
+                IrOp::FSin => fconst.get(&inst.srcs[0]).map(|a| {
+                    IrOp::ConstF(darco_guest::softfp::sin_spec(f64::from_bits(*a)).to_bits())
+                }),
+                IrOp::FCos => fconst.get(&inst.srcs[0]).map(|a| {
+                    IrOp::ConstF(darco_guest::softfp::cos_spec(f64::from_bits(*a)).to_bits())
+                }),
+                _ => None,
+            };
+            if let Some(op) = folded {
+                match op {
+                    IrOp::ConstI(v) => {
+                        iconst.insert(inst.dst.unwrap(), v);
+                    }
+                    IrOp::ConstF(v) => {
+                        fconst.insert(inst.dst.unwrap(), v);
+                    }
+                    _ => unreachable!(),
+                }
+                inst.op = op;
+                inst.srcs.clear();
+                stats.rewritten += 1;
+            }
+        }
+        stats
+    }
+}
+
+enum FoldedConst {
+    I(u32),
+    F(u64),
+}
+
+fn region_class_is_int(
+    inst: &Inst,
+    iconst: &HashMap<VReg, u32>,
+    fconst: &HashMap<VReg, u64>,
+) -> Option<FoldedConst> {
+    let s = inst.srcs[0];
+    if let Some(v) = iconst.get(&s) {
+        return Some(FoldedConst::I(*v));
+    }
+    if let Some(v) = fconst.get(&s) {
+        return Some(FoldedConst::F(*v));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+
+/// Copy propagation: rewrites uses of `Copy` destinations to the copy
+/// source (the dead copies are later removed by DCE).
+pub struct CopyProp;
+
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+
+    fn run(&self, region: &mut Region) -> PassStats {
+        let mut stats = PassStats::default();
+        let mut alias: HashMap<VReg, VReg> = HashMap::new();
+        let resolve = |alias: &HashMap<VReg, VReg>, mut v: VReg| {
+            while let Some(&t) = alias.get(&v) {
+                v = t;
+            }
+            v
+        };
+        let mut exits = std::mem::take(&mut region.exits);
+        for inst in &mut region.insts {
+            for s in &mut inst.srcs {
+                let r = resolve(&alias, *s);
+                if r != *s {
+                    *s = r;
+                    stats.rewritten += 1;
+                }
+            }
+            if inst.op == IrOp::Copy {
+                alias.insert(inst.dst.unwrap(), inst.srcs[0]);
+            }
+        }
+        for e in &mut exits {
+            for slot in e
+                .gprs
+                .iter_mut()
+                .chain(e.fprs.iter_mut())
+                .chain(e.flags.iter_mut())
+                .chain(std::iter::once(&mut e.indirect_target))
+            {
+                if let Some(v) = slot {
+                    *v = resolve(&alias, *v);
+                }
+            }
+            if let Some((k, a, b)) = e.deferred {
+                e.deferred = Some((k, resolve(&alias, a), resolve(&alias, b)));
+            }
+        }
+        region.exits = exits;
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Common subexpression elimination over pure operations. Loads are *not*
+/// CSE'd here (redundant load elimination runs in the DDG phase where
+/// intervening stores are visible).
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, region: &mut Region) -> PassStats {
+        let mut stats = PassStats::default();
+        // Key: textual op identity + sources.
+        let mut table: HashMap<(String, Vec<VReg>), VReg> = HashMap::new();
+        for inst in &mut region.insts {
+            if !inst.op.is_pure() || inst.dst.is_none() || inst.op == IrOp::Copy {
+                continue;
+            }
+            let key = (format!("{:?}", inst.op), inst.srcs.clone());
+            match table.get(&key) {
+                Some(&prev) => {
+                    inst.op = IrOp::Copy;
+                    inst.srcs = vec![prev];
+                    stats.rewritten += 1;
+                }
+                None => {
+                    table.insert(key, inst.dst.unwrap());
+                }
+            }
+        }
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Backward dead code elimination. Stores, asserts and exits (plus
+/// everything they transitively use) are live roots.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, region: &mut Region) -> PassStats {
+        let mut stats = PassStats::default();
+        let mut live = vec![false; region.vreg_count()];
+        let mut keep = vec![false; region.insts.len()];
+        for (i, inst) in region.insts.iter().enumerate().rev() {
+            let root = match inst.op {
+                IrOp::Store { .. } | IrOp::StoreF | IrOp::Assert { .. } => true,
+                IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } => {
+                    for u in region.exits[exit].used_vregs() {
+                        live[u.0 as usize] = true;
+                    }
+                    true
+                }
+                // Dead loads are removable (see DESIGN.md: a skipped page
+                // request is not an architectural difference).
+                _ => false,
+            };
+            let needed = root || inst.dst.is_some_and(|d| live[d.0 as usize]);
+            if needed {
+                keep[i] = true;
+                for s in &inst.srcs {
+                    live[s.0 as usize] = true;
+                }
+            }
+        }
+        let mut i = 0;
+        region.insts.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            if !k {
+                stats.removed += 1;
+            }
+            k
+        });
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Cross-checks constant folding of guest flag helpers against the guest
+/// executor (used by optimizer tests; exported for the fault-injection
+/// debug tests too).
+pub fn guest_sub_flags(a: u32, b: u32) -> Flags {
+    let mut fl = Flags::default();
+    gexec::eval_alu(AluOp::Sub, a, b, &mut fl);
+    fl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ExitDesc, ExitKind, RegClass};
+
+    fn region_with_exit(f: impl FnOnce(&mut Region) -> Vec<(usize, VReg)>) -> Region {
+        let mut r = Region::new(0x1000);
+        let outs = f(&mut r);
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0x2000 });
+        for (g, v) in outs {
+            e.gprs[g] = Some(v);
+        }
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        r
+    }
+
+    #[test]
+    fn constfold_collapses_chains() {
+        let mut r = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(6), vec![], RegClass::Int);
+            let b = r.emit(IrOp::ConstI(7), vec![], RegClass::Int);
+            let m = r.emit(IrOp::Alu(HAluOp::Mul), vec![a, b], RegClass::Int);
+            let k = r.emit(IrOp::ConstI(58), vec![], RegClass::Int);
+            let s = r.emit(IrOp::Alu(HAluOp::Sub), vec![m, k], RegClass::Int); // 42 - 58... wait
+            vec![(0, s)]
+        });
+        let st = ConstFold.run(&mut r);
+        assert_eq!(st.rewritten, 2, "mul and sub both fold");
+        // The sub is now ConstI(42 - 58) as u32.
+        let last_val = r
+            .insts
+            .iter()
+            .filter_map(|i| match i.op {
+                IrOp::ConstI(v) => Some(v),
+                _ => None,
+            })
+            .last()
+            .unwrap();
+        assert_eq!(last_val, 42u32.wrapping_sub(58));
+        r.validate();
+    }
+
+    #[test]
+    fn constfold_respects_division_faults() {
+        let mut r = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(10), vec![], RegClass::Int);
+            let z = r.emit(IrOp::ConstI(0), vec![], RegClass::Int);
+            let d = r.emit(IrOp::Alu(HAluOp::Div), vec![a, z], RegClass::Int);
+            vec![(0, d)]
+        });
+        let st = ConstFold.run(&mut r);
+        assert_eq!(st.rewritten, 0, "division must not fold");
+    }
+
+    #[test]
+    fn constfold_folds_fp_and_transcendentals() {
+        let mut r = region_with_exit(|r| {
+            let x = r.emit(IrOp::ConstF(1.25f64.to_bits()), vec![], RegClass::Fp);
+            let s = r.emit(IrOp::FSin, vec![x], RegClass::Fp);
+            let c = r.emit(IrOp::CvtFI, vec![s], RegClass::Int);
+            vec![(0, c)]
+        });
+        let st = ConstFold.run(&mut r);
+        assert_eq!(st.rewritten, 2);
+        let folded = r
+            .insts
+            .iter()
+            .find_map(|i| match i.op {
+                IrOp::ConstF(v) if v == darco_guest::softfp::sin_spec(1.25).to_bits() => Some(()),
+                _ => None,
+            });
+        assert!(folded.is_some(), "sin folded through the architectural spec");
+    }
+
+    #[test]
+    fn copyprop_rewrites_uses_and_exits() {
+        let mut r = region_with_exit(|r| {
+            let a = r.new_vreg(RegClass::Int);
+            r.entry.gprs[0] = Some(a);
+            let c1 = r.emit(IrOp::Copy, vec![a], RegClass::Int);
+            let c2 = r.emit(IrOp::Copy, vec![c1], RegClass::Int);
+            let s = r.emit(IrOp::Alu(HAluOp::Add), vec![c2, c2], RegClass::Int);
+            vec![(0, s), (1, c2)]
+        });
+        CopyProp.run(&mut r);
+        // The add now reads the entry vreg directly; exit gpr1 points at it.
+        let add = r.insts.iter().find(|i| matches!(i.op, IrOp::Alu(HAluOp::Add))).unwrap();
+        assert_eq!(add.srcs, vec![VReg(0), VReg(0)]);
+        assert_eq!(r.exits[0].gprs[1], Some(VReg(0)));
+        r.validate();
+    }
+
+    #[test]
+    fn cse_then_dce_removes_duplicate_work() {
+        let mut r = region_with_exit(|r| {
+            let a = r.new_vreg(RegClass::Int);
+            r.entry.gprs[0] = Some(a);
+            let x = r.emit(IrOp::Alu(HAluOp::Mul), vec![a, a], RegClass::Int);
+            let y = r.emit(IrOp::Alu(HAluOp::Mul), vec![a, a], RegClass::Int); // duplicate
+            let s = r.emit(IrOp::Alu(HAluOp::Add), vec![x, y], RegClass::Int);
+            vec![(0, s)]
+        });
+        let n_before = r.insts.len();
+        Cse.run(&mut r);
+        CopyProp.run(&mut r);
+        let st = Dce.run(&mut r);
+        assert_eq!(st.removed, 1, "the CSE'd duplicate (now a dead copy) is removed");
+        assert_eq!(r.insts.len(), n_before - 1);
+        r.validate();
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_their_inputs() {
+        let mut r = region_with_exit(|r| {
+            let a = r.new_vreg(RegClass::Int);
+            r.entry.gprs[0] = Some(a);
+            let addr = r.emit(IrOp::ConstI(0x100), vec![], RegClass::Int);
+            r.push(Inst::new(IrOp::Store { width: darco_guest::Width::D }, None, vec![addr, a]));
+            let dead = r.emit(IrOp::Alu(HAluOp::Add), vec![a, a], RegClass::Int);
+            let _ = dead;
+            vec![]
+        });
+        let st = Dce.run(&mut r);
+        assert_eq!(st.removed, 1, "only the dead add is removed");
+        assert!(r.insts.iter().any(|i| i.op.is_store()));
+        r.validate();
+    }
+
+    #[test]
+    fn full_pipeline_levels() {
+        for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let mut r = region_with_exit(|r| {
+                let a = r.emit(IrOp::ConstI(2), vec![], RegClass::Int);
+                let b = r.emit(IrOp::ConstI(3), vec![], RegClass::Int);
+                let s = r.emit(IrOp::Alu(HAluOp::Add), vec![a, b], RegClass::Int);
+                vec![(0, s)]
+            });
+            let st = run_pipeline(&mut r, lvl);
+            r.validate();
+            if lvl == OptLevel::O0 {
+                assert_eq!(st.rewritten + st.removed, 0);
+            } else {
+                assert!(st.rewritten > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! List scheduling (paper §V-B3: "the DDG is then fed to the instruction
+//! scheduler that uses a conventional list scheduling algorithm").
+//!
+//! The scheduler orders a region for the in-order host: critical-path
+//! priority, cycle-accurate ready times from DDG edge latencies, and a
+//! small resource model (issue width, memory ports, FP units) mirroring
+//! the timing simulator's back-end.
+
+use crate::ddg::Ddg;
+use crate::ir::{IrOp, Region};
+use darco_host::{FAluOp, FUnOp2, HAluOp};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler resource model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Instructions per cycle.
+    pub issue_width: u32,
+    /// Memory operations per cycle.
+    pub mem_ports: u32,
+    /// FP operations per cycle.
+    pub fp_units: u32,
+    /// Integer multiply/divide operations per cycle.
+    pub muldiv_units: u32,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { issue_width: 2, mem_ports: 1, fp_units: 1, muldiv_units: 1 }
+    }
+}
+
+/// Static latency of an operation, in cycles (also used as DDG edge
+/// weight).
+pub fn latency(op: &IrOp) -> u32 {
+    match op {
+        IrOp::Load { .. } | IrOp::LoadF => 3,
+        IrOp::Alu(HAluOp::Mul | HAluOp::MulHS) => 4,
+        IrOp::Alu(HAluOp::Div | HAluOp::Rem) => 12,
+        IrOp::FAlu(FAluOp::Mul) => 4,
+        IrOp::FAlu(FAluOp::Div) => 16,
+        IrOp::FAlu(_) => 3,
+        IrOp::FUn(FUnOp2::Sqrt) => 20,
+        IrOp::FUn(_) => 2,
+        IrOp::FCmp(_) => 2,
+        IrOp::CvtIF | IrOp::CvtFI => 3,
+        IrOp::FSin | IrOp::FCos => 50,
+        _ => 1,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Res {
+    Mem,
+    Fp,
+    MulDiv,
+    Plain,
+}
+
+fn resource(op: &IrOp) -> Res {
+    match op {
+        IrOp::Load { .. } | IrOp::LoadF | IrOp::Store { .. } | IrOp::StoreF => Res::Mem,
+        IrOp::FAlu(_) | IrOp::FUn(_) | IrOp::FCmp(_) | IrOp::CvtIF | IrOp::CvtFI | IrOp::FSin
+        | IrOp::FCos => Res::Fp,
+        IrOp::Alu(HAluOp::Mul | HAluOp::MulHS | HAluOp::Div | HAluOp::Rem) => Res::MulDiv,
+        _ => Res::Plain,
+    }
+}
+
+/// Schedules the region in place. Returns the schedule length in cycles
+/// as estimated by the resource model.
+///
+/// The terminal `ExitAlways` always stays last. Memory `seq` numbers are
+/// assigned before reordering (by the translator), so the host alias
+/// hardware still sees original program order.
+pub fn list_schedule(region: &mut Region, ddg: &Ddg, cfg: &SchedConfig) -> u32 {
+    let n = region.insts.len();
+    if n == 0 {
+        return 0;
+    }
+
+    // Critical-path priority: longest latency path to any sink.
+    let mut prio = vec![0u32; n];
+    for i in (0..n).rev() {
+        let own = latency(&region.insts[i].op);
+        let best_succ = ddg.succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+        prio[i] = own + best_succ;
+    }
+
+    let mut remaining_preds: Vec<usize> = ddg.preds.iter().map(|p| p.len()).collect();
+    let mut ready_cycle = vec![0u32; n];
+    let mut scheduled = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    let terminal = n - 1;
+    debug_assert!(matches!(region.insts[terminal].op, IrOp::ExitAlways { .. }));
+
+    let mut cycle = 0u32;
+    let mut guard = 0u64;
+    while order.len() < n - 1 {
+        guard += 1;
+        assert!(guard < 1_000_000, "scheduler failed to make progress (DDG cycle?)");
+        // Issue up to the resource limits this cycle.
+        let mut issued = 0u32;
+        let mut mem = 0u32;
+        let mut fp = 0u32;
+        let mut muldiv = 0u32;
+        while issued < cfg.issue_width {
+            // Pick the highest-priority ready instruction that fits.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                if i == terminal
+                    || scheduled[i]
+                    || remaining_preds[i] != 0
+                    || ready_cycle[i] > cycle
+                {
+                    continue;
+                }
+                let fits = match resource(&region.insts[i].op) {
+                    Res::Mem => mem < cfg.mem_ports,
+                    Res::Fp => fp < cfg.fp_units,
+                    Res::MulDiv => muldiv < cfg.muldiv_units,
+                    Res::Plain => true,
+                };
+                if !fits {
+                    continue;
+                }
+                if best.is_none_or(|b| prio[i] > prio[b]) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            scheduled[i] = true;
+            order.push(i);
+            issued += 1;
+            match resource(&region.insts[i].op) {
+                Res::Mem => mem += 1,
+                Res::Fp => fp += 1,
+                Res::MulDiv => muldiv += 1,
+                Res::Plain => {}
+            }
+            let done = cycle + latency(&region.insts[i].op);
+            for &s in &ddg.succs[i] {
+                if s == terminal || scheduled[s] {
+                    continue;
+                }
+                ready_cycle[s] = ready_cycle[s].max(done);
+                remaining_preds[s] -= 1;
+            }
+        }
+        cycle += 1;
+    }
+    order.push(terminal);
+
+    // Permute the instruction list.
+    let mut new_insts = Vec::with_capacity(n);
+    for &i in &order {
+        new_insts.push(region.insts[i].clone());
+    }
+    region.insts = new_insts;
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg;
+    use crate::ir::{ExitDesc, ExitKind, Inst, RegClass, Region};
+    use darco_guest::Width;
+
+    fn close(r: &mut Region) {
+        r.exits.push(ExitDesc::new(ExitKind::Halt));
+        let idx = r.exits.len() - 1;
+        r.push(Inst::new(IrOp::ExitAlways { exit: idx }, None, vec![]));
+    }
+
+    #[test]
+    fn schedule_respects_dataflow() {
+        let mut r = Region::new(0);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let l = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![a], RegClass::Int);
+        let x = r.emit(IrOp::Alu(HAluOp::Add), vec![l, l], RegClass::Int);
+        let _ = x;
+        // An independent op that can fill the load shadow.
+        let y = r.emit(IrOp::Alu(HAluOp::Xor), vec![a, a], RegClass::Int);
+        let _ = y;
+        close(&mut r);
+        let g = ddg::build(&mut r, true);
+        list_schedule(&mut r, &g, &SchedConfig::default());
+        r.validate(); // validate() checks def-before-use, i.e. dataflow order
+        // The independent xor should have been hoisted between load and add.
+        let pos_load = r.insts.iter().position(|i| i.op.is_load()).unwrap();
+        let pos_add =
+            r.insts.iter().position(|i| matches!(i.op, IrOp::Alu(HAluOp::Add))).unwrap();
+        let pos_xor =
+            r.insts.iter().position(|i| matches!(i.op, IrOp::Alu(HAluOp::Xor))).unwrap();
+        assert!(pos_load < pos_add);
+        assert!(pos_xor < pos_add, "xor fills the load-use delay slot");
+    }
+
+    #[test]
+    fn terminal_stays_last_and_stores_stay_bounded() {
+        let mut r = Region::new(0);
+        let a = r.new_vreg(RegClass::Int);
+        let c = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        r.entry.gprs[1] = Some(c);
+        let v = r.emit(IrOp::ConstI(3), vec![], RegClass::Int);
+        r.exits.push(ExitDesc::new(ExitKind::Jump { target: 1 }));
+        r.push(Inst::new(IrOp::ExitIf { exit: 0 }, None, vec![c]));
+        r.push(Inst::new(IrOp::Store { width: Width::D }, None, vec![a, v]));
+        close(&mut r);
+        let g = ddg::build(&mut r, true);
+        list_schedule(&mut r, &g, &SchedConfig::default());
+        assert!(matches!(r.insts.last().unwrap().op, IrOp::ExitAlways { .. }));
+        let pos_exit = r.insts.iter().position(|i| matches!(i.op, IrOp::ExitIf { .. })).unwrap();
+        let pos_store = r.insts.iter().position(|i| i.op.is_store()).unwrap();
+        assert!(pos_store > pos_exit, "store stays after the side exit");
+        r.validate();
+    }
+
+    #[test]
+    fn schedule_length_reflects_latency() {
+        // A chain of dependent multiplies cannot be shorter than the sum of
+        // latencies; independent ones can.
+        let mut chain = Region::new(0);
+        let a = chain.new_vreg(RegClass::Int);
+        chain.entry.gprs[0] = Some(a);
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = chain.emit(IrOp::Alu(HAluOp::Mul), vec![cur, cur], RegClass::Int);
+        }
+        close(&mut chain);
+        let g = ddg::build(&mut chain, true);
+        let len_chain = list_schedule(&mut chain, &g, &SchedConfig::default());
+
+        let mut indep = Region::new(0);
+        let a = indep.new_vreg(RegClass::Int);
+        indep.entry.gprs[0] = Some(a);
+        for _ in 0..4 {
+            indep.emit(IrOp::Alu(HAluOp::Add), vec![a, a], RegClass::Int);
+        }
+        close(&mut indep);
+        let g = ddg::build(&mut indep, true);
+        let len_indep = list_schedule(&mut indep, &g, &SchedConfig::default());
+        assert!(len_chain > len_indep, "chain {len_chain} vs indep {len_indep}");
+        assert!(len_chain >= 13, "4 dependent multiplies serialize on latency");
+    }
+}

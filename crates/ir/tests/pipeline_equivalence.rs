@@ -1,0 +1,209 @@
+//! Optimizer semantic-equivalence property tests: for random straight-line
+//! regions, the fully optimized + scheduled + register-allocated host code
+//! must compute exactly what the unoptimized translation computes.
+//!
+//! This is the compiler-correctness half of DARCO's validation story,
+//! isolated from the guest ISA: if these hold, a divergence caught by the
+//! controller points at translation (guest semantics), not optimization.
+
+use darco_guest::{GuestMem, Width};
+use darco_host::emu::{ExitCause, HostEmulator, IbtcTable, ProfTable};
+use darco_host::runtime::build_runtime;
+use darco_host::sink::NullSink;
+use darco_host::{HAluOp, HReg};
+use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
+use darco_ir::ddg;
+use darco_ir::passes::{run_pipeline, OptLevel};
+use darco_ir::sched::{list_schedule, SchedConfig};
+use darco_ir::{ExitDesc, ExitKind, Inst, IrOp, RegClass, Region, VReg};
+use proptest::prelude::*;
+
+/// Proptest-encoded region operations over a small pool of values.
+#[derive(Debug, Clone)]
+enum ROp {
+    Const(u32),
+    Alu(u8, u8, u8),
+    Load(u8),
+    Store(u8, u8),
+    Cvt(u8),
+    FAdd(u8, u8),
+}
+
+fn rop() -> impl Strategy<Value = ROp> {
+    prop_oneof![
+        any::<u32>().prop_map(ROp::Const),
+        (0u8..12, 0u8..8, 0u8..8).prop_map(|(o, a, b)| ROp::Alu(o, a, b)),
+        (0u8..16).prop_map(ROp::Load),
+        (0u8..16, 0u8..8).prop_map(|(s, v)| ROp::Store(s, v)),
+        (0u8..8).prop_map(ROp::Cvt),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| ROp::FAdd(a, b)),
+    ]
+}
+
+const ALU_OPS: [HAluOp; 12] = [
+    HAluOp::Add,
+    HAluOp::Sub,
+    HAluOp::Mul,
+    HAluOp::And,
+    HAluOp::Or,
+    HAluOp::Xor,
+    HAluOp::Shl,
+    HAluOp::Shr,
+    HAluOp::Sar,
+    HAluOp::SltS,
+    HAluOp::SltU,
+    HAluOp::Seq,
+];
+
+/// Builds a region from the op list: maintains rolling pools of int/fp
+/// values; publishes the most recent values through the exit.
+fn build_region(ops: &[ROp]) -> Region {
+    let mut r = Region::new(0x1000);
+    let base = r.new_vreg(RegClass::Int);
+    r.entry.gprs[6] = Some(base); // ESI-style array base
+    let mut ints: Vec<VReg> = Vec::new();
+    let mut fps: Vec<VReg> = Vec::new();
+    for i in 0..8 {
+        let v = r.new_vreg(RegClass::Int);
+        r.entry.gprs[i % 4] = r.entry.gprs[i % 4]; // keep map simple
+        if i < 4 {
+            // seed ints from entry registers 0..3
+            r.entry.gprs[i] = Some(v);
+            ints.push(v);
+        } else {
+            let f = r.new_vreg(RegClass::Fp);
+            r.entry.fprs[i - 4] = Some(f);
+            fps.push(f);
+        }
+    }
+    let mut seq = 0u16;
+    for op in ops {
+        match op {
+            ROp::Const(c) => {
+                let v = r.emit(IrOp::ConstI(*c), vec![], RegClass::Int);
+                ints.push(v);
+            }
+            ROp::Alu(o, a, b) => {
+                let op = ALU_OPS[*o as usize % ALU_OPS.len()];
+                let a = ints[*a as usize % ints.len()];
+                let b = ints[*b as usize % ints.len()];
+                let v = r.emit(IrOp::Alu(op), vec![a, b], RegClass::Int);
+                ints.push(v);
+            }
+            ROp::Load(slot) => {
+                let off = r.emit(IrOp::ConstI(*slot as u32 * 4), vec![], RegClass::Int);
+                let addr = r.emit(IrOp::Alu(HAluOp::Add), vec![base, off], RegClass::Int);
+                seq += 1;
+                let dst = r.new_vreg(RegClass::Int);
+                let mut inst =
+                    Inst::new(IrOp::Load { width: Width::D, sign: false }, Some(dst), vec![addr]);
+                inst.seq = seq;
+                r.push(inst);
+                ints.push(dst);
+            }
+            ROp::Store(slot, v) => {
+                let off = r.emit(IrOp::ConstI(*slot as u32 * 4), vec![], RegClass::Int);
+                let addr = r.emit(IrOp::Alu(HAluOp::Add), vec![base, off], RegClass::Int);
+                let val = ints[*v as usize % ints.len()];
+                seq += 1;
+                let mut inst = Inst::new(IrOp::Store { width: Width::D }, None, vec![addr, val]);
+                inst.seq = seq;
+                r.push(inst);
+            }
+            ROp::Cvt(i) => {
+                let a = ints[*i as usize % ints.len()];
+                let f = r.emit(IrOp::CvtIF, vec![a], RegClass::Fp);
+                fps.push(f);
+                let back = r.emit(IrOp::CvtFI, vec![f], RegClass::Int);
+                ints.push(back);
+            }
+            ROp::FAdd(a, b) => {
+                let a = fps[*a as usize % fps.len()];
+                let b = fps[*b as usize % fps.len()];
+                let f = r.emit(IrOp::FAlu(darco_host::FAluOp::Add), vec![a, b], RegClass::Fp);
+                fps.push(f);
+            }
+        }
+    }
+    let mut e = ExitDesc::new(ExitKind::Jump { target: 0x2000 });
+    for (i, v) in ints.iter().rev().take(4).enumerate() {
+        e.gprs[i] = Some(*v);
+    }
+    for (i, f) in fps.iter().rev().take(4).enumerate() {
+        e.fprs[i] = Some(*f);
+    }
+    let idx = r.exits.len();
+    r.exits.push(e);
+    r.push(Inst::new(IrOp::ExitAlways { exit: idx }, None, vec![]));
+    r.validate();
+    r
+}
+
+/// Compiles and executes a region; returns (gprs, fprs-bits, memory words).
+fn execute(region: &Region, optimize: bool) -> ([u32; 8], [u64; 8], Vec<u32>) {
+    let mut region = region.clone();
+    if optimize {
+        run_pipeline(&mut region, OptLevel::O2);
+        ddg::memory_opt(&mut region);
+        run_pipeline(&mut region, OptLevel::O2);
+        let g = ddg::build(&mut region, true);
+        list_schedule(&mut region, &g, &SchedConfig::default());
+        region.validate();
+    }
+    let rt = build_runtime();
+    let base_addr = rt.code.len();
+    let ctx = CodegenCtx {
+        base: base_addr,
+        sin_addr: rt.sin_entry,
+        cos_addr: rt.cos_entry,
+        entry_count_idx: None,
+        sb_mode: true,
+    };
+    let out = codegen::generate(&region, &ctx);
+    let mut arena = rt.code;
+    arena.extend(out.code);
+
+    let mut emu = HostEmulator::new();
+    // Deterministic initial state.
+    for i in 0..4 {
+        emu.iregs[i] = 0x100 + i as u32 * 7;
+    }
+    for i in 0..4 {
+        emu.fregs[i] = i as f64 * 1.5 - 2.0;
+    }
+    emu.iregs[6] = 0x0040_0000;
+    emu.iregs[darco_host::regs::R_SPILL_BASE.index()] = SPILL_AREA_BASE;
+    let _ = HReg(0);
+    let mut mem = GuestMem::new();
+    mem.map_zero(0x0040_0000 >> 12);
+    mem.map_zero(SPILL_AREA_BASE >> 12);
+    for s in 0..16u32 {
+        mem.write_u32(0x0040_0000 + s * 4, 0xABC0 + s).unwrap();
+    }
+    let ibtc = IbtcTable::new();
+    let mut prof = ProfTable::new();
+    let info = emu.execute(&arena, base_addr, &mut mem, &ibtc, &mut prof, u64::MAX, &mut NullSink);
+    assert_eq!(info.cause, ExitCause::Exit { id: 0 });
+    let mut gprs = [0u32; 8];
+    gprs.copy_from_slice(&emu.iregs[..8]);
+    let mut fprs = [0u64; 8];
+    for i in 0..8 {
+        fprs[i] = emu.fregs[i].to_bits();
+    }
+    let words: Vec<u32> = (0..16).map(|s| mem.read_u32(0x0040_0000 + s * 4).unwrap()).collect();
+    (gprs, fprs, words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimized_pipeline_preserves_semantics(ops in prop::collection::vec(rop(), 4..40)) {
+        let region = build_region(&ops);
+        let plain = execute(&region, false);
+        let opt = execute(&region, true);
+        prop_assert_eq!(plain.0, opt.0, "guest register results differ");
+        prop_assert_eq!(plain.1, opt.1, "fp register results differ");
+        prop_assert_eq!(plain.2, opt.2, "memory results differ");
+    }
+}

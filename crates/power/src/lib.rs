@@ -1,0 +1,214 @@
+//! # McPAT-like power and energy model
+//!
+//! The paper integrates McPAT for power/energy modelling (§V: "McPAT has
+//! been integrated with the rest of the infrastructure for power and
+//! energy modelling. The use of the timing and power simulators is
+//! optional"). This crate follows the same approach at a coarser grain:
+//! activity counts from the timing simulator are multiplied by per-access
+//! energies derived from structure sizes, plus a leakage component
+//! proportional to area and cycle count. Absolute watts are not the point
+//! (we are not calibrated against a 22nm library); *relative* behaviour
+//! across configurations is, which is what the design-space and
+//! in-order-vs-out-of-order studies need.
+
+use darco_timing::{TimingConfig, TimingStats};
+use serde::{Deserialize, Serialize};
+
+/// Per-access energies in picojoules, scaled from structure geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Base energy of one simple ALU operation.
+    pub alu_pj: f64,
+    /// Multiply.
+    pub mul_pj: f64,
+    /// Divide.
+    pub div_pj: f64,
+    /// FP operation.
+    pub fp_pj: f64,
+    /// Register-file read port access.
+    pub regfile_read_pj: f64,
+    /// Register-file write.
+    pub regfile_write_pj: f64,
+    /// Per-KiB scaling of a cache access (SRAM word-line energy).
+    pub cache_pj_per_kib: f64,
+    /// Fixed part of a cache access.
+    pub cache_base_pj: f64,
+    /// DRAM access.
+    pub dram_pj: f64,
+    /// Branch-predictor access.
+    pub bpred_pj: f64,
+    /// TLB access.
+    pub tlb_pj: f64,
+    /// Per-instruction front-end (fetch/decode) energy.
+    pub frontend_pj: f64,
+    /// Leakage power per square-millimetre-equivalent area unit, in mW.
+    pub leakage_mw_per_unit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            alu_pj: 0.9,
+            mul_pj: 3.5,
+            div_pj: 12.0,
+            fp_pj: 4.5,
+            regfile_read_pj: 0.3,
+            regfile_write_pj: 0.45,
+            cache_pj_per_kib: 0.012,
+            cache_base_pj: 0.6,
+            dram_pj: 120.0,
+            bpred_pj: 0.25,
+            tlb_pj: 0.2,
+            frontend_pj: 1.1,
+            leakage_mw_per_unit: 2.0,
+        }
+    }
+}
+
+/// Per-component energy breakdown (picojoules) and derived power.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    pub frontend_pj: f64,
+    pub int_core_pj: f64,
+    pub fp_core_pj: f64,
+    pub regfile_pj: f64,
+    pub bpred_pj: f64,
+    pub il1_pj: f64,
+    pub dl1_pj: f64,
+    pub l2_pj: f64,
+    pub dram_pj: f64,
+    pub tlb_pj: f64,
+    pub leakage_pj: f64,
+    /// Total energy in picojoules.
+    pub total_pj: f64,
+    /// Average power in milliwatts at the configured clock.
+    pub avg_power_mw: f64,
+    /// Energy-delay product (pJ · cycles).
+    pub edp: f64,
+}
+
+/// Computes the report for a run.
+pub fn report(stats: &TimingStats, cfg: &TimingConfig, em: &EnergyModel) -> PowerReport {
+    let cache_access = |size: u32| em.cache_base_pj + em.cache_pj_per_kib * (size as f64 / 1024.0);
+    let mut r = PowerReport {
+        frontend_pj: stats.insns as f64 * em.frontend_pj,
+        int_core_pj: stats.int_ops as f64 * em.alu_pj
+            + stats.mul_ops as f64 * em.mul_pj
+            + stats.div_ops as f64 * em.div_pj,
+        fp_core_pj: stats.fp_ops as f64 * em.fp_pj,
+        regfile_pj: stats.reg_reads as f64 * em.regfile_read_pj
+            + stats.reg_writes as f64 * em.regfile_write_pj,
+        bpred_pj: stats.branches as f64 * em.bpred_pj * (cfg.gshare_bits as f64 / 12.0),
+        il1_pj: stats.il1_accesses as f64 * cache_access(cfg.il1.size),
+        dl1_pj: stats.dl1_accesses as f64 * cache_access(cfg.dl1.size),
+        l2_pj: stats.l2_accesses as f64 * cache_access(cfg.l2.size),
+        dram_pj: stats.l2_misses as f64 * em.dram_pj,
+        tlb_pj: (stats.loads + stats.stores + stats.insns / 8) as f64 * em.tlb_pj,
+        ..Default::default()
+    };
+    // Leakage: area proxy grows with width, window size and SRAM bytes.
+    let area_units = cfg.issue_width as f64 * 1.2
+        + cfg.rob_size as f64 / 24.0
+        + (cfg.il1.size + cfg.dl1.size) as f64 / (64.0 * 1024.0)
+        + cfg.l2.size as f64 / (512.0 * 1024.0)
+        + cfg.fp_units as f64 * 1.5;
+    let seconds = stats.cycles as f64 / (cfg.clock_mhz as f64 * 1.0e6);
+    r.leakage_pj = em.leakage_mw_per_unit * area_units * seconds * 1.0e9; // mW·s → pJ
+    r.total_pj = r.frontend_pj
+        + r.int_core_pj
+        + r.fp_core_pj
+        + r.regfile_pj
+        + r.bpred_pj
+        + r.il1_pj
+        + r.dl1_pj
+        + r.l2_pj
+        + r.dram_pj
+        + r.tlb_pj
+        + r.leakage_pj;
+    r.avg_power_mw = if seconds > 0.0 { r.total_pj * 1.0e-9 / seconds } else { 0.0 };
+    r.edp = r.total_pj * stats.cycles as f64;
+    r
+}
+
+/// Energy per instruction in picojoules.
+pub fn epi_pj(r: &PowerReport, stats: &TimingStats) -> f64 {
+    if stats.insns == 0 {
+        0.0
+    } else {
+        r.total_pj / stats.insns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(insns: u64, cycles: u64) -> TimingStats {
+        TimingStats {
+            insns,
+            cycles,
+            int_ops: insns * 6 / 10,
+            loads: insns / 5,
+            stores: insns / 10,
+            fp_ops: insns / 20,
+            il1_accesses: insns / 8,
+            dl1_accesses: insns * 3 / 10,
+            l2_accesses: insns / 50,
+            l2_misses: insns / 500,
+            reg_reads: insns * 3 / 2,
+            reg_writes: insns * 7 / 10,
+            branches: insns / 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let cfg = TimingConfig::default();
+        let s = stats(1_000_000, 800_000);
+        let r = report(&s, &cfg, &EnergyModel::default());
+        let sum = r.frontend_pj
+            + r.int_core_pj
+            + r.fp_core_pj
+            + r.regfile_pj
+            + r.bpred_pj
+            + r.il1_pj
+            + r.dl1_pj
+            + r.l2_pj
+            + r.dram_pj
+            + r.tlb_pj
+            + r.leakage_pj;
+        assert!((sum - r.total_pj).abs() < 1e-6);
+        assert!(r.avg_power_mw > 0.0);
+    }
+
+    #[test]
+    fn wider_core_leaks_more() {
+        let s = stats(1_000_000, 800_000);
+        let em = EnergyModel::default();
+        let narrow = report(&s, &TimingConfig::default(), &em);
+        let wide = report(&s, &TimingConfig::wide_inorder(), &em);
+        assert!(wide.leakage_pj > narrow.leakage_pj);
+    }
+
+    #[test]
+    fn slower_run_has_lower_power_but_same_dynamic_energy() {
+        let em = EnergyModel::default();
+        let cfg = TimingConfig::default();
+        let fast = report(&stats(1_000_000, 500_000), &cfg, &em);
+        let slow = report(&stats(1_000_000, 2_000_000), &cfg, &em);
+        assert!(slow.avg_power_mw < fast.avg_power_mw);
+        assert!(slow.total_pj > fast.total_pj, "leakage accumulates over time");
+        assert!(slow.edp > fast.edp);
+    }
+
+    #[test]
+    fn dram_misses_dominate_when_frequent() {
+        let em = EnergyModel::default();
+        let cfg = TimingConfig::default();
+        let mut s = stats(1_000_000, 800_000);
+        s.l2_misses = 200_000;
+        let r = report(&s, &cfg, &em);
+        assert!(r.dram_pj > r.int_core_pj);
+    }
+}

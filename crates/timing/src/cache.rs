@@ -1,0 +1,204 @@
+//! Set-associative cache and TLB models (LRU replacement).
+
+use crate::config::{CacheConfig, TlbConfig};
+
+/// A set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    line_shift: u32,
+    set_mask: u64,
+    ways: usize,
+    /// `sets[set][way] = (tag, last_use)`.
+    sets: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    /// Accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Hit latency.
+    pub latency: u32,
+}
+
+impl CacheModel {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not a power of two.
+    pub fn new(cfg: &CacheConfig) -> CacheModel {
+        let lines = cfg.size / cfg.line;
+        let sets = (lines / cfg.ways).max(1);
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        CacheModel {
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            ways: cfg.ways as usize,
+            sets: vec![Vec::new(); sets as usize],
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+            latency: cfg.latency,
+        }
+    }
+
+    /// Accesses `addr`; returns true on hit. Misses allocate (the caller
+    /// charges next-level latency).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.tick += 1;
+        let hit = self.probe_fill(addr);
+        if !hit {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Inserts a line without counting an access (prefetch fill). Returns
+    /// true if it was already present.
+    pub fn fill(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.probe_fill(addr)
+    }
+
+    fn probe_fill(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways.iter_mut().find(|e| e.0 == tag) {
+            e.1 = self.tick;
+            return true;
+        }
+        if ways.len() >= self.ways {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            ways.swap_remove(lru);
+        }
+        ways.push((tag, self.tick));
+        false
+    }
+
+    /// Miss rate so far.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A fully associative, LRU TLB.
+#[derive(Debug, Clone)]
+pub struct TlbModel {
+    entries: usize,
+    map: Vec<(u64, u64)>, // (page, last_use)
+    tick: u64,
+    /// Accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Penalty on miss.
+    pub miss_penalty: u32,
+}
+
+impl TlbModel {
+    /// Builds a TLB from its configuration.
+    pub fn new(cfg: &TlbConfig) -> TlbModel {
+        TlbModel {
+            entries: cfg.entries as usize,
+            map: Vec::new(),
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+            miss_penalty: cfg.miss_penalty,
+        }
+    }
+
+    /// Accesses the page of `addr` (4 KiB pages); returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.tick += 1;
+        let page = addr >> 12;
+        if let Some(e) = self.map.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            return true;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.entries {
+            let lru = self
+                .map
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.map.swap_remove(lru);
+        }
+        self.map.push((page, self.tick));
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheModel::new(&CacheConfig { size: 1024, ways: 2, line: 64, latency: 1 });
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004), "same line");
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 ways; three conflicting lines evict the least recently used.
+        let cfg = CacheConfig { size: 2 * 64, ways: 2, line: 64, latency: 1 };
+        let mut c = CacheModel::new(&cfg); // 1 set
+        c.access(0);
+        c.access(0x40);
+        c.access(0); // refresh line 0
+        assert!(!c.access(0x80), "miss; evicts 0x40");
+        assert!(c.access(0), "line 0 survives");
+        assert!(!c.access(0x40), "0x40 was evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let cfg = CacheConfig { size: 4096, ways: 4, line: 64, latency: 1 };
+        let mut c = CacheModel::new(&cfg);
+        for round in 0..4 {
+            for i in 0..256u64 {
+                c.access(i * 64);
+            }
+            let _ = round;
+        }
+        assert!(c.miss_rate() > 0.9, "64-line cache can't hold 256 lines");
+    }
+
+    #[test]
+    fn tlb_tracks_pages() {
+        let mut t = TlbModel::new(&TlbConfig { entries: 2, miss_penalty: 10 });
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF), "same page");
+        t.access(0x2000);
+        t.access(0x3000); // evicts 0x1000
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn prefetch_fill_is_not_an_access() {
+        let mut c = CacheModel::new(&CacheConfig { size: 1024, ways: 2, line: 64, latency: 1 });
+        c.fill(0x2000);
+        assert_eq!(c.accesses, 0);
+        assert!(c.access(0x2000), "prefetched line hits");
+    }
+}

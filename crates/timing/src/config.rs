@@ -1,0 +1,166 @@
+//! Timing-simulator configuration — the paper's §V-C parameter list:
+//! "issue width, instruction queue size, numbers of execution units and
+//! latencies, number of physical registers (scalar/vector), branch
+//! predictor and BTB sizes, cache and TLB sizes/latencies, numbers of
+//! memory read/write ports and vector length for SIMD units".
+
+use serde::{Deserialize, Serialize};
+
+/// One cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+/// One TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative, LRU).
+    pub entries: u32,
+    /// Miss penalty added when this level misses into the next.
+    pub miss_penalty: u32,
+}
+
+/// Full core + memory-hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued per cycle (in-order) / dispatched (OoO).
+    pub issue_width: u32,
+    /// Instruction queue size (front-end/back-end decoupling).
+    pub iq_size: u32,
+    /// Front-end depth in cycles (fetch→issue minimum).
+    pub frontend_depth: u32,
+    /// Number of simple integer units.
+    pub simple_units: u32,
+    /// Number of complex (multiply/divide) units.
+    pub complex_units: u32,
+    /// Number of FP/vector units.
+    pub fp_units: u32,
+    /// Memory read ports.
+    pub mem_read_ports: u32,
+    /// Memory write ports.
+    pub mem_write_ports: u32,
+    /// Scalar physical registers (in-order: architectural; kept for
+    /// config fidelity with the paper's parameter list).
+    pub phys_regs: u32,
+    /// Vector physical registers.
+    pub vec_phys_regs: u32,
+    /// SIMD vector length in 64-bit lanes.
+    pub vector_len: u32,
+    /// Integer multiply latency.
+    pub lat_mul: u32,
+    /// Integer divide latency.
+    pub lat_div: u32,
+    /// FP add/compare/convert latency.
+    pub lat_fpadd: u32,
+    /// FP multiply latency.
+    pub lat_fpmul: u32,
+    /// FP divide latency.
+    pub lat_fpdiv: u32,
+    /// FP square-root latency.
+    pub lat_fpsqrt: u32,
+    /// gshare history bits (PHT has `2^bits` 2-bit counters).
+    pub gshare_bits: u32,
+    /// BTB entries (direct mapped).
+    pub btb_entries: u32,
+    /// Branch misprediction penalty (pipeline refill).
+    pub mispredict_penalty: u32,
+    /// L1 instruction cache.
+    pub il1: CacheConfig,
+    /// L1 data cache.
+    pub dl1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Memory latency after an L2 miss.
+    pub mem_latency: u32,
+    /// L1 instruction TLB.
+    pub itlb: TlbConfig,
+    /// L1 data TLB.
+    pub dtlb: TlbConfig,
+    /// Shared L2 TLB.
+    pub l2tlb: TlbConfig,
+    /// Enable the stride data prefetcher.
+    pub prefetch: bool,
+    /// Prefetch degree (lines fetched ahead).
+    pub prefetch_degree: u32,
+    /// Out-of-order extension: reorder-buffer size (used by `OooCore`).
+    pub rob_size: u32,
+    /// Core clock in MHz (power reporting only).
+    pub clock_mhz: u32,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            fetch_width: 4,
+            issue_width: 2,
+            iq_size: 32,
+            frontend_depth: 5,
+            simple_units: 2,
+            complex_units: 1,
+            fp_units: 1,
+            mem_read_ports: 1,
+            mem_write_ports: 1,
+            phys_regs: 64,
+            vec_phys_regs: 16,
+            vector_len: 4,
+            lat_mul: 4,
+            lat_div: 12,
+            lat_fpadd: 3,
+            lat_fpmul: 4,
+            lat_fpdiv: 16,
+            lat_fpsqrt: 20,
+            gshare_bits: 12,
+            btb_entries: 1024,
+            mispredict_penalty: 8,
+            il1: CacheConfig { size: 32 << 10, ways: 4, line: 64, latency: 1 },
+            dl1: CacheConfig { size: 32 << 10, ways: 4, line: 64, latency: 2 },
+            l2: CacheConfig { size: 512 << 10, ways: 8, line: 64, latency: 12 },
+            mem_latency: 150,
+            itlb: TlbConfig { entries: 32, miss_penalty: 8 },
+            dtlb: TlbConfig { entries: 64, miss_penalty: 8 },
+            l2tlb: TlbConfig { entries: 512, miss_penalty: 40 },
+            prefetch: true,
+            prefetch_degree: 2,
+            rob_size: 32,
+            clock_mhz: 1500,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// A wide in-order configuration (the §III design-choice study).
+    pub fn wide_inorder() -> TimingConfig {
+        TimingConfig { issue_width: 4, fetch_width: 6, simple_units: 4, ..Default::default() }
+    }
+
+    /// A narrow out-of-order configuration for the same study.
+    pub fn narrow_ooo() -> TimingConfig {
+        TimingConfig { issue_width: 2, fetch_width: 4, rob_size: 48, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_consistent() {
+        let c = TimingConfig::default();
+        assert!(c.issue_width <= c.fetch_width);
+        assert!(c.dl1.size < c.l2.size);
+        assert_eq!(c.dl1.line, c.l2.line);
+        let j = serde_json::to_string(&c).unwrap();
+        let back: TimingConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, c);
+    }
+}

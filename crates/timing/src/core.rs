@@ -1,0 +1,558 @@
+//! The in-order superscalar core model.
+//!
+//! Trace-driven: consumes the retired host-instruction stream through
+//! [`InsnSink`]. Models a decoupled front-end (fetch groups, I-cache,
+//! I-TLB, BTB + gshare, redirect penalties) and an in-order back-end
+//! (register scoreboard, issue-width and functional-unit constraints,
+//! memory hierarchy with a stride prefetcher), separated by an
+//! instruction queue that lets fetch run ahead of issue.
+
+use crate::bpred::{Btb, Gshare};
+use crate::cache::{CacheModel, TlbModel};
+use crate::config::TimingConfig;
+use crate::prefetch::StridePrefetcher;
+use darco_host::sink::{EventKind, InsnSink, RetireEvent};
+use serde::{Deserialize, Serialize};
+
+/// Final simulation statistics (also the power model's activity input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingStats {
+    /// Retired instructions.
+    pub insns: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Simple integer operations.
+    pub int_ops: u64,
+    /// Multiplies.
+    pub mul_ops: u64,
+    /// Divides.
+    pub div_ops: u64,
+    /// FP operations.
+    pub fp_ops: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Direction mispredictions.
+    pub mispredicts: u64,
+    /// BTB redirects (unknown/wrong targets).
+    pub btb_redirects: u64,
+    /// L1I accesses / misses.
+    pub il1_accesses: u64,
+    pub il1_misses: u64,
+    /// L1D accesses / misses.
+    pub dl1_accesses: u64,
+    pub dl1_misses: u64,
+    /// L2 accesses / misses.
+    pub l2_accesses: u64,
+    pub l2_misses: u64,
+    /// I-TLB misses.
+    pub itlb_misses: u64,
+    /// D-TLB misses.
+    pub dtlb_misses: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Register file reads (power model).
+    pub reg_reads: u64,
+    /// Register file writes.
+    pub reg_writes: u64,
+}
+
+impl TimingStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insns as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.insns as f64
+        }
+    }
+}
+
+/// Rolling per-cycle resource usage for monotonic (in-order) issue.
+#[derive(Debug, Clone, Copy, Default)]
+struct Usage {
+    issued: u32,
+    simple: u32,
+    complex: u32,
+    fp: u32,
+    rports: u32,
+    wports: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Simple,
+    Complex,
+    Fp,
+    Load,
+    Store,
+}
+
+/// The in-order core.
+#[derive(Debug)]
+pub struct InOrderCore {
+    cfg: TimingConfig,
+    // front end
+    fe_cycle: u64,
+    fe_count: u32,
+    last_fetch_line: u64,
+    redirect_until: u64,
+    // IQ decoupling: issue cycles of the last `iq_size` instructions.
+    iq_ring: Vec<u64>,
+    iq_pos: usize,
+    // back end
+    scoreboard: [u64; 128],
+    cur_cycle: u64,
+    usage: Usage,
+    last_complete: u64,
+    // structures
+    gshare: Gshare,
+    btb: Btb,
+    il1: CacheModel,
+    dl1: CacheModel,
+    l2: CacheModel,
+    itlb: TlbModel,
+    dtlb: TlbModel,
+    l2tlb: TlbModel,
+    prefetcher: StridePrefetcher,
+    // stats
+    insns: u64,
+    loads: u64,
+    stores: u64,
+    int_ops: u64,
+    mul_ops: u64,
+    div_ops: u64,
+    fp_ops: u64,
+    reg_reads: u64,
+    reg_writes: u64,
+}
+
+impl InOrderCore {
+    /// Creates a core from its configuration.
+    pub fn new(cfg: TimingConfig) -> InOrderCore {
+        InOrderCore {
+            fe_cycle: 0,
+            fe_count: 0,
+            last_fetch_line: u64::MAX,
+            redirect_until: 0,
+            iq_ring: vec![0; cfg.iq_size.max(1) as usize],
+            iq_pos: 0,
+            scoreboard: [0; 128],
+            cur_cycle: 0,
+            usage: Usage::default(),
+            last_complete: 0,
+            gshare: Gshare::new(cfg.gshare_bits),
+            btb: Btb::new(cfg.btb_entries),
+            il1: CacheModel::new(&cfg.il1),
+            dl1: CacheModel::new(&cfg.dl1),
+            l2: CacheModel::new(&cfg.l2),
+            itlb: TlbModel::new(&cfg.itlb),
+            dtlb: TlbModel::new(&cfg.dtlb),
+            l2tlb: TlbModel::new(&cfg.l2tlb),
+            prefetcher: StridePrefetcher::new(cfg.prefetch_degree),
+            insns: 0,
+            loads: 0,
+            stores: 0,
+            int_ops: 0,
+            mul_ops: 0,
+            div_ops: 0,
+            fp_ops: 0,
+            reg_reads: 0,
+            reg_writes: 0,
+            cfg,
+        }
+    }
+
+    /// Snapshot of the statistics (cycles = end of the last activity).
+    pub fn stats(&self) -> TimingStats {
+        TimingStats {
+            insns: self.insns,
+            cycles: self.last_complete.max(self.cur_cycle).max(self.fe_cycle),
+            loads: self.loads,
+            stores: self.stores,
+            int_ops: self.int_ops,
+            mul_ops: self.mul_ops,
+            div_ops: self.div_ops,
+            fp_ops: self.fp_ops,
+            branches: self.gshare.predictions,
+            mispredicts: self.gshare.mispredicts,
+            btb_redirects: self.btb.target_misses,
+            il1_accesses: self.il1.accesses,
+            il1_misses: self.il1.misses,
+            dl1_accesses: self.dl1.accesses,
+            dl1_misses: self.dl1.misses,
+            l2_accesses: self.l2.accesses,
+            l2_misses: self.l2.misses,
+            itlb_misses: self.itlb.misses,
+            dtlb_misses: self.dtlb.misses,
+            prefetches: self.prefetcher.issued,
+            reg_reads: self.reg_reads,
+            reg_writes: self.reg_writes,
+        }
+    }
+
+    fn classify(kind: &EventKind) -> (Class, u32) {
+        match kind {
+            EventKind::IntAlu | EventKind::Branch { .. } | EventKind::Other => (Class::Simple, 1),
+            EventKind::IntMul => (Class::Complex, 0), // latency filled by caller
+            EventKind::IntDiv => (Class::Complex, 0),
+            EventKind::FpAdd => (Class::Fp, 0),
+            EventKind::FpMul => (Class::Fp, 0),
+            EventKind::FpDiv => (Class::Fp, 0),
+            EventKind::FpSqrt => (Class::Fp, 0),
+            EventKind::Load { .. } => (Class::Load, 0),
+            EventKind::Store { .. } => (Class::Store, 1),
+        }
+    }
+
+    fn latency_of(&self, kind: &EventKind) -> u32 {
+        match kind {
+            EventKind::IntMul => self.cfg.lat_mul,
+            EventKind::IntDiv => self.cfg.lat_div,
+            EventKind::FpAdd => self.cfg.lat_fpadd,
+            EventKind::FpMul => self.cfg.lat_fpmul,
+            EventKind::FpDiv => self.cfg.lat_fpdiv,
+            EventKind::FpSqrt => self.cfg.lat_fpsqrt,
+            _ => 1,
+        }
+    }
+
+    /// Data-side memory access latency (D-TLB + D-cache hierarchy +
+    /// prefetch training).
+    fn mem_latency(&mut self, pc: u64, addr: u64, is_load: bool) -> u32 {
+        let mut lat = self.dl1.latency;
+        if !self.dtlb.access(addr) {
+            lat += if self.l2tlb.access(addr) {
+                self.dtlb.miss_penalty
+            } else {
+                self.dtlb.miss_penalty + self.l2tlb.miss_penalty
+            };
+        }
+        if !self.dl1.access(addr) {
+            lat += if self.l2.access(addr) { self.l2.latency } else { self.l2.latency + self.cfg.mem_latency };
+        }
+        if is_load && self.cfg.prefetch {
+            for p in self.prefetcher.train(pc, addr) {
+                // Prefetch fills both levels (next-line style).
+                if !self.dl1.fill(p) {
+                    self.l2.fill(p);
+                }
+            }
+        }
+        lat
+    }
+
+    /// Instruction-side fetch latency for a new cache line.
+    fn fetch_latency(&mut self, pc_bytes: u64) -> u32 {
+        let mut lat = 0;
+        if !self.itlb.access(pc_bytes) {
+            lat += if self.l2tlb.access(pc_bytes) {
+                self.itlb.miss_penalty
+            } else {
+                self.itlb.miss_penalty + self.l2tlb.miss_penalty
+            };
+        }
+        if !self.il1.access(pc_bytes) {
+            lat += if self.l2.access(pc_bytes) {
+                self.l2.latency
+            } else {
+                self.l2.latency + self.cfg.mem_latency
+            };
+        }
+        lat
+    }
+
+    fn consume(&mut self, ev: &RetireEvent) {
+        let pc_bytes = ev.host_pc * 4;
+
+        // ---- front end -----------------------------------------------------
+        if self.fe_count >= self.cfg.fetch_width {
+            self.fe_cycle += 1;
+            self.fe_count = 0;
+        }
+        if self.fe_cycle < self.redirect_until {
+            self.fe_cycle = self.redirect_until;
+            self.fe_count = 0;
+        }
+        let line = pc_bytes / self.cfg.il1.line as u64;
+        if line != self.last_fetch_line {
+            let extra = self.fetch_latency(pc_bytes);
+            self.fe_cycle += extra as u64;
+            self.last_fetch_line = line;
+        }
+        // IQ backpressure: cannot fetch more than iq_size ahead of issue.
+        let gate = self.iq_ring[self.iq_pos];
+        if self.fe_cycle < gate {
+            self.fe_cycle = gate;
+            self.fe_count = 0;
+        }
+        self.fe_count += 1;
+        let fetched = self.fe_cycle;
+
+        // ---- issue ---------------------------------------------------------
+        let (class, _) = Self::classify(&ev.kind);
+        let mut ready = fetched + self.cfg.frontend_depth as u64;
+        for s in ev.srcs.into_iter().flatten() {
+            ready = ready.max(self.scoreboard[s as usize & 127]);
+            self.reg_reads += 1;
+        }
+        let mut cycle = ready.max(self.cur_cycle);
+        loop {
+            if cycle > self.cur_cycle {
+                self.cur_cycle = cycle;
+                self.usage = Usage::default();
+            }
+            let u = &self.usage;
+            let fits = u.issued < self.cfg.issue_width
+                && match class {
+                    Class::Simple => u.simple < self.cfg.simple_units,
+                    Class::Complex => u.complex < self.cfg.complex_units,
+                    Class::Fp => u.fp < self.cfg.fp_units,
+                    Class::Load => u.rports < self.cfg.mem_read_ports,
+                    Class::Store => u.wports < self.cfg.mem_write_ports,
+                };
+            if fits {
+                break;
+            }
+            cycle += 1;
+        }
+        self.usage.issued += 1;
+        match class {
+            Class::Simple => self.usage.simple += 1,
+            Class::Complex => self.usage.complex += 1,
+            Class::Fp => self.usage.fp += 1,
+            Class::Load => self.usage.rports += 1,
+            Class::Store => self.usage.wports += 1,
+        }
+        let issue = cycle;
+        self.iq_ring[self.iq_pos] = issue;
+        self.iq_pos = (self.iq_pos + 1) % self.iq_ring.len();
+
+        // ---- execute -------------------------------------------------------
+        let lat = match ev.kind {
+            EventKind::Load { addr, .. } => {
+                self.loads += 1;
+                self.mem_latency(pc_bytes, addr as u64, true)
+            }
+            EventKind::Store { addr, .. } => {
+                self.stores += 1;
+                // Stores retire through the store buffer; the cache is
+                // updated (write-allocate) but the latency is hidden.
+                self.mem_latency(pc_bytes, addr as u64, false);
+                1
+            }
+            ref k => {
+                match k {
+                    EventKind::IntMul => self.mul_ops += 1,
+                    EventKind::IntDiv => self.div_ops += 1,
+                    EventKind::FpAdd | EventKind::FpMul | EventKind::FpDiv
+                    | EventKind::FpSqrt => self.fp_ops += 1,
+                    _ => self.int_ops += 1,
+                }
+                self.latency_of(k)
+            }
+        };
+        let complete = issue + lat as u64;
+        if let Some(d) = ev.dst {
+            self.scoreboard[d as usize & 127] = complete;
+            self.reg_writes += 1;
+        }
+        self.last_complete = self.last_complete.max(complete);
+
+        // ---- branch resolution ----------------------------------------------
+        if let EventKind::Branch { taken, target, cond } = ev.kind {
+            let mut redirect = false;
+            if cond {
+                let correct = self.gshare.update(ev.host_pc, taken);
+                if !correct {
+                    redirect = true;
+                }
+            }
+            if taken {
+                let _ = self.btb.lookup(ev.host_pc);
+                if self.btb.update(ev.host_pc, target) {
+                    redirect = true;
+                }
+            }
+            if redirect {
+                self.redirect_until =
+                    self.redirect_until.max(complete + self.cfg.mispredict_penalty as u64);
+                self.last_fetch_line = u64::MAX;
+            }
+        }
+        self.insns += 1;
+    }
+}
+
+impl InsnSink for InOrderCore {
+    fn retire(&mut self, ev: &RetireEvent) {
+        self.consume(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(pc: u64, dst: u8, a: u8, b: u8) -> RetireEvent {
+        RetireEvent {
+            host_pc: pc,
+            kind: EventKind::IntAlu,
+            dst: Some(dst),
+            srcs: [Some(a), Some(b)],
+        }
+    }
+
+    #[test]
+    fn independent_alus_reach_issue_width_ipc() {
+        let mut core = InOrderCore::new(TimingConfig::default());
+        for i in 0..20_000u64 {
+            let d = (i % 8) as u8 + 16;
+            core.retire(&alu(i % 64, d, d, d.wrapping_add(1)));
+        }
+        let s = core.stats();
+        let ipc = s.ipc();
+        assert!(ipc > 1.6, "independent ALUs on a 2-wide core: ipc = {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        let mut core = InOrderCore::new(TimingConfig::default());
+        for i in 0..20_000u64 {
+            core.retire(&alu(i % 64, 16, 16, 16)); // serial chain
+        }
+        let ipc = core.stats().ipc();
+        assert!(ipc <= 1.05, "serial dependence chain: ipc = {ipc}");
+    }
+
+    #[test]
+    fn long_latency_divides_slow_things_down() {
+        let mut fast = InOrderCore::new(TimingConfig::default());
+        let mut slow = InOrderCore::new(TimingConfig::default());
+        for i in 0..5_000u64 {
+            fast.retire(&alu(i % 64, 16, 16, 17));
+            slow.retire(&RetireEvent {
+                host_pc: i % 64,
+                kind: EventKind::IntDiv,
+                dst: Some(16),
+                srcs: [Some(16), Some(17)],
+            });
+        }
+        assert!(slow.stats().cycles > 5 * fast.stats().cycles);
+    }
+
+    #[test]
+    fn cache_missing_loads_hurt() {
+        let mut hit = InOrderCore::new(TimingConfig::default());
+        let mut miss = InOrderCore::new(TimingConfig { prefetch: false, ..Default::default() });
+        for i in 0..10_000u64 {
+            hit.retire(&RetireEvent {
+                host_pc: i % 16,
+                kind: EventKind::Load { addr: 0x1000, bytes: 4 },
+                dst: Some(16),
+                srcs: [Some(17), None],
+            });
+            // Pointer-chasing pattern: random-ish lines over 16 MiB, and the
+            // next load depends on the previous one.
+            let a = (i.wrapping_mul(2654435761) % (16 << 20)) as u32;
+            miss.retire(&RetireEvent {
+                host_pc: i % 16,
+                kind: EventKind::Load { addr: a, bytes: 4 },
+                dst: Some(16),
+                srcs: [Some(16), None],
+            });
+        }
+        let (h, m) = (hit.stats(), miss.stats());
+        assert!(h.dl1_misses < 10);
+        assert!(m.dl1_misses > 9_000);
+        assert!(m.cycles > 10 * h.cycles, "memory-bound: {} vs {}", m.cycles, h.cycles);
+    }
+
+    #[test]
+    fn prefetcher_rescues_streaming_loads() {
+        let run = |pf: bool| {
+            let mut core =
+                InOrderCore::new(TimingConfig { prefetch: pf, ..Default::default() });
+            for i in 0..20_000u64 {
+                // Load-to-load dependence: each miss is exposed, so the
+                // prefetcher's conversion of misses to hits is visible.
+                core.retire(&RetireEvent {
+                    host_pc: 5,
+                    kind: EventKind::Load { addr: (i * 64) as u32, bytes: 4 },
+                    dst: Some(16),
+                    srcs: [Some(16), None],
+                });
+            }
+            core.stats()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(with.prefetches > 10_000);
+        assert!(
+            with.cycles * 2 < without.cycles,
+            "prefetching must help streaming: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_refills() {
+        let run = |biased: bool| {
+            let mut core = InOrderCore::new(TimingConfig::default());
+            let mut x = 99u64;
+            for i in 0..20_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let taken = if biased { true } else { (x >> 40) & 1 == 1 };
+                core.retire(&RetireEvent {
+                    host_pc: 7,
+                    kind: EventKind::Branch {
+                        taken,
+                        target: if taken { 100 } else { 8 },
+                        cond: true,
+                    },
+                    dst: None,
+                    srcs: [Some(16), None],
+                });
+                core.retire(&alu(i % 32 + 8, (i % 8) as u8 + 16, 17, 18));
+            }
+            core.stats()
+        };
+        let good = run(true);
+        let bad = run(false);
+        assert!(bad.mispredicts > 20 * good.mispredicts.max(1));
+        assert!(bad.cycles > good.cycles * 2, "{} vs {}", bad.cycles, good.cycles);
+    }
+
+    #[test]
+    fn wider_issue_helps_parallel_code() {
+        let run = |width: u32| {
+            let mut core = InOrderCore::new(TimingConfig {
+                issue_width: width,
+                fetch_width: width * 2,
+                simple_units: width,
+                ..Default::default()
+            });
+            for i in 0..20_000u64 {
+                let d = (i % 12) as u8 + 16;
+                core.retire(&alu(i % 64, d, 40, 41));
+            }
+            core.stats()
+        };
+        let narrow = run(1);
+        let wide = run(4);
+        assert!(wide.ipc() > 2.5 * narrow.ipc());
+    }
+}

@@ -1,0 +1,395 @@
+//! Out-of-order core extension — the paper's §III design-choice study
+//! ("wide in-order or narrow out-of-order cores").
+//!
+//! Same trace interface and memory hierarchy as [`crate::InOrderCore`],
+//! but instructions issue as soon as their operands and a functional unit
+//! are available within a ROB window, and retire in order. On identical
+//! instruction streams this isolates the value of dynamic scheduling —
+//! which is exactly the comparison the paper proposes (ablation A4).
+
+use crate::bpred::{Btb, Gshare};
+use crate::cache::{CacheModel, TlbModel};
+use crate::config::TimingConfig;
+use crate::core::TimingStats;
+use crate::prefetch::StridePrefetcher;
+use darco_host::sink::{EventKind, InsnSink, RetireEvent};
+use std::collections::HashMap;
+
+/// The out-of-order core model.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: TimingConfig,
+    fe_cycle: u64,
+    fe_count: u32,
+    last_fetch_line: u64,
+    redirect_until: u64,
+    rob_ring: Vec<u64>, // retire cycles of the last rob_size insns
+    rob_pos: usize,
+    last_retire: u64,
+    scoreboard: [u64; 128],
+    usage: HashMap<u64, (u32, u32, u32, u32, u32, u32)>, // per-cycle counters
+    usage_floor: u64,
+    last_complete: u64,
+    gshare: Gshare,
+    btb: Btb,
+    il1: CacheModel,
+    dl1: CacheModel,
+    l2: CacheModel,
+    itlb: TlbModel,
+    dtlb: TlbModel,
+    l2tlb: TlbModel,
+    prefetcher: StridePrefetcher,
+    insns: u64,
+    loads: u64,
+    stores: u64,
+    int_ops: u64,
+    mul_ops: u64,
+    div_ops: u64,
+    fp_ops: u64,
+    reg_reads: u64,
+    reg_writes: u64,
+}
+
+impl OooCore {
+    /// Creates an out-of-order core.
+    pub fn new(cfg: TimingConfig) -> OooCore {
+        OooCore {
+            fe_cycle: 0,
+            fe_count: 0,
+            last_fetch_line: u64::MAX,
+            redirect_until: 0,
+            rob_ring: vec![0; cfg.rob_size.max(1) as usize],
+            rob_pos: 0,
+            last_retire: 0,
+            scoreboard: [0; 128],
+            usage: HashMap::new(),
+            usage_floor: 0,
+            last_complete: 0,
+            gshare: Gshare::new(cfg.gshare_bits),
+            btb: Btb::new(cfg.btb_entries),
+            il1: CacheModel::new(&cfg.il1),
+            dl1: CacheModel::new(&cfg.dl1),
+            l2: CacheModel::new(&cfg.l2),
+            itlb: TlbModel::new(&cfg.itlb),
+            dtlb: TlbModel::new(&cfg.dtlb),
+            l2tlb: TlbModel::new(&cfg.l2tlb),
+            prefetcher: StridePrefetcher::new(cfg.prefetch_degree),
+            insns: 0,
+            loads: 0,
+            stores: 0,
+            int_ops: 0,
+            mul_ops: 0,
+            div_ops: 0,
+            fp_ops: 0,
+            reg_reads: 0,
+            reg_writes: 0,
+            cfg,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TimingStats {
+        TimingStats {
+            insns: self.insns,
+            cycles: self.last_retire.max(self.last_complete).max(self.fe_cycle),
+            loads: self.loads,
+            stores: self.stores,
+            int_ops: self.int_ops,
+            mul_ops: self.mul_ops,
+            div_ops: self.div_ops,
+            fp_ops: self.fp_ops,
+            branches: self.gshare.predictions,
+            mispredicts: self.gshare.mispredicts,
+            btb_redirects: self.btb.target_misses,
+            il1_accesses: self.il1.accesses,
+            il1_misses: self.il1.misses,
+            dl1_accesses: self.dl1.accesses,
+            dl1_misses: self.dl1.misses,
+            l2_accesses: self.l2.accesses,
+            l2_misses: self.l2.misses,
+            itlb_misses: self.itlb.misses,
+            dtlb_misses: self.dtlb.misses,
+            prefetches: self.prefetcher.issued,
+            reg_reads: self.reg_reads,
+            reg_writes: self.reg_writes,
+        }
+    }
+
+    fn mem_latency(&mut self, pc: u64, addr: u64, is_load: bool) -> u32 {
+        let mut lat = self.dl1.latency;
+        if !self.dtlb.access(addr) {
+            lat += if self.l2tlb.access(addr) {
+                self.dtlb.miss_penalty
+            } else {
+                self.dtlb.miss_penalty + self.l2tlb.miss_penalty
+            };
+        }
+        if !self.dl1.access(addr) {
+            lat += if self.l2.access(addr) {
+                self.l2.latency
+            } else {
+                self.l2.latency + self.cfg.mem_latency
+            };
+        }
+        if is_load && self.cfg.prefetch {
+            for p in self.prefetcher.train(pc, addr) {
+                if !self.dl1.fill(p) {
+                    self.l2.fill(p);
+                }
+            }
+        }
+        lat
+    }
+
+    fn consume(&mut self, ev: &RetireEvent) {
+        let pc_bytes = ev.host_pc * 4;
+        // Front end — same as the in-order core.
+        if self.fe_count >= self.cfg.fetch_width {
+            self.fe_cycle += 1;
+            self.fe_count = 0;
+        }
+        if self.fe_cycle < self.redirect_until {
+            self.fe_cycle = self.redirect_until;
+            self.fe_count = 0;
+        }
+        let line = pc_bytes / self.cfg.il1.line as u64;
+        if line != self.last_fetch_line {
+            let mut extra = 0;
+            if !self.itlb.access(pc_bytes) {
+                extra += if self.l2tlb.access(pc_bytes) {
+                    self.itlb.miss_penalty
+                } else {
+                    self.itlb.miss_penalty + self.l2tlb.miss_penalty
+                };
+            }
+            if !self.il1.access(pc_bytes) {
+                extra += if self.l2.access(pc_bytes) {
+                    self.l2.latency
+                } else {
+                    self.l2.latency + self.cfg.mem_latency
+                };
+            }
+            self.fe_cycle += extra as u64;
+            self.last_fetch_line = line;
+        }
+        // ROB window: dispatch stalls until the oldest in-window insn
+        // retired.
+        let gate = self.rob_ring[self.rob_pos];
+        if self.fe_cycle < gate {
+            self.fe_cycle = gate;
+            self.fe_count = 0;
+        }
+        self.fe_count += 1;
+        let dispatch = self.fe_cycle + self.cfg.frontend_depth as u64;
+
+        // Issue: operands + any free slot from dispatch onward (dynamic
+        // scheduling: NOT constrained by older instructions' issue order).
+        let mut ready = dispatch;
+        for s in ev.srcs.into_iter().flatten() {
+            ready = ready.max(self.scoreboard[s as usize & 127]);
+            self.reg_reads += 1;
+        }
+        let class = |k: &EventKind| -> u8 {
+            match k {
+                EventKind::IntMul | EventKind::IntDiv => 1,
+                EventKind::FpAdd | EventKind::FpMul | EventKind::FpDiv | EventKind::FpSqrt => 2,
+                EventKind::Load { .. } => 3,
+                EventKind::Store { .. } => 4,
+                _ => 0,
+            }
+        };
+        let c = class(&ev.kind);
+        let mut cycle = ready;
+        loop {
+            let u = self.usage.entry(cycle).or_default();
+            let fits = u.0 < self.cfg.issue_width
+                && match c {
+                    0 => u.1 < self.cfg.simple_units,
+                    1 => u.2 < self.cfg.complex_units,
+                    2 => u.3 < self.cfg.fp_units,
+                    3 => u.4 < self.cfg.mem_read_ports,
+                    _ => u.5 < self.cfg.mem_write_ports,
+                };
+            if fits {
+                u.0 += 1;
+                match c {
+                    0 => u.1 += 1,
+                    1 => u.2 += 1,
+                    2 => u.3 += 1,
+                    3 => u.4 += 1,
+                    _ => u.5 += 1,
+                }
+                break;
+            }
+            cycle += 1;
+        }
+        let issue = cycle;
+
+        let lat = match ev.kind {
+            EventKind::Load { addr, .. } => {
+                self.loads += 1;
+                self.mem_latency(pc_bytes, addr as u64, true)
+            }
+            EventKind::Store { addr, .. } => {
+                self.stores += 1;
+                self.mem_latency(pc_bytes, addr as u64, false);
+                1
+            }
+            ref k => {
+                match k {
+                    EventKind::IntMul => {
+                        self.mul_ops += 1;
+                    }
+                    EventKind::IntDiv => {
+                        self.div_ops += 1;
+                    }
+                    EventKind::FpAdd | EventKind::FpMul | EventKind::FpDiv
+                    | EventKind::FpSqrt => {
+                        self.fp_ops += 1;
+                    }
+                    _ => {
+                        self.int_ops += 1;
+                    }
+                }
+                match k {
+                    EventKind::IntMul => self.cfg.lat_mul,
+                    EventKind::IntDiv => self.cfg.lat_div,
+                    EventKind::FpAdd => self.cfg.lat_fpadd,
+                    EventKind::FpMul => self.cfg.lat_fpmul,
+                    EventKind::FpDiv => self.cfg.lat_fpdiv,
+                    EventKind::FpSqrt => self.cfg.lat_fpsqrt,
+                    _ => 1,
+                }
+            }
+        };
+        let complete = issue + lat as u64;
+        if let Some(d) = ev.dst {
+            self.scoreboard[d as usize & 127] = complete;
+            self.reg_writes += 1;
+        }
+        self.last_complete = self.last_complete.max(complete);
+
+        // In-order retirement.
+        let retire = complete.max(self.last_retire);
+        self.last_retire = retire;
+        self.rob_ring[self.rob_pos] = retire;
+        self.rob_pos = (self.rob_pos + 1) % self.rob_ring.len();
+
+        // Branch resolution at completion.
+        if let EventKind::Branch { taken, target, cond } = ev.kind {
+            let mut redirect = false;
+            if cond && !self.gshare.update(ev.host_pc, taken) {
+                redirect = true;
+            }
+            if taken {
+                let _ = self.btb.lookup(ev.host_pc);
+                if self.btb.update(ev.host_pc, target) {
+                    redirect = true;
+                }
+            }
+            if redirect {
+                self.redirect_until =
+                    self.redirect_until.max(complete + self.cfg.mispredict_penalty as u64);
+                self.last_fetch_line = u64::MAX;
+            }
+        }
+        // Prune the usage map to bound memory.
+        if self.insns % 4096 == 0 {
+            let floor = self.usage_floor;
+            let min_live = self.rob_ring.iter().copied().min().unwrap_or(0);
+            if min_live > floor + 8192 {
+                self.usage.retain(|&c, _| c + 512 >= min_live);
+                self.usage_floor = min_live;
+            }
+        }
+        self.insns += 1;
+    }
+}
+
+impl InsnSink for OooCore {
+    fn retire(&mut self, ev: &RetireEvent) {
+        self.consume(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InOrderCore;
+
+    /// A load-miss followed by independent ALU work: the OoO core should
+    /// hide the miss; the in-order core cannot.
+    #[test]
+    fn ooo_hides_load_misses_that_stall_inorder() {
+        let cfg = TimingConfig { prefetch: false, ..Default::default() };
+        let mut ino = InOrderCore::new(cfg.clone());
+        let mut ooo = OooCore::new(cfg);
+        let mut feed = |sink: &mut dyn InsnSink| {
+            for i in 0..4_000u64 {
+                // Missy load into r20 (pointer chase), then a *dependent* op,
+                // then independent work.
+                let addr = (i.wrapping_mul(2654435761) % (32 << 20)) as u32;
+                sink.retire(&RetireEvent {
+                    host_pc: 3,
+                    kind: EventKind::Load { addr, bytes: 4 },
+                    dst: Some(20),
+                    srcs: [Some(21), None],
+                });
+                sink.retire(&RetireEvent {
+                    host_pc: 4,
+                    kind: EventKind::IntAlu,
+                    dst: Some(22),
+                    srcs: [Some(20), None],
+                });
+                for k in 0..6u64 {
+                    let d = 24 + (k % 4) as u8;
+                    sink.retire(&RetireEvent {
+                        host_pc: 5 + k,
+                        kind: EventKind::IntAlu,
+                        dst: Some(d),
+                        srcs: [Some(30), Some(31)],
+                    });
+                }
+            }
+        };
+        feed(&mut ino);
+        feed(&mut ooo);
+        let (i, o) = (ino.stats(), ooo.stats());
+        assert!(
+            o.cycles * 5 < i.cycles * 4,
+            "OoO should be >= 25% faster here: inorder {} vs ooo {}",
+            i.cycles,
+            o.cycles
+        );
+    }
+
+    #[test]
+    fn rob_size_bounds_the_window() {
+        let small = TimingConfig { rob_size: 4, prefetch: false, ..Default::default() };
+        let big = TimingConfig { rob_size: 128, prefetch: false, ..Default::default() };
+        let feed = |sink: &mut dyn InsnSink| {
+            for i in 0..4_000u64 {
+                let addr = (i.wrapping_mul(2654435761) % (32 << 20)) as u32;
+                sink.retire(&RetireEvent {
+                    host_pc: 3,
+                    kind: EventKind::Load { addr, bytes: 4 },
+                    dst: Some(20),
+                    srcs: [Some(21), None],
+                });
+                for k in 0..10u64 {
+                    sink.retire(&RetireEvent {
+                        host_pc: 5 + k,
+                        kind: EventKind::IntAlu,
+                        dst: Some(24 + (k % 4) as u8),
+                        srcs: [Some(30), Some(31)],
+                    });
+                }
+            }
+        };
+        let mut s = OooCore::new(small);
+        let mut b = OooCore::new(big);
+        feed(&mut s);
+        feed(&mut b);
+        assert!(b.stats().cycles < s.stats().cycles, "bigger window hides more");
+    }
+}

@@ -1,0 +1,409 @@
+//! The translation code cache: arena, lookup, chaining, IBTC,
+//! invalidation and flushing (paper §V-B, §V-D "minimum TOL overhead").
+
+use crate::sbm::SbShape;
+use darco_host::emu::IbtcTable;
+use darco_host::runtime::build_runtime;
+use darco_ir::codegen::ExitMeta;
+use darco_host::HInsn;
+use std::collections::HashMap;
+
+/// Kind of translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransKind {
+    /// Basic-block translation (BBM).
+    Bb,
+    /// Superblock (SBM); `asserts` distinguishes the speculative
+    /// single-exit form from the multi-exit recreation.
+    Sb {
+        /// Inner branches are asserts.
+        asserts: bool,
+    },
+}
+
+/// One installed translation.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// Guest entry PC.
+    pub guest_pc: u32,
+    /// Kind.
+    pub kind: TransKind,
+    /// Host address of the first instruction.
+    pub host_base: usize,
+    /// Number of host instructions.
+    pub len: usize,
+    /// Encoded size in words (code-cache space accounting).
+    pub encoded_words: usize,
+    /// Exit metadata by exit id.
+    pub exits: Vec<ExitMeta>,
+    /// Guest instructions in the source region (static).
+    pub src_insns: u32,
+    /// Host instructions emitted (static, for emulation-cost stats).
+    pub host_insns: u32,
+    /// Mask (CF|ZF<<1|…) of guest flags the translation reads on entry.
+    /// A chain into this translation is only legal from an exit that
+    /// publishes at least these flags in r8–r12; otherwise the software
+    /// layer must resolve deferred flags first.
+    pub needs_flags_mask: u8,
+    /// Assert/alias failures so far (recreation trigger).
+    pub spec_fails: u32,
+    /// Superblock shape for deterministic recreation.
+    pub shape: Option<SbShape>,
+    /// Still dispatchable?
+    pub valid: bool,
+}
+
+/// The code cache.
+pub struct CodeCache {
+    /// The host-code arena (runtime routines live at the bottom).
+    pub arena: Vec<HInsn>,
+    /// Indirect-branch translation cache (guest pc → host address).
+    pub ibtc: IbtcTable,
+    sin_addr: usize,
+    cos_addr: usize,
+    runtime_len: usize,
+    map: HashMap<u32, usize>,
+    translations: Vec<Translation>,
+    /// For each target translation: chain patches into it
+    /// `(slot_host_addr, original_instruction)`.
+    chains_in: HashMap<usize, Vec<(usize, HInsn)>>,
+    /// IBTC entries per owning translation.
+    ibtc_owner: HashMap<usize, Vec<u32>>,
+    capacity_words: usize,
+    used_words: usize,
+    /// Number of full-cache flushes performed.
+    pub flushes: u64,
+}
+
+impl std::fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodeCache")
+            .field("translations", &self.translations.len())
+            .field("used_words", &self.used_words)
+            .field("flushes", &self.flushes)
+            .finish()
+    }
+}
+
+impl CodeCache {
+    /// Creates a cache with the given capacity (in encoded words) and the
+    /// runtime routines installed.
+    pub fn new(capacity_words: usize) -> CodeCache {
+        let rt = build_runtime();
+        let runtime_len = rt.code.len();
+        CodeCache {
+            arena: rt.code,
+            ibtc: IbtcTable::new(),
+            sin_addr: rt.sin_entry,
+            cos_addr: rt.cos_entry,
+            runtime_len,
+            map: HashMap::new(),
+            translations: Vec::new(),
+            chains_in: HashMap::new(),
+            ibtc_owner: HashMap::new(),
+            capacity_words,
+            used_words: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Host address of the `sin` runtime routine.
+    pub fn sin_addr(&self) -> usize {
+        self.sin_addr
+    }
+
+    /// Host address of the `cos` runtime routine.
+    pub fn cos_addr(&self) -> usize {
+        self.cos_addr
+    }
+
+    /// Host address where the next translation will be installed.
+    pub fn next_base(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether installing `words` more would overflow the cache.
+    pub fn would_overflow(&self, words: usize) -> bool {
+        self.used_words + words > self.capacity_words
+    }
+
+    /// Looks up a dispatchable translation for a guest PC.
+    pub fn lookup(&self, guest_pc: u32) -> Option<usize> {
+        self.map.get(&guest_pc).copied().filter(|&i| self.translations[i].valid)
+    }
+
+    /// The translation with the given id.
+    pub fn translation(&self, id: usize) -> &Translation {
+        &self.translations[id]
+    }
+
+    /// Mutable access (spec-failure accounting).
+    pub fn translation_mut(&mut self, id: usize) -> &mut Translation {
+        &mut self.translations[id]
+    }
+
+    /// Number of live (valid) translations.
+    pub fn live_translations(&self) -> usize {
+        self.translations.iter().filter(|t| t.valid).count()
+    }
+
+    /// Finds the translation containing a host address (exit handling:
+    /// chained execution can stop in any translation).
+    pub fn translation_at_host(&self, host_pc: usize) -> Option<usize> {
+        // Arena allocation is monotonic, so binary search over bases.
+        let mut lo = 0usize;
+        let mut hi = self.translations.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.translations[mid].host_base <= host_pc {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let idx = lo.checked_sub(1)?;
+        let t = &self.translations[idx];
+        (host_pc < t.host_base + t.len).then_some(idx)
+    }
+
+    /// Installs a translation, replacing (and invalidating) any previous
+    /// translation at the same guest PC.
+    ///
+    /// Returns the new translation id.
+    ///
+    /// # Panics
+    /// Panics if the code does not fit the capacity even after a flush.
+    pub fn install(&mut self, mut t: Translation, code: Vec<HInsn>) -> usize {
+        assert_eq!(t.host_base, self.arena.len(), "translation must be placed at next_base");
+        assert!(
+            t.encoded_words <= self.capacity_words,
+            "translation larger than the entire code cache"
+        );
+        if let Some(old) = self.map.get(&t.guest_pc).copied() {
+            self.invalidate(old);
+        }
+        t.len = code.len();
+        self.used_words += t.encoded_words;
+        self.arena.extend(code);
+        let id = self.translations.len();
+        self.map.insert(t.guest_pc, id);
+        self.translations.push(t);
+        id
+    }
+
+    /// Invalidates a translation: unpatches chains into it and removes its
+    /// IBTC entries. Its arena space is reclaimed at the next flush.
+    pub fn invalidate(&mut self, id: usize) {
+        if !self.translations[id].valid {
+            return;
+        }
+        self.translations[id].valid = false;
+        let pc = self.translations[id].guest_pc;
+        if self.map.get(&pc) == Some(&id) {
+            self.map.remove(&pc);
+        }
+        if let Some(slots) = self.chains_in.remove(&id) {
+            for (addr, orig) in slots {
+                self.arena[addr] = orig;
+            }
+        }
+        if let Some(pcs) = self.ibtc_owner.remove(&id) {
+            for p in pcs {
+                self.ibtc.remove(&p);
+            }
+        }
+    }
+
+    /// Patches a chain: the `ChainSlot` at `slot_addr` (inside translation
+    /// `from`) becomes a direct branch to translation `to`.
+    ///
+    /// # Panics
+    /// Panics if the slot does not hold a `ChainSlot`.
+    pub fn chain(&mut self, from: usize, slot_addr: usize, to: usize) {
+        let _ = from;
+        let orig = self.arena[slot_addr];
+        assert!(matches!(orig, HInsn::ChainSlot { .. }), "chain target slot is {orig:?}");
+        let target = self.translations[to].host_base;
+        let rel = target as i32 - (slot_addr as i32 + 1);
+        self.arena[slot_addr] = HInsn::B { rel };
+        self.chains_in.entry(to).or_default().push((slot_addr, orig));
+    }
+
+    /// Inserts an IBTC entry for `guest_pc` resolving to translation `to`.
+    pub fn ibtc_insert(&mut self, guest_pc: u32, to: usize) {
+        self.ibtc.insert(guest_pc, self.translations[to].host_base);
+        self.ibtc_owner.entry(to).or_default().push(guest_pc);
+    }
+
+    /// Disassembles a translation (the debug toolchain's view of emitted
+    /// host code).
+    pub fn disassemble(&self, id: usize) -> String {
+        use std::fmt::Write;
+        let t = &self.translations[id];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; translation {id} for guest {:#010x} ({:?}, {} guest insns, {} words{})",
+            t.guest_pc,
+            t.kind,
+            t.src_insns,
+            t.encoded_words,
+            if t.valid { "" } else { ", INVALID" },
+        );
+        for i in 0..t.len {
+            let _ = writeln!(out, "{:6}: {}", t.host_base + i, self.arena[t.host_base + i]);
+        }
+        for (eid, e) in t.exits.iter().enumerate() {
+            let _ = writeln!(out, "; exit {eid}: {:?}", e.kind);
+        }
+        out
+    }
+
+    /// Flushes everything except the runtime routines.
+    pub fn flush(&mut self) {
+        self.arena.truncate(self.runtime_len);
+        self.map.clear();
+        self.translations.clear();
+        self.chains_in.clear();
+        self.ibtc.clear();
+        self.ibtc_owner.clear();
+        self.used_words = 0;
+        self.flushes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_ir::ExitKind;
+
+    fn dummy_translation(cache: &CodeCache, pc: u32, code_len: usize) -> (Translation, Vec<HInsn>) {
+        let code: Vec<HInsn> = std::iter::once(HInsn::Chkpt)
+            .chain(std::iter::repeat(HInsn::Nop).take(code_len.saturating_sub(2)))
+            .chain(std::iter::once(HInsn::TolExit { id: 0 }))
+            .collect();
+        let t = Translation {
+            guest_pc: pc,
+            kind: TransKind::Bb,
+            host_base: cache.next_base(),
+            len: 0,
+            encoded_words: code.len(),
+            exits: vec![ExitMeta {
+                kind: ExitKind::Halt,
+                flags_valid: 0,
+                deferred: None,
+                chain_slot: None,
+            }],
+            src_insns: 1,
+            host_insns: code_len as u32,
+            needs_flags_mask: 0,
+            spec_fails: 0,
+            shape: None,
+            valid: true,
+        };
+        (t, code)
+    }
+
+    #[test]
+    fn install_lookup_and_host_search() {
+        let mut c = CodeCache::new(1 << 16);
+        let (t1, code1) = dummy_translation(&c, 0x1000, 10);
+        let id1 = c.install(t1, code1);
+        let (t2, code2) = dummy_translation(&c, 0x2000, 12);
+        let id2 = c.install(t2, code2);
+        assert_eq!(c.lookup(0x1000), Some(id1));
+        assert_eq!(c.lookup(0x2000), Some(id2));
+        assert_eq!(c.lookup(0x3000), None);
+        let base2 = c.translation(id2).host_base;
+        assert_eq!(c.translation_at_host(base2), Some(id2));
+        assert_eq!(c.translation_at_host(base2 + 5), Some(id2));
+        assert_eq!(c.translation_at_host(base2 - 1), Some(id1));
+        assert_eq!(c.translation_at_host(0), None, "runtime is not a translation");
+    }
+
+    #[test]
+    fn reinstall_invalidates_previous() {
+        let mut c = CodeCache::new(1 << 16);
+        let (t1, code1) = dummy_translation(&c, 0x1000, 10);
+        let id1 = c.install(t1, code1);
+        let (t2, code2) = dummy_translation(&c, 0x1000, 20);
+        let id2 = c.install(t2, code2);
+        assert!(!c.translation(id1).valid);
+        assert_eq!(c.lookup(0x1000), Some(id2));
+        assert_eq!(c.live_translations(), 1);
+    }
+
+    #[test]
+    fn chaining_patches_and_invalidation_unpatches() {
+        let mut c = CodeCache::new(1 << 16);
+        // Translation A with a chain slot in the middle.
+        let base_a = c.next_base();
+        let code_a = vec![HInsn::Chkpt, HInsn::ChainSlot { id: 0 }, HInsn::TolExit { id: 1 }];
+        let (mut ta, _) = dummy_translation(&c, 0x1000, 3);
+        ta.encoded_words = code_a.len();
+        let id_a = c.install(ta, code_a);
+        let (tb, code_b) = dummy_translation(&c, 0x2000, 6);
+        let id_b = c.install(tb, code_b);
+        let slot = base_a + 1;
+        c.chain(id_a, slot, id_b);
+        match c.arena[slot] {
+            HInsn::B { rel } => {
+                assert_eq!(slot as i32 + 1 + rel, c.translation(id_b).host_base as i32);
+            }
+            other => panic!("expected patched branch, got {other:?}"),
+        }
+        // Invalidate B: the chain must revert to the original slot.
+        c.invalidate(id_b);
+        assert!(matches!(c.arena[slot], HInsn::ChainSlot { id: 0 }));
+    }
+
+    #[test]
+    fn ibtc_entries_follow_invalidation() {
+        let mut c = CodeCache::new(1 << 16);
+        let (t1, code1) = dummy_translation(&c, 0x1000, 4);
+        let id1 = c.install(t1, code1);
+        c.ibtc_insert(0x1000, id1);
+        assert_eq!(c.ibtc.get(&0x1000), Some(&c.translation(id1).host_base));
+        c.invalidate(id1);
+        assert!(c.ibtc.is_empty());
+    }
+
+    #[test]
+    fn flush_keeps_runtime() {
+        let mut c = CodeCache::new(1 << 16);
+        let rt_len = c.next_base();
+        let (t1, code1) = dummy_translation(&c, 0x1000, 4);
+        c.install(t1, code1);
+        assert!(c.next_base() > rt_len);
+        c.flush();
+        assert_eq!(c.next_base(), rt_len);
+        assert_eq!(c.lookup(0x1000), None);
+        assert_eq!(c.flushes, 1);
+        // Runtime entries still valid.
+        assert!(c.sin_addr() < rt_len && c.cos_addr() < rt_len);
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let mut c = CodeCache::new(1 << 16);
+        let (t, code) = dummy_translation(&c, 0x1000, 5);
+        let id = c.install(t, code);
+        let d = c.disassemble(id);
+        assert!(d.contains("guest 0x00001000"));
+        assert!(d.contains("chkpt"));
+        assert!(d.contains("tolexit"));
+        assert!(d.contains("exit 0"));
+        c.invalidate(id);
+        assert!(c.disassemble(id).contains("INVALID"));
+    }
+
+    #[test]
+    fn overflow_accounting() {
+        let mut c = CodeCache::new(64);
+        assert!(!c.would_overflow(64));
+        assert!(c.would_overflow(65));
+        let (t1, code1) = dummy_translation(&c, 0x1000, 40);
+        c.install(t1, code1);
+        assert!(c.would_overflow(30));
+    }
+}

@@ -1,0 +1,118 @@
+//! TOL configuration.
+
+use darco_ir::sched::SchedConfig;
+use darco_ir::OptLevel;
+use serde::{Deserialize, Serialize};
+
+/// A deliberately planted bug, for exercising the debug toolchain
+/// (paper §IV "powerful debug toolchain", §V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// The translator emits a wrong constant (off by one) — a
+    /// guest-decoder/translator-stage bug.
+    TranslatorWrongConstant,
+    /// The optimizer folds a constant incorrectly — an optimizer-stage
+    /// bug (only manifests at `O1`+).
+    OptimizerBadFold,
+    /// The code generator drops a store — a codegen-stage bug.
+    CodegenDropStore,
+}
+
+/// Where and what to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Injection {
+    /// The kind of bug.
+    pub kind: BugKind,
+    /// Applied to the N-th translation TOL produces (0-based, counting
+    /// BBM and SBM translations together).
+    pub translation_ordinal: u64,
+}
+
+/// Translation Optimization Layer configuration. Defaults follow the
+/// paper's design; every knob is exercised by an ablation bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TolConfig {
+    /// IM→BBM promotion threshold (block repetition count).
+    pub bbm_threshold: u64,
+    /// BBM→SBM promotion threshold (total block executions).
+    pub sbm_threshold: u64,
+    /// Minimum branch bias for following an edge into a superblock.
+    pub edge_bias: f64,
+    /// Minimum probability of reaching a block from the superblock entry.
+    pub min_reach_prob: f64,
+    /// Maximum guest instructions in a superblock.
+    pub max_sb_insns: usize,
+    /// Maximum basic blocks in a superblock.
+    pub max_sb_bbs: usize,
+    /// Assert failures before a superblock is recreated multi-exit.
+    pub assert_fail_limit: u32,
+    /// Unroll single-block loops during superblock creation.
+    pub unroll: bool,
+    /// Loop unroll factor.
+    pub unroll_factor: u8,
+    /// Optimization level of the SBM pipeline.
+    pub opt_level: OptLevel,
+    /// Enable control speculation (branches → asserts) and memory
+    /// speculation (reordering may-alias pairs) in superblocks.
+    pub speculation: bool,
+    /// Materialize all five guest flags at every flag-writing instruction
+    /// (disables the lazy-flags emulation-cost optimization; ablation A1).
+    pub strict_flags: bool,
+    /// Chain translations (patch direct-branch exits).
+    pub chaining: bool,
+    /// Use the indirect-branch translation cache.
+    pub ibtc: bool,
+    /// Code cache capacity in 32-bit words; the cache is flushed when
+    /// exceeded.
+    pub code_cache_words: usize,
+    /// Scheduler resource model (should mirror the timing configuration).
+    pub sched: SchedConfig,
+    /// Optional planted bug for debug-toolchain tests.
+    pub injection: Option<Injection>,
+}
+
+impl Default for TolConfig {
+    fn default() -> Self {
+        TolConfig {
+            bbm_threshold: 50,
+            sbm_threshold: 500,
+            edge_bias: 0.70,
+            min_reach_prob: 0.40,
+            max_sb_insns: 200,
+            max_sb_bbs: 16,
+            assert_fail_limit: 16,
+            unroll: true,
+            unroll_factor: 4,
+            opt_level: OptLevel::O3,
+            speculation: true,
+            strict_flags: false,
+            chaining: true,
+            ibtc: true,
+            code_cache_words: 4 << 20,
+            sched: SchedConfig::default(),
+            injection: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TolConfig::default();
+        assert!(c.bbm_threshold < c.sbm_threshold);
+        assert!(c.edge_bias > 0.5 && c.edge_bias < 1.0);
+        assert!(c.unroll_factor >= 2);
+        assert!(c.injection.is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TolConfig::default();
+        let j = serde_json::to_string(&c).unwrap();
+        let back: TolConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,140 @@
+//! Deferred (lazy) guest-flag materialization.
+//!
+//! The paper's emulation-cost optimization: "DARCO writes to the flag
+//! registers only if the written value is really going to be consumed by a
+//! subsequent conditional instruction" (§V-D). Inside a translation this
+//! is handled by the translator's flag-state tracking; *across* translation
+//! boundaries the exit publishes a [`PendingFlags`] descriptor — the
+//! last flag-writing operation's kind and operands — and whoever needs the
+//! flags next re-derives them with the guest's own architectural
+//! evaluation functions (the same technique QEMU uses with
+//! `cc_op`/`cc_src`/`cc_dst`).
+
+use darco_guest::exec::{eval_alu, eval_imul, eval_shift, eval_unary};
+use darco_guest::insn::{AluOp, ShiftOp, UnaryOp};
+use darco_guest::{Flags, GuestState};
+use darco_ir::FlagsKind;
+use serde::{Deserialize, Serialize};
+
+/// A deferred flag descriptor captured at a translation exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingFlags {
+    /// The producing operation.
+    pub kind: FlagsKind,
+    /// First operand.
+    pub a: u32,
+    /// Second operand (ignored by `Inc`/`Dec`/`Logic`).
+    pub b: u32,
+}
+
+impl PendingFlags {
+    /// Materializes the descriptor into concrete flags, starting from the
+    /// current flags (`Inc`/`Dec` preserve CF).
+    pub fn materialize(&self, current: Flags) -> Flags {
+        let mut fl = current;
+        match self.kind {
+            FlagsKind::Add => {
+                fl = Flags::default();
+                eval_alu(AluOp::Add, self.a, self.b, &mut fl);
+            }
+            FlagsKind::Sub => {
+                fl = Flags::default();
+                eval_alu(AluOp::Sub, self.a, self.b, &mut fl);
+            }
+            FlagsKind::Logic => {
+                fl.cf = false;
+                fl.of = false;
+                fl.set_result(self.a);
+            }
+            FlagsKind::Inc => {
+                eval_unary(UnaryOp::Inc, self.a, &mut fl);
+            }
+            FlagsKind::Dec => {
+                eval_unary(UnaryOp::Dec, self.a, &mut fl);
+            }
+            FlagsKind::Imul => {
+                eval_imul(self.a, self.b, &mut fl);
+            }
+            FlagsKind::Shl => {
+                eval_shift(ShiftOp::Shl, self.a, self.b, &mut fl);
+            }
+            FlagsKind::Shr => {
+                eval_shift(ShiftOp::Shr, self.a, self.b, &mut fl);
+            }
+            FlagsKind::Sar => {
+                eval_shift(ShiftOp::Sar, self.a, self.b, &mut fl);
+            }
+        }
+        fl
+    }
+}
+
+/// Resolves a pending descriptor into `st.flags` (no-op when `None`).
+pub fn resolve(st: &mut GuestState, pending: &mut Option<PendingFlags>) {
+    if let Some(p) = pending.take() {
+        st.flags = p.materialize(st.flags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_descriptor_matches_interpreter() {
+        let p = PendingFlags { kind: FlagsKind::Sub, a: 3, b: 5 };
+        let fl = p.materialize(Flags::default());
+        let mut want = Flags::default();
+        eval_alu(AluOp::Sub, 3, 5, &mut want);
+        assert_eq!(fl, want);
+        assert!(fl.cf && fl.sf);
+    }
+
+    #[test]
+    fn inc_preserves_carry() {
+        let mut cur = Flags::default();
+        cur.cf = true;
+        let p = PendingFlags { kind: FlagsKind::Inc, a: u32::MAX, b: 0 };
+        let fl = p.materialize(cur);
+        assert!(fl.cf, "Inc must not clobber CF");
+        assert!(fl.zf, "u32::MAX + 1 wraps to zero");
+    }
+
+    #[test]
+    fn logic_clears_carry_and_overflow() {
+        let p = PendingFlags { kind: FlagsKind::Logic, a: 0x8000_0000, b: 0 };
+        let mut cur = Flags::default();
+        cur.cf = true;
+        cur.of = true;
+        let fl = p.materialize(cur);
+        assert!(!fl.cf && !fl.of && fl.sf);
+    }
+
+    #[test]
+    fn resolve_clears_pending() {
+        let mut st = GuestState::new();
+        let mut pend = Some(PendingFlags { kind: FlagsKind::Sub, a: 1, b: 1 });
+        resolve(&mut st, &mut pend);
+        assert!(pend.is_none());
+        assert!(st.flags.zf);
+        // Resolving nothing changes nothing.
+        st.flags.cf = true;
+        resolve(&mut st, &mut pend);
+        assert!(st.flags.cf);
+    }
+
+    #[test]
+    fn shift_descriptor_matches_interpreter() {
+        for (kind, op) in [
+            (FlagsKind::Shl, ShiftOp::Shl),
+            (FlagsKind::Shr, ShiftOp::Shr),
+            (FlagsKind::Sar, ShiftOp::Sar),
+        ] {
+            let p = PendingFlags { kind, a: 0x8000_0001, b: 3 };
+            let fl = p.materialize(Flags::default());
+            let mut want = Flags::default();
+            eval_shift(op, 0x8000_0001, 3, &mut want);
+            assert_eq!(fl, want, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! IM — the interpretation mode (paper §V-B1).
+//!
+//! Interprets guest instructions through the architectural executor in
+//! `darco_guest::exec`, one basic block at a time. IM guarantees forward
+//! progress, serves as the safety net for instructions excluded from
+//! translation, and provides recovery after speculation failures.
+
+use darco_guest::exec::{self, Next};
+use darco_guest::insn::Insn;
+use darco_guest::{Fault, GuestState};
+
+/// Why a block interpretation stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockStop {
+    /// The block ended normally (branch, jump, call, ret or fall-through
+    /// split); `next_pc` is in [`BlockRun`].
+    End,
+    /// The budget ran out mid-block (resumable).
+    Budget,
+    /// The next instruction is a syscall; `EIP` points at it.
+    Syscall,
+    /// The next instruction is `halt`; `EIP` points at it.
+    Halt,
+    /// A page fault; `EIP` points at the faulting instruction (resumable
+    /// once the page is installed).
+    PageFault {
+        /// Faulting address.
+        addr: u32,
+        /// Write access?
+        write: bool,
+    },
+    /// A non-recoverable guest fault (bad opcode, division by zero).
+    GuestError(Fault),
+}
+
+/// Result of interpreting (up to) one basic block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockRun {
+    /// PC the block started at.
+    pub entry_pc: u32,
+    /// Guest instructions retired.
+    pub insns: u64,
+    /// Why interpretation stopped.
+    pub stop: BlockStop,
+    /// For blocks ending in a conditional branch: `(taken_target,
+    /// fallthrough, taken?)` — feeds the edge profiler.
+    pub jcc: Option<(u32, u32, bool)>,
+}
+
+/// Maximum instructions in one "block" before an artificial split (keeps
+/// profiling granularity bounded; mirrors the translator's block split).
+pub const MAX_BLOCK_INSNS: u64 = 128;
+
+/// Interprets one basic block (or until `budget` instructions).
+///
+/// Stops *before* executing `syscall`/`halt` so the controller can run the
+/// synchronization protocol, and leaves the state untouched on faults so
+/// execution can resume after the controller installs the missing page.
+pub fn interpret_block(st: &mut GuestState, budget: u64) -> BlockRun {
+    let entry_pc = st.eip;
+    let mut insns = 0u64;
+    let budget = budget.min(MAX_BLOCK_INSNS);
+    loop {
+        if insns >= budget {
+            return BlockRun { entry_pc, insns, stop: BlockStop::Budget, jcc: None };
+        }
+        // Peek for syscall/halt before executing.
+        match exec::fetch(&st.mem, st.eip) {
+            Ok((Insn::Syscall, _)) => {
+                return BlockRun { entry_pc, insns, stop: BlockStop::Syscall, jcc: None };
+            }
+            Ok((Insn::Halt, _)) => {
+                return BlockRun { entry_pc, insns, stop: BlockStop::Halt, jcc: None };
+            }
+            Ok(_) => {}
+            Err(Fault::Page(pf)) => {
+                return BlockRun {
+                    entry_pc,
+                    insns,
+                    stop: BlockStop::PageFault { addr: pf.addr, write: pf.write },
+                    jcc: None,
+                };
+            }
+            Err(f) => {
+                return BlockRun { entry_pc, insns, stop: BlockStop::GuestError(f), jcc: None };
+            }
+        }
+        match exec::step(st) {
+            Ok(info) => {
+                insns += 1;
+                match info.next {
+                    Next::RepContinue => continue,
+                    Next::Seq => {
+                        if info.insn.ends_block() {
+                            // Not-taken conditional branch.
+                            let jcc = match info.insn {
+                                Insn::Jcc { rel, .. } => {
+                                    let fall = info.pc.wrapping_add(info.len);
+                                    Some((fall.wrapping_add(rel as u32), fall, false))
+                                }
+                                _ => None,
+                            };
+                            return BlockRun { entry_pc, insns, stop: BlockStop::End, jcc };
+                        }
+                    }
+                    Next::Jump(t) => {
+                        let jcc = match info.insn {
+                            Insn::Jcc { .. } => {
+                                let fall = info.pc.wrapping_add(info.len);
+                                Some((t, fall, true))
+                            }
+                            _ => None,
+                        };
+                        return BlockRun { entry_pc, insns, stop: BlockStop::End, jcc };
+                    }
+                    Next::Syscall | Next::Halt => {
+                        unreachable!("syscall/halt are intercepted before execution")
+                    }
+                }
+            }
+            Err(Fault::Page(pf)) => {
+                return BlockRun {
+                    entry_pc,
+                    insns,
+                    stop: BlockStop::PageFault { addr: pf.addr, write: pf.write },
+                    jcc: None,
+                };
+            }
+            Err(f) => {
+                return BlockRun { entry_pc, insns, stop: BlockStop::GuestError(f), jcc: None };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{Asm, Cond, Gpr};
+
+    fn boot(build: impl FnOnce(&mut Asm)) -> GuestState {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        build(&mut a);
+        let p = a.into_program();
+        GuestState::boot(&p)
+    }
+
+    #[test]
+    fn stops_at_block_end_with_edge_info() {
+        let mut st = boot(|a| {
+            a.mov_ri(Gpr::Eax, 1);
+            a.cmp_ri(Gpr::Eax, 1);
+            let l = a.label();
+            a.jcc_to(Cond::E, l);
+            a.nop();
+            a.bind(l);
+            a.halt();
+        });
+        let run = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run.stop, BlockStop::End);
+        assert_eq!(run.insns, 3);
+        let (_taken_t, _fall, taken) = run.jcc.unwrap();
+        assert!(taken);
+        // Next block: halt is intercepted.
+        let run2 = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run2.stop, BlockStop::Halt);
+        assert_eq!(run2.insns, 0);
+    }
+
+    #[test]
+    fn syscall_is_not_executed() {
+        let mut st = boot(|a| {
+            a.mov_ri(Gpr::Eax, 2);
+            a.syscall();
+            a.halt();
+        });
+        let run = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run.stop, BlockStop::Syscall);
+        assert_eq!(run.insns, 1);
+        // EIP points at the syscall itself.
+        let (insn, _) = exec::fetch(&st.mem, st.eip).unwrap();
+        assert_eq!(insn, Insn::Syscall);
+    }
+
+    #[test]
+    fn budget_splits_blocks_resumably() {
+        let mut st = boot(|a| {
+            for _ in 0..10 {
+                a.inc(Gpr::Eax);
+            }
+            a.halt();
+        });
+        let run = interpret_block(&mut st, 4);
+        assert_eq!(run.stop, BlockStop::Budget);
+        assert_eq!(run.insns, 4);
+        let run2 = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run2.insns, 6);
+        assert_eq!(st.gpr(Gpr::Eax), 10);
+    }
+
+    #[test]
+    fn page_fault_is_resumable() {
+        let mut st = boot(|a| {
+            a.mov_ri(Gpr::Ebx, 0x0900_0000);
+            a.load(Gpr::Ecx, darco_guest::Addr::base(Gpr::Ebx));
+            a.halt();
+        });
+        let run = interpret_block(&mut st, u64::MAX);
+        assert!(matches!(run.stop, BlockStop::PageFault { addr: 0x0900_0000, write: false }));
+        st.mem.map_zero(0x0900_0000 >> 12);
+        let run2 = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run2.stop, BlockStop::Halt);
+    }
+
+    #[test]
+    fn long_straightline_code_splits() {
+        let mut st = boot(|a| {
+            for _ in 0..200 {
+                a.nop();
+            }
+            a.halt();
+        });
+        let run = interpret_block(&mut st, u64::MAX);
+        assert_eq!(run.stop, BlockStop::Budget);
+        assert_eq!(run.insns, MAX_BLOCK_INSNS);
+    }
+}

@@ -1,0 +1,375 @@
+//! SBM — superblock formation, speculation and loop unrolling
+//! (paper §V-B3).
+//!
+//! A superblock starts at a hot basic block and follows the biased branch
+//! directions collected by BBM's edge counters. Formation stops at the
+//! paper's four conditions: (1) an indirect branch/call/return, (2) an
+//! unbiased branch or a reach probability below threshold, (3) too many
+//! instructions, (4) too many basic blocks.
+//!
+//! In assert mode, inner branches become `assert`s (single-entry,
+//! single-exit: maximum reordering freedom); after repeated assert
+//! failures the TOL rebuilds the superblock *multi-exit* with real side
+//! exits and conservative memory ordering. Single-block loops whose
+//! backedge is biased-taken are unrolled `unroll_factor`× with the
+//! original loop reachable as the fallback path.
+
+use crate::config::TolConfig;
+use crate::translate::{
+    self, decode_block, BlockPlan, RegionBuilder, TermKind,
+};
+use darco_guest::GuestMem;
+use darco_ir::Region;
+use serde::{Deserialize, Serialize};
+
+/// Edge bias data the planner queries per basic block, `(taken_count,
+/// fall_count)`.
+pub type EdgeQuery<'a> = &'a dyn Fn(u32) -> Option<(u64, u64)>;
+
+/// The deterministic shape of a superblock (kept with the translation so
+/// assert-failure recreation rebuilds the exact same trace).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SbShape {
+    /// Entry PC.
+    pub entry: u32,
+    /// Basic-block PCs along the trace.
+    pub bbs: Vec<u32>,
+    /// For each non-final block ending in a conditional branch: the
+    /// followed direction.
+    pub dirs: Vec<Option<bool>>,
+    /// Unroll count (1 = not unrolled).
+    pub unroll: u8,
+}
+
+/// Plans a superblock starting at `entry`.
+///
+/// # Errors
+/// Returns `None` when the entry block cannot be decoded or is not
+/// translatable (callers fall back to keeping the BBM translation).
+pub fn plan_superblock(
+    mem: &GuestMem,
+    entry: u32,
+    edges: EdgeQuery<'_>,
+    cfg: &TolConfig,
+) -> Option<SbShape> {
+    let mut bbs = Vec::new();
+    let mut dirs = Vec::new();
+    let mut insns = 0usize;
+    let mut prob = 1.0f64;
+    let mut pc = entry;
+    loop {
+        let plan = decode_block(mem, pc).ok()?;
+        if !plan.translatable {
+            break;
+        }
+        // Check the self-loop unroll pattern first: a single-block loop
+        // whose backedge is biased-taken.
+        if bbs.is_empty() && cfg.unroll {
+            if let TermKind::Jcc { target, .. } = plan.term_kind {
+                if target == entry {
+                    if let Some((taken, fall)) = edges(pc) {
+                        let total = taken + fall;
+                        if total > 0 && taken as f64 / total as f64 >= cfg.edge_bias {
+                            return Some(SbShape {
+                                entry,
+                                bbs: vec![pc],
+                                dirs: vec![Some(true)],
+                                unroll: cfg.unroll_factor.max(1),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        insns += plan.body.len() + plan.term.is_some() as usize;
+        bbs.push(pc);
+        if bbs.len() >= cfg.max_sb_bbs || insns >= cfg.max_sb_insns {
+            dirs.push(None);
+            break;
+        }
+        match plan.term_kind {
+            TermKind::Jmp { target } => {
+                if bbs.contains(&target) {
+                    dirs.push(None);
+                    break; // loop back into the trace: stop
+                }
+                dirs.push(None);
+                pc = target;
+            }
+            TermKind::Jcc { target, fall, .. } => {
+                let Some((taken, fallc)) = edges(pc) else {
+                    dirs.push(None);
+                    break;
+                };
+                let total = taken + fallc;
+                if total == 0 {
+                    dirs.push(None);
+                    break;
+                }
+                let bias_taken = taken as f64 / total as f64;
+                let (follow_taken, bias) = if bias_taken >= 0.5 {
+                    (true, bias_taken)
+                } else {
+                    (false, 1.0 - bias_taken)
+                };
+                if bias < cfg.edge_bias {
+                    dirs.push(None);
+                    break;
+                }
+                prob *= bias;
+                if prob < cfg.min_reach_prob {
+                    dirs.push(None);
+                    break;
+                }
+                let next = if follow_taken { target } else { fall };
+                if bbs.contains(&next) {
+                    dirs.push(None);
+                    break;
+                }
+                dirs.push(Some(follow_taken));
+                pc = next;
+            }
+            // Indirect, call, return, syscall, halt, split: the block
+            // terminates the superblock.
+            _ => {
+                dirs.push(None);
+                break;
+            }
+        }
+    }
+    if bbs.is_empty() {
+        return None;
+    }
+    Some(SbShape { entry, bbs, dirs, unroll: 1 })
+}
+
+/// Builds the superblock region for a shape.
+///
+/// `asserts` selects assert mode (speculative, single-exit) vs multi-exit
+/// recreation.
+///
+/// # Errors
+/// Returns `None` if the code changed under the shape (blocks no longer
+/// decodable/translatable).
+pub fn build_sb_region(
+    mem: &GuestMem,
+    shape: &SbShape,
+    asserts: bool,
+    cfg: &TolConfig,
+) -> Option<Region> {
+    let mut plans: Vec<BlockPlan> = Vec::with_capacity(shape.bbs.len());
+    for &pc in &shape.bbs {
+        let p = decode_block(mem, pc).ok()?;
+        if !p.translatable {
+            return None;
+        }
+        plans.push(p);
+    }
+    let mut b = RegionBuilder::new(shape.entry, cfg.strict_flags);
+    let copies = shape.unroll.max(1) as usize;
+    for copy in 0..copies {
+        for (i, plan) in plans.iter().enumerate() {
+            let last_overall = copy == copies - 1 && i == plans.len() - 1;
+            for d in &plan.body {
+                b.translate_insn(d);
+            }
+            // Mid-trace unconditional jumps are straightened away (the
+            // planner records them with no direction).
+            let mid_trace_jmp =
+                !last_overall && shape.dirs[i].is_none() && matches!(plan.term_kind, TermKind::Jmp { .. });
+            if mid_trace_jmp {
+                b.bump_gcnt();
+                continue;
+            }
+            if last_overall || shape.dirs[i].is_none() {
+                translate::finish_terminal(&mut b, plan, None);
+                debug_assert!(last_overall, "mid-trace block without direction");
+                break;
+            }
+            let follow_taken = shape.dirs[i].unwrap();
+            match plan.term_kind {
+                TermKind::Jcc { cc, target, fall } => {
+                    b.cur_pc_for_term(plan);
+                    b.bump_gcnt();
+                    if asserts && cfg.speculation {
+                        let cond = b.eval_cond(cc);
+                        b.assert(cond, follow_taken);
+                    } else {
+                        // Multi-exit: leave when the branch goes the
+                        // unfollowed way.
+                        let exit_cc = if follow_taken { cc.negate() } else { cc };
+                        let cond = b.eval_cond(exit_cc);
+                        let exit_target = if follow_taken { fall } else { target };
+                        let e = b.exit_desc(darco_ir::ExitKind::Jump { target: exit_target });
+                        let idx = b.push_exit(e);
+                        b.exit_if(cond, idx);
+                    }
+                }
+                TermKind::Jmp { .. } => {
+                    // Straightened away inside the superblock — zero host
+                    // instructions, but it still retires.
+                    b.bump_gcnt();
+                }
+                _ => unreachable!("planner only follows jcc/jmp edges"),
+            }
+        }
+    }
+    b.region.validate();
+    Some(b.region)
+}
+
+impl RegionBuilder {
+    /// Sets the current guest PC to a plan's terminator (for debug
+    /// attribution of the emitted condition/assert).
+    pub fn cur_pc_for_term(&mut self, plan: &BlockPlan) {
+        if let Some(t) = plan.term {
+            self.set_cur_pc(t.pc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{Asm, Cond, Gpr};
+    use darco_ir::IrOp;
+    use std::collections::HashMap;
+
+    fn setup(build: impl FnOnce(&mut Asm)) -> GuestMem {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        build(&mut a);
+        let p = a.into_program();
+        let mut mem = GuestMem::new();
+        p.map_into(&mut mem);
+        mem
+    }
+
+    fn edges_from(map: HashMap<u32, (u64, u64)>) -> impl Fn(u32) -> Option<(u64, u64)> {
+        move |pc| map.get(&pc).copied()
+    }
+
+    #[test]
+    fn follows_biased_edges_and_stops_at_indirect() {
+        // bb0: cmp/jcc (biased taken) -> bb1: ... ret
+        let mut taken_pc = 0;
+        let mem = setup(|a| {
+            a.cmp_ri(Gpr::Eax, 0);
+            let l = a.label();
+            a.jcc_to(Cond::E, l);
+            a.nop(); // fallthrough path (not followed)
+            a.bind(l);
+            taken_pc = a.addr();
+            a.inc(Gpr::Ebx);
+            a.ret();
+        });
+        let mut e = HashMap::new();
+        e.insert(DEFAULT_CODE_BASE, (90u64, 10u64));
+        let q = edges_from(e);
+        let shape =
+            plan_superblock(&mem, DEFAULT_CODE_BASE, &q, &TolConfig::default()).unwrap();
+        assert_eq!(shape.bbs.len(), 2);
+        assert_eq!(shape.bbs[1], taken_pc);
+        assert_eq!(shape.dirs[0], Some(true));
+        assert_eq!(shape.unroll, 1);
+    }
+
+    #[test]
+    fn unbiased_branch_stops_formation() {
+        let mem = setup(|a| {
+            a.cmp_ri(Gpr::Eax, 0);
+            let l = a.label();
+            a.jcc_to(Cond::E, l);
+            a.nop();
+            a.bind(l);
+            a.ret();
+        });
+        let mut e = HashMap::new();
+        e.insert(DEFAULT_CODE_BASE, (55u64, 45u64)); // bias 0.55 < 0.7
+        let q = edges_from(e);
+        let shape =
+            plan_superblock(&mem, DEFAULT_CODE_BASE, &q, &TolConfig::default()).unwrap();
+        assert_eq!(shape.bbs.len(), 1);
+    }
+
+    #[test]
+    fn detects_unrollable_self_loop() {
+        let mem = setup(|a| {
+            let top = a.here();
+            a.add_rr(Gpr::Eax, Gpr::Ecx);
+            a.dec(Gpr::Ecx);
+            a.jcc_to(Cond::Ne, top);
+            a.halt();
+        });
+        let mut e = HashMap::new();
+        e.insert(DEFAULT_CODE_BASE, (95u64, 5u64));
+        let q = edges_from(e);
+        let cfg = TolConfig::default();
+        let shape = plan_superblock(&mem, DEFAULT_CODE_BASE, &q, &cfg).unwrap();
+        assert_eq!(shape.unroll, cfg.unroll_factor);
+        assert_eq!(shape.bbs, vec![DEFAULT_CODE_BASE]);
+    }
+
+    #[test]
+    fn assert_mode_region_has_asserts_and_single_terminal() {
+        let mem = setup(|a| {
+            let top = a.here();
+            a.add_rr(Gpr::Eax, Gpr::Ecx);
+            a.dec(Gpr::Ecx);
+            a.jcc_to(Cond::Ne, top);
+            a.halt();
+        });
+        let cfg = TolConfig::default();
+        let shape = SbShape {
+            entry: DEFAULT_CODE_BASE,
+            bbs: vec![DEFAULT_CODE_BASE],
+            dirs: vec![Some(true)],
+            unroll: 4,
+        };
+        let region = build_sb_region(&mem, &shape, true, &cfg).unwrap();
+        let asserts =
+            region.insts.iter().filter(|i| matches!(i.op, IrOp::Assert { .. })).count();
+        assert_eq!(asserts, 3, "copies 1..U-1 assert the backedge");
+        // Terminal copy: ExitIf (loop continues) + ExitAlways (loop exits).
+        let exitifs =
+            region.insts.iter().filter(|i| matches!(i.op, IrOp::ExitIf { .. })).count();
+        assert_eq!(exitifs, 1);
+        // Loop-continue exit chains back to the entry.
+        assert!(region
+            .exits
+            .iter()
+            .any(|e| e.kind == darco_ir::ExitKind::Jump { target: DEFAULT_CODE_BASE }));
+        // The unrolled region retires 3 guest insns per iteration.
+        let max_gcnt = region.exits.iter().map(|e| e.gcnt).max().unwrap();
+        assert_eq!(max_gcnt, 12, "4 unrolled iterations x 3 insns");
+    }
+
+    #[test]
+    fn multi_exit_recreation_uses_side_exits() {
+        let mem = setup(|a| {
+            let top = a.here();
+            a.add_rr(Gpr::Eax, Gpr::Ecx);
+            a.dec(Gpr::Ecx);
+            a.jcc_to(Cond::Ne, top);
+            a.halt();
+        });
+        let cfg = TolConfig::default();
+        let shape = SbShape {
+            entry: DEFAULT_CODE_BASE,
+            bbs: vec![DEFAULT_CODE_BASE],
+            dirs: vec![Some(true)],
+            unroll: 4,
+        };
+        let region = build_sb_region(&mem, &shape, false, &cfg).unwrap();
+        let asserts =
+            region.insts.iter().filter(|i| matches!(i.op, IrOp::Assert { .. })).count();
+        assert_eq!(asserts, 0, "multi-exit recreation has no asserts");
+        let exitifs =
+            region.insts.iter().filter(|i| matches!(i.op, IrOp::ExitIf { .. })).count();
+        assert_eq!(exitifs, 4, "every unrolled branch is a real side exit");
+        // Side exits carry partial gcnts (3, 6, 9 for the early exits).
+        let mut gcnts: Vec<u16> = region.exits.iter().map(|e| e.gcnt).collect();
+        gcnts.sort_unstable();
+        assert_eq!(gcnts, vec![3, 6, 9, 12, 12]);
+    }
+}

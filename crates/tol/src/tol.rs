@@ -1,0 +1,717 @@
+//! The TOL driver: mode dispatch, promotion, chaining, speculation
+//! recovery and overhead accounting (paper Fig. 3's execution flow).
+
+use crate::cache::{CodeCache, TransKind, Translation};
+use crate::config::{BugKind, TolConfig};
+use crate::flags::{self, PendingFlags};
+use crate::interp::{self, BlockStop};
+use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
+use crate::sbm::{self, SbShape};
+use crate::translate::{self, EdgeCounters};
+use darco_guest::{Fault, GuestState, PAGE_SHIFT};
+use darco_host::emu::ProfTable;
+use darco_host::regs::{FLAG_REGS, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND, R_SPILL_BASE};
+use darco_host::sink::InsnSink;
+use darco_host::{ExitCause, HInsn, HostEmulator};
+use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
+use darco_ir::passes::{run_pipeline, OptLevel};
+use darco_ir::sched::list_schedule;
+use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Events that hand control to the controller (DARCO's synchronization
+/// triggers, §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TolEvent {
+    /// First touch of an unmapped guest page — the paper's *data request*.
+    PageFault {
+        /// Faulting address.
+        addr: u32,
+        /// Write access?
+        write: bool,
+    },
+    /// The guest reached a system call (`EIP` points at it).
+    Syscall,
+    /// The guest halted.
+    Halted,
+    /// A non-recoverable guest fault.
+    GuestError(Fault),
+    /// The per-call guest-instruction budget was exhausted (periodic
+    /// validation hook).
+    FuelOut,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TolStats {
+    /// Guest instructions retired in interpretation mode.
+    pub guest_im: u64,
+    /// BBM translations produced.
+    pub translations_bb: u64,
+    /// SBM translations produced.
+    pub translations_sb: u64,
+    /// Multi-exit recreations after speculation-failure limits.
+    pub recreations: u64,
+    /// Host instructions executed as application code.
+    pub host_app: u64,
+    /// Interpreted blocks.
+    pub interp_blocks: u64,
+    /// Assert/alias rollbacks.
+    pub spec_rollbacks: u64,
+    /// Successful chain patches.
+    pub chain_patches: u64,
+    /// IBTC insertions.
+    pub ibtc_inserts: u64,
+    /// Instructions retired on the co-designed component's behalf by the
+    /// authoritative component (system calls).
+    pub guest_external: u64,
+    /// Guest instructions statically inside SBM translations.
+    pub sb_static_guest: u64,
+    /// Host instructions statically inside SBM translations.
+    pub sb_static_host: u64,
+}
+
+enum CacheOutcome {
+    Event(TolEvent),
+    Continue,
+    InterpretNext,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ImProf {
+    count: u64,
+    taken: u64,
+    fall: u64,
+}
+
+/// The Translation Optimization Layer.
+pub struct Tol {
+    /// Configuration.
+    pub cfg: TolConfig,
+    /// Code cache.
+    pub cache: CodeCache,
+    /// Software profile counters (updated by translated code).
+    pub prof: ProfTable,
+    /// The host functional emulator.
+    pub emu: HostEmulator,
+    /// Overhead accounting.
+    pub acct: Accountant,
+    /// Cost model.
+    pub costs: CostModel,
+    /// Statistics.
+    pub stats: TolStats,
+    /// Deferred guest-flag descriptor pending materialization.
+    pub pending_flags: Option<PendingFlags>,
+    counter_bb: HashMap<u32, u32>, // exec counter idx per BB pc
+    bb_edges: HashMap<u32, EdgeCounters>,
+    im_prof: HashMap<u32, ImProf>,
+    do_not_translate: HashSet<u32>,
+    translation_ordinal: u64,
+    spill_mapped: bool,
+    /// Block head of an interpretation split by the fuel budget, so the
+    /// repetition counter credits the true head when the block completes.
+    im_split_entry: Option<u32>,
+}
+
+impl std::fmt::Debug for Tol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tol").field("stats", &self.stats).field("cache", &self.cache).finish()
+    }
+}
+
+impl Tol {
+    /// Creates a TOL with the given configuration. Charges the one-time
+    /// initialization cost.
+    pub fn new(cfg: TolConfig) -> Tol {
+        let cache = CodeCache::new(cfg.code_cache_words);
+        let costs = CostModel::default();
+        let mut acct = Accountant::new(false);
+        acct.overhead.others += costs.init;
+        Tol {
+            cache,
+            prof: ProfTable::new(),
+            emu: HostEmulator::new(),
+            acct,
+            costs,
+            stats: TolStats::default(),
+            pending_flags: None,
+            counter_bb: HashMap::new(),
+            bb_edges: HashMap::new(),
+            im_prof: HashMap::new(),
+            do_not_translate: HashSet::new(),
+            translation_ordinal: 0,
+            spill_mapped: false,
+            im_split_entry: None,
+            cfg,
+        }
+    }
+
+    /// Enables synthesis of TOL-overhead instructions into the timing
+    /// stream.
+    pub fn set_synthesize_overhead(&mut self, on: bool) {
+        self.acct.synthesize = on;
+    }
+
+    /// Total guest instructions retired so far, across all modes
+    /// (including syscalls retired by the authoritative component).
+    pub fn total_guest(&self) -> u64 {
+        self.stats.guest_im + self.stats.guest_external + self.emu.gcnt_bb + self.emu.gcnt_sb
+    }
+
+    /// Credits instructions retired externally (the controller calls this
+    /// after the authoritative component executes a system call, keeping
+    /// the two components' instruction counts aligned).
+    pub fn credit_external(&mut self, n: u64) {
+        self.stats.guest_external += n;
+    }
+
+    /// Guest instructions retired per mode `(IM, BBM, SBM)` — Fig. 4's
+    /// distribution.
+    pub fn mode_split(&self) -> (u64, u64, u64) {
+        (self.stats.guest_im, self.emu.gcnt_bb, self.emu.gcnt_sb)
+    }
+
+    /// Dynamic host-per-guest instruction ratio in SBM (Fig. 5).
+    pub fn sbm_emulation_cost(&self) -> f64 {
+        if self.emu.gcnt_sb == 0 {
+            return 0.0;
+        }
+        self.emu.host_sb as f64 / self.emu.gcnt_sb as f64
+    }
+
+    /// The overhead accounting (Figs. 6 and 7).
+    pub fn overhead(&self) -> &Overhead {
+        &self.acct.overhead
+    }
+
+    /// Runs the guest for up to `fuel_guest` retired instructions or until
+    /// an event needs the controller.
+    pub fn run(
+        &mut self,
+        st: &mut GuestState,
+        fuel_guest: u64,
+        sink: &mut dyn InsnSink,
+    ) -> TolEvent {
+        let limit = self.total_guest().saturating_add(fuel_guest);
+        let mut interp_next = false;
+        loop {
+            if self.total_guest() >= limit {
+                return TolEvent::FuelOut;
+            }
+            self.acct.charge(OverheadKind::Others, self.costs.dispatch, sink);
+            if !interp_next {
+                self.acct.charge(OverheadKind::CacheLookup, self.costs.cache_lookup, sink);
+                if let Some(id) = self.cache.lookup(st.eip) {
+                    match self.enter_cache(st, id, limit, sink) {
+                        CacheOutcome::Event(ev) => return ev,
+                        CacheOutcome::Continue => continue,
+                        CacheOutcome::InterpretNext => {
+                            interp_next = true;
+                            continue;
+                        }
+                    }
+                }
+                // Promotion check (IM → BBM). Skipped on the speculation
+                // recovery path so a failing superblock is not demoted.
+                let pc = st.eip;
+                let im_count = self.im_prof.get(&pc).map(|p| p.count).unwrap_or(0);
+                if im_count >= self.cfg.bbm_threshold
+                    && !self.do_not_translate.contains(&pc)
+                    && self.translate_bb(st, pc, sink)
+                {
+                    continue;
+                }
+            }
+            interp_next = false;
+
+            // Interpret one basic block.
+            flags::resolve(st, &mut self.pending_flags);
+            let budget = limit - self.total_guest();
+            let run = interp::interpret_block(st, budget);
+            self.stats.guest_im += run.insns;
+            self.stats.interp_blocks += 1;
+            self.acct.charge(
+                OverheadKind::Interpreter,
+                run.insns * self.costs.interp_per_insn,
+                sink,
+            );
+            self.acct.charge(OverheadKind::Others, self.costs.profile_block, sink);
+            // Budget splits resume mid-block; credit the true block head.
+            let head = self.im_split_entry.take().unwrap_or(run.entry_pc);
+            if run.stop == BlockStop::Budget {
+                self.im_split_entry = Some(head);
+            }
+            let prof = self.im_prof.entry(head).or_default();
+            if run.stop == BlockStop::End {
+                prof.count += 1;
+                if let Some((_t, _f, taken)) = run.jcc {
+                    if taken {
+                        prof.taken += 1;
+                    } else {
+                        prof.fall += 1;
+                    }
+                }
+            }
+            match run.stop {
+                BlockStop::End | BlockStop::Budget => {}
+                BlockStop::Syscall => return TolEvent::Syscall,
+                BlockStop::Halt => return TolEvent::Halted,
+                BlockStop::PageFault { addr, write } => {
+                    return TolEvent::PageFault { addr, write }
+                }
+                BlockStop::GuestError(f) => return TolEvent::GuestError(f),
+            }
+        }
+    }
+
+    // -- code-cache execution --------------------------------------------------
+
+    fn enter_cache(
+        &mut self,
+        st: &mut GuestState,
+        id: usize,
+        limit: u64,
+        sink: &mut dyn InsnSink,
+    ) -> CacheOutcome {
+        if !self.spill_mapped {
+            st.mem.map_zero(SPILL_AREA_BASE >> PAGE_SHIFT);
+            self.spill_mapped = true;
+        }
+        self.im_split_entry = None;
+        if self.cache.translation(id).needs_flags_mask != 0 {
+            flags::resolve(st, &mut self.pending_flags);
+        }
+        // Prologue: pin the guest state into the host register file.
+        self.acct.charge(OverheadKind::Prologue, self.costs.prologue_per_transition, sink);
+        for (i, v) in st.gprs().into_iter().enumerate() {
+            self.emu.iregs[i] = v;
+        }
+        for (i, v) in st.fprs().into_iter().enumerate() {
+            self.emu.fregs[i] = v;
+        }
+        let bits = st.flags.to_bits();
+        for (j, r) in FLAG_REGS.into_iter().enumerate() {
+            self.emu.iregs[r.index()] = (bits >> j & 1) as u32;
+        }
+        match self.pending_flags {
+            Some(p) => {
+                self.emu.iregs[R_DEF_KIND.index()] = p.kind.code() as u32;
+                self.emu.iregs[R_DEF_A.index()] = p.a;
+                self.emu.iregs[R_DEF_B.index()] = p.b;
+            }
+            None => self.emu.iregs[R_DEF_KIND.index()] = 0,
+        }
+        self.emu.iregs[R_SPILL_BASE.index()] = SPILL_AREA_BASE;
+
+        let remaining = limit.saturating_sub(self.total_guest());
+        let guest_fuel = (self.emu.gcnt_bb + self.emu.gcnt_sb).saturating_add(remaining);
+        let base = self.cache.translation(id).host_base;
+        let info = self.emu.execute(
+            &self.cache.arena,
+            base,
+            &mut st.mem,
+            &self.cache.ibtc,
+            &mut self.prof,
+            guest_fuel,
+            sink,
+        );
+        self.stats.host_app += info.executed;
+
+        match info.cause {
+            ExitCause::Exit { id: exit_id } => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.host_pc)
+                    .expect("exit outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                let meta = self.cache.translation(tid).exits[exit_id as usize];
+                if std::env::var_os("DARCO_TRACE_EXITS").is_some() {
+                    eprintln!(
+                        "EXIT t{tid}@{:#x} exit{exit_id} kind {:?} count={} eax={:#x} ecx={:#x}",
+                        self.cache.translation(tid).guest_pc,
+                        meta.kind,
+                        self.total_guest(),
+                        st.gprs()[0],
+                        st.gprs()[1],
+                    );
+                }
+                match meta.kind {
+                    ExitKind::Jump { target } => {
+                        st.eip = target;
+                        if self.cfg.chaining {
+                            if let Some(slot) = meta.chain_slot {
+                                self.acct.charge(
+                                    OverheadKind::Chaining,
+                                    self.costs.chain_attempt,
+                                    sink,
+                                );
+                                if let Some(to) = self.cache.lookup(target) {
+                                    let need = self.cache.translation(to).needs_flags_mask;
+                                    // Legal iff every flag the target reads
+                                    // is published by this exit.
+                                    if need & !meta.flags_valid == 0 {
+                                        let slot_addr =
+                                            self.cache.translation(tid).host_base + slot;
+                                        self.cache.chain(tid, slot_addr, to);
+                                        self.stats.chain_patches += 1;
+                                        self.acct.charge(
+                                            OverheadKind::Chaining,
+                                            self.costs.chain_patch,
+                                            sink,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        CacheOutcome::Continue
+                    }
+                    ExitKind::Indirect => {
+                        let target = self.emu.iregs[R_IND.index()];
+                        st.eip = target;
+                        if self.cfg.ibtc {
+                            self.acct.charge(
+                                OverheadKind::Chaining,
+                                self.costs.chain_attempt,
+                                sink,
+                            );
+                            if let Some(to) = self.cache.lookup(target) {
+                                // IBTC entries are global (any indirect
+                                // branch can hit them), so only flag-free
+                                // targets are eligible.
+                                if self.cache.translation(to).needs_flags_mask == 0 {
+                                    self.cache.ibtc_insert(target, to);
+                                    self.stats.ibtc_inserts += 1;
+                                    self.acct.charge(
+                                        OverheadKind::Chaining,
+                                        self.costs.chain_patch,
+                                        sink,
+                                    );
+                                }
+                            }
+                        }
+                        CacheOutcome::Continue
+                    }
+                    ExitKind::Syscall { pc } => {
+                        st.eip = pc;
+                        CacheOutcome::Event(TolEvent::Syscall)
+                    }
+                    ExitKind::Halt => CacheOutcome::Event(TolEvent::Halted),
+                }
+            }
+            ExitCause::AssertFail | ExitCause::AliasFail => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.chkpt_pc)
+                    .expect("rollback outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                st.eip = self.cache.translation(tid).guest_pc;
+                self.stats.spec_rollbacks += 1;
+                let t = self.cache.translation_mut(tid);
+                t.spec_fails += 1;
+                let recreate = t.spec_fails > self.cfg.assert_fail_limit
+                    && matches!(t.kind, TransKind::Sb { asserts: true });
+                if recreate {
+                    self.recreate_multi_exit(st, tid, sink);
+                }
+                // Forward progress through the interpreter (paper §V-B1).
+                CacheOutcome::InterpretNext
+            }
+            ExitCause::PageFault { addr, write } => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.chkpt_pc)
+                    .expect("fault outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                st.eip = self.cache.translation(tid).guest_pc;
+                CacheOutcome::Event(TolEvent::PageFault { addr, write })
+            }
+            ExitCause::DivByZero => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.chkpt_pc)
+                    .expect("fault outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                st.eip = self.cache.translation(tid).guest_pc;
+                // Interpretation raises the precise guest fault.
+                CacheOutcome::InterpretNext
+            }
+            ExitCause::ProfileTrip { idx } => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.host_pc)
+                    .expect("trip outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                let pc = self.cache.translation(tid).guest_pc;
+                st.eip = pc;
+                debug_assert_eq!(self.counter_bb.get(&pc), Some(&idx));
+                self.translate_sb(st, pc, sink);
+                CacheOutcome::Continue
+            }
+            ExitCause::Fuel => {
+                let tid = self
+                    .cache
+                    .translation_at_host(info.host_pc)
+                    .expect("fuel stop outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                st.eip = self.cache.translation(tid).guest_pc;
+                CacheOutcome::Continue // outer loop re-checks the budget
+            }
+        }
+    }
+
+    fn attribute_unattributed(&mut self, tid: usize) {
+        let n = self.emu.drain_unattributed();
+        match self.cache.translation(tid).kind {
+            TransKind::Bb => self.emu.host_bb += n,
+            TransKind::Sb { .. } => self.emu.host_sb += n,
+        }
+    }
+
+    /// Writes the pinned host register file back into the guest state,
+    /// including the dynamic flag descriptor (see `regs` docs).
+    fn writeback(&mut self, st: &mut GuestState) {
+        for (i, g) in darco_guest::Gpr::ALL.into_iter().enumerate() {
+            st.set_gpr(g, self.emu.iregs[i]);
+        }
+        for i in 0..8 {
+            st.set_fpr(darco_guest::Fpr::new(i), self.emu.fregs[i as usize]);
+        }
+        let kind_code = self.emu.iregs[R_DEF_KIND.index()];
+        match FlagsKind::from_code(kind_code) {
+            None => {
+                // Flags are materialized in r8–r12.
+                let mut bits = 0u8;
+                for (j, r) in FLAG_REGS.into_iter().enumerate() {
+                    bits |= ((self.emu.iregs[r.index()] != 0) as u8) << j;
+                }
+                st.flags = darco_guest::Flags::from_bits(bits);
+                self.pending_flags = None;
+            }
+            Some(kind) => {
+                if matches!(kind, FlagsKind::Inc | FlagsKind::Dec) {
+                    st.flags.cf = self.emu.iregs[FLAG_REGS[0].index()] != 0;
+                }
+                self.pending_flags = Some(PendingFlags {
+                    kind,
+                    a: self.emu.iregs[R_DEF_A.index()],
+                    b: self.emu.iregs[R_DEF_B.index()],
+                });
+            }
+        }
+    }
+
+    // -- translation -------------------------------------------------------------
+
+    /// Translates the basic block at `pc` (BBM). Returns false if the
+    /// block is untranslatable or undecodable.
+    fn translate_bb(&mut self, st: &mut GuestState, pc: u32, sink: &mut dyn InsnSink) -> bool {
+        let plan = match translate::decode_block(&st.mem, pc) {
+            Ok(p) => p,
+            Err(_) => return false, // page not resident yet: interpret on
+        };
+        if !plan.translatable {
+            self.do_not_translate.insert(pc);
+            return false;
+        }
+        let src_insns = plan.retired_insns();
+        self.acct.charge(
+            OverheadKind::BbTranslator,
+            (src_insns as u64 + 1) * self.costs.bb_translate_per_insn,
+            sink,
+        );
+        // Profiling counters (§V-B3: exec + edge counters in BBM code).
+        let trip = self.cfg.sbm_threshold.saturating_sub(self.cfg.bbm_threshold).max(1);
+        let exec_idx = self.prof.alloc(trip);
+        let edges = match plan.term_kind {
+            translate::TermKind::Jcc { .. } => {
+                let e = EdgeCounters { taken: self.prof.alloc(0), fall: self.prof.alloc(0) };
+                self.bb_edges.insert(pc, e);
+                Some(e)
+            }
+            _ => None,
+        };
+        let mut region = translate::build_bb_region(&plan, edges, self.cfg.strict_flags);
+        self.inject_bug_region(&mut region, BugKind::TranslatorWrongConstant);
+        let bbm_level = match self.cfg.opt_level {
+            OptLevel::O0 => OptLevel::O0,
+            _ => OptLevel::O1,
+        };
+        run_pipeline(&mut region, bbm_level);
+        self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
+        region.validate();
+        self.install(region, TransKind::Bb, Some(exec_idx), None, src_insns, sink);
+        self.counter_bb.insert(pc, exec_idx);
+        self.stats.translations_bb += 1;
+        true
+    }
+
+    /// Promotes the block at `pc` to a superblock (SBM).
+    fn translate_sb(&mut self, st: &mut GuestState, pc: u32, sink: &mut dyn InsnSink) {
+        let edges = |bb: u32| -> Option<(u64, u64)> {
+            if let Some(e) = self.bb_edges.get(&bb) {
+                let t = self.prof.count(e.taken);
+                let f = self.prof.count(e.fall);
+                if t + f > 0 {
+                    return Some((t, f));
+                }
+            }
+            self.im_prof.get(&bb).and_then(|p| (p.taken + p.fall > 0).then_some((p.taken, p.fall)))
+        };
+        let Some(shape) = sbm::plan_superblock(&st.mem, pc, &edges, &self.cfg) else {
+            return;
+        };
+        self.build_and_install_sb(st, &shape, self.cfg.speculation, sink);
+    }
+
+    fn build_and_install_sb(
+        &mut self,
+        st: &mut GuestState,
+        shape: &SbShape,
+        asserts: bool,
+        sink: &mut dyn InsnSink,
+    ) {
+        let Some(mut region) = sbm::build_sb_region(&st.mem, shape, asserts, &self.cfg) else {
+            return;
+        };
+        let src_insns: u32 = region.exits.iter().map(|e| e.gcnt as u32).max().unwrap_or(0);
+        self.acct.charge(
+            OverheadKind::SbTranslator,
+            (src_insns as u64 + 2) * self.costs.sb_translate_per_insn,
+            sink,
+        );
+        self.inject_bug_region(&mut region, BugKind::TranslatorWrongConstant);
+        if self.cfg.opt_level >= OptLevel::O2 {
+            run_pipeline(&mut region, self.cfg.opt_level);
+        } else {
+            run_pipeline(&mut region, self.cfg.opt_level);
+        }
+        self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
+        if self.cfg.opt_level >= OptLevel::O3 {
+            ddg::memory_opt(&mut region);
+            // Clean up RLE-introduced copies.
+            run_pipeline(&mut region, OptLevel::O2);
+            let allow_spec = asserts && self.cfg.speculation;
+            let graph = ddg::build(&mut region, allow_spec);
+            list_schedule(&mut region, &graph, &self.cfg.sched);
+        }
+        region.validate();
+        let id = self.install(
+            region,
+            TransKind::Sb { asserts },
+            None,
+            Some(shape.clone()),
+            src_insns,
+            sink,
+        );
+        let _ = id;
+        self.stats.translations_sb += 1;
+    }
+
+    fn recreate_multi_exit(&mut self, st: &mut GuestState, tid: usize, sink: &mut dyn InsnSink) {
+        let Some(shape) = self.cache.translation(tid).shape.clone() else {
+            return;
+        };
+        self.cache.invalidate(tid);
+        self.stats.recreations += 1;
+        self.build_and_install_sb(st, &shape, false, sink);
+    }
+
+    fn install(
+        &mut self,
+        region: Region,
+        kind: TransKind,
+        exec_counter: Option<u32>,
+        shape: Option<SbShape>,
+        src_insns: u32,
+        sink: &mut dyn InsnSink,
+    ) -> usize {
+        let sb_mode = matches!(kind, TransKind::Sb { .. });
+        if std::env::var_os("DARCO_DUMP_REGIONS").is_some() {
+            eprintln!("--- installing {kind:?} ---\n{region}");
+        }
+        let ctx = CodegenCtx {
+            base: self.cache.next_base(),
+            sin_addr: self.cache.sin_addr(),
+            cos_addr: self.cache.cos_addr(),
+            entry_count_idx: exec_counter,
+            sb_mode,
+        };
+        let mut out = codegen::generate(&region, &ctx);
+        self.inject_bug_code(&mut out.code);
+        self.translation_ordinal += 1;
+        if self.cache.would_overflow(out.encoded_words) {
+            // Full cache: flush everything (translations, chains, IBTC)
+            // and retry; profiling state survives.
+            self.cache.flush();
+            self.acct.charge(OverheadKind::Others, self.costs.init / 2, sink);
+            let ctx = CodegenCtx { base: self.cache.next_base(), ..ctx };
+            out = codegen::generate(&region, &ctx);
+        }
+        if sb_mode {
+            self.stats.sb_static_guest += src_insns as u64;
+            self.stats.sb_static_host += out.code.iter().map(HInsn::dyn_cost).sum::<u64>();
+        }
+        let mut needs_flags_mask = 0u8;
+        for (j, f) in region.entry.flags.iter().enumerate() {
+            if f.is_some() {
+                needs_flags_mask |= 1 << j;
+            }
+        }
+        let t = Translation {
+            guest_pc: region.guest_entry_pc,
+            kind,
+            host_base: self.cache.next_base(),
+            len: 0,
+            encoded_words: out.encoded_words,
+            exits: out.exits,
+            src_insns,
+            host_insns: out.code.len() as u32,
+            needs_flags_mask,
+            spec_fails: 0,
+            shape,
+            valid: true,
+        };
+        self.cache.install(t, out.code)
+    }
+
+    // -- fault injection (debug-toolchain support) ---------------------------------
+
+    fn inject_bug_region(&mut self, region: &mut Region, want: BugKind) {
+        let Some(inj) = self.cfg.injection else { return };
+        if inj.kind != want || inj.translation_ordinal != self.translation_ordinal {
+            return;
+        }
+        // An optimizer bug only exists when the optimizer actually runs.
+        if want == BugKind::OptimizerBadFold && self.cfg.opt_level == OptLevel::O0 {
+            return;
+        }
+        for inst in &mut region.insts {
+            if let IrOp::ConstI(c) = inst.op {
+                inst.op = IrOp::ConstI(c.wrapping_add(1));
+                return;
+            }
+        }
+    }
+
+    fn inject_bug_code(&mut self, code: &mut [HInsn]) {
+        let Some(inj) = self.cfg.injection else { return };
+        if inj.kind != BugKind::CodegenDropStore
+            || inj.translation_ordinal != self.translation_ordinal
+        {
+            return;
+        }
+        for insn in code.iter_mut() {
+            if matches!(insn, HInsn::Store { base, .. } if *base != R_SPILL_BASE) {
+                *insn = HInsn::Nop;
+                return;
+            }
+        }
+    }
+}

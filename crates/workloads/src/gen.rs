@@ -1,0 +1,423 @@
+//! The parameterized benchmark generator.
+
+use darco_guest::insn::{AluOp, Insn, ShiftAmount, ShiftOp};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::reg::{Addr, Cond, Scale, Width};
+use darco_guest::{Asm, FBinOp, FUnOp, Fpr, GuestProgram, Gpr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Base address of the benchmark's data arrays.
+const DATA: u32 = 0x0040_0000;
+/// Bytes of data segment backing the arrays.
+const DATA_LEN: usize = 128 << 10;
+
+/// Characteristics of one benchmark (DESIGN.md §1 explains how each knob
+/// maps to a paper-observable behaviour).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of hot loops (executed far beyond the SBM threshold).
+    pub hot_loops: usize,
+    /// Iterations per hot loop.
+    pub hot_iters: u32,
+    /// Conditional-branch diamonds per hot loop body.
+    pub hot_diamonds: usize,
+    /// Instructions per straight-line chunk (min, max).
+    pub bb_insns: (usize, usize),
+    /// Probability of the biased direction of inner branches (× 16,
+    /// i.e. 11 ⇒ bias 11/16 ≈ 0.69).
+    pub bias_of_16: u32,
+    /// Warm functions: executed past the BBM threshold but (mostly) short
+    /// of the SBM threshold.
+    pub warm_funcs: usize,
+    /// Calls per warm function.
+    pub warm_iters: u32,
+    /// Instructions per warm function body.
+    pub warm_insns: usize,
+    /// Cold straight-line blocks (each executed once).
+    pub cold_blocks: usize,
+    /// Fraction of memory operations in generated code.
+    pub mem_ratio: f64,
+    /// Fraction of f64 operations.
+    pub fp_ratio: f64,
+    /// Fraction of `sin`/`cos` among FP operations.
+    pub trig_ratio: f64,
+    /// Fraction of integer multiply/divide.
+    pub muldiv_ratio: f64,
+    /// Put a call/return pair inside hot loops (SPECINT character).
+    pub callret: bool,
+    /// Put a computed 4-way dispatch (jump table through an indirect
+    /// call) inside hot loops — interpreter/VM-style SPECINT control flow.
+    pub switches: bool,
+    /// Sprinkle `REP` string operations into cold code (interpreted —
+    /// exercises the IM safety net).
+    pub rep_strings: bool,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl BenchProfile {
+    /// Scales the dynamic size (hot/warm iteration counts) by `num/den`,
+    /// for quick runs.
+    pub fn scaled(mut self, num: u32, den: u32) -> BenchProfile {
+        self.hot_iters = (self.hot_iters * num / den).max(8);
+        self.warm_iters = (self.warm_iters * num / den).max(4);
+        self
+    }
+}
+
+struct Gen<'a> {
+    a: Asm,
+    rng: SmallRng,
+    p: &'a BenchProfile,
+}
+
+impl Gen<'_> {
+    fn data_reg(&mut self) -> Gpr {
+        // Registers safe for scratch use (ECX is the loop counter, ESP the
+        // stack pointer).
+        [Gpr::Eax, Gpr::Ebx, Gpr::Edx, Gpr::Edi][self.rng.gen_range(0..4)]
+    }
+
+    /// One generated instruction of the profile's mix. `counter_valid`
+    /// means ECX currently holds a loop counter usable for addressing.
+    fn body_insn(&mut self, counter_valid: bool) {
+        let r = self.rng.gen::<f64>();
+        let p = self.p;
+        if r < p.mem_ratio {
+            self.mem_insn(counter_valid);
+        } else if r < p.mem_ratio + p.fp_ratio {
+            self.fp_insn(counter_valid);
+        } else if r < p.mem_ratio + p.fp_ratio + p.muldiv_ratio {
+            self.muldiv_insn();
+        } else {
+            self.alu_insn();
+        }
+    }
+
+    fn array_addr(&mut self, counter_valid: bool, wide: bool) -> Addr {
+        let slot = self.rng.gen_range(0..64) * 8;
+        if counter_valid && self.rng.gen_bool(0.6) {
+            // Streaming access: base + counter*scale (trains the
+            // prefetcher, stays in the data segment via small strides).
+            let scale = if wide { Scale::S8 } else { Scale::S4 };
+            Addr::full(Gpr::Esi, Gpr::Ecx, scale, slot as i32)
+        } else {
+            Addr::base_disp(Gpr::Esi, (self.rng.gen_range(0..2048) * 8 + slot) as i32)
+        }
+    }
+
+    fn mem_insn(&mut self, counter_valid: bool) {
+        let dst = self.data_reg();
+        let addr = self.array_addr(counter_valid, false);
+        match self.rng.gen_range(0..7) {
+            0 => self.a.load(dst, addr),
+            1 => self.a.store(addr, dst, Width::D),
+            2 => self.a.emit(Insn::AluRM { op: AluOp::Add, dst, addr }),
+            3 => self.a.emit(Insn::AluMR { op: AluOp::Add, addr, src: dst }),
+            4 => {
+                // Sub-word load with sign extension (x86 movsx/movzx).
+                let sign = self.rng.gen_bool(0.5);
+                let width = if self.rng.gen_bool(0.5) { Width::B } else { Width::W };
+                self.a.emit(Insn::Load { dst, addr, width, sign });
+            }
+            _ => {
+                let pop_dst = self.data_reg();
+                self.a.push(dst);
+                self.a.pop(pop_dst);
+            }
+        }
+    }
+
+    fn fp_insn(&mut self, counter_valid: bool) {
+        let f = Fpr::new(self.rng.gen_range(0..6));
+        let g = Fpr::new(self.rng.gen_range(0..6));
+        if self.rng.gen::<f64>() < self.p.trig_ratio {
+            let op = if self.rng.gen() { FUnOp::Sin } else { FUnOp::Cos };
+            self.a.emit(Insn::Funary { op, dst: f });
+            return;
+        }
+        match self.rng.gen_range(0..5) {
+            0 => {
+                let addr = self.array_addr(counter_valid, true);
+                self.a.emit(Insn::Fld { dst: f, addr });
+            }
+            1 => {
+                let addr = self.array_addr(counter_valid, true);
+                self.a.emit(Insn::Fst { addr, src: f });
+            }
+            2 => {
+                let op = [FBinOp::Add, FBinOp::Sub, FBinOp::Mul][self.rng.gen_range(0..3)];
+                self.a.emit(Insn::Fbin { op, dst: f, src: g });
+            }
+            3 => {
+                let addr = self.array_addr(counter_valid, true);
+                self.a.emit(Insn::FbinM { op: FBinOp::Add, dst: f, addr });
+            }
+            _ => self.a.emit(Insn::Funary {
+                op: [FUnOp::Abs, FUnOp::Neg, FUnOp::Sqrt][self.rng.gen_range(0..3)],
+                dst: f,
+            }),
+        }
+    }
+
+    fn muldiv_insn(&mut self) {
+        let dst = self.data_reg();
+        if self.rng.gen_bool(0.7) {
+            self.a.emit(Insn::ImulI { dst, src: dst, imm: self.rng.gen_range(3..100) });
+        } else {
+            // Safe division: divisor = (ECX | 1).
+            self.a.mov_rr(Gpr::Edx, Gpr::Ecx);
+            self.a.alu_ri(AluOp::Or, Gpr::Edx, 1);
+            self.a.emit(Insn::Idiv { dst, src: Gpr::Edx });
+        }
+    }
+
+    fn alu_insn(&mut self) {
+        let dst = self.data_reg();
+        match self.rng.gen_range(0..8) {
+            0 => self.a.alu_ri(AluOp::Add, dst, self.rng.gen_range(-100..100)),
+            1 => self.a.alu_ri(AluOp::Xor, dst, self.rng.gen()),
+            2 => {
+                let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or]
+                    [self.rng.gen_range(0..4)];
+                let src = self.data_reg();
+                self.a.alu_rr(op, dst, src);
+            }
+            3 => self.a.emit(Insn::Shift {
+                op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][self.rng.gen_range(0..3)],
+                dst,
+                amount: ShiftAmount::Imm(self.rng.gen_range(1..5)),
+            }),
+            4 => {
+                let idx = self.data_reg();
+                self.a.lea(dst, Addr::full(dst, idx, Scale::S2, 12));
+            }
+            5 => {
+                let other = self.data_reg();
+                let cc = [Cond::L, Cond::B, Cond::Ne][self.rng.gen_range(0..3)];
+                self.a.cmp_rr(dst, other);
+                self.a.emit(Insn::Setcc { cc, dst });
+            }
+            6 => {
+                // cmp + cmov: branch-free selection (x86-typical, costly
+                // to emulate on a plain RISC host).
+                let other = self.data_reg();
+                let cc = [Cond::L, Cond::A, Cond::Ge][self.rng.gen_range(0..3)];
+                self.a.cmp_rr(dst, other);
+                self.a.emit(Insn::Cmov { cc, dst, src: other });
+            }
+            _ => {
+                let src = self.data_reg();
+                self.a.mov_rr(dst, src);
+            }
+        }
+    }
+
+    fn chunk(&mut self, counter_valid: bool) {
+        let (lo, hi) = self.p.bb_insns;
+        let n = self.rng.gen_range(lo..=hi.max(lo + 1));
+        for _ in 0..n {
+            self.body_insn(counter_valid);
+        }
+    }
+
+    /// A biased if/else diamond driven by the loop counter, so the bias is
+    /// exact and deterministic.
+    fn diamond(&mut self) {
+        let bias = self.p.bias_of_16.clamp(1, 15);
+        self.a.mov_rr(Gpr::Eax, Gpr::Ecx);
+        self.a.alu_ri(AluOp::And, Gpr::Eax, 15);
+        self.a.cmp_ri(Gpr::Eax, bias as i32);
+        let rare = self.a.label();
+        let join = self.a.label();
+        // Taken (biased) direction: skip the rare path.
+        self.a.jcc_to(Cond::B, join);
+        self.a.bind(rare);
+        self.chunk(true);
+        self.a.bind(join);
+        self.chunk(true);
+    }
+
+    fn hot_loop(&mut self, func: Option<darco_guest::asm::Label>, table_off: Option<u32>) {
+        self.a.mov_ri(Gpr::Ecx, self.p.hot_iters as i32);
+        let top = self.a.here();
+        // Stack traffic spanning the diamonds (not forwardable within one
+        // translation region).
+        self.a.push(Gpr::Ebx);
+        self.chunk(true);
+        for _ in 0..self.p.hot_diamonds {
+            self.diamond();
+        }
+        if let Some(off) = table_off {
+            // Computed dispatch (twice, interpreter-style): call
+            // arms[ecx & 3] and arms[(ecx >> 2) & 3] through the table.
+            self.a.mov_rr(Gpr::Eax, Gpr::Ecx);
+            self.a.alu_ri(AluOp::And, Gpr::Eax, 3);
+            self.a.load(Gpr::Edx, Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, off as i32));
+            self.a.emit(Insn::CallInd { target: Gpr::Edx });
+            self.a.mov_rr(Gpr::Eax, Gpr::Ecx);
+            self.a.emit(Insn::Shift { op: ShiftOp::Shr, dst: Gpr::Eax, amount: ShiftAmount::Imm(2) });
+            self.a.alu_ri(AluOp::And, Gpr::Eax, 3);
+            self.a.load(Gpr::Edx, Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, off as i32));
+            self.a.emit(Insn::CallInd { target: Gpr::Edx });
+        }
+        if let Some(f) = func {
+            self.a.call_to(f);
+        }
+        self.a.pop(Gpr::Ebx);
+        // `sub` (not `dec`) in the loop shell: a full flag writer, so the
+        // block is a legal chain/IBTC target (compilers emit this form).
+        self.a.alu_ri(AluOp::Sub, Gpr::Ecx, 1);
+        self.a.jcc_to(Cond::Ne, top);
+    }
+
+    fn cold_code(&mut self) {
+        for _ in 0..self.p.cold_blocks {
+            self.chunk(false);
+            if self.p.rep_strings && self.rng.gen_bool(0.2) {
+                self.a.mov_ri(Gpr::Edi, (DATA + 0x8000) as i32);
+                self.a.push(Gpr::Ecx);
+                self.a.mov_ri(Gpr::Ecx, self.rng.gen_range(8..64));
+                self.a.emit(Insn::Movs { width: Width::D, rep: true });
+                self.a.pop(Gpr::Ecx);
+                // Restore the array base the rep advanced.
+                self.a.mov_ri(Gpr::Esi, DATA as i32);
+            }
+            // Break the straight line so each chunk is its own block.
+            let next = self.a.label();
+            self.a.jmp_to(next);
+            self.a.bind(next);
+        }
+    }
+}
+
+/// Builds the guest program for a profile.
+pub fn build(p: &BenchProfile) -> GuestProgram {
+    let mut g = Gen { a: Asm::new(DEFAULT_CODE_BASE), rng: SmallRng::seed_from_u64(p.seed), p };
+
+    // Entry: set up the array base, jump over the function bodies.
+    g.a.mov_ri(Gpr::Esi, DATA as i32);
+    let start = g.a.label();
+    g.a.jmp_to(start);
+
+    // Warm functions.
+    let mut warm: Vec<darco_guest::asm::Label> = Vec::new();
+    for _ in 0..p.warm_funcs {
+        let f = g.a.here();
+        for _ in 0..p.warm_insns {
+            g.body_insn(false);
+        }
+        g.a.ret();
+        warm.push(f);
+    }
+    // A tiny hot callee for call/ret-heavy suites.
+    let hot_callee = if p.callret {
+        let f = g.a.here();
+        g.a.alu_ri(AluOp::Add, Gpr::Ebx, 1);
+        g.a.alu_ri(AluOp::Xor, Gpr::Ebx, 0x55AA);
+        g.a.ret();
+        Some(f)
+    } else {
+        None
+    };
+    // Jump-table arms (addresses recorded now, written into the data
+    // segment below). The table lives above the streaming-store range
+    // (ecx*4 stays below 0x48000 for every profile).
+    let table_off: u32 = 0x4_8000;
+    let mut arm_addrs: Vec<u32> = Vec::new();
+    if p.switches {
+        for k in 0..4 {
+            arm_addrs.push(g.a.addr());
+            g.a.alu_ri(AluOp::Add, Gpr::Ebx, 0x11 * (k + 1));
+            g.a.alu_ri(AluOp::Xor, Gpr::Edi, 0x7 << k);
+            g.a.emit(Insn::Shift {
+                op: ShiftOp::Shr,
+                dst: Gpr::Ebx,
+                amount: ShiftAmount::Imm(1),
+            });
+            g.a.ret();
+        }
+    }
+
+    g.a.bind(start);
+    // Cold startup code.
+    g.cold_code();
+    // Warm phases: each function called `warm_iters` times.
+    for f in warm {
+        g.a.mov_ri(Gpr::Ecx, p.warm_iters as i32);
+        let top = g.a.here();
+        g.a.push(Gpr::Ecx);
+        g.a.call_to(f);
+        g.a.pop(Gpr::Ecx);
+        g.a.alu_ri(AluOp::Sub, Gpr::Ecx, 1);
+        g.a.jcc_to(Cond::Ne, top);
+    }
+    // Hot phases.
+    for _ in 0..p.hot_loops {
+        g.hot_loop(hot_callee, p.switches.then_some(table_off));
+    }
+    // Publish a checksum through the write syscall, then exit cleanly.
+    g.a.store(Addr::abs(DATA + 0x1_0000), Gpr::Ebx, Width::D);
+    g.a.mov_ri(Gpr::Eax, darco_xcomp::OS_WRITE as i32);
+    g.a.mov_ri(Gpr::Ebx, 1);
+    g.a.mov_ri(Gpr::Ecx, (DATA + 0x1_0000) as i32);
+    g.a.mov_ri(Gpr::Edx, 4);
+    g.a.syscall();
+    g.a.halt();
+
+    let data_len = if p.switches { table_off as usize + 64 } else { DATA_LEN };
+    let mut data = vec![0x11; data_len];
+    for (k, addr) in arm_addrs.iter().enumerate() {
+        data[table_off as usize + k * 4..table_off as usize + k * 4 + 4]
+            .copy_from_slice(&addr.to_le_bytes());
+    }
+    let mut prog = g.a.into_program().with_data(data);
+    prog.name = p.name.clone();
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::benchmarks;
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = &benchmarks()[0].profile;
+        let a = build(p);
+        let b = build(p);
+        assert_eq!(a.code, b.code);
+        assert!(a.static_insn_count() > 50);
+    }
+
+    #[test]
+    fn scaled_profiles_shrink() {
+        let p = benchmarks()[0].profile.clone();
+        let s = p.clone().scaled(1, 10);
+        assert!(s.hot_iters <= p.hot_iters / 9);
+    }
+
+    #[test]
+    fn every_benchmark_builds_and_decodes() {
+        for b in benchmarks() {
+            let prog = build(&b.profile.clone().scaled(1, 50));
+            let n = prog.static_insn_count();
+            assert!(n > 40, "{}: {} static insns", b.name, n);
+            // The whole image must decode (static_insn_count stops early
+            // otherwise); verify by re-encoding length coverage.
+            let mut off = 0;
+            let mut cnt = 0;
+            while off < prog.code.len() {
+                let (_, len) = darco_guest::decode(&prog.code[off..])
+                    .unwrap_or_else(|e| panic!("{}: undecodable at {off}: {e}", b.name));
+                off += len;
+                cnt += 1;
+            }
+            assert_eq!(cnt, n);
+        }
+    }
+}

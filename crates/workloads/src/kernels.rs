@@ -1,0 +1,405 @@
+//! Hand-written guest kernels for examples and tests.
+
+use darco_guest::insn::{AluOp, Insn};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::reg::{Addr, Cond, Scale, Width};
+use darco_guest::{Asm, FBinOp, FUnOp, Fpr, GuestProgram, Gpr};
+
+const DATA: u32 = 0x0040_0000;
+
+/// Dot product of two `n`-element f64 vectors (`a[i] = i`, `b[i] = 2i`),
+/// leaving the result in `F0` and storing it at `DATA`.
+pub fn dot_product(n: u32) -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    // Initialize the arrays: a[i] = i, b[i] = 2i (as f64).
+    a.mov_ri(Gpr::Ecx, n as i32);
+    let init = a.here();
+    a.mov_rr(Gpr::Eax, Gpr::Ecx);
+    a.emit(Insn::Cvtsi2f { dst: Fpr::new(1), src: Gpr::Eax });
+    a.emit(Insn::Fst { addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, DATA as i32 - 8), src: Fpr::new(1) });
+    a.emit(Insn::Fbin { op: FBinOp::Add, dst: Fpr::new(1), src: Fpr::new(1) });
+    a.emit(Insn::Fst {
+        addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, (DATA + 0x8000) as i32 - 8),
+        src: Fpr::new(1),
+    });
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, init);
+    // Accumulate.
+    a.fld_i(Fpr::new(0), 0.0);
+    a.mov_ri(Gpr::Ecx, n as i32);
+    let top = a.here();
+    a.emit(Insn::Fld {
+        dst: Fpr::new(1),
+        addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, DATA as i32 - 8),
+    });
+    a.emit(Insn::FbinM {
+        op: FBinOp::Mul,
+        dst: Fpr::new(1),
+        addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, (DATA + 0x8000) as i32 - 8),
+    });
+    a.emit(Insn::Fbin { op: FBinOp::Add, dst: Fpr::new(0), src: Fpr::new(1) });
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    a.emit(Insn::Fst { addr: Addr::abs(DATA), src: Fpr::new(0) });
+    a.halt();
+    let mut p = a.into_program().with_data(vec![0; 0x10000]);
+    p.name = "dot_product".into();
+    p
+}
+
+/// The f64 value a [`dot_product`] run should produce.
+pub fn dot_product_expected(n: u32) -> f64 {
+    (1..=n as u64).map(|i| (i * i * 2) as f64).sum()
+}
+
+/// `n × n` integer matrix multiply (`a[i][j] = i + j`, `b = identity * 3`).
+pub fn matmul(n: u32) -> GuestProgram {
+    let n = n as i32;
+    let a_base = DATA as i32;
+    let b_base = DATA as i32 + n * n * 4;
+    let c_base = b_base + n * n * 4;
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    // Init: a[i][j] = i + j; b[i][j] = (i==j) ? 3 : 0, via flat loops.
+    a.mov_ri(Gpr::Ecx, n * n);
+    let init = a.here();
+    a.mov_rr(Gpr::Eax, Gpr::Ecx);
+    a.mov_ri(Gpr::Edx, 0);
+    // i = (ecx-1) / n, j = (ecx-1) % n
+    a.dec(Gpr::Eax);
+    a.mov_rr(Gpr::Ebx, Gpr::Eax);
+    a.mov_ri(Gpr::Edi, n);
+    a.emit(Insn::Idiv { dst: Gpr::Ebx, src: Gpr::Edi }); // i
+    a.emit(Insn::Irem { dst: Gpr::Eax, src: Gpr::Edi }); // j
+    a.mov_rr(Gpr::Edx, Gpr::Ebx);
+    a.add_rr(Gpr::Edx, Gpr::Eax);
+    a.store(
+        Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S4, a_base - 4),
+        Gpr::Edx,
+        Width::D,
+    );
+    a.mov_ri(Gpr::Edx, 0);
+    a.cmp_rr(Gpr::Ebx, Gpr::Eax);
+    let nz = a.label();
+    a.jcc_to(Cond::Ne, nz);
+    a.mov_ri(Gpr::Edx, 3);
+    a.bind(nz);
+    a.store(
+        Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S4, b_base - 4),
+        Gpr::Edx,
+        Width::D,
+    );
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, init);
+    // c[i][j] = sum_k a[i][k] * b[k][j]; flat triple loop via EDI=i, EBX=j.
+    a.mov_ri(Gpr::Edi, 0); // i
+    let iloop = a.here();
+    a.mov_ri(Gpr::Ebx, 0); // j
+    let jloop = a.here();
+    a.mov_ri(Gpr::Edx, 0); // acc
+    a.mov_ri(Gpr::Ecx, 0); // k
+    let kloop = a.here();
+    // eax = a[i*n + k]
+    a.mov_rr(Gpr::Eax, Gpr::Edi);
+    a.emit(Insn::ImulI { dst: Gpr::Eax, src: Gpr::Edi, imm: n });
+    a.add_rr(Gpr::Eax, Gpr::Ecx);
+    a.load(Gpr::Eax, Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, a_base));
+    // save into EBP? avoid: use push
+    a.push(Gpr::Eax);
+    // eax = b[k*n + j]
+    a.emit(Insn::ImulI { dst: Gpr::Eax, src: Gpr::Ecx, imm: n });
+    a.add_rr(Gpr::Eax, Gpr::Ebx);
+    a.load(Gpr::Eax, Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, b_base));
+    a.pop(Gpr::Ebp);
+    a.imul(Gpr::Eax, Gpr::Ebp);
+    a.add_rr(Gpr::Edx, Gpr::Eax);
+    a.inc(Gpr::Ecx);
+    a.cmp_ri(Gpr::Ecx, n);
+    a.jcc_to(Cond::L, kloop);
+    // c[i*n + j] = acc
+    a.emit(Insn::ImulI { dst: Gpr::Eax, src: Gpr::Edi, imm: n });
+    a.add_rr(Gpr::Eax, Gpr::Ebx);
+    a.store(Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, c_base), Gpr::Edx, Width::D);
+    a.inc(Gpr::Ebx);
+    a.cmp_ri(Gpr::Ebx, n);
+    a.jcc_to(Cond::L, jloop);
+    a.inc(Gpr::Edi);
+    a.cmp_ri(Gpr::Edi, n);
+    a.jcc_to(Cond::L, iloop);
+    a.halt();
+    let mut p = a.into_program().with_data(vec![0; (3 * n * n * 4) as usize + 64]);
+    p.name = "matmul".into();
+    p
+}
+
+/// Address of `c[i][j]` in a [`matmul`] result.
+pub fn matmul_c_addr(n: u32, i: u32, j: u32) -> u32 {
+    DATA + 2 * n * n * 4 + (i * n + j) * 4
+}
+
+/// Searches a byte pattern in a haystack with `REPNE SCAS` + verify loops
+/// (string-op heavy; exercises the interpreter safety net for `REP`).
+pub fn string_search(hay_len: u32, needle_at: u32) -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    // Find byte 0x7F in the haystack, then store its index at DATA+hay+16.
+    a.mov_ri(Gpr::Edi, DATA as i32);
+    a.mov_ri(Gpr::Ecx, hay_len as i32);
+    a.mov_ri(Gpr::Eax, 0x7F);
+    a.emit(Insn::Scas { width: Width::B, rep: Some(darco_guest::RepCond::Ne) });
+    a.mov_rr(Gpr::Ebx, Gpr::Edi);
+    a.alu_ri(AluOp::Sub, Gpr::Ebx, DATA as i32 + 1);
+    a.store(Addr::abs(DATA + hay_len + 16), Gpr::Ebx, Width::D);
+    a.halt();
+    let mut hay = vec![b'.'; hay_len as usize + 64];
+    hay[needle_at as usize] = 0x7F;
+    let mut p = a.into_program().with_data(hay);
+    p.name = "string_search".into();
+    p
+}
+
+/// An n-body-flavoured physics step: for each of `n` bodies over `steps`
+/// steps, advance an angle and accumulate `sin`/`cos` forces
+/// (trigonometry-dominated, like Physicsbench).
+pub fn nbody_step(n: u32, steps: u32) -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.fld_i(Fpr::new(0), 0.0); // energy accumulator
+    a.fld_i(Fpr::new(1), 0.01); // dt
+    a.mov_ri(Gpr::Edx, steps as i32);
+    let steploop = a.here();
+    a.mov_ri(Gpr::Ecx, n as i32);
+    let body = a.here();
+    // angle = bodies[i] (f64), loaded/advanced/stored
+    a.emit(Insn::Fld {
+        dst: Fpr::new(2),
+        addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, DATA as i32 - 8),
+    });
+    a.emit(Insn::Fbin { op: FBinOp::Add, dst: Fpr::new(2), src: Fpr::new(1) });
+    a.emit(Insn::Fst {
+        addr: Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S8, DATA as i32 - 8),
+        src: Fpr::new(2),
+    });
+    a.emit(Insn::FmovRR { dst: Fpr::new(3), src: Fpr::new(2) });
+    a.emit(Insn::Funary { op: FUnOp::Sin, dst: Fpr::new(3) });
+    a.emit(Insn::FmovRR { dst: Fpr::new(4), src: Fpr::new(2) });
+    a.emit(Insn::Funary { op: FUnOp::Cos, dst: Fpr::new(4) });
+    a.emit(Insn::Fbin { op: FBinOp::Mul, dst: Fpr::new(3), src: Fpr::new(3) });
+    a.emit(Insn::Fbin { op: FBinOp::Mul, dst: Fpr::new(4), src: Fpr::new(4) });
+    a.emit(Insn::Fbin { op: FBinOp::Add, dst: Fpr::new(3), src: Fpr::new(4) });
+    a.emit(Insn::Fbin { op: FBinOp::Add, dst: Fpr::new(0), src: Fpr::new(3) });
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, body);
+    a.dec(Gpr::Edx);
+    a.jcc_to(Cond::Ne, steploop);
+    a.emit(Insn::Fst { addr: Addr::abs(DATA + 0x8000), src: Fpr::new(0) });
+    a.halt();
+    let mut p = a.into_program().with_data(vec![0; 0x9000]);
+    p.name = "nbody_step".into();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::exec::{self, Next};
+    use darco_guest::GuestState;
+
+    fn run(p: &GuestProgram) -> GuestState {
+        let mut st = GuestState::boot(p);
+        for _ in 0..200_000_000u64 {
+            match exec::step(&mut st).unwrap().next {
+                Next::Halt => return st,
+                Next::Syscall => panic!("kernel made a syscall"),
+                _ => {}
+            }
+        }
+        panic!("kernel did not halt");
+    }
+
+    #[test]
+    fn dot_product_is_correct() {
+        let p = dot_product(64);
+        let st = run(&p);
+        let got = f64::from_bits(st.mem.read_u64(DATA).unwrap());
+        assert_eq!(got, dot_product_expected(64));
+    }
+
+    #[test]
+    fn matmul_against_identity_times_three() {
+        let n = 6;
+        let p = matmul(n);
+        let st = run(&p);
+        for i in 0..n {
+            for j in 0..n {
+                let got = st.mem.read_u32(matmul_c_addr(n, i, j)).unwrap();
+                assert_eq!(got, 3 * (i + j), "c[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn string_search_finds_needle() {
+        let p = string_search(500, 123);
+        let st = run(&p);
+        assert_eq!(st.mem.read_u32(DATA + 500 + 16).unwrap(), 123);
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        let n = 150;
+        let p = quicksort(n);
+        let st = run(&p);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let v = st.mem.read_u32(DATA + i * 4).unwrap();
+            assert!(v >= prev, "a[{i}] = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        let n = 700;
+        let p = crc32(n);
+        let st = run(&p);
+        assert_eq!(st.mem.read_u32(DATA + n + 16).unwrap(), crc32_expected(n));
+    }
+
+    #[test]
+    fn nbody_energy_is_n_times_steps() {
+        // sin² + cos² = 1 (within the architectural polynomial's error).
+        let (n, steps) = (8, 10);
+        let p = nbody_step(n, steps);
+        let st = run(&p);
+        let e = f64::from_bits(st.mem.read_u64(DATA + 0x8000).unwrap());
+        let want = (n * steps) as f64;
+        assert!((e - want).abs() < 1e-3, "energy {e} vs {want}");
+    }
+}
+
+/// In-place quicksort of `n` pseudo-random u32 keys (iterative, explicit
+/// stack) — pointer/branch-heavy integer code with data-dependent control
+/// flow.
+pub fn quicksort(n: u32) -> GuestProgram {
+    let arr = DATA as i32;
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    // Fill with an xorshift sequence.
+    a.mov_ri(Gpr::Eax, 0x1234_5677);
+    a.mov_ri(Gpr::Ecx, n as i32);
+    let fill = a.here();
+    a.mov_rr(Gpr::Edx, Gpr::Eax);
+    a.emit(Insn::Shift { op: darco_guest::ShiftOp::Shl, dst: Gpr::Edx, amount: darco_guest::ShiftAmount::Imm(13) });
+    a.alu_rr(AluOp::Xor, Gpr::Eax, Gpr::Edx);
+    a.mov_rr(Gpr::Edx, Gpr::Eax);
+    a.emit(Insn::Shift { op: darco_guest::ShiftOp::Shr, dst: Gpr::Edx, amount: darco_guest::ShiftAmount::Imm(17) });
+    a.alu_rr(AluOp::Xor, Gpr::Eax, Gpr::Edx);
+    a.store(Addr::full(Gpr::Esi, Gpr::Ecx, Scale::S4, arr - 4), Gpr::Eax, Width::D);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, fill);
+    // Explicit-stack quicksort over [lo, hi) ranges pushed on the guest
+    // stack. Registers: EBX=lo, EDX=hi, EDI=i, ECX=j (byte offsets).
+    a.mov_ri(Gpr::Esi, arr);
+    a.mov_ri(Gpr::Ebx, 0);
+    a.mov_ri(Gpr::Edx, (n as i32) * 4);
+    a.push(Gpr::Ebx);
+    a.push(Gpr::Edx);
+    a.mov_ri(Gpr::Ebp, 1); // stack depth
+    let pop_range = a.here();
+    a.pop(Gpr::Edx); // hi
+    a.pop(Gpr::Ebx); // lo
+    a.dec(Gpr::Ebp);
+    // if hi - lo <= 4 bytes (one element), skip
+    let skip = a.label();
+    a.mov_rr(Gpr::Eax, Gpr::Edx);
+    a.sub_rr(Gpr::Eax, Gpr::Ebx);
+    a.cmp_ri(Gpr::Eax, 8);
+    a.jcc_to(Cond::B, skip);
+    // Lomuto partition: pivot = a[hi-4], i = lo, j = lo..hi-4
+    a.mov_rr(Gpr::Edi, Gpr::Ebx); // i
+    a.mov_rr(Gpr::Ecx, Gpr::Ebx); // j
+    let part = a.here();
+    // eax = a[j]; pivot in... reload pivot each time: eax = a[hi-4]
+    a.load(Gpr::Eax, Addr::full(Gpr::Esi, Gpr::Edx, Scale::S1, -4));
+    a.emit(Insn::CmpRM { a: Gpr::Eax, addr: Addr::base_index(Gpr::Esi, Gpr::Ecx, Scale::S1) });
+    let noswap = a.label();
+    a.jcc_to(Cond::Be, noswap); // pivot <= a[j] -> no swap
+    // swap a[i], a[j]
+    a.load(Gpr::Eax, Addr::base_index(Gpr::Esi, Gpr::Edi, Scale::S1));
+    a.push(Gpr::Eax);
+    a.load(Gpr::Eax, Addr::base_index(Gpr::Esi, Gpr::Ecx, Scale::S1));
+    a.store(Addr::base_index(Gpr::Esi, Gpr::Edi, Scale::S1), Gpr::Eax, Width::D);
+    a.pop(Gpr::Eax);
+    a.store(Addr::base_index(Gpr::Esi, Gpr::Ecx, Scale::S1), Gpr::Eax, Width::D);
+    a.alu_ri(AluOp::Add, Gpr::Edi, 4);
+    a.bind(noswap);
+    a.alu_ri(AluOp::Add, Gpr::Ecx, 4);
+    // j < hi-4 ?
+    a.mov_rr(Gpr::Eax, Gpr::Edx);
+    a.alu_ri(AluOp::Sub, Gpr::Eax, 4);
+    a.cmp_rr(Gpr::Ecx, Gpr::Eax);
+    a.jcc_to(Cond::B, part);
+    // swap a[i], a[hi-4] (pivot into place)
+    a.load(Gpr::Eax, Addr::base_index(Gpr::Esi, Gpr::Edi, Scale::S1));
+    a.push(Gpr::Eax);
+    a.load(Gpr::Eax, Addr::full(Gpr::Esi, Gpr::Edx, Scale::S1, -4));
+    a.store(Addr::base_index(Gpr::Esi, Gpr::Edi, Scale::S1), Gpr::Eax, Width::D);
+    a.pop(Gpr::Eax);
+    a.store(Addr::full(Gpr::Esi, Gpr::Edx, Scale::S1, -4), Gpr::Eax, Width::D);
+    // push [lo, i) and [i+4, hi)
+    a.push(Gpr::Ebx);
+    a.push(Gpr::Edi);
+    a.mov_rr(Gpr::Eax, Gpr::Edi);
+    a.alu_ri(AluOp::Add, Gpr::Eax, 4);
+    a.push(Gpr::Eax);
+    a.push(Gpr::Edx);
+    a.alu_ri(AluOp::Add, Gpr::Ebp, 2);
+    a.bind(skip);
+    a.cmp_ri(Gpr::Ebp, 0);
+    a.jcc_to(Cond::Ne, pop_range);
+    a.halt();
+    let mut p = a.into_program().with_data(vec![0; (n as usize) * 4 + 64]);
+    p.name = "quicksort".into();
+    p
+}
+
+/// CRC-32 (bitwise, polynomial 0xEDB88320) over `n` bytes of data —
+/// shift/xor-dominated integer code. The result lands at `DATA + n + 16`.
+pub fn crc32(n: u32) -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ebx, -1); // crc
+    a.mov_ri(Gpr::Edi, DATA as i32); // ptr
+    a.mov_ri(Gpr::Ecx, n as i32);
+    let byte_loop = a.here();
+    a.emit(Insn::Load { dst: Gpr::Eax, addr: Addr::base(Gpr::Edi), width: Width::B, sign: false });
+    a.alu_rr(AluOp::Xor, Gpr::Ebx, Gpr::Eax);
+    for _ in 0..8 {
+        // crc = (crc >> 1) ^ (0xEDB88320 & -(crc & 1))
+        a.mov_rr(Gpr::Edx, Gpr::Ebx);
+        a.alu_ri(AluOp::And, Gpr::Edx, 1);
+        a.emit(Insn::Unary { op: darco_guest::UnaryOp::Neg, dst: Gpr::Edx });
+        a.alu_ri(AluOp::And, Gpr::Edx, 0xEDB8_8320u32 as i32);
+        a.emit(Insn::Shift { op: darco_guest::ShiftOp::Shr, dst: Gpr::Ebx, amount: darco_guest::ShiftAmount::Imm(1) });
+        a.alu_rr(AluOp::Xor, Gpr::Ebx, Gpr::Edx);
+    }
+    a.inc(Gpr::Edi);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, byte_loop);
+    a.emit(Insn::Unary { op: darco_guest::UnaryOp::Not, dst: Gpr::Ebx });
+    a.store(Addr::abs(DATA + n + 16), Gpr::Ebx, Width::D);
+    a.halt();
+    let data: Vec<u8> = (0..n + 64).map(|i| (i * 31 + 7) as u8).collect();
+    let mut p = a.into_program().with_data(data);
+    p.name = "crc32".into();
+    p
+}
+
+/// Reference CRC-32 for [`crc32`]'s data pattern.
+pub fn crc32_expected(n: u32) -> u32 {
+    let data: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
+    let mut crc = u32::MAX;
+    for b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+        }
+    }
+    !crc
+}

@@ -1,0 +1,25 @@
+//! # The DARCO benchmark suite
+//!
+//! Stand-ins for SPEC CPU2006 and Physicsbench (see DESIGN.md §1): 31
+//! deterministic synthetic benchmarks carrying the paper's benchmark names,
+//! generated from per-suite characteristic profiles:
+//!
+//! * **SPECINT-like** — small basic blocks, branch-dense control flow with
+//!   ~60–80% biased branches, calls/returns, string operations, integer
+//!   multiply/divide, and a high dynamic-to-static instruction ratio;
+//! * **SPECFP-like** — large straight-line loop bodies dominated by f64
+//!   arithmetic over arrays, very high dynamic-to-static ratio;
+//! * **Physicsbench-like** — medium bodies with significant `sin`/`cos`
+//!   usage (software-emulated on the host) and a *low* dynamic-to-static
+//!   ratio; `continuous`, `periodic` and `ragdoll` are dominated by warm
+//!   code that barely crosses the BBM threshold, exactly the behaviour the
+//!   paper reports for them in Figs. 4, 6 and 7.
+//!
+//! All generation is seeded; a benchmark builds bit-identically every time.
+
+pub mod gen;
+pub mod kernels;
+pub mod suite;
+
+pub use gen::{build, BenchProfile};
+pub use suite::{benchmarks, Benchmark, Suite};

@@ -1,0 +1,208 @@
+//! The 31 named benchmarks of the paper's evaluation (SPECINT2006,
+//! SPECFP2006, Physicsbench), as characteristic profiles for the
+//! generator.
+
+use crate::gen::BenchProfile;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPECINT2006-like.
+    SpecInt,
+    /// SPECFP2006-like.
+    SpecFp,
+    /// Physicsbench-like.
+    Physics,
+}
+
+impl Suite {
+    /// Display name matching the paper's averages columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "SPECINT2006",
+            Suite::SpecFp => "SPECFP2006",
+            Suite::Physics => "Physicsbench",
+        }
+    }
+}
+
+/// One named benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Paper benchmark name.
+    pub name: &'static str,
+    /// Its suite.
+    pub suite: Suite,
+    /// Generator profile.
+    pub profile: BenchProfile,
+}
+
+fn int_profile(name: &'static str, seed: u64, v: u64) -> BenchProfile {
+    // Small blocks, branch-dense, call/ret, strings, high dyn/static.
+    BenchProfile {
+        name: name.to_string(),
+        hot_loops: 2 + (v % 2) as usize,
+        hot_iters: 46_000 + (v * 3_000) as u32,
+        hot_diamonds: 3,
+        bb_insns: (3, 7),
+        bias_of_16: 12 + (v % 3) as u32, // 0.75–0.88
+        warm_funcs: 11 + (v % 4) as usize,
+        warm_iters: 460,
+        warm_insns: 26,
+        cold_blocks: 12,
+        mem_ratio: 0.44,
+        fp_ratio: 0.02,
+        trig_ratio: 0.0,
+        muldiv_ratio: 0.08,
+        callret: true,
+        switches: true,
+        rep_strings: true,
+        seed,
+    }
+}
+
+fn fp_profile(name: &'static str, seed: u64, v: u64) -> BenchProfile {
+    // Big straight-line bodies, FP-dominated, few branches, very high
+    // dyn/static ratio.
+    BenchProfile {
+        name: name.to_string(),
+        hot_loops: 2,
+        hot_iters: 62_000 + (v * 4_000) as u32,
+        hot_diamonds: 1,
+        bb_insns: (14, 26),
+        bias_of_16: 14,
+        warm_funcs: 2,
+        warm_iters: 120,
+        warm_insns: 22,
+        cold_blocks: 6,
+        mem_ratio: 0.28,
+        fp_ratio: 0.42,
+        trig_ratio: 0.01,
+        muldiv_ratio: 0.02,
+        callret: false,
+        switches: false,
+        rep_strings: false,
+        seed,
+    }
+}
+
+fn physics_profile(name: &'static str, seed: u64, hot: bool) -> BenchProfile {
+    // Trig-heavy; the "warm" subset (continuous/periodic/ragdoll) has a
+    // low dynamic-to-static ratio: lots of warm code, short hot phases.
+    BenchProfile {
+        name: name.to_string(),
+        hot_loops: if hot { 2 } else { 1 },
+        hot_iters: if hot { 22_000 } else { 7_000 },
+        hot_diamonds: 2,
+        bb_insns: (6, 14),
+        bias_of_16: 13,
+        warm_funcs: if hot { 10 } else { 18 },
+        warm_iters: if hot { 170 } else { 480 },
+        warm_insns: 24,
+        cold_blocks: if hot { 20 } else { 24 },
+        mem_ratio: 0.26,
+        fp_ratio: 0.34,
+        trig_ratio: 0.12,
+        muldiv_ratio: 0.02,
+        callret: false,
+        switches: false,
+        rep_strings: true,
+        seed,
+    }
+}
+
+/// The full 31-benchmark suite, in the paper's figure order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    let ints = [
+        "400.perlbench",
+        "401.bzip2",
+        "403.gcc",
+        "429.mcf",
+        "445.gobmk",
+        "458.sjeng",
+        "462.libquantum",
+        "464.h264ref",
+        "471.omnetpp",
+        "473.astar",
+        "483.xalancbmk",
+    ];
+    let fps = [
+        "410.bwaves",
+        "433.milc",
+        "434.zeusmp",
+        "435.gromacs",
+        "436.cactusADM",
+        "437.leslie3d",
+        "444.namd",
+        "450.soplex",
+        "453.povray",
+        "454.calculix",
+        "459.GemsFDTD",
+        "470.lbm",
+        "482.sphinx3",
+    ];
+    // (name, hot?) — continuous/periodic/ragdoll are the warm-dominated
+    // three the paper singles out.
+    let phys: [(&'static str, bool); 7] = [
+        ("breakable", true),
+        ("continuous", false),
+        ("deformable", true),
+        ("explosions", true),
+        ("highspeed", true),
+        ("periodic", false),
+        ("ragdoll", false),
+    ];
+    let mut out = Vec::new();
+    for (i, n) in ints.iter().enumerate() {
+        out.push(Benchmark {
+            name: n,
+            suite: Suite::SpecInt,
+            profile: int_profile(n, 0x1000 + i as u64, i as u64),
+        });
+    }
+    for (i, n) in fps.iter().enumerate() {
+        out.push(Benchmark {
+            name: n,
+            suite: Suite::SpecFp,
+            profile: fp_profile(n, 0x2000 + i as u64, i as u64),
+        });
+    }
+    for (i, (n, hot)) in phys.iter().enumerate() {
+        out.push(Benchmark {
+            name: n,
+            suite: Suite::Physics,
+            profile: physics_profile(n, 0x3000 + i as u64, *hot),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_31_benchmarks() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 31);
+        assert_eq!(b.iter().filter(|x| x.suite == Suite::SpecInt).count(), 11);
+        assert_eq!(b.iter().filter(|x| x.suite == Suite::SpecFp).count(), 13);
+        assert_eq!(b.iter().filter(|x| x.suite == Suite::Physics).count(), 7);
+        assert_eq!(b[0].name, "400.perlbench");
+        assert_eq!(b[30].name, "ragdoll");
+    }
+
+    #[test]
+    fn names_are_unique_and_seeds_differ() {
+        let b = benchmarks();
+        let mut names: Vec<_> = b.iter().map(|x| x.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 31);
+        let mut seeds: Vec<_> = b.iter().map(|x| x.profile.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 31);
+    }
+}

@@ -1,0 +1,181 @@
+//! OS-lite: the deterministic system-call layer of the authoritative
+//! component.
+//!
+//! ABI: syscall number in `EAX`, arguments in `EBX`/`ECX`/`EDX`, result in
+//! `EAX`. Everything is deterministic (the `time` syscall is a counter),
+//! so the DARCO execution-flow protocol can replay runs exactly.
+
+use darco_guest::{GuestProgram, GuestState, Gpr, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// `exit(status)`.
+pub const OS_EXIT: u32 = 1;
+/// `write(fd, buf, len) -> len` (fd 1/2 captured as output).
+pub const OS_WRITE: u32 = 2;
+/// `read(fd, buf, len) -> n` from the program's deterministic input.
+pub const OS_READ: u32 = 3;
+/// `sbrk(delta) -> old_brk`.
+pub const OS_SBRK: u32 = 4;
+/// `time() -> deterministic counter`.
+pub const OS_TIME: u32 = 5;
+/// `getpid() -> 42`.
+pub const OS_GETPID: u32 = 6;
+
+/// Outcome of a system call, reported to the controller so it can update
+/// the co-designed component's state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyscallOutcome {
+    /// Normal completion. `modified` lists guest memory ranges the kernel
+    /// wrote (the controller refreshes co-designed copies of those pages).
+    Ok {
+        /// `(address, length)` ranges written by the kernel.
+        modified: Vec<(u32, u32)>,
+    },
+    /// The program exited with a status code.
+    Exit(u32),
+}
+
+/// Mutable kernel state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OsState {
+    brk: u32,
+    input: Vec<u8>,
+    input_pos: usize,
+    time: u64,
+}
+
+impl OsState {
+    /// Creates kernel state for a program.
+    pub fn new(program: &GuestProgram) -> OsState {
+        OsState { brk: program.brk_base, input: program.input.clone(), input_pos: 0, time: 0 }
+    }
+}
+
+/// Executes one system call against the authoritative state. `EIP` must
+/// already be advanced past the `syscall` instruction.
+pub fn do_syscall(st: &mut GuestState, os: &mut OsState, output: &mut Vec<u8>) -> SyscallOutcome {
+    let nr = st.gpr(Gpr::Eax);
+    let a1 = st.gpr(Gpr::Ebx);
+    let a2 = st.gpr(Gpr::Ecx);
+    let a3 = st.gpr(Gpr::Edx);
+    match nr {
+        OS_EXIT => return SyscallOutcome::Exit(a1),
+        OS_WRITE => {
+            let len = a3.min(1 << 20);
+            let mut written = 0u32;
+            for i in 0..len {
+                match st.mem.read_u8(a2.wrapping_add(i)) {
+                    Ok(b) => {
+                        if a1 == 1 || a1 == 2 {
+                            output.push(b);
+                        }
+                        written += 1;
+                    }
+                    Err(_) => break, // EFAULT-style partial write
+                }
+            }
+            st.set_gpr(Gpr::Eax, written);
+        }
+        OS_READ => {
+            let len = a3.min(1 << 20);
+            let mut read = 0u32;
+            let mut modified = Vec::new();
+            for i in 0..len {
+                let Some(&b) = os.input.get(os.input_pos) else { break };
+                let addr = a2.wrapping_add(i);
+                st.mem.map_zero(darco_guest::GuestMem::page_of(addr));
+                st.mem.write_u8(addr, b).expect("just mapped");
+                os.input_pos += 1;
+                read += 1;
+            }
+            if read > 0 {
+                modified.push((a2, read));
+            }
+            st.set_gpr(Gpr::Eax, read);
+            return SyscallOutcome::Ok { modified };
+        }
+        OS_SBRK => {
+            let old = os.brk;
+            let delta = a1 as i32;
+            let new = (old as i64 + delta as i64).clamp(0, u32::MAX as i64) as u32;
+            // Map the grown range eagerly (zero pages).
+            if new > old {
+                let first = darco_guest::GuestMem::page_of(old);
+                let last = darco_guest::GuestMem::page_of(new.saturating_sub(1).max(old));
+                for p in first..=last {
+                    st.mem.map_zero(p);
+                }
+            }
+            os.brk = new;
+            st.set_gpr(Gpr::Eax, old);
+        }
+        OS_TIME => {
+            os.time += 1000;
+            st.set_gpr(Gpr::Eax, os.time as u32);
+        }
+        OS_GETPID => st.set_gpr(Gpr::Eax, 42),
+        _ => st.set_gpr(Gpr::Eax, u32::MAX), // ENOSYS
+    }
+    SyscallOutcome::Ok { modified: Vec::new() }
+}
+
+/// Bytes per page, re-exported for convenience in protocol code.
+pub const OS_PAGE: u32 = PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::Asm;
+
+    fn state_with(nr: u32, a1: u32, a2: u32, a3: u32) -> (GuestState, OsState) {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.halt();
+        let p = a.into_program().with_input(vec![1, 2, 3]);
+        let mut st = GuestState::boot(&p);
+        st.set_gpr(Gpr::Eax, nr);
+        st.set_gpr(Gpr::Ebx, a1);
+        st.set_gpr(Gpr::Ecx, a2);
+        st.set_gpr(Gpr::Edx, a3);
+        (st, OsState::new(&p))
+    }
+
+    #[test]
+    fn unknown_syscall_returns_enosys() {
+        let (mut st, mut os) = state_with(999, 0, 0, 0);
+        let mut out = Vec::new();
+        do_syscall(&mut st, &mut os, &mut out);
+        assert_eq!(st.gpr(Gpr::Eax), u32::MAX);
+    }
+
+    #[test]
+    fn read_reports_modified_ranges() {
+        let (mut st, mut os) = state_with(OS_READ, 0, 0x0500_0000, 8);
+        let mut out = Vec::new();
+        let o = do_syscall(&mut st, &mut os, &mut out);
+        assert_eq!(st.gpr(Gpr::Eax), 3, "only 3 input bytes available");
+        assert_eq!(o, SyscallOutcome::Ok { modified: vec![(0x0500_0000, 3)] });
+        assert_eq!(st.mem.read_u8(0x0500_0001).unwrap(), 2);
+    }
+
+    #[test]
+    fn sbrk_grows_and_maps() {
+        let (mut st, mut os) = state_with(OS_SBRK, 2 * PAGE_SIZE, 0, 0);
+        let brk0 = os.brk;
+        let mut out = Vec::new();
+        do_syscall(&mut st, &mut os, &mut out);
+        assert_eq!(st.gpr(Gpr::Eax), brk0);
+        assert_eq!(os.brk, brk0 + 2 * PAGE_SIZE);
+        assert!(st.mem.is_mapped(brk0));
+        assert!(st.mem.is_mapped(brk0 + 2 * PAGE_SIZE - 1));
+    }
+
+    #[test]
+    fn write_to_nonstd_fd_is_counted_but_discarded() {
+        let (mut st, mut os) = state_with(OS_WRITE, 9, DEFAULT_CODE_BASE, 2);
+        let mut out = Vec::new();
+        do_syscall(&mut st, &mut os, &mut out);
+        assert_eq!(st.gpr(Gpr::Eax), 2);
+        assert!(out.is_empty());
+    }
+}

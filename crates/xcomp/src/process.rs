@@ -1,0 +1,71 @@
+//! Process tracking — the paper's CR3-based tracker.
+//!
+//! DARCO's x86 component runs a whole OS; a *process tracker* initialized
+//! with the application's Control Register 3 value distinguishes the
+//! traced process from everything else running on top of the OS (§V-A).
+//! OS-lite runs a single process, but the tracker is kept for protocol
+//! fidelity: every synchronization message carries the address-space id
+//! and the controller rejects mismatches.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the traced process by its address-space identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessTracker {
+    asid: u32,
+    name: String,
+}
+
+impl ProcessTracker {
+    /// Initializes the tracker for a named program (the CR3 analog is a
+    /// deterministic hash of the name).
+    pub fn new(name: &str) -> ProcessTracker {
+        ProcessTracker { asid: asid_of(name), name: name.to_string() }
+    }
+
+    /// The address-space id (CR3 analog).
+    pub fn asid(&self) -> u32 {
+        self.asid
+    }
+
+    /// Whether a synchronization message with this id belongs to the
+    /// traced process.
+    pub fn matches(&self, asid: u32) -> bool {
+        self.asid == asid
+    }
+
+    /// The traced program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Deterministic FNV-1a hash of the program name.
+fn asid_of(name: &str) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in name.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h | 1 // never zero
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_distinguishes_processes() {
+        let a = ProcessTracker::new("400.perlbench");
+        let b = ProcessTracker::new("401.bzip2");
+        assert_ne!(a.asid(), b.asid());
+        assert!(a.matches(a.asid()));
+        assert!(!a.matches(b.asid()));
+        assert_ne!(a.asid(), 0);
+    }
+
+    #[test]
+    fn asid_is_deterministic() {
+        assert_eq!(ProcessTracker::new("x").asid(), ProcessTracker::new("x").asid());
+    }
+}

@@ -1,0 +1,55 @@
+//! The debug toolchain in action (§V-D): plant a bug in a TOL stage, let
+//! state validation catch it, then let the toolchain localize the first
+//! divergent region and attribute it to the pipeline stage that caused it.
+//!
+//! Run with: `cargo run --release --example debug_toolchain`
+
+use darco::debug::{diagnose, Stage};
+use darco_guest::{AluOp, Asm, Cond, Gpr};
+use darco_tol::{BugKind, Injection, TolConfig};
+
+fn main() {
+    let mut a = Asm::new(0x10_0000);
+    a.mov_ri(Gpr::Eax, 1);
+    a.mov_ri(Gpr::Ebx, 3); // non-degenerate seed for the multiply chain
+    a.mov_ri(Gpr::Ecx, 2_000);
+    let top = a.here();
+    a.alu_ri(AluOp::Add, Gpr::Eax, 7);
+    // A mixing step that never collapses to zero (a repeated multiply
+    // would saturate with factors of two and hide value bugs).
+    a.add_rr(Gpr::Ebx, Gpr::Eax);
+    a.alu_ri(AluOp::Xor, Gpr::Ebx, 0x9E37_79B9u32 as i32);
+    a.store(darco_guest::Addr::abs(0x40_0000), Gpr::Ebx, darco_guest::Width::D);
+    // Read it back so the page is shared with the authoritative component
+    // (state comparison covers pages mapped on both sides) and the value
+    // feeds later iterations.
+    a.load(Gpr::Edx, darco_guest::Addr::abs(0x40_0000));
+    a.add_rr(Gpr::Eax, Gpr::Edx);
+    a.alu_ri(AluOp::Sub, Gpr::Ecx, 1);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    let program = a.into_program().with_data(vec![0; 64]);
+
+    for kind in [
+        BugKind::TranslatorWrongConstant,
+        BugKind::OptimizerBadFold,
+        BugKind::CodegenDropStore,
+    ] {
+        let cfg = TolConfig {
+            injection: Some(Injection { kind, translation_ordinal: 0 }),
+            ..TolConfig::default()
+        };
+        let d = diagnose(&program, &cfg, 10_000_000);
+        println!("planted {kind:?}:");
+        match d.stage {
+            Stage::None => println!("  no divergence found (!)"),
+            stage => println!(
+                "  diagnosed stage: {stage:?}\n  first divergence after {} retired instructions at guest pc {:#010x}\n  first difference: {}",
+                d.divergence_at.unwrap(),
+                d.guest_pc.unwrap(),
+                d.detail.unwrap()
+            ),
+        }
+        println!();
+    }
+}

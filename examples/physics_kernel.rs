@@ -1,0 +1,30 @@
+//! A Physicsbench-style scenario: run the trigonometry-heavy n-body
+//! kernel and watch the cost of software-emulated transcendentals —
+//! the paper's explanation for Physicsbench's high emulation cost.
+//!
+//! Run with: `cargo run --release --example physics_kernel`
+
+use darco::{System, SystemConfig};
+use darco_workloads::kernels;
+
+fn main() {
+    for (n, steps) in [(16, 200), (64, 400)] {
+        let program = kernels::nbody_step(n, steps);
+        let r = System::new(SystemConfig::default(), program).run().expect("validates");
+        println!(
+            "nbody n={n:<3} steps={steps:<4}: {:>8} guest insns, SBM {:.1}%, emulation cost {:.2} host/guest",
+            r.guest_insns,
+            r.sbm_fraction() * 100.0,
+            r.sbm_emulation_cost
+        );
+    }
+    println!("\nsin/cos expand to ~40-instruction host runtime routines, so the");
+    println!("host-per-guest ratio is far above an ALU-only kernel's — compare:");
+    let r = System::new(SystemConfig::default(), kernels::dot_product(4000)).run().unwrap();
+    println!(
+        "dot_product       : {:>8} guest insns, SBM {:.1}%, emulation cost {:.2} host/guest",
+        r.guest_insns,
+        r.sbm_fraction() * 100.0,
+        r.sbm_emulation_cost
+    );
+}

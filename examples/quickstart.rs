@@ -1,0 +1,45 @@
+//! Quickstart: assemble a small guest program, run it through the full
+//! DARCO system (co-designed component + authoritative component +
+//! controller), and inspect what the software layer did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use darco::{System, SystemConfig};
+use darco_guest::{AluOp, Asm, Cond, Gpr};
+
+fn main() {
+    // A guest program: sum 1..=100_000 with a little bit twiddling.
+    let mut a = Asm::new(0x10_0000);
+    a.mov_ri(Gpr::Eax, 0);
+    a.mov_ri(Gpr::Ecx, 100_000);
+    let top = a.here();
+    a.add_rr(Gpr::Eax, Gpr::Ecx);
+    a.alu_ri(AluOp::Xor, Gpr::Ebx, 0x1234);
+    a.alu_ri(AluOp::Sub, Gpr::Ecx, 1);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    let program = a.into_program();
+
+    let report = System::new(SystemConfig::default(), program).expect_run();
+
+    let (im, bbm, sbm) = report.mode_insns;
+    println!("guest instructions : {}", report.guest_insns);
+    println!("  interpreted (IM) : {im}");
+    println!("  basic blocks     : {bbm}");
+    println!("  superblocks      : {sbm}  ({:.1}%)", report.sbm_fraction() * 100.0);
+    println!("host app insns     : {}", report.host_app_insns);
+    println!("SBM emulation cost : {:.2} host/guest", report.sbm_emulation_cost);
+    println!("TOL overhead       : {:.1}%", report.overhead_fraction() * 100.0);
+    println!("translations       : {} BB + {} SB", report.tol_stats.translations_bb, report.tol_stats.translations_sb);
+    println!("state validations  : {} (all passed)", report.validations);
+}
+
+trait ExpectRun {
+    fn expect_run(self) -> darco::RunReport;
+}
+
+impl ExpectRun for System {
+    fn expect_run(self) -> darco::RunReport {
+        self.run().expect("the run validates against the authoritative component")
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the DARCO reproduction workspace.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories. The actual library surface lives in the `darco-*` crates; the
+//! most convenient entry point is the [`darco`] crate, which re-exports the
+//! controller, the co-designed component and the system configuration.
+//!
+//! # Quick start
+//!
+//! ```
+//! use darco::{System, SystemConfig};
+//! use darco_workloads::kernels;
+//!
+//! let program = kernels::dot_product(64);
+//! let report = System::new(SystemConfig::default(), program).run().unwrap();
+//! assert!(report.guest_insns > 0);
+//! ```
+
+pub use darco;
+pub use darco_guest;
+pub use darco_host;
+pub use darco_ir;
+pub use darco_power;
+pub use darco_timing;
+pub use darco_tol;
+pub use darco_workloads;
+pub use darco_xcomp;

@@ -1,0 +1,174 @@
+//! Workspace-level integration tests: the full stack (guest ISA → TOL →
+//! host emulator → controller → authoritative component), exercised
+//! across crates exactly as a user would drive it.
+
+use darco::{SinkChoice, System, SystemConfig};
+use darco_guest::{AluOp, Asm, Cond, Gpr};
+use darco_workloads::{benchmarks, kernels, Suite};
+
+fn tiny(cfg: SystemConfig, idx: usize) -> darco::RunReport {
+    let b = &benchmarks()[idx];
+    let program = darco_workloads::build(&b.profile.clone().scaled(1, 40));
+    System::new(cfg, program).run().expect("validated run")
+}
+
+#[test]
+fn whole_suite_runs_validated_at_tiny_scale() {
+    for b in benchmarks() {
+        let program = darco_workloads::build(&b.profile.clone().scaled(1, 40));
+        let r = System::new(SystemConfig::default(), program)
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+        assert!(r.guest_insns > 5_000, "{}: {}", b.name, r.guest_insns);
+        assert_eq!(r.syscalls, 1, "{}: checksum write", b.name);
+        assert_eq!(r.output.len(), 4, "{}: 4-byte checksum", b.name);
+        assert!(r.validations >= 2, "{}: syscall + end validation", b.name);
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let b = &benchmarks()[3];
+    let r1 = tiny(SystemConfig::default(), 3);
+    let r2 = tiny(SystemConfig::default(), 3);
+    assert_eq!(r1.guest_insns, r2.guest_insns);
+    assert_eq!(r1.mode_insns, r2.mode_insns);
+    assert_eq!(r1.host_app_insns, r2.host_app_insns);
+    assert_eq!(r1.output, r2.output);
+    assert_eq!(r1.overhead, r2.overhead);
+    let _ = b;
+}
+
+#[test]
+fn periodic_validation_and_timing_do_not_change_results() {
+    let base = tiny(SystemConfig::default(), 12);
+    let mut cfg = SystemConfig::default();
+    cfg.validate_every = Some(1_000);
+    let periodic = tiny(cfg, 12);
+    assert_eq!(base.output, periodic.output);
+    assert!(periodic.validations > base.validations);
+
+    let mut cfg = SystemConfig::default();
+    cfg.sink = SinkChoice::InOrder;
+    cfg.power = true;
+    let timed = tiny(cfg, 12);
+    assert_eq!(base.output, timed.output, "timing is observation-only");
+    assert_eq!(base.guest_insns, timed.guest_insns);
+    let t = timed.timing.unwrap();
+    assert!(t.cycles > 0 && t.insns > timed.guest_insns);
+    assert!(timed.power.unwrap().total_pj > 0.0);
+}
+
+#[test]
+fn suites_show_the_papers_ordering_even_when_scaled() {
+    // At 1/8 scale the absolute numbers move, but the suite orderings the
+    // paper reports must survive: SPECFP has the highest SBM share and the
+    // lowest TOL overhead; Physicsbench the lowest SBM share and the
+    // highest overhead.
+    let avg = |suite: Suite, f: &dyn Fn(&darco::RunReport) -> f64| {
+        let rows: Vec<f64> = benchmarks()
+            .iter()
+            .filter(|b| b.suite == suite)
+            .take(3)
+            .map(|b| {
+                let program = darco_workloads::build(&b.profile.clone().scaled(1, 8));
+                f(&System::new(SystemConfig::default(), program).run().unwrap())
+            })
+            .collect();
+        rows.iter().sum::<f64>() / rows.len() as f64
+    };
+    let sbm = |r: &darco::RunReport| r.sbm_fraction();
+    let ovh = |r: &darco::RunReport| r.overhead_fraction();
+    let (int_sbm, fp_sbm, ph_sbm) =
+        (avg(Suite::SpecInt, &sbm), avg(Suite::SpecFp, &sbm), avg(Suite::Physics, &sbm));
+    let (int_ovh, fp_ovh, ph_ovh) =
+        (avg(Suite::SpecInt, &ovh), avg(Suite::SpecFp, &ovh), avg(Suite::Physics, &ovh));
+    assert!(fp_sbm > int_sbm && int_sbm > ph_sbm, "SBM: fp {fp_sbm} int {int_sbm} ph {ph_sbm}");
+    assert!(ph_ovh > int_ovh && ph_ovh > fp_ovh, "ovh: fp {fp_ovh} int {int_ovh} ph {ph_ovh}");
+}
+
+#[test]
+fn kernels_produce_correct_results_through_the_full_stack() {
+    // dot product value checked through the co-designed execution path.
+    let r = System::new(SystemConfig::default(), kernels::dot_product(256)).run().unwrap();
+    assert!(r.guest_insns > 2_000);
+    // (The value itself is validated against the authoritative component
+    // by construction; a wrong translation would fail validation.)
+    let r = System::new(SystemConfig::default(), kernels::nbody_step(12, 60)).run().unwrap();
+    assert!(r.sbm_emulation_cost > 3.0, "trig kernel has high cost: {}", r.sbm_emulation_cost);
+
+    let r = System::new(SystemConfig::default(), kernels::string_search(2000, 1234))
+        .run()
+        .unwrap();
+    assert!(r.guest_insns > 1_000, "rep scas retires per element");
+}
+
+#[test]
+fn ablation_knobs_preserve_correctness_and_move_metrics() {
+    let base = tiny(SystemConfig::default(), 0);
+
+    let mut cfg = SystemConfig::default();
+    cfg.tol.strict_flags = true;
+    let strict = tiny(cfg, 0);
+    assert_eq!(strict.output, base.output);
+    assert!(
+        strict.sbm_emulation_cost > base.sbm_emulation_cost,
+        "strict flags must cost host instructions: {} vs {}",
+        strict.sbm_emulation_cost,
+        base.sbm_emulation_cost
+    );
+
+    let mut cfg = SystemConfig::default();
+    cfg.tol.chaining = false;
+    cfg.tol.ibtc = false;
+    let unchained = tiny(cfg, 0);
+    assert_eq!(unchained.output, base.output);
+    assert!(
+        unchained.overhead.prologue > 3 * base.overhead.prologue,
+        "unchained execution multiplies TOL transitions: {} vs {}",
+        unchained.overhead.prologue,
+        base.overhead.prologue
+    );
+
+    let mut cfg = SystemConfig::default();
+    cfg.tol.opt_level = darco_ir::OptLevel::O0;
+    let o0 = tiny(cfg, 0);
+    assert_eq!(o0.output, base.output);
+    assert!(o0.sbm_emulation_cost > base.sbm_emulation_cost);
+}
+
+#[test]
+fn guest_program_errors_are_agreed_by_both_components() {
+    let mut a = Asm::new(0x10_0000);
+    a.mov_ri(Gpr::Eax, 9);
+    a.mov_ri(Gpr::Ebx, 0);
+    a.emit(darco_guest::Insn::Idiv { dst: Gpr::Eax, src: Gpr::Ebx });
+    a.halt();
+    let r = System::new(SystemConfig::default(), a.into_program()).run().unwrap();
+    assert!(r.guest_fault.unwrap().contains("division by zero"));
+}
+
+#[test]
+fn code_cache_pressure_flushes_and_stays_correct() {
+    let mut cfg = SystemConfig::default();
+    cfg.tol.code_cache_words = 6_000; // tiny: forces flushes
+    cfg.tol.bbm_threshold = 5;
+    cfg.tol.sbm_threshold = 25;
+    let mut a = Asm::new(0x10_0000);
+    // Many distinct hot blocks so translations overflow the cache.
+    a.mov_ri(Gpr::Edx, 60);
+    let outer = a.here();
+    for _ in 0..24 {
+        a.mov_ri(Gpr::Ecx, 12);
+        let top = a.here();
+        a.alu_ri(AluOp::Add, Gpr::Eax, 3);
+        a.alu_ri(AluOp::Xor, Gpr::Ebx, 0xF0F0);
+        a.alu_ri(AluOp::Sub, Gpr::Ecx, 1);
+        a.jcc_to(Cond::Ne, top);
+    }
+    a.alu_ri(AluOp::Sub, Gpr::Edx, 1);
+    a.jcc_to(Cond::Ne, outer);
+    a.halt();
+    let r = System::new(cfg, a.into_program()).run().expect("flushes preserve correctness");
+    assert!(r.guest_insns > 50_000);
+}
