@@ -1,15 +1,108 @@
 //! **E1 / §VI-A** — DARCO speed: guest/host instruction rates with and
-//! without the timing simulator.
+//! without the timing simulator, plus the hot-path benchmark used to
+//! track emulator-loop optimizations.
 //!
 //! Paper (on their cluster): 3.4 guest MIPS emulated, 0.37 guest MIPS with
 //! timing; 20 host MIPS emulated, 2 host MIPS with timing. Absolute rates
 //! depend on the machine; the experiment checks the relative slowdown of
 //! attaching the timing model.
+//!
+//! The hot-path section pins the system into each execution mode
+//! (interpreter-only, BB-translated, SB-optimized) and reports guest MIPS
+//! per mode, emitting machine-readable `BENCH_hotpath.json` so speedups
+//! from hot-path work (monomorphized sinks, L0 TLB, predecode cache) are
+//! tracked against the recorded pre-optimization baseline.
 
+use darco::json::JsonWriter;
+use darco::{SinkChoice, SystemConfig};
 use darco_bench::{default_config, paper, run_one, with_timing, Scale};
-use darco::SinkChoice;
 use darco_workloads::benchmarks;
 use std::time::Instant;
+
+/// Pre-optimization guest-MIPS baseline `(interp, bb, sb)`, measured with
+/// this same harness at `--scale 1/4` on the commit before the hot-path
+/// overhaul (dyn-dispatch sinks, per-byte page-map walks, per-iteration
+/// decode). `None` entries mean "no baseline recorded yet".
+const BASELINE_MIPS: Option<(f64, f64, f64)> = Some((1.67, 2.84, 2.94));
+
+/// One hot-path mode: a name plus the TOL thresholds that pin it.
+struct Mode {
+    name: &'static str,
+    bbm: u64,
+    sbm: u64,
+}
+
+const MODES: [Mode; 3] = [
+    // Promotion disabled: every instruction interprets.
+    Mode { name: "interp", bbm: u64::MAX, sbm: u64::MAX },
+    // BB promotion at the default threshold, SB promotion disabled.
+    Mode { name: "bb", bbm: 50, sbm: u64::MAX },
+    // Full promotion pipeline (defaults).
+    Mode { name: "sb", bbm: 50, sbm: 500 },
+];
+
+struct ModeResult {
+    name: &'static str,
+    guest_insns: u64,
+    wall_s: f64,
+    mips: f64,
+}
+
+fn hotpath_config(m: &Mode) -> SystemConfig {
+    let mut cfg = default_config();
+    cfg.tol.bbm_threshold = m.bbm;
+    cfg.tol.sbm_threshold = m.sbm;
+    cfg
+}
+
+/// Runs the hot-path set in one mode, aggregating instructions and time.
+fn run_mode(m: &Mode, set: &[usize], scale: Scale) -> ModeResult {
+    let mut insns = 0u64;
+    let mut wall = 0.0f64;
+    for &idx in set {
+        let b = &benchmarks()[idx];
+        let t0 = Instant::now();
+        let r = run_one(b, scale, hotpath_config(m));
+        wall += t0.elapsed().as_secs_f64();
+        insns += r.guest_insns;
+    }
+    ModeResult { name: m.name, guest_insns: insns, wall_s: wall, mips: insns as f64 / wall / 1e6 }
+}
+
+fn write_hotpath_json(scale: Scale, results: &[ModeResult]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.field_str("bench", "hotpath");
+    w.field_str("scale", &format!("{}/{}", scale.0, scale.1));
+    w.begin_obj(Some("modes"));
+    for r in results {
+        w.begin_obj(Some(r.name));
+        w.field_num("guest_insns", r.guest_insns);
+        w.field_f64("wall_s", r.wall_s);
+        w.field_f64("mips", r.mips);
+        w.end_obj();
+    }
+    w.end_obj();
+    match BASELINE_MIPS {
+        Some((bi, bb, bs)) => {
+            w.begin_obj(Some("baseline_mips"));
+            w.field_f64("interp", bi);
+            w.field_f64("bb", bb);
+            w.field_f64("sb", bs);
+            w.end_obj();
+            w.begin_obj(Some("speedup"));
+            for (r, base) in results.iter().zip([bi, bb, bs]) {
+                w.field_f64(r.name, r.mips / base);
+            }
+            w.end_obj();
+        }
+        None => {
+            w.field_null("baseline_mips");
+        }
+    }
+    w.end_obj();
+    w.finish()
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -58,4 +151,22 @@ fn main() {
         ha / ht,
         paper::SPEED.2 / paper::SPEED.3
     );
+
+    println!();
+    println!("== Hot-path modes (guest MIPS per execution mode) ==");
+    println!("{:<10} {:>14} {:>10} {:>10} {:>10}", "mode", "guest insns", "wall s", "MIPS", "vs base");
+    let results: Vec<ModeResult> = MODES.iter().map(|m| run_mode(m, &set, scale)).collect();
+    for (i, r) in results.iter().enumerate() {
+        let vs = match BASELINE_MIPS {
+            Some(b) => format!("{:.2}x", r.mips / [b.0, b.1, b.2][i]),
+            None => "-".into(),
+        };
+        println!(
+            "{:<10} {:>14} {:>10.3} {:>10.2} {:>10}",
+            r.name, r.guest_insns, r.wall_s, r.mips, vs
+        );
+    }
+    let json = write_hotpath_json(scale, &results);
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
 }

@@ -124,7 +124,7 @@ fn main() -> ExitCode {
     let dt = t0.elapsed().as_secs_f64();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        println!("{}", darco::json::report_to_json(&report));
         return ExitCode::SUCCESS;
     }
     let (im, bbm, sbm) = report.mode_insns;

@@ -16,10 +16,9 @@ use darco_guest::GuestProgram;
 use darco_host::sink::NullSink;
 use darco_ir::OptLevel;
 use darco_tol::TolConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which pipeline stage introduced the divergence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     /// Even pure interpretation diverges (guest executor / protocol bug).
     Interpreter,
@@ -36,7 +35,7 @@ pub enum Stage {
 }
 
 /// Diagnosis result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
     /// The culprit stage.
     pub stage: Stage,

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod debug;
+pub mod json;
 pub mod machine;
 pub mod sampling;
 pub mod system;

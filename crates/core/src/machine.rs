@@ -109,11 +109,11 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`MachineError`] on validation failures or protocol errors.
-    pub fn run_to(
+    pub fn run_to<S: InsnSink>(
         &mut self,
         target: u64,
         compare_flags: bool,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) -> Result<MachineEvent, MachineError> {
         if let Some(ev) = &self.ended {
             return Ok(ev.clone());

@@ -24,10 +24,9 @@ use darco_guest::GuestProgram;
 use darco_host::sink::NullSink;
 use darco_timing::{InOrderCore, TimingConfig};
 use darco_tol::TolConfig;
-use serde::{Deserialize, Serialize};
 
 /// Warm-up study configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WarmupConfig {
     /// Guest instructions per detailed sample.
     pub sample_len: u64,
@@ -51,7 +50,7 @@ impl Default for WarmupConfig {
 }
 
 /// Per-sample outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SampleOutcome {
     /// Sample start (guest instruction count).
     pub start: u64,
@@ -66,7 +65,7 @@ pub struct SampleOutcome {
 }
 
 /// Study result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WarmupResult {
     /// Authoritative CPI over the sampled windows.
     pub full_cpi: f64,

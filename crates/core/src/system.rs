@@ -6,12 +6,11 @@ use darco_host::sink::{InsnSink, NullSink, RetireEvent};
 use darco_power::{EnergyModel, PowerReport};
 use darco_timing::{InOrderCore, OooCore, TimingConfig, TimingStats};
 use darco_tol::{Overhead, TolConfig, TolStats};
-use serde::{Deserialize, Serialize};
 
 /// Which timing sink to attach (the paper: "the use of the timing and
 /// power simulators is optional and does not affect the functionality of
 /// the rest of the infrastructure").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SinkChoice {
     /// Functional simulation only.
     None,
@@ -22,7 +21,7 @@ pub enum SinkChoice {
 }
 
 /// Top-level configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Software-layer configuration.
     pub tol: TolConfig,
@@ -105,7 +104,7 @@ impl From<MachineError> for DarcoError {
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Program name.
     pub name: String,

@@ -707,8 +707,7 @@ impl Cursor<'_> {
 mod tests {
     use super::*;
     use crate::gen::arbitrary_insn;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::prng::SmallRng;
 
     #[test]
     fn roundtrip_hand_picked() {

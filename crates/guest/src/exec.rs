@@ -92,13 +92,27 @@ pub struct StepInfo {
 /// - [`Fault::Page`] if the instruction bytes touch an unmapped page;
 /// - [`Fault::BadOpcode`] if the bytes are not a valid instruction.
 pub fn fetch(mem: &GuestMem, pc: u32) -> Result<(Insn, u32), Fault> {
+    // Fast path: decode straight out of the page the PC lives in. This
+    // succeeds unless the instruction straddles a page boundary.
+    if let Some(tail) = mem.page_tail(pc) {
+        if tail.len() >= MAX_INSN_LEN {
+            return match decode(&tail[..MAX_INSN_LEN]) {
+                Ok((insn, len)) => Ok((insn, len as u32)),
+                Err(_) => Err(Fault::BadOpcode { pc }),
+            };
+        }
+        if let Ok((insn, len)) = decode(tail) {
+            return Ok((insn, len as u32));
+        }
+    }
+    // Slow path: byte-at-a-time across the page boundary (or faulting).
     let mut buf = [0u8; MAX_INSN_LEN];
     let mut available = 0;
     let mut fault: Option<PageFault> = None;
-    for i in 0..MAX_INSN_LEN {
+    for (i, slot) in buf.iter_mut().enumerate() {
         match mem.read_u8(pc.wrapping_add(i as u32)) {
             Ok(b) => {
-                buf[i] = b;
+                *slot = b;
                 available = i + 1;
             }
             Err(pf) => {

@@ -6,8 +6,8 @@
 //! deterministic.
 
 use crate::insn::{AluOp, FBinOp, FUnOp, Insn, RepCond, ShiftAmount, ShiftOp, UnaryOp};
+use crate::prng::Rng;
 use crate::reg::{Addr, Cond, Fpr, Gpr, Scale, Width};
-use rand::Rng;
 
 /// Generates a random well-formed addressing mode.
 pub fn arbitrary_addr<R: Rng>(rng: &mut R) -> Addr {

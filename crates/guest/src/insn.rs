@@ -1,11 +1,10 @@
 //! The guest instruction set.
 
 use crate::reg::{Addr, Cond, Fpr, Gpr, Width};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Two-operand ALU operations (flag-writing, like their x86 namesakes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum AluOp {
     Add = 0,
@@ -36,7 +35,7 @@ impl AluOp {
 }
 
 /// Single-operand ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum UnaryOp {
     /// Increment; leaves CF unchanged (x86 quirk preserved).
@@ -62,7 +61,7 @@ impl UnaryOp {
 }
 
 /// Shift and rotate operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum ShiftOp {
     Shl = 0,
@@ -86,14 +85,14 @@ impl ShiftOp {
 }
 
 /// Shift amount: an immediate or the low bits of `ECX` (x86's `CL`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShiftAmount {
     Imm(u8),
     Cl,
 }
 
 /// Repeat-prefix condition for `SCAS`/`CMPS`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum RepCond {
     /// `REPE`: repeat while equal (ZF set) and ECX != 0.
@@ -103,7 +102,7 @@ pub enum RepCond {
 }
 
 /// Binary floating-point operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FBinOp {
     Add = 0,
@@ -132,7 +131,7 @@ impl FBinOp {
 /// `Sin` and `Cos` are architecturally defined as the fixed polynomial in
 /// [`crate::softfp`]; a host implementation must evaluate the identical
 /// operation sequence to be bit-compatible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FUnOp {
     Sqrt = 0,
@@ -168,7 +167,7 @@ impl FUnOp {
 /// divides, conditional moves/sets, direct/indirect control flow, string
 /// operations with `REP` prefixes, scalar floating point with
 /// transcendentals, and a syscall/halt pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Insn {
     // -- data movement ------------------------------------------------------
     /// `mov dst, src`.
@@ -291,7 +290,7 @@ pub enum Insn {
 }
 
 /// Coarse classification used by profilers and the workload generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InsnClass {
     Alu,
     Mem,

@@ -50,6 +50,8 @@ pub mod encode;
 pub mod exec;
 pub mod insn;
 pub mod mem;
+pub mod predecode;
+pub mod prng;
 pub mod program;
 pub mod reg;
 pub mod softfp;
@@ -60,6 +62,7 @@ pub use encode::{decode, encode, DecodeError};
 pub use exec::{Fault, Next, StepInfo};
 pub use insn::{AluOp, FBinOp, FUnOp, Insn, RepCond, ShiftAmount, ShiftOp, UnaryOp};
 pub use mem::{GuestMem, PAGE_SHIFT, PAGE_SIZE};
+pub use predecode::DecodeCache;
 pub use program::GuestProgram;
 pub use reg::{Addr, Cond, Flags, Fpr, Gpr, Scale, Width};
 pub use state::GuestState;

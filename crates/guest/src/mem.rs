@@ -6,14 +6,37 @@
 //! synchronization event (the page is then fetched from the authoritative
 //! x86 component), while the authoritative component itself maps pages
 //! on demand like an OS would.
+//!
+//! ## Hot-path layout
+//!
+//! Page storage is an arena (`slots`) indexed through a `BTreeMap` page
+//! table, fronted by two small direct-mapped *L0 TLBs* (one for reads,
+//! one for writes) that cache `page → slot` resolutions. Single-page
+//! accesses — the overwhelmingly common case — hit the TLB and copy a
+//! slice without touching the map. The TLBs are flushed whenever the page
+//! table changes ([`GuestMem::map_zero`] of a new page,
+//! [`GuestMem::install_page`] of a new page, [`GuestMem::unmap`]).
+//!
+//! Pages holding decoded instructions can be marked with
+//! [`GuestMem::mark_code_page`]; writes to marked pages bump a generation
+//! counter ([`GuestMem::code_gen`]) that decode caches use to invalidate
+//! stale predecoded blocks (self-modifying code). Code pages are never
+//! entered into the write TLB, so every write to one takes the slow path
+//! and is observed.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashSet};
 
 /// log2 of the page size.
 pub const PAGE_SHIFT: u32 = 12;
 /// Guest page size in bytes (4 KiB).
 pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// Number of entries in each L0 TLB (direct-mapped by low page bits).
+const TLB_ENTRIES: usize = 16;
+const TLB_MASK: u32 = TLB_ENTRIES as u32 - 1;
+/// An invalid TLB entry (tag half is zero; tags store `page + 1`).
+const TLB_INVALID: u64 = 0;
 
 /// A memory access fault: the referenced page is not mapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,9 +52,20 @@ pub struct PageFault {
 /// All accesses are little-endian and may straddle page boundaries; an
 /// access faults if *any* byte of it touches an unmapped page, and a
 /// faulting access performs no partial writes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GuestMem {
-    pages: BTreeMap<u32, Vec<u8>>,
+    /// Page number → arena slot.
+    page_map: BTreeMap<u32, u32>,
+    /// Page storage arena. Slots are recycled through `free_slots`.
+    slots: Vec<Vec<u8>>,
+    free_slots: Vec<u32>,
+    /// L0 TLBs: each entry packs `(page + 1) << 32 | slot`; 0 = invalid.
+    /// `Cell` lets read paths refill on miss through `&self`.
+    read_tlb: [Cell<u64>; TLB_ENTRIES],
+    write_tlb: [Cell<u64>; TLB_ENTRIES],
+    /// Pages containing predecoded instructions (see module docs).
+    code_pages: HashSet<u32>,
+    code_gen: u64,
 }
 
 impl GuestMem {
@@ -46,14 +80,69 @@ impl GuestMem {
         addr >> PAGE_SHIFT
     }
 
+    #[inline]
+    fn tlb_get(tlb: &[Cell<u64>; TLB_ENTRIES], page: u32) -> Option<u32> {
+        let e = tlb[(page & TLB_MASK) as usize].get();
+        ((e >> 32) == page as u64 + 1).then_some(e as u32)
+    }
+
+    #[inline]
+    fn tlb_fill(tlb: &[Cell<u64>; TLB_ENTRIES], page: u32, slot: u32) {
+        tlb[(page & TLB_MASK) as usize].set((page as u64 + 1) << 32 | slot as u64);
+    }
+
+    fn flush_tlbs(&self) {
+        for e in &self.read_tlb {
+            e.set(TLB_INVALID);
+        }
+        for e in &self.write_tlb {
+            e.set(TLB_INVALID);
+        }
+    }
+
+    /// Resolves a page for reading, refilling the read TLB on miss.
+    #[inline]
+    fn read_slot(&self, page: u32) -> Option<&[u8]> {
+        let slot = match Self::tlb_get(&self.read_tlb, page) {
+            Some(s) => s,
+            None => {
+                let s = *self.page_map.get(&page)?;
+                Self::tlb_fill(&self.read_tlb, page, s);
+                s
+            }
+        };
+        Some(&self.slots[slot as usize])
+    }
+
+    /// Resolves a page for writing. Code pages never enter the write TLB,
+    /// so every write to one lands here and bumps the generation.
+    #[inline]
+    fn write_slot(&mut self, page: u32) -> Option<u32> {
+        if let Some(s) = Self::tlb_get(&self.write_tlb, page) {
+            return Some(s);
+        }
+        let s = *self.page_map.get(&page)?;
+        if self.code_pages.contains(&page) {
+            self.code_gen += 1;
+        } else {
+            Self::tlb_fill(&self.write_tlb, page, s);
+        }
+        Some(s)
+    }
+
     /// Whether the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: u32) -> bool {
-        self.pages.contains_key(&Self::page_of(addr))
+        self.read_slot(Self::page_of(addr)).is_some()
     }
 
     /// Maps a zero-filled page (no-op if already mapped).
     pub fn map_zero(&mut self, page: u32) {
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
+        if self.page_map.contains_key(&page) {
+            return;
+        }
+        let slot = self.alloc_slot();
+        self.page_map.insert(page, slot);
+        self.flush_tlbs();
     }
 
     /// Installs page contents, replacing any existing mapping.
@@ -62,22 +151,85 @@ impl GuestMem {
     /// Panics if `data` is not exactly [`PAGE_SIZE`] bytes.
     pub fn install_page(&mut self, page: u32, data: Vec<u8>) {
         assert_eq!(data.len(), PAGE_SIZE as usize, "page must be {PAGE_SIZE} bytes");
-        self.pages.insert(page, data);
+        match self.page_map.get(&page) {
+            Some(&slot) => {
+                self.slots[slot as usize] = data;
+                if self.code_pages.contains(&page) {
+                    self.code_gen += 1;
+                }
+            }
+            None => {
+                let slot = self.alloc_slot();
+                self.slots[slot as usize] = data;
+                self.page_map.insert(page, slot);
+                self.flush_tlbs();
+            }
+        }
+    }
+
+    /// Removes a page mapping (no-op if unmapped). Subsequent accesses to
+    /// the page fault.
+    pub fn unmap(&mut self, page: u32) {
+        if let Some(slot) = self.page_map.remove(&page) {
+            self.slots[slot as usize].clear();
+            self.free_slots.push(slot);
+            self.flush_tlbs();
+            if self.code_pages.remove(&page) {
+                self.code_gen += 1;
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = vec![0u8; PAGE_SIZE as usize];
+                s
+            }
+            None => {
+                self.slots.push(vec![0u8; PAGE_SIZE as usize]);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Marks a page as holding predecoded instructions: subsequent writes
+    /// to it bump [`GuestMem::code_gen`]. Evicts it from the write TLB.
+    pub fn mark_code_page(&mut self, page: u32) {
+        if self.code_pages.insert(page) {
+            self.write_tlb[(page & TLB_MASK) as usize].set(TLB_INVALID);
+        }
+    }
+
+    /// Generation counter bumped on every write to a marked code page (and
+    /// on [`GuestMem::install_page`]/[`GuestMem::unmap`] of one). Decode
+    /// caches compare this to detect self-modifying code.
+    #[inline]
+    pub fn code_gen(&self) -> u64 {
+        self.code_gen
     }
 
     /// Returns a copy of a page's contents, if mapped.
     pub fn page(&self, page: u32) -> Option<&[u8]> {
-        self.pages.get(&page).map(|p| p.as_slice())
+        self.read_slot(page)
+    }
+
+    /// The in-page slice from `addr` to the end of its page, if mapped
+    /// (the instruction-fetch fast path).
+    #[inline]
+    pub fn page_tail(&self, addr: u32) -> Option<&[u8]> {
+        let pg = self.read_slot(Self::page_of(addr))?;
+        Some(&pg[(addr & (PAGE_SIZE - 1)) as usize..])
     }
 
     /// Iterates over `(page_number, contents)` for all mapped pages.
     pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8])> {
-        self.pages.iter().map(|(k, v)| (*k, v.as_slice()))
+        self.page_map.iter().map(|(k, &v)| (*k, self.slots[v as usize].as_slice()))
     }
 
     /// Number of mapped pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.page_map.len()
     }
 
     /// Checks that `len` bytes starting at `addr` are all mapped.
@@ -92,7 +244,7 @@ impl GuestMem {
         let last = Self::page_of(addr.wrapping_add(len - 1));
         let mut p = first;
         loop {
-            if !self.pages.contains_key(&p) {
+            if self.read_slot(p).is_none() {
                 let fault_addr = if p == first { addr } else { p << PAGE_SHIFT };
                 return Err(PageFault { addr: fault_addr, write });
             }
@@ -108,11 +260,27 @@ impl GuestMem {
     /// # Errors
     /// Faults if any byte is unmapped; no partial reads are observable.
     pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), PageFault> {
-        self.probe(addr, buf.len() as u32, false)?;
-        for (i, b) in buf.iter_mut().enumerate() {
-            let a = addr.wrapping_add(i as u32);
-            let page = &self.pages[&Self::page_of(a)];
-            *b = page[(a & (PAGE_SIZE - 1)) as usize];
+        let len = buf.len() as u32;
+        let off = addr & (PAGE_SIZE - 1);
+        // Fast path: the access is contained in a single page.
+        if len > 0 && off as u64 + len as u64 <= PAGE_SIZE as u64 {
+            match self.read_slot(Self::page_of(addr)) {
+                Some(pg) => {
+                    buf.copy_from_slice(&pg[off as usize..(off + len) as usize]);
+                    return Ok(());
+                }
+                None => return Err(PageFault { addr, write: false }),
+            }
+        }
+        self.probe(addr, len, false)?;
+        let mut done = 0u32;
+        while done < len {
+            let a = addr.wrapping_add(done);
+            let pg = self.read_slot(Self::page_of(a)).expect("probed");
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let n = ((PAGE_SIZE - (a & (PAGE_SIZE - 1))).min(len - done)) as usize;
+            buf[done as usize..done as usize + n].copy_from_slice(&pg[off..off + n]);
+            done += n as u32;
         }
         Ok(())
     }
@@ -122,11 +290,28 @@ impl GuestMem {
     /// # Errors
     /// Faults if any byte is unmapped; a faulting write changes nothing.
     pub fn write(&mut self, addr: u32, buf: &[u8]) -> Result<(), PageFault> {
-        self.probe(addr, buf.len() as u32, true)?;
-        for (i, b) in buf.iter().enumerate() {
-            let a = addr.wrapping_add(i as u32);
-            let page = self.pages.get_mut(&Self::page_of(a)).expect("probed");
-            page[(a & (PAGE_SIZE - 1)) as usize] = *b;
+        let len = buf.len() as u32;
+        let off = addr & (PAGE_SIZE - 1);
+        // Fast path: the access is contained in a single page.
+        if len > 0 && off as u64 + len as u64 <= PAGE_SIZE as u64 {
+            match self.write_slot(Self::page_of(addr)) {
+                Some(slot) => {
+                    self.slots[slot as usize][off as usize..(off + len) as usize]
+                        .copy_from_slice(buf);
+                    return Ok(());
+                }
+                None => return Err(PageFault { addr, write: true }),
+            }
+        }
+        self.probe(addr, len, true)?;
+        let mut done = 0u32;
+        while done < len {
+            let a = addr.wrapping_add(done);
+            let slot = self.write_slot(Self::page_of(a)).expect("probed");
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let n = ((PAGE_SIZE - (a & (PAGE_SIZE - 1))).min(len - done)) as usize;
+            self.slots[slot as usize][off..off + n].copy_from_slice(&buf[done as usize..done as usize + n]);
+            done += n as u32;
         }
         Ok(())
     }
@@ -248,8 +433,10 @@ impl GuestMem {
     /// subset of the authoritative memory). Returns the first differing
     /// address, if any.
     pub fn first_difference(&self, other: &GuestMem) -> Option<u32> {
-        for (num, data) in &self.pages {
-            if let Some(odata) = other.pages.get(num) {
+        for (num, &slot) in &self.page_map {
+            if let Some(&oslot) = other.page_map.get(num) {
+                let data = &self.slots[slot as usize];
+                let odata = &other.slots[oslot as usize];
                 if let Some(off) = data.iter().zip(odata.iter()).position(|(a, b)| a != b) {
                     return Some((num << PAGE_SHIFT) + off as u32);
                 }
@@ -329,5 +516,68 @@ mod tests {
         fresh[0] = 42;
         m.install_page(2, fresh);
         assert_eq!(m.read_u8(0x2000).unwrap(), 42);
+    }
+
+    #[test]
+    fn unmap_faults_and_remap_is_fresh() {
+        let mut m = GuestMem::new();
+        m.map_zero(3);
+        m.write_u32(0x3000, 0xABCD).unwrap();
+        assert_eq!(m.read_u32(0x3000).unwrap(), 0xABCD);
+        m.unmap(3);
+        assert_eq!(m.read_u32(0x3000), Err(PageFault { addr: 0x3000, write: false }));
+        assert_eq!(m.write_u8(0x3000, 1), Err(PageFault { addr: 0x3000, write: true }));
+        m.map_zero(3);
+        assert_eq!(m.read_u32(0x3000).unwrap(), 0, "remapped page is zeroed");
+    }
+
+    #[test]
+    fn tlb_sees_no_stale_entries_across_map_unmap() {
+        let mut m = GuestMem::new();
+        // Prime both TLBs on pages 0 and 16 (same direct-mapped set).
+        m.map_zero(0);
+        m.map_zero(16);
+        m.write_u32(0x0, 1).unwrap();
+        m.write_u32(0x10000, 2).unwrap();
+        assert_eq!(m.read_u32(0x0).unwrap(), 1);
+        assert_eq!(m.read_u32(0x10000).unwrap(), 2);
+        // Unmapping page 0 must not leave a stale TLB entry behind.
+        m.unmap(0);
+        assert_eq!(m.read_u32(0x0), Err(PageFault { addr: 0, write: false }));
+        assert_eq!(m.read_u32(0x10000).unwrap(), 2, "other page still mapped");
+        // Remap recycles the arena slot; content must be fresh zeroes.
+        m.map_zero(0);
+        assert_eq!(m.read_u32(0x0).unwrap(), 0);
+        m.write_u32(0x0, 3).unwrap();
+        assert_eq!(m.read_u32(0x10000).unwrap(), 2, "no cross-slot aliasing");
+    }
+
+    #[test]
+    fn code_page_writes_bump_generation() {
+        let mut m = GuestMem::new();
+        m.map_zero(1);
+        m.map_zero(2);
+        let g0 = m.code_gen();
+        m.write_u32(0x2000, 5).unwrap();
+        assert_eq!(m.code_gen(), g0, "writes to plain pages don't bump");
+        m.mark_code_page(1);
+        m.write_u32(0x2000, 6).unwrap();
+        assert_eq!(m.code_gen(), g0, "other pages still don't bump");
+        m.write_u8(0x1000, 0xCC).unwrap();
+        assert!(m.code_gen() > g0, "write to a code page bumps the generation");
+        let g1 = m.code_gen();
+        m.install_page(1, vec![0u8; PAGE_SIZE as usize]);
+        assert!(m.code_gen() > g1, "installing over a code page bumps too");
+    }
+
+    #[test]
+    fn page_tail_returns_in_page_slice() {
+        let mut m = GuestMem::new();
+        m.map_zero(0);
+        m.write_u32(0xFF8, 0x11223344).unwrap();
+        let tail = m.page_tail(0xFF8).unwrap();
+        assert_eq!(tail.len(), 8);
+        assert_eq!(tail[0], 0x44);
+        assert!(m.page_tail(0x5000).is_none());
     }
 }

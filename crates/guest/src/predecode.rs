@@ -1,0 +1,212 @@
+//! Predecoded guest basic-block cache.
+//!
+//! Interpreting guest code costs a fetch + decode per executed
+//! instruction, and the fetch alone touches memory byte-wise in the worst
+//! case. Both DARCO interpreters — the TOL's IM interpreter and the
+//! authoritative x86 component's replay loop — execute the same basic
+//! blocks over and over between promotions and sync points, so decoding
+//! each block once and replaying the predecoded run amortizes nearly all
+//! of that cost.
+//!
+//! [`DecodeCache`] maps a block's entry PC to its decoded instruction run
+//! (a [`Block`]). Coherence with self-modifying code relies on
+//! [`GuestMem`]'s code-page generation: every page a decoded block's bytes
+//! occupy is marked with [`GuestMem::mark_code_page`], any write to a
+//! marked page bumps [`GuestMem::code_gen`], and [`DecodeCache::block`]
+//! flushes the whole cache whenever the generation moved. Replay loops
+//! must additionally re-check the generation after each executed
+//! instruction to catch a block modifying *itself* mid-run.
+
+use crate::exec::{fetch, Fault};
+use crate::insn::Insn;
+use crate::mem::{GuestMem, PAGE_SHIFT};
+use std::collections::HashMap;
+
+/// Cap on decoded instructions per block; mirrors the interpreter's
+/// artificial block split (`MAX_BLOCK_INSNS`).
+pub const MAX_BLOCK_INSNS: usize = 128;
+
+/// Cache-size backstop: a full flush past this many blocks keeps the
+/// memory footprint bounded on pathological block-entry churn.
+const MAX_CACHED_BLOCKS: usize = 1 << 16;
+
+/// One predecoded basic block: the `(instruction, encoded length)` run
+/// starting at its entry PC.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Decoded instructions in fetch order.
+    pub insns: Vec<(Insn, u32)>,
+    /// `true` if the last instruction ends the block architecturally
+    /// (branch/call/ret/syscall/halt). `false` means the run was cut
+    /// short — by the size cap or because the next fetch faulted — and
+    /// execution past it must re-enter the cache at the next PC.
+    pub terminated: bool,
+}
+
+/// A decode cache keyed by block entry PC (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    blocks: HashMap<u32, Block>,
+    gen: u64,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> DecodeCache {
+        DecodeCache::default()
+    }
+
+    /// Drops every cached block (e.g. alongside a code-cache flush).
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns the block entered at `pc`, decoding (and caching) it on
+    /// miss. Flushes first if `mem`'s code generation moved since the
+    /// last call (a marked code page was written).
+    ///
+    /// # Errors
+    /// Propagates the fetch fault if even the first instruction cannot be
+    /// decoded (nothing is cached in that case).
+    pub fn block(&mut self, mem: &mut GuestMem, pc: u32) -> Result<&Block, Fault> {
+        if mem.code_gen() != self.gen {
+            self.blocks.clear();
+            self.gen = mem.code_gen();
+        }
+        if !self.blocks.contains_key(&pc) {
+            let b = Self::decode_block(mem, pc)?;
+            if self.blocks.len() >= MAX_CACHED_BLOCKS {
+                self.blocks.clear();
+            }
+            self.blocks.insert(pc, b);
+        }
+        Ok(&self.blocks[&pc])
+    }
+
+    fn decode_block(mem: &mut GuestMem, entry: u32) -> Result<Block, Fault> {
+        let mut insns = Vec::new();
+        let mut pc = entry;
+        let mut terminated = false;
+        loop {
+            match fetch(mem, pc) {
+                Ok((insn, len)) => {
+                    let ends = insn.ends_block();
+                    insns.push((insn, len));
+                    pc = pc.wrapping_add(len);
+                    if ends {
+                        terminated = true;
+                        break;
+                    }
+                    if insns.len() >= MAX_BLOCK_INSNS {
+                        break;
+                    }
+                }
+                // A fault or bad opcode past the first instruction cuts
+                // the block; the tail is only an error if control
+                // actually reaches it.
+                Err(f) => {
+                    if insns.is_empty() {
+                        return Err(f);
+                    }
+                    break;
+                }
+            }
+        }
+        // Mark every page the block's bytes occupy so stores to them are
+        // observed (self-modifying code).
+        let mut p = entry >> PAGE_SHIFT;
+        let last = pc.wrapping_sub(1) >> PAGE_SHIFT;
+        loop {
+            mem.mark_code_page(p);
+            if p == last {
+                break;
+            }
+            p = p.wrapping_add(1);
+        }
+        Ok(Block { insns, terminated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::DEFAULT_CODE_BASE;
+    use crate::{Asm, Gpr};
+
+    fn mem_with(build: impl FnOnce(&mut Asm)) -> GuestMem {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        build(&mut a);
+        let p = a.into_program();
+        crate::GuestState::boot(&p).mem
+    }
+
+    #[test]
+    fn block_ends_at_terminator() {
+        let mut mem = mem_with(|a| {
+            let top = a.here();
+            a.inc(Gpr::Eax);
+            a.inc(Gpr::Ebx);
+            a.jmp_to(top);
+            a.nop(); // next block
+        });
+        let mut dc = DecodeCache::new();
+        let b = dc.block(&mut mem, DEFAULT_CODE_BASE).unwrap();
+        assert!(b.terminated);
+        assert_eq!(b.insns.len(), 3);
+        assert!(matches!(b.insns[2].0, Insn::Jmp { .. }));
+    }
+
+    #[test]
+    fn long_runs_are_cut_at_the_cap() {
+        let mut mem = mem_with(|a| {
+            for _ in 0..300 {
+                a.nop();
+            }
+            a.halt();
+        });
+        let mut dc = DecodeCache::new();
+        let b = dc.block(&mut mem, DEFAULT_CODE_BASE).unwrap();
+        assert!(!b.terminated);
+        assert_eq!(b.insns.len(), MAX_BLOCK_INSNS);
+    }
+
+    #[test]
+    fn writes_to_code_invalidate() {
+        let mut mem = mem_with(|a| {
+            a.nop();
+            a.halt();
+        });
+        let mut dc = DecodeCache::new();
+        let n = dc.block(&mut mem, DEFAULT_CODE_BASE).unwrap().insns.len();
+        assert_eq!(n, 2);
+        assert_eq!(dc.len(), 1);
+        // Overwrite the nop (1 byte) with a halt.
+        let halt_byte = {
+            let mut buf = Vec::new();
+            crate::encode(&Insn::Halt, &mut buf);
+            buf[0]
+        };
+        mem.write_u8(DEFAULT_CODE_BASE, halt_byte).unwrap();
+        let b = dc.block(&mut mem, DEFAULT_CODE_BASE).unwrap();
+        assert_eq!(b.insns.len(), 1, "stale block was re-decoded");
+        assert!(matches!(b.insns[0].0, Insn::Halt));
+    }
+
+    #[test]
+    fn first_insn_fault_is_not_cached() {
+        let mut mem = GuestMem::new();
+        let mut dc = DecodeCache::new();
+        assert!(matches!(dc.block(&mut mem, 0x5000), Err(Fault::Page(_))));
+        assert!(dc.is_empty());
+    }
+}

@@ -1,7 +1,6 @@
 //! Guest program images.
 
 use crate::mem::{GuestMem, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// Default base address of the code segment.
 pub const DEFAULT_CODE_BASE: u32 = 0x0010_0000;
@@ -17,7 +16,7 @@ pub const DEFAULT_BRK_BASE: u32 = 0x0100_0000;
 /// A complete guest program image: what the paper's controller hands to
 /// both the authoritative x86 component and the co-designed component at
 /// initialization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GuestProgram {
     /// Human-readable name (benchmark name in the workload suite).
     pub name: String,

@@ -1,6 +1,5 @@
 //! Registers, flags, condition codes, addressing modes and operand widths.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A guest general-purpose register.
@@ -8,7 +7,7 @@ use std::fmt;
 /// The eight registers keep their x86 names; `Esp` is the stack pointer
 /// used implicitly by `push`/`pop`/`call`/`ret`, `Esi`/`Edi`/`Ecx` are used
 /// implicitly by the string instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Gpr {
     Eax = 0,
@@ -71,7 +70,7 @@ impl fmt::Display for Gpr {
 /// Unlike real x87 these are directly addressed rather than a stack; this is
 /// the same simplification SSE2 made and it does not change any behaviour
 /// the paper measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fpr(pub u8);
 
 impl Fpr {
@@ -107,7 +106,7 @@ impl fmt::Display for Fpr {
 /// conditional instructions. Every flag-writing instruction defines all of
 /// its output flags deterministically (GISA has no "undefined" flag states,
 /// so translated code can be validated bit-exactly against the interpreter).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Flags {
     /// Carry flag: unsigned overflow / borrow.
     pub cf: bool,
@@ -127,7 +126,7 @@ impl Flags {
     pub fn set_result(&mut self, r: u32) {
         self.zf = r == 0;
         self.sf = (r as i32) < 0;
-        self.pf = (r as u8).count_ones() % 2 == 0;
+        self.pf = (r as u8).count_ones().is_multiple_of(2);
     }
 
     /// Packs the flags into a 5-bit integer (CF|ZF|SF|OF|PF from bit 0).
@@ -191,7 +190,7 @@ impl fmt::Display for Flags {
 }
 
 /// x86 condition codes, used by `Jcc`, `SETcc` and `CMOVcc`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Cond {
     /// Overflow.
@@ -289,7 +288,7 @@ impl Cond {
 }
 
 /// Scale factor of an indexed addressing mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Scale {
     S1 = 0,
@@ -322,7 +321,7 @@ impl Scale {
 }
 
 /// An x86-style memory operand: `[base + index * scale + disp]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Addr {
     /// Optional base register.
     pub base: Option<Gpr>,
@@ -387,7 +386,7 @@ impl fmt::Display for Addr {
 }
 
 /// Operand width for memory accesses and string operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Width {
     /// 8-bit.

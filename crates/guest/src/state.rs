@@ -3,7 +3,6 @@
 use crate::mem::GuestMem;
 use crate::program::GuestProgram;
 use crate::reg::{Flags, Fpr, Gpr};
-use serde::{Deserialize, Serialize};
 
 /// The complete architectural state of the guest: registers, flags,
 /// instruction pointer and memory.
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// component's copy is ground truth; the co-designed component's copy is
 /// the *emulated* state that translation/optimization must keep equal to it
 /// at every synchronization point.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GuestState {
     gprs: [u32; 8],
     fprs: [f64; 8],

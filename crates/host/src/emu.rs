@@ -245,7 +245,8 @@ impl HostEmulator {
     }
 
     fn commit(&mut self, mem: &mut GuestMem) {
-        self.store_buf.sort_by_key(|e| e.seq);
+        // `store_buf` is kept sorted by `seq` at insertion, so commit
+        // applies stores in program order without sorting.
         for e in &self.store_buf {
             let bytes = e.data.to_le_bytes();
             mem.write(e.addr, &bytes[..e.len as usize]).expect("store page probed at execute");
@@ -259,17 +260,18 @@ impl HostEmulator {
     /// original sequence number `seq`: memory overlaid with older buffered
     /// stores, in program order.
     fn read_mem(&self, mem: &GuestMem, addr: u32, len: u8, seq: u16) -> Result<u64, PageFault> {
-        mem.probe(addr, len as u32, false)?;
         let mut buf = [0u8; 8];
         mem.read(addr, &mut buf[..len as usize])?;
-        // Overlay forwarding-eligible buffered stores in seq order.
-        let mut hits: Vec<&StoreEnt> = self
-            .store_buf
-            .iter()
-            .filter(|e| e.seq < seq && overlaps(e.addr, e.len, addr, len))
-            .collect();
-        hits.sort_by_key(|e| e.seq);
-        for e in hits {
+        // Overlay forwarding-eligible buffered stores. `store_buf` is
+        // sorted by `seq`, so a plain scan forwards in program order and
+        // can stop at the first younger store.
+        for e in &self.store_buf {
+            if e.seq >= seq {
+                break;
+            }
+            if !overlaps(e.addr, e.len, addr, len) {
+                continue;
+            }
             let d = e.data.to_le_bytes();
             for i in 0..e.len as u64 {
                 let a = e.addr as u64 + i;
@@ -297,7 +299,10 @@ impl HostEmulator {
                 return Ok(Err(())); // alias violation
             }
         }
-        self.store_buf.push(StoreEnt { seq, addr, len, data });
+        // Insertion keeps the buffer sorted by `seq`; stores almost always
+        // arrive in program order, so this is an O(1) append in practice.
+        let pos = self.store_buf.iter().rposition(|e| e.seq <= seq).map_or(0, |i| i + 1);
+        self.store_buf.insert(pos, StoreEnt { seq, addr, len, data });
         Ok(Ok(()))
     }
 
@@ -307,7 +312,8 @@ impl HostEmulator {
     /// `fuel` is an absolute bound on the guest-retired counter
     /// (`gcnt_bb + gcnt_sb`); it is only checked at checkpoint boundaries
     /// so the stop point is always architecturally clean.
-    pub fn execute(
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute<S: InsnSink>(
         &mut self,
         code: &[HInsn],
         entry: usize,
@@ -315,7 +321,7 @@ impl HostEmulator {
         ibtc: &IbtcTable,
         prof: &mut ProfTable,
         fuel: u64,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) -> ExitInfo {
         let mut pc = entry;
         let mut executed: u64 = 0;
@@ -826,7 +832,7 @@ pub fn eval_halu(op: HAluOp, a: u32, b: u32) -> u32 {
         HAluOp::Sne => (a != b) as u32,
         HAluOp::SleS => ((a as i32) <= (b as i32)) as u32,
         HAluOp::SleU => (a <= b) as u32,
-        HAluOp::Parity => ((a as u8).count_ones() % 2 == 0) as u32,
+        HAluOp::Parity => (a as u8).count_ones().is_multiple_of(2) as u32,
         HAluOp::Sext8 => a as u8 as i8 as i32 as u32,
         HAluOp::Sext16 => a as u16 as i16 as i32 as u32,
     }

@@ -2,7 +2,6 @@
 
 use crate::regs::{HFreg, HReg};
 use darco_guest::Width;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Integer ALU operations (three-register or register-immediate).
@@ -12,7 +11,7 @@ use std::fmt;
 /// what enables the translator's lazy flag materialization. `Parity` is a
 /// guest-assist operation (co-designed hosts add such instructions to cut
 /// the cost of emulating guest flag semantics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum HAluOp {
     Add = 0,
@@ -89,7 +88,7 @@ impl HAluOp {
 }
 
 /// FP binary operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FAluOp {
     Add = 0,
@@ -116,7 +115,7 @@ impl FAluOp {
 }
 
 /// FP unary operations (hardware ones — `sin`/`cos` are runtime routines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FUnOp2 {
     Mov = 0,
@@ -139,7 +138,7 @@ impl FUnOp2 {
 
 /// FP comparisons, producing 0/1 in an integer register. All are false on
 /// NaN except `Unord`, which is true iff either operand is NaN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FCmpOp {
     Lt = 0,
@@ -166,7 +165,7 @@ impl FCmpOp {
 /// instruction. Memory operations address guest memory (`base + off`);
 /// `spec`-marked operations participate in alias detection with their
 /// original program-order sequence number `seq`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HInsn {
     /// Three-register ALU operation.
     Alu { op: HAluOp, rd: HReg, ra: HReg, rb: HReg },
@@ -262,13 +261,7 @@ impl HInsn {
             HInsn::Load { spec, .. }
             | HInsn::Store { spec, .. }
             | HInsn::LoadF { spec, .. }
-            | HInsn::StoreF { spec, .. } => {
-                if *spec {
-                    2
-                } else {
-                    1
-                }
-            }
+            | HInsn::StoreF { spec, .. } => 1 + usize::from(*spec),
             _ => 1,
         }
     }

@@ -43,4 +43,4 @@ pub use encode::{decode_insn, encode_insn, HDecodeError};
 pub use hasm::HAsm;
 pub use insn::{FAluOp, FCmpOp, FUnOp2, HAluOp, HInsn};
 pub use regs::{HFreg, HReg};
-pub use sink::{CountingSink, EventKind, InsnSink, NullSink, RetireEvent};
+pub use sink::{CountingSink, DynSink, EventKind, InsnSink, NullSink, RetireEvent};

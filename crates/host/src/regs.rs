@@ -23,7 +23,6 @@
 //! | f56        | runtime-routine argument/result                       |
 //! | f57–f63    | runtime-routine scratch                               |
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of host integer registers.
@@ -32,11 +31,11 @@ pub const NUM_IREGS: usize = 64;
 pub const NUM_FREGS: usize = 64;
 
 /// A host integer register (`r0`–`r63`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HReg(pub u8);
 
 /// A host floating-point register (`f0`–`f63`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HFreg(pub u8);
 
 impl HReg {
@@ -145,6 +144,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn convention_is_disjoint() {
         // Pinned guest regs, flags, glue, temps, runtime scratch, spill and
         // link must not overlap.

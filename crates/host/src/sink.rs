@@ -66,9 +66,21 @@ impl RetireEvent {
 }
 
 /// Consumer of the retired-instruction stream.
+///
+/// The hot path is monomorphized over this trait (`S: InsnSink`), so a
+/// [`NullSink`] compiles to nothing inside the emulator loops. Call sites
+/// that genuinely need runtime sink selection (the debug toolchain) wrap
+/// a trait object in [`DynSink`].
 pub trait InsnSink {
     /// Receives one retired instruction.
     fn retire(&mut self, ev: &RetireEvent);
+}
+
+impl<S: InsnSink + ?Sized> InsnSink for &mut S {
+    #[inline]
+    fn retire(&mut self, ev: &RetireEvent) {
+        (**self).retire(ev);
+    }
 }
 
 /// Sink that discards everything (functional-only simulation).
@@ -76,8 +88,19 @@ pub trait InsnSink {
 pub struct NullSink;
 
 impl InsnSink for NullSink {
-    #[inline]
+    #[inline(always)]
     fn retire(&mut self, _ev: &RetireEvent) {}
+}
+
+/// Adapter giving a trait-object sink the concrete type the monomorphized
+/// hot path wants: `DynSink(&mut dyn InsnSink)` is itself an `InsnSink`.
+pub struct DynSink<'a>(pub &'a mut dyn InsnSink);
+
+impl InsnSink for DynSink<'_> {
+    #[inline]
+    fn retire(&mut self, ev: &RetireEvent) {
+        self.0.retire(ev);
+    }
 }
 
 /// Sink that counts events by class; useful in tests and quick stats.

@@ -1,98 +1,146 @@
-//! Property-based round-trip tests for the host instruction encoding.
+//! Randomized round-trip tests for the host instruction encoding, driven
+//! by the internal seeded PRNG (deterministic across runs).
 
+use darco_guest::prng::{Rng, SmallRng};
 use darco_guest::Width;
 use darco_host::{decode_insn, encode_insn, FAluOp, FCmpOp, FUnOp2, HAluOp, HFreg, HInsn, HReg};
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = HReg> {
-    (0u8..64).prop_map(HReg)
+fn reg(rng: &mut SmallRng) -> HReg {
+    HReg(rng.gen_range(0u8..64))
 }
 
-fn freg() -> impl Strategy<Value = HFreg> {
-    (0u8..64).prop_map(HFreg)
+fn freg(rng: &mut SmallRng) -> HFreg {
+    HFreg(rng.gen_range(0u8..64))
 }
 
-fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::B), Just(Width::W), Just(Width::D)]
+fn width(rng: &mut SmallRng) -> Width {
+    [Width::B, Width::W, Width::D][rng.gen_range(0usize..3)]
 }
 
-fn insn() -> impl Strategy<Value = HInsn> {
-    prop_oneof![
-        (0usize..HAluOp::ALL.len(), reg(), reg(), reg())
-            .prop_map(|(o, rd, ra, rb)| HInsn::Alu { op: HAluOp::from_index(o), rd, ra, rb }),
-        (0usize..HAluOp::ALL.len(), reg(), reg(), -2048i16..2048)
-            .prop_map(|(o, rd, ra, imm)| HInsn::AluI { op: HAluOp::from_index(o), rd, ra, imm }),
-        (reg(), any::<u16>()).prop_map(|(rd, imm)| HInsn::Lui { rd, imm }),
-        (reg(), any::<u16>()).prop_map(|(rd, imm)| HInsn::OriZ { rd, imm }),
-        (reg(), any::<i16>()).prop_map(|(rd, imm)| HInsn::Li16 { rd, imm }),
-        (reg(), reg(), -2048i32..2048, width(), any::<bool>(), any::<bool>(), any::<u16>())
-            .prop_map(|(rd, base, off, width, sign, spec, seq)| HInsn::Load {
-                rd,
-                base,
-                off,
-                width,
-                // 32-bit loads have no extension; the encoding canonicalizes
-                // their sign bit to false.
-                sign: sign && width != Width::D,
+/// One random instruction, covering every `HInsn` variant.
+fn insn(rng: &mut SmallRng) -> HInsn {
+    match rng.gen_range(0u32..30) {
+        0 => HInsn::Alu {
+            op: HAluOp::from_index(rng.gen_range(0..HAluOp::ALL.len())),
+            rd: reg(rng),
+            ra: reg(rng),
+            rb: reg(rng),
+        },
+        1 => HInsn::AluI {
+            op: HAluOp::from_index(rng.gen_range(0..HAluOp::ALL.len())),
+            rd: reg(rng),
+            ra: reg(rng),
+            imm: rng.gen_range(-2048i16..2048),
+        },
+        2 => HInsn::Lui { rd: reg(rng), imm: rng.gen() },
+        3 => HInsn::OriZ { rd: reg(rng), imm: rng.gen() },
+        4 => HInsn::Li16 { rd: reg(rng), imm: rng.gen() },
+        5 => {
+            let w = width(rng);
+            let spec = rng.gen();
+            HInsn::Load {
+                rd: reg(rng),
+                base: reg(rng),
+                off: rng.gen_range(-2048i32..2048),
+                width: w,
+                // 32-bit loads have no extension; the encoding
+                // canonicalizes their sign bit to false.
+                sign: rng.gen::<bool>() && w != Width::D,
                 spec,
-                seq: if spec { seq } else { 0 },
-            }),
-        (reg(), reg(), -2048i32..2048, width(), any::<bool>(), any::<u16>())
-            .prop_map(|(rs, base, off, width, spec, seq)| HInsn::Store {
-                rs, base, off, width, spec, seq: if spec { seq } else { 0 },
-            }),
-        (freg(), reg(), -2048i32..2048, any::<bool>(), any::<u16>())
-            .prop_map(|(fd, base, off, spec, seq)| HInsn::LoadF {
-                fd, base, off, spec, seq: if spec { seq } else { 0 },
-            }),
-        (freg(), reg(), -2048i32..2048, any::<bool>(), any::<u16>())
-            .prop_map(|(fs, base, off, spec, seq)| HInsn::StoreF {
-                fs, base, off, spec, seq: if spec { seq } else { 0 },
-            }),
-        (-(1i32 << 23)..(1 << 23)).prop_map(|rel| HInsn::B { rel }),
-        (-(1i32 << 23)..(1 << 23)).prop_map(|rel| HInsn::Bl { rel }),
-        (reg(), -(1i32 << 17)..(1 << 17)).prop_map(|(rs, rel)| HInsn::Bz { rs, rel }),
-        (reg(), -(1i32 << 17)..(1 << 17)).prop_map(|(rs, rel)| HInsn::Bnz { rs, rel }),
-        Just(HInsn::Blr),
-        (0usize..FAluOp::ALL.len(), freg(), freg(), freg())
-            .prop_map(|(o, fd, fa, fb)| HInsn::FAlu { op: FAluOp::from_index(o), fd, fa, fb }),
-        (0usize..FUnOp2::ALL.len(), freg(), freg())
-            .prop_map(|(o, fd, fa)| HInsn::FUn { op: FUnOp2::from_index(o), fd, fa }),
-        (0usize..FCmpOp::ALL.len(), reg(), freg(), freg())
-            .prop_map(|(o, rd, fa, fb)| HInsn::FCmp { op: FCmpOp::from_index(o), rd, fa, fb }),
-        (freg(), reg()).prop_map(|(fd, ra)| HInsn::CvtIF { fd, ra }),
-        (reg(), freg()).prop_map(|(rd, fa)| HInsn::CvtFI { rd, fa }),
-        (freg(), any::<u64>()).prop_map(|(fd, bits)| HInsn::FLoadImm { fd, bits }),
-        Just(HInsn::Chkpt),
-        Just(HInsn::Commit),
-        reg().prop_map(|rs| HInsn::AssertZ { rs }),
-        reg().prop_map(|rs| HInsn::AssertNz { rs }),
-        any::<u16>().prop_map(|id| HInsn::TolExit { id }),
-        any::<u16>().prop_map(|id| HInsn::ChainSlot { id }),
-        (reg(), any::<u16>()).prop_map(|(rs, id)| HInsn::IbtcJmp { rs, id }),
-        (any::<u16>(), any::<bool>()).prop_map(|(n, sb)| HInsn::Gcnt { n, sb }),
-        (0u32..(1 << 24)).prop_map(|idx| HInsn::Count { idx }),
-        Just(HInsn::Nop),
-    ]
+                seq: if spec { rng.gen() } else { 0 },
+            }
+        }
+        6 => {
+            let spec = rng.gen();
+            HInsn::Store {
+                rs: reg(rng),
+                base: reg(rng),
+                off: rng.gen_range(-2048i32..2048),
+                width: width(rng),
+                spec,
+                seq: if spec { rng.gen() } else { 0 },
+            }
+        }
+        7 => {
+            let spec = rng.gen();
+            HInsn::LoadF {
+                fd: freg(rng),
+                base: reg(rng),
+                off: rng.gen_range(-2048i32..2048),
+                spec,
+                seq: if spec { rng.gen() } else { 0 },
+            }
+        }
+        8 => {
+            let spec = rng.gen();
+            HInsn::StoreF {
+                fs: freg(rng),
+                base: reg(rng),
+                off: rng.gen_range(-2048i32..2048),
+                spec,
+                seq: if spec { rng.gen() } else { 0 },
+            }
+        }
+        9 => HInsn::B { rel: rng.gen_range(-(1i32 << 23)..(1 << 23)) },
+        10 => HInsn::Bl { rel: rng.gen_range(-(1i32 << 23)..(1 << 23)) },
+        11 => HInsn::Bz { rs: reg(rng), rel: rng.gen_range(-(1i32 << 17)..(1 << 17)) },
+        12 => HInsn::Bnz { rs: reg(rng), rel: rng.gen_range(-(1i32 << 17)..(1 << 17)) },
+        13 => HInsn::Blr,
+        14 => HInsn::FAlu {
+            op: FAluOp::from_index(rng.gen_range(0..FAluOp::ALL.len())),
+            fd: freg(rng),
+            fa: freg(rng),
+            fb: freg(rng),
+        },
+        15 => HInsn::FUn {
+            op: FUnOp2::from_index(rng.gen_range(0..FUnOp2::ALL.len())),
+            fd: freg(rng),
+            fa: freg(rng),
+        },
+        16 => HInsn::FCmp {
+            op: FCmpOp::from_index(rng.gen_range(0..FCmpOp::ALL.len())),
+            rd: reg(rng),
+            fa: freg(rng),
+            fb: freg(rng),
+        },
+        17 => HInsn::CvtIF { fd: freg(rng), ra: reg(rng) },
+        18 => HInsn::CvtFI { rd: reg(rng), fa: freg(rng) },
+        19 => HInsn::FLoadImm { fd: freg(rng), bits: rng.gen() },
+        20 => HInsn::Chkpt,
+        21 => HInsn::Commit,
+        22 => HInsn::AssertZ { rs: reg(rng) },
+        23 => HInsn::AssertNz { rs: reg(rng) },
+        24 => HInsn::TolExit { id: rng.gen() },
+        25 => HInsn::ChainSlot { id: rng.gen() },
+        26 => HInsn::IbtcJmp { rs: reg(rng), id: rng.gen() },
+        27 => HInsn::Gcnt { n: rng.gen(), sb: rng.gen() },
+        28 => HInsn::Count { idx: rng.gen_range(0u32..(1 << 24)) },
+        _ => HInsn::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 2000, ..ProptestConfig::default() })]
-
-    #[test]
-    fn encode_decode_roundtrip(i in insn()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x4057_E4C0);
+    for _ in 0..20_000 {
+        let i = insn(&mut rng);
         let mut buf = Vec::new();
         encode_insn(&i, &mut buf);
-        prop_assert_eq!(buf.len(), i.encoded_words());
+        assert_eq!(buf.len(), i.encoded_words());
         let (got, len) = decode_insn(&buf).unwrap();
-        prop_assert_eq!(got, i);
-        prop_assert_eq!(len, buf.len());
+        assert_eq!(got, i);
+        assert_eq!(len, buf.len());
     }
+}
 
-    /// Sequences of instructions decode back as the same sequence
-    /// (the encoding is a prefix code over words).
-    #[test]
-    fn sequences_roundtrip(insns in prop::collection::vec(insn(), 1..40)) {
+/// Sequences of instructions decode back as the same sequence
+/// (the encoding is a prefix code over words).
+#[test]
+fn sequences_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x4057_5EC5);
+    for _ in 0..500 {
+        let n = rng.gen_range(1usize..40);
+        let insns: Vec<HInsn> = (0..n).map(|_| insn(&mut rng)).collect();
         let words = darco_host::encode::encode_all(&insns);
         let mut off = 0;
         let mut got = Vec::new();
@@ -101,6 +149,6 @@ proptest! {
             got.push(i);
             off += len;
         }
-        prop_assert_eq!(got, insns);
+        assert_eq!(got, insns);
     }
 }

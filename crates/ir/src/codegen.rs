@@ -16,7 +16,6 @@ use darco_host::regs::{
 };
 use darco_host::{HAluOp, HInsn};
 use darco_guest::Width;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Base guest address of the translator-private spill area. The software
@@ -29,7 +28,7 @@ pub const SPILL_AREA_BASE: u32 = 0xE000_0000;
 const SPILL_SEQ_BASE: u16 = 0x8000;
 
 /// Parameters the code generator needs from the software layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodegenCtx {
     /// Host address (word index) where this translation will be installed.
     pub base: usize,
@@ -45,7 +44,7 @@ pub struct CodegenCtx {
 }
 
 /// Per-exit metadata the software layer keeps with a translation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExitMeta {
     /// Where the exit goes.
     pub kind: ExitKind,
@@ -463,11 +462,11 @@ impl<'a> Codegen<'a> {
         for s in &inst.srcs {
             if self.last_use[s.0 as usize] == pos {
                 match self.loc[s.0 as usize] {
-                    Some(Loc::R(r)) if r >= R_TMP_FIRST && r <= R_TMP_LAST => {
+                    Some(Loc::R(r)) if (R_TMP_FIRST..=R_TMP_LAST).contains(&r) => {
                         self.reg_holds[r as usize] = None;
                         self.free_int.push(r);
                     }
-                    Some(Loc::F(f)) if f >= F_TMP_FIRST && f <= F_TMP_LAST => {
+                    Some(Loc::F(f)) if (F_TMP_FIRST..=F_TMP_LAST).contains(&f) => {
                         self.freg_holds[f as usize] = None;
                         self.free_fp.push(f);
                     }

@@ -234,8 +234,8 @@ pub fn build(region: &mut Region, allow_spec_mem: bool) -> Ddg {
     let mut spec_marks: Vec<usize> = Vec::new();
     for i in 0..n {
         let Some((le, lb, false)) = mem_info[i] else { continue }; // loads only
-        for j in 0..i {
-            let Some((se, sb, true)) = mem_info[j] else { continue }; // stores only
+        for (j, mj) in mem_info.iter().enumerate().take(i) {
+            let Some((se, sb, true)) = *mj else { continue }; // stores only
             match alias(se, sb, le, lb) {
                 Alias::No => {}
                 Alias::Must => add_edge(&mut preds, j, i, 1),

@@ -2,12 +2,11 @@
 
 use darco_guest::{Width};
 use darco_host::{FAluOp, FCmpOp, FUnOp2, HAluOp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual register. The register class is recorded in the owning
 /// [`Region`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VReg(pub u32);
 
 impl fmt::Display for VReg {
@@ -17,7 +16,7 @@ impl fmt::Display for VReg {
 }
 
 /// Register class of a virtual register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegClass {
     /// 32-bit integer.
     Int,
@@ -30,7 +29,7 @@ pub enum RegClass {
 /// Integer ALU operations reuse the host [`HAluOp`] vocabulary (the IR is
 /// host-leaning, as in any dynamic binary translator), plus a few
 /// region-structure operations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IrOp {
     /// Integer constant.
     ConstI(u32),
@@ -128,7 +127,7 @@ impl IrOp {
 }
 
 /// One IR instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
     /// The operation.
     pub op: IrOp,
@@ -154,7 +153,7 @@ impl Inst {
 }
 
 /// How control leaves a region through a given exit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExitKind {
     /// Continue at a statically known guest PC (chainable).
     Jump {
@@ -181,7 +180,7 @@ pub enum ExitKind {
 /// later consumer (or the state validator in strict mode) re-derives the
 /// flags from the descriptor. This is the paper's "write to the flag
 /// registers only if the value is really going to be consumed".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlagsKind {
     /// Flags of `a + b`.
     Add,
@@ -241,7 +240,7 @@ impl FlagsKind {
 
 /// An exit descriptor: target kind plus the guest-state mapping the code
 /// generator must restore into the pinned host registers on that path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExitDesc {
     /// Where this exit goes.
     pub kind: ExitKind,
@@ -295,7 +294,7 @@ impl ExitDesc {
 
 /// Entry bindings: which vregs hold the guest state on region entry (these
 /// are pre-colored to the pinned host registers by the allocator).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EntryBindings {
     /// Entry vreg for each guest GPR actually read before being written.
     pub gprs: [Option<VReg>; 8],
@@ -308,7 +307,7 @@ pub struct EntryBindings {
 /// A translation region: a linear, single-entry sequence of IR
 /// instructions with side exits — a basic block (one exit) or a superblock
 /// (asserts, or multiple side exits after assert-failure recreation).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Region {
     /// The instructions, in program order (until the scheduler reorders).
     pub insts: Vec<Inst>,

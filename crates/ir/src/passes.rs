@@ -10,11 +10,10 @@ use darco_guest::insn::AluOp;
 use darco_guest::Flags;
 use darco_host::emu::{eval_falu, eval_halu};
 use darco_host::{FCmpOp, FUnOp2, HAluOp};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics returned by one pass invocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PassStats {
     /// Instructions rewritten in place (e.g. folded to constants).
     pub rewritten: u64,
@@ -45,7 +44,7 @@ pub trait Pass {
 /// * `O2` — adds copy propagation and CSE (the SBM forward pass);
 /// * `O3` — `O2` plus DDG memory optimizations and scheduling (handled by
 ///   the caller; the pass pipeline itself is the same as `O2`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OptLevel {
     O0,
     O1,
@@ -245,16 +244,15 @@ impl Pass for CopyProp {
             }
         }
         for e in &mut exits {
-            for slot in e
+            for v in e
                 .gprs
                 .iter_mut()
                 .chain(e.fprs.iter_mut())
                 .chain(e.flags.iter_mut())
                 .chain(std::iter::once(&mut e.indirect_target))
+                .flatten()
             {
-                if let Some(v) = slot {
-                    *v = resolve(&alias, *v);
-                }
+                *v = resolve(&alias, *v);
             }
             if let Some((k, a, b)) = e.deferred {
                 e.deferred = Some((k, resolve(&alias, a), resolve(&alias, b)));
@@ -398,7 +396,7 @@ mod tests {
                 IrOp::ConstI(v) => Some(v),
                 _ => None,
             })
-            .last()
+            .next_back()
             .unwrap();
         assert_eq!(last_val, 42u32.wrapping_sub(58));
         r.validate();

@@ -9,10 +9,9 @@
 use crate::ddg::Ddg;
 use crate::ir::{IrOp, Region};
 use darco_host::{FAluOp, FUnOp2, HAluOp};
-use serde::{Deserialize, Serialize};
 
 /// Scheduler resource model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Instructions per cycle.
     pub issue_width: u32,

@@ -12,10 +12,9 @@
 //! in-order-vs-out-of-order studies need.
 
 use darco_timing::{TimingConfig, TimingStats};
-use serde::{Deserialize, Serialize};
 
 /// Per-access energies in picojoules, scaled from structure geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Base energy of one simple ALU operation.
     pub alu_pj: f64,
@@ -66,7 +65,7 @@ impl Default for EnergyModel {
 }
 
 /// Per-component energy breakdown (picojoules) and derived power.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerReport {
     pub frontend_pj: f64,
     pub int_core_pj: f64,

@@ -4,10 +4,9 @@
 //! predictor and BTB sizes, cache and TLB sizes/latencies, numbers of
 //! memory read/write ports and vector length for SIMD units".
 
-use serde::{Deserialize, Serialize};
 
 /// One cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total size in bytes.
     pub size: u32,
@@ -20,7 +19,7 @@ pub struct CacheConfig {
 }
 
 /// One TLB level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of entries (fully associative, LRU).
     pub entries: u32,
@@ -29,7 +28,7 @@ pub struct TlbConfig {
 }
 
 /// Full core + memory-hierarchy configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,
@@ -159,8 +158,7 @@ mod tests {
         assert!(c.issue_width <= c.fetch_width);
         assert!(c.dl1.size < c.l2.size);
         assert_eq!(c.dl1.line, c.l2.line);
-        let j = serde_json::to_string(&c).unwrap();
-        let back: TimingConfig = serde_json::from_str(&j).unwrap();
+        let back = c.clone();
         assert_eq!(back, c);
     }
 }

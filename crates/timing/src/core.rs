@@ -12,10 +12,9 @@ use crate::cache::{CacheModel, TlbModel};
 use crate::config::TimingConfig;
 use crate::prefetch::StridePrefetcher;
 use darco_host::sink::{EventKind, InsnSink, RetireEvent};
-use serde::{Deserialize, Serialize};
 
 /// Final simulation statistics (also the power model's activity input).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TimingStats {
     /// Retired instructions.
     pub insns: u64,

@@ -294,7 +294,7 @@ impl OooCore {
             }
         }
         // Prune the usage map to bound memory.
-        if self.insns % 4096 == 0 {
+        if self.insns.is_multiple_of(4096) {
             let floor = self.usage_floor;
             let min_live = self.rob_ring.iter().copied().min().unwrap_or(0);
             if min_live > floor + 8192 {
@@ -324,7 +324,7 @@ mod tests {
         let cfg = TimingConfig { prefetch: false, ..Default::default() };
         let mut ino = InOrderCore::new(cfg.clone());
         let mut ooo = OooCore::new(cfg);
-        let mut feed = |sink: &mut dyn InsnSink| {
+        fn feed<S: InsnSink>(sink: &mut S) {
             for i in 0..4_000u64 {
                 // Missy load into r20 (pointer chase), then a *dependent* op,
                 // then independent work.
@@ -351,7 +351,7 @@ mod tests {
                     });
                 }
             }
-        };
+        }
         feed(&mut ino);
         feed(&mut ooo);
         let (i, o) = (ino.stats(), ooo.stats());
@@ -367,7 +367,7 @@ mod tests {
     fn rob_size_bounds_the_window() {
         let small = TimingConfig { rob_size: 4, prefetch: false, ..Default::default() };
         let big = TimingConfig { rob_size: 128, prefetch: false, ..Default::default() };
-        let feed = |sink: &mut dyn InsnSink| {
+        fn feed<S: InsnSink>(sink: &mut S) {
             for i in 0..4_000u64 {
                 let addr = (i.wrapping_mul(2654435761) % (32 << 20)) as u32;
                 sink.retire(&RetireEvent {
@@ -385,7 +385,7 @@ mod tests {
                     });
                 }
             }
-        };
+        }
         let mut s = OooCore::new(small);
         let mut b = OooCore::new(big);
         feed(&mut s);

@@ -279,7 +279,7 @@ mod tests {
 
     fn dummy_translation(cache: &CodeCache, pc: u32, code_len: usize) -> (Translation, Vec<HInsn>) {
         let code: Vec<HInsn> = std::iter::once(HInsn::Chkpt)
-            .chain(std::iter::repeat(HInsn::Nop).take(code_len.saturating_sub(2)))
+            .chain(std::iter::repeat_n(HInsn::Nop, code_len.saturating_sub(2)))
             .chain(std::iter::once(HInsn::TolExit { id: 0 }))
             .collect();
         let t = Translation {

@@ -2,11 +2,10 @@
 
 use darco_ir::sched::SchedConfig;
 use darco_ir::OptLevel;
-use serde::{Deserialize, Serialize};
 
 /// A deliberately planted bug, for exercising the debug toolchain
 /// (paper §IV "powerful debug toolchain", §V-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BugKind {
     /// The translator emits a wrong constant (off by one) — a
     /// guest-decoder/translator-stage bug.
@@ -19,7 +18,7 @@ pub enum BugKind {
 }
 
 /// Where and what to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Injection {
     /// The kind of bug.
     pub kind: BugKind,
@@ -30,7 +29,7 @@ pub struct Injection {
 
 /// Translation Optimization Layer configuration. Defaults follow the
 /// paper's design; every knob is exercised by an ablation bench.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TolConfig {
     /// IM→BBM promotion threshold (block repetition count).
     pub bbm_threshold: u64,
@@ -109,10 +108,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn config_clone_roundtrip() {
         let c = TolConfig::default();
-        let j = serde_json::to_string(&c).unwrap();
-        let back: TolConfig = serde_json::from_str(&j).unwrap();
+        let back = c.clone();
         assert_eq!(back, c);
     }
 }

@@ -14,10 +14,9 @@ use darco_guest::exec::{eval_alu, eval_imul, eval_shift, eval_unary};
 use darco_guest::insn::{AluOp, ShiftOp, UnaryOp};
 use darco_guest::{Flags, GuestState};
 use darco_ir::FlagsKind;
-use serde::{Deserialize, Serialize};
 
 /// A deferred flag descriptor captured at a translation exit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingFlags {
     /// The producing operation.
     pub kind: FlagsKind,
@@ -92,8 +91,7 @@ mod tests {
 
     #[test]
     fn inc_preserves_carry() {
-        let mut cur = Flags::default();
-        cur.cf = true;
+        let cur = Flags { cf: true, ..Flags::default() };
         let p = PendingFlags { kind: FlagsKind::Inc, a: u32::MAX, b: 0 };
         let fl = p.materialize(cur);
         assert!(fl.cf, "Inc must not clobber CF");
@@ -103,9 +101,7 @@ mod tests {
     #[test]
     fn logic_clears_carry_and_overflow() {
         let p = PendingFlags { kind: FlagsKind::Logic, a: 0x8000_0000, b: 0 };
-        let mut cur = Flags::default();
-        cur.cf = true;
-        cur.of = true;
+        let cur = Flags { cf: true, of: true, ..Flags::default() };
         let fl = p.materialize(cur);
         assert!(!fl.cf && !fl.of && fl.sf);
     }

@@ -7,7 +7,7 @@
 
 use darco_guest::exec::{self, Next};
 use darco_guest::insn::Insn;
-use darco_guest::{Fault, GuestState};
+use darco_guest::{DecodeCache, Fault, GuestState};
 
 /// Why a block interpretation stopped.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,6 +133,128 @@ pub fn interpret_block(st: &mut GuestState, budget: u64) -> BlockRun {
     }
 }
 
+/// Interprets one basic block through a [`DecodeCache`] — the hot-path
+/// variant of [`interpret_block`], decoding each block once and replaying
+/// the predecoded run on every revisit.
+///
+/// Semantics match [`interpret_block`] with one benign exception: when a
+/// block was cut short during predecode because the *next* fetch faulted,
+/// replay of the prefix stops with [`BlockStop::Budget`]; the next call
+/// re-enters at the faulting PC and reports the fault with `insns == 0`.
+/// Either way `EIP` ends on the faulting instruction and execution
+/// resumes identically once the page is installed.
+pub fn interpret_block_cached(
+    st: &mut GuestState,
+    budget: u64,
+    cache: &mut DecodeCache,
+) -> BlockRun {
+    let entry_pc = st.eip;
+    let budget = budget.min(MAX_BLOCK_INSNS);
+    if budget == 0 {
+        return BlockRun { entry_pc, insns: 0, stop: BlockStop::Budget, jcc: None };
+    }
+    let block = match cache.block(&mut st.mem, entry_pc) {
+        Ok(b) => b,
+        Err(Fault::Page(pf)) => {
+            return BlockRun {
+                entry_pc,
+                insns: 0,
+                stop: BlockStop::PageFault { addr: pf.addr, write: pf.write },
+                jcc: None,
+            };
+        }
+        Err(f) => {
+            return BlockRun { entry_pc, insns: 0, stop: BlockStop::GuestError(f), jcc: None };
+        }
+    };
+    let mut insns = 0u64;
+    let mut pc = entry_pc;
+    // A store inside the block can overwrite the block itself; replay
+    // re-checks the code generation after every retire and bails out so
+    // the next entry re-decodes.
+    let gen0 = st.mem.code_gen();
+    for &(ref insn, len) in &block.insns {
+        // The inner loop re-executes `REP` string instructions in place.
+        loop {
+            if insns >= budget {
+                return BlockRun { entry_pc, insns, stop: BlockStop::Budget, jcc: None };
+            }
+            match insn {
+                Insn::Syscall => {
+                    return BlockRun { entry_pc, insns, stop: BlockStop::Syscall, jcc: None };
+                }
+                Insn::Halt => {
+                    return BlockRun { entry_pc, insns, stop: BlockStop::Halt, jcc: None };
+                }
+                _ => {}
+            }
+            match exec::exec_insn(st, insn, pc, len) {
+                Ok(next) => {
+                    insns += 1;
+                    match next {
+                        Next::RepContinue => {
+                            st.eip = pc;
+                            if st.mem.code_gen() != gen0 {
+                                return BlockRun { entry_pc, insns, stop: BlockStop::Budget, jcc: None };
+                            }
+                            continue;
+                        }
+                        Next::Seq => {
+                            st.eip = pc.wrapping_add(len);
+                            if insn.ends_block() {
+                                // Not-taken conditional branch.
+                                let jcc = match *insn {
+                                    Insn::Jcc { rel, .. } => {
+                                        let fall = pc.wrapping_add(len);
+                                        Some((fall.wrapping_add(rel as u32), fall, false))
+                                    }
+                                    _ => None,
+                                };
+                                return BlockRun { entry_pc, insns, stop: BlockStop::End, jcc };
+                            }
+                            if st.mem.code_gen() != gen0 {
+                                return BlockRun { entry_pc, insns, stop: BlockStop::Budget, jcc: None };
+                            }
+                            pc = st.eip;
+                            break;
+                        }
+                        Next::Jump(t) => {
+                            st.eip = t;
+                            let jcc = match *insn {
+                                Insn::Jcc { .. } => {
+                                    let fall = pc.wrapping_add(len);
+                                    Some((t, fall, true))
+                                }
+                                _ => None,
+                            };
+                            return BlockRun { entry_pc, insns, stop: BlockStop::End, jcc };
+                        }
+                        Next::Syscall | Next::Halt => {
+                            unreachable!("syscall/halt are intercepted before execution")
+                        }
+                    }
+                }
+                Err(Fault::Page(pf)) => {
+                    st.eip = pc;
+                    return BlockRun {
+                        entry_pc,
+                        insns,
+                        stop: BlockStop::PageFault { addr: pf.addr, write: pf.write },
+                        jcc: None,
+                    };
+                }
+                Err(f) => {
+                    st.eip = pc;
+                    return BlockRun { entry_pc, insns, stop: BlockStop::GuestError(f), jcc: None };
+                }
+            }
+        }
+    }
+    // The run was cut short at predecode time (size cap or a faulting
+    // tail): report an artificial split; the next call re-enters here.
+    BlockRun { entry_pc, insns, stop: BlockStop::Budget, jcc: None }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +346,98 @@ mod tests {
         let run = interpret_block(&mut st, u64::MAX);
         assert_eq!(run.stop, BlockStop::Budget);
         assert_eq!(run.insns, MAX_BLOCK_INSNS);
+    }
+
+    /// The cached interpreter matches the plain one on the basic
+    /// protocol: block ends, syscall interception, budget splits.
+    #[test]
+    fn cached_interpreter_matches_plain() {
+        let build = |a: &mut Asm| {
+            a.mov_ri(Gpr::Eax, 1);
+            a.cmp_ri(Gpr::Eax, 1);
+            let l = a.label();
+            a.jcc_to(Cond::E, l);
+            a.nop();
+            a.bind(l);
+            for _ in 0..6 {
+                a.inc(Gpr::Ebx);
+            }
+            a.syscall();
+            a.halt();
+        };
+        let mut plain = boot(build);
+        let mut cached = boot(build);
+        let mut cache = darco_guest::DecodeCache::new();
+        loop {
+            let a = interpret_block(&mut plain, 4);
+            let b = interpret_block_cached(&mut cached, 4, &mut cache);
+            assert_eq!(a, b);
+            assert_eq!(plain.eip, cached.eip);
+            assert_eq!(plain.gprs(), cached.gprs());
+            if a.stop == BlockStop::Syscall {
+                break;
+            }
+        }
+    }
+
+    /// A block that patches one of its *own* upcoming instructions: the
+    /// per-retire generation check must stop replay of the stale run and
+    /// the re-decode must execute the new bytes.
+    #[test]
+    fn intra_block_self_modification_is_observed() {
+        use darco_guest::insn::UnaryOp;
+        use darco_guest::{Addr, Width};
+        let enc = |op: UnaryOp| {
+            let mut b = Vec::new();
+            darco_guest::encode(&Insn::Unary { op, dst: Gpr::Eax }, &mut b);
+            b
+        };
+        let dec_bytes = enc(UnaryOp::Dec);
+        assert_eq!(enc(UnaryOp::Inc).len(), dec_bytes.len(), "patch preserves length");
+        let n = dec_bytes.len();
+        let build = |target: u32| {
+            let dec_bytes = dec_bytes.clone();
+            move |a: &mut Asm| {
+                a.mov_ri(Gpr::Ebx, target as i32);
+                for (i, &byte) in dec_bytes.iter().enumerate() {
+                    a.mov_ri(Gpr::Ecx, byte as i32);
+                    a.store(Addr { disp: i as i32, ..Addr::base(Gpr::Ebx) }, Gpr::Ecx, Width::B);
+                }
+                a.inc(Gpr::Eax); // patched to `dec eax` by the stores above
+                a.halt();
+            }
+        };
+        // Pass 1 with a same-magnitude placeholder to learn the layout.
+        let mut probe = Asm::new(DEFAULT_CODE_BASE);
+        build(DEFAULT_CODE_BASE)(&mut probe);
+        let target = {
+            let st = GuestState::boot(&probe.into_program());
+            // Walk the patch preamble to the patch target's address.
+            let mut pc = DEFAULT_CODE_BASE;
+            for _ in 0..1 + 2 * n {
+                let (_, len) = exec::fetch(&st.mem, pc).unwrap();
+                pc += len;
+            }
+            pc
+        };
+        let mut st = boot(build(target));
+        let mut cache = darco_guest::DecodeCache::new();
+        // Each patch store bumps the code generation, cutting replay of
+        // the now-stale block (an artificial Budget split); the re-decode
+        // must pick up the new bytes before control reaches them.
+        let mut splits = 0;
+        loop {
+            let run = interpret_block_cached(&mut st, u64::MAX, &mut cache);
+            match run.stop {
+                BlockStop::Halt => break,
+                BlockStop::Budget => {
+                    splits += 1;
+                    assert!(splits < 20, "no forward progress");
+                }
+                other => panic!("unexpected stop: {other:?}"),
+            }
+        }
+        assert!(splits >= 1, "the generation check must cut the stale replay");
+        assert_eq!(st.gpr(Gpr::Eax), u32::MAX, "the patched dec ran, not the stale inc");
     }
 }

@@ -11,10 +11,9 @@
 //! paper's "interaction between TOL and application" challenge.
 
 use darco_host::sink::{EventKind, InsnSink, RetireEvent};
-use serde::{Deserialize, Serialize};
 
 /// The paper's seven overhead categories (Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OverheadKind {
     /// Interpreting code before BBM promotion.
     Interpreter,
@@ -33,7 +32,7 @@ pub enum OverheadKind {
 }
 
 /// Per-category accumulated host instructions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Overhead {
     pub interpreter: u64,
     pub bb_translator: u64,
@@ -83,7 +82,7 @@ impl Overhead {
 }
 
 /// Host-instruction costs of TOL activities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Per interpreted guest instruction (fetch/decode/dispatch/execute).
     pub interp_per_insn: u64,
@@ -153,7 +152,7 @@ impl Accountant {
     }
 
     /// Charges `n` host instructions to `kind`.
-    pub fn charge(&mut self, kind: OverheadKind, n: u64, sink: &mut dyn InsnSink) {
+    pub fn charge<S: InsnSink>(&mut self, kind: OverheadKind, n: u64, sink: &mut S) {
         *self.overhead.slot(kind) += n;
         if !self.synthesize || n == 0 {
             return;
@@ -177,7 +176,7 @@ impl Accountant {
             } else if r < 80 {
                 EventKind::Store { addr, bytes: 4 }
             } else if r < 95 {
-                EventKind::Branch { taken: r % 4 != 0, target: pc + 8, cond: true }
+                EventKind::Branch { taken: !r.is_multiple_of(4), target: pc + 8, cond: true }
             } else {
                 EventKind::Other
             };

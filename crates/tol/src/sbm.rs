@@ -20,7 +20,6 @@ use crate::translate::{
 };
 use darco_guest::GuestMem;
 use darco_ir::Region;
-use serde::{Deserialize, Serialize};
 
 /// Edge bias data the planner queries per basic block, `(taken_count,
 /// fall_count)`.
@@ -28,7 +27,7 @@ pub type EdgeQuery<'a> = &'a dyn Fn(u32) -> Option<(u64, u64)>;
 
 /// The deterministic shape of a superblock (kept with the translation so
 /// assert-failure recreation rebuilds the exact same trace).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SbShape {
     /// Entry PC.
     pub entry: u32,

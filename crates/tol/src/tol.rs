@@ -8,7 +8,7 @@ use crate::interp::{self, BlockStop};
 use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
 use crate::sbm::{self, SbShape};
 use crate::translate::{self, EdgeCounters};
-use darco_guest::{Fault, GuestState, PAGE_SHIFT};
+use darco_guest::{DecodeCache, Fault, GuestState, PAGE_SHIFT};
 use darco_host::emu::ProfTable;
 use darco_host::regs::{FLAG_REGS, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND, R_SPILL_BASE};
 use darco_host::sink::InsnSink;
@@ -17,7 +17,6 @@ use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
 use darco_ir::passes::{run_pipeline, OptLevel};
 use darco_ir::sched::list_schedule;
 use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Events that hand control to the controller (DARCO's synchronization
@@ -43,7 +42,7 @@ pub enum TolEvent {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TolStats {
     /// Guest instructions retired in interpretation mode.
     pub guest_im: u64,
@@ -112,6 +111,8 @@ pub struct Tol {
     /// Block head of an interpretation split by the fuel budget, so the
     /// repetition counter credits the true head when the block completes.
     im_split_entry: Option<u32>,
+    /// Predecoded guest-block cache backing the IM interpreter.
+    decode: DecodeCache,
 }
 
 impl std::fmt::Debug for Tol {
@@ -143,6 +144,7 @@ impl Tol {
             translation_ordinal: 0,
             spill_mapped: false,
             im_split_entry: None,
+            decode: DecodeCache::new(),
             cfg,
         }
     }
@@ -187,11 +189,11 @@ impl Tol {
 
     /// Runs the guest for up to `fuel_guest` retired instructions or until
     /// an event needs the controller.
-    pub fn run(
+    pub fn run<S: InsnSink>(
         &mut self,
         st: &mut GuestState,
         fuel_guest: u64,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) -> TolEvent {
         let limit = self.total_guest().saturating_add(fuel_guest);
         let mut interp_next = false;
@@ -228,7 +230,7 @@ impl Tol {
             // Interpret one basic block.
             flags::resolve(st, &mut self.pending_flags);
             let budget = limit - self.total_guest();
-            let run = interp::interpret_block(st, budget);
+            let run = interp::interpret_block_cached(st, budget, &mut self.decode);
             self.stats.guest_im += run.insns;
             self.stats.interp_blocks += 1;
             self.acct.charge(
@@ -267,12 +269,12 @@ impl Tol {
 
     // -- code-cache execution --------------------------------------------------
 
-    fn enter_cache(
+    fn enter_cache<S: InsnSink>(
         &mut self,
         st: &mut GuestState,
         id: usize,
         limit: u64,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) -> CacheOutcome {
         if !self.spill_mapped {
             st.mem.map_zero(SPILL_AREA_BASE >> PAGE_SHIFT);
@@ -511,7 +513,7 @@ impl Tol {
 
     /// Translates the basic block at `pc` (BBM). Returns false if the
     /// block is untranslatable or undecodable.
-    fn translate_bb(&mut self, st: &mut GuestState, pc: u32, sink: &mut dyn InsnSink) -> bool {
+    fn translate_bb<S: InsnSink>(&mut self, st: &mut GuestState, pc: u32, sink: &mut S) -> bool {
         let plan = match translate::decode_block(&st.mem, pc) {
             Ok(p) => p,
             Err(_) => return false, // page not resident yet: interpret on
@@ -553,7 +555,7 @@ impl Tol {
     }
 
     /// Promotes the block at `pc` to a superblock (SBM).
-    fn translate_sb(&mut self, st: &mut GuestState, pc: u32, sink: &mut dyn InsnSink) {
+    fn translate_sb<S: InsnSink>(&mut self, st: &mut GuestState, pc: u32, sink: &mut S) {
         let edges = |bb: u32| -> Option<(u64, u64)> {
             if let Some(e) = self.bb_edges.get(&bb) {
                 let t = self.prof.count(e.taken);
@@ -570,12 +572,12 @@ impl Tol {
         self.build_and_install_sb(st, &shape, self.cfg.speculation, sink);
     }
 
-    fn build_and_install_sb(
+    fn build_and_install_sb<S: InsnSink>(
         &mut self,
         st: &mut GuestState,
         shape: &SbShape,
         asserts: bool,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) {
         let Some(mut region) = sbm::build_sb_region(&st.mem, shape, asserts, &self.cfg) else {
             return;
@@ -587,11 +589,7 @@ impl Tol {
             sink,
         );
         self.inject_bug_region(&mut region, BugKind::TranslatorWrongConstant);
-        if self.cfg.opt_level >= OptLevel::O2 {
-            run_pipeline(&mut region, self.cfg.opt_level);
-        } else {
-            run_pipeline(&mut region, self.cfg.opt_level);
-        }
+        run_pipeline(&mut region, self.cfg.opt_level);
         self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
         if self.cfg.opt_level >= OptLevel::O3 {
             ddg::memory_opt(&mut region);
@@ -614,7 +612,7 @@ impl Tol {
         self.stats.translations_sb += 1;
     }
 
-    fn recreate_multi_exit(&mut self, st: &mut GuestState, tid: usize, sink: &mut dyn InsnSink) {
+    fn recreate_multi_exit<S: InsnSink>(&mut self, st: &mut GuestState, tid: usize, sink: &mut S) {
         let Some(shape) = self.cache.translation(tid).shape.clone() else {
             return;
         };
@@ -623,14 +621,14 @@ impl Tol {
         self.build_and_install_sb(st, &shape, false, sink);
     }
 
-    fn install(
+    fn install<S: InsnSink>(
         &mut self,
         region: Region,
         kind: TransKind,
         exec_counter: Option<u32>,
         shape: Option<SbShape>,
         src_insns: u32,
-        sink: &mut dyn InsnSink,
+        sink: &mut S,
     ) -> usize {
         let sb_mode = matches!(kind, TransKind::Sb { .. });
         if std::env::var_os("DARCO_DUMP_REGIONS").is_some() {
@@ -650,6 +648,7 @@ impl Tol {
             // Full cache: flush everything (translations, chains, IBTC)
             // and retry; profiling state survives.
             self.cache.flush();
+            self.decode.flush();
             self.acct.charge(OverheadKind::Others, self.costs.init / 2, sink);
             let ctx = CodegenCtx { base: self.cache.next_base(), ..ctx };
             out = codegen::generate(&region, &ctx);

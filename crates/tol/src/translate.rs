@@ -417,10 +417,7 @@ impl RegionBuilder {
                     match bit {
                         ZF => self.alu_ci(HAluOp::Seq, r, 0),
                         SF => self.alu_ci(HAluOp::Shr, r, 31),
-                        PF => {
-                            let p = self.emit_i(IrOp::Alu(HAluOp::Parity), vec![r]);
-                            p
-                        }
+                        PF => self.emit_i(IrOp::Alu(HAluOp::Parity), vec![r]),
                         OF => {
                             let lim = if inc { 0x7FFF_FFFF } else { 0x8000_0000 };
                             self.alu_ci(HAluOp::Seq, a, lim)

@@ -15,8 +15,7 @@ use darco_guest::{Asm, Fpr, GuestProgram, GuestState, Gpr};
 use darco_host::sink::NullSink;
 use darco_ir::OptLevel;
 use darco_tol::{flags, Tol, TolConfig, TolEvent};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use darco_guest::prng::{Rng, SmallRng};
 
 /// Executes a program with the plain interpreter. Returns the final state
 /// and retired instruction count.
@@ -367,9 +366,9 @@ fn random_program(seed: u64) -> GuestProgram {
 fn random_body_insn(rng: &mut SmallRng, a: &mut Asm, scratch: u32) {
     let reg = |rng: &mut SmallRng| {
         // Avoid ESP/ECX (stack discipline, loop counter).
-        *[Gpr::Eax, Gpr::Ebx, Gpr::Edx, Gpr::Esi, Gpr::Edi].iter().nth(rng.gen_range(0..5)).unwrap()
+        [Gpr::Eax, Gpr::Ebx, Gpr::Edx, Gpr::Esi, Gpr::Edi][rng.gen_range(0..5)]
     };
-    let addr = |rng: &mut SmallRng| Addr::abs((scratch + rng.gen_range(0..64) * 4) as u32);
+    let addr = |rng: &mut SmallRng| Addr::abs(scratch + rng.gen_range(0..64) * 4);
     match rng.gen_range(0..14) {
         0 => a.mov_ri(reg(rng), rng.gen()),
         1 => a.mov_rr(reg(rng), reg(rng)),

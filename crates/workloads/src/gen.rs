@@ -3,10 +3,8 @@
 use darco_guest::insn::{AluOp, Insn, ShiftAmount, ShiftOp};
 use darco_guest::program::DEFAULT_CODE_BASE;
 use darco_guest::reg::{Addr, Cond, Scale, Width};
+use darco_guest::prng::{Rng, SmallRng};
 use darco_guest::{Asm, FBinOp, FUnOp, Fpr, GuestProgram, Gpr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Base address of the benchmark's data arrays.
 const DATA: u32 = 0x0040_0000;
@@ -15,7 +13,7 @@ const DATA_LEN: usize = 128 << 10;
 
 /// Characteristics of one benchmark (DESIGN.md §1 explains how each knob
 /// maps to a paper-observable behaviour).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchProfile {
     /// Benchmark name.
     pub name: String,
@@ -104,9 +102,9 @@ impl Gen<'_> {
             // Streaming access: base + counter*scale (trains the
             // prefetcher, stays in the data segment via small strides).
             let scale = if wide { Scale::S8 } else { Scale::S4 };
-            Addr::full(Gpr::Esi, Gpr::Ecx, scale, slot as i32)
+            Addr::full(Gpr::Esi, Gpr::Ecx, scale, slot)
         } else {
-            Addr::base_disp(Gpr::Esi, (self.rng.gen_range(0..2048) * 8 + slot) as i32)
+            Addr::base_disp(Gpr::Esi, self.rng.gen_range(0..2048) * 8 + slot)
         }
     }
 

@@ -196,85 +196,6 @@ pub fn nbody_step(n: u32, steps: u32) -> GuestProgram {
     p
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use darco_guest::exec::{self, Next};
-    use darco_guest::GuestState;
-
-    fn run(p: &GuestProgram) -> GuestState {
-        let mut st = GuestState::boot(p);
-        for _ in 0..200_000_000u64 {
-            match exec::step(&mut st).unwrap().next {
-                Next::Halt => return st,
-                Next::Syscall => panic!("kernel made a syscall"),
-                _ => {}
-            }
-        }
-        panic!("kernel did not halt");
-    }
-
-    #[test]
-    fn dot_product_is_correct() {
-        let p = dot_product(64);
-        let st = run(&p);
-        let got = f64::from_bits(st.mem.read_u64(DATA).unwrap());
-        assert_eq!(got, dot_product_expected(64));
-    }
-
-    #[test]
-    fn matmul_against_identity_times_three() {
-        let n = 6;
-        let p = matmul(n);
-        let st = run(&p);
-        for i in 0..n {
-            for j in 0..n {
-                let got = st.mem.read_u32(matmul_c_addr(n, i, j)).unwrap();
-                assert_eq!(got, 3 * (i + j), "c[{i}][{j}]");
-            }
-        }
-    }
-
-    #[test]
-    fn string_search_finds_needle() {
-        let p = string_search(500, 123);
-        let st = run(&p);
-        assert_eq!(st.mem.read_u32(DATA + 500 + 16).unwrap(), 123);
-    }
-
-    #[test]
-    fn quicksort_sorts() {
-        let n = 150;
-        let p = quicksort(n);
-        let st = run(&p);
-        let mut prev = 0u32;
-        for i in 0..n {
-            let v = st.mem.read_u32(DATA + i * 4).unwrap();
-            assert!(v >= prev, "a[{i}] = {v} < {prev}");
-            prev = v;
-        }
-    }
-
-    #[test]
-    fn crc32_matches_reference() {
-        let n = 700;
-        let p = crc32(n);
-        let st = run(&p);
-        assert_eq!(st.mem.read_u32(DATA + n + 16).unwrap(), crc32_expected(n));
-    }
-
-    #[test]
-    fn nbody_energy_is_n_times_steps() {
-        // sin² + cos² = 1 (within the architectural polynomial's error).
-        let (n, steps) = (8, 10);
-        let p = nbody_step(n, steps);
-        let st = run(&p);
-        let e = f64::from_bits(st.mem.read_u64(DATA + 0x8000).unwrap());
-        let want = (n * steps) as f64;
-        assert!((e - want).abs() < 1e-3, "energy {e} vs {want}");
-    }
-}
-
 /// In-place quicksort of `n` pseudo-random u32 keys (iterative, explicit
 /// stack) — pointer/branch-heavy integer code with data-dependent control
 /// flow.
@@ -402,4 +323,83 @@ pub fn crc32_expected(n: u32) -> u32 {
         }
     }
     !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::exec::{self, Next};
+    use darco_guest::GuestState;
+
+    fn run(p: &GuestProgram) -> GuestState {
+        let mut st = GuestState::boot(p);
+        for _ in 0..200_000_000u64 {
+            match exec::step(&mut st).unwrap().next {
+                Next::Halt => return st,
+                Next::Syscall => panic!("kernel made a syscall"),
+                _ => {}
+            }
+        }
+        panic!("kernel did not halt");
+    }
+
+    #[test]
+    fn dot_product_is_correct() {
+        let p = dot_product(64);
+        let st = run(&p);
+        let got = f64::from_bits(st.mem.read_u64(DATA).unwrap());
+        assert_eq!(got, dot_product_expected(64));
+    }
+
+    #[test]
+    fn matmul_against_identity_times_three() {
+        let n = 6;
+        let p = matmul(n);
+        let st = run(&p);
+        for i in 0..n {
+            for j in 0..n {
+                let got = st.mem.read_u32(matmul_c_addr(n, i, j)).unwrap();
+                assert_eq!(got, 3 * (i + j), "c[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn string_search_finds_needle() {
+        let p = string_search(500, 123);
+        let st = run(&p);
+        assert_eq!(st.mem.read_u32(DATA + 500 + 16).unwrap(), 123);
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        let n = 150;
+        let p = quicksort(n);
+        let st = run(&p);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let v = st.mem.read_u32(DATA + i * 4).unwrap();
+            assert!(v >= prev, "a[{i}] = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        let n = 700;
+        let p = crc32(n);
+        let st = run(&p);
+        assert_eq!(st.mem.read_u32(DATA + n + 16).unwrap(), crc32_expected(n));
+    }
+
+    #[test]
+    fn nbody_energy_is_n_times_steps() {
+        // sin² + cos² = 1 (within the architectural polynomial's error).
+        let (n, steps) = (8, 10);
+        let p = nbody_step(n, steps);
+        let st = run(&p);
+        let e = f64::from_bits(st.mem.read_u64(DATA + 0x8000).unwrap());
+        let want = (n * steps) as f64;
+        assert!((e - want).abs() < 1e-3, "energy {e} vs {want}");
+    }
 }

@@ -3,10 +3,9 @@
 //! generator.
 
 use crate::gen::BenchProfile;
-use serde::{Deserialize, Serialize};
 
 /// Benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPECINT2006-like.
     SpecInt,
@@ -28,7 +27,7 @@ impl Suite {
 }
 
 /// One named benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Benchmark {
     /// Paper benchmark name.
     pub name: &'static str,

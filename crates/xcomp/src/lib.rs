@@ -22,7 +22,7 @@ pub use process::ProcessTracker;
 
 use darco_guest::exec::{self, Next};
 use darco_guest::insn::Insn;
-use darco_guest::{Fault, GuestProgram, GuestState};
+use darco_guest::{DecodeCache, Fault, GuestProgram, GuestState};
 
 /// Errors from driving the authoritative component.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +62,8 @@ pub struct XComponent {
     os: os::OsState,
     halted: bool,
     exited: Option<u32>,
+    /// Predecoded guest-block cache backing the replay loop.
+    decode: DecodeCache,
 }
 
 impl XComponent {
@@ -76,6 +78,7 @@ impl XComponent {
             os: os::OsState::new(program),
             halted: false,
             exited: None,
+            decode: DecodeCache::new(),
         }
     }
 
@@ -109,7 +112,7 @@ impl XComponent {
             if self.ended() {
                 return Err(XcompError::RanPastEnd);
             }
-            self.step_one()?;
+            self.run_block(count - self.insns)?;
         }
         Ok(())
     }
@@ -160,36 +163,101 @@ impl XComponent {
         self.state.mem.page(page).expect("just mapped").to_vec()
     }
 
-    /// Executes a single guest instruction, including transparent syscall
-    /// handling and demand paging.
-    fn step_one(&mut self) -> Result<(), XcompError> {
-        // Peek for syscall/halt so counting matches the co-designed side.
-        match exec::fetch(&self.state.mem, self.state.eip) {
-            Ok((Insn::Syscall, _)) => {
-                self.exec_syscall()?;
-                return Ok(());
-            }
-            Ok((Insn::Halt, _)) => {
-                self.halted = true;
-                return Ok(());
-            }
-            _ => {}
-        }
-        match exec::step(&mut self.state) {
-            Ok(info) => {
-                self.insns += 1;
-                debug_assert!(!matches!(info.next, Next::Syscall | Next::Halt));
-                Ok(())
-            }
+    /// Replays (up to) one predecoded basic block — at most `budget`
+    /// retired instructions — with transparent syscall handling and
+    /// demand paging. The hot-path counterpart of stepping one
+    /// instruction at a time: each block is decoded once and replayed on
+    /// every revisit (see `darco_guest::predecode`).
+    fn run_block(&mut self, budget: u64) -> Result<(), XcompError> {
+        let entry_pc = self.state.eip;
+        // Field-level borrows: the block borrows `self.decode`; the replay
+        // below only touches the other fields.
+        let block = match self.decode.block(&mut self.state.mem, entry_pc) {
+            Ok(b) => b,
             Err(Fault::Page(pf)) => {
-                // Demand paging: the OS maps a zero page and the access
-                // retries. (A real OS would fault on wild kernel-space
-                // addresses; OS-lite is permissive — see DESIGN.md.)
+                // Demand paging on the instruction fetch itself.
                 self.state.mem.map_zero(darco_guest::GuestMem::page_of(pf.addr));
-                Ok(())
+                return Ok(());
             }
-            Err(f) => Err(XcompError::GuestFault(f)),
+            Err(f) => return Err(XcompError::GuestFault(f)),
+        };
+        let mut retired = 0u64;
+        let mut pc = entry_pc;
+        // A store can overwrite the running block (self-modifying code):
+        // re-check the code generation after every retire and bail out so
+        // the next entry re-decodes.
+        let gen0 = self.state.mem.code_gen();
+        for &(ref insn, len) in &block.insns {
+            // The inner loop retries faulting accesses after demand
+            // paging and re-executes `REP` string instructions in place.
+            loop {
+                if retired >= budget {
+                    return Ok(());
+                }
+                match insn {
+                    Insn::Syscall => {
+                        // Counting must match the co-designed side: the
+                        // syscall retires as one instruction.
+                        self.state.eip = pc.wrapping_add(len);
+                        self.insns += 1;
+                        let outcome =
+                            os::do_syscall(&mut self.state, &mut self.os, &mut self.output);
+                        if let SyscallOutcome::Exit(code) = outcome {
+                            self.exited = Some(code);
+                        }
+                        return Ok(());
+                    }
+                    Insn::Halt => {
+                        self.halted = true;
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+                match exec::exec_insn(&mut self.state, insn, pc, len) {
+                    Ok(next) => {
+                        self.insns += 1;
+                        retired += 1;
+                        match next {
+                            Next::RepContinue => {
+                                self.state.eip = pc;
+                                if self.state.mem.code_gen() != gen0 {
+                                    return Ok(());
+                                }
+                                continue;
+                            }
+                            Next::Seq => {
+                                self.state.eip = pc.wrapping_add(len);
+                                if insn.ends_block() || self.state.mem.code_gen() != gen0 {
+                                    return Ok(());
+                                }
+                                pc = self.state.eip;
+                                break;
+                            }
+                            Next::Jump(t) => {
+                                self.state.eip = t;
+                                return Ok(());
+                            }
+                            Next::Syscall | Next::Halt => {
+                                unreachable!("syscall/halt are intercepted before execution")
+                            }
+                        }
+                    }
+                    Err(Fault::Page(pf)) => {
+                        // Demand paging: the OS maps a zero page and the
+                        // access retries. (A real OS would fault on wild
+                        // kernel-space addresses; OS-lite is permissive —
+                        // see DESIGN.md.)
+                        self.state.mem.map_zero(darco_guest::GuestMem::page_of(pf.addr));
+                        self.state.eip = pc;
+                        continue;
+                    }
+                    Err(f) => return Err(XcompError::GuestFault(f)),
+                }
+            }
         }
+        // Block cut short at predecode (size cap or faulting tail): the
+        // next call re-enters the cache at the current PC.
+        Ok(())
     }
 
     /// Runs until the application ends (halt or exit), up to `max`
@@ -202,7 +270,7 @@ impl XComponent {
             if self.insns >= max {
                 return Err(XcompError::RanPastEnd);
             }
-            self.step_one()?;
+            self.run_block(max - self.insns)?;
         }
         Ok(())
     }

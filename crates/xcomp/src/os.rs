@@ -6,7 +6,6 @@
 //! so the DARCO execution-flow protocol can replay runs exactly.
 
 use darco_guest::{GuestProgram, GuestState, Gpr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// `exit(status)`.
 pub const OS_EXIT: u32 = 1;
@@ -23,7 +22,7 @@ pub const OS_GETPID: u32 = 6;
 
 /// Outcome of a system call, reported to the controller so it can update
 /// the co-designed component's state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyscallOutcome {
     /// Normal completion. `modified` lists guest memory ranges the kernel
     /// wrote (the controller refreshes co-designed copies of those pages).
@@ -36,7 +35,7 @@ pub enum SyscallOutcome {
 }
 
 /// Mutable kernel state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OsState {
     brk: u32,
     input: Vec<u8>,

@@ -7,10 +7,9 @@
 //! fidelity: every synchronization message carries the address-space id
 //! and the controller rejects mismatches.
 
-use serde::{Deserialize, Serialize};
 
 /// Tracks the traced process by its address-space identifier.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessTracker {
     asid: u32,
     name: String,

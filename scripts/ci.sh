@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate for the DARCO reproduction.
+#
+#   build  — release build of every crate (including the bench binaries)
+#   test   — full workspace test suite
+#   lint   — clippy with -D warnings on the crates the hot path touches
+#   speed  — one tiny benchmark run as a smoke test of the speed harness
+#
+# Everything runs offline; no network access is required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Crates on (or feeding) the hot path: warnings there are errors.
+LINT_CRATES=(darco-guest darco-host darco-tol darco-xcomp darco darco-timing
+    darco-workloads darco-bench darco-repro)
+
+echo "==> build (release, whole workspace)"
+cargo build --release --workspace -q
+
+echo "==> test (whole workspace)"
+cargo test --workspace -q
+
+echo "==> lint (clippy -D warnings on hot-path crates)"
+lint_args=()
+for c in "${LINT_CRATES[@]}"; do
+    lint_args+=(-p "$c")
+done
+cargo clippy "${lint_args[@]}" --all-targets -q -- -D warnings
+
+# The harness writes BENCH_hotpath.json into the cwd; run from a scratch
+# directory so a tiny smoke run never clobbers the committed measurement.
+echo "==> speed smoke (tiny scale)"
+speed_bin="$PWD/target/release/speed"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && "$speed_bin" --scale 1/512)
+
+echo "CI OK"

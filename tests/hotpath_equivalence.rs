@@ -1,0 +1,135 @@
+//! Hot-path behavior-preservation tests.
+//!
+//! The hot-path overhaul (monomorphized retire sinks, the L0 TLB in
+//! `GuestMem`, and the predecoded guest-block cache) must not change any
+//! architecturally observable result. These tests pin that down:
+//!
+//! - running a workload with a [`NullSink`] and with a [`CountingSink`]
+//!   (and with a [`DynSink`]-wrapped trait object) yields identical final
+//!   guest state, retired-instruction counts and [`TolStats`];
+//! - self-modifying code is observed by the predecoded interpreter on
+//!   both the co-designed and the authoritative component (the run is
+//!   validated between them), even though both replay cached blocks.
+
+use darco::{Machine, MachineEvent};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::reg::{Addr, Cond, Width};
+use darco_guest::{Asm, Gpr, Insn};
+use darco_host::{CountingSink, DynSink, InsnSink, NullSink};
+use darco_tol::TolConfig;
+use darco_workloads::{benchmarks, build};
+
+/// Runs a benchmark to completion through the full machine with the given
+/// sink, validating at a fine period, and returns the machine.
+fn run_with<S: InsnSink>(cfg: TolConfig, sink: &mut S) -> Machine {
+    let profile = benchmarks()[0].profile.clone().scaled(1, 64);
+    let program = build(&profile);
+    let mut m = Machine::new(cfg, &program);
+    loop {
+        let target = m.insns() + 10_000;
+        match m.run_to(target, true, sink).expect("run") {
+            MachineEvent::Reached => continue,
+            MachineEvent::Ended { .. } => break,
+            MachineEvent::GuestFault(f) => panic!("guest fault: {f}"),
+        }
+    }
+    m
+}
+
+fn assert_same_outcome(a: &Machine, b: &Machine) {
+    assert_eq!(a.state.gprs(), b.state.gprs());
+    assert_eq!(a.state.fprs(), b.state.fprs());
+    assert_eq!(a.state.flags, b.state.flags);
+    assert_eq!(a.state.eip, b.state.eip);
+    assert_eq!(a.tol.stats, b.tol.stats, "TolStats must be identical");
+    assert_eq!(a.tol.total_guest(), b.tol.total_guest());
+    assert_eq!(a.tol.mode_split(), b.tol.mode_split());
+    assert_eq!(a.xcomp.insns, b.xcomp.insns);
+    assert_eq!(a.state.mem.page_count(), b.state.mem.page_count());
+    assert_eq!(a.state.mem.first_difference(&b.state.mem), None);
+    assert_eq!(a.xcomp.output, b.xcomp.output);
+}
+
+/// The monomorphized hot path must be sink-agnostic: a no-op sink, a
+/// counting sink, and a trait-object sink behind [`DynSink`] all see the
+/// exact same execution.
+#[test]
+fn null_counting_and_dyn_sinks_agree() {
+    let cfg = TolConfig::default();
+    let mut null = NullSink;
+    let a = run_with(cfg.clone(), &mut null);
+    let mut counting = CountingSink::default();
+    let b = run_with(cfg.clone(), &mut counting);
+    let mut dyn_inner = CountingSink::default();
+    let c = run_with(cfg, &mut DynSink(&mut dyn_inner));
+
+    assert_same_outcome(&a, &b);
+    assert_same_outcome(&a, &c);
+    assert!(counting.total > 0, "the counting sink saw retires");
+    assert!(counting.loads > 0 && counting.branches > 0);
+    // The dyn-wrapped sink observes the identical stream.
+    assert_eq!(counting.total, dyn_inner.total);
+    assert_eq!(counting.loads, dyn_inner.loads);
+    assert_eq!(counting.stores, dyn_inner.stores);
+    assert_eq!(counting.branches, dyn_inner.branches);
+    assert_eq!(counting.taken, dyn_inner.taken);
+}
+
+/// Builds a program that patches one of its own instructions: an `inc
+/// eax` in a loop body is overwritten with `dec eax` after the first
+/// iteration, so the final EAX distinguishes stale-decode (2) from
+/// correct re-decode (0).
+fn smc_program() -> darco_guest::GuestProgram {
+    let inc = {
+        let mut b = Vec::new();
+        darco_guest::encode(&Insn::Unary { op: darco_guest::UnaryOp::Inc, dst: Gpr::Eax }, &mut b);
+        b
+    };
+    let dec = {
+        let mut b = Vec::new();
+        darco_guest::encode(&Insn::Unary { op: darco_guest::UnaryOp::Dec, dst: Gpr::Eax }, &mut b);
+        b
+    };
+    assert_eq!(inc.len(), dec.len(), "patch must preserve instruction length");
+
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Eax, 0);
+    a.mov_ri(Gpr::Edx, 0);
+    let top = a.here();
+    let target = a.addr(); // address of the patchable instruction
+    a.inc(Gpr::Eax);
+    // Patch the instruction for the next iteration.
+    a.mov_ri(Gpr::Ebx, target as i32);
+    for (i, &byte) in dec.iter().enumerate() {
+        a.mov_ri(Gpr::Ecx, byte as i32);
+        a.store(Addr { base: Some(Gpr::Ebx), index: None, scale: darco_guest::Scale::S1, disp: i as i32 }, Gpr::Ecx, Width::B);
+    }
+    a.inc(Gpr::Edx);
+    a.cmp_ri(Gpr::Edx, 2);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    a.into_program()
+}
+
+/// Self-modifying code through the full machine: both the co-designed
+/// interpreter and the authoritative component replay predecoded blocks,
+/// and both must observe the patched bytes (the run validates the two
+/// components against each other at the end).
+#[test]
+fn self_modifying_code_is_redecoded() {
+    let p = smc_program();
+    let mut m = Machine::new(TolConfig::default(), &p);
+    let mut sink = NullSink;
+    loop {
+        match m.run_to(m.insns() + 64, true, &mut sink).expect("run") {
+            MachineEvent::Reached => continue,
+            MachineEvent::Ended { .. } => break,
+            MachineEvent::GuestFault(f) => panic!("guest fault: {f}"),
+        }
+    }
+    // Iteration 1 increments (eax 0 -> 1), iteration 2 runs the patched
+    // `dec` (eax 1 -> 0). A stale decode would leave eax == 2.
+    assert_eq!(m.state.gpr(Gpr::Eax), 0, "patched instruction must be re-decoded");
+    assert_eq!(m.state.gpr(Gpr::Edx), 2);
+    assert_eq!(m.xcomp.state.gpr(Gpr::Eax), 0, "authoritative side agrees");
+}

@@ -42,15 +42,13 @@ fn runs_are_bit_deterministic() {
 #[test]
 fn periodic_validation_and_timing_do_not_change_results() {
     let base = tiny(SystemConfig::default(), 12);
-    let mut cfg = SystemConfig::default();
-    cfg.validate_every = Some(1_000);
+    let cfg = SystemConfig { validate_every: Some(1_000), ..SystemConfig::default() };
     let periodic = tiny(cfg, 12);
     assert_eq!(base.output, periodic.output);
     assert!(periodic.validations > base.validations);
 
-    let mut cfg = SystemConfig::default();
-    cfg.sink = SinkChoice::InOrder;
-    cfg.power = true;
+    let cfg =
+        SystemConfig { sink: SinkChoice::InOrder, power: true, ..SystemConfig::default() };
     let timed = tiny(cfg, 12);
     assert_eq!(base.output, timed.output, "timing is observation-only");
     assert_eq!(base.guest_insns, timed.guest_insns);
