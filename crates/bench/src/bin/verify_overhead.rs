@@ -1,0 +1,107 @@
+//! **Verify overhead** — cost of running the static verifier on every
+//! translation before cache insertion (the `TolConfig::verify` knob at
+//! its default, `Fatal`).
+//!
+//! Runs the whole suite at default promotion thresholds and reports, per
+//! workload, the wall-clock time spent translating versus inside the
+//! verifier (IR check after each pipeline, DDG cross-check, host-code
+//! check). Emits machine-readable `BENCH_verify.json`; the acceptance
+//! budget for the default configuration is < 10% of translation time.
+
+use darco::json::JsonWriter;
+use darco_bench::{default_config, run_one, Scale};
+use darco_workloads::benchmarks;
+
+struct Row {
+    name: String,
+    translate_ns: u64,
+    verify_ns: u64,
+    regions: u64,
+    findings: u64,
+}
+
+/// Verifier share of translation time, in percent. `translate_ns`
+/// includes the verifier, so the share is verify / (translate - verify).
+fn overhead_pct(translate_ns: u64, verify_ns: u64) -> f64 {
+    let base = translate_ns.saturating_sub(verify_ns).max(1);
+    verify_ns as f64 / base as f64 * 100.0
+}
+
+fn main() {
+    // Default to 1/16 so the full-suite sweep stays quick; `--scale N/D`
+    // overrides.
+    let scale = if std::env::args().any(|a| a == "--scale") {
+        Scale::from_args()
+    } else {
+        Scale(1, 16)
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for b in benchmarks() {
+        let r = run_one(&b, scale, default_config());
+        let s = r.tol_stats;
+        rows.push(Row {
+            name: b.name.to_string(),
+            translate_ns: s.translate_nanos,
+            verify_ns: s.verify_nanos,
+            regions: s.verify_regions,
+            findings: s.verify_findings,
+        });
+    }
+
+    println!("== verify overhead (scale {}/{}, default config) ==", scale.0, scale.1);
+    println!("{:<16} {:>12} {:>12} {:>9} {:>8}", "benchmark", "translate_us", "verify_us", "overhead", "regions");
+    let (mut t_total, mut v_total, mut regions, mut findings) = (0u64, 0u64, 0u64, 0u64);
+    for row in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>8.2}% {:>8}",
+            row.name,
+            row.translate_ns as f64 / 1e3,
+            row.verify_ns as f64 / 1e3,
+            overhead_pct(row.translate_ns, row.verify_ns),
+            row.regions,
+        );
+        t_total += row.translate_ns;
+        v_total += row.verify_ns;
+        regions += row.regions;
+        findings += row.findings;
+    }
+    let total_pct = overhead_pct(t_total, v_total);
+    println!("{:-<62}", "");
+    println!(
+        "{:<16} {:>12.1} {:>12.1} {:>8.2}% {:>8}   (budget < 10%)",
+        "total",
+        t_total as f64 / 1e3,
+        v_total as f64 / 1e3,
+        total_pct,
+        regions,
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.field_str("bench", "verify_overhead");
+    w.field_str("scale", &format!("{}/{}", scale.0, scale.1));
+    w.begin_obj(Some("workloads"));
+    for row in &rows {
+        w.begin_obj(Some(&row.name))
+            .field_num("translate_ns", row.translate_ns)
+            .field_num("verify_ns", row.verify_ns)
+            .field_f64("overhead_pct", overhead_pct(row.translate_ns, row.verify_ns))
+            .field_num("regions", row.regions)
+            .field_num("findings", row.findings)
+            .end_obj();
+    }
+    w.end_obj();
+    w.begin_obj(Some("total"))
+        .field_num("translate_ns", t_total)
+        .field_num("verify_ns", v_total)
+        .field_f64("overhead_pct", total_pct)
+        .field_num("regions", regions)
+        .field_num("findings", findings)
+        .field_f64("budget_pct", 10.0)
+        .end_obj();
+    w.end_obj();
+    let json = w.finish();
+    std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
+    println!("\nwrote BENCH_verify.json");
+}

@@ -1,0 +1,46 @@
+//! The verifier-acceptance sweep: every suite benchmark, at every
+//! optimization level, must translate with zero static-verification
+//! findings (`VerifyMode::Fatal` panics on the first one).
+//!
+//! This is the "verifier accepts every region from the workload suite"
+//! half of the verifier contract; the rejection half lives in the
+//! `darco-ir` unit tests against hand-built invalid regions.
+
+use darco::machine::Machine;
+use darco_host::sink::NullSink;
+use darco_ir::OptLevel;
+use darco_tol::{TolConfig, VerifyMode};
+use darco_workloads::benchmarks;
+
+/// Retired-instruction cap per run: enough for every workload to promote
+/// well into SBM at the aggressive thresholds below, small enough to keep
+/// the 4-level sweep quick.
+const CAP: u64 = 150_000;
+
+#[test]
+fn whole_suite_verifies_clean_at_every_opt_level() {
+    let mut regions = 0u64;
+    let mut sbs = 0u64;
+    for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+        for b in benchmarks() {
+            let profile = b.profile.clone().scaled(1, 512);
+            let program = darco_workloads::build(&profile);
+            let cfg = TolConfig {
+                bbm_threshold: 2,
+                sbm_threshold: 8,
+                opt_level: lvl,
+                verify: VerifyMode::Fatal,
+                ..TolConfig::default()
+            };
+            let mut m = Machine::new(cfg, &program);
+            if let Err(e) = m.run_to(CAP, true, &mut NullSink) {
+                panic!("{} at {lvl:?}: {e}", b.name);
+            }
+            assert_eq!(m.tol.stats.verify_findings, 0, "{} at {lvl:?}", b.name);
+            regions += m.tol.stats.verify_regions;
+            sbs += m.tol.stats.translations_sb;
+        }
+    }
+    assert!(regions > 1_000, "sweep too shallow: {regions} regions verified");
+    assert!(sbs > 100, "sweep must exercise the SBM pipeline: {sbs} superblocks");
+}

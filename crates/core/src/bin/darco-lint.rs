@@ -1,0 +1,174 @@
+//! `darco-lint` — run the static IR/DDG/host-code verifier over guest
+//! workloads and report every finding with its provenance.
+//!
+//! The machine executes normally with aggressive promotion thresholds (so
+//! as much code as possible reaches the BBM and SBM pipelines) and the
+//! verifier in `Report` mode: a finding does not abort the run, it is
+//! collected with its pipeline stage and guest PC and printed at the end.
+//!
+//! ```text
+//! darco-lint all --scale 1/512
+//! darco-lint 403.gcc kernel:crc32 --opt O2
+//! ```
+//!
+//! Exits 1 if any workload produced findings, 0 on a clean suite.
+
+use darco::machine::Machine;
+use darco_host::sink::NullSink;
+use darco_tol::{TolConfig, VerifyMode};
+use darco_workloads::{benchmarks, kernels};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: darco-lint <benchmark|kernel:NAME|all> [more targets...] [options]\n\
+         \n\
+         targets:  any benchmark from --list, kernel:dot, kernel:matmul,\n\
+         \u{20}         kernel:search, kernel:nbody, kernel:quicksort,\n\
+         \u{20}         kernel:crc32, or `all` (every benchmark + kernel)\n\
+         \n\
+         options:\n\
+           --list           list suite benchmarks and exit\n\
+           --opt LEVEL      O0|O1|O2|O3 (default O3)\n\
+           --scale N/D      scale benchmark iteration counts (default 1/1)\n\
+           --max-insns N    per-workload retired-instruction cap (default 20000000)\n\
+           --no-spec        disable speculation (multi-exit superblocks)"
+    );
+    std::process::exit(2);
+}
+
+struct LintOutcome {
+    regions: u64,
+    findings: u64,
+    verify_us: f64,
+    failed: bool,
+}
+
+fn lint_one(name: &str, program: darco_guest::GuestProgram, cfg: &TolConfig, cap: u64) -> LintOutcome {
+    let mut m = Machine::new(cfg.clone(), &program);
+    let run = m.run_to(cap, true, &mut NullSink);
+    let stats = m.tol.stats;
+    let findings = stats.verify_findings;
+    println!(
+        "{name:<18} {:>6} regions verified, {:>3} findings, {:>8.1} us in verifier",
+        stats.verify_regions,
+        findings,
+        stats.verify_nanos as f64 / 1e3,
+    );
+    for line in &m.tol.verify_log {
+        println!("  {line}");
+    }
+    let mut failed = findings > 0;
+    if let Err(e) = run {
+        println!("  [machine] {e}");
+        failed = true;
+    }
+    LintOutcome {
+        regions: stats.verify_regions,
+        findings,
+        verify_us: stats.verify_nanos as f64 / 1e3,
+        failed,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for b in benchmarks() {
+            println!("{:<16} {}", b.name, b.suite.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = TolConfig {
+        // Promote early so the pipelines see as many regions as possible.
+        bbm_threshold: 3,
+        sbm_threshold: 12,
+        verify: VerifyMode::Report,
+        ..TolConfig::default()
+    };
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale = (1u32, 1u32);
+    let mut cap: u64 = 20_000_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                let mut it = v.split('/');
+                scale = (
+                    it.next().and_then(|x| x.parse().ok()).unwrap_or(1),
+                    it.next().and_then(|x| x.parse().ok()).unwrap_or(1),
+                );
+            }
+            "--max-insns" => {
+                i += 1;
+                cap = args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--opt" => {
+                i += 1;
+                cfg.opt_level = match args.get(i).map(String::as_str) {
+                    Some("O0") => darco_ir::OptLevel::O0,
+                    Some("O1") => darco_ir::OptLevel::O1,
+                    Some("O2") => darco_ir::OptLevel::O2,
+                    Some("O3") => darco_ir::OptLevel::O3,
+                    _ => usage(),
+                };
+            }
+            "--no-spec" => cfg.speculation = false,
+            a if a.starts_with("--") => usage(),
+            a => targets.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    const KERNELS: [&str; 6] = ["dot", "matmul", "search", "nbody", "quicksort", "crc32"];
+    if targets.iter().any(|t| t == "all") {
+        targets = benchmarks().into_iter().map(|b| b.name.to_string()).collect();
+        targets.extend(KERNELS.iter().map(|k| format!("kernel:{k}")));
+    }
+
+    let mut total = LintOutcome { regions: 0, findings: 0, verify_us: 0.0, failed: false };
+    for target in &targets {
+        let program = if let Some(k) = target.strip_prefix("kernel:") {
+            // Lint-sized kernels: enough iterations to trip SBM promotion
+            // at the aggressive thresholds, small enough to stay quick.
+            match k {
+                "dot" => kernels::dot_product(2_000),
+                "matmul" => kernels::matmul(12),
+                "search" => kernels::string_search(20_000, 12_345),
+                "nbody" => kernels::nbody_step(16, 50),
+                "quicksort" => kernels::quicksort(800),
+                "crc32" => kernels::crc32(5_000),
+                _ => usage(),
+            }
+        } else {
+            match benchmarks().into_iter().find(|b| b.name == *target) {
+                Some(b) => darco_workloads::build(&b.profile.scaled(scale.0, scale.1)),
+                None => usage(),
+            }
+        };
+        let out = lint_one(target, program, &cfg, cap);
+        total.regions += out.regions;
+        total.findings += out.findings;
+        total.verify_us += out.verify_us;
+        total.failed |= out.failed;
+    }
+
+    println!(
+        "\ntotal: {} workloads, {} regions verified, {} findings, {:.1} us in verifier",
+        targets.len(),
+        total.regions,
+        total.findings,
+        total.verify_us,
+    );
+    if total.failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

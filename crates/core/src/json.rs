@@ -159,7 +159,16 @@ pub fn report_to_json(r: &RunReport) -> String {
         .field_num("guest_external", s.guest_external)
         .field_num("sb_static_guest", s.sb_static_guest)
         .field_num("sb_static_host", s.sb_static_host)
-        .end_obj();
+        .field_num("verify_regions", s.verify_regions)
+        .field_num("verify_findings", s.verify_findings)
+        .field_num("verify_nanos", s.verify_nanos)
+        .field_num("translate_nanos", s.translate_nanos);
+    w.begin_obj(Some("verify_by_kind"));
+    for kind in darco_ir::InvariantKind::ALL {
+        w.field_num(kind.name(), s.verify_by_kind[kind.index()]);
+    }
+    w.end_obj();
+    w.end_obj();
     w.field_num("chkpts", r.chkpts);
     w.field_num("rollbacks", r.rollbacks);
     w.field_num("validations", r.validations);

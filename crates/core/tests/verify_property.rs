@@ -1,0 +1,131 @@
+//! Verifier-backed end-to-end property tests.
+//!
+//! Random structured guest programs run through the coupled machine at
+//! every optimization level with the static verifier in `Fatal` mode:
+//!
+//! * every region the BBM/SBM pipelines produce must pass [`darco_ir::
+//!   verify_region`], every DDG must pass `verify_ddg`, and every
+//!   generated host-code body must pass `check_host_code` (a finding
+//!   panics the run);
+//! * the translated execution must agree with the authoritative
+//!   interpreter (the machine's end-of-application validation).
+//!
+//! Random programs come from the internal seeded PRNG (deterministic).
+
+use darco::machine::{Machine, MachineEvent};
+use darco_guest::insn::{AluOp, Insn, ShiftAmount, ShiftOp, UnaryOp};
+use darco_guest::prng::{Rng, SmallRng};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::reg::{Addr, Cond, Scale, Width};
+use darco_guest::{Asm, GuestProgram, Gpr};
+use darco_host::sink::NullSink;
+use darco_ir::OptLevel;
+use darco_tol::{TolConfig, VerifyMode};
+
+/// A random but well-structured program: loops with random straight-line
+/// bodies over registers and a scratch array (no ESP/ECX games, so the
+/// loops stay well-formed and hot enough to promote).
+fn random_program(seed: u64) -> GuestProgram {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_C0DE ^ seed);
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    let scratch = 0x0040_0000u32;
+    let reg = |rng: &mut SmallRng| {
+        [Gpr::Eax, Gpr::Ebx, Gpr::Edx, Gpr::Esi, Gpr::Edi][rng.gen_range(0..5)]
+    };
+    let addr = |rng: &mut SmallRng| Addr::abs(scratch + rng.gen_range(0..64) * 4);
+    for _ in 0..rng.gen_range(1..3) {
+        a.mov_ri(Gpr::Ecx, rng.gen_range(30..120));
+        let top = a.here();
+        for _ in 0..rng.gen_range(3..14) {
+            match rng.gen_range(0..12) {
+                0 => a.mov_ri(reg(&mut rng), rng.gen()),
+                1 => a.mov_rr(reg(&mut rng), reg(&mut rng)),
+                2 => a.alu_rr(AluOp::from_index(rng.gen_range(0..7)), reg(&mut rng), reg(&mut rng)),
+                3 => a.alu_ri(
+                    AluOp::from_index(rng.gen_range(0..7)),
+                    reg(&mut rng),
+                    rng.gen_range(-100..100),
+                ),
+                4 => a.load(reg(&mut rng), addr(&mut rng)),
+                5 => a.store(addr(&mut rng), reg(&mut rng), Width::D),
+                6 => {
+                    a.push(reg(&mut rng));
+                    a.pop(reg(&mut rng));
+                }
+                7 => a.emit(Insn::Unary {
+                    op: UnaryOp::from_index(rng.gen_range(0..4)),
+                    dst: reg(&mut rng),
+                }),
+                8 => a.emit(Insn::Shift {
+                    op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][rng.gen_range(0..3)],
+                    dst: reg(&mut rng),
+                    amount: ShiftAmount::Imm(rng.gen_range(0..31)),
+                }),
+                9 => a.imul(reg(&mut rng), reg(&mut rng)),
+                10 => {
+                    a.cmp_rr(reg(&mut rng), reg(&mut rng));
+                    a.emit(Insn::Setcc {
+                        cc: Cond::from_index(rng.gen_range(0..16)),
+                        dst: reg(&mut rng),
+                    });
+                }
+                _ => a.lea(
+                    reg(&mut rng),
+                    Addr::full(reg(&mut rng), reg(&mut rng), Scale::S4, rng.gen_range(-64..64)),
+                ),
+            }
+        }
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+    }
+    a.halt();
+    a.into_program().with_data(vec![0x5A; 4096])
+}
+
+fn run_verified(p: &GuestProgram, cfg: TolConfig, what: &str) -> darco_tol::TolStats {
+    assert_eq!(cfg.verify, VerifyMode::Fatal, "property tests want fatal verification");
+    let mut m = Machine::new(cfg, p);
+    // A verifier finding panics inside run_to (Fatal mode); a semantic
+    // divergence surfaces as MachineError::Validation.
+    let ev = m.run_to(u64::MAX, true, &mut NullSink).unwrap_or_else(|e| panic!("{what}: {e}"));
+    assert_eq!(ev, MachineEvent::Ended { exit_status: None }, "{what}");
+    assert_eq!(m.tol.stats.verify_findings, 0, "{what}");
+    m.tol.stats
+}
+
+#[test]
+fn random_programs_verify_and_agree_at_every_opt_level() {
+    for seed in 0..10u64 {
+        let p = random_program(seed);
+        for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let cfg = TolConfig {
+                bbm_threshold: 3,
+                sbm_threshold: 12,
+                opt_level: lvl,
+                ..TolConfig::default()
+            };
+            let stats = run_verified(&p, cfg, &format!("seed {seed} at {lvl:?}"));
+            assert!(stats.verify_regions > 0, "seed {seed} at {lvl:?}: verifier never ran");
+            assert!(stats.translations_bb > 0, "seed {seed} at {lvl:?}: nothing promoted");
+        }
+    }
+}
+
+#[test]
+fn random_programs_verify_without_speculation_and_with_strict_flags() {
+    for seed in 0..6u64 {
+        let p = random_program(100 + seed);
+        for (spec, strict) in [(false, false), (true, true)] {
+            let cfg = TolConfig {
+                bbm_threshold: 3,
+                sbm_threshold: 12,
+                speculation: spec,
+                strict_flags: strict,
+                ..TolConfig::default()
+            };
+            let what = format!("seed {seed} spec={spec} strict={strict}");
+            let stats = run_verified(&p, cfg, &what);
+            assert!(stats.verify_regions > 0, "{what}: verifier never ran");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! offsets, so a typical guest ALU instruction costs a single host
 //! instruction.
 
-use crate::ddg::{addr_expr, def_map, AddrExpr};
+use crate::ddg::{addr_expr, def_map, AddrExpr, DefMap};
 use crate::ir::{ExitKind, FlagsKind, IrOp, Region, VReg};
 use darco_host::regs::{
     self, HFreg, HReg, F_TMP_FIRST, F_TMP_LAST, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND,
@@ -67,6 +67,10 @@ pub struct CodegenOut {
     pub exits: Vec<ExitMeta>,
     /// Encoded size in 32-bit words.
     pub encoded_words: usize,
+    /// Exit id → stub start (code index). The body occupies
+    /// `[0, min(stub_pos))`; everything at or after the first stub runs
+    /// only on an exit path (used by [`check_host_code`]).
+    pub stub_pos: Vec<Option<usize>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -191,7 +195,7 @@ impl<'a> Codegen<'a> {
         // Folding decisions.
         let defs = def_map(region);
         let const_def = |v: VReg| -> Option<u32> {
-            defs.get(&v).and_then(|&d| match region.insts[d].op {
+            defs.get(v).and_then(|d| match region.insts[d].op {
                 IrOp::ConstI(c) => Some(c),
                 _ => None,
             })
@@ -212,7 +216,7 @@ impl<'a> Codegen<'a> {
                     let addr = inst.srcs[0];
                     if use_count.get(&addr) == Some(&1) && self.last_use[addr.0 as usize] != NEVER
                     {
-                        if let Some(&d) = defs.get(&addr) {
+                        if let Some(d) = defs.get(addr) {
                             if let AddrExpr::Affine { root, off } = addr_expr(region, &defs, addr)
                             {
                                 if root != addr && (-2048..2048).contains(&off) {
@@ -287,7 +291,7 @@ impl<'a> Codegen<'a> {
         for (id, m) in self.final_exits.drain(..) {
             exits[id] = m;
         }
-        CodegenOut { code: self.code, exits, encoded_words }
+        CodegenOut { code: self.code, exits, encoded_words, stub_pos: self.stub_pos }
     }
 
     fn emit_inst(&mut self, i: usize) {
@@ -870,14 +874,14 @@ impl<'a> Codegen<'a> {
 /// single-use adds/subs/copies over constants (so skipping them is safe).
 fn chain_foldable(
     region: &Region,
-    defs: &HashMap<VReg, usize>,
+    defs: &DefMap,
     use_count: &HashMap<VReg, usize>,
     mut v: VReg,
     root: VReg,
 ) -> bool {
     let mut first = true;
     while v != root {
-        let Some(&d) = defs.get(&v) else { return false };
+        let Some(d) = defs.get(v) else { return false };
         if !first && use_count.get(&v).copied().unwrap_or(0) != 1 {
             return false;
         }
@@ -888,7 +892,7 @@ fn chain_foldable(
             IrOp::Alu(HAluOp::Add) | IrOp::Alu(HAluOp::Sub) if inst.srcs.len() == 2 => {
                 // One operand is the chain, the other a constant.
                 let c0 = matches!(
-                    defs.get(&inst.srcs[0]).map(|&x| &region.insts[x].op),
+                    defs.get(inst.srcs[0]).map(|x| &region.insts[x].op),
                     Some(IrOp::ConstI(_))
                 );
                 v = if c0 { inst.srcs[1] } else { inst.srcs[0] };
@@ -903,20 +907,20 @@ fn chain_foldable(
 /// skipped.
 fn mark_chain_skipped(
     region: &Region,
-    defs: &HashMap<VReg, usize>,
+    defs: &DefMap,
     skip: &mut [bool],
     mut v: VReg,
     root: VReg,
 ) {
     while v != root {
-        let Some(&d) = defs.get(&v) else { return };
+        let Some(d) = defs.get(v) else { return };
         skip[d] = true;
         let inst = &region.insts[d];
         match inst.op {
             IrOp::Copy => v = inst.srcs[0],
             IrOp::Alu(_) if inst.srcs.len() == 2 => {
                 let c0 = matches!(
-                    defs.get(&inst.srcs[0]).map(|&x| &region.insts[x].op),
+                    defs.get(inst.srcs[0]).map(|x| &region.insts[x].op),
                     Some(IrOp::ConstI(_))
                 );
                 v = if c0 { inst.srcs[1] } else { inst.srcs[0] };
@@ -924,6 +928,146 @@ fn mark_chain_skipped(
             _ => return,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Post-codegen checker
+// ---------------------------------------------------------------------------
+
+/// The integer registers an instruction explicitly writes (`Bl`'s
+/// implicit `r63` link write is part of the call convention, not a
+/// clobber).
+fn int_write(insn: &HInsn) -> Option<u8> {
+    match insn {
+        HInsn::Alu { rd, .. }
+        | HInsn::AluI { rd, .. }
+        | HInsn::Lui { rd, .. }
+        | HInsn::OriZ { rd, .. }
+        | HInsn::Li16 { rd, .. }
+        | HInsn::Load { rd, .. }
+        | HInsn::FCmp { rd, .. }
+        | HInsn::CvtFI { rd, .. } => Some(rd.0),
+        _ => None,
+    }
+}
+
+/// The FP registers an instruction explicitly writes.
+fn fp_write(insn: &HInsn) -> Option<u8> {
+    match insn {
+        HInsn::FAlu { fd, .. }
+        | HInsn::FUn { fd, .. }
+        | HInsn::CvtIF { fd, .. }
+        | HInsn::LoadF { fd, .. }
+        | HInsn::FLoadImm { fd, .. } => Some(fd.0),
+        _ => None,
+    }
+}
+
+/// Statically checks emitted host code against the register convention
+/// (DESIGN.md §8):
+///
+/// * **body** instructions (before the first exit stub) may write only
+///   allocatable temporaries — pinned guest state (`r0`–`r15`, `f0`–`f7`)
+///   is updated exclusively by exit stubs;
+/// * **stub** instructions may write only pinned state, `r56` (IBTC
+///   target) and the `r57`/`f57` parallel-copy scratch;
+/// * relative branch targets stay inside the translation (`Bl` excepted:
+///   it calls runtime routines outside the region);
+/// * spill traffic uses `R_SPILL_BASE` with in-bounds offsets and
+///   sequence numbers above `SPILL_SEQ_BASE`; guest memory traffic stays
+///   below it;
+/// * every IR store/load is present in the emitted code (none silently
+///   dropped).
+pub fn check_host_code(region: &Region, out: &CodegenOut) -> crate::verify::VerifyReport {
+    use crate::verify::{Finding, InvariantKind, VerifyReport};
+    let mut rep = VerifyReport { region_pc: region.guest_entry_pc, findings: Vec::new() };
+    let mut add = |message: String| {
+        rep.findings.push(Finding {
+            kind: InvariantKind::HostCodeClobber,
+            inst: None,
+            guest_pc: region.guest_entry_pc,
+            message,
+        });
+    };
+    let n = out.code.len();
+    let first_stub = out.stub_pos.iter().flatten().copied().min().unwrap_or(n);
+    const SCRATCH: u8 = 57;
+    for (p, insn) in out.code.iter().enumerate() {
+        let in_stub = p >= first_stub;
+        let zone = if in_stub { "stub" } else { "body" };
+        if let Some(rd) = int_write(insn) {
+            let ok = if in_stub {
+                rd <= R_DEF_KIND.0 || rd == R_IND.0 || rd == SCRATCH
+            } else {
+                (R_TMP_FIRST..=R_TMP_LAST).contains(&rd)
+            };
+            if !ok {
+                add(format!("{zone} insn {p} `{insn}` writes r{rd} outside the {zone} write set"));
+            }
+        }
+        if let Some(fd) = fp_write(insn) {
+            let ok = if in_stub {
+                fd < 8 || fd == SCRATCH
+            } else {
+                (F_TMP_FIRST..=F_TMP_LAST).contains(&fd) || fd == regs::F_RT_ARG.0
+            };
+            if !ok {
+                add(format!("{zone} insn {p} `{insn}` writes f{fd} outside the {zone} write set"));
+            }
+        }
+        if let HInsn::B { rel } | HInsn::Bz { rel, .. } | HInsn::Bnz { rel, .. } = insn {
+            let target = p as i64 + 1 + *rel as i64;
+            if target < 0 || target >= n as i64 {
+                add(format!("insn {p} `{insn}` branches to {target}, outside the region [0, {n})"));
+            }
+        }
+        match *insn {
+            HInsn::Load { base, off, seq, spec, .. }
+            | HInsn::Store { base, off, seq, spec, .. }
+            | HInsn::LoadF { base, off, seq, spec, .. }
+            | HInsn::StoreF { base, off, seq, spec, .. } => {
+                if base == R_SPILL_BASE {
+                    if !(0..2048).contains(&off) {
+                        add(format!("insn {p} `{insn}` spill offset {off} out of bounds"));
+                    }
+                    if seq < SPILL_SEQ_BASE {
+                        add(format!("insn {p} `{insn}` spill access with guest seq {seq}"));
+                    }
+                    if spec {
+                        add(format!("insn {p} `{insn}` speculative spill access"));
+                    }
+                } else if seq >= SPILL_SEQ_BASE {
+                    add(format!("insn {p} `{insn}` guest access with spill seq {seq}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    let ir_stores = region.insts.iter().filter(|i| i.op.is_store()).count();
+    let host_stores = out
+        .code
+        .iter()
+        .filter(|i| {
+            matches!(**i,
+                HInsn::Store { base, .. } | HInsn::StoreF { base, .. } if base != R_SPILL_BASE)
+        })
+        .count();
+    if ir_stores != host_stores {
+        add(format!("region has {ir_stores} store(s) but the host code has {host_stores}"));
+    }
+    let ir_loads = region.insts.iter().filter(|i| i.op.is_load()).count();
+    let host_loads = out
+        .code
+        .iter()
+        .filter(|i| {
+            matches!(**i,
+                HInsn::Load { base, .. } | HInsn::LoadF { base, .. } if base != R_SPILL_BASE)
+        })
+        .count();
+    if ir_loads != host_loads {
+        add(format!("region has {ir_loads} load(s) but the host code has {host_loads}"));
+    }
+    rep
 }
 
 #[cfg(test)]
@@ -984,6 +1128,124 @@ mod tests {
         }
         region.exits.push(e);
         region.exits.len() - 1
+    }
+
+    /// A region exercising memory, FP, asserts, a side exit and exit-time
+    /// parallel copies, for the post-codegen checker tests.
+    fn checker_region() -> Region {
+        let mut r = Region::new(0x1000);
+        let base = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        let f = r.new_vreg(RegClass::Fp);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(cond);
+        r.entry.fprs[0] = Some(f);
+        let v = r.emit(IrOp::ConstI(0xDEAD_BEEF), vec![], RegClass::Int);
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![base, v]);
+        st.seq = 1;
+        r.push(st);
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![cond]);
+        asrt.seq = 2;
+        r.push(asrt);
+        let d = r.emit(IrOp::FAlu(darco_host::FAluOp::Mul), vec![f, f], RegClass::Fp);
+        let mut ld = Inst::new(
+            IrOp::Load { width: Width::D, sign: false },
+            Some(r.new_vreg(RegClass::Int)),
+            vec![base],
+        );
+        ld.seq = 3;
+        let ld_dst = ld.dst.unwrap();
+        r.push(ld);
+        let mut side = ExitDesc::new(ExitKind::Jump { target: 0x2000 });
+        side.gprs[2] = Some(ld_dst);
+        r.exits.push(side);
+        r.push(Inst::new(IrOp::ExitIf { exit: 0 }, None, vec![cond]));
+        let mut last = ExitDesc::new(ExitKind::Jump { target: 0x3000 });
+        last.gprs[0] = Some(v);
+        last.fprs[1] = Some(d);
+        r.exits.push(last);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 1 }, None, vec![]));
+        r
+    }
+
+    fn generate_checker_region() -> (Region, CodegenOut) {
+        let r = checker_region();
+        r.validate();
+        let rt = build_runtime();
+        let ctx = CodegenCtx {
+            base: rt.code.len(),
+            sin_addr: rt.sin_entry,
+            cos_addr: rt.cos_entry,
+            entry_count_idx: Some(3),
+            sb_mode: true,
+        };
+        let out = generate(&r, &ctx);
+        (r, out)
+    }
+
+    #[test]
+    fn host_code_checker_accepts_generated_code() {
+        let (r, out) = generate_checker_region();
+        let rep = check_host_code(&r, &out);
+        assert!(rep.is_ok(), "{rep}");
+    }
+
+    #[test]
+    fn host_code_checker_catches_body_clobber_of_pinned_state() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        // Body instruction writing a pinned guest register.
+        bad.code[1] = HInsn::AluI { op: HAluOp::Add, rd: HReg(0), ra: HReg(0), imm: 1 };
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("writes r0")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn host_code_checker_catches_dropped_store() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        let pos = bad
+            .code
+            .iter()
+            .position(|i| matches!(i, HInsn::Store { base, .. } if *base != R_SPILL_BASE))
+            .unwrap();
+        bad.code[pos] = HInsn::Nop;
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("store(s)")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn host_code_checker_catches_wild_branch() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        let pos = bad.code.iter().position(|i| matches!(i, HInsn::Bnz { .. })).unwrap();
+        if let HInsn::Bnz { rel, .. } = &mut bad.code[pos] {
+            *rel = 10_000;
+        }
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("branches to")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn host_code_checker_catches_stub_writing_temporaries() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        // Append a temp write after the stubs begin.
+        bad.code.push(HInsn::Li16 { rd: HReg(R_TMP_FIRST), imm: 1 });
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("stub") && f.message.contains("write set")),
+            "{rep}"
+        );
     }
 
     #[test]

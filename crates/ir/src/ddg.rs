@@ -3,7 +3,6 @@
 
 use crate::ir::{IrOp, Region, VReg};
 use crate::sched::latency;
-use std::collections::HashMap;
 
 /// Result of address analysis: `root + offset` when the address is an
 /// affine chain over a single root, or `Unknown`.
@@ -28,12 +27,30 @@ pub enum Alias {
     May,
 }
 
+/// Vreg-indexed map of vreg → defining instruction index. Built once per
+/// region; lookups are plain array accesses (this sits on the DDG and
+/// verifier hot paths, where a hash map shows up in profiles).
+#[derive(Debug, Clone)]
+pub struct DefMap(Vec<u32>);
+
+impl DefMap {
+    const NONE: u32 = u32::MAX;
+
+    /// The defining instruction of `v`, if any (entry vregs have none).
+    pub fn get(&self, v: VReg) -> Option<usize> {
+        match self.0.get(v.0 as usize) {
+            Some(&d) if d != Self::NONE => Some(d as usize),
+            _ => None,
+        }
+    }
+}
+
 /// Analyzes the address operand of a memory op by walking its def chain
 /// through copies and add/sub-constant operations.
-pub fn addr_expr(region: &Region, defs: &HashMap<VReg, usize>, mut v: VReg) -> AddrExpr {
+pub fn addr_expr(region: &Region, defs: &DefMap, mut v: VReg) -> AddrExpr {
     let mut off: i64 = 0;
     for _ in 0..64 {
-        let Some(&di) = defs.get(&v) else {
+        let Some(di) = defs.get(v) else {
             return AddrExpr::Affine { root: v, off }; // entry vreg
         };
         let inst = &region.insts[di];
@@ -65,8 +82,8 @@ pub fn addr_expr(region: &Region, defs: &HashMap<VReg, usize>, mut v: VReg) -> A
     AddrExpr::Unknown
 }
 
-fn const_of(region: &Region, defs: &HashMap<VReg, usize>, v: VReg) -> Option<u32> {
-    let &di = defs.get(&v)?;
+fn const_of(region: &Region, defs: &DefMap, v: VReg) -> Option<u32> {
+    let di = defs.get(v)?;
     match region.insts[di].op {
         IrOp::ConstI(c) => Some(c),
         _ => None,
@@ -94,15 +111,17 @@ pub fn alias(a: AddrExpr, abytes: u8, b: AddrExpr, bbytes: u8) -> Alias {
     }
 }
 
-/// Map of vreg → defining instruction index.
-pub fn def_map(region: &Region) -> HashMap<VReg, usize> {
-    let mut m = HashMap::new();
+/// Builds the vreg → defining-instruction map for a region.
+pub fn def_map(region: &Region) -> DefMap {
+    let mut m = vec![DefMap::NONE; region.vreg_count()];
     for (i, inst) in region.insts.iter().enumerate() {
         if let Some(d) = inst.dst {
-            m.insert(d, i);
+            if let Some(slot) = m.get_mut(d.0 as usize) {
+                *slot = i as u32;
+            }
         }
     }
-    m
+    DefMap(m)
 }
 
 /// Redundant load elimination and store forwarding (runs before DDG edge
@@ -215,7 +234,7 @@ pub fn build(region: &mut Region, allow_spec_mem: bool) -> Ddg {
             uses.extend(region.exits[exit].used_vregs());
         }
         for u in uses {
-            if let Some(&d) = defs.get(&u) {
+            if let Some(d) = defs.get(u) {
                 add_edge(&mut preds, d, i, latency(&region.insts[d].op));
             }
         }
@@ -254,7 +273,10 @@ pub fn build(region: &mut Region, allow_spec_mem: bool) -> Ddg {
     }
 
     // Control ordering: exits stay in order; stores stay on their side of
-    // exits; asserts stay before later exits.
+    // exits; asserts stay before later exits *and* later stores (a store
+    // hoisted above an unresolved assert would commit state the assert's
+    // failure path cannot roll back — the store-after-assert hazard the
+    // static verifier checks for).
     let mut last_exit: Option<usize> = None;
     let mut pending_stores: Vec<usize> = Vec::new();
     let mut pending_asserts: Vec<usize> = Vec::new();
@@ -263,6 +285,9 @@ pub fn build(region: &mut Region, allow_spec_mem: bool) -> Ddg {
             IrOp::Store { .. } | IrOp::StoreF => {
                 if let Some(e) = last_exit {
                     add_edge(&mut preds, e, i, 0);
+                }
+                for &a in &pending_asserts {
+                    add_edge(&mut preds, a, i, 0);
                 }
                 pending_stores.push(i);
             }
@@ -319,10 +344,7 @@ mod tests {
         let defs = def_map(&r);
         assert_eq!(addr_expr(&r, &defs, a2), AddrExpr::Affine { root: base, off: 8 });
         let abs = r.emit(IrOp::ConstI(0x100), vec![], RegClass::Int);
-        assert_eq!(addr_expr(&r, &defs2(&r), abs), AddrExpr::Const(0x100));
-        fn defs2(r: &Region) -> HashMap<VReg, usize> {
-            def_map(r)
-        }
+        assert_eq!(addr_expr(&r, &def_map(&r), abs), AddrExpr::Const(0x100));
     }
 
     #[test]
@@ -419,6 +441,35 @@ mod tests {
         let g2 = build(&mut r2, true);
         assert!(!g2.preds[2].iter().any(|(p, _)| *p == 1));
         assert!(r2.insts[2].spec);
+    }
+
+    /// Regression test: a store must never be free to hoist above an
+    /// earlier assert. Without the assert → store control edge, the list
+    /// scheduler could move the store (no dataflow dependence on the
+    /// assert) above the speculation check, committing state the assert's
+    /// rollback path cannot undo.
+    #[test]
+    fn ddg_orders_stores_after_earlier_asserts() {
+        let mut r = Region::new(0);
+        let base = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(cond);
+        let v = r.emit(IrOp::ConstI(1), vec![], RegClass::Int); // 0
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![cond]);
+        asrt.seq = 1;
+        r.push(asrt); // 1
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![base, v]);
+        st.seq = 2;
+        r.push(st); // 2
+        close(&mut r); // 3
+        let g = build(&mut r, true);
+        assert!(
+            g.preds[2].iter().any(|(p, _)| *p == 1),
+            "store may not hoist above the assert"
+        );
+        // And the consistency checker agrees the graph is complete.
+        assert!(crate::verify::verify_ddg(&r, &g).is_ok());
     }
 
     #[test]

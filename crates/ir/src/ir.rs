@@ -135,8 +135,9 @@ pub struct Inst {
     pub dst: Option<VReg>,
     /// Source operands.
     pub srcs: Vec<VReg>,
-    /// Original program-order sequence number (memory operations only;
-    /// carried through to the host's alias-detection hardware).
+    /// Original program-order sequence number (memory operations and
+    /// asserts; carried through to the host's alias-detection hardware
+    /// and used by the verifier to detect scheduling inversions).
     pub seq: u16,
     /// Whether a load may be speculatively reordered past may-alias
     /// stores (set by the DDG phase; checked by the host alias table).
@@ -279,16 +280,18 @@ impl ExitDesc {
     /// All vregs this exit uses (inputs the scheduler must order before
     /// the exit).
     pub fn used_vregs(&self) -> Vec<VReg> {
-        let mut v = Vec::new();
-        v.extend(self.indirect_target);
-        v.extend(self.gprs.iter().flatten());
-        v.extend(self.fprs.iter().flatten());
-        v.extend(self.flags.iter().flatten());
-        if let Some((_, a, b)) = self.deferred {
-            v.push(a);
-            v.push(b);
-        }
-        v
+        self.used_vregs_iter().collect()
+    }
+
+    /// Allocation-free variant of [`Self::used_vregs`] for hot paths
+    /// (the verifier walks exit recipes on every translation).
+    pub fn used_vregs_iter(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.indirect_target
+            .into_iter()
+            .chain(self.gprs.iter().flatten().copied())
+            .chain(self.fprs.iter().flatten().copied())
+            .chain(self.flags.iter().flatten().copied())
+            .chain(self.deferred.into_iter().flat_map(|(_, a, b)| [a, b]))
     }
 }
 

@@ -25,13 +25,20 @@
 //! Passes implement the [`passes::Pass`] trait so new optimizations can be
 //! plugged in or disabled individually — the paper's "plug-and-play"
 //! requirement, exercised by the optimization-level ablation benches.
+//!
+//! Every stage is statically checked by the [`verify`] subsystem: a
+//! dataflow framework plus an invariant verifier that runs between passes
+//! in debug builds (pinpointing the pass that broke the IR) and once
+//! before cache insertion in release builds (see `TolConfig::verify`).
 
 pub mod codegen;
 pub mod ddg;
 pub mod ir;
 pub mod passes;
 pub mod sched;
+pub mod verify;
 
-pub use codegen::{CodegenCtx, CodegenOut, ExitMeta};
+pub use codegen::{check_host_code, CodegenCtx, CodegenOut, ExitMeta};
 pub use ir::{EntryBindings, ExitDesc, ExitKind, FlagsKind, Inst, IrOp, RegClass, Region, VReg};
-pub use passes::{run_pipeline, OptLevel, Pass, PassStats};
+pub use passes::{level_passes, run_passes, run_pipeline, OptLevel, Pass, PassStats, VerifyFailure};
+pub use verify::{verify_ddg, verify_region, InvariantKind, VerifyReport, KIND_COUNT};

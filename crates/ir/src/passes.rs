@@ -19,6 +19,9 @@ pub struct PassStats {
     pub rewritten: u64,
     /// Instructions removed.
     pub removed: u64,
+    /// Verifier invocations performed while running the pipeline
+    /// (non-zero only in verify-each mode).
+    pub verifies: u64,
 }
 
 impl PassStats {
@@ -26,6 +29,7 @@ impl PassStats {
     pub fn absorb(&mut self, other: PassStats) {
         self.rewritten += other.rewritten;
         self.removed += other.removed;
+        self.verifies += other.verifies;
     }
 }
 
@@ -52,11 +56,9 @@ pub enum OptLevel {
     O3,
 }
 
-/// Runs the pass pipeline for an optimization level, returning accumulated
-/// stats.
-pub fn run_pipeline(region: &mut Region, level: OptLevel) -> PassStats {
-    let mut stats = PassStats::default();
-    let passes: Vec<Box<dyn Pass>> = match level {
+/// The pass pipeline for an optimization level.
+pub fn level_passes(level: OptLevel) -> Vec<Box<dyn Pass>> {
+    match level {
         OptLevel::O0 => vec![],
         OptLevel::O1 => vec![Box::new(ConstFold), Box::new(Dce)],
         OptLevel::O2 | OptLevel::O3 => vec![
@@ -66,11 +68,68 @@ pub fn run_pipeline(region: &mut Region, level: OptLevel) -> PassStats {
             Box::new(CopyProp),
             Box::new(Dce),
         ],
+    }
+}
+
+/// A pass broke an IR invariant (verify-each mode): names the offending
+/// pass and carries the verifier's findings.
+#[derive(Debug)]
+pub struct VerifyFailure {
+    /// The pass after which verification failed (`"<input>"` when the
+    /// region was already invalid before the first pass ran).
+    pub pass: &'static str,
+    /// The findings.
+    pub report: crate::verify::VerifyReport,
+}
+
+impl std::fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR verification failed after pass `{}`: {}", self.pass, self.report)
+    }
+}
+
+/// Runs a pass sequence. With `verify_each`, the verifier runs on the
+/// incoming region and again after every pass, so a broken invariant is
+/// pinned on the pass that introduced it.
+pub fn run_passes(
+    region: &mut Region,
+    passes: &[Box<dyn Pass>],
+    verify_each: bool,
+) -> Result<PassStats, Box<VerifyFailure>> {
+    let mut stats = PassStats::default();
+    let check = |region: &Region, pass: &'static str, stats: &mut PassStats| {
+        stats.verifies += 1;
+        let report = crate::verify::verify_region(region);
+        if report.is_ok() {
+            Ok(())
+        } else {
+            Err(Box::new(VerifyFailure { pass, report }))
+        }
     };
+    if verify_each {
+        check(region, "<input>", &mut stats)?;
+    }
     for p in passes {
         stats.absorb(p.run(region));
+        if verify_each {
+            check(region, p.name(), &mut stats)?;
+        }
     }
-    stats
+    Ok(stats)
+}
+
+/// Runs the pass pipeline for an optimization level, returning accumulated
+/// stats. Debug builds verify the region between passes (verify-each) and
+/// panic naming the offending pass; release builds leave verification to
+/// the translation layer's pre-cache-insertion check.
+///
+/// # Panics
+/// In debug builds, when a pass breaks an IR invariant.
+pub fn run_pipeline(region: &mut Region, level: OptLevel) -> PassStats {
+    match run_passes(region, &level_passes(level), cfg!(debug_assertions)) {
+        Ok(stats) => stats,
+        Err(failure) => panic!("{failure}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +545,176 @@ mod tests {
         assert_eq!(st.removed, 1, "only the dead add is removed");
         assert!(r.insts.iter().any(|i| i.op.is_store()));
         r.validate();
+    }
+
+    /// A deliberately broken pass: drops the terminal `ExitAlways`.
+    struct KillTerminator;
+
+    impl Pass for KillTerminator {
+        fn name(&self) -> &'static str {
+            "kill-terminator"
+        }
+
+        fn run(&self, region: &mut Region) -> PassStats {
+            region.insts.pop();
+            PassStats { removed: 1, ..PassStats::default() }
+        }
+    }
+
+    #[test]
+    fn verify_each_names_the_offending_pass() {
+        let mut r = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(2), vec![], RegClass::Int);
+            vec![(0, a)]
+        });
+        let passes: Vec<Box<dyn Pass>> =
+            vec![Box::new(ConstFold), Box::new(KillTerminator), Box::new(Dce)];
+        let err = run_passes(&mut r, &passes, true).unwrap_err();
+        assert_eq!(err.pass, "kill-terminator");
+        let msg = format!("{err}");
+        assert!(msg.contains("after pass `kill-terminator`"), "{msg}");
+        assert!(msg.contains("missing-terminator"), "{msg}");
+    }
+
+    #[test]
+    fn verify_each_attributes_broken_input() {
+        let mut r = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(2), vec![], RegClass::Int);
+            vec![(0, a)]
+        });
+        r.insts.pop(); // invalid before any pass runs
+        let err = run_passes(&mut r, &level_passes(OptLevel::O2), true).unwrap_err();
+        assert_eq!(err.pass, "<input>");
+    }
+
+    #[test]
+    fn verify_each_counts_verifier_invocations() {
+        let mut r = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(2), vec![], RegClass::Int);
+            vec![(0, a)]
+        });
+        let st = run_passes(&mut r, &level_passes(OptLevel::O1), true).unwrap();
+        assert_eq!(st.verifies, 3, "input check + one per pass");
+        let mut r2 = region_with_exit(|r| {
+            let a = r.emit(IrOp::ConstI(2), vec![], RegClass::Int);
+            vec![(0, a)]
+        });
+        let st2 = run_passes(&mut r2, &level_passes(OptLevel::O1), false).unwrap();
+        assert_eq!(st2.verifies, 0);
+    }
+
+    /// Builds a random (but well-formed) region mixing pure work with
+    /// side-effecting stores, asserts and side exits.
+    fn random_region(seed: u64) -> Region {
+        use darco_guest::prng::{Rng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut r = Region::new(0x8000);
+        let base = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(cond);
+        let mut ints = vec![base, cond];
+        let mut seq = 0u16;
+        let next_seq = |seq: &mut u16| {
+            *seq += 1;
+            *seq
+        };
+        for _ in 0..rng.gen_range(8..40) {
+            match rng.gen_range(0..10) {
+                0..=2 => {
+                    let v = r.emit(IrOp::ConstI(rng.gen()), vec![], RegClass::Int);
+                    ints.push(v);
+                }
+                3..=5 => {
+                    let a = ints[rng.gen_range(0..ints.len())];
+                    let b = ints[rng.gen_range(0..ints.len())];
+                    let op = [HAluOp::Add, HAluOp::Sub, HAluOp::Xor, HAluOp::And]
+                        [rng.gen_range(0..4)];
+                    let v = r.emit(IrOp::Alu(op), vec![a, b], RegClass::Int);
+                    ints.push(v);
+                }
+                6 => {
+                    let addr = ints[rng.gen_range(0..ints.len())];
+                    let val = ints[rng.gen_range(0..ints.len())];
+                    let mut st = Inst::new(
+                        IrOp::Store { width: darco_guest::Width::D },
+                        None,
+                        vec![addr, val],
+                    );
+                    st.seq = next_seq(&mut seq);
+                    r.push(st);
+                }
+                7 => {
+                    let addr = ints[rng.gen_range(0..ints.len())];
+                    let dst = r.new_vreg(RegClass::Int);
+                    let mut ld = Inst::new(
+                        IrOp::Load { width: darco_guest::Width::D, sign: false },
+                        Some(dst),
+                        vec![addr],
+                    );
+                    ld.seq = next_seq(&mut seq);
+                    r.push(ld);
+                    ints.push(dst);
+                }
+                8 => {
+                    let c = ints[rng.gen_range(0..ints.len())];
+                    let mut asrt = Inst::new(IrOp::Assert { expect_nz: rng.gen() }, None, vec![c]);
+                    asrt.seq = next_seq(&mut seq);
+                    r.push(asrt);
+                }
+                _ => {
+                    let c = ints[rng.gen_range(0..ints.len())];
+                    let mut e = ExitDesc::new(ExitKind::Jump { target: rng.gen() });
+                    e.gprs[rng.gen_range(0..8)] = Some(ints[rng.gen_range(0..ints.len())]);
+                    r.exits.push(e);
+                    let exit = r.exits.len() - 1;
+                    r.push(Inst::new(IrOp::ExitIf { exit }, None, vec![c]));
+                }
+            }
+        }
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0x9000 });
+        e.gprs[0] = Some(ints[ints.len() - 1]);
+        r.exits.push(e);
+        let exit = r.exits.len() - 1;
+        r.push(Inst::new(IrOp::ExitAlways { exit }, None, vec![]));
+        r
+    }
+
+    /// Verifier-backed DCE soundness: DCE must never remove an
+    /// instruction with a side effect (`Store`, `StoreF`, `Assert`,
+    /// `ExitIf`), and its output must still verify.
+    #[test]
+    fn dce_never_removes_side_effects() {
+        for seed in 0..64u64 {
+            let mut r = random_region(seed);
+            let count = |r: &Region| {
+                r.insts
+                    .iter()
+                    .filter(|i| {
+                        i.op.is_store()
+                            || matches!(i.op, IrOp::Assert { .. } | IrOp::ExitIf { .. })
+                    })
+                    .count()
+            };
+            let before = count(&r);
+            Dce.run(&mut r);
+            assert_eq!(count(&r), before, "seed {seed}: DCE removed a side effect");
+            let rep = crate::verify::verify_region(&r);
+            assert!(rep.is_ok(), "seed {seed}:\n{rep}");
+        }
+    }
+
+    /// Random regions stay valid through the whole pipeline at every
+    /// optimization level.
+    #[test]
+    fn pipeline_preserves_invariants_on_random_regions() {
+        for seed in 0..32u64 {
+            for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+                let mut r = random_region(seed);
+                run_passes(&mut r, &level_passes(lvl), true)
+                    .unwrap_or_else(|e| panic!("seed {seed} at {lvl:?}: {e}"));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1231 @@
+//! Static verification of translation regions (DESIGN.md §8).
+//!
+//! The authoritative guest component catches translation bugs only
+//! *dynamically* — after wrong code has already run. This module checks a
+//! region *statically*, before it enters the code cache, and localizes a
+//! broken invariant to the pass that introduced it (verify-each mode in
+//! [`crate::passes::run_passes`]).
+//!
+//! Two layers:
+//!
+//! 1. a small reusable **dataflow framework** over straight-line regions
+//!    with side exits — gen/kill bitsets keyed by [`VReg`], solved to a
+//!    fixpoint forward or backward ([`solve`], [`DataflowProblem`]);
+//! 2. the **verifier** proper: [`verify_region`] (structural + semantic
+//!    invariants), [`verify_ddg`] (the dependence graph carries every
+//!    ordering the host hardware does not enforce), and
+//!    [`crate::codegen::check_host_code`] (post-codegen register and
+//!    branch discipline).
+
+use crate::ddg::{self, Alias, Ddg};
+use crate::ir::{IrOp, RegClass, Region, VReg};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Bitsets
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity bitset (the dataflow lattice element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a domain of `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bit `i` (ignores out-of-domain indices so malformed regions
+    /// cannot panic the verifier itself).
+    pub fn insert(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Clears bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Tests bit `i` (out-of-domain indices read as unset).
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// `self |= other`; returns whether `self` changed (the fixpoint
+    /// driver's convergence test).
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a | *b;
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Iterates set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            (0..64).filter_map(move |b| (w >> b & 1 == 1).then_some(wi * 64 + b))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow framework
+// ---------------------------------------------------------------------------
+
+/// Direction of a dataflow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Entry → terminal (e.g. defined vregs).
+    Forward,
+    /// Terminal → entry (e.g. liveness).
+    Backward,
+}
+
+/// A gen/kill dataflow problem over a straight-line region with side
+/// exits. Side exits need no join points: control either leaves the
+/// region (and the exit's uses are generated at the exit instruction) or
+/// falls through, so the fact sets form a single chain per direction.
+pub trait DataflowProblem {
+    /// Analysis direction.
+    fn direction(&self) -> Direction;
+    /// Domain size (number of bits per set).
+    fn bits(&self, region: &Region) -> usize;
+    /// Seeds the boundary set: region entry for forward problems, the
+    /// terminal instruction for backward problems.
+    fn boundary(&self, region: &Region, set: &mut BitSet);
+    /// Applies instruction `idx`'s gen/kill effect to `set` in place.
+    fn transfer(&self, region: &Region, idx: usize, set: &mut BitSet);
+}
+
+/// Per-instruction fact sets computed by [`solve`]. `before[i]`/`after[i]`
+/// are in *program order* regardless of the analysis direction.
+#[derive(Debug, Clone)]
+pub struct DataflowResult {
+    /// Facts holding immediately before instruction `i`.
+    pub before: Vec<BitSet>,
+    /// Facts holding immediately after instruction `i`.
+    pub after: Vec<BitSet>,
+    /// Fixpoint iterations taken (straight-line code converges in 2).
+    pub iterations: u32,
+}
+
+/// Solves a dataflow problem to a fixpoint.
+pub fn solve<P: DataflowProblem>(region: &Region, problem: &P) -> DataflowResult {
+    let n = region.insts.len();
+    let bits = problem.bits(region);
+    let mut before = vec![BitSet::new(bits); n];
+    let mut after = vec![BitSet::new(bits); n];
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        let mut cur = BitSet::new(bits);
+        problem.boundary(region, &mut cur);
+        match problem.direction() {
+            Direction::Forward => {
+                for i in 0..n {
+                    changed |= before[i].union_with(&cur);
+                    cur = before[i].clone();
+                    problem.transfer(region, i, &mut cur);
+                    changed |= after[i].union_with(&cur);
+                    cur = after[i].clone();
+                }
+            }
+            Direction::Backward => {
+                for i in (0..n).rev() {
+                    changed |= after[i].union_with(&cur);
+                    cur = after[i].clone();
+                    problem.transfer(region, i, &mut cur);
+                    changed |= before[i].union_with(&cur);
+                    cur = before[i].clone();
+                }
+            }
+        }
+        if !changed || iterations >= 8 {
+            break;
+        }
+    }
+    DataflowResult { before, after, iterations }
+}
+
+/// Forward "defined vregs": a bit is set once the vreg's (single) def has
+/// executed; entry bindings are defined on entry.
+pub struct DefinedVregs;
+
+impl DataflowProblem for DefinedVregs {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bits(&self, region: &Region) -> usize {
+        region.vreg_count()
+    }
+
+    fn boundary(&self, region: &Region, set: &mut BitSet) {
+        for v in entry_vregs(region) {
+            set.insert(v.0 as usize);
+        }
+    }
+
+    fn transfer(&self, region: &Region, idx: usize, set: &mut BitSet) {
+        if let Some(d) = region.insts[idx].dst {
+            set.insert(d.0 as usize);
+        }
+    }
+}
+
+/// Backward liveness: a vreg is live before an instruction if a later
+/// instruction (or a side exit's state recipe) reads it.
+pub struct LiveVregs;
+
+impl DataflowProblem for LiveVregs {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bits(&self, region: &Region) -> usize {
+        region.vreg_count()
+    }
+
+    fn boundary(&self, _region: &Region, _set: &mut BitSet) {}
+
+    fn transfer(&self, region: &Region, idx: usize, set: &mut BitSet) {
+        let inst = &region.insts[idx];
+        if let Some(d) = inst.dst {
+            set.remove(d.0 as usize);
+        }
+        for s in &inst.srcs {
+            set.insert(s.0 as usize);
+        }
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            if let Some(e) = region.exits.get(exit) {
+                for u in e.used_vregs() {
+                    set.insert(u.0 as usize);
+                }
+            }
+        }
+    }
+}
+
+fn entry_vregs(region: &Region) -> impl Iterator<Item = VReg> + '_ {
+    region
+        .entry
+        .gprs
+        .iter()
+        .chain(region.entry.fprs.iter())
+        .chain(region.entry.flags.iter())
+        .flatten()
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// The invariant classes the verifier checks. `ALL` fixes the order used
+/// for the by-category stats counters in `TolStats` and the debug JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// Region does not end with a terminal `ExitAlways` (or has a
+    /// non-terminal one).
+    MissingTerminator,
+    /// A vreg is read before any definition reaches the read.
+    UseBeforeDef,
+    /// SSA violation: a vreg has more than one definition.
+    MultipleDef,
+    /// `RegClass` disagreement between a def and a use.
+    ClassMismatch,
+    /// `ExitIf`/`ExitAlways` exit index out of bounds.
+    ExitOutOfBounds,
+    /// A program-order-younger `Store`/`StoreF` scheduled above an
+    /// unresolved `Assert` (rollback hazard the SBM cannot provide).
+    StoreAfterAssert,
+    /// An exit's flag-materialization recipe references a vreg that is
+    /// not defined at the exit, or materializes a partial flag set with
+    /// no deferred descriptor to cover the rest.
+    DeadFlagMaterialization,
+    /// The DDG is missing an ordering the hardware does not enforce.
+    DdgInconsistent,
+    /// Emitted host code clobbers pinned guest state, breaks scratch
+    /// discipline, or branches outside the region.
+    HostCodeClobber,
+    /// Structurally malformed IR (bad arity, out-of-range vreg, …).
+    Malformed,
+}
+
+impl InvariantKind {
+    /// Every kind, in stats-counter order.
+    pub const ALL: [InvariantKind; 10] = [
+        InvariantKind::MissingTerminator,
+        InvariantKind::UseBeforeDef,
+        InvariantKind::MultipleDef,
+        InvariantKind::ClassMismatch,
+        InvariantKind::ExitOutOfBounds,
+        InvariantKind::StoreAfterAssert,
+        InvariantKind::DeadFlagMaterialization,
+        InvariantKind::DdgInconsistent,
+        InvariantKind::HostCodeClobber,
+        InvariantKind::Malformed,
+    ];
+
+    /// Position in [`InvariantKind::ALL`] (stats-counter index).
+    pub fn index(self) -> usize {
+        match self {
+            InvariantKind::MissingTerminator => 0,
+            InvariantKind::UseBeforeDef => 1,
+            InvariantKind::MultipleDef => 2,
+            InvariantKind::ClassMismatch => 3,
+            InvariantKind::ExitOutOfBounds => 4,
+            InvariantKind::StoreAfterAssert => 5,
+            InvariantKind::DeadFlagMaterialization => 6,
+            InvariantKind::DdgInconsistent => 7,
+            InvariantKind::HostCodeClobber => 8,
+            InvariantKind::Malformed => 9,
+        }
+    }
+
+    /// Stable kebab-case name (JSON field / lint output).
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::MissingTerminator => "missing-terminator",
+            InvariantKind::UseBeforeDef => "use-before-def",
+            InvariantKind::MultipleDef => "multiple-def",
+            InvariantKind::ClassMismatch => "class-mismatch",
+            InvariantKind::ExitOutOfBounds => "exit-out-of-bounds",
+            InvariantKind::StoreAfterAssert => "store-after-assert",
+            InvariantKind::DeadFlagMaterialization => "dead-flag-materialization",
+            InvariantKind::DdgInconsistent => "ddg-inconsistent",
+            InvariantKind::HostCodeClobber => "host-code-clobber",
+            InvariantKind::Malformed => "malformed",
+        }
+    }
+}
+
+/// Number of invariant categories (size of the by-kind stats array).
+pub const KIND_COUNT: usize = InvariantKind::ALL.len();
+
+/// One verifier finding, with region/instruction provenance.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Offending instruction index, when attributable.
+    pub inst: Option<usize>,
+    /// Guest PC of the offending instruction (the region entry PC when
+    /// no instruction is attributable).
+    pub guest_pc: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind.name())?;
+        if let Some(i) = self.inst {
+            write!(f, " inst {i}")?;
+        }
+        write!(f, " @{:#010x}: {}", self.guest_pc, self.message)
+    }
+}
+
+/// The result of verifying one region.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Guest entry PC of the verified region.
+    pub region_pc: u32,
+    /// Findings, in discovery order (empty = region is valid).
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    fn new(region_pc: u32) -> VerifyReport {
+        VerifyReport { region_pc, findings: Vec::new() }
+    }
+
+    /// True when no invariant is broken.
+    pub fn is_ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts indexed like [`InvariantKind::ALL`].
+    pub fn by_kind(&self) -> [u64; KIND_COUNT] {
+        let mut counts = [0u64; KIND_COUNT];
+        for f in &self.findings {
+            counts[f.kind.index()] += 1;
+        }
+        counts
+    }
+
+    fn add(&mut self, region: &Region, kind: InvariantKind, inst: Option<usize>, message: String) {
+        let guest_pc = inst
+            .and_then(|i| region.insts.get(i))
+            .map_or(region.guest_entry_pc, |i| i.guest_pc);
+        self.findings.push(Finding { kind, inst, guest_pc, message });
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "region @{:#010x}: {} finding(s)", self.region_pc, self.findings.len())?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region verifier
+// ---------------------------------------------------------------------------
+
+/// Verifies every structural and semantic invariant of a region (a strict
+/// superset of [`Region::validate`], reporting instead of panicking).
+pub fn verify_region(region: &Region) -> VerifyReport {
+    let mut rep = VerifyReport::new(region.guest_entry_pc);
+    check_shape(region, &mut rep);
+    if !rep.is_ok() {
+        // The deeper checks index by vreg/operand; don't run them over
+        // structurally malformed IR.
+        return rep;
+    }
+    check_terminator(region, &mut rep);
+    check_defs(region, &mut rep);
+    check_classes(region, &mut rep);
+    check_exits(region, &mut rep);
+    check_store_after_assert(region, &mut rep);
+    rep
+}
+
+/// Vreg ranges, operand arity and dst presence.
+fn check_shape(region: &Region, rep: &mut VerifyReport) {
+    let nv = region.vreg_count();
+    let in_range = |v: VReg| (v.0 as usize) < nv;
+    for v in entry_vregs(region) {
+        if !in_range(v) {
+            rep.add(region, InvariantKind::Malformed, None, format!("entry binds out-of-range {v}"));
+        }
+    }
+    for (e, exit) in region.exits.iter().enumerate() {
+        for v in exit.used_vregs_iter() {
+            if !in_range(v) {
+                rep.add(
+                    region,
+                    InvariantKind::Malformed,
+                    None,
+                    format!("exit {e} references out-of-range {v}"),
+                );
+            }
+        }
+    }
+    for (i, inst) in region.insts.iter().enumerate() {
+        for &s in &inst.srcs {
+            if !in_range(s) {
+                rep.add(
+                    region,
+                    InvariantKind::Malformed,
+                    Some(i),
+                    format!("{:?} reads out-of-range {s}", inst.op),
+                );
+            }
+        }
+        if let Some(d) = inst.dst {
+            if !in_range(d) {
+                rep.add(
+                    region,
+                    InvariantKind::Malformed,
+                    Some(i),
+                    format!("{:?} writes out-of-range {d}", inst.op),
+                );
+            }
+        }
+        if !arity_ok(&inst.op, inst.srcs.len()) {
+            rep.add(
+                region,
+                InvariantKind::Malformed,
+                Some(i),
+                format!("{:?} has {} source operand(s)", inst.op, inst.srcs.len()),
+            );
+        }
+        let wants_dst = inst.op.is_pure() || inst.op.is_load();
+        if wants_dst && inst.dst.is_none() {
+            rep.add(region, InvariantKind::Malformed, Some(i), format!("{:?} has no dst", inst.op));
+        }
+        if !wants_dst && inst.dst.is_some() {
+            rep.add(
+                region,
+                InvariantKind::Malformed,
+                Some(i),
+                format!("{:?} must not have a dst", inst.op),
+            );
+        }
+    }
+}
+
+fn arity_ok(op: &IrOp, n: usize) -> bool {
+    match op {
+        IrOp::ConstI(_) | IrOp::ConstF(_) | IrOp::ExitAlways { .. } => n == 0,
+        IrOp::Copy
+        | IrOp::Load { .. }
+        | IrOp::LoadF
+        | IrOp::FUn(_)
+        | IrOp::CvtIF
+        | IrOp::CvtFI
+        | IrOp::FSin
+        | IrOp::FCos
+        | IrOp::Assert { .. }
+        | IrOp::ExitIf { .. } => n == 1,
+        // Unary host ALU ops take one source.
+        IrOp::Alu(_) => n == 1 || n == 2,
+        IrOp::Store { .. } | IrOp::StoreF | IrOp::FAlu(_) | IrOp::FCmp(_) => n == 2,
+    }
+}
+
+/// `ExitAlways` present, terminal, and unique in that role.
+fn check_terminator(region: &Region, rep: &mut VerifyReport) {
+    match region.insts.last().map(|i| &i.op) {
+        Some(IrOp::ExitAlways { .. }) => {}
+        _ => rep.add(
+            region,
+            InvariantKind::MissingTerminator,
+            None,
+            "region does not end with ExitAlways".into(),
+        ),
+    }
+    for (i, inst) in region.insts.iter().enumerate() {
+        if matches!(inst.op, IrOp::ExitAlways { .. }) && i + 1 != region.insts.len() {
+            rep.add(
+                region,
+                InvariantKind::MissingTerminator,
+                Some(i),
+                "ExitAlways is not the terminal instruction".into(),
+            );
+        }
+    }
+}
+
+/// Def-before-use and single-def (SSA) discipline.
+///
+/// This is the [`DefinedVregs`] forward problem, but computed with a
+/// single rolling set instead of [`solve`]: on straight-line code the
+/// fact before instruction `i` is exactly the set after `i - 1`, and the
+/// verifier runs on every translation, so the per-instruction set
+/// materialization the general framework pays for is avoided here.
+fn check_defs(region: &Region, rep: &mut VerifyReport) {
+    let mut defined = BitSet::new(region.vreg_count());
+    DefinedVregs.boundary(region, &mut defined);
+    let mut def_count = vec![0u32; region.vreg_count()];
+    for v in entry_vregs(region) {
+        def_count[v.0 as usize] += 1;
+    }
+    for (i, inst) in region.insts.iter().enumerate() {
+        for &s in &inst.srcs {
+            if !defined.contains(s.0 as usize) {
+                rep.add(
+                    region,
+                    InvariantKind::UseBeforeDef,
+                    Some(i),
+                    format!("{:?} reads {s} before its definition", inst.op),
+                );
+            }
+        }
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            let Some(e) = region.exits.get(exit) else { continue };
+            let flagged = |u: VReg| {
+                e.flags.iter().flatten().any(|&f| f == u)
+                    || e.deferred.is_some_and(|(_, a, b)| a == u || b == u)
+            };
+            for u in e.used_vregs_iter() {
+                if !defined.contains(u.0 as usize) {
+                    // Flag-recipe vregs get their own category: the
+                    // reconstruction recipe references a value that is
+                    // not available at the exit.
+                    let kind = if flagged(u) {
+                        InvariantKind::DeadFlagMaterialization
+                    } else {
+                        InvariantKind::UseBeforeDef
+                    };
+                    rep.add(
+                        region,
+                        kind,
+                        Some(i),
+                        format!("exit {exit} references {u}, which is not defined at the exit"),
+                    );
+                }
+            }
+        }
+        if let Some(d) = inst.dst {
+            defined.insert(d.0 as usize);
+            def_count[d.0 as usize] += 1;
+            if def_count[d.0 as usize] > 1 {
+                rep.add(
+                    region,
+                    InvariantKind::MultipleDef,
+                    Some(i),
+                    format!("{d} defined more than once (SSA violation)"),
+                );
+            }
+        }
+    }
+}
+
+/// `RegClass` agreement between defs and uses.
+fn check_classes(region: &Region, rep: &mut VerifyReport) {
+    use RegClass::{Fp, Int};
+    for (i, inst) in region.insts.iter().enumerate() {
+        let (want_dst, want_srcs): (Option<RegClass>, &[RegClass]) = match inst.op {
+            IrOp::ConstI(_) => (Some(Int), &[]),
+            IrOp::ConstF(_) => (Some(Fp), &[]),
+            // Copy is class-polymorphic: dst and src must agree.
+            IrOp::Copy => {
+                let (Some(d), Some(&s)) = (inst.dst, inst.srcs.first()) else { continue };
+                if region.class(d) != region.class(s) {
+                    rep.add(
+                        region,
+                        InvariantKind::ClassMismatch,
+                        Some(i),
+                        format!("Copy from {s} ({:?}) to {d} ({:?})", region.class(s), region.class(d)),
+                    );
+                }
+                continue;
+            }
+            IrOp::Alu(_) => (Some(Int), &[Int, Int]),
+            IrOp::Load { .. } => (Some(Int), &[Int]),
+            IrOp::Store { .. } => (None, &[Int, Int]),
+            IrOp::LoadF => (Some(Fp), &[Int]),
+            IrOp::StoreF => (None, &[Int, Fp]),
+            IrOp::FAlu(_) => (Some(Fp), &[Fp, Fp]),
+            IrOp::FUn(_) => (Some(Fp), &[Fp]),
+            IrOp::FCmp(_) => (Some(Int), &[Fp, Fp]),
+            IrOp::CvtIF => (Some(Fp), &[Int]),
+            IrOp::CvtFI => (Some(Int), &[Fp]),
+            IrOp::FSin | IrOp::FCos => (Some(Fp), &[Fp]),
+            IrOp::Assert { .. } | IrOp::ExitIf { .. } => (None, &[Int]),
+            IrOp::ExitAlways { .. } => (None, &[]),
+        };
+        if let (Some(d), Some(want)) = (inst.dst, want_dst) {
+            if region.class(d) != want {
+                rep.add(
+                    region,
+                    InvariantKind::ClassMismatch,
+                    Some(i),
+                    format!("{:?} defines {d} as {:?}, expected {want:?}", inst.op, region.class(d)),
+                );
+            }
+        }
+        for (&s, &want) in inst.srcs.iter().zip(want_srcs) {
+            if region.class(s) != want {
+                rep.add(
+                    region,
+                    InvariantKind::ClassMismatch,
+                    Some(i),
+                    format!("{:?} reads {s} as {want:?}, but it is {:?}", inst.op, region.class(s)),
+                );
+            }
+        }
+    }
+    // Exit recipes: guest GPRs/flags are Int, guest FPRs are Fp, deferred
+    // descriptor operands are Int, indirect targets are Int.
+    for (e, exit) in region.exits.iter().enumerate() {
+        let mut want = |v: Option<VReg>, w: RegClass, what: &str| {
+            if let Some(v) = v {
+                if region.class(v) != w {
+                    rep.add(
+                        region,
+                        InvariantKind::ClassMismatch,
+                        None,
+                        format!("exit {e} {what} is {v} ({:?}), expected {w:?}", region.class(v)),
+                    );
+                }
+            }
+        };
+        for &g in &exit.gprs {
+            want(g, Int, "gpr");
+        }
+        for &fp in &exit.fprs {
+            want(fp, Fp, "fpr");
+        }
+        for &fl in &exit.flags {
+            want(fl, Int, "flag");
+        }
+        want(exit.indirect_target, Int, "indirect target");
+        if let Some((_, a, b)) = exit.deferred {
+            want(Some(a), Int, "deferred operand");
+            want(Some(b), Int, "deferred operand");
+        }
+    }
+}
+
+/// Exit indices in bounds; indirect exits carry a target; partial flag
+/// materialization must come with a deferred descriptor (the codegen
+/// publishes either all five flags or a descriptor — a partial set with
+/// no descriptor would leave stale flags behind).
+fn check_exits(region: &Region, rep: &mut VerifyReport) {
+    for (i, inst) in region.insts.iter().enumerate() {
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            if exit >= region.exits.len() {
+                rep.add(
+                    region,
+                    InvariantKind::ExitOutOfBounds,
+                    Some(i),
+                    format!("exit index {exit} out of bounds ({} exits)", region.exits.len()),
+                );
+            }
+        }
+    }
+    for (e, exit) in region.exits.iter().enumerate() {
+        if matches!(exit.kind, crate::ir::ExitKind::Indirect) && exit.indirect_target.is_none() {
+            rep.add(
+                region,
+                InvariantKind::Malformed,
+                None,
+                format!("indirect exit {e} has no target vreg"),
+            );
+        }
+        let mask: u32 = exit
+            .flags
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(b, _)| 1 << b)
+            .sum();
+        if mask != 0 && mask != 0x1f && exit.deferred.is_none() {
+            rep.add(
+                region,
+                InvariantKind::DeadFlagMaterialization,
+                None,
+                format!("exit {e} materializes partial flags {mask:#04x} with no deferred descriptor"),
+            );
+        }
+    }
+}
+
+/// No store may be scheduled above a program-order-older assert: the
+/// assert's failure path rolls back to the last checkpoint, and a
+/// program-order-younger store already executed above it would need a
+/// rollback the SBM cannot provide for committed state. Program order is
+/// recovered from the memory `seq` numbers (asserts are stamped too).
+fn check_store_after_assert(region: &Region, rep: &mut VerifyReport) {
+    let stores: Vec<(usize, u16)> = region
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.op.is_store() && inst.seq > 0)
+        .map(|(i, inst)| (i, inst.seq))
+        .collect();
+    for (j, inst) in region.insts.iter().enumerate() {
+        if !matches!(inst.op, IrOp::Assert { .. }) || inst.seq == 0 {
+            continue;
+        }
+        for &(i, sseq) in &stores {
+            if i < j && sseq > inst.seq {
+                rep.add(
+                    region,
+                    InvariantKind::StoreAfterAssert,
+                    Some(i),
+                    format!(
+                        "store (seq {sseq}) scheduled above program-order-older assert at inst {j} (seq {})",
+                        inst.seq
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDG consistency
+// ---------------------------------------------------------------------------
+
+/// Checks that a built DDG carries every ordering the scheduler must
+/// preserve. The host's gated store buffer handles anti (load → younger
+/// store) and output (store → store) memory dependences in hardware —
+/// buffered stores drain in `seq` order and forward only to
+/// program-order-younger loads — so those edges are legitimately absent.
+/// What must be present (directly or transitively):
+///
+/// * def → use, including exit state recipes;
+/// * store → program-order-later aliasing load, unless the load is
+///   speculative (the alias table catches mis-speculation);
+/// * exits stay in order; stores stay on their side of every exit;
+/// * asserts stay before later exits *and* later stores.
+///
+/// Must be called before scheduling (instruction indices are program
+/// order).
+pub fn verify_ddg(region: &Region, graph: &Ddg) -> VerifyReport {
+    let n = region.insts.len();
+    let mut rep = VerifyReport::new(region.guest_entry_pc);
+    if graph.preds.len() != n || graph.succs.len() != n {
+        rep.add(
+            region,
+            InvariantKind::DdgInconsistent,
+            None,
+            format!("graph has {} nodes, region has {n}", graph.preds.len()),
+        );
+        return rep;
+    }
+    // Edges must point forward in program order (SSA + program-order
+    // construction guarantees it; a backward edge means a cyclic graph).
+    for (i, ps) in graph.preds.iter().enumerate() {
+        for &(p, _) in ps {
+            if p >= i {
+                rep.add(
+                    region,
+                    InvariantKind::DdgInconsistent,
+                    Some(i),
+                    format!("backward/self edge {p} -> {i}"),
+                );
+            }
+        }
+    }
+    if !rep.is_ok() {
+        return rep;
+    }
+    // Every ordering contract the builder honours is emitted as a
+    // *direct* edge, so the fast path is a membership test on the
+    // target's predecessor list. Pairs without a direct edge are
+    // deferred; transitive reachability (a flat bit-matrix) is computed
+    // only if any pair needs it — on well-formed graphs, never.
+    let direct = |from: usize, to: usize| graph.preds[to].iter().any(|&(p, _)| p == from);
+    let require =
+        |need: &mut Vec<(usize, usize, &'static str)>, from: usize, to: usize, what: &'static str| {
+            if !direct(from, to) {
+                need.push((from, to, what));
+            }
+        };
+    let mut need: Vec<(usize, usize, &'static str)> = Vec::new();
+
+    // Def → use.
+    let defs = ddg::def_map(region);
+    for (i, inst) in region.insts.iter().enumerate() {
+        let check_use = |need: &mut Vec<(usize, usize, &'static str)>, u: VReg| {
+            match defs.get(u) {
+                Some(d) if d != i => require(need, d, i, "def-use"),
+                _ => {}
+            }
+        };
+        for &u in &inst.srcs {
+            check_use(&mut need, u);
+        }
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            if let Some(e) = region.exits.get(exit) {
+                for u in e.used_vregs_iter() {
+                    check_use(&mut need, u);
+                }
+            }
+        }
+    }
+
+    // Store → later aliasing load (unless speculative).
+    let mem: Vec<Option<(ddg::AddrExpr, u8, bool)>> = region
+        .insts
+        .iter()
+        .map(|inst| {
+            inst.op
+                .mem_bytes()
+                .map(|b| (ddg::addr_expr(region, &defs, inst.srcs[0]), b, inst.op.is_store()))
+        })
+        .collect();
+    for i in 0..n {
+        let Some((le, lb, false)) = mem[i] else { continue };
+        if region.insts[i].spec {
+            continue;
+        }
+        for (j, mj) in mem.iter().enumerate().take(i) {
+            let Some((se, sb, true)) = *mj else { continue };
+            if ddg::alias(se, sb, le, lb) != Alias::No {
+                require(&mut need, j, i, "store before aliasing load");
+            }
+        }
+    }
+
+    // Control orderings.
+    let exits: Vec<usize> = region
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.op.is_exit())
+        .map(|(i, _)| i)
+        .collect();
+    for w in exits.windows(2) {
+        require(&mut need, w[0], w[1], "exit order");
+    }
+    let asserts: Vec<usize> = region
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| matches!(inst.op, IrOp::Assert { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    for (i, inst) in region.insts.iter().enumerate() {
+        if !inst.op.is_store() {
+            continue;
+        }
+        if let Some(&e) = exits.iter().rev().find(|&&e| e < i) {
+            require(&mut need, e, i, "store stays below earlier exit");
+        }
+        if let Some(&e) = exits.iter().find(|&&e| e > i) {
+            require(&mut need, i, e, "store stays above later exit");
+        }
+        for &a in asserts.iter().filter(|&&a| a < i) {
+            require(&mut need, a, i, "store stays below earlier assert");
+        }
+    }
+    for &a in &asserts {
+        if let Some(&e) = exits.iter().find(|&&e| e > a) {
+            require(&mut need, a, e, "assert stays above later exit");
+        }
+    }
+
+    if !need.is_empty() {
+        // Transitive reachability, walking successors from the back. One
+        // flat bit-matrix (row i = nodes reachable from i) so the whole
+        // computation is a single allocation; edges only point forward,
+        // so row `s` is final by the time row `i < s` unions it in.
+        let stride = n.div_ceil(64);
+        let mut reach = vec![0u64; n * stride];
+        for i in (0..n).rev() {
+            for &s in &graph.succs[i] {
+                let (head, tail) = reach.split_at_mut(s * stride);
+                let row_i = &mut head[i * stride..i * stride + stride];
+                row_i[s / 64] |= 1u64 << (s % 64);
+                for (w, &src) in row_i.iter_mut().zip(&tail[..stride]) {
+                    *w |= src;
+                }
+            }
+        }
+        for (from, to, what) in need {
+            if reach[from * stride + to / 64] & (1u64 << (to % 64)) == 0 {
+                rep.add(
+                    region,
+                    InvariantKind::DdgInconsistent,
+                    Some(to),
+                    format!("missing ordering {from} -> {to} ({what})"),
+                );
+            }
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ExitDesc, ExitKind, FlagsKind, Inst, Region};
+    use darco_guest::Width;
+    use darco_host::HAluOp;
+
+    fn valid_region() -> Region {
+        let mut r = Region::new(0x1000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let c = r.emit(IrOp::ConstI(5), vec![], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Add), vec![a, c], RegClass::Int);
+        let mut exit = ExitDesc::new(ExitKind::Jump { target: 0x1010 });
+        exit.gprs[0] = Some(s);
+        r.exits.push(exit);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        r
+    }
+
+    fn kinds(rep: &VerifyReport) -> Vec<InvariantKind> {
+        rep.findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn accepts_valid_region() {
+        let rep = verify_region(&valid_region());
+        assert!(rep.is_ok(), "unexpected findings:\n{rep}");
+    }
+
+    #[test]
+    fn accepts_full_featured_region() {
+        // Entry state, FP work, memory, an assert, a side exit with a
+        // deferred flag descriptor, and a terminal indirect exit.
+        let mut r = Region::new(0x2000);
+        let base = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        let f = r.new_vreg(RegClass::Fp);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(cond);
+        r.entry.fprs[0] = Some(f);
+        let v = r.emit(IrOp::ConstI(7), vec![], RegClass::Int);
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![base, v]);
+        st.seq = 1;
+        r.push(st);
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![cond]);
+        asrt.seq = 2;
+        r.push(asrt);
+        let d = r.emit(IrOp::FAlu(darco_host::FAluOp::Add), vec![f, f], RegClass::Fp);
+        let ld = r.emit(IrOp::Load { width: Width::D, sign: false }, vec![base], RegClass::Int);
+        let mut side = ExitDesc::new(ExitKind::Jump { target: 0x2040 });
+        side.gprs[2] = Some(ld);
+        side.flags[1] = Some(cond); // partial flags, but with a descriptor:
+        side.deferred = Some((FlagsKind::Sub, v, cond));
+        r.exits.push(side);
+        r.push(Inst::new(IrOp::ExitIf { exit: 0 }, None, vec![cond]));
+        let mut last = ExitDesc::new(ExitKind::Indirect);
+        last.indirect_target = Some(v);
+        last.fprs[0] = Some(d);
+        r.exits.push(last);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 1 }, None, vec![]));
+        let rep = verify_region(&r);
+        assert!(rep.is_ok(), "unexpected findings:\n{rep}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut r = valid_region();
+        let ghost = r.new_vreg(RegClass::Int);
+        let dst = r.new_vreg(RegClass::Int);
+        r.insts.insert(0, Inst::new(IrOp::Alu(HAluOp::Add), Some(dst), vec![ghost, ghost]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::UseBeforeDef), "{rep}");
+    }
+
+    #[test]
+    fn rejects_multiple_def() {
+        let mut r = valid_region();
+        let v = r.new_vreg(RegClass::Int);
+        r.insts.insert(0, Inst::new(IrOp::ConstI(1), Some(v), vec![]));
+        r.insts.insert(1, Inst::new(IrOp::ConstI(2), Some(v), vec![]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::MultipleDef), "{rep}");
+    }
+
+    #[test]
+    fn rejects_class_mismatch() {
+        let mut r = valid_region();
+        let f = r.new_vreg(RegClass::Fp);
+        r.entry.fprs[0] = Some(f);
+        let dst = r.new_vreg(RegClass::Int);
+        // Integer ALU over an FP vreg.
+        r.insts.insert(0, Inst::new(IrOp::Alu(HAluOp::Add), Some(dst), vec![f, f]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::ClassMismatch), "{rep}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut r = valid_region();
+        r.insts.pop();
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::MissingTerminator), "{rep}");
+    }
+
+    #[test]
+    fn rejects_non_terminal_exit_always() {
+        let mut r = valid_region();
+        let n = r.insts.len();
+        let term = r.insts[n - 1].clone();
+        r.insts.insert(0, term);
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::MissingTerminator), "{rep}");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_exit() {
+        let mut r = valid_region();
+        let cond = r.entry.gprs[0].unwrap();
+        let n = r.insts.len();
+        r.insts.insert(n - 1, Inst::new(IrOp::ExitIf { exit: 5 }, None, vec![cond]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::ExitOutOfBounds), "{rep}");
+    }
+
+    #[test]
+    fn rejects_store_scheduled_above_assert() {
+        let mut r = Region::new(0x3000);
+        let base = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(cond);
+        let v = r.emit(IrOp::ConstI(1), vec![], RegClass::Int);
+        // A bad schedule: the store (program-order seq 2) sits above the
+        // assert (seq 1).
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![base, v]);
+        st.seq = 2;
+        r.push(st);
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![cond]);
+        asrt.seq = 1;
+        r.push(asrt);
+        r.exits.push(ExitDesc::new(ExitKind::Halt));
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::StoreAfterAssert), "{rep}");
+        // Program order (assert first) is fine.
+        r.insts.swap(1, 2);
+        assert!(verify_region(&r).is_ok());
+    }
+
+    #[test]
+    fn rejects_dead_flag_materialization() {
+        // Partial flag set with no deferred descriptor.
+        let mut r = valid_region();
+        let zf = r.entry.gprs[0].unwrap();
+        r.exits[0].flags[1] = Some(zf);
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::DeadFlagMaterialization), "{rep}");
+    }
+
+    #[test]
+    fn rejects_flag_recipe_referencing_undefined_vreg() {
+        // Deferred descriptor whose operand is defined only *after* the
+        // exit that publishes it.
+        let mut r = valid_region();
+        let late = r.new_vreg(RegClass::Int);
+        let cond = r.entry.gprs[0].unwrap();
+        let mut side = ExitDesc::new(ExitKind::Jump { target: 0x1020 });
+        side.deferred = Some((FlagsKind::Add, late, cond));
+        r.exits.push(side);
+        let n = r.insts.len();
+        r.insts.insert(n - 1, Inst::new(IrOp::ExitIf { exit: 1 }, None, vec![cond]));
+        let n = r.insts.len();
+        r.insts.insert(n - 1, Inst::new(IrOp::ConstI(9), Some(late), vec![]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::DeadFlagMaterialization), "{rep}");
+    }
+
+    #[test]
+    fn rejects_malformed_arity() {
+        let mut r = valid_region();
+        let a = r.entry.gprs[0].unwrap();
+        let dst = r.new_vreg(RegClass::Int);
+        r.insts.insert(0, Inst::new(IrOp::Load { width: Width::D, sign: false }, Some(dst), vec![a, a]));
+        let rep = verify_region(&r);
+        assert!(kinds(&rep).contains(&InvariantKind::Malformed), "{rep}");
+    }
+
+    #[test]
+    fn dataflow_defined_and_live_sets() {
+        let r = valid_region();
+        // v0 = entry, v1 = const, v2 = add(v0, v1), exit uses v2.
+        let defined = solve(&r, &DefinedVregs);
+        assert!(defined.before[0].contains(0));
+        assert!(!defined.before[0].contains(1));
+        assert!(defined.before[1].contains(1));
+        assert!(defined.after[1].contains(2));
+        let live = solve(&r, &LiveVregs);
+        // Before the add, its operands are live; after it, only v2 is.
+        assert!(live.before[1].contains(0) && live.before[1].contains(1));
+        assert!(live.after[1].contains(2) && !live.after[1].contains(0));
+        // The terminal exit keeps v2 live.
+        assert!(live.before[2].contains(2));
+        assert!(defined.iterations <= 2 && live.iterations <= 2);
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut a = BitSet::new(130);
+        assert!(a.is_empty());
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        a.insert(500); // out of domain: ignored
+        assert!(a.contains(0) && a.contains(64) && a.contains(129));
+        assert!(!a.contains(500));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut b = BitSet::new(130);
+        b.insert(7);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union is a no-op");
+        b.remove(7);
+        assert!(!b.contains(7));
+        assert_eq!(b.len(), 130);
+    }
+
+    fn spec_region() -> Region {
+        // store [base], v ; assert cond ; load [other] ; exit
+        let mut r = Region::new(0x4000);
+        let base = r.new_vreg(RegClass::Int);
+        let other = r.new_vreg(RegClass::Int);
+        let cond = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(base);
+        r.entry.gprs[1] = Some(other);
+        r.entry.gprs[2] = Some(cond);
+        let v = r.emit(IrOp::ConstI(3), vec![], RegClass::Int);
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![base, v]);
+        st.seq = 1;
+        r.push(st);
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![cond]);
+        asrt.seq = 2;
+        r.push(asrt);
+        let mut ld = Inst::new(
+            IrOp::Load { width: Width::D, sign: false },
+            Some(r.new_vreg(RegClass::Int)),
+            vec![other],
+        );
+        ld.seq = 3;
+        r.push(ld);
+        r.exits.push(ExitDesc::new(ExitKind::Halt));
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        r
+    }
+
+    #[test]
+    fn ddg_consistency_accepts_built_graph() {
+        for allow_spec in [false, true] {
+            let mut r = spec_region();
+            let g = ddg::build(&mut r, allow_spec);
+            let rep = verify_ddg(&r, &g);
+            assert!(rep.is_ok(), "allow_spec={allow_spec}:\n{rep}");
+        }
+    }
+
+    #[test]
+    fn ddg_consistency_catches_dropped_edges() {
+        let mut r = spec_region();
+        let mut g = ddg::build(&mut r, false);
+        // Drop every ordering into the load (index 3): the may-alias
+        // store edge is now missing and the load is not spec-marked.
+        g.preds[3].clear();
+        for succs in &mut g.succs {
+            succs.retain(|&s| s != 3);
+        }
+        let rep = verify_ddg(&r, &g);
+        assert!(kinds(&rep).contains(&InvariantKind::DdgInconsistent), "{rep}");
+    }
+
+    #[test]
+    fn ddg_consistency_catches_node_count_mismatch() {
+        let mut r = spec_region();
+        let mut g = ddg::build(&mut r, false);
+        g.preds.pop();
+        g.succs.pop();
+        let rep = verify_ddg(&r, &g);
+        assert!(kinds(&rep).contains(&InvariantKind::DdgInconsistent));
+    }
+
+    #[test]
+    fn report_formatting_carries_provenance() {
+        let mut r = valid_region();
+        r.insts[1].guest_pc = 0x1004;
+        r.insts.pop();
+        let rep = verify_region(&r);
+        let text = format!("{rep}");
+        assert!(text.contains("missing-terminator"), "{text}");
+        assert!(text.contains("@0x00001000"), "{text}");
+        assert_eq!(rep.by_kind()[InvariantKind::MissingTerminator.index()], 1);
+    }
+}

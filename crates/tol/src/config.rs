@@ -17,6 +17,20 @@ pub enum BugKind {
     CodegenDropStore,
 }
 
+/// How the static IR verifier ([`darco_ir::verify`]) is applied to every
+/// translation before it enters the code cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Skip verification entirely.
+    Off,
+    /// Verify, record findings in [`crate::Tol::verify_log`] and the
+    /// statistics, but install the translation anyway (lint mode).
+    Report,
+    /// Verify and panic on the first finding — a broken translation must
+    /// never reach the code cache.
+    Fatal,
+}
+
 /// Where and what to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Injection {
@@ -68,6 +82,8 @@ pub struct TolConfig {
     pub sched: SchedConfig,
     /// Optional planted bug for debug-toolchain tests.
     pub injection: Option<Injection>,
+    /// Static-verification mode for IR, DDG and generated host code.
+    pub verify: VerifyMode,
 }
 
 impl Default for TolConfig {
@@ -90,6 +106,7 @@ impl Default for TolConfig {
             code_cache_words: 4 << 20,
             sched: SchedConfig::default(),
             injection: None,
+            verify: VerifyMode::Fatal,
         }
     }
 }
@@ -105,6 +122,7 @@ mod tests {
         assert!(c.edge_bias > 0.5 && c.edge_bias < 1.0);
         assert!(c.unroll_factor >= 2);
         assert!(c.injection.is_none());
+        assert_eq!(c.verify, VerifyMode::Fatal);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod tol;
 pub mod translate;
 
 pub use cache::{CodeCache, TransKind, Translation};
-pub use config::{BugKind, Injection, TolConfig};
+pub use config::{BugKind, Injection, TolConfig, VerifyMode};
 pub use flags::PendingFlags;
 pub use overhead::{CostModel, Overhead, OverheadKind};
 pub use tol::{Tol, TolEvent, TolStats};

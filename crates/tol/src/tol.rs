@@ -2,7 +2,7 @@
 //! recovery and overhead accounting (paper Fig. 3's execution flow).
 
 use crate::cache::{CodeCache, TransKind, Translation};
-use crate::config::{BugKind, TolConfig};
+use crate::config::{BugKind, TolConfig, VerifyMode};
 use crate::flags::{self, PendingFlags};
 use crate::interp::{self, BlockStop};
 use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
@@ -16,8 +16,9 @@ use darco_host::{ExitCause, HInsn, HostEmulator};
 use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
 use darco_ir::passes::{run_pipeline, OptLevel};
 use darco_ir::sched::list_schedule;
-use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region};
+use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region, VerifyReport, KIND_COUNT};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Events that hand control to the controller (DARCO's synchronization
 /// triggers, §V-A).
@@ -69,6 +70,17 @@ pub struct TolStats {
     pub sb_static_guest: u64,
     /// Host instructions statically inside SBM translations.
     pub sb_static_host: u64,
+    /// Verifier invocations (IR, DDG and host-code checks all count).
+    pub verify_regions: u64,
+    /// Total verifier findings across all invocations.
+    pub verify_findings: u64,
+    /// Findings per [`darco_ir::InvariantKind`] (indexed by `kind.index()`).
+    pub verify_by_kind: [u64; KIND_COUNT],
+    /// Wall-clock nanoseconds spent inside the verifier.
+    pub verify_nanos: u64,
+    /// Wall-clock nanoseconds spent translating (BBM + SBM, including
+    /// optimization, verification and code generation).
+    pub translate_nanos: u64,
 }
 
 enum CacheOutcome {
@@ -102,6 +114,9 @@ pub struct Tol {
     pub stats: TolStats,
     /// Deferred guest-flag descriptor pending materialization.
     pub pending_flags: Option<PendingFlags>,
+    /// Verifier findings collected in [`VerifyMode::Report`] mode, with
+    /// the pipeline stage and guest provenance of each.
+    pub verify_log: Vec<String>,
     counter_bb: HashMap<u32, u32>, // exec counter idx per BB pc
     bb_edges: HashMap<u32, EdgeCounters>,
     im_prof: HashMap<u32, ImProf>,
@@ -137,6 +152,7 @@ impl Tol {
             costs,
             stats: TolStats::default(),
             pending_flags: None,
+            verify_log: Vec::new(),
             counter_bb: HashMap::new(),
             bb_edges: HashMap::new(),
             im_prof: HashMap::new(),
@@ -509,11 +525,81 @@ impl Tol {
         }
     }
 
+    // -- static verification -------------------------------------------------------
+
+    /// Verifies the IR invariants of `region` after an optimization
+    /// pipeline ran (see [`darco_ir::verify_region`]).
+    fn verify_ir(&mut self, region: &Region, stage: &'static str) {
+        if self.cfg.verify == VerifyMode::Off {
+            return;
+        }
+        let t0 = Instant::now();
+        let report = darco_ir::verify_region(region);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.note_report(stage, report, nanos);
+    }
+
+    /// Cross-checks a built data-dependence graph against the region's
+    /// hardware ordering contract (see [`darco_ir::verify_ddg`]).
+    fn verify_ddg_stage(&mut self, region: &Region, graph: &ddg::Ddg, stage: &'static str) {
+        if self.cfg.verify == VerifyMode::Off {
+            return;
+        }
+        let t0 = Instant::now();
+        let report = darco_ir::verify_ddg(region, graph);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.note_report(stage, report, nanos);
+    }
+
+    /// Checks the generated host code against the region (register
+    /// discipline, branch targets, memory-op parity; see
+    /// [`darco_ir::check_host_code`]).
+    fn verify_host(&mut self, region: &Region, out: &codegen::CodegenOut, stage: &'static str) {
+        if self.cfg.verify == VerifyMode::Off {
+            return;
+        }
+        let t0 = Instant::now();
+        let report = darco_ir::check_host_code(region, out);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.note_report(stage, report, nanos);
+    }
+
+    fn note_report(&mut self, stage: &'static str, report: VerifyReport, nanos: u64) {
+        self.stats.verify_regions += 1;
+        self.stats.verify_nanos += nanos;
+        if report.is_ok() {
+            return;
+        }
+        self.stats.verify_findings += report.findings.len() as u64;
+        for (i, n) in report.by_kind().into_iter().enumerate() {
+            self.stats.verify_by_kind[i] += n;
+        }
+        match self.cfg.verify {
+            VerifyMode::Fatal => {
+                panic!("TOL static verification failed at stage `{stage}`: {report}")
+            }
+            VerifyMode::Report => self.verify_log.push(format!("[{stage}] {report}")),
+            VerifyMode::Off => unreachable!("verify hooks are gated on VerifyMode::Off"),
+        }
+    }
+
     // -- translation -------------------------------------------------------------
 
     /// Translates the basic block at `pc` (BBM). Returns false if the
     /// block is untranslatable or undecodable.
     fn translate_bb<S: InsnSink>(&mut self, st: &mut GuestState, pc: u32, sink: &mut S) -> bool {
+        let t0 = Instant::now();
+        let ok = self.translate_bb_inner(st, pc, sink);
+        self.stats.translate_nanos += t0.elapsed().as_nanos() as u64;
+        ok
+    }
+
+    fn translate_bb_inner<S: InsnSink>(
+        &mut self,
+        st: &mut GuestState,
+        pc: u32,
+        sink: &mut S,
+    ) -> bool {
         let plan = match translate::decode_block(&st.mem, pc) {
             Ok(p) => p,
             Err(_) => return false, // page not resident yet: interpret on
@@ -548,6 +634,7 @@ impl Tol {
         run_pipeline(&mut region, bbm_level);
         self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
         region.validate();
+        self.verify_ir(&region, "bbm-pipeline");
         self.install(region, TransKind::Bb, Some(exec_idx), None, src_insns, sink);
         self.counter_bb.insert(pc, exec_idx);
         self.stats.translations_bb += 1;
@@ -579,6 +666,18 @@ impl Tol {
         asserts: bool,
         sink: &mut S,
     ) {
+        let t0 = Instant::now();
+        self.build_and_install_sb_inner(st, shape, asserts, sink);
+        self.stats.translate_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    fn build_and_install_sb_inner<S: InsnSink>(
+        &mut self,
+        st: &mut GuestState,
+        shape: &SbShape,
+        asserts: bool,
+        sink: &mut S,
+    ) {
         let Some(mut region) = sbm::build_sb_region(&st.mem, shape, asserts, &self.cfg) else {
             return;
         };
@@ -597,9 +696,11 @@ impl Tol {
             run_pipeline(&mut region, OptLevel::O2);
             let allow_spec = asserts && self.cfg.speculation;
             let graph = ddg::build(&mut region, allow_spec);
+            self.verify_ddg_stage(&region, &graph, "sbm-ddg");
             list_schedule(&mut region, &graph, &self.cfg.sched);
         }
         region.validate();
+        self.verify_ir(&region, "sbm-pipeline");
         let id = self.install(
             region,
             TransKind::Sb { asserts },
@@ -642,8 +743,6 @@ impl Tol {
             sb_mode,
         };
         let mut out = codegen::generate(&region, &ctx);
-        self.inject_bug_code(&mut out.code);
-        self.translation_ordinal += 1;
         if self.cache.would_overflow(out.encoded_words) {
             // Full cache: flush everything (translations, chains, IBTC)
             // and retry; profiling state survives.
@@ -653,6 +752,12 @@ impl Tol {
             let ctx = CodegenCtx { base: self.cache.next_base(), ..ctx };
             out = codegen::generate(&region, &ctx);
         }
+        // Check the generated code before any fault injection touches it
+        // (a planted codegen bug must reach the cache so the debug
+        // toolchain can hunt it down).
+        self.verify_host(&region, &out, "codegen");
+        self.inject_bug_code(&mut out.code);
+        self.translation_ordinal += 1;
         if sb_mode {
             self.stats.sb_static_guest += src_insns as u64;
             self.stats.sb_static_host += out.code.iter().map(HInsn::dyn_cost).sum::<u64>();

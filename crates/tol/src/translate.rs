@@ -753,6 +753,11 @@ impl RegionBuilder {
     pub fn assert(&mut self, cond: VReg, expect_nz: bool) {
         let mut inst = Inst::new(IrOp::Assert { expect_nz }, None, vec![cond]);
         inst.guest_pc = self.cur_pc;
+        // Asserts take a program-order sequence number like memory ops do:
+        // the DDG keeps stores below earlier asserts (a store must not
+        // retire on a failing speculative path) and the verifier checks
+        // the ordering by comparing `seq` against instruction indices.
+        inst.seq = self.next_seq();
         self.region.push(inst);
     }
 

@@ -3,7 +3,8 @@
 #
 #   build  — release build of every crate (including the bench binaries)
 #   test   — full workspace test suite
-#   lint   — clippy with -D warnings on the crates the hot path touches
+#   lint   — clippy with -D warnings on the whole workspace
+#   verify — darco-lint static verification over every workload
 #   speed  — one tiny benchmark run as a smoke test of the speed harness
 #
 # Everything runs offline; no network access is required.
@@ -11,22 +12,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Crates on (or feeding) the hot path: warnings there are errors.
-LINT_CRATES=(darco-guest darco-host darco-tol darco-xcomp darco darco-timing
-    darco-workloads darco-bench darco-repro)
-
 echo "==> build (release, whole workspace)"
 cargo build --release --workspace -q
 
 echo "==> test (whole workspace)"
 cargo test --workspace -q
 
-echo "==> lint (clippy -D warnings on hot-path crates)"
-lint_args=()
-for c in "${LINT_CRATES[@]}"; do
-    lint_args+=(-p "$c")
-done
-cargo clippy "${lint_args[@]}" --all-targets -q -- -D warnings
+echo "==> lint (clippy -D warnings, whole workspace)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+# Every translation the suite produces must pass the static verifier
+# (exit 1 on any finding or machine error).
+echo "==> verify (darco-lint over all workloads)"
+./target/release/darco-lint all --scale 1/512
 
 # The harness writes BENCH_hotpath.json into the cwd; run from a scratch
 # directory so a tiny smoke run never clobbers the committed measurement.
