@@ -1,0 +1,135 @@
+//! **BENCH_obs** — pins the cost of the observability layer.
+//!
+//! Two guardrails, enforced in CI by `darco-trace-check --obs-gate`:
+//!
+//! - `overhead_traced`: wall-clock cost of running with the trace ring
+//!   enabled versus the disabled (`Tracer::Off`) path — budget 5%.
+//! - `overhead_null_vs_baseline`: the disabled-tracer configuration
+//!   versus the guest-MIPS rate recorded in `BENCH_hotpath.json` for the
+//!   same mode and scale — budget 1%, i.e. threading the trace layer
+//!   through the hot paths must stay in the noise when it is off.
+//!   Omitted (null) when no baseline at the current scale is available.
+//!
+//! The workload subset and full-promotion configuration match the
+//! hot-path harness (`speed.rs`) so the baseline comparison is
+//! like-for-like. Each mode runs several repetitions interleaved and the
+//! best wall time is kept, which filters scheduler noise out of what is a
+//! sub-second measurement.
+
+use darco::json::JsonWriter;
+use darco_bench::{default_config, run_one, Scale};
+use darco_obs::json::{parse, JsonValue};
+use darco_workloads::benchmarks;
+use std::time::Instant;
+
+/// Same representative subset (one benchmark per suite) as `speed.rs`.
+const SET: [usize; 3] = [0, 13, 24];
+/// Repetitions per mode; the minimum wall time wins.
+const REPS: usize = 3;
+/// Ring capacity for the traced mode (the `darco-run --trace` default).
+const TRACE_CAP: usize = 1 << 16;
+
+struct ModeResult {
+    guest_insns: u64,
+    wall_s: f64,
+    mips: f64,
+    trace_events: u64,
+}
+
+/// Runs the subset once; returns `(guest_insns, wall_s, trace_events)`.
+fn run_set(scale: Scale, traced: bool) -> (u64, f64, u64) {
+    let mut insns = 0u64;
+    let mut wall = 0.0f64;
+    let mut events = 0u64;
+    for &idx in &SET {
+        let b = &benchmarks()[idx];
+        let mut cfg = default_config();
+        if traced {
+            cfg.trace_capacity = Some(TRACE_CAP);
+        }
+        let t0 = Instant::now();
+        let r = run_one(b, scale, cfg);
+        wall += t0.elapsed().as_secs_f64();
+        insns += r.guest_insns;
+        events += r.trace.len() as u64;
+    }
+    (insns, wall, events)
+}
+
+/// Best-of-`REPS` for one mode, interleaving handled by the caller.
+fn best(results: &[(u64, f64, u64)]) -> ModeResult {
+    let &(insns, _, events) = &results[0];
+    let wall = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    ModeResult { guest_insns: insns, wall_s: wall, mips: insns as f64 / wall / 1e6, trace_events: events }
+}
+
+/// Reads `modes.sb.mips` out of `BENCH_hotpath.json` when it was recorded
+/// at the same scale (the full-promotion mode is what `default_config`
+/// runs here).
+fn hotpath_baseline(scale: Scale) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_hotpath.json").ok()?;
+    let doc = parse(&text).ok()?;
+    let want = format!("{}/{}", scale.0, scale.1);
+    if doc.get("scale").and_then(JsonValue::as_str) != Some(want.as_str()) {
+        return None;
+    }
+    doc.get("modes").and_then(|m| m.get("sb")).and_then(|s| s.get("mips")).and_then(JsonValue::as_num)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut off_runs = Vec::new();
+    let mut ring_runs = Vec::new();
+    for _ in 0..REPS {
+        off_runs.push(run_set(scale, false));
+        ring_runs.push(run_set(scale, true));
+    }
+    let off = best(&off_runs);
+    let ring = best(&ring_runs);
+    let overhead_traced = ring.wall_s / off.wall_s - 1.0;
+    let baseline = hotpath_baseline(scale);
+    let overhead_null = baseline.map(|b| b / off.mips - 1.0);
+
+    println!("== Observability overhead ({} workloads, best of {REPS}) ==", SET.len());
+    println!("{:<10} {:>14} {:>10} {:>10} {:>14}", "mode", "guest insns", "wall s", "MIPS", "trace events");
+    println!("{:<10} {:>14} {:>10.3} {:>10.2} {:>14}", "off", off.guest_insns, off.wall_s, off.mips, "-");
+    println!("{:<10} {:>14} {:>10.3} {:>10.2} {:>14}", "ring", ring.guest_insns, ring.wall_s, ring.mips, ring.trace_events);
+    println!("tracing-enabled overhead: {:+.2}% (budget 5%)", overhead_traced * 100.0);
+    match (baseline, overhead_null) {
+        (Some(b), Some(n)) => {
+            println!("disabled-tracer vs hot-path baseline {b:.2} MIPS: {:+.2}% (budget 1%)", n * 100.0);
+        }
+        _ => println!("disabled-tracer vs hot-path baseline: no baseline at this scale"),
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.field_str("bench", "obs");
+    w.field_str("scale", &format!("{}/{}", scale.0, scale.1));
+    w.field_num("reps", REPS as u64);
+    w.begin_obj(Some("modes"));
+    w.begin_obj(Some("off"))
+        .field_num("guest_insns", off.guest_insns)
+        .field_f64("wall_s", off.wall_s)
+        .field_f64("mips", off.mips)
+        .end_obj();
+    w.begin_obj(Some("ring"))
+        .field_num("guest_insns", ring.guest_insns)
+        .field_f64("wall_s", ring.wall_s)
+        .field_f64("mips", ring.mips)
+        .field_num("trace_events", ring.trace_events)
+        .end_obj();
+    w.end_obj();
+    w.field_f64("overhead_traced", overhead_traced);
+    match baseline {
+        Some(b) => w.field_f64("baseline_sb_mips", b),
+        None => w.field_null("baseline_sb_mips"),
+    };
+    match overhead_null {
+        Some(n) => w.field_f64("overhead_null_vs_baseline", n),
+        None => w.field_null("overhead_null_vs_baseline"),
+    };
+    w.end_obj();
+    std::fs::write("BENCH_obs.json", w.finish()).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+}

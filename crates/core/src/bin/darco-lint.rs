@@ -9,12 +9,20 @@
 //! ```text
 //! darco-lint all --scale 1/512
 //! darco-lint 403.gcc kernel:crc32 --opt O2
+//! darco-lint all --scale 1/512 --trace=lint-trace.json
 //! ```
+//!
+//! With `--trace`, every workload's run is recorded through the trace
+//! layer and one Chrome trace-event JSON array is written with a process
+//! per workload — the machine-readable companion to the text findings
+//! (each verifier finding is a `verifier_finding` event with stage, kind
+//! and guest PC).
 //!
 //! Exits 1 if any workload produced findings, 0 on a clean suite.
 
 use darco::machine::Machine;
 use darco_host::sink::NullSink;
+use darco_obs::{chrome, TraceEvent, Tracer};
 use darco_tol::{TolConfig, VerifyMode};
 use darco_workloads::{benchmarks, kernels};
 use std::process::ExitCode;
@@ -32,10 +40,16 @@ fn usage() -> ! {
            --opt LEVEL      O0|O1|O2|O3 (default O3)\n\
            --scale N/D      scale benchmark iteration counts (default 1/1)\n\
            --max-insns N    per-workload retired-instruction cap (default 20000000)\n\
-           --no-spec        disable speculation (multi-exit superblocks)"
+           --no-spec        disable speculation (multi-exit superblocks)\n\
+           --trace[=]FILE   write all workloads' trace events (including\n\
+         \u{20}                verifier findings) as Chrome trace-event JSON"
     );
     std::process::exit(2);
 }
+
+/// Ring capacity per linted workload (large enough that findings are
+/// never overwritten at lint scales).
+const LINT_TRACE_CAP: usize = 1 << 16;
 
 struct LintOutcome {
     regions: u64,
@@ -44,8 +58,17 @@ struct LintOutcome {
     failed: bool,
 }
 
-fn lint_one(name: &str, program: darco_guest::GuestProgram, cfg: &TolConfig, cap: u64) -> LintOutcome {
+fn lint_one(
+    name: &str,
+    program: darco_guest::GuestProgram,
+    cfg: &TolConfig,
+    cap: u64,
+    trace: bool,
+) -> (LintOutcome, Vec<TraceEvent>) {
     let mut m = Machine::new(cfg.clone(), &program);
+    if trace {
+        m.tol.obs.trace = Tracer::ring(LINT_TRACE_CAP);
+    }
     let run = m.run_to(cap, true, &mut NullSink);
     let stats = m.tol.stats;
     let findings = stats.verify_findings;
@@ -63,12 +86,13 @@ fn lint_one(name: &str, program: darco_guest::GuestProgram, cfg: &TolConfig, cap
         println!("  [machine] {e}");
         failed = true;
     }
-    LintOutcome {
+    let outcome = LintOutcome {
         regions: stats.verify_regions,
         findings,
         verify_us: stats.verify_nanos as f64 / 1e3,
         failed,
-    }
+    };
+    (outcome, m.tol.obs.trace.drain())
 }
 
 fn main() -> ExitCode {
@@ -90,6 +114,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut scale = (1u32, 1u32);
     let mut cap: u64 = 20_000_000;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -117,6 +142,13 @@ fn main() -> ExitCode {
                 };
             }
             "--no-spec" => cfg.speculation = false,
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            a if a.starts_with("--trace=") => {
+                trace_path = Some(a["--trace=".len()..].to_string());
+            }
             a if a.starts_with("--") => usage(),
             a => targets.push(a.to_string()),
         }
@@ -133,6 +165,7 @@ fn main() -> ExitCode {
     }
 
     let mut total = LintOutcome { regions: 0, findings: 0, verify_us: 0.0, failed: false };
+    let mut groups: Vec<(String, Vec<TraceEvent>)> = Vec::new();
     for target in &targets {
         let program = if let Some(k) = target.strip_prefix("kernel:") {
             // Lint-sized kernels: enough iterations to trip SBM promotion
@@ -152,11 +185,22 @@ fn main() -> ExitCode {
                 None => usage(),
             }
         };
-        let out = lint_one(target, program, &cfg, cap);
+        let (out, events) = lint_one(target, program, &cfg, cap, trace_path.is_some());
         total.regions += out.regions;
         total.findings += out.findings;
         total.verify_us += out.verify_us;
         total.failed |= out.failed;
+        if trace_path.is_some() {
+            groups.push((target.clone(), events));
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, chrome::to_chrome_trace_multi(&groups)) {
+            eprintln!("could not write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace with {} workload groups written to {path}", groups.len());
     }
 
     println!(

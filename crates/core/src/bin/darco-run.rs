@@ -7,6 +7,7 @@
 //! darco-run 401.bzip2 --scale 1/8 --timing --power
 //! darco-run kernel:nbody --validate-every 10000 --json
 //! darco-run continuous --ooo --strict-flags --no-chain
+//! darco-run 401.bzip2 --scale 1/64 --trace=trace.json --metrics=metrics.json
 //! ```
 
 use darco::{SinkChoice, System, SystemConfig};
@@ -31,9 +32,26 @@ fn usage() -> ! {
            --no-chain             disable chaining and the IBTC\n\
            --no-spec              disable speculation (multi-exit SBs)\n\
            --opt LEVEL            O0|O1|O2|O3 (default O3)\n\
-           --json                 print the full report as JSON"
+           --json                 print the full report as JSON\n\
+           --trace[=]FILE         record trace events; write a Chrome\n\
+         \u{20}                        trace-event JSON array to FILE\n\
+           --trace-cap N          trace ring capacity (default 65536)\n\
+           --metrics[=FILE]       print the metrics registry as JSON\n\
+         \u{20}                        (or write it to FILE)\n\
+           --flight[=]FILE        write a flight-recorder dump to FILE\n\
+         \u{20}                        if the run diverges or panics"
     );
     std::process::exit(2);
+}
+
+/// Accepts both `--flag=VALUE` and `--flag VALUE` spellings.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    let a = &args[*i];
+    if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+        return v.to_string();
+    }
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| usage())
 }
 
 fn main() -> ExitCode {
@@ -49,6 +67,10 @@ fn main() -> ExitCode {
     let mut cfg = SystemConfig::default();
     let mut scale = (1u32, 1u32);
     let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_cap: usize = 1 << 16;
+    // None: off; Some(None): stdout; Some(Some(path)): file.
+    let mut metrics_out: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,9 +113,26 @@ fn main() -> ExitCode {
                 };
             }
             "--json" => json = true,
+            "--trace-cap" => {
+                i += 1;
+                trace_cap = args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            a if a == "--trace" || a.starts_with("--trace=") => {
+                trace_path = Some(flag_value(&args, &mut i, "--trace"));
+            }
+            "--metrics" => metrics_out = Some(None),
+            a if a.starts_with("--metrics=") => {
+                metrics_out = Some(Some(flag_value(&args, &mut i, "--metrics")));
+            }
+            a if a == "--flight" || a.starts_with("--flight=") => {
+                cfg.flight_path = Some(flag_value(&args, &mut i, "--flight"));
+            }
             _ => usage(),
         }
         i += 1;
+    }
+    if trace_path.is_some() || cfg.flight_path.is_some() {
+        cfg.trace_capacity = Some(trace_cap);
     }
 
     let program = if let Some(k) = target.strip_prefix("kernel:") {
@@ -114,14 +153,36 @@ fn main() -> ExitCode {
     };
 
     let t0 = std::time::Instant::now();
+    let flight_path = cfg.flight_path.clone();
     let report = match System::new(cfg, program).run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("run failed: {e}");
+            if let Some(p) = &flight_path {
+                eprintln!("flight-recorder dump written to {p}");
+            }
             return ExitCode::FAILURE;
         }
     };
     let dt = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = &trace_path {
+        let doc = darco_obs::chrome::to_chrome_trace(&report.name, &report.trace);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("could not write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match &metrics_out {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+                eprintln!("could not write metrics to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(None) => println!("{}", report.metrics.to_json()),
+        None => {}
+    }
 
     if json {
         println!("{}", darco::json::report_to_json(&report));

@@ -15,7 +15,12 @@ use crate::machine::{Machine, MachineError};
 use darco_guest::GuestProgram;
 use darco_host::sink::NullSink;
 use darco_ir::OptLevel;
+use darco_obs::{TraceEvent, Tracer};
 use darco_tol::TolConfig;
+
+/// Trace-ring capacity for diagnosis runs: enough to hold the window of
+/// translations, rollbacks and validations leading up to a divergence.
+const DIAG_TRACE_CAP: usize = 256;
 
 /// Which pipeline stage introduced the divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,12 +51,23 @@ pub struct Diagnosis {
     pub guest_pc: Option<u32>,
     /// First differing state element.
     pub detail: Option<String>,
+    /// The trace-event window leading up to the divergence in the failing
+    /// configuration (which translations ran, what rolled back, the last
+    /// passing validations) — empty when no divergence was found.
+    pub window: Vec<TraceEvent>,
 }
 
 /// Runs the program under `cfg` with per-region validation; returns the
-/// first divergence, if any.
-fn first_divergence(program: &GuestProgram, cfg: &TolConfig, max: u64) -> Option<(u64, u32, String)> {
+/// first divergence (with the event window leading up to it), if any.
+fn first_divergence(
+    program: &GuestProgram,
+    cfg: &TolConfig,
+    max: u64,
+) -> Option<(u64, u32, String, Vec<TraceEvent>)> {
     let mut m = Machine::new(cfg.clone(), program);
+    // Trace the diagnosis run so the culprit can be named by its exact
+    // event window, not just an instruction count.
+    m.tol.obs.trace = Tracer::ring(DIAG_TRACE_CAP);
     loop {
         if m.insns() >= max {
             return None;
@@ -63,12 +79,13 @@ fn first_divergence(program: &GuestProgram, cfg: &TolConfig, max: u64) -> Option
         match m.run_to(target, true, &mut NullSink) {
             Ok(ev) => {
                 if m.xcomp.run_until(m.insns()).is_err() {
-                    return Some((m.insns(), m.xcomp.state.eip, "count overrun".into()));
+                    let window = m.tol.obs.trace.events();
+                    return Some((m.insns(), m.xcomp.state.eip, "count overrun".into(), window));
                 }
                 if let Err(MachineError::Validation { at_insns, guest_pc, detail }) =
                     m.validate(true)
                 {
-                    return Some((at_insns, guest_pc, detail));
+                    return Some((at_insns, guest_pc, detail, m.tol.obs.trace.events()));
                 }
                 match ev {
                     crate::machine::MachineEvent::Reached => {}
@@ -76,7 +93,7 @@ fn first_divergence(program: &GuestProgram, cfg: &TolConfig, max: u64) -> Option
                 }
             }
             Err(MachineError::Validation { at_insns, guest_pc, detail }) => {
-                return Some((at_insns, guest_pc, detail));
+                return Some((at_insns, guest_pc, detail, m.tol.obs.trace.events()));
             }
             Err(_) => return None,
         }
@@ -108,16 +125,23 @@ pub fn diagnose(program: &GuestProgram, cfg: &TolConfig, max_insns: u64) -> Diag
         (Stage::SchedulerOrSpeculation, cfg),
     ];
     for (stage, c) in ladder {
-        if let Some((at, pc, detail)) = first_divergence(program, c, max_insns) {
+        if let Some((at, pc, detail, window)) = first_divergence(program, c, max_insns) {
             return Diagnosis {
                 stage,
                 divergence_at: Some(at),
                 guest_pc: Some(pc),
                 detail: Some(detail),
+                window,
             };
         }
     }
-    Diagnosis { stage: Stage::None, divergence_at: None, guest_pc: None, detail: None }
+    Diagnosis {
+        stage: Stage::None,
+        divergence_at: None,
+        guest_pc: None,
+        detail: None,
+        window: Vec::new(),
+    }
 }
 
 #[cfg(test)]

@@ -1,124 +1,17 @@
-//! Minimal hand-rolled JSON emission for reports.
+//! JSON report serialization.
 //!
-//! The workspace builds with no external crates (sandboxed environments
-//! have no registry access), so the `--json` output of `darco-run` and the
-//! bench harnesses serialize through this tiny writer instead of serde.
+//! The writer itself lives in [`darco_obs::json`] (the workspace builds
+//! with no external crates, so everything serializes through that tiny
+//! hand-rolled writer instead of serde); this module re-exports it for
+//! backward compatibility and renders [`RunReport`]s.
+//!
+//! The `tol_stats` and `metrics` sections are generated from the same
+//! [`darco_obs::Registry`] bridges the flight recorder and `--metrics`
+//! exporter use, so every reporting surface shows identical numbers.
 
 use crate::system::RunReport;
 
-/// An incremental JSON object/array writer.
-///
-/// The caller is responsible for well-formedness of nested raw values;
-/// every `field_*` method handles comma placement and string escaping.
-pub struct JsonWriter {
-    buf: String,
-    need_comma: bool,
-}
-
-impl JsonWriter {
-    /// Starts an empty writer.
-    pub fn new() -> JsonWriter {
-        JsonWriter { buf: String::new(), need_comma: false }
-    }
-
-    /// Escapes a string for inclusion in JSON output.
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    fn sep(&mut self) {
-        if self.need_comma {
-            self.buf.push(',');
-        }
-        self.need_comma = true;
-    }
-
-    /// Opens an object (`{`), either at the top level or as a field.
-    pub fn begin_obj(&mut self, key: Option<&str>) -> &mut Self {
-        self.sep();
-        if let Some(k) = key {
-            self.buf.push_str(&format!("\"{}\":", Self::escape(k)));
-        }
-        self.buf.push('{');
-        self.need_comma = false;
-        self
-    }
-
-    /// Closes the innermost object.
-    pub fn end_obj(&mut self) -> &mut Self {
-        self.buf.push('}');
-        self.need_comma = true;
-        self
-    }
-
-    /// Emits a numeric field (anything implementing `Display` that is
-    /// already valid JSON: integers, or floats via [`Self::field_f64`]).
-    pub fn field_num<T: std::fmt::Display>(&mut self, key: &str, v: T) -> &mut Self {
-        self.sep();
-        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
-        self
-    }
-
-    /// Emits a float field (non-finite values become `null`).
-    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
-        self.sep();
-        if v.is_finite() {
-            self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
-        } else {
-            self.buf.push_str(&format!("\"{}\":null", Self::escape(key)));
-        }
-        self
-    }
-
-    /// Emits a string field.
-    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
-        self.sep();
-        self.buf.push_str(&format!("\"{}\":\"{}\"", Self::escape(key), Self::escape(v)));
-        self
-    }
-
-    /// Emits a bool field.
-    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut Self {
-        self.sep();
-        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
-        self
-    }
-
-    /// Emits a pre-rendered JSON value under a key.
-    pub fn field_raw(&mut self, key: &str, v: &str) -> &mut Self {
-        self.sep();
-        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
-        self
-    }
-
-    /// Emits `null` under a key.
-    pub fn field_null(&mut self, key: &str) -> &mut Self {
-        self.field_raw(key, "null")
-    }
-
-    /// Finishes and returns the accumulated JSON text.
-    pub fn finish(self) -> String {
-        self.buf
-    }
-}
-
-impl Default for JsonWriter {
-    fn default() -> Self {
-        JsonWriter::new()
-    }
-}
+pub use darco_obs::json::JsonWriter;
 
 /// Serializes a [`RunReport`] to a JSON object string.
 pub fn report_to_json(r: &RunReport) -> String {
@@ -132,43 +25,15 @@ pub fn report_to_json(r: &RunReport) -> String {
         .field_num("sbm", r.mode_insns.2)
         .end_obj();
     w.field_num("host_app_insns", r.host_app_insns);
-    w.begin_obj(Some("overhead"))
-        .field_num("interpreter", r.overhead.interpreter)
-        .field_num("bb_translator", r.overhead.bb_translator)
-        .field_num("sb_translator", r.overhead.sb_translator)
-        .field_num("prologue", r.overhead.prologue)
-        .field_num("chaining", r.overhead.chaining)
-        .field_num("cache_lookup", r.overhead.cache_lookup)
-        .field_num("others", r.overhead.others)
-        .field_num("total", r.overhead.total())
-        .end_obj();
+    let mut overhead_reg = darco_obs::Registry::new();
+    r.overhead.register_into(&mut overhead_reg, "");
+    w.field_raw("overhead", &overhead_reg.counters_to_json_stripped("overhead."));
     w.field_f64("overhead_fraction", r.overhead_fraction());
     w.field_f64("sbm_emulation_cost", r.sbm_emulation_cost);
     w.field_f64("sbm_fraction", r.sbm_fraction());
-    let s = &r.tol_stats;
-    w.begin_obj(Some("tol_stats"))
-        .field_num("guest_im", s.guest_im)
-        .field_num("translations_bb", s.translations_bb)
-        .field_num("translations_sb", s.translations_sb)
-        .field_num("recreations", s.recreations)
-        .field_num("host_app", s.host_app)
-        .field_num("interp_blocks", s.interp_blocks)
-        .field_num("spec_rollbacks", s.spec_rollbacks)
-        .field_num("chain_patches", s.chain_patches)
-        .field_num("ibtc_inserts", s.ibtc_inserts)
-        .field_num("guest_external", s.guest_external)
-        .field_num("sb_static_guest", s.sb_static_guest)
-        .field_num("sb_static_host", s.sb_static_host)
-        .field_num("verify_regions", s.verify_regions)
-        .field_num("verify_findings", s.verify_findings)
-        .field_num("verify_nanos", s.verify_nanos)
-        .field_num("translate_nanos", s.translate_nanos);
-    w.begin_obj(Some("verify_by_kind"));
-    for kind in darco_ir::InvariantKind::ALL {
-        w.field_num(kind.name(), s.verify_by_kind[kind.index()]);
-    }
-    w.end_obj();
-    w.end_obj();
+    let mut stats_reg = darco_obs::Registry::new();
+    r.tol_stats.register_into(&mut stats_reg, "");
+    w.field_raw("tol_stats", &stats_reg.counters_to_json());
     w.field_num("chkpts", r.chkpts);
     w.field_num("rollbacks", r.rollbacks);
     w.field_num("validations", r.validations);
@@ -184,23 +49,30 @@ pub fn report_to_json(r: &RunReport) -> String {
         None => w.field_null("guest_fault"),
     };
     if let Some(t) = &r.timing {
-        w.begin_obj(Some("timing"))
-            .field_num("insns", t.insns)
-            .field_num("cycles", t.cycles)
-            .field_f64("ipc", t.ipc())
-            .field_num("loads", t.loads)
-            .field_num("stores", t.stores)
-            .field_num("branches", t.branches)
-            .field_num("mispredicts", t.mispredicts)
-            .field_num("il1_accesses", t.il1_accesses)
-            .field_num("il1_misses", t.il1_misses)
-            .field_num("dl1_accesses", t.dl1_accesses)
-            .field_num("dl1_misses", t.dl1_misses)
-            .field_num("l2_accesses", t.l2_accesses)
-            .field_num("l2_misses", t.l2_misses)
-            .field_num("itlb_misses", t.itlb_misses)
-            .field_num("dtlb_misses", t.dtlb_misses)
-            .end_obj();
+        let mut treg = darco_obs::Registry::new();
+        t.register_into(&mut treg, "t");
+        let mut tw = JsonWriter::new();
+        tw.begin_obj(None);
+        tw.field_num("insns", t.insns).field_num("cycles", t.cycles).field_f64("ipc", t.ipc());
+        for name in [
+            "loads",
+            "stores",
+            "branches",
+            "mispredicts",
+            "il1_accesses",
+            "il1_misses",
+            "dl1_accesses",
+            "dl1_misses",
+            "l2_accesses",
+            "l2_misses",
+            "itlb_misses",
+            "dtlb_misses",
+        ] {
+            let v = treg.counter_value(&format!("t.{name}")).unwrap_or(0);
+            tw.field_num(name, v);
+        }
+        tw.end_obj();
+        w.field_raw("timing", &tw.finish());
     } else {
         w.field_null("timing");
     }
@@ -213,6 +85,7 @@ pub fn report_to_json(r: &RunReport) -> String {
     } else {
         w.field_null("power");
     }
+    w.field_raw("metrics", &r.metrics.to_json());
     w.end_obj();
     w.finish()
 }

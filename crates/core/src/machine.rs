@@ -7,6 +7,7 @@
 
 use darco_guest::{Fault, GuestMem, GuestProgram, GuestState};
 use darco_host::sink::InsnSink;
+use darco_obs::TraceEventKind;
 use darco_tol::{flags, Tol, TolConfig, TolEvent};
 use darco_xcomp::{SyscallOutcome, XComponent, XcompError};
 
@@ -133,10 +134,12 @@ impl Machine {
                     let page = self.xcomp.page_for(addr);
                     self.state.mem.install_page(GuestMem::page_of(addr), page);
                     self.pages_served += 1;
+                    self.tol.obs.emit(TraceEventKind::PageRequest { addr });
                 }
                 TolEvent::Syscall => {
                     let count = self.insns();
                     self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.tol.obs.emit(TraceEventKind::SyscallSync { at_insns: count });
                     // The paper validates at system calls.
                     self.validate(compare_flags)?;
                     let outcome = self.xcomp.exec_syscall().map_err(MachineError::Xcomp)?;
@@ -161,6 +164,7 @@ impl Machine {
                         }
                     }
                     if let SyscallOutcome::Exit(code) = outcome {
+                        self.tol.obs.emit(TraceEventKind::RunEnd { at_insns: self.insns() });
                         let ev = MachineEvent::Ended { exit_status: Some(code) };
                         self.ended = Some(ev.clone());
                         return Ok(ev);
@@ -172,6 +176,7 @@ impl Machine {
                     self.xcomp.confirm_halt().map_err(MachineError::Xcomp)?;
                     // End-of-application validation (mandatory in the paper).
                     self.validate(compare_flags)?;
+                    self.tol.obs.emit(TraceEventKind::RunEnd { at_insns: self.insns() });
                     let ev = MachineEvent::Ended { exit_status: None };
                     self.ended = Some(ev.clone());
                     return Ok(ev);
@@ -183,6 +188,7 @@ impl Machine {
                     return match self.xcomp.run_until(count + 1) {
                         Err(XcompError::GuestFault(f)) if f == fault => {
                             self.validate(compare_flags)?;
+                            self.tol.obs.emit(TraceEventKind::RunEnd { at_insns: self.insns() });
                             let ev = MachineEvent::GuestFault(fault);
                             self.ended = Some(ev.clone());
                             Ok(ev)
@@ -206,6 +212,24 @@ impl Machine {
         self.validations += 1;
         // Materialize lazily deferred flags first (semantically a no-op).
         flags::resolve(&mut self.state, &mut self.tol.pending_flags);
+        match self.validate_inner(compare_flags) {
+            Ok(()) => {
+                self.tol.obs.emit(TraceEventKind::Validation { at_insns: self.insns() });
+                Ok(())
+            }
+            Err(e) => {
+                if let MachineError::Validation { at_insns, guest_pc, .. } = &e {
+                    self.tol.obs.emit(TraceEventKind::Divergence {
+                        at_insns: *at_insns,
+                        guest_pc: *guest_pc,
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn validate_inner(&mut self, compare_flags: bool) -> Result<(), MachineError> {
         if let Some(detail) = self.state.first_reg_mismatch(&self.xcomp.state, compare_flags) {
             return Err(MachineError::Validation {
                 at_insns: self.insns(),

@@ -3,6 +3,7 @@
 use crate::machine::{Machine, MachineError, MachineEvent};
 use darco_guest::{Fault, GuestProgram};
 use darco_host::sink::{InsnSink, NullSink, RetireEvent};
+use darco_obs::{Registry, TraceEvent, Tracer};
 use darco_power::{EnergyModel, PowerReport};
 use darco_timing::{InOrderCore, OooCore, TimingConfig, TimingStats};
 use darco_tol::{Overhead, TolConfig, TolStats};
@@ -41,6 +42,12 @@ pub struct SystemConfig {
     pub power: bool,
     /// Safety bound on guest instructions.
     pub max_guest_insns: u64,
+    /// Record trace events into a ring of this many entries (`None`:
+    /// tracing off, the zero-overhead default).
+    pub trace_capacity: Option<usize>,
+    /// Write a flight-recorder dump (last trace events + metrics
+    /// snapshot) to this path when the run diverges or panics.
+    pub flight_path: Option<String>,
 }
 
 impl Default for SystemConfig {
@@ -54,6 +61,8 @@ impl Default for SystemConfig {
             timing_includes_tol: true,
             power: false,
             max_guest_insns: 2_000_000_000,
+            trace_capacity: None,
+            flight_path: None,
         }
     }
 }
@@ -141,6 +150,13 @@ pub struct RunReport {
     pub timing: Option<TimingStats>,
     /// Power report (when requested).
     pub power: Option<PowerReport>,
+    /// The unified metrics registry: TOL stats/overhead, live TOL
+    /// histograms, sync-protocol counters, authoritative-component and
+    /// timing counters, all under one namespace.
+    pub metrics: Registry,
+    /// Trace events still held in the ring at the end of the run (empty
+    /// unless [`SystemConfig::trace_capacity`] was set).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunReport {
@@ -201,6 +217,9 @@ impl System {
     pub fn run(self) -> Result<RunReport, DarcoError> {
         let System { cfg, program } = self;
         let mut machine = Machine::new(cfg.tol.clone(), &program);
+        if let Some(cap) = cfg.trace_capacity {
+            machine.tol.obs.trace = Tracer::ring(cap);
+        }
         if cfg.timing_includes_tol && cfg.sink != SinkChoice::None {
             machine.tol.set_synthesize_overhead(true);
         }
@@ -209,33 +228,34 @@ impl System {
             SinkChoice::InOrder => Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone()))),
             SinkChoice::OutOfOrder => Sink::Ooo(Box::new(OooCore::new(cfg.timing.clone()))),
         };
-        let step = cfg.validate_every.unwrap_or(u64::MAX);
-        let mut fault: Option<Fault> = None;
-        let mut exit_status = None;
-        loop {
-            if machine.insns() >= cfg.max_guest_insns {
-                return Err(DarcoError::BudgetExceeded);
-            }
-            let target = machine.insns().saturating_add(step).min(cfg.max_guest_insns);
-            match machine.run_to(target, cfg.compare_flags, &mut sink)? {
-                MachineEvent::Reached => {
-                    if cfg.validate_every.is_some() {
-                        machine.xcomp.run_until(machine.insns()).map_err(|e| {
-                            DarcoError::Protocol(e.to_string())
-                        })?;
-                        machine.validate(cfg.compare_flags)?;
-                    }
-                }
-                MachineEvent::Ended { exit_status: es } => {
-                    exit_status = es;
-                    break;
-                }
-                MachineEvent::GuestFault(f) => {
-                    fault = Some(f);
-                    break;
+        // With a flight path configured, a panic anywhere in the pipeline
+        // (e.g. `VerifyMode::Fatal`) still produces the dump before
+        // propagating.
+        let driven = if cfg.flight_path.is_some() {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Self::drive(&cfg, &mut machine, &mut sink)
+            })) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Self::write_flight(&cfg, &machine, &format!("panic: {msg}"));
+                    std::panic::resume_unwind(payload);
                 }
             }
-        }
+        } else {
+            Self::drive(&cfg, &mut machine, &mut sink)
+        };
+        let (exit_status, fault) = match driven {
+            Ok(v) => v,
+            Err(e) => {
+                Self::write_flight(&cfg, &machine, &e.to_string());
+                return Err(e);
+            }
+        };
 
         let timing = match &sink {
             Sink::Null(_) => None,
@@ -247,6 +267,15 @@ impl System {
             _ => None,
         };
         let m = machine;
+        let mut metrics = Self::assemble_metrics(&m);
+        if let Some(t) = &timing {
+            t.register_into(&mut metrics, "timing");
+        }
+        if let Some(p) = &power {
+            metrics.set_gauge("power.total_pj", p.total_pj);
+            metrics.set_gauge("power.avg_power_mw", p.avg_power_mw);
+            metrics.set_gauge("power.edp", p.edp);
+        }
         Ok(RunReport {
             name: program.name.clone(),
             guest_insns: m.tol.total_guest(),
@@ -265,7 +294,67 @@ impl System {
             guest_fault: fault.map(|f| f.to_string()),
             timing,
             power,
+            metrics,
+            trace: m.tol.obs.trace.events(),
         })
+    }
+
+    /// The execution/synchronization loop (split out so `run` can attach
+    /// divergence and panic handling around it).
+    fn drive(
+        cfg: &SystemConfig,
+        machine: &mut Machine,
+        sink: &mut Sink,
+    ) -> Result<(Option<u32>, Option<Fault>), DarcoError> {
+        let step = cfg.validate_every.unwrap_or(u64::MAX);
+        loop {
+            if machine.insns() >= cfg.max_guest_insns {
+                return Err(DarcoError::BudgetExceeded);
+            }
+            let target = machine.insns().saturating_add(step).min(cfg.max_guest_insns);
+            match machine.run_to(target, cfg.compare_flags, sink)? {
+                MachineEvent::Reached => {
+                    if cfg.validate_every.is_some() {
+                        machine
+                            .xcomp
+                            .run_until(machine.insns())
+                            .map_err(|e| DarcoError::Protocol(e.to_string()))?;
+                        machine.validate(cfg.compare_flags)?;
+                    }
+                }
+                MachineEvent::Ended { exit_status } => return Ok((exit_status, None)),
+                MachineEvent::GuestFault(f) => return Ok((None, Some(f))),
+            }
+        }
+    }
+
+    /// Builds the unified registry from everything the machine counted:
+    /// the TOL's live histograms/gauges, the [`TolStats`] and overhead
+    /// bridges, sync-protocol counters and the authoritative component.
+    fn assemble_metrics(m: &Machine) -> Registry {
+        let mut reg = m.tol.obs.metrics.clone();
+        m.tol.stats.register_into(&mut reg, "tol");
+        m.tol.overhead().register_into(&mut reg, "tol");
+        m.xcomp.register_metrics(&mut reg, "xcomp");
+        reg.set_counter("sync.validations", m.validations);
+        reg.set_counter("sync.pages_served", m.pages_served);
+        reg.set_counter("sync.syscalls", m.syscalls);
+        reg
+    }
+
+    /// Writes the flight-recorder artifact (best effort — a failing dump
+    /// never masks the original error).
+    fn write_flight(cfg: &SystemConfig, machine: &Machine, context: &str) {
+        let Some(path) = &cfg.flight_path else { return };
+        let reg = Self::assemble_metrics(machine);
+        let (events, dropped) = match machine.tol.obs.trace.ring_ref() {
+            Some(r) => (r.events(), r.dropped()),
+            None => (Vec::new(), 0),
+        };
+        let dump = darco_obs::flight::flight_dump(context, &events, dropped, &reg);
+        if let Err(e) = std::fs::write(path, dump) {
+            eprintln!("warning: could not write flight dump to {path}: {e}");
+        }
     }
 }
 

@@ -1,0 +1,135 @@
+//! End-to-end flight-recorder test: plant an optimizer bug, let the run
+//! diverge, and check the dump names the events leading up to it.
+//!
+//! The planted `OptimizerBadFold` corrupts the first translated region,
+//! so the authoritative comparison at program end fails; the dump written
+//! to `flight_path` must validate structurally and must contain, in
+//! sequence order, the divergent region's translation and the speculative
+//! rollback the superblock takes on its final loop iteration.
+
+use darco::{DarcoError, System, SystemConfig};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::{AluOp, Asm, Cond, Gpr, GuestProgram, Insn};
+use darco_obs::flight::validate_flight_dump;
+use darco_obs::json::{parse, JsonValue};
+use darco_tol::{BugKind, Injection, TolConfig};
+
+/// A hot loop whose inner branch alternates: promoted to a superblock
+/// under the biased-speculation config below, its asserts keep failing,
+/// so the window reliably contains rollbacks. The loop-top block carries
+/// a constant feeding a live-out register (`edi`) so `OptimizerBadFold`
+/// has a fold to corrupt.
+fn alternating_loop() -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ecx, 400);
+    let top = a.here();
+    a.mov_ri(Gpr::Edx, 5);
+    a.alu_rr(AluOp::Add, Gpr::Edi, Gpr::Edx);
+    a.emit(Insn::TestRI { a: Gpr::Ecx, imm: 1 });
+    let odd = a.label();
+    let join = a.label();
+    a.jcc_to(Cond::Ne, odd);
+    a.alu_ri(AluOp::Add, Gpr::Eax, 3);
+    a.jmp_to(join);
+    a.bind(odd);
+    a.alu_ri(AluOp::Xor, Gpr::Ebx, 0x77);
+    a.bind(join);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    a.into_program()
+}
+
+/// Speculate aggressively (low edge bias) so the superblock is built
+/// across the alternating branch and misspeculates.
+fn spec_tol_cfg() -> TolConfig {
+    TolConfig {
+        bbm_threshold: 3,
+        sbm_threshold: 10,
+        edge_bias: 0.4,
+        min_reach_prob: 0.1,
+        assert_fail_limit: 4,
+        ..TolConfig::default()
+    }
+}
+
+fn event_names(doc: &JsonValue) -> Vec<String> {
+    doc.get("events")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| e.get("name").and_then(JsonValue::as_str).unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn divergence_writes_an_ordered_flight_dump() {
+    let path = std::env::temp_dir().join("darco_flight_recorder_test.json");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = SystemConfig {
+        tol: TolConfig {
+            injection: Some(Injection {
+                kind: BugKind::OptimizerBadFold,
+                translation_ordinal: 0,
+            }),
+            ..spec_tol_cfg()
+        },
+        trace_capacity: Some(1024),
+        flight_path: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    let err = System::new(cfg, alternating_loop()).run().unwrap_err();
+    assert!(
+        matches!(err, DarcoError::Validation { .. }),
+        "planted optimizer bug must surface as a divergence: {err}"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("flight dump written on divergence");
+    let doc = parse(&text).expect("dump is parseable by the repo's own reader");
+    let n = validate_flight_dump(&doc).expect("dump validates structurally");
+    assert!(n > 0, "dump holds a non-empty event window");
+    assert!(
+        doc.get("context").and_then(JsonValue::as_str).unwrap().contains("validation failed"),
+        "context names the divergence"
+    );
+
+    // The window must show, in order: the divergent region being
+    // translated, the speculative rollback on the final loop iteration,
+    // and the divergence itself.
+    let names = event_names(&doc);
+    let translate = names
+        .iter()
+        .position(|n| n == "translate_bb" || n == "translate_sb")
+        .expect("window contains the region's translation");
+    let rollback = names.iter().position(|n| n == "rollback").expect("window contains a rollback");
+    let divergence =
+        names.iter().position(|n| n == "divergence").expect("window records the divergence");
+    assert!(translate < rollback, "translation precedes the rollback: {names:?}");
+    assert!(rollback < divergence, "rollback precedes the divergence: {names:?}");
+
+    // The metrics snapshot rides along and carries the TOL bridge.
+    let counters = doc.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert!(
+        counters.get("tol.translations_bb").and_then(JsonValue::as_num).unwrap_or(0.0) >= 1.0,
+        "metrics snapshot includes the TolStats bridge"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn clean_run_writes_no_flight_dump() {
+    let path = std::env::temp_dir().join("darco_flight_recorder_clean.json");
+    let _ = std::fs::remove_file(&path);
+    let cfg = SystemConfig {
+        tol: spec_tol_cfg(),
+        trace_capacity: Some(1024),
+        flight_path: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    let report = System::new(cfg, alternating_loop()).run().expect("clean run succeeds");
+    assert!(!path.exists(), "no dump for a clean run");
+    assert!(!report.trace.is_empty(), "trace ring captured events");
+    let _ = std::fs::remove_file(&path);
+}

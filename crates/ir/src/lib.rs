@@ -41,4 +41,6 @@ pub mod verify;
 pub use codegen::{check_host_code, CodegenCtx, CodegenOut, ExitMeta};
 pub use ir::{EntryBindings, ExitDesc, ExitKind, FlagsKind, Inst, IrOp, RegClass, Region, VReg};
 pub use passes::{level_passes, run_passes, run_pipeline, OptLevel, Pass, PassStats, VerifyFailure};
-pub use verify::{verify_ddg, verify_region, InvariantKind, VerifyReport, KIND_COUNT};
+pub use verify::{
+    register_kind_counters, verify_ddg, verify_region, InvariantKind, VerifyReport, KIND_COUNT,
+};

@@ -326,6 +326,20 @@ impl InvariantKind {
 /// Number of invariant categories (size of the by-kind stats array).
 pub const KIND_COUNT: usize = InvariantKind::ALL.len();
 
+/// Registers a by-kind finding-count array as `<prefix>.<kind-name>`
+/// counters. The single source of metric names for verifier findings:
+/// both the TOL stats bridge and the debug JSON go through here, so the
+/// two reports can never disagree on spelling.
+pub fn register_kind_counters(
+    by_kind: &[u64; KIND_COUNT],
+    prefix: &str,
+    reg: &mut darco_obs::Registry,
+) {
+    for kind in InvariantKind::ALL {
+        reg.set_counter(&format!("{prefix}.{}", kind.name()), by_kind[kind.index()]);
+    }
+}
+
 /// One verifier finding, with region/instruction provenance.
 #[derive(Debug, Clone)]
 pub struct Finding {

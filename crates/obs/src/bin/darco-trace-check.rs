@@ -1,0 +1,83 @@
+//! `darco-trace-check` — validate DARCO observability artifacts with the
+//! repo's own JSON reader (no external tooling in CI).
+//!
+//! ```text
+//! darco-trace-check trace.json [more files...]   # chrome traces / flight dumps / any JSON
+//! darco-trace-check --obs-gate BENCH_obs.json    # enforce the tracing overhead budget
+//! ```
+//!
+//! A chrome trace (top-level array) is checked for the required
+//! `name`/`ph`/`ts`/`pid`/`tid` members; a flight dump (object with
+//! `darco_flight`) for marker, ordered events and metrics; anything else
+//! just has to parse. `--obs-gate` reads a `BENCH_obs.json` produced by
+//! the `obs_overhead` harness and fails when tracing-enabled overhead
+//! exceeds 5% or the disabled-tracer overhead vs. the recorded hot-path
+//! baseline exceeds 1%.
+
+use darco_obs::{chrome, flight, json};
+use std::process::ExitCode;
+
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| e.to_string())?;
+    if doc.as_arr().is_some() {
+        let n = chrome::validate_chrome_trace(&doc)?;
+        Ok(format!("chrome trace, {n} events"))
+    } else if doc.get("darco_flight").is_some() {
+        let n = flight::validate_flight_dump(&doc)?;
+        Ok(format!("flight dump, {n} events"))
+    } else {
+        Ok("valid JSON".to_string())
+    }
+}
+
+fn obs_gate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| e.to_string())?;
+    let traced = doc
+        .get("overhead_traced")
+        .and_then(|v| v.as_num())
+        .ok_or("missing `overhead_traced`")?;
+    if traced > 0.05 {
+        return Err(format!("tracing-enabled overhead {:.2}% exceeds the 5% budget", traced * 100.0));
+    }
+    // The disabled-tracer comparison is informational when no hot-path
+    // baseline was available at measurement time.
+    let mut null_part = "no null-trace baseline".to_string();
+    if let Some(null) = doc.get("overhead_null_vs_baseline").and_then(|v| v.as_num()) {
+        if null > 0.01 {
+            return Err(format!(
+                "NullTrace overhead {:.2}% vs. hot-path baseline exceeds the 1% budget",
+                null * 100.0
+            ));
+        }
+        null_part = format!("null-vs-baseline {:+.2}%", null * 100.0);
+    }
+    Ok(format!("overhead gate OK: traced {:+.2}%, {}", traced * 100.0, null_part))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: darco-trace-check [--obs-gate] <file.json> [more files...]");
+        return ExitCode::from(2);
+    }
+    let gate = args[0] == "--obs-gate";
+    let files = if gate { &args[1..] } else { &args[..] };
+    let mut failed = false;
+    for path in files {
+        let res = if gate { obs_gate(path) } else { check_file(path) };
+        match res {
+            Ok(msg) => println!("{path}: {msg}"),
+            Err(msg) => {
+                eprintln!("{path}: FAIL: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,151 @@
+//! Chrome `chrome://tracing` (trace-event JSON array) export.
+//!
+//! Each [`TraceEvent`] becomes one trace-event object. Translation
+//! start/end pairs map to duration begin/end events (`"B"`/`"E"`);
+//! everything else is a thread-scoped instant (`"i"`). Events are grouped
+//! into lanes (tids): 1 execution, 2 translation/cache, 3 sync protocol,
+//! 4 verifier. Multi-workload exports (darco-lint) put each workload in
+//! its own pid with a `process_name` metadata record.
+
+use crate::json::JsonWriter;
+use crate::trace::{TraceEvent, TraceEventKind};
+
+fn write_event(w: &mut JsonWriter, ev: &TraceEvent, pid: usize) {
+    let ph = match ev.kind {
+        TraceEventKind::TranslateStart { .. } => "B",
+        TraceEventKind::TranslateEnd { .. } => "E",
+        _ => "i",
+    };
+    w.begin_obj(None);
+    w.field_str("name", ev.kind.name());
+    w.field_str("ph", ph);
+    // Trace-event timestamps are microseconds; keep sub-µs precision.
+    w.field_f64("ts", ev.ts_ns as f64 / 1e3);
+    w.field_num("pid", pid);
+    w.field_num("tid", ev.kind.lane());
+    if ph == "i" {
+        w.field_str("s", "t"); // thread-scoped instant
+    }
+    w.begin_obj(Some("args"));
+    w.field_num("seq", ev.seq);
+    ev.kind.write_args(w);
+    w.end_obj();
+    w.end_obj();
+}
+
+fn write_process_name(w: &mut JsonWriter, pid: usize, name: &str) {
+    w.begin_obj(None);
+    w.field_str("name", "process_name");
+    w.field_str("ph", "M");
+    w.field_num("ts", 0);
+    w.field_num("pid", pid);
+    w.field_num("tid", 0);
+    w.begin_obj(Some("args")).field_str("name", name).end_obj();
+    w.end_obj();
+}
+
+/// Renders one event window as a complete trace-event JSON array.
+pub fn to_chrome_trace(name: &str, events: &[TraceEvent]) -> String {
+    to_chrome_trace_multi(&[(name.to_string(), events.to_vec())])
+}
+
+/// Renders several named event windows (one pid each) as a single
+/// trace-event JSON array.
+pub fn to_chrome_trace_multi(groups: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_arr(None);
+    for (i, (name, events)) in groups.iter().enumerate() {
+        let pid = i + 1;
+        write_process_name(&mut w, pid, name);
+        for ev in events {
+            write_event(&mut w, ev, pid);
+        }
+    }
+    w.end_arr();
+    w.finish()
+}
+
+/// Validates a parsed trace document: a JSON array whose elements all
+/// carry the required `name`/`ph`/`ts`/`pid`/`tid` members with the right
+/// types. Returns the event count.
+///
+/// # Errors
+/// Returns a description of the first malformed element.
+pub fn validate_chrome_trace(doc: &crate::json::JsonValue) -> Result<usize, String> {
+    let arr = doc.as_arr().ok_or("top level must be an array")?;
+    for (i, ev) in arr.iter().enumerate() {
+        for key in ["name", "ph"] {
+            if ev.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("event {i}: missing string `{key}`"));
+            }
+        }
+        for key in ["ts", "pid", "tid"] {
+            if ev.get(key).and_then(|v| v.as_num()).is_none() {
+                return Err(format!("event {i}: missing number `{key}`"));
+            }
+        }
+    }
+    Ok(arr.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::trace::{RingTrace, TraceSink};
+
+    fn window() -> Vec<TraceEvent> {
+        let mut r = RingTrace::new(16);
+        r.emit(TraceEventKind::TranslateStart { sb: false, pc: 0x100 });
+        r.emit(TraceEventKind::TranslateEnd { sb: false, pc: 0x100, ns: 1200, ok: true });
+        r.emit(TraceEventKind::Rollback { pc: 0x100, host_insns: 7 });
+        r.emit(TraceEventKind::Validation { at_insns: 42 });
+        r.events()
+    }
+
+    #[test]
+    fn export_is_valid_and_complete() {
+        let s = to_chrome_trace("unit", &window());
+        let doc = parse(&s).unwrap();
+        let n = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(n, 5, "4 events + 1 process_name metadata");
+    }
+
+    #[test]
+    fn translation_pairs_become_begin_end() {
+        let s = to_chrome_trace("unit", &window());
+        let doc = parse(&s).unwrap();
+        let arr = doc.as_arr().unwrap();
+        let phs: Vec<&str> =
+            arr.iter().filter_map(|e| e.get("ph").and_then(|v| v.as_str())).collect();
+        assert_eq!(phs, vec!["M", "B", "E", "i", "i"]);
+        // B and E share a lane so chrome can pair them.
+        let tids: Vec<f64> =
+            arr.iter().filter_map(|e| e.get("tid").and_then(|v| v.as_num())).collect();
+        assert_eq!(tids[1], tids[2]);
+    }
+
+    #[test]
+    fn multi_group_export_separates_pids() {
+        let s = to_chrome_trace_multi(&[
+            ("a".to_string(), window()),
+            ("b".to_string(), window()),
+        ]);
+        let doc = parse(&s).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+        let arr = doc.as_arr().unwrap();
+        let pids: std::collections::HashSet<u64> = arr
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(|v| v.as_num()))
+            .map(|p| p as u64)
+            .collect();
+        assert_eq!(pids.len(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace(&parse("{}").unwrap()).is_err());
+        assert!(validate_chrome_trace(&parse("[{\"name\":\"x\"}]").unwrap()).is_err());
+        assert_eq!(validate_chrome_trace(&parse("[]").unwrap()), Ok(0));
+    }
+}

@@ -1,0 +1,107 @@
+//! The flight recorder: one JSON artifact holding the last N trace
+//! events plus a metrics snapshot, produced when a run diverges or
+//! panics.
+//!
+//! The artifact is self-describing (`"darco_flight": 1`) so the debug
+//! toolchain and external tooling can recognize it, and the event list is
+//! in sequence order so "what happened just before the divergence" reads
+//! top to bottom.
+
+use crate::json::JsonWriter;
+use crate::metrics::Registry;
+use crate::trace::TraceEvent;
+
+/// Renders a flight-recorder dump.
+///
+/// `context` describes why the dump exists (the validation error, the
+/// panic message); `dropped` is how many earlier events the ring already
+/// overwrote (so readers know the window is a tail, not the whole run).
+pub fn flight_dump(
+    context: &str,
+    events: &[TraceEvent],
+    dropped: u64,
+    metrics: &Registry,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.field_num("darco_flight", 1);
+    w.field_str("context", context);
+    w.field_num("dropped_events", dropped);
+    w.begin_arr(Some("events"));
+    for ev in events {
+        let mut e = JsonWriter::new();
+        e.begin_obj(None);
+        e.field_num("seq", ev.seq);
+        e.field_num("ts_ns", ev.ts_ns);
+        e.field_str("name", ev.kind.name());
+        ev.kind.write_args(&mut e);
+        e.end_obj();
+        w.elem_raw(&e.finish());
+    }
+    w.end_arr();
+    w.field_raw("metrics", &metrics.to_json());
+    w.end_obj();
+    w.finish()
+}
+
+/// Validates a parsed flight dump: the marker, an `events` array of
+/// objects with `seq`/`name`, and a `metrics` object. Returns the event
+/// count.
+///
+/// # Errors
+/// Returns a description of the first structural problem.
+pub fn validate_flight_dump(doc: &crate::json::JsonValue) -> Result<usize, String> {
+    if doc.get("darco_flight").and_then(|v| v.as_num()) != Some(1.0) {
+        return Err("missing `darco_flight: 1` marker".to_string());
+    }
+    let events = doc
+        .get("events")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing `events` array")?;
+    let mut last_seq = -1i64;
+    for (i, ev) in events.iter().enumerate() {
+        let seq = ev
+            .get("seq")
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("event {i}: missing `seq`"))? as i64;
+        if ev.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("event {i}: missing `name`"));
+        }
+        if seq <= last_seq {
+            return Err(format!("event {i}: sequence numbers not increasing"));
+        }
+        last_seq = seq;
+    }
+    if doc.get("metrics").and_then(|m| m.get("counters")).is_none() {
+        return Err("missing `metrics.counters`".to_string());
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::trace::{RingTrace, TraceEventKind, TraceSink};
+
+    #[test]
+    fn dump_is_valid_and_ordered() {
+        let mut r = RingTrace::new(4);
+        for i in 0..7 {
+            r.emit(TraceEventKind::IbtcInsert { pc: i });
+        }
+        let mut m = Registry::new();
+        m.set_counter("c", 1);
+        let s = flight_dump("unit \"test\"", &r.events(), r.dropped(), &m);
+        let doc = parse(&s).unwrap();
+        assert_eq!(validate_flight_dump(&doc).unwrap(), 4);
+        assert_eq!(doc.get("dropped_events").and_then(|v| v.as_num()), Some(3.0));
+        assert_eq!(doc.get("context").and_then(|v| v.as_str()), Some("unit \"test\""));
+    }
+
+    #[test]
+    fn validator_rejects_out_of_order_windows() {
+        let s = "{\"darco_flight\":1,\"events\":[{\"seq\":5,\"name\":\"a\"},{\"seq\":3,\"name\":\"b\"}],\"metrics\":{\"counters\":{}}}";
+        assert!(validate_flight_dump(&parse(s).unwrap()).is_err());
+    }
+}

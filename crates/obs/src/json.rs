@@ -1,0 +1,538 @@
+//! Minimal hand-rolled JSON emission and parsing.
+//!
+//! The workspace builds with no external crates (sandboxed environments
+//! have no registry access), so every JSON artifact — `darco-run --json`,
+//! the bench harnesses, trace and flight-recorder dumps — serializes
+//! through this tiny writer instead of serde, and CI validates emitted
+//! artifacts with the equally tiny [`parse`] reader.
+
+/// An incremental JSON object/array writer.
+///
+/// The caller is responsible for well-formedness of nested raw values;
+/// every `field_*`/`elem_*` method handles comma placement and string
+/// escaping, and float emission normalizes non-finite values to `null`
+/// (JSON has no NaN/Infinity tokens).
+pub struct JsonWriter {
+    buf: String,
+    need_comma: bool,
+}
+
+impl JsonWriter {
+    /// Starts an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter { buf: String::new(), need_comma: false }
+    }
+
+    /// Escapes a string for inclusion in JSON output.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders a float as a JSON value token: non-finite values (which
+    /// would otherwise print as `NaN`/`inf` — invalid JSON) become
+    /// `null`.
+    pub fn f64_token(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.need_comma {
+            self.buf.push(',');
+        }
+        self.need_comma = true;
+    }
+
+    /// Opens an object (`{`), either at the top level or as a field.
+    pub fn begin_obj(&mut self, key: Option<&str>) -> &mut Self {
+        self.sep();
+        if let Some(k) = key {
+            self.buf.push_str(&format!("\"{}\":", Self::escape(k)));
+        }
+        self.buf.push('{');
+        self.need_comma = false;
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.buf.push('}');
+        self.need_comma = true;
+        self
+    }
+
+    /// Opens an array (`[`), either at the top level or as a field.
+    pub fn begin_arr(&mut self, key: Option<&str>) -> &mut Self {
+        self.sep();
+        if let Some(k) = key {
+            self.buf.push_str(&format!("\"{}\":", Self::escape(k)));
+        }
+        self.buf.push('[');
+        self.need_comma = false;
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.buf.push(']');
+        self.need_comma = true;
+        self
+    }
+
+    /// Emits a pre-rendered JSON value as an array element.
+    pub fn elem_raw(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Emits a string as an array element.
+    pub fn elem_str(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\"", Self::escape(v)));
+        self
+    }
+
+    /// Emits an integer as an array element.
+    pub fn elem_num<T: std::fmt::Display>(&mut self, v: T) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("{v}"));
+        self
+    }
+
+    /// Emits a numeric field (anything implementing `Display` that is
+    /// already valid JSON: integers. Floats must go through
+    /// [`Self::field_f64`], which normalizes non-finite values).
+    pub fn field_num<T: std::fmt::Display>(&mut self, key: &str, v: T) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
+        self
+    }
+
+    /// Emits a float field (non-finite values become `null`).
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), Self::f64_token(v)));
+        self
+    }
+
+    /// Emits a string field.
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":\"{}\"", Self::escape(key), Self::escape(v)));
+        self
+    }
+
+    /// Emits a bool field.
+    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
+        self
+    }
+
+    /// Emits a pre-rendered JSON value under a key.
+    pub fn field_raw(&mut self, key: &str, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", Self::escape(key), v));
+        self
+    }
+
+    /// Emits `null` under a key.
+    pub fn field_null(&mut self, key: &str) -> &mut Self {
+        self.field_raw(key, "null")
+    }
+
+    /// Finishes and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+// -- parsing ------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+        Err(JsonError { at: self.pos, msg: msg.to_string() })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => self.err(&format!("unexpected byte `{}`", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected `{word}`"))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(elems));
+        }
+        loop {
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(elems));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex {
+                                // Surrogate pairs are not needed for our
+                                // artifacts; reject them explicitly.
+                                Some(cp) if (0xD800..0xE000).contains(&cp) => {
+                                    return self.err("surrogate escapes unsupported")
+                                }
+                                Some(cp) => {
+                                    out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let s = &self.b[self.pos..];
+                    let len = match s[0] {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xF0 => 4,
+                        c if c >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(std::str::from_utf8(&s[..len]).unwrap());
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Num(n)),
+            Err(_) => self.err("bad number"),
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+/// Returns [`JsonError`] with the byte offset of the first problem,
+/// including trailing garbage after the top-level value.
+pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { b: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return p.err("trailing data after value");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(JsonWriter::escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn escape_handles_every_control_char() {
+        for c in 0u32..0x20 {
+            let c = char::from_u32(c).unwrap();
+            let escaped = JsonWriter::escape(&c.to_string());
+            assert!(escaped.starts_with('\\'), "{c:?} must be escaped, got {escaped:?}");
+            // The writer's output must round-trip through the parser.
+            let doc = format!("\"{escaped}\"");
+            assert_eq!(parse(&doc).unwrap(), JsonValue::Str(c.to_string()), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn writer_builds_nested_objects() {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_num("a", 1);
+        w.begin_obj(Some("b")).field_str("c", "x").end_obj();
+        w.field_bool("d", true);
+        w.end_obj();
+        assert_eq!(w.finish(), "{\"a\":1,\"b\":{\"c\":\"x\"},\"d\":true}");
+    }
+
+    #[test]
+    fn writer_builds_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.begin_arr(Some("xs")).elem_num(1).elem_str("two").elem_raw("{\"three\":3}").end_arr();
+        w.end_obj();
+        let s = w.finish();
+        assert_eq!(s, "{\"xs\":[1,\"two\",{\"three\":3}]}");
+        parse(&s).unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_f64("nan", f64::NAN);
+        w.field_f64("pinf", f64::INFINITY);
+        w.field_f64("ninf", f64::NEG_INFINITY);
+        w.field_f64("ok", 1.5);
+        w.end_obj();
+        let s = w.finish();
+        assert_eq!(s, "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"ok\":1.5}");
+        // The result must be valid JSON.
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_num), Some(1.5));
+    }
+
+    #[test]
+    fn nested_raw_values_keep_comma_placement() {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_raw("a", "[1,2]");
+        w.field_raw("b", "{\"c\":null}");
+        w.field_null("d");
+        w.end_obj();
+        let s = w.finish();
+        assert_eq!(s, "{\"a\":[1,2],\"b\":{\"c\":null},\"d\":null}");
+        parse(&s).unwrap();
+    }
+
+    #[test]
+    fn parse_roundtrips_escapes_and_unicode_paths() {
+        let v = parse("{\"k\\u0041\": \"a\\n\\u00e9\\t\"}").unwrap();
+        assert_eq!(v.get("kA").and_then(JsonValue::as_str), Some("a\né\t"));
+        assert!(parse("\"\\ud800\"").is_err(), "surrogates rejected");
+        assert!(parse("{\"a\":1} x").is_err(), "trailing garbage rejected");
+        assert!(parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn parse_numbers_bools_nulls() {
+        let v = parse("[-1.5e2, 0, true, false, null]").unwrap();
+        let a = v.as_arr().unwrap();
+        assert_eq!(a[0].as_num(), Some(-150.0));
+        assert_eq!(a[1].as_num(), Some(0.0));
+        assert_eq!(a[2], JsonValue::Bool(true));
+        assert_eq!(a[4], JsonValue::Null);
+    }
+}

@@ -1,0 +1,40 @@
+//! # darco-obs — observability for the DARCO infrastructure
+//!
+//! The paper sells DARCO as an *instrumented* simulation infrastructure:
+//! Fig. 4's mode distributions, the §V overhead breakdowns and the §IV
+//! debug toolchain all depend on seeing inside the TOL. This crate is the
+//! common emission path those consumers share:
+//!
+//! * [`trace`] — typed trace events (mode switches, translations,
+//!   promotions, chain patches, rollbacks, cache activity, verifier
+//!   findings, synchronization-protocol phases) written into a
+//!   fixed-capacity ring buffer with monotonic sequence numbers. The
+//!   [`TraceSink`] trait mirrors the `InsnSink` monomorphization pattern:
+//!   [`NullTrace`] compiles to nothing, and the [`Tracer`] enum gives
+//!   call sites a concrete type with a one-branch disabled path.
+//! * [`metrics`] — a registry of named counters, gauges and
+//!   power-of-two-bucket histograms, replacing scattered ad-hoc stat
+//!   structs with one queryable, serializable surface.
+//! * [`json`] — the workspace's hand-rolled JSON writer (no external
+//!   crates anywhere in the workspace) plus a minimal parser used to
+//!   validate emitted artifacts in tests and CI.
+//! * [`chrome`] — export of a trace-event window in Chrome
+//!   `chrome://tracing` (trace-event JSON array) format.
+//! * [`flight`] — the flight recorder: on divergence or panic, the last N
+//!   events plus a metrics snapshot become a single JSON artifact.
+//!
+//! The crate is dependency-free (std only) and sits below every other
+//! DARCO crate so `tol`, `timing`, `xcomp` and `ir` can all emit through
+//! it.
+
+pub mod chrome;
+pub mod flight;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{parse, JsonError, JsonValue, JsonWriter};
+pub use metrics::{Histogram, HistoId, Registry};
+pub use trace::{
+    ExecMode, NullTrace, RingTrace, TraceEvent, TraceEventKind, TraceSink, Tracer,
+};

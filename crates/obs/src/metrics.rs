@@ -1,0 +1,295 @@
+//! The metrics registry: named counters, gauges and power-of-two-bucket
+//! histograms.
+//!
+//! Subsystems register metrics by name (`tol.translations_bb`,
+//! `timing.cycles`, ...) and the registry serializes them as one JSON
+//! surface, replacing hand-maintained struct-field-to-JSON duplication.
+//! Hot paths hold a [`HistoId`] handle so recording is an index, not a
+//! name lookup; bulk bridges from existing stat structs use the name-based
+//! setters at snapshot time.
+
+use crate::json::JsonWriter;
+
+/// Handle to a registered histogram (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoId(usize);
+
+/// A power-of-two-bucket histogram of `u64` samples.
+///
+/// Bucket `0` counts zero samples; bucket `k >= 1` counts samples in
+/// `[2^(k-1), 2^k)`. 65 buckets cover the whole `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (u64::MAX when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in the bucket covering `v`.
+    pub fn bucket_for(&self, v: u64) -> u64 {
+        self.buckets[Self::bucket_index(v)]
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = if k == 0 {
+                (0, 1)
+            } else {
+                (1u64 << (k - 1), (1u64 << (k - 1)).saturating_mul(2))
+            };
+            out.push((lo, hi, n));
+        }
+        out
+    }
+
+    fn write_json(&self, w: &mut JsonWriter, key: &str) {
+        w.begin_obj(Some(key));
+        w.field_num("count", self.count);
+        w.field_num("sum", self.sum);
+        w.field_num("min", if self.count == 0 { 0 } else { self.min });
+        w.field_num("max", self.max);
+        w.field_f64("mean", self.mean());
+        w.begin_arr(Some("buckets"));
+        for (lo, hi, n) in self.nonzero_buckets() {
+            let mut b = JsonWriter::new();
+            b.begin_obj(None).field_num("lo", lo).field_num("hi", hi).field_num("n", n).end_obj();
+            w.elem_raw(&b.finish());
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+}
+
+/// The registry: ordered collections of named metrics.
+///
+/// Names are dotted paths (`tol.spec_rollbacks`). Registration order is
+/// preserved in serialization, so artifacts diff cleanly run to run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Sets (registering if needed) a counter to an absolute value — the
+    /// bulk-bridge entry point for existing stat structs.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = v,
+            None => self.counters.push((name.to_string(), v)),
+        }
+    }
+
+    /// Adds to (registering if needed) a counter.
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        match self.counters.iter_mut().find(|(nm, _)| nm == name) {
+            Some((_, slot)) => *slot += n,
+            None => self.counters.push((name.to_string(), n)),
+        }
+    }
+
+    /// Sets (registering if needed) a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = v,
+            None => self.gauges.push((name.to_string(), v)),
+        }
+    }
+
+    /// Registers (or finds) a histogram, returning its handle for
+    /// index-based recording on hot paths.
+    pub fn histogram(&mut self, name: &str) -> HistoId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistoId(i);
+        }
+        self.histograms.push((name.to_string(), Histogram::default()));
+        HistoId(self.histograms.len() - 1)
+    }
+
+    /// Records a sample into a registered histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistoId, v: u64) {
+        self.histograms[id.0].1.record(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A registered histogram by name.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Numbers of registered (counters, gauges, histograms).
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.counters.len(), self.gauges.len(), self.histograms.len())
+    }
+
+    /// Serializes only the counters as one flat JSON object
+    /// (`{"name":value,...}`) — used where a report embeds a counter
+    /// section directly.
+    pub fn counters_to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        for (n, v) in &self.counters {
+            w.field_num(n, v);
+        }
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Like [`Self::counters_to_json`], but with a leading `prefix`
+    /// removed from each name — for embedding a namespaced section under
+    /// its own JSON key without repeating the namespace.
+    pub fn counters_to_json_stripped(&self, prefix: &str) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        for (n, v) in &self.counters {
+            w.field_num(n.strip_prefix(prefix).unwrap_or(n), v);
+        }
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Serializes the whole registry:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_raw("counters", &self.counters_to_json());
+        w.begin_obj(Some("gauges"));
+        for (n, v) in &self.gauges {
+            w.field_f64(n, *v);
+        }
+        w.end_obj();
+        w.begin_obj(Some("histograms"));
+        for (n, h) in &self.histograms {
+            h.write_json(&mut w, n);
+        }
+        w.end_obj();
+        w.end_obj();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.bucket_for(0), 1);
+        assert_eq!(h.bucket_for(1), 1);
+        assert_eq!(h.bucket_for(2), 2, "2 and 3 share [2,4)");
+        assert_eq!(h.bucket_for(5), 2, "4 and 7 share [4,8)");
+        assert_eq!(h.bucket_for(512), 1, "1023 lands in [512,1024)");
+        assert_eq!(h.bucket_for(1024), 1);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges_register_by_name() {
+        let mut r = Registry::new();
+        r.set_counter("a.x", 5);
+        r.add_counter("a.x", 2);
+        r.add_counter("a.y", 1);
+        r.set_gauge("g", 0.5);
+        assert_eq!(r.counter_value("a.x"), Some(7));
+        assert_eq!(r.counter_value("a.y"), Some(1));
+        assert_eq!(r.gauge_value("g"), Some(0.5));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_handles_are_stable() {
+        let mut r = Registry::new();
+        let a = r.histogram("h.a");
+        let b = r.histogram("h.b");
+        assert_ne!(a, b);
+        assert_eq!(r.histogram("h.a"), a, "re-registration finds the same slot");
+        r.record(a, 10);
+        r.record(a, 20);
+        r.record(b, 1);
+        assert_eq!(r.histogram_ref("h.a").unwrap().count, 2);
+        assert_eq!(r.histogram_ref("h.b").unwrap().sum, 1);
+    }
+
+    #[test]
+    fn registry_serializes_to_parseable_json() {
+        let mut r = Registry::new();
+        r.set_counter("c", 3);
+        r.set_gauge("g", f64::NAN); // must normalize, not break the doc
+        let h = r.histogram("h");
+        r.record(h, 5);
+        let v = parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("counters").and_then(|c| c.get("c")).and_then(JsonValue::as_num), Some(3.0));
+        assert_eq!(v.get("gauges").and_then(|g| g.get("g")), Some(&JsonValue::Null));
+        let hist = v.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(hist.get("count").and_then(JsonValue::as_num), Some(1.0));
+        assert_eq!(hist.get("buckets").and_then(JsonValue::as_arr).unwrap().len(), 1);
+    }
+}

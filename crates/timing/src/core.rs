@@ -77,6 +77,39 @@ impl TimingStats {
             self.cycles as f64 / self.insns as f64
         }
     }
+
+    /// Registers every statistic as a named counter under `prefix`, plus
+    /// `ipc` as a gauge (single source for all timing reports).
+    pub fn register_into(&self, reg: &mut darco_obs::Registry, prefix: &str) {
+        let fields: [(&str, u64); 22] = [
+            ("insns", self.insns),
+            ("cycles", self.cycles),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("int_ops", self.int_ops),
+            ("mul_ops", self.mul_ops),
+            ("div_ops", self.div_ops),
+            ("fp_ops", self.fp_ops),
+            ("branches", self.branches),
+            ("mispredicts", self.mispredicts),
+            ("btb_redirects", self.btb_redirects),
+            ("il1_accesses", self.il1_accesses),
+            ("il1_misses", self.il1_misses),
+            ("dl1_accesses", self.dl1_accesses),
+            ("dl1_misses", self.dl1_misses),
+            ("l2_accesses", self.l2_accesses),
+            ("l2_misses", self.l2_misses),
+            ("itlb_misses", self.itlb_misses),
+            ("dtlb_misses", self.dtlb_misses),
+            ("prefetches", self.prefetches),
+            ("reg_reads", self.reg_reads),
+            ("reg_writes", self.reg_writes),
+        ];
+        for (name, v) in fields {
+            reg.set_counter(&format!("{prefix}.{name}"), v);
+        }
+        reg.set_gauge(&format!("{prefix}.ipc"), self.ipc());
+    }
 }
 
 /// Rolling per-cycle resource usage for monotonic (in-order) issue.

@@ -147,6 +147,11 @@ impl CodeCache {
         self.translations.iter().filter(|t| t.valid).count()
     }
 
+    /// Code-cache words currently occupied (occupancy metric).
+    pub fn used_words(&self) -> usize {
+        self.used_words
+    }
+
     /// Finds the translation containing a host address (exit handling:
     /// chained execution can stop in any translation).
     pub fn translation_at_host(&self, host_pc: usize) -> Option<usize> {

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod config;
 pub mod flags;
 pub mod interp;
+pub mod obs;
 pub mod overhead;
 pub mod sbm;
 pub mod tol;
@@ -53,5 +54,6 @@ pub mod translate;
 pub use cache::{CodeCache, TransKind, Translation};
 pub use config::{BugKind, Injection, TolConfig, VerifyMode};
 pub use flags::PendingFlags;
+pub use obs::TolObs;
 pub use overhead::{CostModel, Overhead, OverheadKind};
 pub use tol::{Tol, TolEvent, TolStats};

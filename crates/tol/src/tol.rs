@@ -5,6 +5,7 @@ use crate::cache::{CodeCache, TransKind, Translation};
 use crate::config::{BugKind, TolConfig, VerifyMode};
 use crate::flags::{self, PendingFlags};
 use crate::interp::{self, BlockStop};
+use crate::obs::TolObs;
 use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
 use crate::sbm::{self, SbShape};
 use crate::translate::{self, EdgeCounters};
@@ -17,6 +18,7 @@ use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
 use darco_ir::passes::{run_pipeline, OptLevel};
 use darco_ir::sched::list_schedule;
 use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region, VerifyReport, KIND_COUNT};
+use darco_obs::{ExecMode, TraceEventKind};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -117,6 +119,8 @@ pub struct Tol {
     /// Verifier findings collected in [`VerifyMode::Report`] mode, with
     /// the pipeline stage and guest provenance of each.
     pub verify_log: Vec<String>,
+    /// Observability: trace sink (off by default) + live metrics.
+    pub obs: TolObs,
     counter_bb: HashMap<u32, u32>, // exec counter idx per BB pc
     bb_edges: HashMap<u32, EdgeCounters>,
     im_prof: HashMap<u32, ImProf>,
@@ -153,6 +157,7 @@ impl Tol {
             stats: TolStats::default(),
             pending_flags: None,
             verify_log: Vec::new(),
+            obs: TolObs::new(),
             counter_bb: HashMap::new(),
             bb_edges: HashMap::new(),
             im_prof: HashMap::new(),
@@ -238,12 +243,14 @@ impl Tol {
                     && !self.do_not_translate.contains(&pc)
                     && self.translate_bb(st, pc, sink)
                 {
+                    self.obs.emit(TraceEventKind::Promotion { pc, to: ExecMode::Bbm });
                     continue;
                 }
             }
             interp_next = false;
 
             // Interpret one basic block.
+            self.obs.mode(ExecMode::Im, st.eip);
             flags::resolve(st, &mut self.pending_flags);
             let budget = limit - self.total_guest();
             let run = interp::interpret_block_cached(st, budget, &mut self.decode);
@@ -295,6 +302,13 @@ impl Tol {
         if !self.spill_mapped {
             st.mem.map_zero(SPILL_AREA_BASE >> PAGE_SHIFT);
             self.spill_mapped = true;
+        }
+        if self.obs.is_on() {
+            let mode = match self.cache.translation(id).kind {
+                TransKind::Bb => ExecMode::Bbm,
+                TransKind::Sb { .. } => ExecMode::Sbm,
+            };
+            self.obs.mode(mode, st.eip);
         }
         self.im_split_entry = None;
         if self.cache.translation(id).needs_flags_mask != 0 {
@@ -374,6 +388,13 @@ impl Tol {
                                             self.cache.translation(tid).host_base + slot;
                                         self.cache.chain(tid, slot_addr, to);
                                         self.stats.chain_patches += 1;
+                                        if self.obs.is_on() {
+                                            let from_pc = self.cache.translation(tid).guest_pc;
+                                            self.obs.emit(TraceEventKind::ChainPatch {
+                                                from_pc,
+                                                to_pc: target,
+                                            });
+                                        }
                                         self.acct.charge(
                                             OverheadKind::Chaining,
                                             self.costs.chain_patch,
@@ -401,6 +422,7 @@ impl Tol {
                                 if self.cache.translation(to).needs_flags_mask == 0 {
                                     self.cache.ibtc_insert(target, to);
                                     self.stats.ibtc_inserts += 1;
+                                    self.obs.emit(TraceEventKind::IbtcInsert { pc: target });
                                     self.acct.charge(
                                         OverheadKind::Chaining,
                                         self.costs.chain_patch,
@@ -427,6 +449,7 @@ impl Tol {
                 self.writeback(st);
                 st.eip = self.cache.translation(tid).guest_pc;
                 self.stats.spec_rollbacks += 1;
+                self.obs.rollback(st.eip, info.executed);
                 let t = self.cache.translation_mut(tid);
                 t.spec_fails += 1;
                 let recreate = t.spec_fails > self.cfg.assert_fail_limit
@@ -574,6 +597,15 @@ impl Tol {
         for (i, n) in report.by_kind().into_iter().enumerate() {
             self.stats.verify_by_kind[i] += n;
         }
+        if self.obs.is_on() {
+            for f in &report.findings {
+                self.obs.emit(TraceEventKind::VerifierFinding {
+                    stage,
+                    kind: f.kind.name(),
+                    pc: f.guest_pc,
+                });
+            }
+        }
         match self.cfg.verify {
             VerifyMode::Fatal => {
                 panic!("TOL static verification failed at stage `{stage}`: {report}")
@@ -588,9 +620,12 @@ impl Tol {
     /// Translates the basic block at `pc` (BBM). Returns false if the
     /// block is untranslatable or undecodable.
     fn translate_bb<S: InsnSink>(&mut self, st: &mut GuestState, pc: u32, sink: &mut S) -> bool {
+        self.obs.emit(TraceEventKind::TranslateStart { sb: false, pc });
         let t0 = Instant::now();
         let ok = self.translate_bb_inner(st, pc, sink);
-        self.stats.translate_nanos += t0.elapsed().as_nanos() as u64;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.translate_nanos += ns;
+        self.obs.translate_end(false, pc, ns, ok);
         ok
     }
 
@@ -656,7 +691,9 @@ impl Tol {
         let Some(shape) = sbm::plan_superblock(&st.mem, pc, &edges, &self.cfg) else {
             return;
         };
-        self.build_and_install_sb(st, &shape, self.cfg.speculation, sink);
+        if self.build_and_install_sb(st, &shape, self.cfg.speculation, sink) {
+            self.obs.emit(TraceEventKind::Promotion { pc, to: ExecMode::Sbm });
+        }
     }
 
     fn build_and_install_sb<S: InsnSink>(
@@ -665,10 +702,14 @@ impl Tol {
         shape: &SbShape,
         asserts: bool,
         sink: &mut S,
-    ) {
+    ) -> bool {
+        self.obs.emit(TraceEventKind::TranslateStart { sb: true, pc: shape.entry });
         let t0 = Instant::now();
-        self.build_and_install_sb_inner(st, shape, asserts, sink);
-        self.stats.translate_nanos += t0.elapsed().as_nanos() as u64;
+        let ok = self.build_and_install_sb_inner(st, shape, asserts, sink);
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.translate_nanos += ns;
+        self.obs.translate_end(true, shape.entry, ns, ok);
+        ok
     }
 
     fn build_and_install_sb_inner<S: InsnSink>(
@@ -677,9 +718,9 @@ impl Tol {
         shape: &SbShape,
         asserts: bool,
         sink: &mut S,
-    ) {
+    ) -> bool {
         let Some(mut region) = sbm::build_sb_region(&st.mem, shape, asserts, &self.cfg) else {
-            return;
+            return false;
         };
         let src_insns: u32 = region.exits.iter().map(|e| e.gcnt as u32).max().unwrap_or(0);
         self.acct.charge(
@@ -711,6 +752,7 @@ impl Tol {
         );
         let _ = id;
         self.stats.translations_sb += 1;
+        true
     }
 
     fn recreate_multi_exit<S: InsnSink>(&mut self, st: &mut GuestState, tid: usize, sink: &mut S) {
@@ -719,6 +761,7 @@ impl Tol {
         };
         self.cache.invalidate(tid);
         self.stats.recreations += 1;
+        self.obs.emit(TraceEventKind::Recreate { pc: shape.entry });
         self.build_and_install_sb(st, &shape, false, sink);
     }
 
@@ -746,6 +789,10 @@ impl Tol {
         if self.cache.would_overflow(out.encoded_words) {
             // Full cache: flush everything (translations, chains, IBTC)
             // and retry; profiling state survives.
+            self.obs.emit(TraceEventKind::CacheFlush {
+                live: self.cache.live_translations() as u32,
+                used_words: self.cache.used_words() as u64,
+            });
             self.cache.flush();
             self.decode.flush();
             self.acct.charge(OverheadKind::Others, self.costs.init / 2, sink);
@@ -782,7 +829,18 @@ impl Tol {
             shape,
             valid: true,
         };
-        self.cache.install(t, out.code)
+        let guest_pc = region.guest_entry_pc;
+        let encoded_words = out.encoded_words;
+        let id = self.cache.install(t, out.code);
+        self.obs.region_size(src_insns);
+        self.obs.emit(TraceEventKind::CacheInsert {
+            id: id as u32,
+            pc: guest_pc,
+            words: encoded_words as u32,
+        });
+        self.obs
+            .cache_occupancy(self.cache.used_words() as u64, self.cfg.code_cache_words as u64);
+        id
     }
 
     // -- fault injection (debug-toolchain support) ---------------------------------

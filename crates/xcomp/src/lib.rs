@@ -100,6 +100,13 @@ impl XComponent {
         self.exited
     }
 
+    /// Registers the authoritative component's counters under `prefix`.
+    pub fn register_metrics(&self, reg: &mut darco_obs::Registry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.insns"), self.insns);
+        reg.set_counter(&format!("{prefix}.output_bytes"), self.output.len() as u64);
+        reg.set_counter(&format!("{prefix}.asid"), self.tracker.asid() as u64);
+    }
+
     /// Runs until exactly `count` guest instructions have retired
     /// (executing any system calls encountered on the way). Stops early —
     /// with an error — if the application ends first.

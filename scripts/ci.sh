@@ -6,6 +6,10 @@
 #   lint   — clippy with -D warnings on the whole workspace
 #   verify — darco-lint static verification over every workload
 #   speed  — one tiny benchmark run as a smoke test of the speed harness
+#   trace  — darco-run/darco-lint trace + flight exporters, validated with
+#            the repo's own JSON reader (darco-trace-check)
+#   obs    — the committed BENCH_obs.json must pass the tracing-overhead
+#            gate (traced <= 5%, disabled tracer <= 1% vs baseline)
 #
 # Everything runs offline; no network access is required.
 
@@ -33,5 +37,21 @@ speed_bin="$PWD/target/release/speed"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && "$speed_bin" --scale 1/512)
+
+# The exporters must produce artifacts the repo's own JSON reader accepts:
+# a Chrome trace + metrics registry from darco-run, a multi-workload trace
+# from darco-lint's machine-readable findings log.
+echo "==> trace smoke (exporters + darco-trace-check)"
+./target/release/darco-run kernel:crc32 \
+    --trace="$smoke_dir/trace.json" --metrics="$smoke_dir/metrics.json" \
+    --flight="$smoke_dir/flight.json" > /dev/null
+test ! -e "$smoke_dir/flight.json"  # clean run: no flight dump
+./target/release/darco-lint kernel:dot kernel:crc32 \
+    --trace="$smoke_dir/lint-trace.json" > /dev/null
+./target/release/darco-trace-check \
+    "$smoke_dir/trace.json" "$smoke_dir/metrics.json" "$smoke_dir/lint-trace.json"
+
+echo "==> obs overhead gate (committed BENCH_obs.json)"
+./target/release/darco-trace-check --obs-gate BENCH_obs.json
 
 echo "CI OK"
