@@ -2,23 +2,31 @@
 //! overhead"): disabling them must multiply TOL invocations (prologue +
 //! lookup overhead).
 
-use darco_bench::{default_config, run_one, Scale};
+use darco_bench::{default_config, jobs_from_args, run_jobs, Scale};
 use darco_workloads::benchmarks;
 
 fn main() {
     let scale = Scale::from_args();
+    let all = benchmarks();
+    // Two jobs per benchmark — chained, then chaining+IBTC off — on the
+    // fleet pool.
+    let mut work = Vec::new();
+    for idx in [0usize, 4, 13, 24, 28] {
+        let b = &all[idx];
+        work.push((b.clone(), default_config()));
+        let mut cfg = default_config();
+        cfg.tol.chaining = false;
+        cfg.tol.ibtc = false;
+        work.push((b.clone(), cfg));
+    }
+    let rows = run_jobs(scale, jobs_from_args(), work);
     println!("== A2: chaining + IBTC on/off ==");
     println!(
         "{:<16} {:>14} {:>14} {:>10}",
         "benchmark", "ovh% chained", "ovh% unchained", "dispatch x"
     );
-    for idx in [0usize, 4, 13, 24, 28] {
-        let b = &benchmarks()[idx];
-        let on = run_one(b, scale, default_config());
-        let mut cfg = default_config();
-        cfg.tol.chaining = false;
-        cfg.tol.ibtc = false;
-        let off = run_one(b, scale, cfg);
+    for pair in rows.chunks(2) {
+        let [(b, on), (_, off)] = pair else { unreachable!("two jobs per benchmark") };
         let disp_ratio = (off.overhead.prologue + off.overhead.cache_lookup) as f64
             / (on.overhead.prologue + on.overhead.cache_lookup).max(1) as f64;
         println!(

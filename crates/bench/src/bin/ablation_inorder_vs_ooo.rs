@@ -2,35 +2,43 @@
 //! energy comparison of the two styles on identical co-designed
 //! instruction streams.
 
-use darco_bench::{default_config, run_one, with_timing, Scale};
 use darco::SinkChoice;
+use darco_bench::{default_config, jobs_from_args, run_jobs, with_timing, Scale};
 use darco_workloads::benchmarks;
 
 fn main() {
     let scale = Scale::from_args();
+    let all = benchmarks();
+    // Two jobs per benchmark — wide in-order, narrow out-of-order — on
+    // the fleet pool.
+    let mut work = Vec::new();
+    for idx in [0usize, 4, 13, 24] {
+        let b = &all[idx];
+        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
+        cfg.timing = darco_timing::TimingConfig::wide_inorder();
+        cfg.power = true;
+        work.push((b.clone(), cfg));
+        let mut cfg = with_timing(default_config(), SinkChoice::OutOfOrder);
+        cfg.timing = darco_timing::TimingConfig::narrow_ooo();
+        cfg.power = true;
+        work.push((b.clone(), cfg));
+    }
+    let rows = run_jobs(scale, jobs_from_args(), work);
     println!("== A4: wide in-order vs narrow out-of-order ==");
     println!(
         "{:<16} {:>10} {:>10} {:>12} {:>12}",
         "benchmark", "inord IPC", "ooo IPC", "inord mW", "ooo mW"
     );
-    for idx in [0usize, 4, 13, 24] {
-        let b = &benchmarks()[idx];
-        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
-        cfg.timing = darco_timing::TimingConfig::wide_inorder();
-        cfg.power = true;
-        let ino = run_one(b, scale, cfg);
-        let mut cfg = with_timing(default_config(), SinkChoice::OutOfOrder);
-        cfg.timing = darco_timing::TimingConfig::narrow_ooo();
-        cfg.power = true;
-        let ooo = run_one(b, scale, cfg);
-        let (it, ot) = (ino.timing.unwrap(), ooo.timing.unwrap());
+    for pair in rows.chunks(2) {
+        let [(b, ino), (_, ooo)] = pair else { unreachable!("two jobs per benchmark") };
+        let (it, ot) = (ino.timing.as_ref().unwrap(), ooo.timing.as_ref().unwrap());
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>12.1} {:>12.1}",
             b.name,
             it.ipc(),
             ot.ipc(),
-            ino.power.unwrap().avg_power_mw,
-            ooo.power.unwrap().avg_power_mw,
+            ino.power.as_ref().unwrap().avg_power_mw,
+            ooo.power.as_ref().unwrap().avg_power_mw,
         );
     }
     println!("(the co-designed bet: static scheduling lets the wide in-order core compete)");

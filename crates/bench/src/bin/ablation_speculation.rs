@@ -2,11 +2,26 @@
 //! with rollback vs multi-exit-only superblocks, plus the unrolling knob.
 
 use darco::SinkChoice;
-use darco_bench::{default_config, run_one, with_timing, Scale};
+use darco_bench::{default_config, jobs_from_args, run_jobs, with_timing, Scale};
 use darco_workloads::benchmarks;
 
 fn main() {
     let scale = Scale::from_args();
+    let all = benchmarks();
+    // Three jobs per benchmark — speculation, no-speculation, no-unroll —
+    // on the fleet pool.
+    let mut work = Vec::new();
+    for idx in [0usize, 4, 13, 24, 25] {
+        let b = &all[idx];
+        work.push((b.clone(), with_timing(default_config(), SinkChoice::InOrder)));
+        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
+        cfg.tol.speculation = false;
+        work.push((b.clone(), cfg));
+        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
+        cfg.tol.unroll = false;
+        work.push((b.clone(), cfg));
+    }
+    let rows = run_jobs(scale, jobs_from_args(), work);
     println!("== A3: superblock speculation (asserts) vs multi-exit; unrolling ==");
     println!(
         "{:<16} {:>11} {:>11} {:>11} {:>9}",
@@ -16,21 +31,16 @@ fn main() {
     // freedom asserts buy: multi-exit superblocks must keep stores on
     // their side of every exit and cannot reorder may-alias pairs.
     let cpi = |r: &darco::RunReport| r.timing.as_ref().unwrap().cycles as f64 / r.guest_insns as f64;
-    for idx in [0usize, 4, 13, 24, 25] {
-        let b = &benchmarks()[idx];
-        let spec = run_one(b, scale, with_timing(default_config(), SinkChoice::InOrder));
-        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
-        cfg.tol.speculation = false;
-        let nospec = run_one(b, scale, cfg);
-        let mut cfg = with_timing(default_config(), SinkChoice::InOrder);
-        cfg.tol.unroll = false;
-        let nounroll = run_one(b, scale, cfg);
+    for group in rows.chunks(3) {
+        let [(b, spec), (_, nospec), (_, nounroll)] = group else {
+            unreachable!("three jobs per benchmark")
+        };
         println!(
             "{:<16} {:>11.3} {:>11.3} {:>11.3} {:>9}",
             b.name,
-            cpi(&spec),
-            cpi(&nospec),
-            cpi(&nounroll),
+            cpi(spec),
+            cpi(nospec),
+            cpi(nounroll),
             spec.rollbacks
         );
     }

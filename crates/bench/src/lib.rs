@@ -44,6 +44,23 @@ impl Scale {
     }
 }
 
+/// Parses the shared `--jobs N` harness flag from argv; defaults to
+/// available parallelism. Every figure/ablation binary (and the
+/// fleet-backed suite helpers) honors it.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--jobs" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// The default experiment configuration (functional mode).
 pub fn default_config() -> SystemConfig {
     SystemConfig::default()
@@ -61,18 +78,66 @@ pub fn run_one(b: &Benchmark, scale: Scale, cfg: SystemConfig) -> RunReport {
         .unwrap_or_else(|e| panic!("{} failed: {e}", b.name))
 }
 
-/// Runs the whole suite, returning `(benchmark, report)` pairs.
+/// Runs an explicit `(benchmark, config)` job list, returning reports in
+/// input order. With `jobs > 1` the list executes on a `darco-fleet`
+/// work-stealing pool; results still come back in input order (the
+/// pool's determinism contract), so output is identical to a serial run.
+///
+/// # Panics
+/// Propagates [`run_one`]'s panic for any failing job — experiments must
+/// run correct.
+pub fn run_jobs(
+    scale: Scale,
+    jobs: usize,
+    work: Vec<(Benchmark, SystemConfig)>,
+) -> Vec<(Benchmark, RunReport)> {
+    if jobs.max(1) == 1 {
+        return work
+            .into_iter()
+            .map(|(b, cfg)| {
+                let r = run_one(&b, scale, cfg);
+                (b, r)
+            })
+            .collect();
+    }
+    let benches: Vec<Benchmark> = work.iter().map(|(b, _)| b.clone()).collect();
+    let pool = darco_fleet::Pool::new(jobs);
+    let out = pool.map(work, move |_, (b, cfg)| run_one(b, scale, cfg.clone()));
+    benches
+        .into_iter()
+        .zip(out)
+        .map(|(b, r)| match r {
+            Ok(report) => (b, report),
+            Err(e) => panic!("{}: {e}", b.name),
+        })
+        .collect()
+}
+
+/// Runs the whole suite on `jobs` workers, returning `(benchmark,
+/// report)` pairs in suite order.
+pub fn run_suite_jobs(
+    scale: Scale,
+    jobs: usize,
+    mk_cfg: impl Fn(&Benchmark) -> SystemConfig,
+) -> Vec<(Benchmark, RunReport)> {
+    let work = benchmarks()
+        .into_iter()
+        .map(|b| {
+            let cfg = mk_cfg(&b);
+            (b, cfg)
+        })
+        .collect();
+    run_jobs(scale, jobs, work)
+}
+
+/// Runs the whole suite, returning `(benchmark, report)` pairs. Honors
+/// the shared `--jobs N` flag (default: available parallelism) via the
+/// fleet pool; see [`run_suite_jobs`] for an explicit worker count.
 pub fn run_suite(
     scale: Scale,
     mk_cfg: impl Fn(&Benchmark) -> SystemConfig,
 ) -> Vec<(Benchmark, RunReport)> {
-    benchmarks()
-        .into_iter()
-        .map(|b| {
-            let r = run_one(&b, scale, mk_cfg(&b));
-            (b, r)
-        })
-        .collect()
+    run_suite_jobs(scale, jobs_from_args(), mk_cfg)
 }
 
 /// Per-suite average of a metric.
@@ -128,6 +193,26 @@ pub fn with_timing(mut cfg: SystemConfig, sink: SinkChoice) -> SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pooled_jobs_match_serial_results() {
+        let work = || {
+            benchmarks()
+                .into_iter()
+                .take(3)
+                .map(|b| (b, default_config()))
+                .collect::<Vec<_>>()
+        };
+        let serial = run_jobs(Scale(1, 64), 1, work());
+        let pooled = run_jobs(Scale(1, 64), 4, work());
+        assert_eq!(serial.len(), pooled.len());
+        for ((b1, r1), (b2, r2)) in serial.iter().zip(&pooled) {
+            assert_eq!(b1.name, b2.name, "input order preserved");
+            assert_eq!(r1.guest_insns, r2.guest_insns, "{}", b1.name);
+            assert_eq!(r1.mode_insns, r2.mode_insns, "{}", b1.name);
+            assert_eq!(r1.overhead.total(), r2.overhead.total(), "{}", b1.name);
+        }
+    }
 
     #[test]
     fn one_benchmark_of_each_suite_runs_at_tiny_scale() {

@@ -1,0 +1,503 @@
+//! [`SystemConfig`] ⇄ JSON, through the workspace's own writer/parser
+//! ([`darco_obs::json`]).
+//!
+//! `darco-fleet` campaigns are files: a campaign JSON names workloads and
+//! embeds the [`SystemConfig`] each job runs under. Serialization emits
+//! every field; parsing is *sparse* — it starts from
+//! [`SystemConfig::default`] and overrides only the keys present — so a
+//! campaign can say `{"tol":{"opt_level":"O1"},"sink":"inorder"}` and
+//! nothing else. Unknown keys are errors (a typo in a campaign file must
+//! not silently run the default configuration).
+//!
+//! Integer fields round-trip exactly up to 2^53 (the parser reads numbers
+//! as `f64`); every knob in the system is far below that.
+
+use crate::system::{SinkChoice, SystemConfig};
+use darco_ir::sched::SchedConfig;
+use darco_ir::OptLevel;
+use darco_obs::json::{JsonValue, JsonWriter};
+use darco_timing::{CacheConfig, TimingConfig, TlbConfig};
+use darco_tol::{BugKind, Injection, TolConfig, VerifyMode};
+
+// -- emission -----------------------------------------------------------------
+
+fn opt_level_name(l: OptLevel) -> &'static str {
+    match l {
+        OptLevel::O0 => "O0",
+        OptLevel::O1 => "O1",
+        OptLevel::O2 => "O2",
+        OptLevel::O3 => "O3",
+    }
+}
+
+fn sink_name(s: SinkChoice) -> &'static str {
+    match s {
+        SinkChoice::None => "none",
+        SinkChoice::InOrder => "inorder",
+        SinkChoice::OutOfOrder => "ooo",
+    }
+}
+
+fn verify_name(v: VerifyMode) -> &'static str {
+    match v {
+        VerifyMode::Off => "off",
+        VerifyMode::Report => "report",
+        VerifyMode::Fatal => "fatal",
+    }
+}
+
+fn bug_name(b: BugKind) -> &'static str {
+    match b {
+        BugKind::TranslatorWrongConstant => "translator_wrong_constant",
+        BugKind::OptimizerBadFold => "optimizer_bad_fold",
+        BugKind::CodegenDropStore => "codegen_drop_store",
+    }
+}
+
+fn write_cache(w: &mut JsonWriter, key: &str, c: &CacheConfig) {
+    w.begin_obj(Some(key))
+        .field_num("size", c.size)
+        .field_num("ways", c.ways)
+        .field_num("line", c.line)
+        .field_num("latency", c.latency)
+        .end_obj();
+}
+
+fn write_tlb(w: &mut JsonWriter, key: &str, t: &TlbConfig) {
+    w.begin_obj(Some(key))
+        .field_num("entries", t.entries)
+        .field_num("miss_penalty", t.miss_penalty)
+        .end_obj();
+}
+
+fn write_tol(w: &mut JsonWriter, key: &str, t: &TolConfig) {
+    w.begin_obj(Some(key));
+    w.field_num("bbm_threshold", t.bbm_threshold);
+    w.field_num("sbm_threshold", t.sbm_threshold);
+    w.field_f64("edge_bias", t.edge_bias);
+    w.field_f64("min_reach_prob", t.min_reach_prob);
+    w.field_num("max_sb_insns", t.max_sb_insns);
+    w.field_num("max_sb_bbs", t.max_sb_bbs);
+    w.field_num("assert_fail_limit", t.assert_fail_limit);
+    w.field_bool("unroll", t.unroll);
+    w.field_num("unroll_factor", t.unroll_factor);
+    w.field_str("opt_level", opt_level_name(t.opt_level));
+    w.field_bool("speculation", t.speculation);
+    w.field_bool("strict_flags", t.strict_flags);
+    w.field_bool("chaining", t.chaining);
+    w.field_bool("ibtc", t.ibtc);
+    w.field_num("code_cache_words", t.code_cache_words);
+    w.begin_obj(Some("sched"))
+        .field_num("issue_width", t.sched.issue_width)
+        .field_num("mem_ports", t.sched.mem_ports)
+        .field_num("fp_units", t.sched.fp_units)
+        .field_num("muldiv_units", t.sched.muldiv_units)
+        .end_obj();
+    match &t.injection {
+        Some(inj) => {
+            w.begin_obj(Some("injection"))
+                .field_str("kind", bug_name(inj.kind))
+                .field_num("translation_ordinal", inj.translation_ordinal)
+                .end_obj();
+        }
+        None => {
+            w.field_null("injection");
+        }
+    }
+    w.field_str("verify", verify_name(t.verify));
+    w.end_obj();
+}
+
+fn write_timing(w: &mut JsonWriter, key: &str, t: &TimingConfig) {
+    w.begin_obj(Some(key));
+    w.field_num("fetch_width", t.fetch_width);
+    w.field_num("issue_width", t.issue_width);
+    w.field_num("iq_size", t.iq_size);
+    w.field_num("frontend_depth", t.frontend_depth);
+    w.field_num("simple_units", t.simple_units);
+    w.field_num("complex_units", t.complex_units);
+    w.field_num("fp_units", t.fp_units);
+    w.field_num("mem_read_ports", t.mem_read_ports);
+    w.field_num("mem_write_ports", t.mem_write_ports);
+    w.field_num("phys_regs", t.phys_regs);
+    w.field_num("vec_phys_regs", t.vec_phys_regs);
+    w.field_num("vector_len", t.vector_len);
+    w.field_num("lat_mul", t.lat_mul);
+    w.field_num("lat_div", t.lat_div);
+    w.field_num("lat_fpadd", t.lat_fpadd);
+    w.field_num("lat_fpmul", t.lat_fpmul);
+    w.field_num("lat_fpdiv", t.lat_fpdiv);
+    w.field_num("lat_fpsqrt", t.lat_fpsqrt);
+    w.field_num("gshare_bits", t.gshare_bits);
+    w.field_num("btb_entries", t.btb_entries);
+    w.field_num("mispredict_penalty", t.mispredict_penalty);
+    write_cache(w, "il1", &t.il1);
+    write_cache(w, "dl1", &t.dl1);
+    write_cache(w, "l2", &t.l2);
+    w.field_num("mem_latency", t.mem_latency);
+    write_tlb(w, "itlb", &t.itlb);
+    write_tlb(w, "dtlb", &t.dtlb);
+    write_tlb(w, "l2tlb", &t.l2tlb);
+    w.field_bool("prefetch", t.prefetch);
+    w.field_num("prefetch_degree", t.prefetch_degree);
+    w.field_num("rob_size", t.rob_size);
+    w.field_num("clock_mhz", t.clock_mhz);
+    w.end_obj();
+}
+
+/// Serializes a [`SystemConfig`] to a JSON object string (every field,
+/// in declaration order — the output is byte-stable for equal configs).
+pub fn config_to_json(c: &SystemConfig) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    write_tol(&mut w, "tol", &c.tol);
+    match c.validate_every {
+        Some(n) => w.field_num("validate_every", n),
+        None => w.field_null("validate_every"),
+    };
+    w.field_bool("compare_flags", c.compare_flags);
+    w.field_str("sink", sink_name(c.sink));
+    write_timing(&mut w, "timing", &c.timing);
+    w.field_bool("timing_includes_tol", c.timing_includes_tol);
+    w.field_bool("power", c.power);
+    w.field_num("max_guest_insns", c.max_guest_insns);
+    match c.trace_capacity {
+        Some(n) => w.field_num("trace_capacity", n),
+        None => w.field_null("trace_capacity"),
+    };
+    match &c.flight_path {
+        Some(p) => w.field_str("flight_path", p),
+        None => w.field_null("flight_path"),
+    };
+    w.end_obj();
+    w.finish()
+}
+
+// -- parsing ------------------------------------------------------------------
+
+fn want_u64(v: &JsonValue, ctx: &str) -> Result<u64, String> {
+    match v.as_num() {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
+        _ => Err(format!("{ctx}: expected a non-negative integer")),
+    }
+}
+
+fn want_u32(v: &JsonValue, ctx: &str) -> Result<u32, String> {
+    u32::try_from(want_u64(v, ctx)?).map_err(|_| format!("{ctx}: out of u32 range"))
+}
+
+fn want_f64(v: &JsonValue, ctx: &str) -> Result<f64, String> {
+    v.as_num().ok_or_else(|| format!("{ctx}: expected a number"))
+}
+
+fn want_bool(v: &JsonValue, ctx: &str) -> Result<bool, String> {
+    match v {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("{ctx}: expected a bool")),
+    }
+}
+
+fn want_str<'a>(v: &'a JsonValue, ctx: &str) -> Result<&'a str, String> {
+    v.as_str().ok_or_else(|| format!("{ctx}: expected a string"))
+}
+
+fn members<'a>(v: &'a JsonValue, ctx: &str) -> Result<&'a [(String, JsonValue)], String> {
+    match v {
+        JsonValue::Obj(m) => Ok(m),
+        _ => Err(format!("{ctx}: expected an object")),
+    }
+}
+
+fn apply_cache(c: &mut CacheConfig, v: &JsonValue, ctx: &str) -> Result<(), String> {
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "size" => c.size = want_u32(val, &ctx)?,
+            "ways" => c.ways = want_u32(val, &ctx)?,
+            "line" => c.line = want_u32(val, &ctx)?,
+            "latency" => c.latency = want_u32(val, &ctx)?,
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+fn apply_tlb(t: &mut TlbConfig, v: &JsonValue, ctx: &str) -> Result<(), String> {
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "entries" => t.entries = want_u32(val, &ctx)?,
+            "miss_penalty" => t.miss_penalty = want_u32(val, &ctx)?,
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+fn apply_sched(s: &mut SchedConfig, v: &JsonValue, ctx: &str) -> Result<(), String> {
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "issue_width" => s.issue_width = want_u32(val, &ctx)?,
+            "mem_ports" => s.mem_ports = want_u32(val, &ctx)?,
+            "fp_units" => s.fp_units = want_u32(val, &ctx)?,
+            "muldiv_units" => s.muldiv_units = want_u32(val, &ctx)?,
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_injection(v: &JsonValue, ctx: &str) -> Result<Option<Injection>, String> {
+    if *v == JsonValue::Null {
+        return Ok(None);
+    }
+    let mut kind = None;
+    let mut ordinal = 0;
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "kind" => {
+                kind = Some(match want_str(val, &ctx)? {
+                    "translator_wrong_constant" => BugKind::TranslatorWrongConstant,
+                    "optimizer_bad_fold" => BugKind::OptimizerBadFold,
+                    "codegen_drop_store" => BugKind::CodegenDropStore,
+                    other => return Err(format!("{ctx}: unknown bug kind `{other}`")),
+                })
+            }
+            "translation_ordinal" => ordinal = want_u64(val, &ctx)?,
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    match kind {
+        Some(kind) => Ok(Some(Injection { kind, translation_ordinal: ordinal })),
+        None => Err(format!("{ctx}: injection needs a `kind`")),
+    }
+}
+
+fn apply_tol(t: &mut TolConfig, v: &JsonValue, ctx: &str) -> Result<(), String> {
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "bbm_threshold" => t.bbm_threshold = want_u64(val, &ctx)?,
+            "sbm_threshold" => t.sbm_threshold = want_u64(val, &ctx)?,
+            "edge_bias" => t.edge_bias = want_f64(val, &ctx)?,
+            "min_reach_prob" => t.min_reach_prob = want_f64(val, &ctx)?,
+            "max_sb_insns" => t.max_sb_insns = want_u64(val, &ctx)? as usize,
+            "max_sb_bbs" => t.max_sb_bbs = want_u64(val, &ctx)? as usize,
+            "assert_fail_limit" => t.assert_fail_limit = want_u32(val, &ctx)?,
+            "unroll" => t.unroll = want_bool(val, &ctx)?,
+            "unroll_factor" => {
+                t.unroll_factor = u8::try_from(want_u64(val, &ctx)?)
+                    .map_err(|_| format!("{ctx}: out of u8 range"))?
+            }
+            "opt_level" => {
+                t.opt_level = match want_str(val, &ctx)? {
+                    "O0" => OptLevel::O0,
+                    "O1" => OptLevel::O1,
+                    "O2" => OptLevel::O2,
+                    "O3" => OptLevel::O3,
+                    other => return Err(format!("{ctx}: unknown opt level `{other}`")),
+                }
+            }
+            "speculation" => t.speculation = want_bool(val, &ctx)?,
+            "strict_flags" => t.strict_flags = want_bool(val, &ctx)?,
+            "chaining" => t.chaining = want_bool(val, &ctx)?,
+            "ibtc" => t.ibtc = want_bool(val, &ctx)?,
+            "code_cache_words" => t.code_cache_words = want_u64(val, &ctx)? as usize,
+            "sched" => apply_sched(&mut t.sched, val, &ctx)?,
+            "injection" => t.injection = parse_injection(val, &ctx)?,
+            "verify" => {
+                t.verify = match want_str(val, &ctx)? {
+                    "off" => VerifyMode::Off,
+                    "report" => VerifyMode::Report,
+                    "fatal" => VerifyMode::Fatal,
+                    other => return Err(format!("{ctx}: unknown verify mode `{other}`")),
+                }
+            }
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+fn apply_timing(t: &mut TimingConfig, v: &JsonValue, ctx: &str) -> Result<(), String> {
+    for (k, val) in members(v, ctx)? {
+        let ctx = format!("{ctx}.{k}");
+        match k.as_str() {
+            "fetch_width" => t.fetch_width = want_u32(val, &ctx)?,
+            "issue_width" => t.issue_width = want_u32(val, &ctx)?,
+            "iq_size" => t.iq_size = want_u32(val, &ctx)?,
+            "frontend_depth" => t.frontend_depth = want_u32(val, &ctx)?,
+            "simple_units" => t.simple_units = want_u32(val, &ctx)?,
+            "complex_units" => t.complex_units = want_u32(val, &ctx)?,
+            "fp_units" => t.fp_units = want_u32(val, &ctx)?,
+            "mem_read_ports" => t.mem_read_ports = want_u32(val, &ctx)?,
+            "mem_write_ports" => t.mem_write_ports = want_u32(val, &ctx)?,
+            "phys_regs" => t.phys_regs = want_u32(val, &ctx)?,
+            "vec_phys_regs" => t.vec_phys_regs = want_u32(val, &ctx)?,
+            "vector_len" => t.vector_len = want_u32(val, &ctx)?,
+            "lat_mul" => t.lat_mul = want_u32(val, &ctx)?,
+            "lat_div" => t.lat_div = want_u32(val, &ctx)?,
+            "lat_fpadd" => t.lat_fpadd = want_u32(val, &ctx)?,
+            "lat_fpmul" => t.lat_fpmul = want_u32(val, &ctx)?,
+            "lat_fpdiv" => t.lat_fpdiv = want_u32(val, &ctx)?,
+            "lat_fpsqrt" => t.lat_fpsqrt = want_u32(val, &ctx)?,
+            "gshare_bits" => t.gshare_bits = want_u32(val, &ctx)?,
+            "btb_entries" => t.btb_entries = want_u32(val, &ctx)?,
+            "mispredict_penalty" => t.mispredict_penalty = want_u32(val, &ctx)?,
+            "il1" => apply_cache(&mut t.il1, val, &ctx)?,
+            "dl1" => apply_cache(&mut t.dl1, val, &ctx)?,
+            "l2" => apply_cache(&mut t.l2, val, &ctx)?,
+            "mem_latency" => t.mem_latency = want_u32(val, &ctx)?,
+            "itlb" => apply_tlb(&mut t.itlb, val, &ctx)?,
+            "dtlb" => apply_tlb(&mut t.dtlb, val, &ctx)?,
+            "l2tlb" => apply_tlb(&mut t.l2tlb, val, &ctx)?,
+            "prefetch" => t.prefetch = want_bool(val, &ctx)?,
+            "prefetch_degree" => t.prefetch_degree = want_u32(val, &ctx)?,
+            "rob_size" => t.rob_size = want_u32(val, &ctx)?,
+            "clock_mhz" => t.clock_mhz = want_u32(val, &ctx)?,
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`SystemConfig`] from parsed JSON: defaults, overridden by
+/// whatever keys are present.
+///
+/// # Errors
+/// Returns a message naming the offending key path on unknown keys,
+/// wrong types or unknown enum spellings.
+pub fn config_from_json(v: &JsonValue) -> Result<SystemConfig, String> {
+    let mut c = SystemConfig::default();
+    config_apply_json(&mut c, v)?;
+    Ok(c)
+}
+
+/// Applies a sparse JSON patch to an existing config — campaign files
+/// layer `defaults.config` and a per-job `config` on top of each other
+/// with repeated calls.
+///
+/// # Errors
+/// Same contract as [`config_from_json`].
+pub fn config_apply_json(c: &mut SystemConfig, v: &JsonValue) -> Result<(), String> {
+    for (k, val) in members(v, "config")? {
+        let ctx = format!("config.{k}");
+        match k.as_str() {
+            "tol" => apply_tol(&mut c.tol, val, &ctx)?,
+            "validate_every" => {
+                c.validate_every =
+                    if *val == JsonValue::Null { None } else { Some(want_u64(val, &ctx)?) }
+            }
+            "compare_flags" => c.compare_flags = want_bool(val, &ctx)?,
+            "sink" => {
+                c.sink = match want_str(val, &ctx)? {
+                    "none" => SinkChoice::None,
+                    "inorder" => SinkChoice::InOrder,
+                    "ooo" => SinkChoice::OutOfOrder,
+                    other => return Err(format!("{ctx}: unknown sink `{other}`")),
+                }
+            }
+            "timing" => apply_timing(&mut c.timing, val, &ctx)?,
+            "timing_includes_tol" => c.timing_includes_tol = want_bool(val, &ctx)?,
+            "power" => c.power = want_bool(val, &ctx)?,
+            "max_guest_insns" => c.max_guest_insns = want_u64(val, &ctx)?,
+            "trace_capacity" => {
+                c.trace_capacity = if *val == JsonValue::Null {
+                    None
+                } else {
+                    Some(want_u64(val, &ctx)? as usize)
+                }
+            }
+            "flight_path" => {
+                c.flight_path =
+                    if *val == JsonValue::Null { None } else { Some(want_str(val, &ctx)?.to_string()) }
+            }
+            _ => return Err(format!("{ctx}: unknown key")),
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: parse a JSON string straight into a config.
+///
+/// # Errors
+/// Propagates JSON syntax errors and [`config_from_json`] failures.
+pub fn config_from_str(s: &str) -> Result<SystemConfig, String> {
+    let v = darco_obs::parse(s).map_err(|e| e.to_string())?;
+    config_from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_round_trips_byte_identically() {
+        let c = SystemConfig::default();
+        let json = config_to_json(&c);
+        let back = config_from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(config_to_json(&back), json, "re-serialization is byte-stable");
+    }
+
+    #[test]
+    fn non_default_config_round_trips() {
+        let mut c = SystemConfig::default();
+        c.tol.bbm_threshold = 3;
+        c.tol.sbm_threshold = 12;
+        c.tol.opt_level = OptLevel::O1;
+        c.tol.speculation = false;
+        c.tol.verify = VerifyMode::Report;
+        c.tol.injection =
+            Some(Injection { kind: BugKind::OptimizerBadFold, translation_ordinal: 5 });
+        c.validate_every = Some(10_000);
+        c.sink = SinkChoice::OutOfOrder;
+        c.timing = TimingConfig::narrow_ooo();
+        c.power = true;
+        c.trace_capacity = Some(4096);
+        c.flight_path = Some("out/flight.json".to_string());
+        let back = config_from_str(&config_to_json(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn sparse_override_starts_from_defaults() {
+        let c = config_from_str(
+            r#"{"tol":{"opt_level":"O2","bbm_threshold":7},"sink":"inorder","power":true}"#,
+        )
+        .unwrap();
+        assert_eq!(c.tol.opt_level, OptLevel::O2);
+        assert_eq!(c.tol.bbm_threshold, 7);
+        assert_eq!(c.sink, SinkChoice::InOrder);
+        assert!(c.power);
+        // Everything else keeps the default.
+        assert_eq!(c.tol.sbm_threshold, TolConfig::default().sbm_threshold);
+        assert_eq!(c.max_guest_insns, SystemConfig::default().max_guest_insns);
+    }
+
+    #[test]
+    fn patches_layer_left_to_right() {
+        let mut c = SystemConfig::default();
+        let base = darco_obs::parse(r#"{"tol":{"opt_level":"O1","bbm_threshold":9}}"#).unwrap();
+        let job = darco_obs::parse(r#"{"tol":{"opt_level":"O3"},"power":true}"#).unwrap();
+        config_apply_json(&mut c, &base).unwrap();
+        config_apply_json(&mut c, &job).unwrap();
+        assert_eq!(c.tol.opt_level, OptLevel::O3, "job patch wins");
+        assert_eq!(c.tol.bbm_threshold, 9, "base patch survives where the job is silent");
+        assert!(c.power);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_named_errors() {
+        let e = config_from_str(r#"{"tol":{"bmm_threshold":3}}"#).unwrap_err();
+        assert!(e.contains("config.tol.bmm_threshold"), "{e}");
+        let e = config_from_str(r#"{"sink":"fast"}"#).unwrap_err();
+        assert!(e.contains("unknown sink"), "{e}");
+        let e = config_from_str(r#"{"max_guest_insns":-4}"#).unwrap_err();
+        assert!(e.contains("non-negative"), "{e}");
+        let e = config_from_str(r#"{"timing":{"il1":{"sets":4}}}"#).unwrap_err();
+        assert!(e.contains("config.timing.il1.sets"), "{e}");
+    }
+}

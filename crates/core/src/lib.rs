@@ -40,11 +40,13 @@
 //! assert_eq!(report.guest_insns, 1 + 3 * 100);
 //! ```
 
+pub mod config_json;
 pub mod debug;
 pub mod json;
 pub mod machine;
 pub mod sampling;
 pub mod system;
 
+pub use config_json::{config_apply_json, config_from_json, config_from_str, config_to_json};
 pub use machine::{Machine, MachineEvent};
 pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig};

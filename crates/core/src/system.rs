@@ -22,7 +22,7 @@ pub enum SinkChoice {
 }
 
 /// Top-level configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Software-layer configuration.
     pub tol: TolConfig,

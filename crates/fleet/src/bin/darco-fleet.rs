@@ -1,0 +1,194 @@
+//! `darco-fleet` — run campaigns in parallel, or serve jobs over TCP.
+//!
+//! ```text
+//! darco-fleet run campaign.json --jobs 4 --out merged.json --flight-dir flights/
+//! darco-fleet serve --addr 127.0.0.1:7077 --jobs 8 --queue-cap 32
+//! ```
+//!
+//! `run` executes a campaign file on the work-stealing pool and writes
+//! the merged deterministic artifact (byte-identical for any `--jobs`);
+//! the per-job schedule view (wall-clock, attempts, flight dumps) goes
+//! to stderr. Exit status: 0 when every job succeeded, 1 when any
+//! failed/panicked/timed out/was skipped, 2 on usage or campaign errors.
+//!
+//! `serve` starts the JSON-lines job server (see `darco_fleet::server`).
+//! SIGINT in either mode shuts down gracefully: running jobs finish,
+//! queued jobs drain as `skipped`.
+
+use darco_fleet::{parse_campaign, run_campaign, signal, Pool, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         \u{20} darco-fleet run <campaign.json> [--jobs N] [--out FILE]\n\
+         \u{20}             [--flight-dir DIR] [--queue-cap N]\n\
+         \u{20} darco-fleet serve --addr HOST:PORT [--jobs N] [--queue-cap N]\n\
+         \u{20}             [--flight-dir DIR]\n\
+         \n\
+         \u{20} --jobs N        worker threads (default: available parallelism)\n\
+         \u{20} --out FILE      write the merged artifact here (default: stdout)\n\
+         \u{20} --flight-dir D  write job-<id>.flight.json for failing jobs\n\
+         \u{20} --queue-cap N   backpressure bound on unstarted jobs"
+    );
+    std::process::exit(2);
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+struct Opts {
+    jobs: usize,
+    out: Option<PathBuf>,
+    flight_dir: Option<PathBuf>,
+    queue_cap: Option<usize>,
+    addr: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        jobs: default_jobs(),
+        out: None,
+        flight_dir: None,
+        queue_cap: None,
+        addr: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--jobs" => o.jobs = take(&mut i).parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()),
+            "--out" => o.out = Some(PathBuf::from(take(&mut i))),
+            "--flight-dir" => o.flight_dir = Some(PathBuf::from(take(&mut i))),
+            "--queue-cap" => {
+                o.queue_cap = Some(take(&mut i).parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()))
+            }
+            "--addr" => o.addr = Some(take(&mut i)),
+            a if a.starts_with("--") => usage(),
+            a => o.positional.push(a.to_string()),
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Polls the SIGINT flag and fires `on_interrupt` once. The thread is
+/// detached; process exit reaps it.
+fn watch_sigint(on_interrupt: impl Fn() + Send + 'static) {
+    signal::install_sigint();
+    let _ = std::thread::Builder::new().name("fleet-sigint".to_string()).spawn(move || loop {
+        if signal::interrupted() {
+            eprintln!("darco-fleet: interrupted; letting running jobs finish");
+            on_interrupt();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+fn cmd_run(o: &Opts) -> ExitCode {
+    let [path] = o.positional.as_slice() else { usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("darco-fleet: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let campaign = match parse_campaign(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("darco-fleet: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(d) = &o.flight_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("darco-fleet: cannot create {}: {e}", d.display());
+            return ExitCode::from(2);
+        }
+    }
+    let pool = match o.queue_cap {
+        Some(cap) => Pool::with_queue_cap(o.jobs, cap),
+        None => Pool::new(o.jobs),
+    };
+    watch_sigint(pool.poisoner());
+    eprintln!(
+        "darco-fleet: campaign `{}`: {} jobs on {} workers",
+        campaign.name,
+        campaign.jobs.len(),
+        pool.workers()
+    );
+    let outcome = run_campaign(&campaign, &pool, o.flight_dir.as_deref());
+    for r in &outcome.results {
+        eprintln!("  {}", r.schedule_json());
+    }
+    let merged = outcome.merged_json();
+    match &o.out {
+        Some(f) => {
+            if let Err(e) = std::fs::write(f, &merged) {
+                eprintln!("darco-fleet: cannot write {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("darco-fleet: merged artifact written to {}", f.display());
+        }
+        None => println!("{merged}"),
+    }
+    eprintln!(
+        "darco-fleet: {} ok, {} failed of {} jobs",
+        outcome.ok_count(),
+        outcome.failed_count(),
+        outcome.results.len()
+    );
+    if outcome.failed_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_serve(o: &Opts) -> ExitCode {
+    let Some(addr) = &o.addr else { usage() };
+    if !o.positional.is_empty() {
+        usage();
+    }
+    if let Some(d) = &o.flight_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("darco-fleet: cannot create {}: {e}", d.display());
+            return ExitCode::from(2);
+        }
+    }
+    let server =
+        match Server::bind(addr, o.jobs, o.queue_cap.unwrap_or(o.jobs * 4), o.flight_dir.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("darco-fleet: cannot bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    match server.local_addr() {
+        Ok(a) => eprintln!("darco-fleet: serving on {a} with {} workers", o.jobs),
+        Err(_) => eprintln!("darco-fleet: serving on {addr} with {} workers", o.jobs),
+    }
+    watch_sigint(server.stopper());
+    server.run();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else { usage() };
+    let o = parse_opts(&args[1..]);
+    match mode.as_str() {
+        "run" => cmd_run(&o),
+        "serve" => cmd_serve(&o),
+        _ => usage(),
+    }
+}

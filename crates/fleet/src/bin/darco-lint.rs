@@ -9,8 +9,14 @@
 //! ```text
 //! darco-lint all --scale 1/512
 //! darco-lint 403.gcc kernel:crc32 --opt O2
-//! darco-lint all --scale 1/512 --trace=lint-trace.json
+//! darco-lint all --scale 1/512 --trace=lint-trace.json --jobs 4
 //! ```
+//!
+//! Workloads lint independently, so the suite runs on the `darco-fleet`
+//! work-stealing pool (`--jobs N`, default: available parallelism).
+//! Output order and content are identical for any worker count: each
+//! workload's report is rendered into a buffer and printed in target
+//! order after the pool drains.
 //!
 //! With `--trace`, every workload's run is recorded through the trace
 //! layer and one Chrome trace-event JSON array is written with a process
@@ -21,10 +27,12 @@
 //! Exits 1 if any workload produced findings, 0 on a clean suite.
 
 use darco::machine::Machine;
+use darco_fleet::Pool;
 use darco_host::sink::NullSink;
 use darco_obs::{chrome, TraceEvent, Tracer};
 use darco_tol::{TolConfig, VerifyMode};
 use darco_workloads::{benchmarks, kernels};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -41,6 +49,8 @@ fn usage() -> ! {
            --scale N/D      scale benchmark iteration counts (default 1/1)\n\
            --max-insns N    per-workload retired-instruction cap (default 20000000)\n\
            --no-spec        disable speculation (multi-exit superblocks)\n\
+           --jobs N         lint workloads on N pool workers (default:\n\
+         \u{20}                available parallelism)\n\
            --trace[=]FILE   write all workloads' trace events (including\n\
          \u{20}                verifier findings) as Chrome trace-event JSON"
     );
@@ -58,13 +68,16 @@ struct LintOutcome {
     failed: bool,
 }
 
+/// Lints one workload, rendering its report into `out` instead of
+/// printing — the pool runs these concurrently and the caller prints the
+/// buffers in target order.
 fn lint_one(
     name: &str,
     program: darco_guest::GuestProgram,
     cfg: &TolConfig,
     cap: u64,
     trace: bool,
-) -> (LintOutcome, Vec<TraceEvent>) {
+) -> (LintOutcome, Vec<TraceEvent>, String) {
     let mut m = Machine::new(cfg.clone(), &program);
     if trace {
         m.tol.obs.trace = Tracer::ring(LINT_TRACE_CAP);
@@ -72,18 +85,20 @@ fn lint_one(
     let run = m.run_to(cap, true, &mut NullSink);
     let stats = m.tol.stats;
     let findings = stats.verify_findings;
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "{name:<18} {:>6} regions verified, {:>3} findings, {:>8.1} us in verifier",
         stats.verify_regions,
         findings,
         stats.verify_nanos as f64 / 1e3,
     );
     for line in &m.tol.verify_log {
-        println!("  {line}");
+        let _ = writeln!(out, "  {line}");
     }
     let mut failed = findings > 0;
     if let Err(e) = run {
-        println!("  [machine] {e}");
+        let _ = writeln!(out, "  [machine] {e}");
         failed = true;
     }
     let outcome = LintOutcome {
@@ -92,7 +107,27 @@ fn lint_one(
         verify_us: stats.verify_nanos as f64 / 1e3,
         failed,
     };
-    (outcome, m.tol.obs.trace.drain())
+    (outcome, m.tol.obs.trace.drain(), out)
+}
+
+fn build_target(target: &str, scale: (u32, u32)) -> Option<darco_guest::GuestProgram> {
+    if let Some(k) = target.strip_prefix("kernel:") {
+        // Lint-sized kernels: enough iterations to trip SBM promotion
+        // at the aggressive thresholds, small enough to stay quick.
+        return Some(match k {
+            "dot" => kernels::dot_product(2_000),
+            "matmul" => kernels::matmul(12),
+            "search" => kernels::string_search(20_000, 12_345),
+            "nbody" => kernels::nbody_step(16, 50),
+            "quicksort" => kernels::quicksort(800),
+            "crc32" => kernels::crc32(5_000),
+            _ => return None,
+        });
+    }
+    benchmarks()
+        .into_iter()
+        .find(|b| b.name == target)
+        .map(|b| darco_workloads::build(&b.profile.scaled(scale.0, scale.1)))
 }
 
 fn main() -> ExitCode {
@@ -114,6 +149,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut scale = (1u32, 1u32);
     let mut cap: u64 = 20_000_000;
+    let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -130,6 +166,14 @@ fn main() -> ExitCode {
             "--max-insns" => {
                 i += 1;
                 cap = args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|x| x.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
             }
             "--opt" => {
                 i += 1;
@@ -163,35 +207,40 @@ fn main() -> ExitCode {
         targets = benchmarks().into_iter().map(|b| b.name.to_string()).collect();
         targets.extend(KERNELS.iter().map(|k| format!("kernel:{k}")));
     }
+    // Validate every target before spawning anything — a typo should be a
+    // usage error, not a mid-suite worker failure.
+    for t in &targets {
+        if build_target(t, scale).is_none() {
+            usage();
+        }
+    }
+
+    let pool = Pool::new(jobs);
+    let trace = trace_path.is_some();
+    let lint_cfg = cfg.clone();
+    let results = pool.map(targets.clone(), move |_, target| {
+        let program = build_target(target, scale).expect("targets validated above");
+        lint_one(target, program, &lint_cfg, cap, trace)
+    });
 
     let mut total = LintOutcome { regions: 0, findings: 0, verify_us: 0.0, failed: false };
     let mut groups: Vec<(String, Vec<TraceEvent>)> = Vec::new();
-    for target in &targets {
-        let program = if let Some(k) = target.strip_prefix("kernel:") {
-            // Lint-sized kernels: enough iterations to trip SBM promotion
-            // at the aggressive thresholds, small enough to stay quick.
-            match k {
-                "dot" => kernels::dot_product(2_000),
-                "matmul" => kernels::matmul(12),
-                "search" => kernels::string_search(20_000, 12_345),
-                "nbody" => kernels::nbody_step(16, 50),
-                "quicksort" => kernels::quicksort(800),
-                "crc32" => kernels::crc32(5_000),
-                _ => usage(),
+    for (target, result) in targets.iter().zip(results) {
+        match result {
+            Ok((out, events, rendered)) => {
+                print!("{rendered}");
+                total.regions += out.regions;
+                total.findings += out.findings;
+                total.verify_us += out.verify_us;
+                total.failed |= out.failed;
+                if trace {
+                    groups.push((target.clone(), events));
+                }
             }
-        } else {
-            match benchmarks().into_iter().find(|b| b.name == *target) {
-                Some(b) => darco_workloads::build(&b.profile.scaled(scale.0, scale.1)),
-                None => usage(),
+            Err(e) => {
+                println!("{target:<18} [pool] {e}");
+                total.failed = true;
             }
-        };
-        let (out, events) = lint_one(target, program, &cfg, cap, trace_path.is_some());
-        total.regions += out.regions;
-        total.findings += out.findings;
-        total.verify_us += out.verify_us;
-        total.failed |= out.failed;
-        if trace_path.is_some() {
-            groups.push((target.clone(), events));
         }
     }
 

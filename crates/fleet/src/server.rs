@@ -1,0 +1,341 @@
+//! The job server: JSON-lines over TCP on top of the same pool.
+//!
+//! Protocol — one JSON object per line, each answered by one (or, for
+//! accepted jobs, two) JSON lines:
+//!
+//! * `{"op":"ping"}` → `{"ok":true,"op":"ping","workers":N,"queued":N,"active":N}`
+//! * `{"op":"job","workload":"kernel:dot", ...}` — same shape as a
+//!   campaign `jobs[]` entry. Immediately answered with
+//!   `{"ok":true,"op":"accepted","id":N}` (or
+//!   `{"ok":false,"op":"job","error":"busy","queued":N}` when the pool
+//!   already holds `queue_cap` unstarted jobs — queue-depth
+//!   backpressure: the client is told to back off instead of the server
+//!   buffering unboundedly). When the job finishes, its result streams
+//!   back as `{"ok":true,"op":"result","wall_ms":W,"result":{...}}` —
+//!   results arrive in completion order, matched to requests by `id`.
+//! * `{"op":"shutdown"}` → acknowledged, then the server stops
+//!   accepting connections.
+//!
+//! Each connection gets a reader loop plus a writer thread fed over a
+//! channel, so slow result production never blocks request intake and
+//! concurrent job completions cannot interleave bytes on the wire.
+
+use crate::campaign::job_from_json;
+use crate::pool::Pool;
+use crate::runner::execute_job;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// The fleet job server.
+pub struct Server {
+    listener: TcpListener,
+    pool: Arc<Pool>,
+    queue_cap: usize,
+    flight_dir: Option<PathBuf>,
+    next_id: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the server. `queue_cap` is the unstarted-job depth beyond
+    /// which new submissions are answered `busy`.
+    ///
+    /// # Errors
+    /// Address binding.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        queue_cap: usize,
+        flight_dir: Option<PathBuf>,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            // The pool's own submit-blocking cap sits above the server's
+            // reject threshold so `submit` never blocks the reader.
+            pool: Arc::new(Pool::with_queue_cap(workers, queue_cap.max(1) * 2)),
+            queue_cap: queue_cap.max(1),
+            flight_dir,
+            next_id: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (real port when bound to `:0`).
+    ///
+    /// # Errors
+    /// Socket introspection.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a `shutdown` op (or [`Pool::poison`]
+    /// via SIGINT). In-flight jobs finish before the pool is torn down.
+    pub fn run(self) {
+        let addr = self.listener.local_addr().ok();
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) || self.pool.is_poisoned() {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Responses are single small lines; without TCP_NODELAY each
+            // one can stall ~40ms behind Nagle + delayed ACK.
+            let _ = stream.set_nodelay(true);
+            let pool = Arc::clone(&self.pool);
+            let next_id = Arc::clone(&self.next_id);
+            let stop = Arc::clone(&self.stop);
+            let queue_cap = self.queue_cap;
+            let flight_dir = self.flight_dir.clone();
+            let _ = std::thread::Builder::new()
+                .name("fleet-conn".to_string())
+                .spawn(move || {
+                    handle_conn(stream, &pool, &next_id, &stop, queue_cap, flight_dir, addr)
+                });
+        }
+    }
+
+    /// A handle that makes [`Server::run`] return: sets the stop flag
+    /// and nudges the accept loop with a throwaway connection.
+    pub fn stopper(&self) -> impl Fn() + Send + Sync + 'static {
+        let stop = Arc::clone(&self.stop);
+        let addr = self.listener.local_addr().ok();
+        move || {
+            stop.store(true, Ordering::SeqCst);
+            if let Some(a) = addr {
+                let _ = TcpStream::connect(a);
+            }
+        }
+    }
+}
+
+fn err_line(op: &str, msg: &str) -> String {
+    let mut w = darco_obs::JsonWriter::new();
+    w.begin_obj(None);
+    w.field_bool("ok", false);
+    w.field_str("op", op);
+    w.field_str("error", msg);
+    w.end_obj();
+    w.finish()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_conn(
+    stream: TcpStream,
+    pool: &Pool,
+    next_id: &AtomicU64,
+    stop: &AtomicBool,
+    queue_cap: usize,
+    flight_dir: Option<PathBuf>,
+    addr: Option<SocketAddr>,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("fleet-conn-writer".to_string())
+        .spawn(move || {
+            let mut out = write_half;
+            while let Ok(line) = rx.recv() {
+                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    break;
+                }
+                let _ = out.flush();
+            }
+        })
+        .expect("spawning a connection writer");
+
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = match darco_obs::parse(line) {
+            Ok(d) => d,
+            Err(e) => {
+                let _ = tx.send(err_line("?", &e.to_string()));
+                continue;
+            }
+        };
+        match doc.get("op").and_then(|v| v.as_str()) {
+            Some("ping") => {
+                let mut w = darco_obs::JsonWriter::new();
+                w.begin_obj(None);
+                w.field_bool("ok", true);
+                w.field_str("op", "ping");
+                w.field_num("workers", pool.workers());
+                w.field_num("queued", pool.queued());
+                w.field_num("active", pool.active());
+                w.end_obj();
+                let _ = tx.send(w.finish());
+            }
+            Some("shutdown") => {
+                let mut w = darco_obs::JsonWriter::new();
+                w.begin_obj(None);
+                w.field_bool("ok", true);
+                w.field_str("op", "shutdown");
+                w.end_obj();
+                let _ = tx.send(w.finish());
+                stop.store(true, Ordering::SeqCst);
+                // Nudge the accept loop so `Server::run` observes the flag.
+                if let Some(a) = addr {
+                    let _ = TcpStream::connect(a);
+                }
+                break;
+            }
+            Some("job") => {
+                if pool.queued() >= queue_cap {
+                    let mut w = darco_obs::JsonWriter::new();
+                    w.begin_obj(None);
+                    w.field_bool("ok", false);
+                    w.field_str("op", "job");
+                    w.field_str("error", "busy");
+                    w.field_num("queued", pool.queued());
+                    w.end_obj();
+                    let _ = tx.send(w.finish());
+                    continue;
+                }
+                let id = next_id.fetch_add(1, Ordering::SeqCst);
+                match job_from_json(&doc, id) {
+                    Err(e) => {
+                        let _ = tx.send(err_line("job", &e));
+                    }
+                    Ok(spec) => {
+                        let mut w = darco_obs::JsonWriter::new();
+                        w.begin_obj(None);
+                        w.field_bool("ok", true);
+                        w.field_str("op", "accepted");
+                        w.field_num("id", id);
+                        w.end_obj();
+                        let _ = tx.send(w.finish());
+                        let tx = tx.clone();
+                        let flight_dir = flight_dir.clone();
+                        pool.submit(move || {
+                            let r = execute_job(&spec, flight_dir.as_deref());
+                            let mut w = darco_obs::JsonWriter::new();
+                            w.begin_obj(None);
+                            w.field_bool("ok", true);
+                            w.field_str("op", "result");
+                            w.field_num("wall_ms", r.wall_ms);
+                            w.field_raw("result", &r.deterministic_json());
+                            w.end_obj();
+                            // The client may be gone; a dead channel just
+                            // drops the result.
+                            let _ = tx.send(w.finish());
+                        });
+                    }
+                }
+            }
+            Some(other) => {
+                let _ = tx.send(err_line(other, "unknown op"));
+            }
+            None => {
+                let _ = tx.send(err_line("?", "missing `op`"));
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn send_line(s: &mut TcpStream, line: &str) {
+        s.write_all(line.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        s.flush().unwrap();
+    }
+
+    #[test]
+    fn ping_job_and_shutdown_round_trip() {
+        let server = Server::bind("127.0.0.1:0", 2, 8, None).unwrap();
+        let addr = server.local_addr().unwrap();
+        let h = std::thread::spawn(move || server.run());
+
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+
+        send_line(&mut c, r#"{"op":"ping"}"#);
+        reader.read_line(&mut line).unwrap();
+        let doc = darco_obs::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&darco_obs::JsonValue::Bool(true)));
+        assert_eq!(doc.get("workers").and_then(|v| v.as_num()), Some(2.0));
+
+        send_line(&mut c, r#"{"op":"job","workload":"kernel:crc32","tag":"t1"}"#);
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let acc = darco_obs::parse(&line).unwrap();
+        assert_eq!(acc.get("op").and_then(|v| v.as_str()), Some("accepted"));
+        let id = acc.get("id").and_then(|v| v.as_num()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let res = darco_obs::parse(&line).unwrap();
+        assert_eq!(res.get("op").and_then(|v| v.as_str()), Some("result"));
+        let r = res.get("result").unwrap();
+        assert_eq!(r.get("id").and_then(|v| v.as_num()), Some(id));
+        assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(r.get("tag").and_then(|v| v.as_str()), Some("t1"));
+
+        // Malformed jobs are rejected without killing the connection.
+        send_line(&mut c, r#"{"op":"job","workload":"no-such-workload"}"#);
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let rej = darco_obs::parse(&line).unwrap();
+        assert_eq!(rej.get("ok"), Some(&darco_obs::JsonValue::Bool(false)));
+
+        send_line(&mut c, r#"{"op":"shutdown"}"#);
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("shutdown"));
+        drop(c);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn full_queue_answers_busy() {
+        // One worker, queue_cap 1: occupy the worker, fill the one queue
+        // slot, then the next submission must bounce.
+        let server = Server::bind("127.0.0.1:0", 1, 1, None).unwrap();
+        let addr = server.local_addr().unwrap();
+        let stopper = server.stopper();
+        let h = std::thread::spawn(move || server.run());
+
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let slow = r#"{"op":"job","workload":"fault:spin","timeout_ms":2000,"config":{"max_guest_insns":40000000,"tol":{"bbm_threshold":1000000000}}}"#;
+        let mut line = String::new();
+        // First job occupies the worker, second sits queued.
+        send_line(&mut c, slow);
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("accepted"), "{line}");
+        send_line(&mut c, slow);
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("accepted"), "{line}");
+        // Wait until the first job is actually running so `queued` is 1.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            send_line(&mut c, r#"{"op":"job","workload":"kernel:dot"}"#);
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.contains("busy") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never saw backpressure; last: {line}"
+            );
+            // The probe job was accepted — swallow its eventual result
+            // lines later; just retry until the queue is genuinely full.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        drop(c);
+        stopper();
+        h.join().unwrap();
+    }
+}

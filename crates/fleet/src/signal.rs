@@ -1,0 +1,69 @@
+//! SIGINT handling without a libc crate: the classic `signal(2)` entry
+//! point declared directly, a handler that only flips an atomic, and a
+//! process-wide query the scheduler polls between jobs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install_sigint`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Marks the process interrupted, as the signal handler would. Exists so
+/// shutdown paths (and tests) can share the drain logic.
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        // POSIX `signal(2)`. Good enough here: the handler is
+        // async-signal-safe (a single relaxed store) and we never need
+        // the extra control `sigaction` offers.
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: registering an async-signal-safe handler for SIGINT;
+        // the handler touches only a static atomic.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT handler. On non-unix targets this is a no-op and
+/// campaigns are simply not interruptible.
+pub fn install_sigint() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn request_interrupt_is_observable() {
+        // Note: INTERRUPTED is process-global; this test only ever sets
+        // it, and no other fleet test asserts it stays false.
+        super::request_interrupt();
+        assert!(super::interrupted());
+    }
+}

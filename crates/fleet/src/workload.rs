@@ -1,0 +1,125 @@
+//! Workload-name resolution: the campaign file speaks in names, the
+//! runner needs [`GuestProgram`]s.
+//!
+//! Three namespaces:
+//! * suite benchmark names (`403.gcc`, `ragdoll`, ...) — built from the
+//!   generator profile, with the job's scale applied;
+//! * `kernel:NAME` — the six hand-written kernels, sized like
+//!   `darco-lint` sizes them and scaled the same way;
+//! * `fault:*` — deliberate fault injection for exercising the pool's
+//!   isolation machinery: `fault:panic` makes the runner panic inside
+//!   the job (never reaching a simulation), `fault:spin` is a guest
+//!   program that loops forever so only the wall-clock timeout (or the
+//!   configured instruction budget) ends it.
+
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::{Asm, GuestProgram, Gpr};
+use darco_workloads::{benchmarks, kernels};
+
+/// What a workload name resolves to.
+pub enum Resolved {
+    /// A guest program ready to run.
+    Program(GuestProgram),
+    /// The `fault:panic` marker: the runner must panic (under its
+    /// `catch_unwind`) instead of simulating.
+    InjectedPanic,
+}
+
+fn scaled(v: u32, (num, den): (u32, u32)) -> u32 {
+    ((v as u64 * num as u64) / den.max(1) as u64).max(1) as u32
+}
+
+/// A guest program that never terminates: one register increment and an
+/// unconditional jump back. Promotion-hostile only through configuration
+/// (raise `bbm_threshold` to pin it in the interpreter); ends only via
+/// `max_guest_insns` or the job timeout.
+fn spin_program() -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    let top = a.here();
+    a.inc(Gpr::Eax);
+    a.jmp_to(top);
+    a.into_program()
+}
+
+/// Resolves a workload name at a scale.
+///
+/// # Errors
+/// Names nothing in any namespace.
+pub fn resolve(name: &str, scale: (u32, u32)) -> Result<Resolved, String> {
+    if let Some(k) = name.strip_prefix("kernel:") {
+        let p = match k {
+            "dot" => kernels::dot_product(scaled(2_000, scale)),
+            "matmul" => kernels::matmul(scaled(12, scale).clamp(2, 64)),
+            "search" => {
+                let hay = scaled(20_000, scale).max(64);
+                kernels::string_search(hay, hay * 3 / 5)
+            }
+            "nbody" => kernels::nbody_step(scaled(16, scale).clamp(2, 64), scaled(50, scale)),
+            "quicksort" => kernels::quicksort(scaled(800, scale).max(8)),
+            "crc32" => kernels::crc32(scaled(5_000, scale)),
+            other => return Err(format!("unknown kernel `{other}`")),
+        };
+        return Ok(Resolved::Program(p));
+    }
+    if let Some(f) = name.strip_prefix("fault:") {
+        return match f {
+            "panic" => Ok(Resolved::InjectedPanic),
+            "spin" => Ok(Resolved::Program(spin_program())),
+            other => Err(format!("unknown fault workload `{other}`")),
+        };
+    }
+    match benchmarks().into_iter().find(|b| b.name == name) {
+        Some(b) => Ok(Resolved::Program(darco_workloads::build(
+            &b.profile.scaled(scale.0, scale.1),
+        ))),
+        None => Err(format!(
+            "unknown workload `{name}` (suite benchmark, kernel:NAME or fault:NAME)"
+        )),
+    }
+}
+
+/// Every schedulable non-fault workload name: the 31 suite benchmarks
+/// followed by the six kernels — what the campaign matrix spelling
+/// `all` expands to.
+pub fn all_workloads() -> Vec<String> {
+    let mut out: Vec<String> = benchmarks().into_iter().map(|b| b.name.to_string()).collect();
+    for k in ["dot", "matmul", "search", "nbody", "quicksort", "crc32"] {
+        out.push(format!("kernel:{k}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_namespaces_resolve() {
+        assert!(matches!(resolve("403.gcc", (1, 64)), Ok(Resolved::Program(_))));
+        assert!(matches!(resolve("kernel:crc32", (1, 4)), Ok(Resolved::Program(_))));
+        assert!(matches!(resolve("fault:panic", (1, 1)), Ok(Resolved::InjectedPanic)));
+        assert!(matches!(resolve("fault:spin", (1, 1)), Ok(Resolved::Program(_))));
+        assert!(resolve("404.notfound", (1, 1)).is_err());
+        assert!(resolve("kernel:fft", (1, 1)).is_err());
+    }
+
+    #[test]
+    fn all_workloads_lists_suite_plus_kernels() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 31 + 6);
+        assert!(all.iter().any(|w| w == "kernel:nbody"));
+        for w in &all {
+            assert!(resolve(w, (1, 128)).is_ok(), "{w}");
+        }
+    }
+
+    #[test]
+    fn spin_workload_only_ends_by_budget() {
+        let Resolved::Program(p) = resolve("fault:spin", (1, 1)).unwrap() else {
+            panic!("spin is a program")
+        };
+        let cfg = darco::SystemConfig { max_guest_insns: 20_000, ..Default::default() };
+        let err = darco::System::new(cfg, p).run().unwrap_err();
+        assert_eq!(err, darco::DarcoError::BudgetExceeded);
+    }
+}

@@ -1,0 +1,52 @@
+//! The determinism regression: one campaign run at 1, 2 and 8 workers
+//! must merge to byte-identical artifacts — the contract every figure
+//! built on fleet output relies on.
+
+use darco_fleet::{parse_campaign, run_campaign, Pool};
+
+const CAMPAIGN: &str = r#"{
+  "name": "determinism-regression",
+  "defaults": {"scale": "1/4"},
+  "jobs": [
+    {"workload": "kernel:dot"},
+    {"workload": "kernel:crc32", "tag": "checksum"},
+    {"workload": "kernel:quicksort"},
+    {"workload": "fault:panic"},
+    {"workload": "kernel:search", "kind": "lint",
+     "config": {"tol": {"bbm_threshold": 3, "sbm_threshold": 12, "verify": "report"}}},
+    {"workload": "kernel:dot", "tag": "o1",
+     "config": {"tol": {"opt_level": "O1"}}}
+  ]
+}"#;
+
+#[test]
+fn merged_artifact_is_byte_identical_across_worker_counts() {
+    let campaign = parse_campaign(CAMPAIGN).unwrap();
+    let mut artifacts = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let pool = Pool::new(workers);
+        let outcome = run_campaign(&campaign, &pool, None);
+        assert_eq!(outcome.results.len(), 6);
+        // Results land in id order whatever the completion order was.
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        artifacts.push((workers, outcome.merged_json()));
+    }
+    let (_, reference) = &artifacts[0];
+    for (workers, artifact) in &artifacts[1..] {
+        assert_eq!(
+            artifact, reference,
+            "merged artifact differs between --jobs 1 and --jobs {workers}"
+        );
+    }
+    // The artifact is well-formed and reflects the injected failure.
+    let doc = darco_obs::parse(reference).unwrap();
+    assert_eq!(doc.get("jobs").and_then(|v| v.as_num()), Some(6.0));
+    assert_eq!(doc.get("ok").and_then(|v| v.as_num()), Some(5.0));
+    assert_eq!(doc.get("failed").and_then(|v| v.as_num()), Some(1.0));
+    assert!(
+        !reference.contains("wall_ms") && !reference.contains("_nanos"),
+        "deterministic artifact must hold no wall-clock data"
+    );
+}

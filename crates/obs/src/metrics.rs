@@ -86,6 +86,20 @@ impl Histogram {
         out
     }
 
+    /// Folds another histogram into this one: counts and sums add
+    /// (saturating), min/max widen, buckets add element-wise. Merging is
+    /// commutative and associative, so any merge order over a set of
+    /// histograms produces the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     fn write_json(&self, w: &mut JsonWriter, key: &str) {
         w.begin_obj(Some(key));
         w.field_num("count", self.count);
@@ -182,6 +196,51 @@ impl Registry {
         (self.counters.len(), self.gauges.len(), self.histograms.len())
     }
 
+    /// Folds another registry into this one, matching metrics by name:
+    /// counters and gauges add, histograms merge bucket-wise
+    /// ([`Histogram::merge`]), and names absent on either side are
+    /// carried over. After merging, all three collections are sorted by
+    /// name, so the merged registry — and therefore its serialized JSON —
+    /// is identical no matter in which order a set of registries is
+    /// folded together. This is the aggregation primitive `darco-fleet`
+    /// uses to combine per-job snapshots deterministically.
+    ///
+    /// Gauges *add* like counters (the only order-independent fold that
+    /// loses no information); callers wanting a mean divide by the number
+    /// of merged registries afterwards.
+    pub fn merge(&mut self, other: &Registry) {
+        for (n, v) in &other.counters {
+            self.add_counter(n, *v);
+        }
+        for (n, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(nm, _)| nm == n) {
+                Some((_, slot)) => *slot += v,
+                None => self.gauges.push((n.clone(), *v)),
+            }
+        }
+        for (n, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(nm, _)| nm == n) {
+                Some((_, slot)) => slot.merge(h),
+                None => self.histograms.push((n.clone(), h.clone())),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Keeps only the metrics whose name satisfies `pred` (applied to
+    /// counters, gauges and histograms alike). Existing [`HistoId`]
+    /// handles are invalidated — use this only on snapshots, never on a
+    /// registry still being recorded into. `darco-fleet` uses it to
+    /// project away wall-clock metrics (`*_nanos`, `tol.translate_ns.*`)
+    /// before building its byte-stable merged artifact.
+    pub fn retain(&mut self, mut pred: impl FnMut(&str) -> bool) {
+        self.counters.retain(|(n, _)| pred(n));
+        self.gauges.retain(|(n, _)| pred(n));
+        self.histograms.retain(|(n, _)| pred(n));
+    }
+
     /// Serializes only the counters as one flat JSON object
     /// (`{"name":value,...}`) — used where a report embeds a counter
     /// section directly.
@@ -276,6 +335,125 @@ mod tests {
         r.record(b, 1);
         assert_eq!(r.histogram_ref("h.a").unwrap().count, 2);
         assert_eq!(r.histogram_ref("h.b").unwrap().sum, 1);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_into_one() {
+        let xs = [0u64, 1, 5, 9, 1024, 77];
+        let ys = [3u64, 3, 800, u64::MAX];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram is the identity.
+        a.merge(&Histogram::default());
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn registry_merge_adds_by_name_and_carries_new_names() {
+        let mut a = Registry::new();
+        a.set_counter("c.shared", 5);
+        a.set_counter("c.only_a", 1);
+        a.set_gauge("g.shared", 0.5);
+        let ha = a.histogram("h.shared");
+        a.record(ha, 4);
+
+        let mut b = Registry::new();
+        b.set_counter("c.shared", 7);
+        b.set_counter("c.only_b", 2);
+        b.set_gauge("g.shared", 1.5);
+        b.set_gauge("g.only_b", 9.0);
+        let hb = b.histogram("h.shared");
+        b.record(hb, 4);
+        let hb2 = b.histogram("h.only_b");
+        b.record(hb2, 1);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("c.shared"), Some(12));
+        assert_eq!(a.counter_value("c.only_a"), Some(1));
+        assert_eq!(a.counter_value("c.only_b"), Some(2));
+        assert_eq!(a.gauge_value("g.shared"), Some(2.0));
+        assert_eq!(a.gauge_value("g.only_b"), Some(9.0));
+        assert_eq!(a.histogram_ref("h.shared").unwrap().count, 2);
+        assert_eq!(a.histogram_ref("h.only_b").unwrap().sum, 1);
+    }
+
+    /// Property test backing the fleet determinism contract: folding any
+    /// permutation of a set of registries (with overlapping and disjoint
+    /// names, all three metric kinds) yields byte-identical JSON.
+    #[test]
+    fn registry_merge_is_order_independent() {
+        // Tiny xorshift so the shuffle is deterministic and offline.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let snapshots: Vec<Registry> = (0..8u64)
+            .map(|i| {
+                let mut r = Registry::new();
+                r.set_counter("job.guest_insns", 1_000 * (i + 1));
+                r.set_counter(&format!("job.unique_{i}"), i);
+                r.set_gauge("job.occupancy", 0.125 * i as f64);
+                let h = r.histogram("job.region_size");
+                for s in 0..(i + 1) {
+                    r.record(h, s * 3);
+                }
+                if i % 2 == 0 {
+                    let h2 = r.histogram("job.even_only");
+                    r.record(h2, i);
+                }
+                r
+            })
+            .collect();
+
+        let fold = |order: &[usize]| {
+            let mut m = Registry::new();
+            for &i in order {
+                m.merge(&snapshots[i]);
+            }
+            m.to_json()
+        };
+        let baseline = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        for _ in 0..20 {
+            let mut order: Vec<usize> = (0..8).collect();
+            // Fisher–Yates with the xorshift above.
+            for i in (1..order.len()).rev() {
+                let j = (rng() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            assert_eq!(fold(&order), baseline, "merge order {order:?} changed the artifact");
+        }
+    }
+
+    #[test]
+    fn retain_projects_all_three_collections() {
+        let mut r = Registry::new();
+        r.set_counter("tol.translations_bb", 3);
+        r.set_counter("tol.translate_nanos", 12345);
+        r.set_gauge("tol.cache_occupancy", 0.5);
+        let h1 = r.histogram("tol.translate_ns.bb");
+        r.record(h1, 99);
+        let h2 = r.histogram("tol.region_guest_insns");
+        r.record(h2, 7);
+        r.retain(|n| !n.ends_with("_nanos") && !n.contains(".translate_ns"));
+        assert_eq!(r.counter_value("tol.translate_nanos"), None);
+        assert_eq!(r.counter_value("tol.translations_bb"), Some(3));
+        assert!(r.histogram_ref("tol.translate_ns.bb").is_none());
+        assert!(r.histogram_ref("tol.region_guest_insns").is_some());
+        assert_eq!(r.gauge_value("tol.cache_occupancy"), Some(0.5));
     }
 
     #[test]

@@ -57,3 +57,18 @@ pub use flags::PendingFlags;
 pub use obs::TolObs;
 pub use overhead::{CostModel, Overhead, OverheadKind};
 pub use tol::{Tol, TolEvent, TolStats};
+
+// Send audit: darco-fleet moves whole per-job TOL states across worker
+// threads. A field change that introduces `Rc`, `RefCell`-of-shared or a
+// raw pointer would otherwise surface as a distant trait-bound error
+// inside the pool; keep the constraint stated (and checked) at the type's
+// home instead.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Tol>();
+    assert_send::<TolConfig>();
+    assert_send::<TolStats>();
+    assert_send::<CodeCache>();
+    assert_send::<TolObs>();
+    assert_send::<Overhead>();
+};

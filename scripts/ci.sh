@@ -10,38 +10,60 @@
 #            the repo's own JSON reader (darco-trace-check)
 #   obs    — the committed BENCH_obs.json must pass the tracing-overhead
 #            gate (traced <= 5%, disabled tracer <= 1% vs baseline)
+#   fleet  — a six-job campaign with one deliberately panicking and one
+#            deliberately hanging job: both must be isolated (failed
+#            statuses + flight dump, sibling jobs unharmed) and the runner
+#            must exit 1 for the partial failure
 #
+# Each stage is timed; a per-stage summary prints at the end.
 # Everything runs offline; no network access is required.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> build (release, whole workspace)"
+TIMINGS=()
+CUR_STAGE=""
+STAGE_T0=0
+stage() {
+    CUR_STAGE="$1"
+    STAGE_T0=$(date +%s%3N)
+    echo "==> $1"
+}
+stage_done() {
+    TIMINGS+=("$(printf '%8d ms  %s' $(( $(date +%s%3N) - STAGE_T0 )) "$CUR_STAGE")")
+}
+
+stage "build (release, whole workspace)"
 cargo build --release --workspace -q
+stage_done
 
-echo "==> test (whole workspace)"
+stage "test (whole workspace)"
 cargo test --workspace -q
+stage_done
 
-echo "==> lint (clippy -D warnings, whole workspace)"
+stage "lint (clippy -D warnings, whole workspace)"
 cargo clippy --workspace --all-targets -q -- -D warnings
+stage_done
 
 # Every translation the suite produces must pass the static verifier
 # (exit 1 on any finding or machine error).
-echo "==> verify (darco-lint over all workloads)"
+stage "verify (darco-lint over all workloads)"
 ./target/release/darco-lint all --scale 1/512
+stage_done
 
 # The harness writes BENCH_hotpath.json into the cwd; run from a scratch
 # directory so a tiny smoke run never clobbers the committed measurement.
-echo "==> speed smoke (tiny scale)"
+stage "speed smoke (tiny scale)"
 speed_bin="$PWD/target/release/speed"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && "$speed_bin" --scale 1/512)
+stage_done
 
 # The exporters must produce artifacts the repo's own JSON reader accepts:
 # a Chrome trace + metrics registry from darco-run, a multi-workload trace
 # from darco-lint's machine-readable findings log.
-echo "==> trace smoke (exporters + darco-trace-check)"
+stage "trace smoke (exporters + darco-trace-check)"
 ./target/release/darco-run kernel:crc32 \
     --trace="$smoke_dir/trace.json" --metrics="$smoke_dir/metrics.json" \
     --flight="$smoke_dir/flight.json" > /dev/null
@@ -50,8 +72,46 @@ test ! -e "$smoke_dir/flight.json"  # clean run: no flight dump
     --trace="$smoke_dir/lint-trace.json" > /dev/null
 ./target/release/darco-trace-check \
     "$smoke_dir/trace.json" "$smoke_dir/metrics.json" "$smoke_dir/lint-trace.json"
+stage_done
 
-echo "==> obs overhead gate (committed BENCH_obs.json)"
+stage "obs overhead gate (committed BENCH_obs.json)"
 ./target/release/darco-trace-check --obs-gate BENCH_obs.json
+stage_done
 
+# Fault isolation: fault:panic panics inside the worker, fault:spin never
+# terminates on its own (huge bbm_threshold pins it in the interpreter;
+# the instruction budget is only a backstop well past the timeout). The
+# pool must contain both, the other four jobs must finish normally, and
+# the partial failure must surface as exit code 1.
+stage "fleet smoke (campaign with injected panic + timeout)"
+cat > "$smoke_dir/campaign.json" <<'EOF'
+{
+  "name": "ci-smoke",
+  "defaults": {"scale": "1/64"},
+  "jobs": [
+    {"workload": "kernel:dot"},
+    {"workload": "kernel:crc32"},
+    {"workload": "fault:panic"},
+    {"workload": "fault:spin", "timeout_ms": 250,
+     "config": {"max_guest_insns": 200000000, "tol": {"bbm_threshold": 1000000000}}},
+    {"workload": "kernel:quicksort"},
+    {"workload": "kernel:search", "kind": "lint"}
+  ]
+}
+EOF
+fleet_rc=0
+./target/release/darco-fleet run "$smoke_dir/campaign.json" --jobs 2 \
+    --out "$smoke_dir/merged.json" --flight-dir "$smoke_dir/flights" || fleet_rc=$?
+test "$fleet_rc" -eq 1                                      # partial failure -> exit 1
+grep -q '"status":"panicked"' "$smoke_dir/merged.json"      # panic isolated, not fatal
+grep -q '"status":"timeout"'  "$smoke_dir/merged.json"      # hang cut off by the timeout
+test "$(grep -o '"status":"ok"' "$smoke_dir/merged.json" | wc -l)" -eq 4  # siblings unharmed
+test -s "$smoke_dir/flights/job-2.flight.json"              # panicked job dumped flight state
+stage_done
+
+echo
+echo "stage timings:"
+for t in "${TIMINGS[@]}"; do
+    echo "  $t"
+done
 echo "CI OK"
