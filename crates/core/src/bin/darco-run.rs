@@ -10,9 +10,13 @@
 //! darco-run 401.bzip2 --scale 1/64 --trace=trace.json --metrics=metrics.json
 //! ```
 
-use darco::{SinkChoice, System, SystemConfig};
+use darco::{SinkChoice, Snapshot, StepExit, System, SystemConfig};
 use darco_workloads::{benchmarks, kernels};
 use std::process::ExitCode;
+
+/// Exit code for a clean guest-instruction-budget stop (partial report
+/// was printed) — distinct from protocol/validation failures.
+const EXIT_BUDGET: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
@@ -32,6 +36,14 @@ fn usage() -> ! {
            --no-chain             disable chaining and the IBTC\n\
            --no-spec              disable speculation (multi-exit SBs)\n\
            --opt LEVEL            O0|O1|O2|O3 (default O3)\n\
+           --max-insns N          guest instruction budget (a run that\n\
+         \u{20}                        exceeds it stops cleanly, prints the\n\
+         \u{20}                        partial report and exits with code 3)\n\
+           --checkpoint-at N      serialize a checkpoint once N guest\n\
+         \u{20}                        instructions have retired, then go on\n\
+           --checkpoint-to FILE   checkpoint destination (darco.snap)\n\
+           --restore FILE         resume from a checkpoint file (same\n\
+         \u{20}                        workload and options required)\n\
            --json                 print the full report as JSON\n\
            --trace[=]FILE         record trace events; write a Chrome\n\
          \u{20}                        trace-event JSON array to FILE\n\
@@ -39,7 +51,16 @@ fn usage() -> ! {
            --metrics[=FILE]       print the metrics registry as JSON\n\
          \u{20}                        (or write it to FILE)\n\
            --flight[=]FILE        write a flight-recorder dump to FILE\n\
-         \u{20}                        if the run diverges or panics"
+         \u{20}                        if the run diverges or panics\n\
+         \n\
+         exit codes:\n\
+           0  run completed (or guest faulted identically on both\n\
+         \u{20}    components — a program error, not a simulator error)\n\
+           1  simulator error: validation divergence, protocol error,\n\
+         \u{20}    unreadable/mismatched checkpoint, unwritable output\n\
+           2  usage error\n\
+           3  guest instruction budget (--max-insns) exceeded; the\n\
+         \u{20}    partial report was still produced"
     );
     std::process::exit(2);
 }
@@ -71,6 +92,9 @@ fn main() -> ExitCode {
     let mut trace_cap: usize = 1 << 16;
     // None: off; Some(None): stdout; Some(Some(path)): file.
     let mut metrics_out: Option<Option<String>> = None;
+    let mut checkpoint_at: Option<u64> = None;
+    let mut checkpoint_to = "darco.snap".to_string();
+    let mut restore_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +135,24 @@ fn main() -> ExitCode {
                     Some("O3") => darco_ir::OptLevel::O3,
                     _ => usage(),
                 };
+            }
+            "--max-insns" => {
+                i += 1;
+                cfg.max_guest_insns =
+                    args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--checkpoint-at" => {
+                i += 1;
+                checkpoint_at =
+                    Some(args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--checkpoint-to" => {
+                i += 1;
+                checkpoint_to = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--restore" => {
+                i += 1;
+                restore_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--json" => json = true,
             "--trace-cap" => {
@@ -154,16 +196,79 @@ fn main() -> ExitCode {
 
     let t0 = std::time::Instant::now();
     let flight_path = cfg.flight_path.clone();
-    let report = match System::new(cfg, program).run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            if let Some(p) = &flight_path {
-                eprintln!("flight-recorder dump written to {p}");
+    let mut engine = System::new(cfg, program).start();
+    if let Some(path) = &restore_path {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("could not read checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
             }
+        };
+        let snap = match Snapshot::from_bytes(bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("could not parse checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = engine.restore(&snap) {
+            eprintln!("could not restore checkpoint {path}: {e}");
             return ExitCode::FAILURE;
         }
-    };
+        eprintln!("restored checkpoint at {} guest instructions", engine.insns());
+    }
+    let mut budget_exceeded = false;
+    loop {
+        // Stop exactly (well, at the next boundary) at the checkpoint
+        // point; otherwise run with an unbounded quantum.
+        let budget = match checkpoint_at {
+            Some(n) if engine.insns() < n => n - engine.insns(),
+            _ => u64::MAX,
+        };
+        match engine.step(budget) {
+            Ok(StepExit::Ended | StepExit::GuestFault) => break,
+            Ok(_) => {
+                if let Some(n) = checkpoint_at {
+                    if engine.insns() >= n {
+                        checkpoint_at = None;
+                        let snap = match engine.checkpoint() {
+                            Ok(s) => s,
+                            Err(e) => {
+                                eprintln!("checkpoint failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        if let Err(e) = std::fs::write(&checkpoint_to, snap.as_bytes()) {
+                            eprintln!("could not write checkpoint to {checkpoint_to}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!(
+                            "checkpoint written to {checkpoint_to} at {} guest instructions",
+                            snap.guest_insns()
+                        );
+                    }
+                }
+            }
+            Err(darco::DarcoError::BudgetExceeded) => {
+                eprintln!(
+                    "guest instruction budget exceeded after {} instructions; \
+                     reporting partial results",
+                    engine.insns()
+                );
+                budget_exceeded = true;
+                break;
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                if let Some(p) = &flight_path {
+                    eprintln!("flight-recorder dump written to {p}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = engine.into_report();
     let dt = t0.elapsed().as_secs_f64();
 
     if let Some(path) = &trace_path {
@@ -184,9 +289,10 @@ fn main() -> ExitCode {
         None => {}
     }
 
+    let exit = if budget_exceeded { ExitCode::from(EXIT_BUDGET) } else { ExitCode::SUCCESS };
     if json {
         println!("{}", darco::json::report_to_json(&report));
-        return ExitCode::SUCCESS;
+        return exit;
     }
     let (im, bbm, sbm) = report.mode_insns;
     let total = (im + bbm + sbm).max(1) as f64;
@@ -215,5 +321,5 @@ fn main() -> ExitCode {
     if let Some(f) = &report.guest_fault {
         println!("  guest fault          {f}");
     }
-    ExitCode::SUCCESS
+    exit
 }

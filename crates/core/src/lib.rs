@@ -42,11 +42,13 @@
 
 pub mod config_json;
 pub mod debug;
+pub mod engine;
 pub mod json;
 pub mod machine;
 pub mod sampling;
 pub mod system;
 
 pub use config_json::{config_apply_json, config_from_json, config_from_str, config_to_json};
+pub use engine::{Engine, Snapshot, StepExit};
 pub use machine::{Machine, MachineEvent};
 pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig};

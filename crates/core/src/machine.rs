@@ -5,7 +5,7 @@
 //! phases at the granularity callers need (the [`crate::System`] controller
 //! for whole runs, the [`crate::sampling`] harness for windows).
 
-use darco_guest::{Fault, GuestMem, GuestProgram, GuestState};
+use darco_guest::{Fault, GuestMem, GuestProgram, GuestState, Wire, WireError, WireReader};
 use darco_host::sink::InsnSink;
 use darco_obs::TraceEventKind;
 use darco_tol::{flags, Tol, TolConfig, TolEvent};
@@ -200,6 +200,51 @@ impl Machine {
                 }
             }
         }
+    }
+
+    /// Serializes the coupled machine: both components' architectural
+    /// state plus the synchronization counters. Drives the authoritative
+    /// component to the co-designed instruction count first so the two
+    /// sides are serialized at the same execution point.
+    ///
+    /// Must only be called at a mode boundary (after [`Machine::run_to`]
+    /// returned) and before the application ended.
+    ///
+    /// # Errors
+    /// [`MachineError::Xcomp`] if the authoritative component cannot reach
+    /// the co-designed instruction count.
+    ///
+    /// # Panics
+    /// Panics if the application already ended.
+    pub fn snapshot_into(&mut self, w: &mut Wire) -> Result<(), MachineError> {
+        assert!(self.ended.is_none(), "cannot snapshot an ended machine");
+        self.xcomp.run_until(self.insns()).map_err(MachineError::Xcomp)?;
+        self.state.snapshot_into(w);
+        self.tol.snapshot_into(w);
+        self.xcomp.snapshot_into(w);
+        w.put_u64(self.validations);
+        w.put_u64(self.pages_served);
+        w.put_u64(self.syscalls);
+        Ok(())
+    }
+
+    /// Restores from a [`Machine::snapshot_into`] stream. `self` must
+    /// have been created with [`Machine::new`] for the same program and
+    /// TOL configuration as the snapshotted machine (the [`crate::Engine`]
+    /// checkpoint header enforces this with fingerprints; direct callers
+    /// are on their own).
+    ///
+    /// # Errors
+    /// Wire decode failures or geometry mismatches.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.state.restore_from(r)?;
+        self.tol.restore_from(r)?;
+        self.xcomp.restore_from(r)?;
+        self.validations = r.get_u64()?;
+        self.pages_served = r.get_u64()?;
+        self.syscalls = r.get_u64()?;
+        self.ended = None;
+        Ok(())
     }
 
     /// Validates the co-designed state against the authoritative state.

@@ -110,29 +110,65 @@ struct RefWindow {
     dist: ModeDist,
 }
 
-/// Runs a window `[start, start+len)` with timing attached and the given
-/// TOL config active from the beginning of the program; functional
-/// fast-forward up to `warm_start`, warm-up (downscaled thresholds) to
-/// `start`, detailed sample to `start+len`. Returns (cycles, dist).
+/// Pre-computed fast-forward checkpoints for one threshold scale: the
+/// machine is driven forward once (functionally, cheapest possible) and
+/// snapshotted at every requested warm-up start, so each `(sample,
+/// warm-up length)` candidate restores in O(state) instead of re-executing
+/// the whole prefix — the stepping-engine replacement for the old
+/// run-from-zero-per-candidate scheme.
+struct WarmStartBank {
+    scaled: TolConfig,
+    /// `warm_start → serialized machine` at (or just past) that count.
+    snaps: Vec<(u64, Vec<u8>)>,
+}
+
+impl WarmStartBank {
+    /// Drives one machine through all `points` (ascending), checkpointing
+    /// at each. Returns `None` when the coupled run fails.
+    fn build(program: &GuestProgram, base: &TolConfig, scale: u64, points: &[u64]) -> Option<WarmStartBank> {
+        // Cold TOL at the warm-up start: the methodology reconstructs the
+        // software-layer state inside the warm-up window.
+        let scaled = TolConfig {
+            bbm_threshold: (base.bbm_threshold / scale).max(1),
+            sbm_threshold: (base.sbm_threshold / scale).max(2),
+            ..base.clone()
+        };
+        let mut m = Machine::new(scaled.clone(), program);
+        let mut snaps = Vec::with_capacity(points.len());
+        for &p in points {
+            // Functional fast-forward (not charged to simulation cost).
+            m.run_to(p, true, &mut NullSink).ok()?;
+            let mut w = darco_guest::Wire::new();
+            m.snapshot_into(&mut w).ok()?;
+            snaps.push((p, w.finish()));
+        }
+        Some(WarmStartBank { scaled, snaps })
+    }
+
+    /// A fresh machine restored to the checkpoint taken at `warm_start`.
+    fn machine_at(&self, program: &GuestProgram, warm_start: u64) -> Option<Machine> {
+        let (_, bytes) = self.snaps.iter().find(|(p, _)| *p == warm_start)?;
+        let mut m = Machine::new(self.scaled.clone(), program);
+        let mut r = darco_guest::WireReader::new(bytes);
+        m.restore_from(&mut r).ok()?;
+        Some(m)
+    }
+}
+
+/// Runs a window `[start, start+len)`: restore the functional
+/// fast-forward state at `warm_start` from `bank`, warm-up (downscaled
+/// thresholds) to `start`, detailed sample to `start+len`. Returns
+/// (cycles, dist).
 fn run_methodology_sample(
     program: &GuestProgram,
     base: &TolConfig,
     timing: &TimingConfig,
+    bank: &WarmStartBank,
     warm_start: u64,
     start: u64,
     len: u64,
-    scale: u64,
 ) -> Option<(u64, ModeDist)> {
-    // Cold TOL at the warm-up start: the methodology reconstructs the
-    // software-layer state inside the warm-up window.
-    let scaled = TolConfig {
-        bbm_threshold: (base.bbm_threshold / scale).max(1),
-        sbm_threshold: (base.sbm_threshold / scale).max(2),
-        ..base.clone()
-    };
-    let mut m = Machine::new(scaled, program);
-    // Functional fast-forward (not charged to simulation cost).
-    m.run_to(warm_start, true, &mut NullSink).ok()?;
+    let mut m = bank.machine_at(program, warm_start)?;
     // Warm-up window: detailed, with downscaled thresholds — this warms
     // both the microarchitectural state and the software-layer state.
     let mut core = InOrderCore::new(timing.clone());
@@ -189,21 +225,36 @@ pub fn warmup_study(
     }
 
     // --- methodology: per sample, pick the best (scale, warmup) ---------
+    // One functional fast-forward per scale factor, checkpointed at every
+    // warm-up start; each candidate below restores instead of re-running
+    // the prefix from instruction zero.
+    let mut points: Vec<u64> = windows
+        .iter()
+        .flat_map(|w| wcfg.warmup_lens.iter().map(|wl| w.start.saturating_sub(*wl)))
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let banks: Vec<(u64, WarmStartBank)> = wcfg
+        .scale_factors
+        .iter()
+        .filter_map(|&s| WarmStartBank::build(program, tol, s, &points).map(|b| (s, b)))
+        .collect();
     let mut samples = Vec::new();
     let mut sampled_cost = 0u64;
     for w in &windows {
         let mut best: Option<(f64, u64, u64, u64)> = None; // (score, scale, wlen, cycles)
-        for &scale in &wcfg.scale_factors {
+        for (scale, bank) in &banks {
+            let scale = *scale;
             for &wlen in &wcfg.warmup_lens {
                 let warm_start = w.start.saturating_sub(wlen);
                 let Some((cycles, dist)) = run_methodology_sample(
                     program,
                     tol,
                     timing,
+                    bank,
                     warm_start,
                     w.start,
                     wcfg.sample_len,
-                    scale,
                 ) else {
                     continue;
                 };

@@ -1,11 +1,11 @@
 //! The controller and top-level [`System`] — DARCO's main user interface.
 
-use crate::machine::{Machine, MachineError, MachineEvent};
-use darco_guest::{Fault, GuestProgram};
-use darco_host::sink::{InsnSink, NullSink, RetireEvent};
-use darco_obs::{Registry, TraceEvent, Tracer};
-use darco_power::{EnergyModel, PowerReport};
-use darco_timing::{InOrderCore, OooCore, TimingConfig, TimingStats};
+use crate::engine::{Engine, StepExit};
+use crate::machine::MachineError;
+use darco_guest::GuestProgram;
+use darco_obs::{Registry, TraceEvent};
+use darco_power::PowerReport;
+use darco_timing::{TimingConfig, TimingStats};
 use darco_tol::{Overhead, TolConfig, TolStats};
 
 /// Which timing sink to attach (the paper: "the use of the timing and
@@ -181,23 +181,8 @@ impl RunReport {
     }
 }
 
-enum Sink {
-    Null(NullSink),
-    InOrder(Box<InOrderCore>),
-    Ooo(Box<OooCore>),
-}
-
-impl InsnSink for Sink {
-    fn retire(&mut self, ev: &RetireEvent) {
-        match self {
-            Sink::Null(s) => s.retire(ev),
-            Sink::InOrder(s) => s.retire(ev),
-            Sink::Ooo(s) => s.retire(ev),
-        }
-    }
-}
-
-/// The DARCO system: program + configuration, run end to end.
+/// The DARCO system: program + configuration, run end to end (or stepped
+/// via [`System::start`]).
 pub struct System {
     cfg: SystemConfig,
     program: GuestProgram,
@@ -209,151 +194,26 @@ impl System {
         System { cfg, program }
     }
 
-    /// Runs the program to completion under the full protocol.
+    /// Begins execution, handing control-flow ownership to the caller: the
+    /// returned [`Engine`] runs one quantum per [`Engine::step`] call and
+    /// can be checkpointed/restored between steps.
+    pub fn start(self) -> Engine {
+        Engine::new(self.cfg, self.program)
+    }
+
+    /// Runs the program to completion under the full protocol — a thin
+    /// wrapper that steps an [`Engine`] with an unbounded quantum.
     ///
     /// # Errors
     /// Returns [`DarcoError`] on validation failures, protocol errors or
     /// budget exhaustion.
     pub fn run(self) -> Result<RunReport, DarcoError> {
-        let System { cfg, program } = self;
-        let mut machine = Machine::new(cfg.tol.clone(), &program);
-        if let Some(cap) = cfg.trace_capacity {
-            machine.tol.obs.trace = Tracer::ring(cap);
-        }
-        if cfg.timing_includes_tol && cfg.sink != SinkChoice::None {
-            machine.tol.set_synthesize_overhead(true);
-        }
-        let mut sink = match cfg.sink {
-            SinkChoice::None => Sink::Null(NullSink),
-            SinkChoice::InOrder => Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone()))),
-            SinkChoice::OutOfOrder => Sink::Ooo(Box::new(OooCore::new(cfg.timing.clone()))),
-        };
-        // With a flight path configured, a panic anywhere in the pipeline
-        // (e.g. `VerifyMode::Fatal`) still produces the dump before
-        // propagating.
-        let driven = if cfg.flight_path.is_some() {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Self::drive(&cfg, &mut machine, &mut sink)
-            })) {
-                Ok(r) => r,
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Self::write_flight(&cfg, &machine, &format!("panic: {msg}"));
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        } else {
-            Self::drive(&cfg, &mut machine, &mut sink)
-        };
-        let (exit_status, fault) = match driven {
-            Ok(v) => v,
-            Err(e) => {
-                Self::write_flight(&cfg, &machine, &e.to_string());
-                return Err(e);
-            }
-        };
-
-        let timing = match &sink {
-            Sink::Null(_) => None,
-            Sink::InOrder(c) => Some(c.stats()),
-            Sink::Ooo(c) => Some(c.stats()),
-        };
-        let power = match (&timing, cfg.power) {
-            (Some(ts), true) => Some(darco_power::report(ts, &cfg.timing, &EnergyModel::default())),
-            _ => None,
-        };
-        let m = machine;
-        let mut metrics = Self::assemble_metrics(&m);
-        if let Some(t) = &timing {
-            t.register_into(&mut metrics, "timing");
-        }
-        if let Some(p) = &power {
-            metrics.set_gauge("power.total_pj", p.total_pj);
-            metrics.set_gauge("power.avg_power_mw", p.avg_power_mw);
-            metrics.set_gauge("power.edp", p.edp);
-        }
-        Ok(RunReport {
-            name: program.name.clone(),
-            guest_insns: m.tol.total_guest(),
-            mode_insns: m.tol.mode_split(),
-            host_app_insns: m.tol.stats.host_app,
-            overhead: *m.tol.overhead(),
-            sbm_emulation_cost: m.tol.sbm_emulation_cost(),
-            tol_stats: m.tol.stats,
-            chkpts: m.tol.emu.counters.chkpts,
-            rollbacks: m.tol.emu.counters.assert_fails + m.tol.emu.counters.alias_fails,
-            validations: m.validations,
-            pages_served: m.pages_served,
-            syscalls: m.syscalls,
-            output: m.xcomp.output.clone(),
-            exit_status,
-            guest_fault: fault.map(|f| f.to_string()),
-            timing,
-            power,
-            metrics,
-            trace: m.tol.obs.trace.events(),
-        })
-    }
-
-    /// The execution/synchronization loop (split out so `run` can attach
-    /// divergence and panic handling around it).
-    fn drive(
-        cfg: &SystemConfig,
-        machine: &mut Machine,
-        sink: &mut Sink,
-    ) -> Result<(Option<u32>, Option<Fault>), DarcoError> {
-        let step = cfg.validate_every.unwrap_or(u64::MAX);
+        let mut engine = self.start();
         loop {
-            if machine.insns() >= cfg.max_guest_insns {
-                return Err(DarcoError::BudgetExceeded);
+            match engine.step(u64::MAX)? {
+                StepExit::Yielded | StepExit::ValidationDue => {}
+                StepExit::Ended | StepExit::GuestFault => return Ok(engine.into_report()),
             }
-            let target = machine.insns().saturating_add(step).min(cfg.max_guest_insns);
-            match machine.run_to(target, cfg.compare_flags, sink)? {
-                MachineEvent::Reached => {
-                    if cfg.validate_every.is_some() {
-                        machine
-                            .xcomp
-                            .run_until(machine.insns())
-                            .map_err(|e| DarcoError::Protocol(e.to_string()))?;
-                        machine.validate(cfg.compare_flags)?;
-                    }
-                }
-                MachineEvent::Ended { exit_status } => return Ok((exit_status, None)),
-                MachineEvent::GuestFault(f) => return Ok((None, Some(f))),
-            }
-        }
-    }
-
-    /// Builds the unified registry from everything the machine counted:
-    /// the TOL's live histograms/gauges, the [`TolStats`] and overhead
-    /// bridges, sync-protocol counters and the authoritative component.
-    fn assemble_metrics(m: &Machine) -> Registry {
-        let mut reg = m.tol.obs.metrics.clone();
-        m.tol.stats.register_into(&mut reg, "tol");
-        m.tol.overhead().register_into(&mut reg, "tol");
-        m.xcomp.register_metrics(&mut reg, "xcomp");
-        reg.set_counter("sync.validations", m.validations);
-        reg.set_counter("sync.pages_served", m.pages_served);
-        reg.set_counter("sync.syscalls", m.syscalls);
-        reg
-    }
-
-    /// Writes the flight-recorder artifact (best effort — a failing dump
-    /// never masks the original error).
-    fn write_flight(cfg: &SystemConfig, machine: &Machine, context: &str) {
-        let Some(path) = &cfg.flight_path else { return };
-        let reg = Self::assemble_metrics(machine);
-        let (events, dropped) = match machine.tol.obs.trace.ring_ref() {
-            Some(r) => (r.events(), r.dropped()),
-            None => (Vec::new(), 0),
-        };
-        let dump = darco_obs::flight::flight_dump(context, &events, dropped, &reg);
-        if let Err(e) = std::fs::write(path, dump) {
-            eprintln!("warning: could not write flight dump to {path}: {e}");
         }
     }
 }

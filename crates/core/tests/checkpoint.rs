@@ -1,0 +1,145 @@
+//! Checkpoint determinism property test.
+//!
+//! For every workload × translation-mode × timing-sink combination, a run
+//! that is checkpointed at a *random* step boundary, serialized, parsed
+//! back, restored into a fresh engine and driven to completion must
+//! produce a report byte-identical to the uninterrupted run under the
+//! same stepping schedule — in every deterministic metric (wall-clock
+//! counters are projected out, as the fleet merger does).
+
+use darco::{RunReport, SinkChoice, Snapshot, StepExit, System, SystemConfig};
+use darco_guest::prng::{Rng, SmallRng};
+use darco_guest::GuestProgram;
+use darco_workloads::kernels;
+
+/// The fleet's wall-clock projection (`darco_fleet::deterministic_metric`),
+/// restated here because core cannot depend on fleet.
+fn deterministic_metric(name: &str) -> bool {
+    !(name.ends_with("_nanos") || name.ends_with("_ns") || name.contains("_ns."))
+}
+
+/// The comparable slice of a report: headline numbers plus the projected
+/// metrics registry rendered to JSON.
+fn comparable(r: &RunReport) -> String {
+    let mut m = r.metrics.clone();
+    m.retain(deterministic_metric);
+    format!(
+        "insns={} modes={:?} overhead={} rollbacks={} validations={} \
+         exit={:?} fault={:?} metrics={}",
+        r.guest_insns,
+        r.mode_insns,
+        r.overhead.total(),
+        r.rollbacks,
+        r.validations,
+        r.exit_status,
+        r.guest_fault,
+        m.to_json()
+    )
+}
+
+type Workload = (&'static str, fn() -> GuestProgram);
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        ("dot", || kernels::dot_product(600)),
+        ("crc32", || kernels::crc32(900)),
+        ("quicksort", || kernels::quicksort(250)),
+        ("search", || kernels::string_search(3_000, 1_800)),
+        ("nbody", || kernels::nbody_step(6, 15)),
+    ]
+}
+
+/// The three translation regimes of the paper's staged model.
+fn modes() -> Vec<(&'static str, SystemConfig)> {
+    let mut im_only = SystemConfig::default();
+    im_only.tol.bbm_threshold = 1_000_000_000; // never promote
+    let mut bbm = SystemConfig::default();
+    bbm.tol.bbm_threshold = 3;
+    bbm.tol.sbm_threshold = 1_000_000_000; // promote to BBM, never to SBM
+    let mut sbm = SystemConfig::default();
+    sbm.tol.bbm_threshold = 3;
+    sbm.tol.sbm_threshold = 12;
+    sbm.tol.speculation = true;
+    vec![("im", im_only), ("bbm", bbm), ("sbm+spec", sbm)]
+}
+
+/// Steps an engine to completion at a fixed quantum, checkpointing (and
+/// round-tripping through bytes + a fresh engine) after `ckpt_after`
+/// boundaries when given. Returns the final report and how many step
+/// calls it took.
+fn drive(
+    cfg: &SystemConfig,
+    program: fn() -> GuestProgram,
+    quantum: u64,
+    ckpt_after: Option<u64>,
+    label: &str,
+) -> (RunReport, u64) {
+    let mut engine = System::new(cfg.clone(), program()).start();
+    let mut steps = 0u64;
+    while let StepExit::Yielded | StepExit::ValidationDue =
+        engine.step(quantum).unwrap_or_else(|e| panic!("{label}: {e}"))
+    {
+        steps += 1;
+        if Some(steps) == ckpt_after {
+            let snap = engine.checkpoint().expect("mid-run checkpoint");
+            // Full serialization round trip, then a cold engine.
+            let parsed = Snapshot::from_bytes(snap.into_bytes()).unwrap();
+            let mut fresh = System::new(cfg.clone(), program()).start();
+            fresh.restore(&parsed).unwrap();
+            engine = fresh;
+        }
+    }
+    (engine.into_report(), steps)
+}
+
+#[test]
+fn random_checkpoint_restore_is_invisible_everywhere() {
+    let mut rng = SmallRng::seed_from_u64(0xDA2C0);
+    let quantum = 2_048u64;
+    for (wname, program) in workloads() {
+        for (mname, mut cfg) in modes() {
+            for sink in [SinkChoice::None, SinkChoice::InOrder] {
+                cfg.sink = sink;
+                let label = format!("{wname}/{mname}/{sink:?}");
+                let (reference, steps) = drive(&cfg, program, quantum, None, &label);
+                assert!(reference.guest_insns > 0, "{label}");
+                if steps == 0 {
+                    continue; // finished inside one quantum: no boundary to cut at
+                }
+                let at = rng.gen_range(1..=steps);
+                let (resumed, _) = drive(&cfg, program, quantum, Some(at), &label);
+                assert_eq!(
+                    comparable(&resumed),
+                    comparable(&reference),
+                    "checkpoint at boundary {at}/{steps} perturbed {wname}/{mname}/{sink:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_refuses_foreign_program_and_config() {
+    let mut cfg = SystemConfig::default();
+    cfg.tol.bbm_threshold = 3;
+    let mut e = System::new(cfg.clone(), kernels::dot_product(600)).start();
+    e.step(1_000).unwrap();
+    let snap = e.checkpoint().unwrap();
+
+    // Same shape, different program: one extra loop iteration.
+    let mut other = System::new(cfg.clone(), kernels::dot_product(601)).start();
+    let err = other.restore(&snap).unwrap_err().to_string();
+    assert!(err.contains("different program"), "{err}");
+
+    // Same program, different configuration.
+    let mut cfg2 = cfg.clone();
+    cfg2.validate_every = Some(12_345);
+    let mut wrong = System::new(cfg2, kernels::dot_product(600)).start();
+    let err = wrong.restore(&snap).unwrap_err().to_string();
+    assert!(err.contains("different configuration"), "{err}");
+
+    // And the original combination still restores cleanly.
+    let mut same = System::new(cfg, kernels::dot_product(600)).start();
+    same.restore(&snap).unwrap();
+    assert_eq!(same.insns(), snap.guest_insns());
+}

@@ -5,32 +5,48 @@
 //! darco-fleet serve --addr 127.0.0.1:7077 --jobs 8 --queue-cap 32
 //! ```
 //!
-//! `run` executes a campaign file on the work-stealing pool and writes
-//! the merged deterministic artifact (byte-identical for any `--jobs`);
-//! the per-job schedule view (wall-clock, attempts, flight dumps) goes
-//! to stderr. Exit status: 0 when every job succeeded, 1 when any
-//! failed/panicked/timed out/was skipped, 2 on usage or campaign errors.
+//! `run` executes a campaign on cooperative engine workers — each worker
+//! time-slices its engines one `--quantum` at a time (see
+//! `darco_fleet::sched`) — and writes the merged deterministic artifact
+//! (byte-identical for any `--jobs`); the per-job schedule view
+//! (wall-clock, attempts, flight dumps, checkpoints) goes to stderr.
+//! With `--state-dir`, a job over its wall-clock timeout is checkpointed
+//! instead of killed, and `--resume <dir>` continues it from the exact
+//! instruction it yielded at. Exit status: 0 when every job succeeded,
+//! 1 when any failed/panicked/timed out/was skipped, 2 on usage or
+//! campaign errors.
 //!
-//! `serve` starts the JSON-lines job server (see `darco_fleet::server`).
-//! SIGINT in either mode shuts down gracefully: running jobs finish,
+//! `serve` starts the JSON-lines job server (see `darco_fleet::server`)
+//! on the work-stealing pool. SIGINT shuts down gracefully: running jobs
+//! finish (`run` mode checkpoints live engines when a state dir is set),
 //! queued jobs drain as `skipped`.
 
-use darco_fleet::{parse_campaign, run_campaign, signal, Pool, Server};
+use darco_fleet::{parse_campaign, run_campaign_cooperative, signal, SchedOpts, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n\
          \u{20} darco-fleet run <campaign.json> [--jobs N] [--out FILE]\n\
-         \u{20}             [--flight-dir DIR] [--queue-cap N]\n\
+         \u{20}             [--flight-dir DIR] [--quantum N]\n\
+         \u{20}             [--state-dir DIR] [--resume DIR]\n\
          \u{20} darco-fleet serve --addr HOST:PORT [--jobs N] [--queue-cap N]\n\
          \u{20}             [--flight-dir DIR]\n\
          \n\
          \u{20} --jobs N        worker threads (default: available parallelism)\n\
          \u{20} --out FILE      write the merged artifact here (default: stdout)\n\
          \u{20} --flight-dir D  write job-<id>.flight.json for failing jobs\n\
-         \u{20} --queue-cap N   backpressure bound on unstarted jobs"
+         \u{20} --quantum N     guest instructions per engine time slice\n\
+         \u{20}                 (default 100000)\n\
+         \u{20} --state-dir D   checkpoint timed-out/interrupted jobs to\n\
+         \u{20}                 D/job-<id>.snap and record finished jobs\n\
+         \u{20} --resume D      continue a previous run from its state dir\n\
+         \u{20}                 (implies --state-dir D): finished jobs are\n\
+         \u{20}                 reused, checkpointed jobs restored mid-run\n\
+         \u{20} --queue-cap N   backpressure bound on unstarted jobs (serve)"
     );
     std::process::exit(2);
 }
@@ -44,6 +60,9 @@ struct Opts {
     out: Option<PathBuf>,
     flight_dir: Option<PathBuf>,
     queue_cap: Option<usize>,
+    quantum: u64,
+    state_dir: Option<PathBuf>,
+    resume: bool,
     addr: Option<String>,
     positional: Vec<String>,
 }
@@ -54,6 +73,9 @@ fn parse_opts(args: &[String]) -> Opts {
         out: None,
         flight_dir: None,
         queue_cap: None,
+        quantum: SchedOpts::default().quantum,
+        state_dir: None,
+        resume: false,
         addr: None,
         positional: Vec::new(),
     };
@@ -69,6 +91,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--flight-dir" => o.flight_dir = Some(PathBuf::from(take(&mut i))),
             "--queue-cap" => {
                 o.queue_cap = Some(take(&mut i).parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()))
+            }
+            "--quantum" => {
+                o.quantum = take(&mut i).parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage())
+            }
+            "--state-dir" => o.state_dir = Some(PathBuf::from(take(&mut i))),
+            "--resume" => {
+                o.state_dir = Some(PathBuf::from(take(&mut i)));
+                o.resume = true;
             }
             "--addr" => o.addr = Some(take(&mut i)),
             a if a.starts_with("--") => usage(),
@@ -115,18 +145,25 @@ fn cmd_run(o: &Opts) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let pool = match o.queue_cap {
-        Some(cap) => Pool::with_queue_cap(o.jobs, cap),
-        None => Pool::new(o.jobs),
-    };
-    watch_sigint(pool.poisoner());
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        watch_sigint(move || stop.store(true, std::sync::atomic::Ordering::SeqCst));
+    }
     eprintln!(
-        "darco-fleet: campaign `{}`: {} jobs on {} workers",
+        "darco-fleet: campaign `{}`: {} jobs on {} workers (quantum {})",
         campaign.name,
         campaign.jobs.len(),
-        pool.workers()
+        o.jobs,
+        o.quantum,
     );
-    let outcome = run_campaign(&campaign, &pool, o.flight_dir.as_deref());
+    let sched = SchedOpts {
+        quantum: o.quantum,
+        state_dir: o.state_dir.clone(),
+        resume: o.resume,
+        flight_dir: o.flight_dir.clone(),
+    };
+    let outcome = run_campaign_cooperative(&campaign, o.jobs, &sched, &stop);
     for r in &outcome.results {
         eprintln!("  {}", r.schedule_json());
     }
@@ -147,6 +184,14 @@ fn cmd_run(o: &Opts) -> ExitCode {
         outcome.failed_count(),
         outcome.results.len()
     );
+    if outcome.results.iter().any(|r| r.checkpoint_path.is_some()) {
+        if let Some(d) = &o.state_dir {
+            eprintln!(
+                "darco-fleet: checkpoints written; continue with `darco-fleet run {path} --resume {}`",
+                d.display()
+            );
+        }
+    }
     if outcome.failed_count() == 0 {
         ExitCode::SUCCESS
     } else {

@@ -122,6 +122,10 @@ pub struct JobResult {
     pub payload: Option<String>,
     /// Flight-recorder dump path, when the job failed and wrote one.
     pub flight_path: Option<String>,
+    /// Engine checkpoint path, when the cooperative scheduler
+    /// checkpointed this job (timeout or interrupt) instead of killing
+    /// it; `darco-fleet run --resume` continues from it.
+    pub checkpoint_path: Option<String>,
 }
 
 impl JobResult {
@@ -167,6 +171,10 @@ impl JobResult {
         match &self.flight_path {
             Some(p) => w.field_str("flight", p),
             None => w.field_null("flight"),
+        };
+        match &self.checkpoint_path {
+            Some(p) => w.field_str("checkpoint", p),
+            None => w.field_null("checkpoint"),
         };
         w.end_obj();
         w.finish()
@@ -249,6 +257,7 @@ mod tests {
             metrics: None,
             payload: Some("{\"x\":1}".into()),
             flight_path: None,
+            checkpoint_path: None,
         };
         let d = r.deterministic_json();
         assert!(!d.contains("wall_ms") && !d.contains("attempts"), "{d}");

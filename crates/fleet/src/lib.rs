@@ -26,6 +26,7 @@ pub mod campaign;
 pub mod job;
 pub mod pool;
 pub mod runner;
+pub mod sched;
 pub mod server;
 pub mod signal;
 pub mod workload;
@@ -34,6 +35,7 @@ pub use campaign::{parse_campaign, Campaign};
 pub use job::{JobKind, JobResult, JobSpec, JobStatus};
 pub use pool::{Pool, TaskError};
 pub use runner::{execute_job, merge_results, run_campaign, CampaignOutcome};
+pub use sched::{run_campaign_cooperative, SchedOpts};
 pub use server::Server;
 pub use workload::{resolve, Resolved};
 

@@ -173,6 +173,7 @@ pub fn execute_job(spec: &JobSpec, flight_dir: Option<&Path>) -> JobResult {
         metrics,
         payload,
         flight_path,
+        checkpoint_path: None,
     }
 }
 
@@ -233,6 +234,7 @@ fn placeholder(spec: &JobSpec, status: JobStatus) -> JobResult {
         metrics: None,
         payload: None,
         flight_path: None,
+        checkpoint_path: None,
     }
 }
 

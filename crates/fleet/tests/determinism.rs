@@ -2,7 +2,8 @@
 //! must merge to byte-identical artifacts — the contract every figure
 //! built on fleet output relies on.
 
-use darco_fleet::{parse_campaign, run_campaign, Pool};
+use darco_fleet::{parse_campaign, run_campaign, run_campaign_cooperative, Pool, SchedOpts};
+use std::sync::atomic::AtomicBool;
 
 const CAMPAIGN: &str = r#"{
   "name": "determinism-regression",
@@ -49,4 +50,77 @@ fn merged_artifact_is_byte_identical_across_worker_counts() {
         !reference.contains("wall_ms") && !reference.contains("_nanos"),
         "deterministic artifact must hold no wall-clock data"
     );
+}
+
+#[test]
+fn cooperative_artifact_is_byte_identical_across_worker_counts() {
+    let campaign = parse_campaign(CAMPAIGN).unwrap();
+    let stop = AtomicBool::new(false);
+    let opts = SchedOpts { quantum: 5_000, ..SchedOpts::default() };
+    let mut artifacts = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let outcome = run_campaign_cooperative(&campaign, workers, &opts, &stop);
+        assert_eq!(outcome.results.len(), 6);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        artifacts.push((workers, outcome.merged_json()));
+    }
+    let (_, reference) = &artifacts[0];
+    for (workers, artifact) in &artifacts[1..] {
+        assert_eq!(
+            artifact, reference,
+            "cooperative artifact differs between --jobs 1 and --jobs {workers}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_cycle_is_deterministic_across_worker_counts() {
+    // Every run-kind job times out immediately (timeout 0 fires at the
+    // first quantum boundary), checkpoints, and is then resumed to
+    // completion — at 1, 2 and 8 workers. The resumed artifacts must all
+    // equal the uninterrupted run under the same stepping schedule.
+    let campaign_text = r#"{
+      "name": "ckpt-workers",
+      "defaults": {"scale": "1/4"},
+      "jobs": [
+        {"workload": "kernel:dot"},
+        {"workload": "kernel:crc32"},
+        {"workload": "kernel:quicksort"}
+      ]
+    }"#;
+    let stop = AtomicBool::new(false);
+    let quantum = 3_000u64;
+    let plain = {
+        let c = parse_campaign(campaign_text).unwrap();
+        let opts = SchedOpts { quantum, ..SchedOpts::default() };
+        run_campaign_cooperative(&c, 1, &opts, &stop).merged_json()
+    };
+    for workers in [1usize, 2, 8] {
+        let dir = std::env::temp_dir().join(format!("fleet-det-ckpt-{workers}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = parse_campaign(campaign_text).unwrap();
+        for j in &mut c.jobs {
+            j.timeout_ms = Some(0);
+        }
+        let opts =
+            SchedOpts { quantum, state_dir: Some(dir.clone()), ..SchedOpts::default() };
+        let first = run_campaign_cooperative(&c, workers, &opts, &stop);
+        for r in &first.results {
+            assert_eq!(r.status, darco_fleet::JobStatus::TimedOut(0), "job {}", r.id);
+            assert!(r.checkpoint_path.is_some(), "job {} left a checkpoint", r.id);
+        }
+        for j in &mut c.jobs {
+            j.timeout_ms = None;
+        }
+        let resumed =
+            run_campaign_cooperative(&c, workers, &SchedOpts { resume: true, ..opts }, &stop);
+        assert_eq!(
+            resumed.merged_json(),
+            plain,
+            "checkpoint/resume at {workers} workers must match the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -56,6 +56,7 @@ pub mod program;
 pub mod reg;
 pub mod softfp;
 pub mod state;
+pub mod wire;
 
 pub use asm::Asm;
 pub use encode::{decode, encode, DecodeError};
@@ -66,5 +67,6 @@ pub use predecode::DecodeCache;
 pub use program::GuestProgram;
 pub use reg::{Addr, Cond, Flags, Fpr, Gpr, Scale, Width};
 pub use state::GuestState;
+pub use wire::{Wire, WireError, WireReader};
 
 pub mod gen;

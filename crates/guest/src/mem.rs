@@ -426,6 +426,58 @@ impl GuestMem {
         Ok(v)
     }
 
+    /// Serializes all mapped pages, the code-page set and the SMC
+    /// generation counter into `w`.
+    ///
+    /// Pages travel in page-number order (the `BTreeMap` iteration order),
+    /// so two snapshots of identical memory are byte-identical regardless
+    /// of arena slot history. Slot numbering, free lists and TLB contents
+    /// are invisible state and are not serialized.
+    pub fn snapshot_into(&self, w: &mut crate::wire::Wire) {
+        w.put_usize(self.page_map.len());
+        for (num, data) in self.pages() {
+            w.put_u32(num);
+            w.put_bytes(data);
+        }
+        let mut code: Vec<u32> = self.code_pages.iter().copied().collect();
+        code.sort_unstable();
+        w.put_u32s(&code);
+        w.put_u64(self.code_gen);
+    }
+
+    /// Rebuilds this memory from a [`GuestMem::snapshot_into`] stream:
+    /// pages are re-packed into fresh arena slots `0..n`, the free list is
+    /// emptied and both TLBs start cold.
+    ///
+    /// # Errors
+    /// Propagates wire decode failures (truncated/malformed snapshot).
+    pub fn restore_from(&mut self, r: &mut crate::wire::WireReader<'_>) -> Result<(), crate::wire::WireError> {
+        let n = r.get_usize()?;
+        let mut page_map = BTreeMap::new();
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let num = r.get_u32()?;
+            let data = r.get_bytes()?;
+            if data.len() != PAGE_SIZE as usize {
+                return Err(crate::wire::WireError::Malformed {
+                    at: r.pos(),
+                    what: "page is not PAGE_SIZE bytes",
+                });
+            }
+            page_map.insert(num, slots.len() as u32);
+            slots.push(data);
+        }
+        let code_pages: HashSet<u32> = r.get_u32s()?.into_iter().collect();
+        let code_gen = r.get_u64()?;
+        self.page_map = page_map;
+        self.slots = slots;
+        self.free_slots.clear();
+        self.code_pages = code_pages;
+        self.code_gen = code_gen;
+        self.flush_tlbs();
+        Ok(())
+    }
+
     /// Compares this memory's mapped pages against another's.
     ///
     /// Only pages mapped in **both** are compared byte-for-byte (the
@@ -568,6 +620,48 @@ mod tests {
         let g1 = m.code_gen();
         m.install_page(1, vec![0u8; PAGE_SIZE as usize]);
         assert!(m.code_gen() > g1, "installing over a code page bumps too");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_slot_order_independent() {
+        let mut a = GuestMem::new();
+        a.map_zero(1);
+        a.map_zero(7);
+        a.write_u32(0x1010, 0xCAFE).unwrap();
+        a.mark_code_page(7);
+        a.write_u8(0x7000, 0x90).unwrap(); // bumps code_gen
+
+        // Build the same logical memory with a different slot history.
+        let mut b = GuestMem::new();
+        b.map_zero(3);
+        b.map_zero(7);
+        b.unmap(3);
+        b.map_zero(1);
+        b.write_u32(0x1010, 0xCAFE).unwrap();
+        b.mark_code_page(7);
+        b.write_u8(0x7000, 0x90).unwrap();
+
+        let snap = |m: &GuestMem| {
+            let mut w = crate::wire::Wire::new();
+            m.snapshot_into(&mut w);
+            w.finish()
+        };
+        assert_eq!(snap(&a), snap(&b), "slot history must not leak into snapshots");
+
+        let bytes = snap(&a);
+        let mut restored = GuestMem::new();
+        restored.map_zero(99); // pre-existing state must be replaced
+        let mut r = crate::wire::WireReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.read_u32(0x1010).unwrap(), 0xCAFE);
+        assert!(!restored.is_mapped(99 << PAGE_SHIFT));
+        assert_eq!(restored.code_gen(), a.code_gen());
+        assert_eq!(snap(&restored), bytes, "re-snapshot is byte-identical");
+        // Code-page tracking survives: a write to page 7 bumps the gen.
+        let g = restored.code_gen();
+        restored.write_u8(0x7004, 1).unwrap();
+        assert!(restored.code_gen() > g);
     }
 
     #[test]

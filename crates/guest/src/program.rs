@@ -88,6 +88,35 @@ impl GuestProgram {
         n
     }
 
+    /// Deterministic FNV-1a fingerprint over every field of the image.
+    ///
+    /// Engine snapshots embed this so a checkpoint can only be restored
+    /// into the program it was taken from; any change to the code, data,
+    /// layout or input stream changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            // Length-prefix each field so (e.g.) code/data boundaries
+            // cannot alias.
+            for b in (bytes.len() as u64).to_le_bytes().iter().chain(bytes.iter()) {
+                h = (h ^ u64::from(*b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.code);
+        eat(&self.code_base.to_le_bytes());
+        eat(&self.data);
+        eat(&self.data_base.to_le_bytes());
+        eat(&self.entry.to_le_bytes());
+        eat(&self.stack_top.to_le_bytes());
+        eat(&self.stack_size.to_le_bytes());
+        eat(&self.brk_base.to_le_bytes());
+        eat(&self.input);
+        h
+    }
+
     /// Maps the full image (code, data, stack) into `mem`.
     pub fn map_into(&self, mem: &mut GuestMem) {
         map_segment(mem, self.code_base, &self.code);
@@ -132,5 +161,28 @@ mod tests {
         assert!(mem.is_mapped(p.stack_top - 4));
         assert_eq!(mem.read_u8(p.data_base + 2).unwrap(), 3);
         assert_eq!(p.static_insn_count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let make = || {
+            let mut a = Asm::new(DEFAULT_CODE_BASE);
+            a.mov_ri(Gpr::Eax, 1);
+            a.halt();
+            a.into_program().with_data(vec![1, 2, 3])
+        };
+        let p = make();
+        assert_eq!(p.fingerprint(), make().fingerprint());
+        let mut q = make();
+        q.input = vec![9];
+        assert_ne!(p.fingerprint(), q.fingerprint());
+        let mut q = make();
+        q.entry += 4;
+        assert_ne!(p.fingerprint(), q.fingerprint());
+        // Moving a byte across the code/data boundary must change it.
+        let mut q = make();
+        let b = q.code.pop().unwrap();
+        q.data.insert(0, b);
+        assert_ne!(p.fingerprint(), q.fingerprint());
     }
 }

@@ -89,6 +89,37 @@ impl GuestState {
         self.flags = other.flags;
     }
 
+    /// Serializes the full architectural state (registers, flags, EIP and
+    /// memory) into `w`. FPRs travel as IEEE-754 bit patterns.
+    pub fn snapshot_into(&self, w: &mut crate::wire::Wire) {
+        for g in self.gprs {
+            w.put_u32(g);
+        }
+        for f in self.fprs {
+            w.put_f64(f);
+        }
+        w.put_u32(self.eip);
+        w.put_u8(self.flags.to_bits());
+        self.mem.snapshot_into(w);
+    }
+
+    /// Restores the full architectural state from a
+    /// [`GuestState::snapshot_into`] stream.
+    ///
+    /// # Errors
+    /// Propagates wire decode failures.
+    pub fn restore_from(&mut self, r: &mut crate::wire::WireReader<'_>) -> Result<(), crate::wire::WireError> {
+        for g in &mut self.gprs {
+            *g = r.get_u32()?;
+        }
+        for f in &mut self.fprs {
+            *f = r.get_f64()?;
+        }
+        self.eip = r.get_u32()?;
+        self.flags = Flags::from_bits(r.get_u8()?);
+        self.mem.restore_from(r)
+    }
+
     /// Compares the register state against another, returning a description
     /// of the first mismatch.
     ///
@@ -158,5 +189,30 @@ mod tests {
         a.set_fpr(Fpr::new(0), f64::NAN);
         b.set_fpr(Fpr::new(0), f64::NAN);
         assert_eq!(a.first_reg_mismatch(&b, false), None);
+    }
+
+    #[test]
+    fn state_snapshot_round_trips() {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.halt();
+        let p = a.into_program();
+        let mut st = GuestState::boot(&p);
+        st.set_gpr(Gpr::Eax, 0x1234);
+        st.set_fpr(Fpr::new(3), -2.5);
+        st.flags.zf = true;
+        st.mem.write_u32(p.stack_top - 8, 0xBEEF).unwrap();
+
+        let mut w = crate::wire::Wire::new();
+        st.snapshot_into(&mut w);
+        let bytes = w.finish();
+
+        let mut out = GuestState::new();
+        let mut r = crate::wire::WireReader::new(&bytes);
+        out.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(out.first_reg_mismatch(&st, true), None);
+        assert_eq!(out.mem.first_difference(&st.mem), None);
+        assert_eq!(out.mem.page_count(), st.mem.page_count());
+        assert_eq!(out.mem.read_u32(p.stack_top - 8).unwrap(), 0xBEEF);
     }
 }

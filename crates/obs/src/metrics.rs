@@ -86,6 +86,21 @@ impl Histogram {
         out
     }
 
+    /// All 65 raw bucket counts — the lossless view snapshot serializers
+    /// need (the JSON surface prints only non-empty buckets and
+    /// normalizes the empty-histogram `min`, so it cannot round-trip).
+    pub fn buckets_raw(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from its raw parts ([`Histogram::buckets_raw`]
+    /// plus the public fields) — the snapshot-restore counterpart of
+    /// [`Histogram::buckets_raw`]. An empty histogram must carry
+    /// `min == u64::MAX`, exactly as [`Histogram::default`] does.
+    pub fn from_raw(count: u64, sum: u64, min: u64, max: u64, buckets: [u64; 65]) -> Histogram {
+        Histogram { count, sum, min, max, buckets }
+    }
+
     /// Folds another histogram into this one: counts and sums add
     /// (saturating), min/max widen, buckets add element-wise. Merging is
     /// commutative and associative, so any merge order over a set of
@@ -194,6 +209,35 @@ impl Registry {
     /// Numbers of registered (counters, gauges, histograms).
     pub fn sizes(&self) -> (usize, usize, usize) {
         (self.counters.len(), self.gauges.len(), self.histograms.len())
+    }
+
+    /// All counters in registration order — lossless snapshot view.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All gauges in registration order — lossless snapshot view.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms in registration order — lossless snapshot view.
+    /// Combined with [`Histogram::buckets_raw`] this exposes every bit of
+    /// registry state, which the JSON surface deliberately does not.
+    pub fn histograms_iter(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Builds a registry from explicit contents, preserving the given
+    /// order (registration order is part of registry identity: it decides
+    /// both [`HistoId`] assignment and serialization order). This is the
+    /// snapshot-restore counterpart of the `*_iter` views.
+    pub fn from_contents(
+        counters: Vec<(String, u64)>,
+        gauges: Vec<(String, f64)>,
+        histograms: Vec<(String, Histogram)>,
+    ) -> Registry {
+        Registry { counters, gauges, histograms }
     }
 
     /// Folds another registry into this one, matching metrics by name:
@@ -454,6 +498,37 @@ mod tests {
         assert!(r.histogram_ref("tol.translate_ns.bb").is_none());
         assert!(r.histogram_ref("tol.region_guest_insns").is_some());
         assert_eq!(r.gauge_value("tol.cache_occupancy"), Some(0.5));
+    }
+
+    #[test]
+    fn lossless_views_round_trip_the_whole_registry() {
+        let mut r = Registry::new();
+        r.set_counter("c.a", 3);
+        r.set_counter("c.b", 0);
+        r.set_gauge("g", -0.25);
+        let h = r.histogram("h.used");
+        r.record(h, 5);
+        r.record(h, 0);
+        r.histogram("h.empty"); // min stays u64::MAX — JSON can't express this
+
+        let rebuilt = Registry::from_contents(
+            r.counters_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            r.gauges_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            r.histograms_iter()
+                .map(|(n, h)| {
+                    (
+                        n.to_string(),
+                        Histogram::from_raw(h.count, h.sum, h.min, h.max, *h.buckets_raw()),
+                    )
+                })
+                .collect(),
+        );
+        assert_eq!(rebuilt, r);
+        assert_eq!(rebuilt.histogram_ref("h.empty").unwrap().min, u64::MAX);
+        // Registration order survives, so handle assignment does too.
+        let mut rb = rebuilt;
+        assert_eq!(rb.histogram("h.used"), HistoId(0));
+        assert_eq!(rb.histogram("h.empty"), HistoId(1));
     }
 
     #[test]

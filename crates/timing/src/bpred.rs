@@ -53,6 +53,34 @@ impl Gshare {
         }
         pred == taken
     }
+
+    /// Serializes the predictor state (PHT, history, stat counters).
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_bytes(&self.pht);
+        w.put_u64(self.ghr);
+        w.put_u64(self.predictions);
+        w.put_u64(self.mispredicts);
+    }
+
+    /// Restores from a [`Gshare::snapshot_into`] stream; the PHT size must
+    /// match this predictor's configuration.
+    ///
+    /// # Errors
+    /// Wire decode failures or a PHT size mismatch.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        let pht = r.get_bytes()?;
+        if pht.len() != self.pht.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "gshare snapshot geometry mismatch",
+            });
+        }
+        self.pht = pht;
+        self.ghr = r.get_u64()?;
+        self.predictions = r.get_u64()?;
+        self.mispredicts = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Direct-mapped branch target buffer.
@@ -104,6 +132,50 @@ impl Btb {
         }
         self.entries[slot] = Some((pc, target));
         wrong
+    }
+
+    /// Serializes the BTB state (entries in slot order, stat counters).
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            match e {
+                Some((tag, target)) => {
+                    w.put_bool(true);
+                    w.put_u64(*tag);
+                    w.put_u64(*target);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64(self.lookups);
+        w.put_u64(self.target_misses);
+    }
+
+    /// Restores from a [`Btb::snapshot_into`] stream; the entry count must
+    /// match this BTB's configuration.
+    ///
+    /// # Errors
+    /// Wire decode failures or an entry-count mismatch.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        let n = r.get_usize()?;
+        if n != self.entries.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "btb snapshot geometry mismatch",
+            });
+        }
+        for e in &mut self.entries {
+            *e = if r.get_bool()? {
+                let tag = r.get_u64()?;
+                let target = r.get_u64()?;
+                Some((tag, target))
+            } else {
+                None
+            };
+        }
+        self.lookups = r.get_u64()?;
+        self.target_misses = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -82,6 +82,53 @@ impl CacheModel {
         false
     }
 
+    /// Serializes the full cache state: geometry-independent dynamic
+    /// state only (tags in their exact storage order — `swap_remove`
+    /// history is part of LRU behaviour — plus the tick and the stat
+    /// counters). Geometry is re-derived from config on restore.
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_usize(self.sets.len());
+        for ways in &self.sets {
+            w.put_usize(ways.len());
+            for &(tag, last) in ways {
+                w.put_u64(tag);
+                w.put_u64(last);
+            }
+        }
+        w.put_u64(self.tick);
+        w.put_u64(self.accesses);
+        w.put_u64(self.misses);
+    }
+
+    /// Restores dynamic state from a [`CacheModel::snapshot_into`]
+    /// stream. `self` must have been built from the same configuration.
+    ///
+    /// # Errors
+    /// Wire decode failures, or a set count that disagrees with this
+    /// cache's geometry.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        let nsets = r.get_usize()?;
+        if nsets != self.sets.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "cache snapshot geometry mismatch",
+            });
+        }
+        for ways in &mut self.sets {
+            let n = r.get_usize()?;
+            ways.clear();
+            for _ in 0..n {
+                let tag = r.get_u64()?;
+                let last = r.get_u64()?;
+                ways.push((tag, last));
+            }
+        }
+        self.tick = r.get_u64()?;
+        self.accesses = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
+    }
+
     /// Miss rate so far.
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -141,6 +188,37 @@ impl TlbModel {
         }
         self.map.push((page, self.tick));
         false
+    }
+
+    /// Serializes the TLB's dynamic state (entries in storage order, tick,
+    /// stat counters).
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_usize(self.map.len());
+        for &(page, last) in &self.map {
+            w.put_u64(page);
+            w.put_u64(last);
+        }
+        w.put_u64(self.tick);
+        w.put_u64(self.accesses);
+        w.put_u64(self.misses);
+    }
+
+    /// Restores dynamic state from a [`TlbModel::snapshot_into`] stream.
+    ///
+    /// # Errors
+    /// Propagates wire decode failures.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        let n = r.get_usize()?;
+        self.map.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let last = r.get_u64()?;
+            self.map.push((page, last));
+        }
+        self.tick = r.get_u64()?;
+        self.accesses = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
     }
 }
 

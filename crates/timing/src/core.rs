@@ -235,6 +235,120 @@ impl InOrderCore {
         }
     }
 
+    /// Serializes the full microarchitectural state — pipeline cursors,
+    /// IQ ring, scoreboard, predictors, caches/TLBs, prefetcher and stat
+    /// accumulators. The configuration is not serialized; restore requires
+    /// a core built from the same [`TimingConfig`].
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_u64(self.fe_cycle);
+        w.put_u32(self.fe_count);
+        w.put_u64(self.last_fetch_line);
+        w.put_u64(self.redirect_until);
+        w.put_usize(self.iq_ring.len());
+        for &c in &self.iq_ring {
+            w.put_u64(c);
+        }
+        w.put_usize(self.iq_pos);
+        for &s in &self.scoreboard {
+            w.put_u64(s);
+        }
+        w.put_u64(self.cur_cycle);
+        for v in [
+            self.usage.issued,
+            self.usage.simple,
+            self.usage.complex,
+            self.usage.fp,
+            self.usage.rports,
+            self.usage.wports,
+        ] {
+            w.put_u32(v);
+        }
+        w.put_u64(self.last_complete);
+        self.gshare.snapshot_into(w);
+        self.btb.snapshot_into(w);
+        self.il1.snapshot_into(w);
+        self.dl1.snapshot_into(w);
+        self.l2.snapshot_into(w);
+        self.itlb.snapshot_into(w);
+        self.dtlb.snapshot_into(w);
+        self.l2tlb.snapshot_into(w);
+        self.prefetcher.snapshot_into(w);
+        for v in [
+            self.insns,
+            self.loads,
+            self.stores,
+            self.int_ops,
+            self.mul_ops,
+            self.div_ops,
+            self.fp_ops,
+            self.reg_reads,
+            self.reg_writes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores microarchitectural state from an
+    /// [`InOrderCore::snapshot_into`] stream. `self` must have been built
+    /// from the same configuration as the snapshotted core.
+    ///
+    /// # Errors
+    /// Wire decode failures or geometry mismatches against this core's
+    /// configuration.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        self.fe_cycle = r.get_u64()?;
+        self.fe_count = r.get_u32()?;
+        self.last_fetch_line = r.get_u64()?;
+        self.redirect_until = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.iq_ring.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "iq ring size mismatch",
+            });
+        }
+        for c in &mut self.iq_ring {
+            *c = r.get_u64()?;
+        }
+        self.iq_pos = r.get_usize()?;
+        if self.iq_pos >= self.iq_ring.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "iq position out of range",
+            });
+        }
+        for s in &mut self.scoreboard {
+            *s = r.get_u64()?;
+        }
+        self.cur_cycle = r.get_u64()?;
+        self.usage.issued = r.get_u32()?;
+        self.usage.simple = r.get_u32()?;
+        self.usage.complex = r.get_u32()?;
+        self.usage.fp = r.get_u32()?;
+        self.usage.rports = r.get_u32()?;
+        self.usage.wports = r.get_u32()?;
+        self.last_complete = r.get_u64()?;
+        self.gshare.restore_from(r)?;
+        self.btb.restore_from(r)?;
+        self.il1.restore_from(r)?;
+        self.dl1.restore_from(r)?;
+        self.l2.restore_from(r)?;
+        self.itlb.restore_from(r)?;
+        self.dtlb.restore_from(r)?;
+        self.l2tlb.restore_from(r)?;
+        self.prefetcher.restore_from(r)?;
+        self.insns = r.get_u64()?;
+        self.loads = r.get_u64()?;
+        self.stores = r.get_u64()?;
+        self.int_ops = r.get_u64()?;
+        self.mul_ops = r.get_u64()?;
+        self.div_ops = r.get_u64()?;
+        self.fp_ops = r.get_u64()?;
+        self.reg_reads = r.get_u64()?;
+        self.reg_writes = r.get_u64()?;
+        Ok(())
+    }
+
     fn classify(kind: &EventKind) -> (Class, u32) {
         match kind {
             EventKind::IntAlu | EventKind::Branch { .. } | EventKind::Other => (Class::Simple, 1),
@@ -566,6 +680,60 @@ mod tests {
         let bad = run(false);
         assert!(bad.mispredicts > 20 * good.mispredicts.max(1));
         assert!(bad.cycles > good.cycles * 2, "{} vs {}", bad.cycles, good.cycles);
+    }
+
+    #[test]
+    fn snapshot_mid_stream_continues_identically() {
+        // A mixed stream exercising caches, predictors and the prefetcher.
+        let event = |i: u64| {
+            let x = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x % 5 {
+                0 => RetireEvent {
+                    host_pc: i % 256,
+                    kind: EventKind::Load { addr: ((x >> 20) % (1 << 22)) as u32, bytes: 4 },
+                    dst: Some(16 + (i % 8) as u8),
+                    srcs: [Some(17), None],
+                },
+                1 => RetireEvent {
+                    host_pc: i % 256,
+                    kind: EventKind::Store { addr: ((x >> 24) % (1 << 20)) as u32, bytes: 4 },
+                    dst: None,
+                    srcs: [Some(16), Some(18)],
+                },
+                2 => RetireEvent {
+                    host_pc: i % 64,
+                    kind: EventKind::Branch {
+                        taken: (x >> 40) & 1 == 1,
+                        target: (x >> 13) % 512,
+                        cond: true,
+                    },
+                    dst: None,
+                    srcs: [Some(19), None],
+                },
+                _ => alu(i % 128, 16 + (i % 8) as u8, 17, 18),
+            }
+        };
+        let mut whole = InOrderCore::new(TimingConfig::default());
+        for i in 0..6_000 {
+            whole.retire(&event(i));
+        }
+
+        let mut first = InOrderCore::new(TimingConfig::default());
+        for i in 0..2_500 {
+            first.retire(&event(i));
+        }
+        let mut w = darco_guest::Wire::new();
+        first.snapshot_into(&mut w);
+        let bytes = w.finish();
+
+        let mut resumed = InOrderCore::new(TimingConfig::default());
+        let mut r = darco_guest::WireReader::new(&bytes);
+        resumed.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        for i in 2_500..6_000 {
+            resumed.retire(&event(i));
+        }
+        assert_eq!(resumed.stats(), whole.stats());
     }
 
     #[test]

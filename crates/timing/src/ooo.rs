@@ -115,6 +115,130 @@ impl OooCore {
         }
     }
 
+    /// Serializes the full microarchitectural state. The per-cycle usage
+    /// map travels in sorted-key order so identical state yields identical
+    /// bytes; configuration is not serialized (restore requires a core
+    /// built from the same [`TimingConfig`]).
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_u64(self.fe_cycle);
+        w.put_u32(self.fe_count);
+        w.put_u64(self.last_fetch_line);
+        w.put_u64(self.redirect_until);
+        w.put_usize(self.rob_ring.len());
+        for &c in &self.rob_ring {
+            w.put_u64(c);
+        }
+        w.put_usize(self.rob_pos);
+        w.put_u64(self.last_retire);
+        for &s in &self.scoreboard {
+            w.put_u64(s);
+        }
+        let mut cycles: Vec<u64> = self.usage.keys().copied().collect();
+        cycles.sort_unstable();
+        w.put_usize(cycles.len());
+        for c in cycles {
+            let u = self.usage[&c];
+            w.put_u64(c);
+            for v in [u.0, u.1, u.2, u.3, u.4, u.5] {
+                w.put_u32(v);
+            }
+        }
+        w.put_u64(self.usage_floor);
+        w.put_u64(self.last_complete);
+        self.gshare.snapshot_into(w);
+        self.btb.snapshot_into(w);
+        self.il1.snapshot_into(w);
+        self.dl1.snapshot_into(w);
+        self.l2.snapshot_into(w);
+        self.itlb.snapshot_into(w);
+        self.dtlb.snapshot_into(w);
+        self.l2tlb.snapshot_into(w);
+        self.prefetcher.snapshot_into(w);
+        for v in [
+            self.insns,
+            self.loads,
+            self.stores,
+            self.int_ops,
+            self.mul_ops,
+            self.div_ops,
+            self.fp_ops,
+            self.reg_reads,
+            self.reg_writes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores microarchitectural state from an
+    /// [`OooCore::snapshot_into`] stream. `self` must have been built from
+    /// the same configuration as the snapshotted core.
+    ///
+    /// # Errors
+    /// Wire decode failures or geometry mismatches against this core's
+    /// configuration.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        self.fe_cycle = r.get_u64()?;
+        self.fe_count = r.get_u32()?;
+        self.last_fetch_line = r.get_u64()?;
+        self.redirect_until = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.rob_ring.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "rob ring size mismatch",
+            });
+        }
+        for c in &mut self.rob_ring {
+            *c = r.get_u64()?;
+        }
+        self.rob_pos = r.get_usize()?;
+        if self.rob_pos >= self.rob_ring.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "rob position out of range",
+            });
+        }
+        self.last_retire = r.get_u64()?;
+        for s in &mut self.scoreboard {
+            *s = r.get_u64()?;
+        }
+        let entries = r.get_usize()?;
+        self.usage.clear();
+        for _ in 0..entries {
+            let c = r.get_u64()?;
+            let u = (
+                r.get_u32()?,
+                r.get_u32()?,
+                r.get_u32()?,
+                r.get_u32()?,
+                r.get_u32()?,
+                r.get_u32()?,
+            );
+            self.usage.insert(c, u);
+        }
+        self.usage_floor = r.get_u64()?;
+        self.last_complete = r.get_u64()?;
+        self.gshare.restore_from(r)?;
+        self.btb.restore_from(r)?;
+        self.il1.restore_from(r)?;
+        self.dl1.restore_from(r)?;
+        self.l2.restore_from(r)?;
+        self.itlb.restore_from(r)?;
+        self.dtlb.restore_from(r)?;
+        self.l2tlb.restore_from(r)?;
+        self.prefetcher.restore_from(r)?;
+        self.insns = r.get_u64()?;
+        self.loads = r.get_u64()?;
+        self.stores = r.get_u64()?;
+        self.int_ops = r.get_u64()?;
+        self.mul_ops = r.get_u64()?;
+        self.div_ops = r.get_u64()?;
+        self.fp_ops = r.get_u64()?;
+        self.reg_reads = r.get_u64()?;
+        self.reg_writes = r.get_u64()?;
+        Ok(())
+    }
+
     fn mem_latency(&mut self, pc: u64, addr: u64, is_load: bool) -> u32 {
         let mut lat = self.dl1.latency;
         if !self.dtlb.access(addr) {
@@ -361,6 +485,59 @@ mod tests {
             i.cycles,
             o.cycles
         );
+    }
+
+    #[test]
+    fn ooo_snapshot_mid_stream_continues_identically() {
+        let event = |i: u64| {
+            let x = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x % 4 {
+                0 => RetireEvent {
+                    host_pc: i % 200,
+                    kind: EventKind::Load { addr: ((x >> 18) % (8 << 20)) as u32, bytes: 4 },
+                    dst: Some(20),
+                    srcs: [Some(21), None],
+                },
+                1 => RetireEvent {
+                    host_pc: i % 48,
+                    kind: EventKind::Branch {
+                        taken: (x >> 39) & 1 == 1,
+                        target: (x >> 11) % 256,
+                        cond: true,
+                    },
+                    dst: None,
+                    srcs: [Some(20), None],
+                },
+                _ => RetireEvent {
+                    host_pc: i % 96,
+                    kind: EventKind::IntAlu,
+                    dst: Some(24 + (i % 4) as u8),
+                    srcs: [Some(30), Some(31)],
+                },
+            }
+        };
+        let mut whole = OooCore::new(TimingConfig::default());
+        for i in 0..9_000 {
+            whole.retire(&event(i));
+        }
+        // Snapshot past the first usage-map prune (every 4096 insns) so
+        // pruned state round-trips too.
+        let mut first = OooCore::new(TimingConfig::default());
+        for i in 0..5_000 {
+            first.retire(&event(i));
+        }
+        let mut w = darco_guest::Wire::new();
+        first.snapshot_into(&mut w);
+        let bytes = w.finish();
+
+        let mut resumed = OooCore::new(TimingConfig::default());
+        let mut r = darco_guest::WireReader::new(&bytes);
+        resumed.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        for i in 5_000..9_000 {
+            resumed.retire(&event(i));
+        }
+        assert_eq!(resumed.stats(), whole.stats());
     }
 
     #[test]

@@ -54,6 +54,40 @@ impl StridePrefetcher {
         e.tag = pc;
         out
     }
+
+    /// Serializes the prefetcher state (training table, issue counter).
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_usize(self.table.len());
+        for e in &self.table {
+            w.put_u64(e.tag);
+            w.put_u64(e.last_addr);
+            w.put_i64(e.stride);
+            w.put_u8(e.confidence);
+        }
+        w.put_u64(self.issued);
+    }
+
+    /// Restores from a [`StridePrefetcher::snapshot_into`] stream.
+    ///
+    /// # Errors
+    /// Wire decode failures or a table-size mismatch.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        let n = r.get_usize()?;
+        if n != self.table.len() {
+            return Err(darco_guest::WireError::Malformed {
+                at: r.pos(),
+                what: "prefetcher snapshot geometry mismatch",
+            });
+        }
+        for e in &mut self.table {
+            e.tag = r.get_u64()?;
+            e.last_addr = r.get_u64()?;
+            e.stride = r.get_i64()?;
+            e.confidence = r.get_u8()?;
+        }
+        self.issued = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

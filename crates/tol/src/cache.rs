@@ -2,9 +2,12 @@
 //! invalidation and flushing (paper §V-B, §V-D "minimum TOL overhead").
 
 use crate::sbm::SbShape;
+use darco_guest::{Wire, WireError, WireReader};
 use darco_host::emu::IbtcTable;
+use darco_host::encode::{decode_insn, encode_all};
 use darco_host::runtime::build_runtime;
 use darco_ir::codegen::ExitMeta;
+use darco_ir::{ExitKind, FlagsKind};
 use darco_host::HInsn;
 use std::collections::HashMap;
 
@@ -275,6 +278,325 @@ impl CodeCache {
         self.used_words = 0;
         self.flushes += 1;
     }
+
+    /// Serializes the full code-cache state: arena (including chain
+    /// patches), every translation ever installed (arena layout and
+    /// translation ids are history-dependent, so invalid entries must
+    /// survive too), chain bookkeeping, IBTC, and space accounting.
+    ///
+    /// The lookup map is *not* serialized — it is always exactly
+    /// `{t.guest_pc → id | t.valid}` (install invalidates any previous
+    /// same-PC translation before inserting), so restore rebuilds it.
+    pub fn snapshot_into(&self, w: &mut Wire) {
+        w.put_usize(self.runtime_len);
+        w.put_u32s(&encode_all(&self.arena));
+        // Sidecar: sequence numbers of *non-speculative* memory
+        // operations. The ISA encoding carries `seq` only in the
+        // two-word speculative form, but the emulator's store-buffer
+        // ordering (store-to-load forwarding) keys on `seq` for every
+        // memory operation, so dropping them would change execution
+        // after restore.
+        w.put_u32s(&nonspec_seqs(&self.arena));
+        w.put_usize(self.translations.len());
+        for t in &self.translations {
+            w.put_u32(t.guest_pc);
+            w.put_u8(match t.kind {
+                TransKind::Bb => 0,
+                TransKind::Sb { asserts: false } => 1,
+                TransKind::Sb { asserts: true } => 2,
+            });
+            w.put_usize(t.host_base);
+            w.put_usize(t.len);
+            w.put_usize(t.encoded_words);
+            w.put_usize(t.exits.len());
+            for e in &t.exits {
+                match e.kind {
+                    ExitKind::Jump { target } => {
+                        w.put_u8(0);
+                        w.put_u32(target);
+                    }
+                    ExitKind::Indirect => w.put_u8(1),
+                    ExitKind::Syscall { pc } => {
+                        w.put_u8(2);
+                        w.put_u32(pc);
+                    }
+                    ExitKind::Halt => w.put_u8(3),
+                }
+                w.put_u8(e.flags_valid);
+                // FlagsKind codes start at 1, so 0 is free for "none".
+                w.put_u32(e.deferred.map_or(0, |k| u32::from(k.code())));
+                w.put_bool(e.chain_slot.is_some());
+                if let Some(s) = e.chain_slot {
+                    w.put_usize(s);
+                }
+            }
+            w.put_u32(t.src_insns);
+            w.put_u32(t.host_insns);
+            w.put_u8(t.needs_flags_mask);
+            w.put_u32(t.spec_fails);
+            w.put_bool(t.shape.is_some());
+            if let Some(s) = &t.shape {
+                w.put_u32(s.entry);
+                w.put_u32s(&s.bbs);
+                w.put_usize(s.dirs.len());
+                for d in &s.dirs {
+                    w.put_u8(match d {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    });
+                }
+                w.put_u8(s.unroll);
+            }
+            w.put_bool(t.valid);
+        }
+        let mut chains: Vec<_> = self.chains_in.iter().collect();
+        chains.sort_by_key(|(id, _)| **id);
+        w.put_usize(chains.len());
+        for (id, slots) in chains {
+            w.put_usize(*id);
+            w.put_usize(slots.len());
+            for (addr, orig) in slots {
+                w.put_usize(*addr);
+                w.put_u32s(&encode_all(std::slice::from_ref(orig)));
+            }
+        }
+        let mut ibtc: Vec<_> = self.ibtc.iter().collect();
+        ibtc.sort_by_key(|(pc, _)| **pc);
+        w.put_usize(ibtc.len());
+        for (pc, host) in ibtc {
+            w.put_u32(*pc);
+            w.put_usize(*host);
+        }
+        let mut owners: Vec<_> = self.ibtc_owner.iter().collect();
+        owners.sort_by_key(|(id, _)| **id);
+        w.put_usize(owners.len());
+        for (id, pcs) in owners {
+            w.put_usize(*id);
+            w.put_u32s(pcs);
+        }
+        w.put_usize(self.capacity_words);
+        w.put_usize(self.used_words);
+        w.put_u64(self.flushes);
+    }
+
+    fn decode_arena(words: &[u32], at: usize) -> Result<Vec<HInsn>, WireError> {
+        let mut arena = Vec::new();
+        let mut pos = 0;
+        while pos < words.len() {
+            let (insn, n) = decode_insn(&words[pos..])
+                .map_err(|_| WireError::Malformed { at, what: "undecodable host instruction" })?;
+            arena.push(insn);
+            pos += n;
+        }
+        Ok(arena)
+    }
+
+    /// Restores from a [`CodeCache::snapshot_into`] stream into a cache
+    /// built with the same capacity (fresh or in use — all prior contents
+    /// are replaced).
+    ///
+    /// # Errors
+    /// Wire decode failures; runtime-length or capacity mismatches (the
+    /// snapshot belongs to a differently-configured cache).
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let runtime_len = r.get_usize()?;
+        if runtime_len != self.runtime_len {
+            return Err(WireError::Malformed {
+                at: r.pos(),
+                what: "code-cache runtime length mismatch",
+            });
+        }
+        let words = r.get_u32s()?;
+        let mut arena = Self::decode_arena(&words, r.pos())?;
+        if arena.len() < runtime_len {
+            return Err(WireError::Malformed {
+                at: r.pos(),
+                what: "code-cache arena shorter than runtime",
+            });
+        }
+        let seqs = r.get_u32s()?;
+        restore_nonspec_seqs(&mut arena, &seqs)
+            .map_err(|what| WireError::Malformed { at: r.pos(), what })?;
+        let n_trans = r.get_usize()?;
+        let mut translations = Vec::with_capacity(n_trans);
+        for _ in 0..n_trans {
+            let guest_pc = r.get_u32()?;
+            let kind = match r.get_u8()? {
+                0 => TransKind::Bb,
+                1 => TransKind::Sb { asserts: false },
+                2 => TransKind::Sb { asserts: true },
+                _ => {
+                    return Err(WireError::Malformed {
+                        at: r.pos(),
+                        what: "unknown translation kind",
+                    })
+                }
+            };
+            let host_base = r.get_usize()?;
+            let len = r.get_usize()?;
+            let encoded_words = r.get_usize()?;
+            let n_exits = r.get_usize()?;
+            let mut exits = Vec::with_capacity(n_exits);
+            for _ in 0..n_exits {
+                let kind = match r.get_u8()? {
+                    0 => ExitKind::Jump { target: r.get_u32()? },
+                    1 => ExitKind::Indirect,
+                    2 => ExitKind::Syscall { pc: r.get_u32()? },
+                    3 => ExitKind::Halt,
+                    _ => {
+                        return Err(WireError::Malformed { at: r.pos(), what: "unknown exit kind" })
+                    }
+                };
+                let flags_valid = r.get_u8()?;
+                let deferred = match r.get_u32()? {
+                    0 => None,
+                    c => Some(FlagsKind::from_code(c).ok_or(WireError::Malformed {
+                        at: r.pos(),
+                        what: "unknown deferred-flags code",
+                    })?),
+                };
+                let chain_slot = if r.get_bool()? { Some(r.get_usize()?) } else { None };
+                exits.push(ExitMeta { kind, flags_valid, deferred, chain_slot });
+            }
+            let src_insns = r.get_u32()?;
+            let host_insns = r.get_u32()?;
+            let needs_flags_mask = r.get_u8()?;
+            let spec_fails = r.get_u32()?;
+            let shape = if r.get_bool()? {
+                let entry = r.get_u32()?;
+                let bbs = r.get_u32s()?;
+                let n_dirs = r.get_usize()?;
+                let mut dirs = Vec::with_capacity(n_dirs);
+                for _ in 0..n_dirs {
+                    dirs.push(match r.get_u8()? {
+                        0 => None,
+                        1 => Some(false),
+                        2 => Some(true),
+                        _ => {
+                            return Err(WireError::Malformed {
+                                at: r.pos(),
+                                what: "unknown branch direction",
+                            })
+                        }
+                    });
+                }
+                let unroll = r.get_u8()?;
+                Some(SbShape { entry, bbs, dirs, unroll })
+            } else {
+                None
+            };
+            let valid = r.get_bool()?;
+            translations.push(Translation {
+                guest_pc,
+                kind,
+                host_base,
+                len,
+                encoded_words,
+                exits,
+                src_insns,
+                host_insns,
+                needs_flags_mask,
+                spec_fails,
+                shape,
+                valid,
+            });
+        }
+        let n_chains = r.get_usize()?;
+        let mut chains_in = HashMap::new();
+        for _ in 0..n_chains {
+            let id = r.get_usize()?;
+            let n_slots = r.get_usize()?;
+            let mut slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                let addr = r.get_usize()?;
+                let words = r.get_u32s()?;
+                let insns = Self::decode_arena(&words, r.pos())?;
+                if insns.len() != 1 {
+                    return Err(WireError::Malformed {
+                        at: r.pos(),
+                        what: "chain slot original must be one instruction",
+                    });
+                }
+                slots.push((addr, insns[0]));
+            }
+            chains_in.insert(id, slots);
+        }
+        let n_ibtc = r.get_usize()?;
+        let mut ibtc = IbtcTable::new();
+        for _ in 0..n_ibtc {
+            let pc = r.get_u32()?;
+            let host = r.get_usize()?;
+            ibtc.insert(pc, host);
+        }
+        let n_owners = r.get_usize()?;
+        let mut ibtc_owner = HashMap::new();
+        for _ in 0..n_owners {
+            let id = r.get_usize()?;
+            ibtc_owner.insert(id, r.get_u32s()?);
+        }
+        let capacity_words = r.get_usize()?;
+        if capacity_words != self.capacity_words {
+            return Err(WireError::Malformed {
+                at: r.pos(),
+                what: "code-cache capacity mismatch",
+            });
+        }
+        let used_words = r.get_usize()?;
+        let flushes = r.get_u64()?;
+        let mut map = HashMap::new();
+        for (id, t) in translations.iter().enumerate() {
+            if t.valid {
+                map.insert(t.guest_pc, id);
+            }
+        }
+        self.arena = arena;
+        self.map = map;
+        self.translations = translations;
+        self.chains_in = chains_in;
+        self.ibtc = ibtc;
+        self.ibtc_owner = ibtc_owner;
+        self.used_words = used_words;
+        self.flushes = flushes;
+        Ok(())
+    }
+}
+
+/// Collects the `seq` of every non-speculative memory operation in
+/// program order (speculative ones carry theirs in the encoding).
+fn nonspec_seqs(arena: &[HInsn]) -> Vec<u32> {
+    arena
+        .iter()
+        .filter_map(|i| match *i {
+            HInsn::Load { spec: false, seq, .. }
+            | HInsn::Store { spec: false, seq, .. }
+            | HInsn::LoadF { spec: false, seq, .. }
+            | HInsn::StoreF { spec: false, seq, .. } => Some(u32::from(seq)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Re-applies a [`nonspec_seqs`] sidecar to a freshly decoded arena.
+fn restore_nonspec_seqs(arena: &mut [HInsn], seqs: &[u32]) -> Result<(), &'static str> {
+    let mut it = seqs.iter();
+    for insn in arena.iter_mut() {
+        match insn {
+            HInsn::Load { spec: false, seq, .. }
+            | HInsn::Store { spec: false, seq, .. }
+            | HInsn::LoadF { spec: false, seq, .. }
+            | HInsn::StoreF { spec: false, seq, .. } => {
+                let v = *it.next().ok_or("memory-op seq sidecar too short")?;
+                *seq =
+                    u16::try_from(v).map_err(|_| "memory-op seq sidecar value out of range")?;
+            }
+            _ => {}
+        }
+    }
+    if it.next().is_some() {
+        return Err("memory-op seq sidecar too long");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -400,6 +722,86 @@ mod tests {
         assert!(d.contains("exit 0"));
         c.invalidate(id);
         assert!(c.disassemble(id).contains("INVALID"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_full_history() {
+        let mut c = CodeCache::new(1 << 16);
+        // History: install three translations (one with a chain slot and a
+        // superblock shape), chain A→B, add IBTC entries, then invalidate
+        // B so the arena holds dead space and an unpatched chain slot.
+        let base_a = c.next_base();
+        let code_a = vec![HInsn::Chkpt, HInsn::ChainSlot { id: 0 }, HInsn::TolExit { id: 1 }];
+        let (mut ta, _) = dummy_translation(&c, 0x1000, 3);
+        ta.encoded_words = code_a.len();
+        ta.exits[0].deferred = Some(FlagsKind::Add);
+        ta.exits[0].chain_slot = Some(base_a + 1);
+        let id_a = c.install(ta, code_a);
+        let (mut tb, code_b) = dummy_translation(&c, 0x2000, 6);
+        tb.kind = TransKind::Sb { asserts: true };
+        tb.shape = Some(SbShape {
+            entry: 0x2000,
+            bbs: vec![0x2000, 0x2040],
+            dirs: vec![Some(true), None],
+            unroll: 2,
+        });
+        tb.spec_fails = 3;
+        let id_b = c.install(tb, code_b);
+        let (tc, code_c) = dummy_translation(&c, 0x3000, 4);
+        let id_c = c.install(tc, code_c);
+        c.chain(id_a, base_a + 1, id_b);
+        c.ibtc_insert(0x2000, id_b);
+        c.ibtc_insert(0x3000, id_c);
+        c.invalidate(id_b);
+
+        let mut w = Wire::new();
+        c.snapshot_into(&mut w);
+        let bytes = w.finish();
+
+        let mut c2 = CodeCache::new(1 << 16);
+        let mut r = WireReader::new(&bytes);
+        c2.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        // Behavioural equivalence.
+        assert_eq!(c2.lookup(0x1000), Some(id_a));
+        assert_eq!(c2.lookup(0x2000), None, "invalidated B stays invalid");
+        assert_eq!(c2.lookup(0x3000), Some(id_c));
+        assert!(
+            matches!(c2.arena[base_a + 1], HInsn::ChainSlot { id: 0 }),
+            "chain into B was unpatched before snapshot"
+        );
+        assert_eq!(c2.ibtc.get(&0x3000), Some(&c2.translation(id_c).host_base));
+        assert_eq!(c2.ibtc.get(&0x2000), None);
+        assert_eq!(c2.translation(id_b).spec_fails, 3);
+        assert_eq!(c2.translation(id_b).shape.as_ref().unwrap().bbs, vec![0x2000, 0x2040]);
+        assert_eq!(c2.used_words(), c.used_words());
+        // Invalidation after restore still unpatches chains correctly:
+        // re-chain A→C and invalidate C on both caches.
+        c.chain(id_a, base_a + 1, id_c);
+        c2.chain(id_a, base_a + 1, id_c);
+        c.invalidate(id_c);
+        c2.invalidate(id_c);
+        assert!(matches!(c2.arena[base_a + 1], HInsn::ChainSlot { id: 0 }));
+
+        // Byte-identical re-snapshot.
+        let mut w1 = Wire::new();
+        c.snapshot_into(&mut w1);
+        let mut w2 = Wire::new();
+        c2.snapshot_into(&mut w2);
+        assert_eq!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_capacity() {
+        let mut c = CodeCache::new(1 << 16);
+        let (t, code) = dummy_translation(&c, 0x1000, 4);
+        c.install(t, code);
+        let mut w = Wire::new();
+        c.snapshot_into(&mut w);
+        let bytes = w.finish();
+        let mut other = CodeCache::new(1 << 12);
+        assert!(other.restore_from(&mut WireReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use crate::overhead::Overhead;
 use crate::tol::TolStats;
+use darco_guest::{Wire, WireError, WireReader};
 use darco_obs::trace::TraceSink;
-use darco_obs::{ExecMode, HistoId, Registry, TraceEventKind, Tracer};
+use darco_obs::{ExecMode, HistoId, Histogram, Registry, TraceEventKind, Tracer};
 
 /// Observability state owned by the TOL.
 #[derive(Debug)]
@@ -102,6 +103,19 @@ impl TolObs {
         self.emit(TraceEventKind::Rollback { pc, host_insns });
     }
 
+    /// Replaces the live metrics with a restored registry (checkpoint
+    /// restore), re-resolving the TOL's histogram ids by name. Tracing
+    /// state is deliberately not part of a checkpoint: the tracer resets
+    /// to off and mode tracking restarts at the next switch.
+    pub fn restore_metrics(&mut self, metrics: Registry) {
+        self.metrics = metrics;
+        self.h_translate_bb = self.metrics.histogram("tol.translate_ns.bb");
+        self.h_translate_sb = self.metrics.histogram("tol.translate_ns.sb");
+        self.h_region_guest_insns = self.metrics.histogram("tol.region_guest_insns");
+        self.h_rollback_host_insns = self.metrics.histogram("tol.rollback_host_insns");
+        self.last_mode = None;
+    }
+
     /// Updates the code-cache occupancy gauge.
     pub fn cache_occupancy(&mut self, used_words: u64, capacity_words: u64) {
         self.metrics.set_gauge("tol.cache_used_words", used_words as f64);
@@ -110,6 +124,74 @@ impl TolObs {
             if capacity_words == 0 { 0.0 } else { used_words as f64 / capacity_words as f64 },
         );
     }
+}
+
+/// Serializes a registry losslessly for checkpoints: counters, gauges and
+/// histograms in registration order (order is part of the state —
+/// [`HistoId`]s are positional, and registration order is deterministic
+/// for a deterministic run).
+///
+/// Lives here rather than in `darco-obs` because the obs crate is
+/// dependency-free and cannot see the wire codec.
+pub fn registry_snapshot_into(reg: &Registry, w: &mut Wire) {
+    let counters: Vec<_> = reg.counters_iter().collect();
+    w.put_usize(counters.len());
+    for (name, v) in counters {
+        w.put_str(name);
+        w.put_u64(v);
+    }
+    let gauges: Vec<_> = reg.gauges_iter().collect();
+    w.put_usize(gauges.len());
+    for (name, v) in gauges {
+        w.put_str(name);
+        w.put_f64(v);
+    }
+    let histos: Vec<_> = reg.histograms_iter().collect();
+    w.put_usize(histos.len());
+    for (name, h) in histos {
+        w.put_str(name);
+        w.put_u64(h.count);
+        w.put_u64(h.sum);
+        w.put_u64(h.min);
+        w.put_u64(h.max);
+        for b in h.buckets_raw() {
+            w.put_u64(*b);
+        }
+    }
+}
+
+/// Rebuilds a registry from a [`registry_snapshot_into`] stream.
+///
+/// # Errors
+/// Wire decode failures.
+pub fn registry_restore(r: &mut WireReader<'_>) -> Result<Registry, WireError> {
+    let n = r.get_usize()?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        counters.push((name, r.get_u64()?));
+    }
+    let n = r.get_usize()?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        gauges.push((name, r.get_f64()?));
+    }
+    let n = r.get_usize()?;
+    let mut histos = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let count = r.get_u64()?;
+        let sum = r.get_u64()?;
+        let min = r.get_u64()?;
+        let max = r.get_u64()?;
+        let mut buckets = [0u64; 65];
+        for b in &mut buckets {
+            *b = r.get_u64()?;
+        }
+        histos.push((name, Histogram::from_raw(count, sum, min, max, buckets)));
+    }
+    Ok(Registry::from_contents(counters, gauges, histos))
 }
 
 fn key(prefix: &str, name: &str) -> String {

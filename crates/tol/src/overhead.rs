@@ -151,6 +151,20 @@ impl Accountant {
         Accountant { overhead: Overhead::default(), synthesize, rot: 0 }
     }
 
+    /// The rotation state driving the synthesized instruction mix.
+    /// Checkpoints must carry it: with timing attached, a restored run
+    /// replays the same synthetic PC/address/dependence sequence only if
+    /// the rotor picks up exactly where the snapshotted run left off.
+    pub fn rot(&self) -> u64 {
+        self.rot
+    }
+
+    /// Restores the rotation state (snapshot-restore counterpart of
+    /// [`Accountant::rot`]).
+    pub fn set_rot(&mut self, rot: u64) {
+        self.rot = rot;
+    }
+
     /// Charges `n` host instructions to `kind`.
     pub fn charge<S: InsnSink>(&mut self, kind: OverheadKind, n: u64, sink: &mut S) {
         *self.overhead.slot(kind) += n;

@@ -9,7 +9,7 @@ use crate::obs::TolObs;
 use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
 use crate::sbm::{self, SbShape};
 use crate::translate::{self, EdgeCounters};
-use darco_guest::{DecodeCache, Fault, GuestState, PAGE_SHIFT};
+use darco_guest::{DecodeCache, Fault, GuestState, Wire, WireError, WireReader, PAGE_SHIFT};
 use darco_host::emu::ProfTable;
 use darco_host::regs::{FLAG_REGS, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND, R_SPILL_BASE};
 use darco_host::sink::InsnSink;
@@ -841,6 +841,255 @@ impl Tol {
         self.obs
             .cache_occupancy(self.cache.used_words() as u64, self.cfg.code_cache_words as u64);
         id
+    }
+
+    // -- checkpointing ---------------------------------------------------------
+
+    /// Serializes the complete TOL state. Must only be called at a mode
+    /// boundary — i.e. after [`Tol::run`] has returned — where the host
+    /// emulator's speculative transients (store buffer, speculative loads,
+    /// unattributed counts) are provably empty.
+    ///
+    /// Serialized: code cache (arena + translations + chains + IBTC),
+    /// profile tables (both the software [`ProfTable`] and the private
+    /// IM/edge counters), emulator register files and retire counters,
+    /// overhead accounting (including the synthesis rotor), statistics,
+    /// pending lazy flags, the verifier log and the live metrics registry.
+    ///
+    /// Re-materialized on restore, not serialized: configuration and cost
+    /// model (the restoring side must construct the TOL with the same
+    /// [`TolConfig`]), the predecoded block cache (a pure cache over guest
+    /// memory), and tracing state.
+    pub fn snapshot_into(&self, w: &mut Wire) {
+        self.cache.snapshot_into(w);
+        w.put_usize(self.prof.counts.len());
+        for (c, t) in self.prof.counts.iter().zip(&self.prof.trips) {
+            w.put_u64(*c);
+            w.put_u64(*t);
+        }
+        for r in self.emu.iregs {
+            w.put_u32(r);
+        }
+        for r in self.emu.fregs {
+            w.put_f64(r);
+        }
+        let ec = &self.emu.counters;
+        for v in [
+            ec.chkpts,
+            ec.commits,
+            ec.assert_fails,
+            ec.alias_fails,
+            ec.page_faults,
+            ec.ibtc_hits,
+            ec.ibtc_misses,
+            self.emu.gcnt_bb,
+            self.emu.gcnt_sb,
+            self.emu.host_bb,
+            self.emu.host_sb,
+        ] {
+            w.put_u64(v);
+        }
+        let o = &self.acct.overhead;
+        for v in [
+            o.interpreter,
+            o.bb_translator,
+            o.sb_translator,
+            o.prologue,
+            o.chaining,
+            o.cache_lookup,
+            o.others,
+            self.acct.rot(),
+        ] {
+            w.put_u64(v);
+        }
+        let s = &self.stats;
+        for v in [
+            s.guest_im,
+            s.translations_bb,
+            s.translations_sb,
+            s.recreations,
+            s.host_app,
+            s.interp_blocks,
+            s.spec_rollbacks,
+            s.chain_patches,
+            s.ibtc_inserts,
+            s.guest_external,
+            s.sb_static_guest,
+            s.sb_static_host,
+            s.verify_regions,
+            s.verify_findings,
+            s.verify_nanos,
+            s.translate_nanos,
+        ] {
+            w.put_u64(v);
+        }
+        for v in s.verify_by_kind {
+            w.put_u64(v);
+        }
+        w.put_bool(self.pending_flags.is_some());
+        if let Some(p) = self.pending_flags {
+            w.put_u32(p.kind.code() as u32);
+            w.put_u32(p.a);
+            w.put_u32(p.b);
+        }
+        w.put_usize(self.verify_log.len());
+        for line in &self.verify_log {
+            w.put_str(line);
+        }
+        crate::obs::registry_snapshot_into(&self.obs.metrics, w);
+        let mut counter_bb: Vec<_> = self.counter_bb.iter().collect();
+        counter_bb.sort_by_key(|(pc, _)| **pc);
+        w.put_usize(counter_bb.len());
+        for (pc, idx) in counter_bb {
+            w.put_u32(*pc);
+            w.put_u32(*idx);
+        }
+        let mut edges: Vec<_> = self.bb_edges.iter().collect();
+        edges.sort_by_key(|(pc, _)| **pc);
+        w.put_usize(edges.len());
+        for (pc, e) in edges {
+            w.put_u32(*pc);
+            w.put_u32(e.taken);
+            w.put_u32(e.fall);
+        }
+        let mut im_prof: Vec<_> = self.im_prof.iter().collect();
+        im_prof.sort_by_key(|(pc, _)| **pc);
+        w.put_usize(im_prof.len());
+        for (pc, p) in im_prof {
+            w.put_u32(*pc);
+            w.put_u64(p.count);
+            w.put_u64(p.taken);
+            w.put_u64(p.fall);
+        }
+        let mut dnt: Vec<_> = self.do_not_translate.iter().copied().collect();
+        dnt.sort_unstable();
+        w.put_u32s(&dnt);
+        w.put_u64(self.translation_ordinal);
+        w.put_bool(self.spill_mapped);
+        w.put_bool(self.im_split_entry.is_some());
+        if let Some(pc) = self.im_split_entry {
+            w.put_u32(pc);
+        }
+    }
+
+    /// Restores from a [`Tol::snapshot_into`] stream. `self` must have
+    /// been created with the same [`TolConfig`] as the snapshotted TOL
+    /// (the caller checks a config fingerprint before getting here; the
+    /// code cache additionally validates its own geometry).
+    ///
+    /// # Errors
+    /// Wire decode failures or code-cache geometry mismatches.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.cache.restore_from(r)?;
+        let n = r.get_usize()?;
+        let mut prof = ProfTable::new();
+        for _ in 0..n {
+            prof.counts.push(r.get_u64()?);
+            prof.trips.push(r.get_u64()?);
+        }
+        self.prof = prof;
+        // Fresh emulator + public fields: the speculative transients are
+        // empty at every legal snapshot point, so none are serialized.
+        let mut emu = HostEmulator::new();
+        for i in 0..64 {
+            emu.iregs[i] = r.get_u32()?;
+        }
+        for i in 0..64 {
+            emu.fregs[i] = r.get_f64()?;
+        }
+        emu.counters.chkpts = r.get_u64()?;
+        emu.counters.commits = r.get_u64()?;
+        emu.counters.assert_fails = r.get_u64()?;
+        emu.counters.alias_fails = r.get_u64()?;
+        emu.counters.page_faults = r.get_u64()?;
+        emu.counters.ibtc_hits = r.get_u64()?;
+        emu.counters.ibtc_misses = r.get_u64()?;
+        emu.gcnt_bb = r.get_u64()?;
+        emu.gcnt_sb = r.get_u64()?;
+        emu.host_bb = r.get_u64()?;
+        emu.host_sb = r.get_u64()?;
+        self.emu = emu;
+        self.acct.overhead = Overhead {
+            interpreter: r.get_u64()?,
+            bb_translator: r.get_u64()?,
+            sb_translator: r.get_u64()?,
+            prologue: r.get_u64()?,
+            chaining: r.get_u64()?,
+            cache_lookup: r.get_u64()?,
+            others: r.get_u64()?,
+        };
+        self.acct.set_rot(r.get_u64()?);
+        let mut stats = TolStats {
+            guest_im: r.get_u64()?,
+            translations_bb: r.get_u64()?,
+            translations_sb: r.get_u64()?,
+            recreations: r.get_u64()?,
+            host_app: r.get_u64()?,
+            interp_blocks: r.get_u64()?,
+            spec_rollbacks: r.get_u64()?,
+            chain_patches: r.get_u64()?,
+            ibtc_inserts: r.get_u64()?,
+            guest_external: r.get_u64()?,
+            sb_static_guest: r.get_u64()?,
+            sb_static_host: r.get_u64()?,
+            verify_regions: r.get_u64()?,
+            verify_findings: r.get_u64()?,
+            verify_nanos: r.get_u64()?,
+            translate_nanos: r.get_u64()?,
+            ..TolStats::default()
+        };
+        for v in &mut stats.verify_by_kind {
+            *v = r.get_u64()?;
+        }
+        self.stats = stats;
+        self.pending_flags = if r.get_bool()? {
+            let code = r.get_u32()?;
+            let kind = FlagsKind::from_code(code).ok_or(WireError::Malformed {
+                at: r.pos(),
+                what: "unknown pending-flags code",
+            })?;
+            Some(PendingFlags { kind, a: r.get_u32()?, b: r.get_u32()? })
+        } else {
+            None
+        };
+        let n = r.get_usize()?;
+        let mut verify_log = Vec::with_capacity(n);
+        for _ in 0..n {
+            verify_log.push(r.get_str()?);
+        }
+        self.verify_log = verify_log;
+        self.obs.restore_metrics(crate::obs::registry_restore(r)?);
+        let n = r.get_usize()?;
+        let mut counter_bb = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.get_u32()?;
+            counter_bb.insert(pc, r.get_u32()?);
+        }
+        self.counter_bb = counter_bb;
+        let n = r.get_usize()?;
+        let mut bb_edges = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.get_u32()?;
+            bb_edges.insert(pc, EdgeCounters { taken: r.get_u32()?, fall: r.get_u32()? });
+        }
+        self.bb_edges = bb_edges;
+        let n = r.get_usize()?;
+        let mut im_prof = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.get_u32()?;
+            im_prof.insert(
+                pc,
+                ImProf { count: r.get_u64()?, taken: r.get_u64()?, fall: r.get_u64()? },
+            );
+        }
+        self.im_prof = im_prof;
+        self.do_not_translate = r.get_u32s()?.into_iter().collect();
+        self.translation_ordinal = r.get_u64()?;
+        self.spill_mapped = r.get_bool()?;
+        self.im_split_entry = if r.get_bool()? { Some(r.get_u32()?) } else { None };
+        // Pure cache over guest memory — rebuilt on demand.
+        self.decode = DecodeCache::new();
+        Ok(())
     }
 
     // -- fault injection (debug-toolchain support) ---------------------------------

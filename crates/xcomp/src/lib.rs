@@ -107,6 +107,44 @@ impl XComponent {
         reg.set_counter(&format!("{prefix}.asid"), self.tracker.asid() as u64);
     }
 
+    /// Serializes the authoritative component: architectural state,
+    /// retired-instruction count, captured output, kernel state and the
+    /// ended/exited markers. The process tracker (derived from the program
+    /// name) and the predecode cache (a pure cache) are re-materialized on
+    /// restore, not serialized.
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        self.state.snapshot_into(w);
+        w.put_u64(self.insns);
+        w.put_bytes(&self.output);
+        self.os.snapshot_into(w);
+        w.put_bool(self.halted);
+        match self.exited {
+            Some(code) => {
+                w.put_bool(true);
+                w.put_u32(code);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores the component from an [`XComponent::snapshot_into`]
+    /// stream. `self` must have been created with [`XComponent::new`] for
+    /// the same program the snapshot was taken from (the engine enforces
+    /// this with a program fingerprint); the predecode cache starts cold.
+    ///
+    /// # Errors
+    /// Propagates wire decode failures.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        self.state.restore_from(r)?;
+        self.insns = r.get_u64()?;
+        self.output = r.get_bytes()?;
+        self.os.restore_from(r)?;
+        self.halted = r.get_bool()?;
+        self.exited = if r.get_bool()? { Some(r.get_u32()?) } else { None };
+        self.decode = DecodeCache::new();
+        Ok(())
+    }
+
     /// Runs until exactly `count` guest instructions have retired
     /// (executing any system calls encountered on the way). Stops early —
     /// with an error — if the application ends first.
@@ -400,6 +438,47 @@ mod tests {
         let mut x = XComponent::new(&p);
         x.run_to_end(100).unwrap();
         assert!(x.state.mem.is_mapped(0x0A00_0000));
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_identically() {
+        let build = || {
+            let mut a = Asm::new(DEFAULT_CODE_BASE);
+            // Alternate computation and syscalls so kernel state matters.
+            a.mov_ri(Gpr::Eax, OS_SBRK as i32);
+            a.mov_ri(Gpr::Ebx, 64);
+            a.syscall();
+            a.mov_ri(Gpr::Ecx, 50);
+            let top = a.here();
+            a.add_rr(Gpr::Edx, Gpr::Ecx);
+            a.dec(Gpr::Ecx);
+            a.jcc_to(Cond::Ne, top);
+            a.mov_ri(Gpr::Eax, OS_TIME as i32);
+            a.syscall();
+            a.halt();
+            a.into_program().with_input(vec![5, 6])
+        };
+        let p = build();
+        let mut full = XComponent::new(&p);
+        full.run_to_end(100_000).unwrap();
+
+        let mut x = XComponent::new(&p);
+        x.run_until(40).unwrap();
+        let mut w = darco_guest::Wire::new();
+        x.snapshot_into(&mut w);
+        let bytes = w.finish();
+
+        let mut y = XComponent::new(&p);
+        let mut r = darco_guest::WireReader::new(&bytes);
+        y.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(y.insns, 40);
+        y.run_to_end(100_000).unwrap();
+        assert_eq!(y.insns, full.insns);
+        assert_eq!(y.state.first_reg_mismatch(&full.state, true), None);
+        assert_eq!(y.state.mem.first_difference(&full.state.mem), None);
+        assert_eq!(y.output, full.output);
+        assert_eq!(y.exit_status(), full.exit_status());
     }
 
     #[test]

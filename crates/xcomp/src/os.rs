@@ -48,6 +48,27 @@ impl OsState {
     pub fn new(program: &GuestProgram) -> OsState {
         OsState { brk: program.brk_base, input: program.input.clone(), input_pos: 0, time: 0 }
     }
+
+    /// Serializes the kernel state (brk, input stream + cursor, time
+    /// counter) into `w`.
+    pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
+        w.put_u32(self.brk);
+        w.put_bytes(&self.input);
+        w.put_usize(self.input_pos);
+        w.put_u64(self.time);
+    }
+
+    /// Restores kernel state from an [`OsState::snapshot_into`] stream.
+    ///
+    /// # Errors
+    /// Propagates wire decode failures.
+    pub fn restore_from(&mut self, r: &mut darco_guest::WireReader<'_>) -> Result<(), darco_guest::WireError> {
+        self.brk = r.get_u32()?;
+        self.input = r.get_bytes()?;
+        self.input_pos = r.get_usize()?;
+        self.time = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Executes one system call against the authoritative state. `EIP` must

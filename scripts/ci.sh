@@ -78,6 +78,10 @@ stage "obs overhead gate (committed BENCH_obs.json)"
 ./target/release/darco-trace-check --obs-gate BENCH_obs.json
 stage_done
 
+stage "engine overhead gate (committed BENCH_engine.json)"
+./target/release/engine_overhead --gate BENCH_engine.json
+stage_done
+
 # Fault isolation: fault:panic panics inside the worker, fault:spin never
 # terminates on its own (huge bbm_threshold pins it in the interpreter;
 # the instruction budget is only a backstop well past the timeout). The
@@ -107,6 +111,49 @@ grep -q '"status":"panicked"' "$smoke_dir/merged.json"      # panic isolated, no
 grep -q '"status":"timeout"'  "$smoke_dir/merged.json"      # hang cut off by the timeout
 test "$(grep -o '"status":"ok"' "$smoke_dir/merged.json" | wc -l)" -eq 4  # siblings unharmed
 test -s "$smoke_dir/flights/job-2.flight.json"              # panicked job dumped flight state
+stage_done
+
+# Checkpoints (DESIGN.md §11). First darco-run: checkpoint mid-run,
+# restore into a fresh process, and require the report (minus the
+# wall-clock MIPS figure) to be byte-identical to the checkpointing
+# run's on two workloads. Then the fleet: a zero timeout fires at the
+# first quantum boundary, so every job must checkpoint to --state-dir
+# (partial failure -> exit 1), and a --resume without the timeout must
+# finish every job from its snapshot with exit 0.
+stage "checkpoint smoke (darco-run round trip + fleet resume)"
+strip_wall() { sed 's/ *([0-9.]* MIPS wall-clock)//' "$1"; }
+for wl in kernel:crc32 kernel:nbody; do
+    snap="$smoke_dir/${wl#kernel:}.snap"
+    ./target/release/darco-run "$wl" --checkpoint-at 100000 \
+        --checkpoint-to "$snap" > "$smoke_dir/ck.txt" 2> /dev/null
+    test -s "$snap"
+    ./target/release/darco-run "$wl" --restore "$snap" \
+        > "$smoke_dir/res.txt" 2> /dev/null
+    diff <(strip_wall "$smoke_dir/ck.txt") <(strip_wall "$smoke_dir/res.txt")
+done
+cat > "$smoke_dir/ckpt-campaign.json" <<'EOF'
+{
+  "name": "ci-ckpt",
+  "defaults": {"scale": "1/4"},
+  "jobs": [
+    {"workload": "kernel:dot", "timeout_ms": 0},
+    {"workload": "kernel:crc32", "timeout_ms": 0}
+  ]
+}
+EOF
+sed 's#, "timeout_ms": 0##' "$smoke_dir/ckpt-campaign.json" \
+    > "$smoke_dir/ckpt-resume.json"
+ckpt_rc=0
+./target/release/darco-fleet run "$smoke_dir/ckpt-campaign.json" --jobs 2 \
+    --quantum 3000 --out "$smoke_dir/ckpt1.json" \
+    --state-dir "$smoke_dir/ckpt-state" > /dev/null 2>&1 || ckpt_rc=$?
+test "$ckpt_rc" -eq 1                                       # timed out -> partial failure
+test -s "$smoke_dir/ckpt-state/job-0.snap"                  # both jobs left snapshots
+test -s "$smoke_dir/ckpt-state/job-1.snap"
+./target/release/darco-fleet run "$smoke_dir/ckpt-resume.json" --jobs 2 \
+    --quantum 3000 --out "$smoke_dir/ckpt2.json" \
+    --resume "$smoke_dir/ckpt-state" > /dev/null 2>&1       # resume completes -> exit 0
+test "$(grep -o '"status":"ok"' "$smoke_dir/ckpt2.json" | wc -l)" -eq 2
 stage_done
 
 echo
