@@ -1,0 +1,113 @@
+//! **Backend identity gate** — runs every workload under both backends
+//! and requires the native JIT to be observationally identical to the
+//! reference emulator.
+//!
+//! The native backend's contract is *bit-identity*: translated x86-64
+//! code must mutate guest state, retire counters, mode accounting and
+//! the profiling tables exactly as `HostEmulator::execute` does, so a
+//! run's every architecturally-visible outcome matches. This harness
+//! enforces the contract end to end: final output bytes, exit status,
+//! guest faults, per-mode instruction counts, checkpoint/rollback
+//! counts, sync-protocol traffic, and the full metrics registry.
+//!
+//! Excluded from comparison, by construction rather than tolerance:
+//!
+//! * timing counters (`*nanos*`, `*_ns*` names) — wall-clock, not
+//!   architectural;
+//! * `jit.*` counters — the native backend's own instrumentation,
+//!   absent under the emulator by definition.
+//!
+//! Everything else must match to the last bit, across **all** workloads
+//! at `--scale 1/16` (small enough for CI, large enough to reach sb
+//! mode, speculation rollbacks and superblock recreation on every
+//! program). On non-x86-64 hosts the gate passes trivially (there is
+//! nothing to compare) but says so.
+
+use darco_bench::{default_config, run_one, Scale};
+use darco_host::codegen::Backend;
+use darco_workloads::benchmarks;
+
+fn timing(name: &str) -> bool {
+    name.contains("nanos") || name.contains("_ns") || name.starts_with("jit.")
+}
+
+/// Deterministic view of a run: every architecturally-visible outcome,
+/// ready for direct comparison.
+struct Observation {
+    lines: Vec<(String, String)>,
+}
+
+fn observe(idx: usize, backend: Backend) -> Observation {
+    let b = &benchmarks()[idx];
+    let mut cfg = default_config();
+    cfg.backend = backend;
+    let r = run_one(b, Scale(1, 16), cfg);
+    let mut lines = Vec::new();
+    let mut put = |k: &str, v: String| lines.push((k.to_string(), v));
+    put("guest_insns", r.guest_insns.to_string());
+    put("mode_insns", format!("{:?}", r.mode_insns));
+    put("host_app_insns", r.host_app_insns.to_string());
+    put("chkpts", r.chkpts.to_string());
+    put("rollbacks", r.rollbacks.to_string());
+    put("validations", r.validations.to_string());
+    put("pages_served", r.pages_served.to_string());
+    put("syscalls", r.syscalls.to_string());
+    put("exit_status", format!("{:?}", r.exit_status));
+    put("guest_fault", format!("{:?}", r.guest_fault));
+    put("output", format!("{:?}", r.output));
+    for (name, v) in r.metrics.counters_iter() {
+        if !timing(name) {
+            put(name, v.to_string());
+        }
+    }
+    for (name, h) in r.metrics.histograms_iter() {
+        if !timing(name) {
+            put(name, format!("{:?}", h.buckets_raw()));
+        }
+    }
+    Observation { lines }
+}
+
+fn main() {
+    if !Backend::native_available() {
+        println!("backend identity: skipped (no native JIT on this host)");
+        return;
+    }
+    let n = benchmarks().len();
+    let mut failures = 0usize;
+    for idx in 0..n {
+        let name = benchmarks()[idx].name;
+        let emu = observe(idx, Backend::Emu);
+        let nat = observe(idx, Backend::Native);
+        let mut diffs = Vec::new();
+        let lookup = |o: &Observation, k: &str| -> Option<String> {
+            o.lines.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone())
+        };
+        for (k, v) in &emu.lines {
+            match lookup(&nat, k) {
+                Some(nv) if nv == *v => {}
+                Some(nv) => diffs.push(format!("{k}: emu={v} native={nv}")),
+                None => diffs.push(format!("{k}: missing under native")),
+            }
+        }
+        for (k, _) in &nat.lines {
+            if lookup(&emu, k).is_none() {
+                diffs.push(format!("{k}: missing under emu"));
+            }
+        }
+        if diffs.is_empty() {
+            println!("{name}: identical");
+        } else {
+            failures += 1;
+            println!("{name}: DIVERGED ({} fields)", diffs.len());
+            for d in diffs.iter().take(8) {
+                println!("  {d}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("backend identity FAILED: {failures}/{n} workloads diverged");
+        std::process::exit(1);
+    }
+    println!("backend identity: {n}/{n} workloads bit-identical across backends");
+}

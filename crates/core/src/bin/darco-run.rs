@@ -36,6 +36,11 @@ fn usage() -> ! {
            --no-chain             disable chaining and the IBTC\n\
            --no-spec              disable speculation (multi-exit SBs)\n\
            --opt LEVEL            O0|O1|O2|O3 (default O3)\n\
+           --backend B            native|emu (default emu): run host code\n\
+         \u{20}                        through the x86-64 JIT or the reference\n\
+         \u{20}                        emulator; native falls back to emu when\n\
+         \u{20}                        timing/tracing needs retire events or\n\
+         \u{20}                        the host has no JIT\n\
            --max-insns N          guest instruction budget (a run that\n\
          \u{20}                        exceeds it stops cleanly, prints the\n\
          \u{20}                        partial report and exits with code 3)\n\
@@ -168,6 +173,11 @@ fn main() -> ExitCode {
             }
             a if a == "--flight" || a.starts_with("--flight=") => {
                 cfg.flight_path = Some(flag_value(&args, &mut i, "--flight"));
+            }
+            a if a == "--backend" || a.starts_with("--backend=") => {
+                let v = flag_value(&args, &mut i, "--backend");
+                cfg.backend =
+                    darco_host::codegen::Backend::parse(&v).unwrap_or_else(|| usage());
             }
             _ => usage(),
         }

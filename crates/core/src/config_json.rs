@@ -169,6 +169,7 @@ pub fn config_to_json(c: &SystemConfig) -> String {
         Some(p) => w.field_str("flight_path", p),
         None => w.field_null("flight_path"),
     };
+    w.field_str("backend", c.backend.as_str());
     w.end_obj();
     w.finish()
 }
@@ -413,6 +414,11 @@ pub fn config_apply_json(c: &mut SystemConfig, v: &JsonValue) -> Result<(), Stri
             "flight_path" => {
                 c.flight_path =
                     if *val == JsonValue::Null { None } else { Some(want_str(val, &ctx)?.to_string()) }
+            }
+            "backend" => {
+                let s = want_str(val, &ctx)?;
+                c.backend = darco_host::codegen::Backend::parse(s)
+                    .ok_or_else(|| format!("{ctx}: unknown backend `{s}`"))?
             }
             _ => return Err(format!("{ctx}: unknown key")),
         }

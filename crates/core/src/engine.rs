@@ -108,7 +108,13 @@ fn wire_err(e: WireError) -> DarcoError {
 /// restoring a snapshot under a different configuration, not a security
 /// boundary. [`SystemConfig`] contains no hash-ordered containers, so the
 /// rendering is deterministic.
+///
+/// The backend is normalized out: native code is a pure cache over the
+/// arena, so a snapshot taken under either backend restores bit-for-bit
+/// into the other.
 pub(crate) fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    let mut cfg = cfg.clone();
+    cfg.backend = Default::default();
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in format!("{cfg:?}").bytes() {
         h ^= b as u64;
@@ -130,6 +136,10 @@ impl InsnSink for Sink {
             Sink::InOrder(s) => s.retire(ev),
             Sink::Ooo(s) => s.retire(ev),
         }
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self, Sink::Null(_))
     }
 }
 
@@ -164,6 +174,7 @@ impl Engine {
         if cfg.timing_includes_tol && cfg.sink != SinkChoice::None {
             machine.tol.set_synthesize_overhead(true);
         }
+        machine.tol.set_backend(cfg.backend);
         let sink = match cfg.sink {
             SinkChoice::None => Sink::Null(NullSink),
             SinkChoice::InOrder => Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone()))),
@@ -431,6 +442,21 @@ impl Engine {
         reg.set_counter("sync.validations", m.validations);
         reg.set_counter("sync.pages_served", m.pages_served);
         reg.set_counter("sync.syscalls", m.syscalls);
+        reg.set_counter("sync.xcomp_nanos", m.xcomp_nanos);
+        // Native-backend self-counters. Assembled here, never into the
+        // TOL's serialized registry: JIT state is not part of a snapshot.
+        if let Some(j) = m.tol.jit_stats() {
+            reg.set_counter("jit.frags_compiled", j.frags_compiled);
+            reg.set_counter("jit.enters", j.enters);
+            reg.set_counter("jit.code_bytes_emitted", j.code_bytes_emitted);
+            reg.set_counter("jit.code_bytes_flushed", j.code_bytes_flushed);
+            reg.set_counter("jit.jump_patches", j.jump_patches);
+            reg.set_counter("jit.ibtc_patches", j.ibtc_patches);
+            reg.set_counter("jit.regalloc_spills", j.regalloc_spills);
+            reg.set_counter("jit.slow_mem_exits", j.slow_mem_exits);
+            reg.set_counter("jit.exec_nanos", j.exec_nanos);
+            reg.set_counter("jit.compile_nanos", j.compile_nanos);
+        }
         reg
     }
 

@@ -72,6 +72,9 @@ pub struct Machine {
     pub pages_served: u64,
     /// Syscall synchronizations.
     pub syscalls: u64,
+    /// Wall nanoseconds spent driving the authoritative component to
+    /// catch-up points (`*_nanos`: excluded from determinism comparisons).
+    pub xcomp_nanos: u64,
     ended: Option<MachineEvent>,
 }
 
@@ -89,6 +92,7 @@ impl Machine {
             validations: 0,
             pages_served: 0,
             syscalls: 0,
+            xcomp_nanos: 0,
             ended: None,
         }
     }
@@ -102,6 +106,15 @@ impl Machine {
     /// Whether the application has ended.
     pub fn ended(&self) -> bool {
         self.ended.is_some()
+    }
+
+    /// Drives the authoritative component to `count` retired instructions,
+    /// attributing the wall time to `xcomp_nanos`.
+    fn xcomp_catch_up(&mut self, count: u64) -> Result<(), MachineError> {
+        let t0 = std::time::Instant::now();
+        let r = self.xcomp.run_until(count).map_err(MachineError::Xcomp);
+        self.xcomp_nanos += t0.elapsed().as_nanos() as u64;
+        r
     }
 
     /// Runs the co-designed component until `target` retired guest
@@ -130,7 +143,7 @@ impl Machine {
                     // Data request: drive the authoritative component to the
                     // same execution point, then transfer the page.
                     let count = self.insns();
-                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.xcomp_catch_up(count)?;
                     let page = self.xcomp.page_for(addr);
                     self.state.mem.install_page(GuestMem::page_of(addr), page);
                     self.pages_served += 1;
@@ -138,7 +151,7 @@ impl Machine {
                 }
                 TolEvent::Syscall => {
                     let count = self.insns();
-                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.xcomp_catch_up(count)?;
                     self.tol.obs.emit(TraceEventKind::SyscallSync { at_insns: count });
                     // The paper validates at system calls.
                     self.validate(compare_flags)?;
@@ -172,7 +185,7 @@ impl Machine {
                 }
                 TolEvent::Halted => {
                     let count = self.insns();
-                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.xcomp_catch_up(count)?;
                     self.xcomp.confirm_halt().map_err(MachineError::Xcomp)?;
                     // End-of-application validation (mandatory in the paper).
                     self.validate(compare_flags)?;
@@ -184,7 +197,7 @@ impl Machine {
                 TolEvent::GuestError(fault) => {
                     // The authoritative component must hit the same fault.
                     let count = self.insns();
-                    self.xcomp.run_until(count).map_err(MachineError::Xcomp)?;
+                    self.xcomp_catch_up(count)?;
                     return match self.xcomp.run_until(count + 1) {
                         Err(XcompError::GuestFault(f)) if f == fault => {
                             self.validate(compare_flags)?;

@@ -3,6 +3,7 @@
 use crate::engine::{Engine, StepExit};
 use crate::machine::MachineError;
 use darco_guest::GuestProgram;
+use darco_host::codegen::Backend;
 use darco_obs::{Registry, TraceEvent};
 use darco_power::PowerReport;
 use darco_timing::{TimingConfig, TimingStats};
@@ -48,6 +49,13 @@ pub struct SystemConfig {
     /// Write a flight-recorder dump (last trace events + metrics
     /// snapshot) to this path when the run diverges or panics.
     pub flight_path: Option<String>,
+    /// Host-code backend. `Native` JIT-compiles translations to x86-64
+    /// (emulator results stay bit-identical); runs that need retire
+    /// events (timing/power/tracing sinks) and non-x86-64 hosts fall
+    /// back to the emulator automatically. Not part of the checkpoint
+    /// fingerprint: a snapshot taken under either backend restores into
+    /// the other.
+    pub backend: Backend,
 }
 
 impl Default for SystemConfig {
@@ -63,6 +71,7 @@ impl Default for SystemConfig {
             max_guest_insns: 2_000_000_000,
             trace_capacity: None,
             flight_path: None,
+            backend: Backend::default(),
         }
     }
 }

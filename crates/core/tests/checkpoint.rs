@@ -143,3 +143,118 @@ fn snapshot_refuses_foreign_program_and_config() {
     same.restore(&snap).unwrap();
     assert_eq!(same.insns(), snap.guest_insns());
 }
+
+/// Cross-backend checkpointing: a snapshot is a pure function of guest
+/// progress, never of how translations were executed (or how long the
+/// host took — wall-clock telemetry is normalized to zero on the wire,
+/// see `registry_snapshot_into`). Taken at the same step boundary,
+/// emulator and native-JIT snapshots must therefore be *byte-identical*;
+/// and a run snapshotted under one backend must finish under the other
+/// with a report identical to never having switched at all.
+#[test]
+fn checkpoint_crosses_backends_bit_identically() {
+    use darco_host::codegen::Backend;
+
+    if !Backend::native_available() {
+        return; // single-backend host: nothing to cross
+    }
+
+    // `jit.*` counters are the native backend's own instrumentation and
+    // exist only on runs that executed native code — the one legitimate
+    // report asymmetry between backends.
+    fn cross_comparable(r: &RunReport) -> String {
+        let mut m = r.metrics.clone();
+        m.retain(|n| deterministic_metric(n) && !n.starts_with("jit."));
+        format!(
+            "insns={} modes={:?} overhead={} rollbacks={} validations={} \
+             exit={:?} fault={:?} metrics={}",
+            r.guest_insns,
+            r.mode_insns,
+            r.overhead.total(),
+            r.rollbacks,
+            r.validations,
+            r.exit_status,
+            r.guest_fault,
+            m.to_json()
+        )
+    }
+
+    fn checkpoint_at(
+        cfg: &SystemConfig,
+        program: fn() -> GuestProgram,
+        quantum: u64,
+        at: u64,
+    ) -> Snapshot {
+        let mut engine = System::new(cfg.clone(), program()).start();
+        let mut steps = 0u64;
+        while let StepExit::Yielded | StepExit::ValidationDue = engine.step(quantum).unwrap() {
+            steps += 1;
+            if steps == at {
+                return engine.checkpoint().expect("mid-run checkpoint");
+            }
+        }
+        panic!("run ended before boundary {at}");
+    }
+
+    fn finish_from(
+        cfg: &SystemConfig,
+        program: fn() -> GuestProgram,
+        snap: &Snapshot,
+        quantum: u64,
+    ) -> RunReport {
+        let mut engine = System::new(cfg.clone(), program()).start();
+        engine.restore(snap).expect("cross-backend restore");
+        while let StepExit::Yielded | StepExit::ValidationDue = engine.step(quantum).unwrap() {}
+        engine.into_report()
+    }
+
+    let quantum = 2_048u64;
+    let (_, sbm) = modes().pop().unwrap(); // sbm+spec: all machinery live
+    let mut emu_cfg = sbm.clone();
+    emu_cfg.backend = Backend::Emu;
+    let mut nat_cfg = sbm;
+    nat_cfg.backend = Backend::Native;
+
+    for (wname, program) in workloads().into_iter().take(3) {
+        let (reference, steps) = drive(&emu_cfg, program, quantum, None, wname);
+        let (native_ref, _) = drive(&nat_cfg, program, quantum, None, wname);
+        assert_eq!(
+            cross_comparable(&native_ref),
+            cross_comparable(&reference),
+            "{wname}: backends disagree even uninterrupted"
+        );
+        if steps == 0 {
+            continue;
+        }
+        let at = steps.div_ceil(2);
+
+        // Same boundary, both backends: the snapshots must be the same
+        // bytes. Report the first differing offset, not a 160 KiB dump.
+        let emu_bytes = checkpoint_at(&emu_cfg, program, quantum, at).into_bytes();
+        let nat_bytes = checkpoint_at(&nat_cfg, program, quantum, at).into_bytes();
+        assert_eq!(emu_bytes.len(), nat_bytes.len(), "{wname}: snapshot sizes differ");
+        for (i, (e, n)) in emu_bytes.iter().zip(&nat_bytes).enumerate() {
+            assert!(
+                e == n,
+                "{wname}: snapshot byte {i} differs across backends \
+                 (emu {e:#04x}, native {n:#04x})"
+            );
+        }
+
+        // Native → emu and emu → native must both land on the reference.
+        let nat_snap = Snapshot::from_bytes(nat_bytes).unwrap();
+        let nat_to_emu = finish_from(&emu_cfg, program, &nat_snap, quantum);
+        assert_eq!(
+            cross_comparable(&nat_to_emu),
+            cross_comparable(&reference),
+            "{wname}: native-snapshot → emu-finish diverged"
+        );
+        let emu_snap = Snapshot::from_bytes(emu_bytes).unwrap();
+        let emu_to_nat = finish_from(&nat_cfg, program, &emu_snap, quantum);
+        assert_eq!(
+            cross_comparable(&emu_to_nat),
+            cross_comparable(&reference),
+            "{wname}: emu-snapshot → native-finish diverged"
+        );
+    }
+}

@@ -130,6 +130,23 @@ impl GuestMem {
         Some(s)
     }
 
+    /// Mutable page contents for the store-commit fast path. `Some` only
+    /// for mapped *non-code* pages: writes to a marked code page must go
+    /// through [`GuestMem::write`] so the decode-cache generation
+    /// advances exactly once per store, matching the reference
+    /// emulator's commit bump-for-bump (the generation is serialized in
+    /// checkpoints, so backends must agree on its value, not just on
+    /// whether it changed).
+    /// `None` on a write-TLB miss as well: the caller's `write` fallback
+    /// resolves the page and fills the TLB, so the next commit to it
+    /// hits here. Code pages never enter the write TLB, which is what
+    /// keeps them off this path.
+    #[inline]
+    pub fn page_for_commit(&mut self, page: u32) -> Option<&mut [u8]> {
+        let s = Self::tlb_get(&self.write_tlb, page)?;
+        Some(&mut self.slots[s as usize])
+    }
+
     /// Whether the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: u32) -> bool {
         self.read_slot(Self::page_of(addr)).is_some()

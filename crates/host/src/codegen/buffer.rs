@@ -1,0 +1,200 @@
+//! Executable code buffer with a W^X life cycle.
+//!
+//! The buffer is one `mmap`'d anonymous region. It is never writable and
+//! executable at the same time: emission and jump patching happen in the
+//! `Rw` state, execution in the `Rx` state, and [`CodeBuffer`] flips
+//! between them with `mprotect` on demand. Steady state (no compiles, no
+//! patches) therefore pays no syscalls at all.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::ffi::c_void;
+
+// The workspace forbids external crates, but std on Linux already links
+// the platform C library — declaring the three symbols we need is free.
+unsafe extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+    fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+}
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const PROT_EXEC: i32 = 4;
+const MAP_PRIVATE: i32 = 0x02;
+const MAP_ANONYMOUS: i32 = 0x20;
+
+/// Current protection state of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prot {
+    /// Read + write: emitting or patching.
+    Rw,
+    /// Read + execute: running.
+    Rx,
+}
+
+/// A fixed-capacity executable buffer. Code is appended monotonically;
+/// `reset` reclaims everything at once (fragments are a pure cache, so
+/// whole-buffer invalidation is always safe).
+pub struct CodeBuffer {
+    base: *mut u8,
+    cap: usize,
+    len: usize,
+    prot: Prot,
+    /// Total bytes ever emitted (survives resets; feeds jit.* counters).
+    pub bytes_emitted: u64,
+    /// Total bytes discarded by resets.
+    pub bytes_flushed: u64,
+}
+
+// The buffer owns its mapping; raw pointer use is confined to this module.
+unsafe impl Send for CodeBuffer {}
+
+impl CodeBuffer {
+    /// Maps a fresh RW buffer of `cap` bytes.
+    ///
+    /// # Panics
+    /// Panics if the kernel refuses the mapping (out of address space).
+    pub fn new(cap: usize) -> CodeBuffer {
+        let base = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                cap,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        assert!(
+            !std::ptr::eq(base, usize::MAX as *mut c_void) && !base.is_null(),
+            "mmap for the JIT code buffer failed"
+        );
+        CodeBuffer { base: base.cast(), cap, len: 0, prot: Prot::Rw, bytes_emitted: 0, bytes_flushed: 0 }
+    }
+
+    fn set_prot(&mut self, prot: Prot) {
+        if self.prot == prot {
+            return;
+        }
+        let bits = match prot {
+            Prot::Rw => PROT_READ | PROT_WRITE,
+            Prot::Rx => PROT_READ | PROT_EXEC,
+        };
+        let rc = unsafe { mprotect(self.base.cast(), self.cap, bits) };
+        assert_eq!(rc, 0, "mprotect on the JIT code buffer failed");
+        self.prot = prot;
+    }
+
+    /// Bytes currently in use.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been emitted since the last reset.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.cap - self.len
+    }
+
+    /// Appends `bytes`, returning the offset of the first one.
+    ///
+    /// # Panics
+    /// Panics on overflow; callers must check [`CodeBuffer::remaining`]
+    /// and reset first.
+    pub fn append(&mut self, bytes: &[u8]) -> usize {
+        assert!(self.len + bytes.len() <= self.cap, "code buffer overflow");
+        self.set_prot(Prot::Rw);
+        let off = self.len;
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(off), bytes.len());
+        }
+        self.len += bytes.len();
+        self.bytes_emitted += bytes.len() as u64;
+        off
+    }
+
+    /// Overwrites the 4 bytes at `off` (rel32 / imm32 patching).
+    pub fn patch_u32(&mut self, off: usize, val: u32) {
+        assert!(off + 4 <= self.len, "patch outside emitted code");
+        self.set_prot(Prot::Rw);
+        unsafe {
+            std::ptr::copy_nonoverlapping(val.to_le_bytes().as_ptr(), self.base.add(off), 4);
+        }
+    }
+
+    /// Reads back the 4 bytes at `off` (saving a rel32 before patching
+    /// over it, so precise invalidation can restore it later).
+    pub fn read_u32(&self, off: usize) -> u32 {
+        assert!(off + 4 <= self.len, "read outside emitted code");
+        let mut b = [0u8; 4];
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.base.add(off), b.as_mut_ptr(), 4);
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Makes the buffer executable and returns the address of `off`.
+    pub fn exec_ptr(&mut self, off: usize) -> *const u8 {
+        self.set_prot(Prot::Rx);
+        unsafe { self.base.add(off) }
+    }
+
+    /// Discards all emitted code (the mapping itself is kept).
+    pub fn reset(&mut self) {
+        self.bytes_flushed += self.len as u64;
+        self.len = 0;
+        self.set_prot(Prot::Rw);
+    }
+}
+
+impl Drop for CodeBuffer {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.base.cast(), self.cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_patch_reset_round_trip() {
+        let mut b = CodeBuffer::new(4096);
+        let off = b.append(&[0xAA; 8]);
+        assert_eq!(off, 0);
+        assert_eq!(b.len(), 8);
+        b.patch_u32(4, 0xDEAD_BEEF);
+        let p = b.exec_ptr(0);
+        let back = unsafe { std::slice::from_raw_parts(p, 8) };
+        assert_eq!(&back[..4], &[0xAA; 4]);
+        assert_eq!(u32::from_le_bytes(back[4..8].try_into().unwrap()), 0xDEAD_BEEF);
+        b.reset();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.bytes_emitted, 8);
+        assert_eq!(b.bytes_flushed, 8);
+    }
+
+    #[test]
+    fn executes_emitted_code() {
+        // mov eax, 42; ret
+        let mut b = CodeBuffer::new(4096);
+        let off = b.append(&[0xB8, 42, 0, 0, 0, 0xC3]);
+        let f: extern "sysv64" fn() -> u32 = unsafe { std::mem::transmute(b.exec_ptr(off)) };
+        assert_eq!(f(), 42);
+    }
+}

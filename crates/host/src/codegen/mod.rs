@@ -1,0 +1,242 @@
+//! Native code generation for HISA translations.
+//!
+//! The software layer runs host code through one of two backends behind
+//! the [`HostCodeGen`] contract:
+//!
+//! * the [`HostEmulator`](crate::emu::HostEmulator) — the architectural
+//!   reference, always available, and the only backend that can feed an
+//!   [`InsnSink`](crate::sink::InsnSink) (timing/power need per-retire
+//!   events);
+//! * the x86-64 JIT ([`NativeEngine`], Linux/x86-64 only) — translates
+//!   arena fragments to native code in a W^X
+//!   [`CodeBuffer`](buffer::CodeBuffer), chains fragments by patching
+//!   jumps in place, and calls back into helper transcriptions of the
+//!   emulator for every slow path, so its architectural results are
+//!   bit-identical to the emulator's.
+//!
+//! Compiled code is a pure cache of the arena: nothing in it is
+//! serialized, and a checkpoint restored into either backend replays
+//! identically (the engine revalidates against the code cache's
+//! [`MutationLog`], drops only fragments covering arena ranges that
+//! changed meaning — unpatching jumps into them — and recompiles from
+//! scratch when the log cannot cover the gap).
+
+use crate::emu::{ExitInfo, HostEmulator, IbtcTable, ProfTable};
+use crate::insn::HInsn;
+use darco_guest::GuestMem;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod buffer;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod exec;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod lower;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod x64;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub use exec::NativeEngine;
+
+/// Which backend executes host code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The instruction-by-instruction reference emulator.
+    #[default]
+    Emu,
+    /// Native x86-64 code generation (falls back to the emulator when
+    /// unavailable on the build target, or whenever a run needs retire
+    /// events).
+    Native,
+}
+
+impl Backend {
+    /// Parses a `--backend` / config value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "emu" => Some(Backend::Emu),
+            "native" => Some(Backend::Native),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Emu => "emu",
+            Backend::Native => "native",
+        }
+    }
+
+    /// Whether native code generation exists for the build target.
+    pub fn native_available() -> bool {
+        cfg!(all(target_arch = "x86_64", target_os = "linux"))
+    }
+}
+
+/// Counters the JIT maintains about itself (exposed as `jit.*` metrics).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JitStats {
+    /// Fragments compiled (recompiles after a flush count again).
+    pub frags_compiled: u64,
+    /// Trampoline entries (one per `execute` call).
+    pub enters: u64,
+    /// Machine-code bytes ever written to the code buffer.
+    pub code_bytes_emitted: u64,
+    /// Machine-code bytes discarded by whole-buffer flushes.
+    pub code_bytes_flushed: u64,
+    /// Direct jumps patched into compiled code (fragment chaining).
+    pub jump_patches: u64,
+    /// Inline IBTC caches installed (subset of `jump_patches`).
+    pub ibtc_patches: u64,
+    /// Guest registers that did not fit the fragment register cache.
+    pub regalloc_spills: u64,
+    /// Memory operations that left the inline fast path for a helper.
+    pub slow_mem_exits: u64,
+    /// Wall nanoseconds inside `execute` (compile + native run). The
+    /// `_nanos` suffix keeps it out of determinism comparisons, like the
+    /// TOL's translate timers.
+    pub exec_nanos: u64,
+    /// Of `exec_nanos`, nanoseconds spent compiling fragments.
+    pub compile_nanos: u64,
+}
+
+/// Record of arena ranges whose already-installed words changed meaning
+/// (chain patches, invalidation unpatches, flushes, restores), kept by
+/// the code cache so a backend can invalidate compiled code *precisely*:
+/// only fragments covering a mutated range are dropped, everything else
+/// keeps running. The log is bounded; a consumer that has fallen too far
+/// behind (or a full-cache event) gets `None` from [`Self::since`] and
+/// must fall back to whole-cache invalidation.
+///
+/// Like the epoch it generalizes, the log is a cache-validity token, not
+/// simulated state: it is never serialized, and a restored run simply
+/// recompiles from scratch.
+#[derive(Debug, Default)]
+pub struct MutationLog {
+    epoch: u64,
+    /// `(epoch after the bump, lo, hi)` — half-open arena word ranges.
+    entries: std::collections::VecDeque<(u64, usize, usize)>,
+    /// Epoch from which `entries` is complete; `since(e)` with
+    /// `e < complete_from` cannot be answered precisely.
+    complete_from: u64,
+}
+
+impl MutationLog {
+    /// Bound on retained entries: past this, precise invalidation would
+    /// cost more than it saves and stragglers recompile wholesale.
+    const CAP: usize = 256;
+
+    pub fn new() -> MutationLog {
+        MutationLog::default()
+    }
+
+    /// Monotonic mutation counter (the classic epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records that arena words `[lo, hi)` changed meaning.
+    pub fn record(&mut self, lo: usize, hi: usize) {
+        self.epoch += 1;
+        self.entries.push_back((self.epoch, lo, hi));
+        while self.entries.len() > Self::CAP {
+            let (e, _, _) = self.entries.pop_front().expect("non-empty");
+            self.complete_from = self.complete_from.max(e);
+        }
+    }
+
+    /// Records a whole-cache event (flush, restore): every consumer must
+    /// do a full invalidation.
+    pub fn record_full(&mut self) {
+        self.epoch += 1;
+        self.entries.clear();
+        self.complete_from = self.epoch;
+    }
+
+    /// The ranges mutated since `epoch`, or `None` when the log no longer
+    /// reaches back that far (full invalidation required).
+    pub fn since(&self, epoch: u64) -> Option<Vec<(usize, usize)>> {
+        if epoch < self.complete_from {
+            return None;
+        }
+        Some(
+            self.entries
+                .iter()
+                .filter(|&&(e, _, _)| e > epoch)
+                .map(|&(_, lo, hi)| (lo, hi))
+                .collect(),
+        )
+    }
+}
+
+/// The native-backend contract: execute arena code starting at `entry`
+/// until the transaction ends, producing the same [`ExitInfo`] and the
+/// same mutations of `emu`'s architectural state, counters and
+/// profile table as `HostEmulator::execute` would.
+///
+/// `mutations` is the code cache's mutation log; an engine must discard
+/// compiled code covering any arena range that changed meaning since its
+/// last call (chaining, invalidation, flush or checkpoint restore).
+pub trait HostCodeGen: Send {
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        emu: &mut HostEmulator,
+        arena: &[HInsn],
+        entry: usize,
+        mem: &mut GuestMem,
+        ibtc: &IbtcTable,
+        prof: &mut ProfTable,
+        fuel: u64,
+        mutations: &MutationLog,
+    ) -> ExitInfo;
+
+    /// Snapshot of the engine's self-counters.
+    fn stats(&self) -> JitStats;
+
+    /// Drops all compiled code (it is a pure cache).
+    fn invalidate_all(&mut self);
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+impl HostCodeGen for NativeEngine {
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        emu: &mut HostEmulator,
+        arena: &[HInsn],
+        entry: usize,
+        mem: &mut GuestMem,
+        ibtc: &IbtcTable,
+        prof: &mut ProfTable,
+        fuel: u64,
+        mutations: &MutationLog,
+    ) -> ExitInfo {
+        NativeEngine::execute(self, emu, arena, entry, mem, ibtc, prof, fuel, mutations)
+    }
+
+    fn stats(&self) -> JitStats {
+        self.stats
+    }
+
+    fn invalidate_all(&mut self) {
+        NativeEngine::invalidate_all(self);
+    }
+}
+
+/// Instantiates the backend, or `None` when it must fall back to the
+/// emulator (`Backend::Emu`, or native on a host without a JIT).
+pub fn new_backend(b: Backend) -> Option<Box<dyn HostCodeGen>> {
+    match b {
+        Backend::Emu => None,
+        Backend::Native => {
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            {
+                Some(Box::new(NativeEngine::new()))
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+            {
+                None
+            }
+        }
+    }
+}

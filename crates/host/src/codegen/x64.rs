@@ -1,0 +1,693 @@
+//! Minimal x86-64 instruction emitter.
+//!
+//! Exactly the encodings the fragment lowerer needs, nothing more. All
+//! memory operands are `[base + disp32]` (the disp32 form is emitted
+//! unconditionally, which sidesteps the rbp/r13 mod=00 special cases at
+//! the cost of a few bytes). Labels support forward references; `finish`
+//! resolves them and returns the byte vector.
+
+// A few encodings are emitted only by lowerings that come and go as the
+// backend evolves; keep the emitter complete rather than minimal.
+#![allow(dead_code)]
+
+/// General-purpose register number (rax=0 … r15=15).
+pub type Reg = u8;
+
+pub const RAX: Reg = 0;
+pub const RCX: Reg = 1;
+pub const RDX: Reg = 2;
+pub const RBX: Reg = 3;
+pub const RBP: Reg = 5;
+pub const RSI: Reg = 6;
+pub const RDI: Reg = 7;
+pub const R8: Reg = 8;
+pub const R12: Reg = 12;
+pub const R13: Reg = 13;
+pub const R14: Reg = 14;
+pub const R15: Reg = 15;
+
+/// XMM register number (only xmm0/xmm1 are used).
+pub type Xmm = u8;
+pub const XMM0: Xmm = 0;
+pub const XMM1: Xmm = 1;
+
+/// Condition codes (the low nibble of the 0F 9x / 0F 8x opcodes).
+pub const CC_B: u8 = 0x2;
+pub const CC_AE: u8 = 0x3;
+pub const CC_E: u8 = 0x4;
+pub const CC_NE: u8 = 0x5;
+pub const CC_BE: u8 = 0x6;
+pub const CC_A: u8 = 0x7;
+pub const CC_P: u8 = 0xA;
+pub const CC_NP: u8 = 0xB;
+pub const CC_L: u8 = 0xC;
+pub const CC_GE: u8 = 0xD;
+pub const CC_LE: u8 = 0xE;
+pub const CC_G: u8 = 0xF;
+
+/// Two-operand ALU ops in their `op r, r/m` (load-form) opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alu {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Cmp,
+}
+
+impl Alu {
+    fn rm_opcode(self) -> u8 {
+        match self {
+            Alu::Add => 0x03,
+            Alu::Sub => 0x2B,
+            Alu::And => 0x23,
+            Alu::Or => 0x0B,
+            Alu::Xor => 0x33,
+            Alu::Cmp => 0x3B,
+        }
+    }
+
+    fn imm_ext(self) -> u8 {
+        match self {
+            Alu::Add => 0,
+            Alu::Or => 1,
+            Alu::And => 4,
+            Alu::Sub => 5,
+            Alu::Xor => 6,
+            Alu::Cmp => 7,
+        }
+    }
+}
+
+/// Forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lab(usize);
+
+/// The emitter.
+#[derive(Default)]
+pub struct Asm {
+    buf: Vec<u8>,
+    /// Bound position per label (usize::MAX = unbound).
+    labels: Vec<usize>,
+    /// (patch offset of rel32, label) fixups.
+    fixups: Vec<(usize, Lab)>,
+}
+
+impl Asm {
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current offset (for recording patchable sites).
+    pub fn pos(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn imm32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// REX prefix; emitted only when any bit (or force) is set.
+    fn rex(&mut self, w: bool, r: u8, x: bool, b: u8, force: bool) {
+        let mut v = 0x40u8;
+        if w {
+            v |= 8;
+        }
+        if r >= 8 {
+            v |= 4;
+        }
+        if x {
+            v |= 2;
+        }
+        if b >= 8 {
+            v |= 1;
+        }
+        if v != 0x40 || force {
+            self.byte(v);
+        }
+    }
+
+    /// ModRM (+SIB) for `reg, [base + disp32]`.
+    fn modrm_mem(&mut self, reg: u8, base: Reg, disp: i32) {
+        let rm = base & 7;
+        if rm == 4 {
+            self.byte(0x80 | ((reg & 7) << 3) | 4);
+            self.byte(0x24); // SIB: no index, base = rsp/r12
+        } else {
+            self.byte(0x80 | ((reg & 7) << 3) | rm);
+        }
+        self.imm32(disp as u32);
+    }
+
+    /// ModRM for `reg, rm` register-direct.
+    fn modrm_reg(&mut self, reg: u8, rm: Reg) {
+        self.byte(0xC0 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    // ---- moves ----
+
+    /// `mov r32, [base+disp]`
+    pub fn mov_r32_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.byte(0x8B);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `mov [base+disp], r32`
+    pub fn mov_mem_r32(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.rex(false, src, false, base, false);
+        self.byte(0x89);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `mov r64, [base+disp]`
+    pub fn mov_r64_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst, false, base, false);
+        self.byte(0x8B);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `mov [base+disp], r64`
+    pub fn mov_mem_r64(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.rex(true, src, false, base, false);
+        self.byte(0x89);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `mov r32, r32`
+    pub fn mov_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, src, false, dst, false);
+        self.byte(0x89);
+        self.modrm_reg(src, dst);
+    }
+
+    /// `mov r64, r64`
+    pub fn mov_rr64(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, src, false, dst, false);
+        self.byte(0x89);
+        self.modrm_reg(src, dst);
+    }
+
+    /// `mov r32, imm32`
+    pub fn mov_r32_imm(&mut self, dst: Reg, imm: u32) {
+        self.rex(false, 0, false, dst, false);
+        self.byte(0xB8 + (dst & 7));
+        self.imm32(imm);
+    }
+
+    /// `mov r64, imm64`
+    pub fn mov_r64_imm(&mut self, dst: Reg, imm: u64) {
+        self.rex(true, 0, false, dst, false);
+        self.byte(0xB8 + (dst & 7));
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov dword [base+disp], imm32`
+    pub fn mov_mem32_imm(&mut self, base: Reg, disp: i32, imm: u32) {
+        self.rex(false, 0, false, base, false);
+        self.byte(0xC7);
+        self.modrm_mem(0, base, disp);
+        self.imm32(imm);
+    }
+
+    /// `mov qword [base+disp], imm32` (sign-extended)
+    pub fn mov_mem64_imm(&mut self, base: Reg, disp: i32, imm: i32) {
+        self.rex(true, 0, false, base, false);
+        self.byte(0xC7);
+        self.modrm_mem(0, base, disp);
+        self.imm32(imm as u32);
+    }
+
+    /// `mov word [base+disp], imm16`
+    pub fn mov_mem16_imm(&mut self, base: Reg, disp: i32, imm: u16) {
+        self.byte(0x66);
+        self.rex(false, 0, false, base, false);
+        self.byte(0xC7);
+        self.modrm_mem(0, base, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov byte [base+disp], imm8`
+    pub fn mov_mem8_imm(&mut self, base: Reg, disp: i32, imm: u8) {
+        self.rex(false, 0, false, base, false);
+        self.byte(0xC6);
+        self.modrm_mem(0, base, disp);
+        self.byte(imm);
+    }
+
+    // ---- widening loads / extensions ----
+
+    /// `movzx r32, byte [base+disp]`
+    pub fn movzx8_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.bytes(&[0x0F, 0xB6]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movzx r32, word [base+disp]`
+    pub fn movzx16_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.bytes(&[0x0F, 0xB7]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movsx r32, byte [base+disp]`
+    pub fn movsx8_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.bytes(&[0x0F, 0xBE]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movsx r32, word [base+disp]`
+    pub fn movsx16_mem(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.bytes(&[0x0F, 0xBF]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movsx r32, r8low` (Sext8). Forces REX so sil/dil encode correctly.
+    pub fn movsx8_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, src >= 4);
+        self.bytes(&[0x0F, 0xBE]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movsx r32, r16low` (Sext16).
+    pub fn movsx16_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, false);
+        self.bytes(&[0x0F, 0xBF]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movzx r32, r8low`. Forces REX so sil/dil encode correctly.
+    pub fn movzx8_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, src >= 4);
+        self.bytes(&[0x0F, 0xB6]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movzx r32, r16low`
+    pub fn movzx16_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, false);
+        self.bytes(&[0x0F, 0xB7]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movsxd r64, r32`
+    pub fn movsxd(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst, false, src, false);
+        self.byte(0x63);
+        self.modrm_reg(dst, src);
+    }
+
+    // ---- ALU ----
+
+    /// `op r32, r32`
+    pub fn alu_rr32(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, false);
+        self.byte(op.rm_opcode());
+        self.modrm_reg(dst, src);
+    }
+
+    /// `op r64, r64`
+    pub fn alu_rr64(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.rex(true, dst, false, src, false);
+        self.byte(op.rm_opcode());
+        self.modrm_reg(dst, src);
+    }
+
+    /// `op r32, [base+disp]`
+    pub fn alu_r32_mem(&mut self, op: Alu, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.byte(op.rm_opcode());
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `op r32, imm32`
+    pub fn alu_r32_imm(&mut self, op: Alu, dst: Reg, imm: u32) {
+        self.rex(false, 0, false, dst, false);
+        self.byte(0x81);
+        self.modrm_reg(op.imm_ext(), dst);
+        self.imm32(imm);
+    }
+
+    /// `op r64, imm32` (sign-extended)
+    pub fn alu_r64_imm(&mut self, op: Alu, dst: Reg, imm: i32) {
+        self.rex(true, 0, false, dst, false);
+        self.byte(0x81);
+        self.modrm_reg(op.imm_ext(), dst);
+        self.imm32(imm as u32);
+    }
+
+    /// `op dword [base+disp], imm32`
+    pub fn alu_mem32_imm(&mut self, op: Alu, base: Reg, disp: i32, imm: u32) {
+        self.rex(false, 0, false, base, false);
+        self.byte(0x81);
+        self.modrm_mem(op.imm_ext(), base, disp);
+        self.imm32(imm);
+    }
+
+    /// `op qword [base+disp], imm32` (sign-extended)
+    pub fn alu_mem64_imm(&mut self, op: Alu, base: Reg, disp: i32, imm: i32) {
+        self.rex(true, 0, false, base, false);
+        self.byte(0x81);
+        self.modrm_mem(op.imm_ext(), base, disp);
+        self.imm32(imm as u32);
+    }
+
+    /// `op qword [base+disp], r64` (store form: add [m], r)
+    pub fn alu_mem64_r(&mut self, op: Alu, base: Reg, disp: i32, src: Reg) {
+        let opc = match op {
+            Alu::Add => 0x01,
+            Alu::Sub => 0x29,
+            Alu::And => 0x21,
+            Alu::Or => 0x09,
+            Alu::Xor => 0x31,
+            Alu::Cmp => 0x39,
+        };
+        self.rex(true, src, false, base, false);
+        self.byte(opc);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `cmp qword [base+disp], r64` — alias of the store-form cmp.
+    pub fn cmp_mem64_r(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.alu_mem64_r(Alu::Cmp, base, disp, src);
+    }
+
+    /// `rol r64, cl` (rotate count taken mod 64 by hardware)
+    pub fn rol64_cl(&mut self, r: Reg) {
+        self.rex(true, 0, false, r, false);
+        self.byte(0xD3);
+        self.modrm_reg(0, r);
+    }
+
+    /// `test [base+disp], r64` — ZF = ((mem & src) == 0)
+    pub fn test_mem64_r(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.rex(true, src, false, base, false);
+        self.byte(0x85);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `test r32, r32`
+    pub fn test_rr32(&mut self, a: Reg, b: Reg) {
+        self.rex(false, b, false, a, false);
+        self.byte(0x85);
+        self.modrm_reg(b, a);
+    }
+
+    /// `imul r32, r32`
+    pub fn imul_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, false, src, false);
+        self.bytes(&[0x0F, 0xAF]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `imul r64, r64`
+    pub fn imul_rr64(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst, false, src, false);
+        self.bytes(&[0x0F, 0xAF]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `cdq`
+    pub fn cdq(&mut self) {
+        self.byte(0x99);
+    }
+
+    /// `idiv r32`
+    pub fn idiv_r32(&mut self, src: Reg) {
+        self.rex(false, 0, false, src, false);
+        self.byte(0xF7);
+        self.modrm_reg(7, src);
+    }
+
+    /// `neg r32`
+    pub fn neg_r32(&mut self, r: Reg) {
+        self.rex(false, 0, false, r, false);
+        self.byte(0xF7);
+        self.modrm_reg(3, r);
+    }
+
+    /// `shl/shr/sar r32, cl` — ext: 4=shl, 5=shr, 7=sar
+    pub fn shift_cl(&mut self, ext: u8, r: Reg) {
+        self.rex(false, 0, false, r, false);
+        self.byte(0xD3);
+        self.modrm_reg(ext, r);
+    }
+
+    /// `shr r64, imm8`
+    pub fn shr_r64_imm(&mut self, r: Reg, imm: u8) {
+        self.rex(true, 0, false, r, false);
+        self.byte(0xC1);
+        self.modrm_reg(5, r);
+        self.byte(imm);
+    }
+
+    /// `shl/shr/sar r32, imm8` — ext: 4=shl, 5=shr, 7=sar
+    pub fn shift_r32_imm(&mut self, ext: u8, r: Reg, imm: u8) {
+        self.rex(false, 0, false, r, false);
+        self.byte(0xC1);
+        self.modrm_reg(ext, r);
+        self.byte(imm);
+    }
+
+    /// `setcc r8low`. Forces REX so sil/dil encode correctly.
+    pub fn setcc(&mut self, cc: u8, r: Reg) {
+        self.rex(false, 0, false, r, r >= 4);
+        self.bytes(&[0x0F, 0x90 + cc]);
+        self.modrm_reg(0, r);
+    }
+
+    /// `inc qword [base+disp]`
+    pub fn inc_mem64(&mut self, base: Reg, disp: i32) {
+        self.rex(true, 0, false, base, false);
+        self.byte(0xFF);
+        self.modrm_mem(0, base, disp);
+    }
+
+    /// `lea r32, [base+disp]` — the 32-bit destination truncates, which is
+    /// exactly guest wrapping-add semantics.
+    pub fn lea_r32(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, false, base, false);
+        self.byte(0x8D);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `lea r64, [base+disp]`
+    pub fn lea_r64(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst, false, base, false);
+        self.byte(0x8D);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `call r64`
+    pub fn call_r(&mut self, r: Reg) {
+        self.rex(false, 0, false, r, false);
+        self.byte(0xFF);
+        self.modrm_reg(2, r);
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.byte(0xC3);
+    }
+
+    // ---- SSE2 (xmm0/xmm1 only — no REX.R/B needed) ----
+
+    /// `movsd xmm, [base+disp]`
+    pub fn movsd_x_mem(&mut self, dst: Xmm, base: Reg, disp: i32) {
+        self.byte(0xF2);
+        self.rex(false, dst, false, base, false);
+        self.bytes(&[0x0F, 0x10]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movsd [base+disp], xmm`
+    pub fn movsd_mem_x(&mut self, base: Reg, disp: i32, src: Xmm) {
+        self.byte(0xF2);
+        self.rex(false, src, false, base, false);
+        self.bytes(&[0x0F, 0x11]);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `movapd xmm, xmm`
+    pub fn movapd_xx(&mut self, dst: Xmm, src: Xmm) {
+        self.byte(0x66);
+        self.bytes(&[0x0F, 0x28]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// SSE2 scalar-double arithmetic: opcode 0x58 add, 0x5C sub, 0x59 mul,
+    /// 0x5E div, 0x51 sqrt.
+    pub fn sse_arith(&mut self, opcode: u8, dst: Xmm, src: Xmm) {
+        self.byte(0xF2);
+        self.bytes(&[0x0F, opcode]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `ucomisd xmm, xmm`
+    pub fn ucomisd(&mut self, a: Xmm, b: Xmm) {
+        self.byte(0x66);
+        self.bytes(&[0x0F, 0x2E]);
+        self.modrm_reg(a, b);
+    }
+
+    /// `andpd xmm, xmm`
+    pub fn andpd(&mut self, dst: Xmm, src: Xmm) {
+        self.byte(0x66);
+        self.bytes(&[0x0F, 0x54]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `xorpd xmm, xmm`
+    pub fn xorpd(&mut self, dst: Xmm, src: Xmm) {
+        self.byte(0x66);
+        self.bytes(&[0x0F, 0x57]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movq xmm, r64`
+    pub fn movq_x_r(&mut self, dst: Xmm, src: Reg) {
+        self.byte(0x66);
+        self.rex(true, dst, false, src, false);
+        self.bytes(&[0x0F, 0x6E]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `movq r64, xmm`
+    pub fn movq_r_x(&mut self, dst: Reg, src: Xmm) {
+        self.byte(0x66);
+        self.rex(true, src, false, dst, false);
+        self.bytes(&[0x0F, 0x7E]);
+        self.modrm_reg(src, dst);
+    }
+
+    /// `cvttsd2si r32, xmm`
+    pub fn cvttsd2si(&mut self, dst: Reg, src: Xmm) {
+        self.byte(0xF2);
+        self.rex(false, dst, false, src, false);
+        self.bytes(&[0x0F, 0x2C]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `cvtsi2sd xmm, r32`
+    pub fn cvtsi2sd(&mut self, dst: Xmm, src: Reg) {
+        self.byte(0xF2);
+        self.rex(false, dst, false, src, false);
+        self.bytes(&[0x0F, 0x2A]);
+        self.modrm_reg(dst, src);
+    }
+
+    // ---- labels and control flow ----
+
+    pub fn new_label(&mut self) -> Lab {
+        self.labels.push(usize::MAX);
+        Lab(self.labels.len() - 1)
+    }
+
+    /// Binds `lab` to the current position.
+    ///
+    /// # Panics
+    /// Panics if already bound.
+    pub fn bind(&mut self, lab: Lab) {
+        assert_eq!(self.labels[lab.0], usize::MAX, "label bound twice");
+        self.labels[lab.0] = self.buf.len();
+    }
+
+    /// `jmp rel32` to a label. Returns the offset of the rel32 field
+    /// (IBTC guard sites are patched through it later).
+    pub fn jmp(&mut self, lab: Lab) -> usize {
+        self.byte(0xE9);
+        let at = self.buf.len();
+        self.fixups.push((at, lab));
+        self.imm32(0);
+        at
+    }
+
+    /// `jmp rel32` with a literal displacement; returns the offset of the
+    /// rel32 field (a patchable site).
+    pub fn jmp_rel(&mut self, rel: i32) -> usize {
+        self.byte(0xE9);
+        let at = self.buf.len();
+        self.imm32(rel as u32);
+        at
+    }
+
+    /// `jcc rel32` to a label.
+    pub fn jcc(&mut self, cc: u8, lab: Lab) {
+        self.bytes(&[0x0F, 0x80 + cc]);
+        self.fixups.push((self.buf.len(), lab));
+        self.imm32(0);
+    }
+
+    /// `ud2` — traps; used on statically impossible paths.
+    pub fn ud2(&mut self) {
+        self.bytes(&[0x0F, 0x0B]);
+    }
+
+    /// Resolves fixups and returns the code.
+    ///
+    /// # Panics
+    /// Panics if any referenced label is unbound.
+    pub fn finish(mut self) -> Vec<u8> {
+        for (at, lab) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[lab.0];
+            assert_ne!(target, usize::MAX, "unbound label");
+            let rel = target as i64 - (at as i64 + 4);
+            let rel = i32::try_from(rel).expect("fragment too large for rel32");
+            self.buf[at..at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_fixup_resolves_forward_and_backward() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.mov_r32_imm(RAX, 1);
+        a.jmp(fwd);
+        a.jcc(CC_E, back);
+        a.bind(fwd);
+        a.ret();
+        let code = a.finish();
+        // jmp is at offset 5 (after the 5-byte mov), rel32 at 6..10,
+        // target = 16 (after the 6-byte jcc) → rel = 16 - 10 = 6.
+        assert_eq!(i32::from_le_bytes(code[6..10].try_into().unwrap()), 6);
+        // jcc at 10 (0F 84), rel32 at 12..16, target 0 → rel = -16.
+        assert_eq!(i32::from_le_bytes(code[12..16].try_into().unwrap()), -16);
+    }
+
+    #[test]
+    fn mem_operand_uses_sib_for_r12() {
+        let mut a = Asm::new();
+        a.mov_r32_mem(RAX, R12, 8);
+        let code = a.finish();
+        // REX.B, 8B, modrm(mod=10 reg=rax rm=100), SIB 0x24, disp32 8
+        assert_eq!(code, vec![0x41, 0x8B, 0x84, 0x24, 8, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rex_w_on_64_bit_mov() {
+        let mut a = Asm::new();
+        a.mov_mem_r64(R15, 16, RAX);
+        let code = a.finish();
+        assert_eq!(code, vec![0x49, 0x89, 0x87, 16, 0, 0, 0]);
+    }
+}

@@ -174,7 +174,7 @@ pub struct HostEmulator {
     pub host_bb: u64,
     /// Host instructions attributed to SBM execution.
     pub host_sb: u64,
-    unattributed: u64,
+    pub(crate) unattributed: u64,
     store_buf: Vec<StoreEnt>,
     spec_loads: Vec<SpecLoad>,
     snapshot: Snapshot,

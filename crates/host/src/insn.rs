@@ -240,6 +240,12 @@ pub enum HInsn {
     Nop,
 }
 
+/// Branch target of a `rel` offset at `pc`: offsets are relative to the
+/// *next* instruction.
+pub fn add_rel(pc: usize, rel: i32) -> usize {
+    (pc as i64 + 1 + rel as i64) as usize
+}
+
 impl HInsn {
     /// Dynamic cost in host instructions. `IbtcJmp` models the inline
     /// software IBTC probe sequence of Scott et al. (paper reference

@@ -30,6 +30,7 @@
 //! recovery model that lets DARCO's software layer fall back to
 //! interpretation after a speculation failure.
 
+pub mod codegen;
 pub mod emu;
 pub mod encode;
 pub mod hasm;
@@ -38,6 +39,7 @@ pub mod regs;
 pub mod runtime;
 pub mod sink;
 
+pub use codegen::{new_backend, Backend, HostCodeGen, JitStats};
 pub use emu::{ExitCause, ExitInfo, HostEmulator, IbtcTable, ProfTable};
 pub use encode::{decode_insn, encode_insn, HDecodeError};
 pub use hasm::HAsm;

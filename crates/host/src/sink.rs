@@ -74,12 +74,27 @@ impl RetireEvent {
 pub trait InsnSink {
     /// Receives one retired instruction.
     fn retire(&mut self, ev: &RetireEvent);
+
+    /// Whether this sink discards every event. The native backend is only
+    /// eligible when the sink is inert: translated regions run as real
+    /// machine code and produce no per-instruction retire stream, so any
+    /// sink that observes events (the timing simulators, counting sinks)
+    /// forces the emulator path.
+    #[inline]
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 impl<S: InsnSink + ?Sized> InsnSink for &mut S {
     #[inline]
     fn retire(&mut self, ev: &RetireEvent) {
         (**self).retire(ev);
+    }
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        (**self).is_null()
     }
 }
 
@@ -90,6 +105,11 @@ pub struct NullSink;
 impl InsnSink for NullSink {
     #[inline(always)]
     fn retire(&mut self, _ev: &RetireEvent) {}
+
+    #[inline(always)]
+    fn is_null(&self) -> bool {
+        true
+    }
 }
 
 /// Adapter giving a trait-object sink the concrete type the monomorphized

@@ -71,6 +71,11 @@ pub struct CodegenOut {
     /// `[0, min(stub_pos))`; everything at or after the first stub runs
     /// only on an exit path (used by [`check_host_code`]).
     pub stub_pos: Vec<Option<usize>>,
+    /// Arena word the code was generated to be installed at
+    /// (`ctx.base`). `Bl` relatives are absolute-aware, so the checker
+    /// needs it to resolve call targets; the runtime-routine block is
+    /// `[0, base)`.
+    pub base: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -291,7 +296,13 @@ impl<'a> Codegen<'a> {
         for (id, m) in self.final_exits.drain(..) {
             exits[id] = m;
         }
-        CodegenOut { code: self.code, exits, encoded_words, stub_pos: self.stub_pos }
+        CodegenOut {
+            code: self.code,
+            exits,
+            encoded_words,
+            stub_pos: self.stub_pos,
+            base: self.ctx.base,
+        }
     }
 
     fn emit_inst(&mut self, i: usize) {
@@ -971,8 +982,11 @@ fn fp_write(insn: &HInsn) -> Option<u8> {
 ///   is updated exclusively by exit stubs;
 /// * **stub** instructions may write only pinned state, `r56` (IBTC
 ///   target) and the `r57`/`f57` parallel-copy scratch;
-/// * relative branch targets stay inside the translation (`Bl` excepted:
-///   it calls runtime routines outside the region);
+/// * relative branch targets stay inside the translation; `Bl` targets
+///   must land inside the runtime-routine block `[0, base)` and `Blr`
+///   must not appear at all — the native backend's `Bl` helper
+///   interprets the callee and supports only the runtime routines
+///   (see the inline comment at the check);
 /// * spill traffic uses `R_SPILL_BASE` with in-bounds offsets and
 ///   sequence numbers above `SPILL_SEQ_BASE`; guest memory traffic stays
 ///   below it;
@@ -1020,6 +1034,30 @@ pub fn check_host_code(region: &Region, out: &CodegenOut) -> crate::verify::Veri
             if target < 0 || target >= n as i64 {
                 add(format!("insn {p} `{insn}` branches to {target}, outside the region [0, {n})"));
             }
+        }
+        // Native-backend contract: both execution backends treat `Bl` as
+        // a call into the runtime-routine block (`[0, base)` in the
+        // arena) — the native backend's slow-path helper *interprets*
+        // the callee and only understands the scalar routine subset, so
+        // a `Bl` landing inside a translation is undefined behaviour
+        // there even though the emulator would happily run it. `Blr` is
+        // the runtime routines' return instruction and must never
+        // appear in a translation at all.
+        if let HInsn::Bl { rel } = insn {
+            let target = (out.base + p) as i64 + 1 + *rel as i64;
+            if target < 0 || target >= out.base as i64 {
+                add(format!(
+                    "insn {p} `{insn}` calls arena word {target}, outside the \
+                     runtime-routine block [0, {})",
+                    out.base
+                ));
+            }
+        }
+        if matches!(insn, HInsn::Blr) {
+            add(format!(
+                "insn {p} `{insn}` in a translation: `blr` is reserved for \
+                 runtime-routine returns"
+            ));
         }
         match *insn {
             HInsn::Load { base, off, seq, spec, .. }
@@ -1231,6 +1269,31 @@ mod tests {
         let rep = check_host_code(&r, &bad);
         assert!(
             rep.findings.iter().any(|f| f.message.contains("branches to")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn host_code_checker_catches_bl_outside_runtime_block() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        // A call that resolves back into the translation itself.
+        bad.code[0] = HInsn::Bl { rel: 1 };
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("runtime-routine block")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn host_code_checker_catches_blr_in_translation() {
+        let (r, out) = generate_checker_region();
+        let mut bad = out.clone();
+        bad.code[0] = HInsn::Blr;
+        let rep = check_host_code(&r, &bad);
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("reserved for")),
             "{rep}"
         );
     }

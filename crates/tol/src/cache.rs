@@ -3,6 +3,7 @@
 
 use crate::sbm::SbShape;
 use darco_guest::{Wire, WireError, WireReader};
+use darco_host::codegen::MutationLog;
 use darco_host::emu::IbtcTable;
 use darco_host::encode::{decode_insn, encode_all};
 use darco_host::runtime::build_runtime;
@@ -76,6 +77,15 @@ pub struct CodeCache {
     used_words: usize,
     /// Number of full-cache flushes performed.
     pub flushes: u64,
+    /// Records every arena range whose already-installed words changed
+    /// meaning: chain patch, invalidation (unpatch + IBTC removal),
+    /// flush, restore. Plain appends do NOT bump — existing code is
+    /// unchanged by them. The native backend drops exactly the compiled
+    /// fragments covering a mutated range (unpatching native jumps into
+    /// them), falling back to a full recompile only when the bounded log
+    /// cannot cover the gap. Not serialized (it is a cache-validity
+    /// token, not simulated state).
+    mutations: MutationLog,
 }
 
 impl std::fmt::Debug for CodeCache {
@@ -107,7 +117,18 @@ impl CodeCache {
             capacity_words,
             used_words: 0,
             flushes: 0,
+            mutations: MutationLog::new(),
         }
+    }
+
+    /// Current arena-mutation epoch (see the `mutations` field doc).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations.epoch()
+    }
+
+    /// The arena-mutation log backends sync their compiled code against.
+    pub fn mutations(&self) -> &MutationLog {
+        &self.mutations
     }
 
     /// Host address of the `sin` runtime routine.
@@ -205,6 +226,8 @@ impl CodeCache {
         if !self.translations[id].valid {
             return;
         }
+        let (base, len) = (self.translations[id].host_base, self.translations[id].len);
+        self.mutations.record(base, base + len);
         self.translations[id].valid = false;
         let pc = self.translations[id].guest_pc;
         if self.map.get(&pc) == Some(&id) {
@@ -213,6 +236,9 @@ impl CodeCache {
         if let Some(slots) = self.chains_in.remove(&id) {
             for (addr, orig) in slots {
                 self.arena[addr] = orig;
+                // The unpatched slot lives inside a *different*
+                // translation; native code compiled over it is stale too.
+                self.mutations.record(addr, addr + 1);
             }
         }
         if let Some(pcs) = self.ibtc_owner.remove(&id) {
@@ -233,6 +259,7 @@ impl CodeCache {
         assert!(matches!(orig, HInsn::ChainSlot { .. }), "chain target slot is {orig:?}");
         let target = self.translations[to].host_base;
         let rel = target as i32 - (slot_addr as i32 + 1);
+        self.mutations.record(slot_addr, slot_addr + 1);
         self.arena[slot_addr] = HInsn::B { rel };
         self.chains_in.entry(to).or_default().push((slot_addr, orig));
     }
@@ -277,6 +304,7 @@ impl CodeCache {
         self.ibtc_owner.clear();
         self.used_words = 0;
         self.flushes += 1;
+        self.mutations.record_full();
     }
 
     /// Serializes the full code-cache state: arena (including chain
@@ -558,6 +586,7 @@ impl CodeCache {
         self.ibtc_owner = ibtc_owner;
         self.used_words = used_words;
         self.flushes = flushes;
+        self.mutations.record_full();
         Ok(())
     }
 }

@@ -126,10 +126,23 @@ impl TolObs {
     }
 }
 
-/// Serializes a registry losslessly for checkpoints: counters, gauges and
+/// True for metrics that measure host wall-clock time rather than guest
+/// progress. These are *normalized to zero in snapshots*: a snapshot must
+/// be a pure function of guest progress (the same guest boundary yields
+/// the same bytes regardless of host load, run, or backend), and nanos
+/// are the one thing in the registry that is not. Restored runs restart
+/// wall-clock accumulators from zero — they then describe the resuming
+/// process. Registration order (and thus positional [`HistoId`]s) is
+/// preserved; only the recorded values are blanked.
+fn wall_clock(name: &str) -> bool {
+    name.contains("nanos") || name.contains("_ns")
+}
+
+/// Serializes a registry for checkpoints: counters, gauges and
 /// histograms in registration order (order is part of the state —
 /// [`HistoId`]s are positional, and registration order is deterministic
-/// for a deterministic run).
+/// for a deterministic run). Wall-clock metrics are serialized as zero
+/// (see [`wall_clock`]); everything else is lossless.
 ///
 /// Lives here rather than in `darco-obs` because the obs crate is
 /// dependency-free and cannot see the wire codec.
@@ -138,18 +151,30 @@ pub fn registry_snapshot_into(reg: &Registry, w: &mut Wire) {
     w.put_usize(counters.len());
     for (name, v) in counters {
         w.put_str(name);
-        w.put_u64(v);
+        w.put_u64(if wall_clock(name) { 0 } else { v });
     }
     let gauges: Vec<_> = reg.gauges_iter().collect();
     w.put_usize(gauges.len());
     for (name, v) in gauges {
         w.put_str(name);
-        w.put_f64(v);
+        w.put_f64(if wall_clock(name) { 0.0 } else { v });
     }
     let histos: Vec<_> = reg.histograms_iter().collect();
     w.put_usize(histos.len());
     for (name, h) in histos {
         w.put_str(name);
+        if wall_clock(name) {
+            // An empty histogram, exactly as `Histogram::default`:
+            // count 0, sum 0, min u64::MAX, max 0, all buckets 0.
+            w.put_u64(0);
+            w.put_u64(0);
+            w.put_u64(u64::MAX);
+            w.put_u64(0);
+            for _ in h.buckets_raw() {
+                w.put_u64(0);
+            }
+            continue;
+        }
         w.put_u64(h.count);
         w.put_u64(h.sum);
         w.put_u64(h.min);

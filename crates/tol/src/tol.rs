@@ -10,6 +10,7 @@ use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
 use crate::sbm::{self, SbShape};
 use crate::translate::{self, EdgeCounters};
 use darco_guest::{DecodeCache, Fault, GuestState, Wire, WireError, WireReader, PAGE_SHIFT};
+use darco_host::codegen::{Backend, HostCodeGen, JitStats};
 use darco_host::emu::ProfTable;
 use darco_host::regs::{FLAG_REGS, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND, R_SPILL_BASE};
 use darco_host::sink::InsnSink;
@@ -121,6 +122,11 @@ pub struct Tol {
     pub verify_log: Vec<String>,
     /// Observability: trace sink (off by default) + live metrics.
     pub obs: TolObs,
+    /// Native code-generation backend, if selected and available. Purely
+    /// a runtime accelerator: never serialized (compiled code is a cache
+    /// over the arena), and bypassed for any run that needs retire events
+    /// (the emulator is the only backend that can feed a real sink).
+    native: Option<Box<dyn HostCodeGen>>,
     counter_bb: HashMap<u32, u32>, // exec counter idx per BB pc
     bb_edges: HashMap<u32, EdgeCounters>,
     im_prof: HashMap<u32, ImProf>,
@@ -158,6 +164,7 @@ impl Tol {
             pending_flags: None,
             verify_log: Vec::new(),
             obs: TolObs::new(),
+            native: None,
             counter_bb: HashMap::new(),
             bb_edges: HashMap::new(),
             im_prof: HashMap::new(),
@@ -174,6 +181,17 @@ impl Tol {
     /// stream.
     pub fn set_synthesize_overhead(&mut self, on: bool) {
         self.acct.synthesize = on;
+    }
+
+    /// Selects the host-code backend. `Backend::Native` silently keeps
+    /// the emulator on hosts without a JIT.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.native = darco_host::codegen::new_backend(backend);
+    }
+
+    /// The native backend's self-counters, if one is active.
+    pub fn jit_stats(&self) -> Option<JitStats> {
+        self.native.as_ref().map(|n| n.stats())
     }
 
     /// Total guest instructions retired so far, across all modes
@@ -339,15 +357,30 @@ impl Tol {
         let remaining = limit.saturating_sub(self.total_guest());
         let guest_fuel = (self.emu.gcnt_bb + self.emu.gcnt_sb).saturating_add(remaining);
         let base = self.cache.translation(id).host_base;
-        let info = self.emu.execute(
-            &self.cache.arena,
-            base,
-            &mut st.mem,
-            &self.cache.ibtc,
-            &mut self.prof,
-            guest_fuel,
-            sink,
-        );
+        // The native backend only runs when no retire events are wanted:
+        // it produces the same architectural state, counters and exits as
+        // the emulator, but no per-instruction stream.
+        let info = match self.native.as_mut() {
+            Some(native) if sink.is_null() => native.execute(
+                &mut self.emu,
+                &self.cache.arena,
+                base,
+                &mut st.mem,
+                &self.cache.ibtc,
+                &mut self.prof,
+                guest_fuel,
+                self.cache.mutations(),
+            ),
+            _ => self.emu.execute(
+                &self.cache.arena,
+                base,
+                &mut st.mem,
+                &self.cache.ibtc,
+                &mut self.prof,
+                guest_fuel,
+                sink,
+            ),
+        };
         self.stats.host_app += info.executed;
 
         match info.cause {
@@ -867,6 +900,7 @@ impl Tol {
             w.put_u64(*c);
             w.put_u64(*t);
         }
+
         for r in self.emu.iregs {
             w.put_u32(r);
         }
@@ -918,8 +952,15 @@ impl Tol {
             s.sb_static_host,
             s.verify_regions,
             s.verify_findings,
-            s.verify_nanos,
-            s.translate_nanos,
+            // Wall-clock telemetry is serialized as zero: a snapshot is a
+            // pure function of guest progress, and host timing is neither
+            // (it differs run to run and backend to backend). A restored
+            // engine restarts its timing accumulators from zero — they
+            // then describe the resuming process, which is the honest
+            // reading. The live engine that produced the snapshot keeps
+            // its real values; only the wire image is normalized.
+            0, // s.verify_nanos
+            0, // s.translate_nanos
         ] {
             w.put_u64(v);
         }

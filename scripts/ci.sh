@@ -10,10 +10,15 @@
 #            the repo's own JSON reader (darco-trace-check)
 #   obs    — the committed BENCH_obs.json must pass the tracing-overhead
 #            gate (traced <= 5%, disabled tracer <= 1% vs baseline)
+#   engine — the committed BENCH_engine.json must pass its overhead gate
+#   backend — native-JIT-vs-emulator identity gate over every workload
+#   jit    — jit_speed smoke run + committed BENCH_jit.json sanity check
 #   fleet  — a six-job campaign with one deliberately panicking and one
 #            deliberately hanging job: both must be isolated (failed
 #            statuses + flight dump, sibling jobs unharmed) and the runner
 #            must exit 1 for the partial failure
+#   checkpoint — mid-run checkpoint/restore round trips (darco-run and
+#            a fleet --state-dir / --resume cycle)
 #
 # Each stage is timed; a per-stage summary prints at the end.
 # Everything runs offline; no network access is required.
@@ -80,6 +85,26 @@ stage_done
 
 stage "engine overhead gate (committed BENCH_engine.json)"
 ./target/release/engine_overhead --gate BENCH_engine.json
+stage_done
+
+# Native-backend identity gate (DESIGN.md §12): every workload under
+# both backends, every architectural outcome bit-identical. Passes
+# trivially (with a message) on hosts without a native JIT.
+stage "backend identity gate (native JIT vs emulator, all workloads)"
+./target/release/backend_identity
+stage_done
+
+# The JIT speed harness writes BENCH_jit.json into the cwd; smoke-run it
+# tiny, single-shot and ungated from scratch space (honest gate numbers
+# need --scale 1/1 on a quiet host), then sanity-check the committed
+# measurement carries the gate fields.
+stage "jit speed smoke (tiny scale) + committed BENCH_jit.json"
+jit_bin="$PWD/target/release/jit_speed"
+(cd "$smoke_dir" && "$jit_bin" --scale 1/512 --repeat 1 > /dev/null)
+test -s "$smoke_dir/BENCH_jit.json"
+grep -q '"bench":"jit"' BENCH_jit.json
+grep -q '"native_sw_speedup"' BENCH_jit.json
+grep -q '"gate_min_speedup_vs_emu_sb"' BENCH_jit.json
 stage_done
 
 # Fault isolation: fault:panic panics inside the worker, fault:spin never
