@@ -17,15 +17,18 @@
 //! * `jit.*` counters — the native backend's own instrumentation,
 //!   absent under the emulator by definition.
 //!
-//! Everything else must match to the last bit, across **all** workloads
-//! at `--scale 1/16` (small enough for CI, large enough to reach sb
-//! mode, speculation rollbacks and superblock recreation on every
-//! program). On non-x86-64 hosts the gate passes trivially (there is
-//! nothing to compare) but says so.
+//! Everything else must match to the last bit, across **all** 37
+//! workloads: the 31 suite benchmarks at `--scale 1/16` (small enough
+//! for CI, large enough to reach sb mode, speculation rollbacks and
+//! superblock recreation on every program) plus the 6 microkernels at
+//! SBM-promoting sizes. On non-x86-64 hosts the gate passes trivially
+//! (there is nothing to compare) but says so.
 
+use darco::System;
 use darco_bench::{default_config, run_one, Scale};
+use darco_guest::GuestProgram;
 use darco_host::codegen::Backend;
-use darco_workloads::benchmarks;
+use darco_workloads::{benchmarks, kernels};
 
 fn timing(name: &str) -> bool {
     name.contains("nanos") || name.contains("_ns") || name.starts_with("jit.")
@@ -37,11 +40,31 @@ struct Observation {
     lines: Vec<(String, String)>,
 }
 
+/// The 6 microkernels at the same SBM-promoting sizes `darco-lint`
+/// uses: big enough for superblock formation, small enough for CI.
+fn kernel_list() -> Vec<(&'static str, GuestProgram)> {
+    vec![
+        ("kernel:dot", kernels::dot_product(2_000)),
+        ("kernel:matmul", kernels::matmul(12)),
+        ("kernel:search", kernels::string_search(20_000, 12_345)),
+        ("kernel:nbody", kernels::nbody_step(16, 50)),
+        ("kernel:quicksort", kernels::quicksort(800)),
+        ("kernel:crc32", kernels::crc32(5_000)),
+    ]
+}
+
 fn observe(idx: usize, backend: Backend) -> Observation {
-    let b = &benchmarks()[idx];
+    let nbench = benchmarks().len();
     let mut cfg = default_config();
     cfg.backend = backend;
-    let r = run_one(b, Scale(1, 16), cfg);
+    let r = if idx < nbench {
+        run_one(&benchmarks()[idx], Scale(1, 16), cfg)
+    } else {
+        let (name, program) = kernel_list().swap_remove(idx - nbench);
+        System::new(cfg, program)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+    };
     let mut lines = Vec::new();
     let mut put = |k: &str, v: String| lines.push((k.to_string(), v));
     put("guest_insns", r.guest_insns.to_string());
@@ -73,10 +96,13 @@ fn main() {
         println!("backend identity: skipped (no native JIT on this host)");
         return;
     }
-    let n = benchmarks().len();
+    let nbench = benchmarks().len();
+    let kernel_names: Vec<&'static str> = kernel_list().into_iter().map(|(n, _)| n).collect();
+    let n = nbench + kernel_names.len();
     let mut failures = 0usize;
     for idx in 0..n {
-        let name = benchmarks()[idx].name;
+        let name =
+            if idx < nbench { benchmarks()[idx].name } else { kernel_names[idx - nbench] };
         let emu = observe(idx, Backend::Emu);
         let nat = observe(idx, Backend::Native);
         let mut diffs = Vec::new();

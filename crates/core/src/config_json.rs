@@ -17,7 +17,7 @@ use darco_ir::sched::SchedConfig;
 use darco_ir::OptLevel;
 use darco_obs::json::{JsonValue, JsonWriter};
 use darco_timing::{CacheConfig, TimingConfig, TlbConfig};
-use darco_tol::{BugKind, Injection, TolConfig, VerifyMode};
+use darco_tol::{BugKind, Injection, TolConfig, VerifyLevel, VerifyMode};
 
 // -- emission -----------------------------------------------------------------
 
@@ -46,11 +46,19 @@ fn verify_name(v: VerifyMode) -> &'static str {
     }
 }
 
+fn verify_level_name(v: VerifyLevel) -> &'static str {
+    match v {
+        VerifyLevel::Structural => "structural",
+        VerifyLevel::Semantic => "semantic",
+    }
+}
+
 fn bug_name(b: BugKind) -> &'static str {
     match b {
         BugKind::TranslatorWrongConstant => "translator_wrong_constant",
         BugKind::OptimizerBadFold => "optimizer_bad_fold",
         BugKind::CodegenDropStore => "codegen_drop_store",
+        BugKind::CodegenClobberPinnedReg => "codegen_clobber_pinned_reg",
     }
 }
 
@@ -105,6 +113,7 @@ fn write_tol(w: &mut JsonWriter, key: &str, t: &TolConfig) {
         }
     }
     w.field_str("verify", verify_name(t.verify));
+    w.field_str("verify_level", verify_level_name(t.verify_level));
     w.end_obj();
 }
 
@@ -263,6 +272,7 @@ fn parse_injection(v: &JsonValue, ctx: &str) -> Result<Option<Injection>, String
                     "translator_wrong_constant" => BugKind::TranslatorWrongConstant,
                     "optimizer_bad_fold" => BugKind::OptimizerBadFold,
                     "codegen_drop_store" => BugKind::CodegenDropStore,
+                    "codegen_clobber_pinned_reg" => BugKind::CodegenClobberPinnedReg,
                     other => return Err(format!("{ctx}: unknown bug kind `{other}`")),
                 })
             }
@@ -308,6 +318,13 @@ fn apply_tol(t: &mut TolConfig, v: &JsonValue, ctx: &str) -> Result<(), String> 
             "code_cache_words" => t.code_cache_words = want_u64(val, &ctx)? as usize,
             "sched" => apply_sched(&mut t.sched, val, &ctx)?,
             "injection" => t.injection = parse_injection(val, &ctx)?,
+            "verify_level" => {
+                t.verify_level = match want_str(val, &ctx)? {
+                    "structural" => VerifyLevel::Structural,
+                    "semantic" => VerifyLevel::Semantic,
+                    other => return Err(format!("{ctx}: unknown verify level `{other}`")),
+                }
+            }
             "verify" => {
                 t.verify = match want_str(val, &ctx)? {
                     "off" => VerifyMode::Off,
@@ -456,8 +473,9 @@ mod tests {
         c.tol.opt_level = OptLevel::O1;
         c.tol.speculation = false;
         c.tol.verify = VerifyMode::Report;
+        c.tol.verify_level = VerifyLevel::Semantic;
         c.tol.injection =
-            Some(Injection { kind: BugKind::OptimizerBadFold, translation_ordinal: 5 });
+            Some(Injection { kind: BugKind::CodegenClobberPinnedReg, translation_ordinal: 5 });
         c.validate_every = Some(10_000);
         c.sink = SinkChoice::OutOfOrder;
         c.timing = TimingConfig::narrow_ooo();

@@ -207,4 +207,128 @@ mod tests {
         let d = diagnose(&program(), &cfg_with(BugKind::OptimizerBadFold), 1_000_000);
         assert_eq!(d.stage, Stage::Optimizer, "{d:?}");
     }
+
+    // -- semantic translation validation (DESIGN.md §13) ---------------------
+
+    use darco_host::codegen::Backend;
+    use darco_tol::VerifyLevel;
+
+    /// Runs the program to completion (or until something panics).
+    fn run_full(cfg: TolConfig, backend: Backend) -> Machine {
+        let p = program();
+        let mut m = Machine::new(cfg, &p);
+        m.tol.set_backend(backend);
+        for _ in 0..1000 {
+            match m.run_to(m.insns() + 10_000, false, &mut NullSink) {
+                Ok(crate::machine::MachineEvent::Reached) => continue,
+                _ => break,
+            }
+        }
+        m
+    }
+
+    /// The planted bad fold is invisible to the structural verifier (the
+    /// `optimizer_bug_is_attributed_to_the_optimizer` test above only
+    /// finds it *dynamically*, by state divergence); the semantic
+    /// validator must reject it statically, before the broken
+    /// translation executes a single guest instruction, naming the
+    /// offending stage.
+    #[test]
+    #[should_panic(expected = "TOL static verification failed at stage `bbm-semantic`")]
+    fn semantic_validation_rejects_bad_fold_statically() {
+        let cfg = TolConfig {
+            verify_level: VerifyLevel::Semantic,
+            ..cfg_with(BugKind::OptimizerBadFold)
+        };
+        run_full(cfg, Backend::Emu);
+    }
+
+    /// Same plant, `Report` mode: the run completes (diverging
+    /// dynamically), but the divergence is on the verify log with the
+    /// injection context named.
+    #[test]
+    fn semantic_validation_reports_bad_fold_with_context() {
+        let cfg = TolConfig {
+            verify: darco_tol::VerifyMode::Report,
+            verify_level: VerifyLevel::Semantic,
+            ..cfg_with(BugKind::OptimizerBadFold)
+        };
+        let m = run_full(cfg, Backend::Emu);
+        assert!(m.tol.stats.verify_findings > 0);
+        assert!(
+            m.tol.verify_log.iter().any(|l| l.contains("bbm-semantic") && l.contains("optimizer")),
+            "log: {:?}",
+            m.tol.verify_log
+        );
+    }
+
+    /// A clean program sails through semantic validation — no findings,
+    /// every translation counted.
+    #[test]
+    fn semantic_validation_is_clean_on_a_correct_program() {
+        let cfg = TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 12,
+            verify_level: VerifyLevel::Semantic,
+            ..Default::default()
+        };
+        let m = run_full(cfg, Backend::Emu);
+        assert_eq!(m.tol.stats.verify_findings, 0, "log: {:?}", m.tol.verify_log);
+        assert!(m.tol.stats.translations_bb > 0);
+        assert!(m.tol.stats.verify_regions > 0);
+    }
+
+    /// A pinned-register clobber planted below the IR (into the emitted
+    /// x86-64 itself) is invisible to every IR-level verifier; the
+    /// machine-code checker rejects the fragment before it runs.
+    #[test]
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    #[should_panic(expected = "native code verification failed")]
+    fn native_checker_rejects_planted_register_clobber() {
+        let cfg = TolConfig {
+            verify_level: VerifyLevel::Semantic,
+            ..cfg_with(BugKind::CodegenClobberPinnedReg)
+        };
+        run_full(cfg, Backend::Native);
+    }
+
+    /// Same plant, `Report` mode: the clobber is dead code at run time,
+    /// so the run completes — but the finding is counted in the JIT
+    /// stats and surfaced on the TOL verify log.
+    #[test]
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn native_checker_reports_planted_clobber() {
+        let cfg = TolConfig {
+            verify: darco_tol::VerifyMode::Report,
+            verify_level: VerifyLevel::Semantic,
+            ..cfg_with(BugKind::CodegenClobberPinnedReg)
+        };
+        let m = run_full(cfg, Backend::Native);
+        let js = m.tol.jit_stats().expect("native backend active");
+        assert!(js.verify_fragments > 0);
+        assert!(js.verify_findings > 0, "clobber not found");
+        assert!(
+            m.tol.verify_log.iter().any(|l| l.contains("[native-code]") && l.contains("r15")),
+            "log: {:?}",
+            m.tol.verify_log
+        );
+    }
+
+    /// The checker under `Semantic`+`Fatal` accepts every legitimate
+    /// fragment a real workload compiles — a clean run is the strongest
+    /// regression against checker false positives.
+    #[test]
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn native_checker_accepts_all_legitimate_fragments() {
+        let cfg = TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 12,
+            verify_level: VerifyLevel::Semantic,
+            ..Default::default()
+        };
+        let m = run_full(cfg, Backend::Native);
+        let js = m.tol.jit_stats().expect("native backend active");
+        assert!(js.verify_fragments > 0, "nothing was compiled/checked");
+        assert_eq!(js.verify_findings, 0);
+    }
 }

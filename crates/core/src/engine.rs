@@ -456,6 +456,15 @@ impl Engine {
             reg.set_counter("jit.slow_mem_exits", j.slow_mem_exits);
             reg.set_counter("jit.exec_nanos", j.exec_nanos);
             reg.set_counter("jit.compile_nanos", j.compile_nanos);
+            reg.set_counter("jit.verify.fragments", j.verify_fragments);
+            reg.set_counter("jit.verify.findings", j.verify_findings);
+            reg.set_counter("jit.verify.nanos", j.verify_nanos);
+            for k in darco_host::codegen::CheckKind::ALL {
+                reg.set_counter(
+                    &format!("jit.verify.{}", k.name()),
+                    j.verify_by_kind[k.index()],
+                );
+            }
         }
         reg
     }

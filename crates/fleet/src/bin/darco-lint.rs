@@ -28,9 +28,10 @@
 
 use darco::machine::Machine;
 use darco_fleet::Pool;
+use darco_host::codegen::Backend;
 use darco_host::sink::NullSink;
 use darco_obs::{chrome, TraceEvent, Tracer};
-use darco_tol::{TolConfig, VerifyMode};
+use darco_tol::{TolConfig, VerifyLevel, VerifyMode};
 use darco_workloads::{benchmarks, kernels};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -49,6 +50,11 @@ fn usage() -> ! {
            --scale N/D      scale benchmark iteration counts (default 1/1)\n\
            --max-insns N    per-workload retired-instruction cap (default 20000000)\n\
            --no-spec        disable speculation (multi-exit superblocks)\n\
+           --semantic       symbolic per-pass translation validation on top\n\
+         \u{20}                of the structural checks (and, with the native\n\
+         \u{20}                backend, machine-code verification)\n\
+           --backend B      emu|native (default emu; native requires\n\
+         \u{20}                x86-64 Linux)\n\
            --jobs N         lint workloads on N pool workers (default:\n\
          \u{20}                available parallelism)\n\
            --trace[=]FILE   write all workloads' trace events (including\n\
@@ -75,10 +81,12 @@ fn lint_one(
     name: &str,
     program: darco_guest::GuestProgram,
     cfg: &TolConfig,
+    backend: Backend,
     cap: u64,
     trace: bool,
 ) -> (LintOutcome, Vec<TraceEvent>, String) {
     let mut m = Machine::new(cfg.clone(), &program);
+    m.tol.set_backend(backend);
     if trace {
         m.tol.obs.trace = Tracer::ring(LINT_TRACE_CAP);
     }
@@ -147,6 +155,7 @@ fn main() -> ExitCode {
         ..TolConfig::default()
     };
     let mut targets: Vec<String> = Vec::new();
+    let mut backend = Backend::Emu;
     let mut scale = (1u32, 1u32);
     let mut cap: u64 = 20_000_000;
     let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -186,6 +195,14 @@ fn main() -> ExitCode {
                 };
             }
             "--no-spec" => cfg.speculation = false,
+            "--semantic" => cfg.verify_level = VerifyLevel::Semantic,
+            "--backend" => {
+                i += 1;
+                backend = args
+                    .get(i)
+                    .and_then(|b| Backend::parse(b))
+                    .unwrap_or_else(|| usage());
+            }
             "--trace" => {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -220,7 +237,7 @@ fn main() -> ExitCode {
     let lint_cfg = cfg.clone();
     let results = pool.map(targets.clone(), move |_, target| {
         let program = build_target(target, scale).expect("targets validated above");
-        lint_one(target, program, &lint_cfg, cap, trace)
+        lint_one(target, program, &lint_cfg, backend, cap, trace)
     });
 
     let mut total = LintOutcome { regions: 0, findings: 0, verify_us: 0.0, failed: false };

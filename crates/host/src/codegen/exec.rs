@@ -13,8 +13,9 @@
 //! chain fragments directly in native code).
 
 use super::buffer::CodeBuffer;
+use super::check;
 use super::lower::{compile_fragment, Helpers};
-use super::{JitStats, MutationLog};
+use super::{CheckMode, JitStats, MutationLog};
 use crate::emu::{ExitCause, ExitInfo, HostEmulator, IbtcTable, ProfTable};
 use crate::insn::HInsn;
 use darco_guest::GuestMem;
@@ -652,6 +653,14 @@ pub struct NativeEngine {
     patched_ibtc: HashSet<usize>,
     /// Every live patch, for precise unpatching (cleared on reset).
     patches: Vec<PatchRec>,
+    /// Machine-code checking applied to every fragment before it may run
+    /// (DESIGN.md §13).
+    check_mode: CheckMode,
+    /// Findings queued under [`CheckMode::Report`], drained by the TOL.
+    pending_findings: Vec<String>,
+    /// Planted r15-clobber mutation: corrupt the N-th compiled fragment
+    /// (0-based) for debug-toolchain tests.
+    plant: Option<u64>,
     /// Backend counters (reported as `jit.*` metrics).
     pub stats: JitStats,
 }
@@ -691,8 +700,125 @@ impl NativeEngine {
             ctx: alloc_ctx(),
             patched_ibtc: HashSet::new(),
             patches: Vec::new(),
+            check_mode: CheckMode::Off,
+            pending_findings: Vec::new(),
+            plant: None,
             stats: JitStats::default(),
         }
+    }
+
+    /// Sets the machine-code checking mode for subsequently compiled
+    /// fragments and for patch re-validation.
+    pub fn set_verify(&mut self, mode: CheckMode) {
+        self.check_mode = mode;
+    }
+
+    /// Drains findings queued under [`CheckMode::Report`].
+    pub fn take_verify_findings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.pending_findings)
+    }
+
+    /// Plants a pinned-register clobber into the `ordinal`-th compiled
+    /// fragment (a `mov r15, r15` after the final `ret` — dead at run
+    /// time, forbidden statically).
+    pub fn plant_clobber(&mut self, ordinal: u64) {
+        self.plant = Some(ordinal);
+    }
+
+    fn helper_list() -> [usize; 9] {
+        let h = Self::helpers();
+        [
+            h.chkpt,
+            h.commit,
+            h.exit_commit,
+            h.count_trip,
+            h.rollback,
+            h.slow_load,
+            h.slow_store,
+            h.ibtc,
+            h.bl_routine,
+        ]
+    }
+
+    /// Records checker findings: counts them, and under `Fatal` panics
+    /// before the flagged code can ever execute. `what` names the checked
+    /// unit (a fragment or the patch set).
+    fn note_findings(&mut self, what: &str, findings: Vec<check::CheckFinding>) {
+        if findings.is_empty() {
+            return;
+        }
+        self.stats.verify_findings += findings.len() as u64;
+        for f in &findings {
+            self.stats.verify_by_kind[f.kind.index()] += 1;
+        }
+        let rendered: Vec<String> = findings.iter().map(|f| format!("{what} {f}")).collect();
+        if self.check_mode == CheckMode::Fatal {
+            panic!("native code verification failed for {what}:\n{}", rendered.join("\n"));
+        }
+        self.pending_findings.extend(rendered);
+    }
+
+    /// Re-validates every live patch after MutationLog-driven
+    /// invalidation: a chained rel32 must still sit inside a live
+    /// fragment and land exactly on its target fragment's entry, and an
+    /// open IBTC guard must still belong to a live fragment with a live
+    /// target. `invalidate_ranges` maintains exactly this, so a finding
+    /// here means patch bookkeeping was corrupted.
+    fn verify_patches(&mut self) {
+        let mut findings = Vec::new();
+        let live = |site: usize| {
+            self.frags.values().any(|f| site >= f.off && site < f.off + f.host_len)
+        };
+        for p in &self.patches {
+            match *p {
+                PatchRec::Direct { site, target } => {
+                    if !live(site) {
+                        findings.push(check::CheckFinding {
+                            kind: super::CheckKind::PatchTarget,
+                            off: site,
+                            msg: "chained jump site is not inside any live fragment".into(),
+                        });
+                        continue;
+                    }
+                    let Some(tf) = self.frags.get(&target) else {
+                        findings.push(check::CheckFinding {
+                            kind: super::CheckKind::PatchTarget,
+                            off: site,
+                            msg: format!("chained jump targets dropped fragment {target}"),
+                        });
+                        continue;
+                    };
+                    let rel = self.buf.read_u32(site) as i32;
+                    let lands = site as i64 + 4 + i64::from(rel);
+                    if lands != tf.off as i64 {
+                        findings.push(check::CheckFinding {
+                            kind: super::CheckKind::PatchTarget,
+                            off: site,
+                            msg: format!(
+                                "chained rel32 lands at {lands:#x}, not fragment {target}'s entry {:#x}",
+                                tf.off
+                            ),
+                        });
+                    }
+                }
+                PatchRec::Ibtc { guard, target, .. } => {
+                    if !live(guard) {
+                        findings.push(check::CheckFinding {
+                            kind: super::CheckKind::PatchTarget,
+                            off: guard,
+                            msg: "IBTC guard site is not inside any live fragment".into(),
+                        });
+                    } else if !self.frags.contains_key(&target) {
+                        findings.push(check::CheckFinding {
+                            kind: super::CheckKind::PatchTarget,
+                            off: guard,
+                            msg: format!("open IBTC guard targets dropped fragment {target}"),
+                        });
+                    }
+                }
+            }
+        }
+        self.note_findings("patch set", findings);
     }
 
     /// Drops every compiled fragment (the buffer is reclaimed wholesale).
@@ -788,8 +914,21 @@ impl NativeEngine {
         }
         let frag_base = self.buf.len();
         let tc = std::time::Instant::now();
-        let out = compile_fragment(arena, entry, frag_base, &Self::helpers());
+        let mut out = compile_fragment(arena, entry, frag_base, &Self::helpers());
         self.stats.compile_nanos += tc.elapsed().as_nanos() as u64;
+        if self.plant == Some(self.stats.frags_compiled) {
+            // `mov r15, r15` after the final `ret`: unreachable at run
+            // time, but a forbidden pinned-register write the checker
+            // must reject (BugKind::CodegenClobberPinnedReg).
+            out.bytes.extend_from_slice(&[0x4D, 0x89, 0xFF]);
+        }
+        if self.check_mode != CheckMode::Off {
+            let tv = std::time::Instant::now();
+            let findings = check::check_fragment(&out.bytes, &Self::helper_list());
+            self.stats.verify_nanos += tv.elapsed().as_nanos() as u64;
+            self.stats.verify_fragments += 1;
+            self.note_findings(&format!("fragment at arena entry {entry} (buffer offset {frag_base:#x})"), findings);
+        }
         let host_len = out.bytes.len();
         let off = self.buf.append(&out.bytes);
         debug_assert_eq!(off, frag_base);
@@ -826,6 +965,9 @@ impl NativeEngine {
                 None => self.invalidate_all(),
             }
             self.epoch = Some(epoch);
+            if self.check_mode != CheckMode::Off {
+                self.verify_patches();
+            }
         }
         self.stats.enters += 1;
 

@@ -28,6 +28,8 @@ use darco_guest::GuestMem;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod buffer;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod check;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod exec;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod lower;
@@ -72,6 +74,90 @@ impl Backend {
     }
 }
 
+/// How the machine-code checker ([`check`], DESIGN.md §13 stage 2) is
+/// applied to every compiled fragment before it can execute. The TOL maps
+/// its `verify`/`verify_level` configuration onto this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// No checking (structural verify level, or verification off).
+    #[default]
+    Off,
+    /// Check, count findings and queue them for
+    /// [`HostCodeGen::take_verify_findings`], but run the code anyway.
+    Report,
+    /// Check and panic on the first finding — unverified machine code
+    /// must never execute.
+    Fatal,
+}
+
+/// The invariant classes the machine-code checker proves, mirroring
+/// `darco_ir::InvariantKind` for the IR layer. Each gets a
+/// `jit.verify.*` observability counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Bytes that do not decode as the emitter's x86-64 subset.
+    Decode,
+    /// A write to a pinned/reserved host register (r15 ctx pointer, rsp).
+    RegDiscipline,
+    /// An indirect call not of the `mov rax, helper; call rax` shape or
+    /// to an address that is not a registered helper.
+    HelperCall,
+    /// A context access (`[r15 + disp]` or derived) outside the
+    /// `NativeCtx` layout.
+    CtxBounds,
+    /// A load/store through a pointer not proven to be the context, a
+    /// bounds-checked L0-TLB page pointer, or a profile table.
+    MemDiscipline,
+    /// A rel32 branch that does not land on an instruction boundary
+    /// inside the fragment.
+    BranchTarget,
+    /// A chain/IBTC patch whose site or target is not live compiled code
+    /// (checked again after mutation-driven invalidation).
+    PatchTarget,
+}
+
+impl CheckKind {
+    /// All kinds, in counter order.
+    pub const ALL: [CheckKind; 7] = [
+        CheckKind::Decode,
+        CheckKind::RegDiscipline,
+        CheckKind::HelperCall,
+        CheckKind::CtxBounds,
+        CheckKind::MemDiscipline,
+        CheckKind::BranchTarget,
+        CheckKind::PatchTarget,
+    ];
+
+    /// Stable index into [`JitStats::verify_by_kind`].
+    pub fn index(self) -> usize {
+        match self {
+            CheckKind::Decode => 0,
+            CheckKind::RegDiscipline => 1,
+            CheckKind::HelperCall => 2,
+            CheckKind::CtxBounds => 3,
+            CheckKind::MemDiscipline => 4,
+            CheckKind::BranchTarget => 5,
+            CheckKind::PatchTarget => 6,
+        }
+    }
+
+    /// Stable counter-name suffix (`jit.verify.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Decode => "decode",
+            CheckKind::RegDiscipline => "reg-discipline",
+            CheckKind::HelperCall => "helper-call",
+            CheckKind::CtxBounds => "ctx-bounds",
+            CheckKind::MemDiscipline => "mem-discipline",
+            CheckKind::BranchTarget => "branch-target",
+            CheckKind::PatchTarget => "patch-target",
+        }
+    }
+}
+
+/// Number of [`CheckKind`]s (size of [`JitStats::verify_by_kind`]).
+pub const CHECK_KIND_COUNT: usize = CheckKind::ALL.len();
+
 /// Counters the JIT maintains about itself (exposed as `jit.*` metrics).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct JitStats {
@@ -97,6 +183,15 @@ pub struct JitStats {
     pub exec_nanos: u64,
     /// Of `exec_nanos`, nanoseconds spent compiling fragments.
     pub compile_nanos: u64,
+    /// Fragments run through the machine-code checker.
+    pub verify_fragments: u64,
+    /// Total checker findings (sum of `verify_by_kind`).
+    pub verify_findings: u64,
+    /// Wall nanoseconds inside the machine-code checker (the `_nanos`
+    /// suffix keeps it out of determinism comparisons).
+    pub verify_nanos: u64,
+    /// Findings per [`CheckKind`], indexed by [`CheckKind::index`].
+    pub verify_by_kind: [u64; CHECK_KIND_COUNT],
 }
 
 /// Record of arena ranges whose already-installed words changed meaning
@@ -195,6 +290,22 @@ pub trait HostCodeGen: Send {
 
     /// Drops all compiled code (it is a pure cache).
     fn invalidate_all(&mut self);
+
+    /// Sets the machine-code checking mode applied to every fragment
+    /// before it may execute. Backends without a checker ignore it.
+    fn set_verify(&mut self, _mode: CheckMode) {}
+
+    /// Drains checker findings queued under [`CheckMode::Report`]
+    /// (empty under `Off`/`Fatal` — `Fatal` panics instead).
+    fn take_verify_findings(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Plants a pinned-register-clobber mutation (the TOL's
+    /// `CodegenClobberPinnedReg` injection) into the N-th compiled
+    /// fragment (0-based), for debug-toolchain tests. Backends without a
+    /// code buffer ignore it.
+    fn plant_clobber(&mut self, _ordinal: u64) {}
 }
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
@@ -220,6 +331,18 @@ impl HostCodeGen for NativeEngine {
 
     fn invalidate_all(&mut self) {
         NativeEngine::invalidate_all(self);
+    }
+
+    fn set_verify(&mut self, mode: CheckMode) {
+        NativeEngine::set_verify(self, mode);
+    }
+
+    fn take_verify_findings(&mut self) -> Vec<String> {
+        NativeEngine::take_verify_findings(self)
+    }
+
+    fn plant_clobber(&mut self, ordinal: u64) {
+        NativeEngine::plant_clobber(self, ordinal);
     }
 }
 

@@ -127,7 +127,7 @@ impl IrOp {
 }
 
 /// One IR instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Inst {
     /// The operation.
     pub op: IrOp,
@@ -144,6 +144,31 @@ pub struct Inst {
     pub spec: bool,
     /// Guest PC of the originating instruction (debug toolchain).
     pub guest_pc: u32,
+}
+
+impl Clone for Inst {
+    fn clone(&self) -> Inst {
+        Inst {
+            op: self.op,
+            dst: self.dst,
+            srcs: self.srcs.clone(),
+            seq: self.seq,
+            spec: self.spec,
+            guest_pc: self.guest_pc,
+        }
+    }
+
+    /// Reuses the existing `srcs` buffer (the derived fallback would
+    /// reallocate it); `Region::clone_from` leans on this for the
+    /// semantic validator's per-translation pristine copy.
+    fn clone_from(&mut self, src: &Inst) {
+        self.op = src.op;
+        self.dst = src.dst;
+        self.srcs.clone_from(&src.srcs);
+        self.seq = src.seq;
+        self.spec = src.spec;
+        self.guest_pc = src.guest_pc;
+    }
 }
 
 impl Inst {
@@ -310,7 +335,7 @@ pub struct EntryBindings {
 /// A translation region: a linear, single-entry sequence of IR
 /// instructions with side exits — a basic block (one exit) or a superblock
 /// (asserts, or multiple side exits after assert-failure recreation).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Region {
     /// The instructions, in program order (until the scheduler reorders).
     pub insts: Vec<Inst>,
@@ -321,6 +346,29 @@ pub struct Region {
     /// Guest PC of the region entry.
     pub guest_entry_pc: u32,
     classes: Vec<RegClass>,
+}
+
+// Manual impl so `clone_from` reuses the destination's buffers — the
+// semantic validator keeps a pristine copy of every region it checks,
+// and the recycled scratch makes that copy allocation-free.
+impl Clone for Region {
+    fn clone(&self) -> Region {
+        Region {
+            insts: self.insts.clone(),
+            exits: self.exits.clone(),
+            entry: self.entry.clone(),
+            guest_entry_pc: self.guest_entry_pc,
+            classes: self.classes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Region) {
+        self.insts.clone_from(&src.insts);
+        self.exits.clone_from(&src.exits);
+        self.entry.clone_from(&src.entry);
+        self.guest_entry_pc = src.guest_entry_pc;
+        self.classes.clone_from(&src.classes);
+    }
 }
 
 impl Region {

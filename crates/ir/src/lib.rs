@@ -36,11 +36,16 @@ pub mod ddg;
 pub mod ir;
 pub mod passes;
 pub mod sched;
+pub mod sym;
 pub mod verify;
 
 pub use codegen::{check_host_code, CodegenCtx, CodegenOut, ExitMeta};
 pub use ir::{EntryBindings, ExitDesc, ExitKind, FlagsKind, Inst, IrOp, RegClass, Region, VReg};
-pub use passes::{level_passes, run_passes, run_pipeline, OptLevel, Pass, PassStats, VerifyFailure};
+pub use passes::{
+    level_passes, run_passes, run_passes_validated, run_pipeline, run_pipeline_validated,
+    OptLevel, Pass, PassStats, VerifyFailure,
+};
+pub use sym::{check_equiv, summarize, try_summarize, RegionSummary, Term, TermId, TermPool};
 pub use verify::{
     register_kind_counters, verify_ddg, verify_region, InvariantKind, VerifyReport, KIND_COUNT,
 };

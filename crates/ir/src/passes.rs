@@ -132,6 +132,63 @@ pub fn run_pipeline(region: &mut Region, level: OptLevel) -> PassStats {
     }
 }
 
+/// Runs a pass sequence under **semantic translation validation**
+/// (DESIGN.md §13): the region is summarized symbolically before the
+/// first pass, re-summarized and compared after *every* pass, so a
+/// semantics-changing rewrite — one the structural verifier cannot see,
+/// like a miscompiled constant — is pinned on the pass that introduced
+/// it. The structural verify-each check also runs when `verify_each` is
+/// set, exactly as in [`run_passes`].
+pub fn run_passes_validated(
+    region: &mut Region,
+    passes: &[Box<dyn Pass>],
+    verify_each: bool,
+) -> Result<PassStats, Box<VerifyFailure>> {
+    let mut stats = PassStats::default();
+    let check = |region: &Region, pass: &'static str, stats: &mut PassStats| {
+        stats.verifies += 1;
+        let report = crate::verify::verify_region(region);
+        if report.is_ok() {
+            Ok(())
+        } else {
+            Err(Box::new(VerifyFailure { pass, report }))
+        }
+    };
+    if verify_each {
+        check(region, "<input>", &mut stats)?;
+    }
+    let mut pool = crate::sym::TermPool::new();
+    let baseline = crate::sym::try_summarize(region, &mut pool, "<input>")
+        .map_err(|report| Box::new(VerifyFailure { pass: "<input>", report }))?;
+    for p in passes {
+        stats.absorb(p.run(region));
+        if verify_each {
+            check(region, p.name(), &mut stats)?;
+        }
+        stats.verifies += 1;
+        let after = crate::sym::try_summarize(region, &mut pool, p.name())
+            .map_err(|report| Box::new(VerifyFailure { pass: p.name(), report }))?;
+        let report = crate::sym::check_equiv(&pool, &baseline, &after, p.name());
+        if !report.is_ok() {
+            return Err(Box::new(VerifyFailure { pass: p.name(), report }));
+        }
+    }
+    Ok(stats)
+}
+
+/// [`run_pipeline`], but with per-pass semantic validation (see
+/// [`run_passes_validated`]).
+///
+/// # Errors
+/// Returns the failure naming the offending pass when a pass breaks an
+/// IR invariant or changes the region's guest-observable semantics.
+pub fn run_pipeline_validated(
+    region: &mut Region,
+    level: OptLevel,
+) -> Result<PassStats, Box<VerifyFailure>> {
+    run_passes_validated(region, &level_passes(level), cfg!(debug_assertions))
+}
+
 // ---------------------------------------------------------------------------
 
 /// Constant folding (and constant propagation: operands are resolved
@@ -419,7 +476,7 @@ pub fn guest_sub_flags(a: u32, b: u32) -> Flags {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::ir::{ExitDesc, ExitKind, RegClass};
 
@@ -604,8 +661,9 @@ mod tests {
     }
 
     /// Builds a random (but well-formed) region mixing pure work with
-    /// side-effecting stores, asserts and side exits.
-    fn random_region(seed: u64) -> Region {
+    /// side-effecting stores, asserts and side exits. Also exercised by
+    /// the `sym` module's no-false-positive test.
+    pub(crate) fn random_region(seed: u64) -> Region {
         use darco_guest::prng::{Rng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut r = Region::new(0x8000);

@@ -1,0 +1,1090 @@
+//! Symbolic translation validation (DESIGN.md §13, stage 1).
+//!
+//! A region freshly built by the translator is a direct, syntactic
+//! rendering of the guest block — it *is* the reference semantics. Every
+//! optimization pass must preserve the guest-observable meaning of that
+//! region: the conditions of its speculation asserts, and at every exit
+//! the full guest state (GPRs, FPRs, flags — materialized or deferred —
+//! the indirect target, retire count) plus the contents of guest memory.
+//!
+//! This module normalizes a region into exactly that observable summary:
+//! every value becomes a node in a hash-consed *term DAG* rooted at the
+//! region's entry bindings and at the initial memory state, with memory
+//! modeled as a store chain (`Store(addr, val, mem)`). Normalization
+//! applies the same folds as the [`crate::passes::ConstFold`] pass (via
+//! the identical `eval_halu`/`eval_falu`/`softfp` evaluators, and with
+//! the same divide-by-zero exclusion), so a region before and after a
+//! *correct* pass reduces to the same terms, while a miscompiled constant
+//! or a dropped/reordered effect shows up as a term mismatch.
+//!
+//! [`summarize`] produces the ordered event list (asserts and exits, in
+//! program order — the scalar pass pipeline never reorders them), and
+//! [`check_equiv`] diffs two summaries interned in the same [`TermPool`],
+//! reporting each divergence as an
+//! [`InvariantKind::SemanticDivergence`] finding. The DDG memory phase
+//! and the list scheduler intentionally reorder memory operations under
+//! their own alias-analysis contract; they are cross-checked by
+//! [`crate::verify::verify_ddg`] instead and are outside this module's
+//! scope.
+
+use crate::ir::{ExitKind, FlagsKind, IrOp, Region, VReg};
+use crate::verify::{Finding, InvariantKind, VerifyReport};
+use darco_guest::Width;
+use darco_host::emu::{eval_falu, eval_halu};
+use darco_host::{FAluOp, FCmpOp, FUnOp2, HAluOp};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+/// FxHash-style multiplicative hasher for the intern memo. Terms are
+/// interned once per instruction on the translation hot path (DESIGN.md
+/// §13 meters semantic validation against a share-of-translation-time
+/// budget), and the default SipHash dominates that profile.
+#[derive(Default)]
+struct TermHasher(u64);
+
+impl Hasher for TermHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(26);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A node in the term DAG (index into the owning [`TermPool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+/// Term-level address analysis result (mirror of
+/// [`crate::ddg::AddrExpr`], with the root as a term instead of a vreg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TAddr {
+    /// Compile-time constant address.
+    Const(u32),
+    /// `root + off`.
+    Affine { root: TermId, off: i64 },
+    /// Not analyzable (mirror of the DDG's chain-length cap).
+    Unknown,
+}
+
+/// Term-level alias relation (mirror of [`crate::ddg::Alias`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TAlias {
+    No,
+    Must,
+    May,
+}
+
+/// A normalized symbolic value. FP values are carried by bit pattern so
+/// NaN payloads survive, exactly as in [`IrOp::ConstF`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Integer constant.
+    IConst(u32),
+    /// FP constant (bit pattern).
+    FConst(u64),
+    /// Guest GPR `i` at region entry.
+    EntryGpr(u8),
+    /// Guest FPR `i` at region entry.
+    EntryFpr(u8),
+    /// Guest flag `i` (CF, ZF, SF, OF, PF) at region entry.
+    EntryFlag(u8),
+    /// Guest memory at region entry.
+    InitMem,
+    /// Integer ALU op; `b` is `None` for unary host ops.
+    Alu(HAluOp, TermId, Option<TermId>),
+    /// FP ALU op.
+    FAlu(FAluOp, TermId, TermId),
+    /// FP unary op.
+    FUn(FUnOp2, TermId),
+    /// FP compare producing 0/1.
+    FCmp(FCmpOp, TermId, TermId),
+    /// i32 → f64.
+    CvtIF(TermId),
+    /// f64 → i32 (truncating).
+    CvtFI(TermId),
+    /// Architectural soft-float sine.
+    FSin(TermId),
+    /// Architectural soft-float cosine.
+    FCos(TermId),
+    /// Integer load from `addr` out of memory state `mem`.
+    Load { width: Width, sign: bool, addr: TermId, mem: TermId },
+    /// f64 load.
+    LoadF { addr: TermId, mem: TermId },
+    /// Memory state after an integer store into `mem`.
+    Store { width: Width, addr: TermId, val: TermId, mem: TermId },
+    /// Memory state after an f64 store.
+    StoreF { addr: TermId, val: TermId, mem: TermId },
+}
+
+/// Hash-consing pool: structurally equal (post-normalization) terms get
+/// the same [`TermId`], so semantic equivalence of two summaries built in
+/// the same pool is plain id equality.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    memo: HashMap<Term, TermId, BuildHasherDefault<TermHasher>>,
+    /// Cached address analysis per term (same index as `terms`), with
+    /// the add/sub-chain depth that the analysis consumed. Computed once
+    /// at intern time so [`Self::look_through`] resolves each store in a
+    /// chain in O(1) instead of re-walking address chains per load.
+    taddrs: Vec<(TAddr, u8)>,
+    /// Recycled [`summarize`] working buffers (vreg→term map, liveness
+    /// bits) — terms are closed expressions over a region's entry state,
+    /// so one pool serves many regions back to back and the summarizer's
+    /// only per-region allocation is its event list.
+    scratch_val: Vec<Option<TermId>>,
+    scratch_live: Vec<bool>,
+    scratch_live_inst: Vec<bool>,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> TermPool {
+        TermPool::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Empties the pool, keeping its allocations — every outstanding
+    /// [`TermId`] is invalidated. Lets a caller that validates many
+    /// regions in sequence pay the table allocations once.
+    pub fn clear(&mut self) {
+        self.terms.clear();
+        self.memo.clear();
+        self.taddrs.clear();
+    }
+
+    /// The term behind an id.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Interns a term, folding constants first (see [`Self::normalize`]).
+    pub fn intern(&mut self, t: Term) -> TermId {
+        let t = self.normalize(t);
+        if let Some(&id) = self.memo.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        let ta = self.compute_taddr(&t, id);
+        self.terms.push(t);
+        self.taddrs.push(ta);
+        self.memo.insert(t, id);
+        id
+    }
+
+    /// Pre-sizes the pool for roughly `n` more interns (one per
+    /// instruction is the summarizer's upper bound), so a summary does
+    /// not rehash the memo mid-region.
+    pub fn reserve(&mut self, n: usize) {
+        self.terms.reserve(n);
+        self.memo.reserve(n);
+        self.taddrs.reserve(n);
+    }
+
+    fn iconst_of(&self, id: TermId) -> Option<u32> {
+        match self.terms[id.0 as usize] {
+            Term::IConst(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Term-level mirror of [`crate::ddg::addr_expr`]: resolves an
+    /// address term to `root + offset` (or a constant) by following
+    /// add/sub-constant chains. Must agree with the DDG's analysis so
+    /// the normalizer forwards exactly the loads `memory_opt` forwards.
+    ///
+    /// Computed bottom-up at intern time — a chain term extends its
+    /// child's cached result by one step, preserving the iterative
+    /// walk's 64-step cap via the recorded depth.
+    fn compute_taddr(&self, t: &Term, self_id: TermId) -> (TAddr, u8) {
+        let extend = |child: TermId, delta: i64| -> (TAddr, u8) {
+            let (ta, d) = self.taddrs[child.0 as usize];
+            let nd = d.saturating_add(1);
+            if nd > 64 {
+                return (TAddr::Unknown, nd);
+            }
+            let ta = match ta {
+                TAddr::Const(c) => TAddr::Const((c as i64 + delta) as u32),
+                TAddr::Affine { root, off } => TAddr::Affine { root, off: off + delta },
+                TAddr::Unknown => TAddr::Unknown,
+            };
+            (ta, nd)
+        };
+        match *t {
+            Term::IConst(c) => (TAddr::Const(c), 1),
+            Term::Alu(HAluOp::Add, a, Some(b)) => {
+                if let Some(c) = self.iconst_of(b) {
+                    extend(a, c as i32 as i64)
+                } else if let Some(c) = self.iconst_of(a) {
+                    extend(b, c as i32 as i64)
+                } else {
+                    (TAddr::Affine { root: self_id, off: 0 }, 1)
+                }
+            }
+            Term::Alu(HAluOp::Sub, a, Some(b)) => {
+                if let Some(c) = self.iconst_of(b) {
+                    extend(a, -(c as i32 as i64))
+                } else {
+                    (TAddr::Affine { root: self_id, off: 0 }, 1)
+                }
+            }
+            _ => (TAddr::Affine { root: self_id, off: 0 }, 1),
+        }
+    }
+
+    /// The cached address analysis of an interned term.
+    fn taddr(&self, t: TermId) -> TAddr {
+        self.taddrs[t.0 as usize].0
+    }
+
+    /// Term-level mirror of [`crate::ddg::alias`].
+    fn talias(&self, a: TAddr, abytes: u8, b: TAddr, bbytes: u8) -> TAlias {
+        let ranges = |x: TAddr, n: u8| -> Option<(i64, i64, Option<TermId>)> {
+            match x {
+                TAddr::Const(c) => Some((c as i64, c as i64 + n as i64, None)),
+                TAddr::Affine { root, off } => Some((off, off + n as i64, Some(root))),
+                TAddr::Unknown => None,
+            }
+        };
+        match (ranges(a, abytes), ranges(b, bbytes)) {
+            (Some((alo, ahi, ra)), Some((blo, bhi, rb))) if ra == rb => {
+                if alo < bhi && blo < ahi {
+                    TAlias::Must
+                } else {
+                    TAlias::No
+                }
+            }
+            _ => TAlias::May,
+        }
+    }
+
+    /// Resolves the memory state a load at `addr`/`bytes` actually
+    /// observes: walks the store chain looking through provably-disjoint
+    /// stores, and — for full-width accesses at a provably-identical
+    /// address — forwards the stored value itself. This is the semantic
+    /// model of [`crate::ddg::memory_opt`]'s store-to-load forwarding
+    /// and redundant-load elimination (two loads that look through to
+    /// the same memory state intern to the same term), so the DDG memory
+    /// phase validates like any other pass instead of forcing a
+    /// re-baseline.
+    fn look_through(
+        &self,
+        addr: TermId,
+        bytes: u8,
+        is_fp: bool,
+        mut mem: TermId,
+    ) -> Result<TermId, TermId> {
+        let la = self.taddr(addr);
+        let forwardable = bytes == 4 || bytes == 8;
+        loop {
+            let (sa, sbytes, val, next, s_fp) = match self.terms[mem.0 as usize] {
+                Term::Store { width, addr, val, mem } => {
+                    (addr, width.bytes() as u8, val, mem, false)
+                }
+                Term::StoreF { addr, val, mem } => (addr, 8, val, mem, true),
+                _ => return Err(mem),
+            };
+            let ta = self.taddr(sa);
+            if forwardable
+                && is_fp == s_fp
+                && bytes == sbytes
+                && ta != TAddr::Unknown
+                && ta == la
+            {
+                return Ok(val);
+            }
+            match self.talias(la, bytes, ta, sbytes) {
+                TAlias::No => mem = next,
+                TAlias::Must | TAlias::May => return Err(mem),
+            }
+        }
+    }
+
+    fn fconst_of(&self, id: TermId) -> Option<u64> {
+        match self.terms[id.0 as usize] {
+            Term::FConst(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Applies exactly the folds [`crate::passes::ConstFold`] performs, so
+    /// a folded and an unfolded region reduce to identical terms. Division
+    /// is never folded (a guest divide-by-zero must fault at runtime, not
+    /// be judged at validation time), mirroring the pass.
+    fn normalize(&self, t: Term) -> Term {
+        match t {
+            Term::Alu(op, a, b) => {
+                if matches!(op, HAluOp::Div | HAluOp::Rem) {
+                    return t;
+                }
+                match (self.iconst_of(a), b.map(|b| self.iconst_of(b))) {
+                    (Some(a), Some(Some(b))) => Term::IConst(eval_halu(op, a, b)),
+                    (Some(a), None) => Term::IConst(eval_halu(op, a, 0)),
+                    _ => t,
+                }
+            }
+            Term::FAlu(op, a, b) => match (self.fconst_of(a), self.fconst_of(b)) {
+                (Some(a), Some(b)) => Term::FConst(
+                    eval_falu(op, f64::from_bits(a), f64::from_bits(b)).to_bits(),
+                ),
+                _ => t,
+            },
+            Term::FUn(op, a) => match self.fconst_of(a) {
+                Some(a) => {
+                    let a = f64::from_bits(a);
+                    let r = match op {
+                        FUnOp2::Mov => a,
+                        FUnOp2::Sqrt => a.sqrt(),
+                        FUnOp2::Abs => a.abs(),
+                        FUnOp2::Neg => -a,
+                    };
+                    Term::FConst(r.to_bits())
+                }
+                None => t,
+            },
+            Term::FCmp(op, a, b) => match (self.fconst_of(a), self.fconst_of(b)) {
+                (Some(a), Some(b)) => {
+                    let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+                    let v = match op {
+                        FCmpOp::Lt => a < b,
+                        FCmpOp::Le => a <= b,
+                        FCmpOp::Eq => a == b,
+                        FCmpOp::Unord => a.is_nan() || b.is_nan(),
+                    };
+                    Term::IConst(v as u32)
+                }
+                _ => t,
+            },
+            Term::CvtIF(a) => match self.iconst_of(a) {
+                Some(a) => Term::FConst(((a as i32) as f64).to_bits()),
+                None => t,
+            },
+            Term::CvtFI(a) => match self.fconst_of(a) {
+                Some(a) => Term::IConst(f64::from_bits(a) as i32 as u32),
+                None => t,
+            },
+            Term::FSin(a) => match self.fconst_of(a) {
+                Some(a) => {
+                    Term::FConst(darco_guest::softfp::sin_spec(f64::from_bits(a)).to_bits())
+                }
+                None => t,
+            },
+            Term::FCos(a) => match self.fconst_of(a) {
+                Some(a) => {
+                    Term::FConst(darco_guest::softfp::cos_spec(f64::from_bits(a)).to_bits())
+                }
+                None => t,
+            },
+            Term::Load { width, sign, addr, mem } => {
+                match self.look_through(addr, width.bytes() as u8, false, mem) {
+                    // A full-width load of the value just stored is that
+                    // value (32-bit extend of a 32-bit value is identity).
+                    Ok(val) => self.terms[val.0 as usize],
+                    Err(mem) => Term::Load { width, sign, addr, mem },
+                }
+            }
+            Term::LoadF { addr, mem } => match self.look_through(addr, 8, true, mem) {
+                Ok(val) => self.terms[val.0 as usize],
+                Err(mem) => Term::LoadF { addr, mem },
+            },
+            _ => t,
+        }
+    }
+
+    /// Renders a term for findings, depth-capped so messages stay short.
+    pub fn render(&self, id: TermId) -> String {
+        let mut out = String::new();
+        self.render_into(id, 3, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: TermId, depth: u8, out: &mut String) {
+        use std::fmt::Write as _;
+        if depth == 0 {
+            let _ = write!(out, "t{}", id.0);
+            return;
+        }
+        let d = depth - 1;
+        match &self.terms[id.0 as usize] {
+            Term::IConst(v) => {
+                let _ = write!(out, "{v:#x}");
+            }
+            Term::FConst(v) => {
+                let _ = write!(out, "{}f", f64::from_bits(*v));
+            }
+            Term::EntryGpr(i) => {
+                let _ = write!(out, "gpr{i}");
+            }
+            Term::EntryFpr(i) => {
+                let _ = write!(out, "fpr{i}");
+            }
+            Term::EntryFlag(i) => {
+                let _ = write!(out, "flag{i}");
+            }
+            Term::InitMem => out.push_str("mem0"),
+            Term::Alu(op, a, b) => {
+                let _ = write!(out, "{op:?}(");
+                self.render_into(*a, d, out);
+                if let Some(b) = b {
+                    out.push(',');
+                    self.render_into(*b, d, out);
+                }
+                out.push(')');
+            }
+            Term::FAlu(op, a, b) => {
+                let _ = write!(out, "{op:?}(");
+                self.render_into(*a, d, out);
+                out.push(',');
+                self.render_into(*b, d, out);
+                out.push(')');
+            }
+            Term::FUn(op, a) => {
+                let _ = write!(out, "{op:?}(");
+                self.render_into(*a, d, out);
+                out.push(')');
+            }
+            Term::FCmp(op, a, b) => {
+                let _ = write!(out, "FCmp{op:?}(");
+                self.render_into(*a, d, out);
+                out.push(',');
+                self.render_into(*b, d, out);
+                out.push(')');
+            }
+            Term::CvtIF(a) => {
+                out.push_str("i2f(");
+                self.render_into(*a, d, out);
+                out.push(')');
+            }
+            Term::CvtFI(a) => {
+                out.push_str("f2i(");
+                self.render_into(*a, d, out);
+                out.push(')');
+            }
+            Term::FSin(a) => {
+                out.push_str("sin(");
+                self.render_into(*a, d, out);
+                out.push(')');
+            }
+            Term::FCos(a) => {
+                out.push_str("cos(");
+                self.render_into(*a, d, out);
+                out.push(')');
+            }
+            Term::Load { addr, mem, .. } | Term::LoadF { addr, mem } => {
+                out.push_str("load(");
+                self.render_into(*addr, d, out);
+                out.push(',');
+                self.render_into(*mem, d, out);
+                out.push(')');
+            }
+            Term::Store { addr, val, mem, .. } | Term::StoreF { addr, val, mem } => {
+                out.push_str("store(");
+                self.render_into(*addr, d, out);
+                out.push(',');
+                self.render_into(*val, d, out);
+                out.push(',');
+                self.render_into(*mem, d, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// The guest-observable state published at one exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExitState {
+    /// Exit target kind (compared verbatim: a changed chain target is a
+    /// semantic change).
+    pub kind: ExitKind,
+    /// Indirect-target value.
+    pub indirect: Option<TermId>,
+    /// Guest GPR values (`None` = unchanged since entry).
+    pub gprs: [Option<TermId>; 8],
+    /// Guest FPR values.
+    pub fprs: [Option<TermId>; 8],
+    /// Materialized guest flags.
+    pub flags: [Option<TermId>; 5],
+    /// Deferred flag descriptor with its operand values.
+    pub deferred: Option<(FlagsKind, TermId, TermId)>,
+    /// Guest instructions retired on this path.
+    pub gcnt: u16,
+    /// Profile counter bumped on this exit.
+    pub count_idx: Option<u32>,
+    /// Guest memory at this exit (store-chain term).
+    pub mem: TermId,
+}
+
+/// One guest-observable event of a region, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A speculation assert: rolls back when `cond` does not match
+    /// `expect_nz` — the condition value is architecturally observable
+    /// (it decides whether this execution commits).
+    Assert {
+        /// Polarity, as in [`IrOp::Assert`].
+        expect_nz: bool,
+        /// The asserted condition.
+        cond: TermId,
+    },
+    /// A region exit: conditional (`cond` non-`None`, for `ExitIf`) or
+    /// the unconditional terminator.
+    Exit {
+        /// Exit-taken condition; `None` for `ExitAlways`.
+        cond: Option<TermId>,
+        /// Published guest state.
+        state: Box<ExitState>,
+    },
+}
+
+/// The normalized guest-observable meaning of a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Region entry PC.
+    pub guest_entry_pc: u32,
+    /// Asserts and exits, in program order.
+    pub events: Vec<Event>,
+}
+
+/// Normalizes `region` into its observable event summary, interning all
+/// values in `pool`.
+///
+/// # Errors
+/// Returns the offending vreg and instruction index when a value has no
+/// derivable term (use of an undefined vreg — the structural verifier
+/// reports the same defect as `use-before-def`).
+pub fn summarize(region: &Region, pool: &mut TermPool) -> Result<RegionSummary, (VReg, usize)> {
+    pool.reserve(region.insts.len() + 8);
+    // Backward liveness from the observable events (stores, asserts,
+    // exits): values that never reach an event cannot appear in the
+    // summary, so their instructions are skipped outright below. The
+    // pre-optimization region carries dead code (flag materializations
+    // that DCE later removes), and one boolean sweep here is cheaper
+    // than interning terms for it.
+    let mut live = std::mem::take(&mut pool.scratch_live);
+    live.clear();
+    live.resize(region.vreg_count(), false);
+    let mut live_inst = std::mem::take(&mut pool.scratch_live_inst);
+    live_inst.clear();
+    live_inst.resize(region.insts.len(), false);
+    for (idx, inst) in region.insts.iter().enumerate().rev() {
+        let effect = matches!(
+            inst.op,
+            IrOp::Store { .. }
+                | IrOp::StoreF
+                | IrOp::Assert { .. }
+                | IrOp::ExitIf { .. }
+                | IrOp::ExitAlways { .. }
+        );
+        let mut needed = effect;
+        if let Some(d) = inst.dst {
+            if let Some(slot) = live.get_mut(d.0 as usize) {
+                if *slot {
+                    needed = true;
+                    *slot = false;
+                }
+            }
+        }
+        if !needed {
+            continue;
+        }
+        live_inst[idx] = true;
+        for &s in &inst.srcs {
+            if let Some(slot) = live.get_mut(s.0 as usize) {
+                *slot = true;
+            }
+        }
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            if let Some(e) = region.exits.get(exit) {
+                for u in e.used_vregs_iter() {
+                    if let Some(slot) = live.get_mut(u.0 as usize) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+    }
+    // Dense vreg → term map: vregs are small consecutive indices, and a
+    // hash map here dominates the summarizer's profile.
+    let mut val = std::mem::take(&mut pool.scratch_val);
+    val.clear();
+    val.resize(region.vreg_count(), None);
+    let result = eval_events(region, pool, &mut val, &live_inst);
+    pool.scratch_val = val;
+    pool.scratch_live = live;
+    pool.scratch_live_inst = live_inst;
+    result.map(|events| RegionSummary { guest_entry_pc: region.guest_entry_pc, events })
+}
+
+/// The forward evaluation behind [`summarize`]: interns a term per live
+/// instruction and collects the observable events. Split out so the
+/// caller can return the recycled scratch buffers to the pool on both
+/// the success and the error path.
+fn eval_events(
+    region: &Region,
+    pool: &mut TermPool,
+    val: &mut Vec<Option<TermId>>,
+    live_inst: &[bool],
+) -> Result<Vec<Event>, (VReg, usize)> {
+    let bind = |val: &mut Vec<Option<TermId>>, v: VReg, t: TermId| {
+        if let Some(slot) = val.get_mut(v.0 as usize) {
+            *slot = Some(t);
+        }
+    };
+    for (i, v) in region.entry.gprs.iter().enumerate() {
+        if let Some(v) = *v {
+            let t = pool.intern(Term::EntryGpr(i as u8));
+            bind(val, v, t);
+        }
+    }
+    for (i, v) in region.entry.fprs.iter().enumerate() {
+        if let Some(v) = *v {
+            let t = pool.intern(Term::EntryFpr(i as u8));
+            bind(val, v, t);
+        }
+    }
+    for (i, v) in region.entry.flags.iter().enumerate() {
+        if let Some(v) = *v {
+            let t = pool.intern(Term::EntryFlag(i as u8));
+            bind(val, v, t);
+        }
+    }
+    let mut mem = pool.intern(Term::InitMem);
+    let mut events = Vec::new();
+    for (idx, inst) in region.insts.iter().enumerate() {
+        if !live_inst[idx] {
+            continue;
+        }
+        let arg = |val: &[Option<TermId>], n: usize| -> Result<TermId, (VReg, usize)> {
+            let v = *inst.srcs.get(n).ok_or((VReg(u32::MAX), idx))?;
+            val.get(v.0 as usize).copied().flatten().ok_or((v, idx))
+        };
+        let term = match inst.op {
+            IrOp::ConstI(v) => Some(Term::IConst(v)),
+            IrOp::ConstF(v) => Some(Term::FConst(v)),
+            IrOp::Copy => {
+                let t = arg(val, 0)?;
+                if let Some(d) = inst.dst {
+                    bind(val, d, t);
+                }
+                continue;
+            }
+            IrOp::Alu(op) => {
+                let a = arg(val, 0)?;
+                let b = if inst.srcs.len() > 1 { Some(arg(val, 1)?) } else { None };
+                Some(Term::Alu(op, a, b))
+            }
+            IrOp::FAlu(op) => Some(Term::FAlu(op, arg(val, 0)?, arg(val, 1)?)),
+            IrOp::FUn(op) => Some(Term::FUn(op, arg(val, 0)?)),
+            IrOp::FCmp(op) => Some(Term::FCmp(op, arg(val, 0)?, arg(val, 1)?)),
+            IrOp::CvtIF => Some(Term::CvtIF(arg(val, 0)?)),
+            IrOp::CvtFI => Some(Term::CvtFI(arg(val, 0)?)),
+            IrOp::FSin => Some(Term::FSin(arg(val, 0)?)),
+            IrOp::FCos => Some(Term::FCos(arg(val, 0)?)),
+            IrOp::Load { width, sign } => {
+                Some(Term::Load { width, sign, addr: arg(val, 0)?, mem })
+            }
+            IrOp::LoadF => Some(Term::LoadF { addr: arg(val, 0)?, mem }),
+            IrOp::Store { width } => {
+                mem = pool.intern(Term::Store {
+                    width,
+                    addr: arg(val, 0)?,
+                    val: arg(val, 1)?,
+                    mem,
+                });
+                continue;
+            }
+            IrOp::StoreF => {
+                mem = pool.intern(Term::StoreF {
+                    addr: arg(val, 0)?,
+                    val: arg(val, 1)?,
+                    mem,
+                });
+                continue;
+            }
+            IrOp::Assert { expect_nz } => {
+                events.push(Event::Assert { expect_nz, cond: arg(val, 0)? });
+                continue;
+            }
+            IrOp::ExitIf { exit } => {
+                let cond = Some(arg(val, 0)?);
+                let state = exit_state(region, exit, val, mem, idx)?;
+                events.push(Event::Exit { cond, state: Box::new(state) });
+                continue;
+            }
+            IrOp::ExitAlways { exit } => {
+                let state = exit_state(region, exit, val, mem, idx)?;
+                events.push(Event::Exit { cond: None, state: Box::new(state) });
+                continue;
+            }
+        };
+        if let (Some(t), Some(d)) = (term, inst.dst) {
+            let id = pool.intern(t);
+            bind(val, d, id);
+        }
+    }
+    Ok(events)
+}
+
+fn exit_state(
+    region: &Region,
+    exit: usize,
+    val: &[Option<TermId>],
+    mem: TermId,
+    inst_idx: usize,
+) -> Result<ExitState, (VReg, usize)> {
+    let e = region.exits.get(exit).ok_or((VReg(u32::MAX), inst_idx))?;
+    let lookup =
+        |v: VReg| -> Option<TermId> { val.get(v.0 as usize).copied().flatten() };
+    let resolve = |v: Option<VReg>| -> Result<Option<TermId>, (VReg, usize)> {
+        match v {
+            None => Ok(None),
+            Some(v) => lookup(v).map(Some).ok_or((v, inst_idx)),
+        }
+    };
+    let mut gprs = [None; 8];
+    let mut fprs = [None; 8];
+    let mut flags = [None; 5];
+    for (slot, src) in gprs.iter_mut().zip(e.gprs) {
+        *slot = resolve(src)?;
+    }
+    for (slot, src) in fprs.iter_mut().zip(e.fprs) {
+        *slot = resolve(src)?;
+    }
+    for (slot, src) in flags.iter_mut().zip(e.flags) {
+        *slot = resolve(src)?;
+    }
+    let deferred = match e.deferred {
+        None => None,
+        Some((k, a, b)) => {
+            let a = lookup(a).ok_or((a, inst_idx))?;
+            let b = lookup(b).ok_or((b, inst_idx))?;
+            Some((k, a, b))
+        }
+    };
+    Ok(ExitState {
+        kind: e.kind,
+        indirect: resolve(e.indirect_target)?,
+        gprs,
+        fprs,
+        flags,
+        deferred,
+        gcnt: e.gcnt,
+        count_idx: e.count_idx,
+        mem,
+    })
+}
+
+fn diff_term(pool: &TermPool, what: &str, a: TermId, b: TermId, out: &mut Vec<String>) {
+    if a != b {
+        out.push(format!("{what}: {} != {}", pool.render(a), pool.render(b)));
+    }
+}
+
+fn diff_opt(pool: &TermPool, what: &str, a: Option<TermId>, b: Option<TermId>, out: &mut Vec<String>) {
+    match (a, b) {
+        (Some(a), Some(b)) => diff_term(pool, what, a, b, out),
+        (None, None) => {}
+        (Some(a), None) => out.push(format!("{what}: {} != <unchanged>", pool.render(a))),
+        (None, Some(b)) => out.push(format!("{what}: <unchanged> != {}", pool.render(b))),
+    }
+}
+
+/// Compares two summaries interned in the same `pool` and reports every
+/// divergence as an [`InvariantKind::SemanticDivergence`] finding.
+/// `context` names the producer of `after` (the offending pass or
+/// pipeline stage) and is embedded in each finding's message.
+pub fn check_equiv(
+    pool: &TermPool,
+    before: &RegionSummary,
+    after: &RegionSummary,
+    context: &str,
+) -> VerifyReport {
+    let mut rep =
+        VerifyReport { region_pc: before.guest_entry_pc, findings: Vec::new() };
+    let mut fail = |message: String| {
+        rep.findings.push(Finding {
+            kind: InvariantKind::SemanticDivergence,
+            inst: None,
+            guest_pc: before.guest_entry_pc,
+            message: format!("[{context}] {message}"),
+        });
+    };
+    if before.events.len() != after.events.len() {
+        fail(format!(
+            "observable event count changed: {} before, {} after",
+            before.events.len(),
+            after.events.len()
+        ));
+        return rep;
+    }
+    for (i, (ea, eb)) in before.events.iter().zip(&after.events).enumerate() {
+        if ea == eb {
+            continue;
+        }
+        let mut diffs: Vec<String> = Vec::new();
+        match (ea, eb) {
+            (
+                Event::Assert { expect_nz: pa, cond: ca },
+                Event::Assert { expect_nz: pb, cond: cb },
+            ) => {
+                if pa != pb {
+                    diffs.push(format!("assert polarity: {pa} != {pb}"));
+                }
+                diff_term(pool, "assert cond", *ca, *cb, &mut diffs);
+            }
+            (Event::Exit { cond: ca, state: sa }, Event::Exit { cond: cb, state: sb }) => {
+                diff_opt(pool, "exit cond", *ca, *cb, &mut diffs);
+                if sa.kind != sb.kind {
+                    diffs.push(format!("exit kind: {:?} != {:?}", sa.kind, sb.kind));
+                }
+                diff_opt(pool, "indirect target", sa.indirect, sb.indirect, &mut diffs);
+                for (r, (a, b)) in sa.gprs.iter().zip(sb.gprs).enumerate() {
+                    diff_opt(pool, &format!("gpr{r}"), *a, b, &mut diffs);
+                }
+                for (r, (a, b)) in sa.fprs.iter().zip(sb.fprs).enumerate() {
+                    diff_opt(pool, &format!("fpr{r}"), *a, b, &mut diffs);
+                }
+                for (f, (a, b)) in sa.flags.iter().zip(sb.flags).enumerate() {
+                    diff_opt(pool, &format!("flag{f}"), *a, b, &mut diffs);
+                }
+                if sa.deferred.map(|(k, ..)| k) != sb.deferred.map(|(k, ..)| k) {
+                    diffs.push(format!(
+                        "deferred flags kind: {:?} != {:?}",
+                        sa.deferred.map(|(k, ..)| k),
+                        sb.deferred.map(|(k, ..)| k)
+                    ));
+                } else if let (Some((_, aa, ab)), Some((_, ba, bb))) =
+                    (sa.deferred, sb.deferred)
+                {
+                    diff_term(pool, "deferred a", aa, ba, &mut diffs);
+                    diff_term(pool, "deferred b", ab, bb, &mut diffs);
+                }
+                if sa.gcnt != sb.gcnt {
+                    diffs.push(format!("gcnt: {} != {}", sa.gcnt, sb.gcnt));
+                }
+                if sa.count_idx != sb.count_idx {
+                    diffs.push(format!(
+                        "count_idx: {:?} != {:?}",
+                        sa.count_idx, sb.count_idx
+                    ));
+                }
+                diff_term(pool, "memory", sa.mem, sb.mem, &mut diffs);
+            }
+            _ => diffs.push("event kind changed (assert vs exit)".to_string()),
+        }
+        if diffs.is_empty() {
+            // Boxed states compared unequal but every field matched —
+            // cannot happen; keep the event visible anyway.
+            diffs.push("events differ".to_string());
+        }
+        for d in diffs {
+            fail(format!("event {i}: {d}"));
+        }
+    }
+    rep
+}
+
+/// Summarizes a region, converting an undefined-vreg failure into a
+/// [`VerifyReport`] (the shape the TOL's verify hooks consume).
+///
+/// # Errors
+/// A one-finding report naming the vreg with no derivable value.
+pub fn try_summarize(
+    region: &Region,
+    pool: &mut TermPool,
+    context: &str,
+) -> Result<RegionSummary, VerifyReport> {
+    summarize(region, pool).map_err(|(v, idx)| VerifyReport {
+        region_pc: region.guest_entry_pc,
+        findings: vec![Finding {
+            kind: InvariantKind::SemanticDivergence,
+            inst: Some(idx),
+            guest_pc: region
+                .insts
+                .get(idx)
+                .map_or(region.guest_entry_pc, |i| i.guest_pc),
+            message: format!("[{context}] no derivable value for {v} at inst {idx}"),
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ExitDesc, Inst, RegClass};
+    use crate::passes::{level_passes, run_passes, OptLevel};
+
+    fn demo_region() -> Region {
+        let mut r = Region::new(0x4000);
+        let a = r.new_vreg(RegClass::Int);
+        r.entry.gprs[0] = Some(a);
+        let c6 = r.emit(IrOp::ConstI(6), vec![], RegClass::Int);
+        let c7 = r.emit(IrOp::ConstI(7), vec![], RegClass::Int);
+        let m = r.emit(IrOp::Alu(HAluOp::Mul), vec![c6, c7], RegClass::Int);
+        let s = r.emit(IrOp::Alu(HAluOp::Add), vec![a, m], RegClass::Int);
+        let cp = r.emit(IrOp::Copy, vec![s], RegClass::Int);
+        let mut st = Inst::new(IrOp::Store { width: Width::D }, None, vec![a, cp]);
+        st.seq = 1;
+        r.push(st);
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0x4100 });
+        e.gprs[0] = Some(cp);
+        e.gcnt = 3;
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        r
+    }
+
+    #[test]
+    fn folded_and_unfolded_regions_are_equivalent() {
+        let mut pool = TermPool::new();
+        let r = demo_region();
+        let before = summarize(&r, &mut pool).unwrap();
+        let mut opt = r.clone();
+        let st = run_passes(&mut opt, &level_passes(OptLevel::O2), false).unwrap();
+        assert!(st.rewritten > 0, "pipeline did fold something");
+        let after = summarize(&opt, &mut pool).unwrap();
+        let rep = check_equiv(&pool, &before, &after, "test");
+        assert!(rep.is_ok(), "{rep}");
+    }
+
+    #[test]
+    fn constant_tamper_is_detected() {
+        let mut pool = TermPool::new();
+        let r = demo_region();
+        let before = summarize(&r, &mut pool).unwrap();
+        let mut bad = r.clone();
+        for inst in &mut bad.insts {
+            if let IrOp::ConstI(c) = inst.op {
+                inst.op = IrOp::ConstI(c.wrapping_add(1));
+                break;
+            }
+        }
+        let after = summarize(&bad, &mut pool).unwrap();
+        let rep = check_equiv(&pool, &before, &after, "tamper");
+        assert!(!rep.is_ok());
+        assert_eq!(rep.findings[0].kind, InvariantKind::SemanticDivergence);
+        assert!(rep.findings[0].message.contains("[tamper]"), "{rep}");
+    }
+
+    #[test]
+    fn dropped_store_is_detected() {
+        let mut pool = TermPool::new();
+        let r = demo_region();
+        let before = summarize(&r, &mut pool).unwrap();
+        let mut bad = r.clone();
+        bad.insts.retain(|i| !i.op.is_store());
+        let after = summarize(&bad, &mut pool).unwrap();
+        let rep = check_equiv(&pool, &before, &after, "drop-store");
+        assert!(!rep.is_ok());
+        assert!(
+            rep.findings.iter().any(|f| f.message.contains("memory")),
+            "memory divergence named: {rep}"
+        );
+    }
+
+    #[test]
+    fn assert_polarity_flip_is_detected() {
+        let mut r = Region::new(0x5000);
+        let c = r.new_vreg(RegClass::Int);
+        r.entry.gprs[1] = Some(c);
+        let mut asrt = Inst::new(IrOp::Assert { expect_nz: true }, None, vec![c]);
+        asrt.seq = 1;
+        r.push(asrt);
+        r.exits.push(ExitDesc::new(ExitKind::Jump { target: 0x5004 }));
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        let mut pool = TermPool::new();
+        let before = summarize(&r, &mut pool).unwrap();
+        let mut bad = r.clone();
+        if let IrOp::Assert { expect_nz } = &mut bad.insts[0].op {
+            *expect_nz = false;
+        }
+        let after = summarize(&bad, &mut pool).unwrap();
+        let rep = check_equiv(&pool, &before, &after, "flip");
+        assert!(!rep.is_ok());
+        assert!(rep.findings[0].message.contains("polarity"), "{rep}");
+    }
+
+    #[test]
+    fn normalization_skips_division() {
+        let mut pool = TermPool::new();
+        let ten = pool.intern(Term::IConst(10));
+        let zero = pool.intern(Term::IConst(0));
+        let div = pool.intern(Term::Alu(HAluOp::Div, ten, Some(zero)));
+        assert!(
+            matches!(pool.term(div), Term::Alu(HAluOp::Div, ..)),
+            "division stays symbolic"
+        );
+        let add = pool.intern(Term::Alu(HAluOp::Add, ten, Some(zero)));
+        assert!(matches!(pool.term(add), Term::IConst(10)));
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut pool = TermPool::new();
+        let a = pool.intern(Term::EntryGpr(0));
+        let b = pool.intern(Term::EntryGpr(0));
+        assert_eq!(a, b);
+        let x = pool.intern(Term::Alu(HAluOp::Add, a, Some(b)));
+        let y = pool.intern(Term::Alu(HAluOp::Add, a, Some(b)));
+        assert_eq!(x, y);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn undefined_vreg_is_reported() {
+        let mut r = Region::new(0x6000);
+        let ghost = VReg(7);
+        let _ = (0..8).map(|_| r.new_vreg(RegClass::Int)).count();
+        let d = r.new_vreg(RegClass::Int);
+        r.push(Inst::new(IrOp::Alu(HAluOp::Add), Some(d), vec![ghost, ghost]));
+        let mut e = ExitDesc::new(ExitKind::Jump { target: 0 });
+        e.gprs[0] = Some(d);
+        r.exits.push(e);
+        r.push(Inst::new(IrOp::ExitAlways { exit: 0 }, None, vec![]));
+        let mut pool = TermPool::new();
+        let err = try_summarize(&r, &mut pool, "ctx").unwrap_err();
+        assert_eq!(err.findings[0].kind, InvariantKind::SemanticDivergence);
+        assert!(err.findings[0].message.contains("v7"), "{err}");
+    }
+
+    /// The whole scalar pipeline preserves semantics on the randomized
+    /// regions from the passes test generator (every level, many seeds):
+    /// the semantic validator itself must never produce a false positive.
+    #[test]
+    fn pipeline_is_semantics_preserving_on_random_regions() {
+        for seed in 0..48u64 {
+            for lvl in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+                let mut r = crate::passes::tests::random_region(seed);
+                let mut pool = TermPool::new();
+                let before = summarize(&r, &mut pool).unwrap();
+                run_passes(&mut r, &level_passes(lvl), false).unwrap();
+                let after = summarize(&r, &mut pool).unwrap();
+                let rep = check_equiv(&pool, &before, &after, "random");
+                assert!(rep.is_ok(), "seed {seed} {lvl:?}:\n{rep}");
+            }
+        }
+    }
+}

@@ -273,11 +273,15 @@ pub enum InvariantKind {
     HostCodeClobber,
     /// Structurally malformed IR (bad arity, out-of-range vreg, …).
     Malformed,
+    /// The region's observable guest-state semantics changed across an
+    /// optimization pass (symbolic translation validation, see
+    /// [`crate::sym`]).
+    SemanticDivergence,
 }
 
 impl InvariantKind {
     /// Every kind, in stats-counter order.
-    pub const ALL: [InvariantKind; 10] = [
+    pub const ALL: [InvariantKind; 11] = [
         InvariantKind::MissingTerminator,
         InvariantKind::UseBeforeDef,
         InvariantKind::MultipleDef,
@@ -288,6 +292,7 @@ impl InvariantKind {
         InvariantKind::DdgInconsistent,
         InvariantKind::HostCodeClobber,
         InvariantKind::Malformed,
+        InvariantKind::SemanticDivergence,
     ];
 
     /// Position in [`InvariantKind::ALL`] (stats-counter index).
@@ -303,6 +308,7 @@ impl InvariantKind {
             InvariantKind::DdgInconsistent => 7,
             InvariantKind::HostCodeClobber => 8,
             InvariantKind::Malformed => 9,
+            InvariantKind::SemanticDivergence => 10,
         }
     }
 
@@ -319,6 +325,7 @@ impl InvariantKind {
             InvariantKind::DdgInconsistent => "ddg-inconsistent",
             InvariantKind::HostCodeClobber => "host-code-clobber",
             InvariantKind::Malformed => "malformed",
+            InvariantKind::SemanticDivergence => "semantic-divergence",
         }
     }
 }
@@ -418,83 +425,18 @@ impl fmt::Display for VerifyReport {
 /// superset of [`Region::validate`], reporting instead of panicking).
 pub fn verify_region(region: &Region) -> VerifyReport {
     let mut rep = VerifyReport::new(region.guest_entry_pc);
-    check_shape(region, &mut rep);
-    if !rep.is_ok() {
-        // The deeper checks index by vreg/operand; don't run them over
-        // structurally malformed IR.
+    check_insts(region, &mut rep);
+    if rep.findings.iter().any(|f| f.kind == InvariantKind::Malformed) {
+        // Structurally malformed IR: deeper findings from the fused walk
+        // describe half-checked operands — report the shape problems
+        // alone, exactly as the staged shape-then-deep verifier did.
+        rep.findings.retain(|f| f.kind == InvariantKind::Malformed);
         return rep;
     }
     check_terminator(region, &mut rep);
-    check_defs(region, &mut rep);
-    check_classes(region, &mut rep);
     check_exits(region, &mut rep);
     check_store_after_assert(region, &mut rep);
     rep
-}
-
-/// Vreg ranges, operand arity and dst presence.
-fn check_shape(region: &Region, rep: &mut VerifyReport) {
-    let nv = region.vreg_count();
-    let in_range = |v: VReg| (v.0 as usize) < nv;
-    for v in entry_vregs(region) {
-        if !in_range(v) {
-            rep.add(region, InvariantKind::Malformed, None, format!("entry binds out-of-range {v}"));
-        }
-    }
-    for (e, exit) in region.exits.iter().enumerate() {
-        for v in exit.used_vregs_iter() {
-            if !in_range(v) {
-                rep.add(
-                    region,
-                    InvariantKind::Malformed,
-                    None,
-                    format!("exit {e} references out-of-range {v}"),
-                );
-            }
-        }
-    }
-    for (i, inst) in region.insts.iter().enumerate() {
-        for &s in &inst.srcs {
-            if !in_range(s) {
-                rep.add(
-                    region,
-                    InvariantKind::Malformed,
-                    Some(i),
-                    format!("{:?} reads out-of-range {s}", inst.op),
-                );
-            }
-        }
-        if let Some(d) = inst.dst {
-            if !in_range(d) {
-                rep.add(
-                    region,
-                    InvariantKind::Malformed,
-                    Some(i),
-                    format!("{:?} writes out-of-range {d}", inst.op),
-                );
-            }
-        }
-        if !arity_ok(&inst.op, inst.srcs.len()) {
-            rep.add(
-                region,
-                InvariantKind::Malformed,
-                Some(i),
-                format!("{:?} has {} source operand(s)", inst.op, inst.srcs.len()),
-            );
-        }
-        let wants_dst = inst.op.is_pure() || inst.op.is_load();
-        if wants_dst && inst.dst.is_none() {
-            rep.add(region, InvariantKind::Malformed, Some(i), format!("{:?} has no dst", inst.op));
-        }
-        if !wants_dst && inst.dst.is_some() {
-            rep.add(
-                region,
-                InvariantKind::Malformed,
-                Some(i),
-                format!("{:?} must not have a dst", inst.op),
-            );
-        }
-    }
 }
 
 fn arity_ok(op: &IrOp, n: usize) -> bool {
@@ -539,91 +481,61 @@ fn check_terminator(region: &Region, rep: &mut VerifyReport) {
     }
 }
 
-/// Def-before-use and single-def (SSA) discipline.
+/// The fused per-instruction walk: vreg ranges, operand arity and dst
+/// presence (shape), def-before-use / single-def (SSA) discipline, and
+/// `RegClass` agreement between defs and uses. One pass instead of
+/// three — the verifier runs on every translation, and the three checks
+/// share the operand iteration. Out-of-range operands are reported as
+/// `Malformed` and skipped by the deeper checks; the driver then
+/// discards the deeper findings entirely so a malformed region reports
+/// its shape problems alone.
 ///
-/// This is the [`DefinedVregs`] forward problem, but computed with a
-/// single rolling set instead of [`solve`]: on straight-line code the
-/// fact before instruction `i` is exactly the set after `i - 1`, and the
-/// verifier runs on every translation, so the per-instruction set
-/// materialization the general framework pays for is avoided here.
-fn check_defs(region: &Region, rep: &mut VerifyReport) {
-    let mut defined = BitSet::new(region.vreg_count());
-    DefinedVregs.boundary(region, &mut defined);
-    let mut def_count = vec![0u32; region.vreg_count()];
-    for v in entry_vregs(region) {
-        def_count[v.0 as usize] += 1;
-    }
-    for (i, inst) in region.insts.iter().enumerate() {
-        for &s in &inst.srcs {
-            if !defined.contains(s.0 as usize) {
-                rep.add(
-                    region,
-                    InvariantKind::UseBeforeDef,
-                    Some(i),
-                    format!("{:?} reads {s} before its definition", inst.op),
-                );
-            }
-        }
-        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
-            let Some(e) = region.exits.get(exit) else { continue };
-            let flagged = |u: VReg| {
-                e.flags.iter().flatten().any(|&f| f == u)
-                    || e.deferred.is_some_and(|(_, a, b)| a == u || b == u)
-            };
-            for u in e.used_vregs_iter() {
-                if !defined.contains(u.0 as usize) {
-                    // Flag-recipe vregs get their own category: the
-                    // reconstruction recipe references a value that is
-                    // not available at the exit.
-                    let kind = if flagged(u) {
-                        InvariantKind::DeadFlagMaterialization
-                    } else {
-                        InvariantKind::UseBeforeDef
-                    };
-                    rep.add(
-                        region,
-                        kind,
-                        Some(i),
-                        format!("exit {exit} references {u}, which is not defined at the exit"),
-                    );
-                }
-            }
-        }
-        if let Some(d) = inst.dst {
-            defined.insert(d.0 as usize);
-            def_count[d.0 as usize] += 1;
-            if def_count[d.0 as usize] > 1 {
-                rep.add(
-                    region,
-                    InvariantKind::MultipleDef,
-                    Some(i),
-                    format!("{d} defined more than once (SSA violation)"),
-                );
-            }
-        }
-    }
-}
-
-/// `RegClass` agreement between defs and uses.
-fn check_classes(region: &Region, rep: &mut VerifyReport) {
+/// The def tracking is the [`DefinedVregs`] forward problem, but
+/// computed with a single rolling set instead of [`solve`]: on
+/// straight-line code the fact before instruction `i` is exactly the
+/// set after `i - 1`, so the per-instruction set materialization the
+/// general framework pays for is avoided here.
+fn check_insts(region: &Region, rep: &mut VerifyReport) {
     use RegClass::{Fp, Int};
+    let nv = region.vreg_count();
+    let in_range = |v: VReg| (v.0 as usize) < nv;
+    let mut defined = BitSet::new(nv);
+    DefinedVregs.boundary(region, &mut defined);
+    let mut def_count = vec![0u32; nv];
+    for v in entry_vregs(region) {
+        if !in_range(v) {
+            rep.add(region, InvariantKind::Malformed, None, format!("entry binds out-of-range {v}"));
+        } else {
+            def_count[v.0 as usize] += 1;
+        }
+    }
     for (i, inst) in region.insts.iter().enumerate() {
+        if !arity_ok(&inst.op, inst.srcs.len()) {
+            rep.add(
+                region,
+                InvariantKind::Malformed,
+                Some(i),
+                format!("{:?} has {} source operand(s)", inst.op, inst.srcs.len()),
+            );
+        }
+        let wants_dst = inst.op.is_pure() || inst.op.is_load();
+        if wants_dst && inst.dst.is_none() {
+            rep.add(region, InvariantKind::Malformed, Some(i), format!("{:?} has no dst", inst.op));
+        }
+        if !wants_dst && inst.dst.is_some() {
+            rep.add(
+                region,
+                InvariantKind::Malformed,
+                Some(i),
+                format!("{:?} must not have a dst", inst.op),
+            );
+        }
+        // Class expectations for this op. `Copy` is class-polymorphic
+        // (dst and src must merely agree) and is handled separately.
         let (want_dst, want_srcs): (Option<RegClass>, &[RegClass]) = match inst.op {
             IrOp::ConstI(_) => (Some(Int), &[]),
             IrOp::ConstF(_) => (Some(Fp), &[]),
-            // Copy is class-polymorphic: dst and src must agree.
-            IrOp::Copy => {
-                let (Some(d), Some(&s)) = (inst.dst, inst.srcs.first()) else { continue };
-                if region.class(d) != region.class(s) {
-                    rep.add(
-                        region,
-                        InvariantKind::ClassMismatch,
-                        Some(i),
-                        format!("Copy from {s} ({:?}) to {d} ({:?})", region.class(s), region.class(d)),
-                    );
-                }
-                continue;
-            }
+            IrOp::Copy => (None, &[]),
             IrOp::Alu(_) => (Some(Int), &[Int, Int]),
             IrOp::Load { .. } => (Some(Int), &[Int]),
             IrOp::Store { .. } => (None, &[Int, Int]),
@@ -638,33 +550,133 @@ fn check_classes(region: &Region, rep: &mut VerifyReport) {
             IrOp::Assert { .. } | IrOp::ExitIf { .. } => (None, &[Int]),
             IrOp::ExitAlways { .. } => (None, &[]),
         };
-        if let (Some(d), Some(want)) = (inst.dst, want_dst) {
-            if region.class(d) != want {
+        for (k, &src) in inst.srcs.iter().enumerate() {
+            if !in_range(src) {
                 rep.add(
                     region,
-                    InvariantKind::ClassMismatch,
+                    InvariantKind::Malformed,
                     Some(i),
-                    format!("{:?} defines {d} as {:?}, expected {want:?}", inst.op, region.class(d)),
+                    format!("{:?} reads out-of-range {src}", inst.op),
+                );
+                continue;
+            }
+            if !defined.contains(src.0 as usize) {
+                rep.add(
+                    region,
+                    InvariantKind::UseBeforeDef,
+                    Some(i),
+                    format!("{:?} reads {src} before its definition", inst.op),
                 );
             }
+            if let Some(&want) = want_srcs.get(k) {
+                if region.class(src) != want {
+                    rep.add(
+                        region,
+                        InvariantKind::ClassMismatch,
+                        Some(i),
+                        format!(
+                            "{:?} reads {src} as {want:?}, but it is {:?}",
+                            inst.op,
+                            region.class(src)
+                        ),
+                    );
+                }
+            }
         }
-        for (&s, &want) in inst.srcs.iter().zip(want_srcs) {
-            if region.class(s) != want {
+        if matches!(inst.op, IrOp::Copy) {
+            if let (Some(d), Some(&cs)) = (inst.dst, inst.srcs.first()) {
+                if in_range(d) && in_range(cs) && region.class(d) != region.class(cs) {
+                    rep.add(
+                        region,
+                        InvariantKind::ClassMismatch,
+                        Some(i),
+                        format!(
+                            "Copy from {cs} ({:?}) to {d} ({:?})",
+                            region.class(cs),
+                            region.class(d)
+                        ),
+                    );
+                }
+            }
+        }
+        if let IrOp::ExitIf { exit } | IrOp::ExitAlways { exit } = inst.op {
+            if let Some(e) = region.exits.get(exit) {
+                let flagged = |u: VReg| {
+                    e.flags.iter().flatten().any(|&f| f == u)
+                        || e.deferred.is_some_and(|(_, a, b)| a == u || b == u)
+                };
+                for u in e.used_vregs_iter() {
+                    // Out-of-range recipe vregs are reported (once per
+                    // exit descriptor) by the exit-recipe walk below.
+                    if in_range(u) && !defined.contains(u.0 as usize) {
+                        // Flag-recipe vregs get their own category: the
+                        // reconstruction recipe references a value that is
+                        // not available at the exit.
+                        let kind = if flagged(u) {
+                            InvariantKind::DeadFlagMaterialization
+                        } else {
+                            InvariantKind::UseBeforeDef
+                        };
+                        rep.add(
+                            region,
+                            kind,
+                            Some(i),
+                            format!("exit {exit} references {u}, which is not defined at the exit"),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(d) = inst.dst {
+            if !in_range(d) {
                 rep.add(
                     region,
-                    InvariantKind::ClassMismatch,
+                    InvariantKind::Malformed,
                     Some(i),
-                    format!("{:?} reads {s} as {want:?}, but it is {:?}", inst.op, region.class(s)),
+                    format!("{:?} writes out-of-range {d}", inst.op),
                 );
+                continue;
+            }
+            defined.insert(d.0 as usize);
+            def_count[d.0 as usize] += 1;
+            if def_count[d.0 as usize] > 1 {
+                rep.add(
+                    region,
+                    InvariantKind::MultipleDef,
+                    Some(i),
+                    format!("{d} defined more than once (SSA violation)"),
+                );
+            }
+            if let Some(want) = want_dst {
+                if region.class(d) != want {
+                    rep.add(
+                        region,
+                        InvariantKind::ClassMismatch,
+                        Some(i),
+                        format!(
+                            "{:?} defines {d} as {:?}, expected {want:?}",
+                            inst.op,
+                            region.class(d)
+                        ),
+                    );
+                }
             }
         }
     }
-    // Exit recipes: guest GPRs/flags are Int, guest FPRs are Fp, deferred
-    // descriptor operands are Int, indirect targets are Int.
+    // Exit recipes: every referenced vreg in range; guest GPRs/flags are
+    // Int, guest FPRs are Fp, deferred descriptor operands are Int,
+    // indirect targets are Int.
     for (e, exit) in region.exits.iter().enumerate() {
         let mut want = |v: Option<VReg>, w: RegClass, what: &str| {
             if let Some(v) = v {
-                if region.class(v) != w {
+                if !in_range(v) {
+                    rep.add(
+                        region,
+                        InvariantKind::Malformed,
+                        None,
+                        format!("exit {e} references out-of-range {v}"),
+                    );
+                } else if region.class(v) != w {
                     rep.add(
                         region,
                         InvariantKind::ClassMismatch,
@@ -817,11 +829,19 @@ pub fn verify_ddg(region: &Region, graph: &Ddg) -> VerifyReport {
         return rep;
     }
     // Every ordering contract the builder honours is emitted as a
-    // *direct* edge, so the fast path is a membership test on the
-    // target's predecessor list. Pairs without a direct edge are
-    // deferred; transitive reachability (a flat bit-matrix) is computed
-    // only if any pair needs it — on well-formed graphs, never.
-    let direct = |from: usize, to: usize| graph.preds[to].iter().any(|&(p, _)| p == from);
+    // *direct* edge, so the fast path is a membership test on a flat
+    // edge bit-matrix (row `to`, bit `from`) built once in O(edges).
+    // Pairs without a direct edge are deferred; transitive reachability
+    // is computed only if any pair needs it — on well-formed graphs,
+    // never.
+    let stride = n.div_ceil(64).max(1);
+    let mut dmat = vec![0u64; n * stride];
+    for (to, ps) in graph.preds.iter().enumerate() {
+        for &(p, _) in ps {
+            dmat[to * stride + p / 64] |= 1u64 << (p % 64);
+        }
+    }
+    let direct = move |from: usize, to: usize| dmat[to * stride + from / 64] & (1u64 << (from % 64)) != 0;
     let require =
         |need: &mut Vec<(usize, usize, &'static str)>, from: usize, to: usize, what: &'static str| {
             if !direct(from, to) {
@@ -892,22 +912,28 @@ pub fn verify_ddg(region: &Region, graph: &Ddg) -> VerifyReport {
         .filter(|(_, inst)| matches!(inst.op, IrOp::Assert { .. }))
         .map(|(i, _)| i)
         .collect();
+    let mut exit_cursor = 0usize; // exits[..cursor] are < i
     for (i, inst) in region.insts.iter().enumerate() {
+        while exit_cursor < exits.len() && exits[exit_cursor] < i {
+            exit_cursor += 1;
+        }
         if !inst.op.is_store() {
             continue;
         }
-        if let Some(&e) = exits.iter().rev().find(|&&e| e < i) {
-            require(&mut need, e, i, "store stays below earlier exit");
+        if exit_cursor > 0 {
+            require(&mut need, exits[exit_cursor - 1], i, "store stays below earlier exit");
         }
-        if let Some(&e) = exits.iter().find(|&&e| e > i) {
+        if let Some(&e) = exits.get(exit_cursor) {
             require(&mut need, i, e, "store stays above later exit");
         }
-        for &a in asserts.iter().filter(|&&a| a < i) {
+        let na = asserts.partition_point(|&a| a < i);
+        for &a in &asserts[..na] {
             require(&mut need, a, i, "store stays below earlier assert");
         }
     }
     for &a in &asserts {
-        if let Some(&e) = exits.iter().find(|&&e| e > a) {
+        let ne = exits.partition_point(|&e| e <= a);
+        if let Some(&e) = exits.get(ne) {
             require(&mut need, a, e, "assert stays above later exit");
         }
     }
@@ -917,7 +943,6 @@ pub fn verify_ddg(region: &Region, graph: &Ddg) -> VerifyReport {
         // flat bit-matrix (row i = nodes reachable from i) so the whole
         // computation is a single allocation; edges only point forward,
         // so row `s` is final by the time row `i < s` unions it in.
-        let stride = n.div_ceil(64);
         let mut reach = vec![0u64; n * stride];
         for i in (0..n).rev() {
             for &s in &graph.succs[i] {

@@ -15,6 +15,11 @@ pub enum BugKind {
     OptimizerBadFold,
     /// The code generator drops a store — a codegen-stage bug.
     CodegenDropStore,
+    /// The native backend emits machine code that clobbers the pinned
+    /// context register (r15) — a JIT-stage bug caught by the x86-64
+    /// machine-code checker, not by any IR-level verifier. Ignored by
+    /// the interpreter backend.
+    CodegenClobberPinnedReg,
 }
 
 /// How the static IR verifier ([`darco_ir::verify`]) is applied to every
@@ -29,6 +34,20 @@ pub enum VerifyMode {
     /// Verify and panic on the first finding — a broken translation must
     /// never reach the code cache.
     Fatal,
+}
+
+/// How deep static verification goes (orthogonal to [`VerifyMode`],
+/// which says what happens on a finding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// Structural invariants only: [`darco_ir::verify_region`],
+    /// [`darco_ir::verify_ddg`] and the HISA shape check.
+    Structural,
+    /// Structural checks plus **semantic translation validation**
+    /// (symbolic per-pass equivalence, [`darco_ir::sym`]) and, on the
+    /// native backend, the x86-64 machine-code checker over every
+    /// emitted fragment (DESIGN.md §13).
+    Semantic,
 }
 
 /// Where and what to inject.
@@ -84,6 +103,8 @@ pub struct TolConfig {
     pub injection: Option<Injection>,
     /// Static-verification mode for IR, DDG and generated host code.
     pub verify: VerifyMode,
+    /// Static-verification depth (structural vs semantic).
+    pub verify_level: VerifyLevel,
 }
 
 impl Default for TolConfig {
@@ -107,6 +128,7 @@ impl Default for TolConfig {
             sched: SchedConfig::default(),
             injection: None,
             verify: VerifyMode::Fatal,
+            verify_level: VerifyLevel::Structural,
         }
     }
 }
@@ -123,6 +145,7 @@ mod tests {
         assert!(c.unroll_factor >= 2);
         assert!(c.injection.is_none());
         assert_eq!(c.verify, VerifyMode::Fatal);
+        assert_eq!(c.verify_level, VerifyLevel::Structural);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod tol;
 pub mod translate;
 
 pub use cache::{CodeCache, TransKind, Translation};
-pub use config::{BugKind, Injection, TolConfig, VerifyMode};
+pub use config::{BugKind, Injection, TolConfig, VerifyLevel, VerifyMode};
 pub use flags::PendingFlags;
 pub use obs::TolObs;
 pub use overhead::{CostModel, Overhead, OverheadKind};

@@ -232,7 +232,7 @@ impl TolStats {
     /// (empty prefix → bare field names). This is the single source both
     /// the debug JSON and `darco-run --json`/`--metrics` serialize from.
     pub fn register_into(&self, reg: &mut Registry, prefix: &str) {
-        let fields: [(&str, u64); 16] = [
+        let fields: [(&str, u64); 17] = [
             ("guest_im", self.guest_im),
             ("translations_bb", self.translations_bb),
             ("translations_sb", self.translations_sb),
@@ -248,6 +248,7 @@ impl TolStats {
             ("verify_regions", self.verify_regions),
             ("verify_findings", self.verify_findings),
             ("verify_nanos", self.verify_nanos),
+            ("verify_sem_nanos", self.verify_sem_nanos),
             ("translate_nanos", self.translate_nanos),
         ];
         for (name, v) in fields {
@@ -331,7 +332,7 @@ mod tests {
         assert_eq!(reg.counter_value("tol.spec_rollbacks"), Some(7));
         assert_eq!(reg.counter_value("tol.guest_im"), Some(0));
         let (counters, _, _) = reg.sizes();
-        assert_eq!(counters, 16 + darco_ir::KIND_COUNT);
+        assert_eq!(counters, 17 + darco_ir::KIND_COUNT);
     }
 
     #[test]

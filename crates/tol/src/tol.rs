@@ -2,7 +2,7 @@
 //! recovery and overhead accounting (paper Fig. 3's execution flow).
 
 use crate::cache::{CodeCache, TransKind, Translation};
-use crate::config::{BugKind, TolConfig, VerifyMode};
+use crate::config::{BugKind, TolConfig, VerifyLevel, VerifyMode};
 use crate::flags::{self, PendingFlags};
 use crate::interp::{self, BlockStop};
 use crate::obs::TolObs;
@@ -10,18 +10,178 @@ use crate::overhead::{Accountant, CostModel, Overhead, OverheadKind};
 use crate::sbm::{self, SbShape};
 use crate::translate::{self, EdgeCounters};
 use darco_guest::{DecodeCache, Fault, GuestState, Wire, WireError, WireReader, PAGE_SHIFT};
-use darco_host::codegen::{Backend, HostCodeGen, JitStats};
+use darco_host::codegen::{Backend, CheckMode, HostCodeGen, JitStats};
 use darco_host::emu::ProfTable;
 use darco_host::regs::{FLAG_REGS, R_DEF_A, R_DEF_B, R_DEF_KIND, R_IND, R_SPILL_BASE};
 use darco_host::sink::InsnSink;
 use darco_host::{ExitCause, HInsn, HostEmulator};
 use darco_ir::codegen::{self, CodegenCtx, SPILL_AREA_BASE};
-use darco_ir::passes::{run_pipeline, OptLevel};
+use darco_ir::passes::{level_passes, run_pipeline, OptLevel};
+use darco_ir::sym::{check_equiv, try_summarize, RegionSummary, TermPool};
 use darco_ir::sched::list_schedule;
 use darco_ir::{ddg, ExitKind, FlagsKind, IrOp, Region, VerifyReport, KIND_COUNT};
 use darco_obs::{ExecMode, TraceEventKind};
+
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
+
+/// One entry of a [`SemanticCheck`] replay script: a transform that ran
+/// since the last clean baseline and is re-run step-by-step when a
+/// divergence needs attribution.
+#[derive(Clone, Copy)]
+enum SemStep {
+    /// A full optimization pipeline — replayed pass-by-pass.
+    Pipeline(OptLevel),
+    /// DDG redundant-load elimination / store forwarding.
+    MemoryOpt,
+}
+
+/// In-flight semantic translation validation for one region (DESIGN.md
+/// §13): a hash-consed term pool, a pristine copy of the region taken
+/// before the optimizer ran, and the first recorded divergence. Opened
+/// by `Tol::sem_begin`, closed by `Tol::sem_finish`.
+///
+/// Validation is lazy end to end: the whole transform sequence is
+/// compared at once at the phase boundary (the term evaluator models
+/// store-to-load forwarding, so even the DDG memory phase folds into
+/// one composite check), and both summaries — baseline and after — are
+/// deferred to that single [`SemanticCheck::check`] call. When the
+/// optimizer left the region untouched (a third of all translations)
+/// equivalence is decided by a direct structural compare and no
+/// summary is computed at all. Only when a divergence is actually
+/// found does it replay the recorded steps one at a time on the
+/// pristine copy to name the offending pass — so the clean case (every
+/// translation, all the time) costs at most two summaries instead of
+/// one per pass, and the failing case still reports
+/// `ConstFold`/`Cse`/`memory_opt`/… by name.
+struct SemanticCheck {
+    pool: TermPool,
+    /// Copy of the region as the translator produced it: the baseline
+    /// the optimized region is checked against, and the starting point
+    /// for step-by-step attribution replay.
+    pristine: Region,
+    /// Transforms run since the baseline was taken (the replay script
+    /// for attribution).
+    steps: Vec<SemStep>,
+    /// Whether any recorded transform reported doing work. `false`
+    /// means the region is *expected* to still equal `pristine`, so the
+    /// check leads with the cheap structural compare; `true` skips the
+    /// compare and goes straight to the summaries. Purely a hint —
+    /// either way disagreement falls through to the full proof.
+    dirty: bool,
+    region_pc: u32,
+    /// Wall nanoseconds spent summarizing/comparing (the semantic share
+    /// of `verify_nanos`).
+    nanos: u64,
+    /// First divergence; later checks are skipped so the report names
+    /// the pass that introduced the bug, not every pass after it.
+    failed: Option<VerifyReport>,
+}
+
+impl SemanticCheck {
+    /// Phase-boundary check: proves the optimized `region`
+    /// observationally equivalent to the pristine input. If no
+    /// transform actually changed the region the proof is a structural
+    /// compare (no summaries); otherwise both sides are summarized into
+    /// the shared pool and their event lists compared. Divergent → the
+    /// transforms recorded since `sem_begin` are replayed for
+    /// attribution; if every step replays clean, the divergence came
+    /// from outside the recorded transforms and stays attributed to
+    /// `context`.
+    fn check(&mut self, region: &Region, context: &str) {
+        if self.failed.is_some() {
+            return;
+        }
+        let t0 = Instant::now();
+        if !self.dirty
+            && self.pristine.insts == region.insts
+            && self.pristine.exits == region.exits
+            && self.pristine.entry == region.entry
+        {
+            self.nanos += t0.elapsed().as_nanos() as u64;
+            return;
+        }
+        let outcome = match try_summarize(&self.pristine, &mut self.pool, "<input>") {
+            Err(report) => Err(report),
+            Ok(baseline) => match try_summarize(region, &mut self.pool, context) {
+                Err(report) => Err(report),
+                Ok(after) => {
+                    let report = check_equiv(&self.pool, &baseline, &after, context);
+                    if report.is_ok() {
+                        Ok(())
+                    } else {
+                        Err(self.attribute(baseline, report))
+                    }
+                }
+            },
+        };
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        if let Err(report) = outcome {
+            self.failed = Some(report);
+        }
+    }
+
+    /// Slow path, divergence already established: replays the recorded
+    /// steps one at a time on the pristine copy, returning the first
+    /// transform whose output is not equivalent to its input (pipelines
+    /// are replayed pass-by-pass, so the report names the pass). Falls
+    /// back to the whole-phase report (with the caller's context) when
+    /// every step replays clean — the bug was introduced between the
+    /// last recorded transform and this check.
+    fn attribute(&mut self, mut baseline: RegionSummary, whole: VerifyReport) -> VerifyReport {
+        let mut region = self.pristine.clone();
+        let mut step = |region: &Region, name: &'static str, pool: &mut TermPool| {
+            let after = match try_summarize(region, pool, name) {
+                Ok(a) => a,
+                Err(report) => return Err(report),
+            };
+            let report = check_equiv(pool, &baseline, &after, name);
+            if !report.is_ok() {
+                return Err(report);
+            }
+            baseline = after;
+            Ok(())
+        };
+        let steps = std::mem::take(&mut self.steps);
+        for s in &steps {
+            match s {
+                SemStep::Pipeline(level) => {
+                    for p in level_passes(*level) {
+                        p.run(&mut region);
+                        if let Err(report) = step(&region, p.name(), &mut self.pool) {
+                            return report;
+                        }
+                    }
+                }
+                SemStep::MemoryOpt => {
+                    let _ = ddg::memory_opt(&mut region);
+                    if let Err(report) = step(&region, "memory_opt", &mut self.pool) {
+                        return report;
+                    }
+                }
+            }
+        }
+        whole
+    }
+}
+
+/// Runs the optimization pipeline for `level`. With a [`SemanticCheck`]
+/// scope open the level is recorded as part of the current phase's
+/// replay script — the equivalence check itself happens at the next
+/// phase boundary ([`SemanticCheck::check`]), not per pass. Without a
+/// scope this is exactly [`run_pipeline`]; either way the debug-build
+/// structural verify-each inside `run_pipeline` still runs.
+fn run_pipeline_sem(sem: &mut Option<Box<SemanticCheck>>, region: &mut Region, level: OptLevel) {
+    if let Some(sem) = sem.as_mut() {
+        sem.steps.push(SemStep::Pipeline(level));
+    }
+    let stats = run_pipeline(region, level);
+    if let Some(sem) = sem.as_mut() {
+        if stats.rewritten + stats.removed > 0 {
+            sem.dirty = true;
+        }
+    }
+}
 
 /// Events that hand control to the controller (DARCO's synchronization
 /// triggers, §V-A).
@@ -81,6 +241,12 @@ pub struct TolStats {
     pub verify_by_kind: [u64; KIND_COUNT],
     /// Wall-clock nanoseconds spent inside the verifier.
     pub verify_nanos: u64,
+    /// The semantic-validation share of `verify_nanos`: time spent in
+    /// `SemanticCheck` (summaries + equivalence), zero at the default
+    /// structural level. Lets the overhead gates budget the structural
+    /// checks and the semantic layer separately. Not serialized (wall
+    /// clock, like the other timing telemetry).
+    pub verify_sem_nanos: u64,
     /// Wall-clock nanoseconds spent translating (BBM + SBM, including
     /// optimization, verification and code generation).
     pub translate_nanos: u64,
@@ -138,6 +304,11 @@ pub struct Tol {
     im_split_entry: Option<u32>,
     /// Predecoded guest-block cache backing the IM interpreter.
     decode: DecodeCache,
+    /// Recycled semantic-validation scratch (term pool + pristine-region
+    /// buffers): taken by `sem_begin`, returned by `sem_finish`, so
+    /// back-to-back translations reuse the same allocations. Purely
+    /// transient — never serialized.
+    sem_spare: Option<Box<SemanticCheck>>,
 }
 
 impl std::fmt::Debug for Tol {
@@ -173,6 +344,7 @@ impl Tol {
             spill_mapped: false,
             im_split_entry: None,
             decode: DecodeCache::new(),
+            sem_spare: None,
             cfg,
         }
     }
@@ -187,6 +359,32 @@ impl Tol {
     /// the emulator on hosts without a JIT.
     pub fn set_backend(&mut self, backend: Backend) {
         self.native = darco_host::codegen::new_backend(backend);
+        self.sync_native_verify();
+    }
+
+    /// Propagates the configured verification depth to the native
+    /// backend's machine-code checker, and arms the planted
+    /// pinned-register-clobber mutation when one is configured. For
+    /// [`BugKind::CodegenClobberPinnedReg`] the injection ordinal counts
+    /// *compiled fragments*, not TOL translations (the bug lives below
+    /// the translation layer).
+    fn sync_native_verify(&mut self) {
+        let Some(native) = self.native.as_mut() else { return };
+        let mode = if self.cfg.verify_level == VerifyLevel::Semantic {
+            match self.cfg.verify {
+                VerifyMode::Off => CheckMode::Off,
+                VerifyMode::Report => CheckMode::Report,
+                VerifyMode::Fatal => CheckMode::Fatal,
+            }
+        } else {
+            CheckMode::Off
+        };
+        native.set_verify(mode);
+        if let Some(inj) = self.cfg.injection {
+            if inj.kind == BugKind::CodegenClobberPinnedReg {
+                native.plant_clobber(inj.translation_ordinal);
+            }
+        }
     }
 
     /// The native backend's self-counters, if one is active.
@@ -381,6 +579,17 @@ impl Tol {
                 sink,
             ),
         };
+        if let Some(native) = self.native.as_mut() {
+            // Machine-code checker findings queued under Report mode
+            // (Fatal panics inside the backend before the code runs).
+            let findings = native.take_verify_findings();
+            if !findings.is_empty() {
+                self.stats.verify_findings += findings.len() as u64;
+                for f in findings {
+                    self.verify_log.push(format!("[native-code] {f}"));
+                }
+            }
+        }
         self.stats.host_app += info.executed;
 
         match info.cause {
@@ -583,6 +792,62 @@ impl Tol {
 
     // -- static verification -------------------------------------------------------
 
+    /// Opens a semantic translation-validation scope over `region`
+    /// (DESIGN.md §13): the region's guest-observable behaviour is
+    /// summarized symbolically now, and [`SemanticCheck::check`] compares
+    /// every later rewrite against it. Returns `None` unless
+    /// `verify_level` is [`VerifyLevel::Semantic`] (and `verify` is on).
+    fn sem_begin(&mut self, region: &Region) -> Option<Box<SemanticCheck>> {
+        if self.cfg.verify == VerifyMode::Off || self.cfg.verify_level != VerifyLevel::Semantic {
+            return None;
+        }
+        let t0 = Instant::now();
+        let mut sem = match self.sem_spare.take() {
+            Some(mut s) => {
+                // Terms are closed expressions over entry state
+                // (`EntryGpr(i)`, `InitMem`), so the pool carries over
+                // across regions: shared subexpressions become memo hits
+                // instead of fresh interns. Clear only to bound memory.
+                if s.pool.len() > (1 << 16) {
+                    s.pool.clear();
+                }
+                s.pristine.clone_from(region);
+                s.steps.clear();
+                s.dirty = false;
+                s.region_pc = region.guest_entry_pc;
+                s.nanos = 0;
+                s.failed = None;
+                s
+            }
+            None => Box::new(SemanticCheck {
+                pool: TermPool::new(),
+                pristine: region.clone(),
+                steps: Vec::new(),
+                dirty: false,
+                region_pc: region.guest_entry_pc,
+                nanos: 0,
+                failed: None,
+            }),
+        };
+        sem.nanos = t0.elapsed().as_nanos() as u64;
+        Some(sem)
+    }
+
+    /// Closes a semantic-validation scope: reports the first divergence
+    /// (or a clean empty report, so the region still counts toward
+    /// `verify_regions`/`verify_nanos` for overhead accounting).
+    fn sem_finish(&mut self, sem: Option<Box<SemanticCheck>>, stage: &'static str) {
+        let Some(mut sem) = sem else { return };
+        let report = sem
+            .failed
+            .take()
+            .unwrap_or(VerifyReport { region_pc: sem.region_pc, findings: Vec::new() });
+        let nanos = sem.nanos;
+        self.sem_spare = Some(sem);
+        self.stats.verify_sem_nanos += nanos;
+        self.note_report(stage, report, nanos);
+    }
+
     /// Verifies the IR invariants of `region` after an optimization
     /// pipeline ran (see [`darco_ir::verify_region`]).
     fn verify_ir(&mut self, region: &Region, stage: &'static str) {
@@ -699,9 +964,14 @@ impl Tol {
             OptLevel::O0 => OptLevel::O0,
             _ => OptLevel::O1,
         };
-        run_pipeline(&mut region, bbm_level);
+        let mut sem = self.sem_begin(&region);
+        run_pipeline_sem(&mut sem, &mut region, bbm_level);
         self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
+        if let Some(s) = sem.as_mut() {
+            s.check(&region, "optimizer");
+        }
         region.validate();
+        self.sem_finish(sem, "bbm-semantic");
         self.verify_ir(&region, "bbm-pipeline");
         self.install(region, TransKind::Bb, Some(exec_idx), None, src_insns, sink);
         self.counter_bb.insert(pc, exec_idx);
@@ -762,18 +1032,35 @@ impl Tol {
             sink,
         );
         self.inject_bug_region(&mut region, BugKind::TranslatorWrongConstant);
-        run_pipeline(&mut region, self.cfg.opt_level);
+        let mut sem = self.sem_begin(&region);
+        run_pipeline_sem(&mut sem, &mut region, self.cfg.opt_level);
         self.inject_bug_region(&mut region, BugKind::OptimizerBadFold);
         if self.cfg.opt_level >= OptLevel::O3 {
-            ddg::memory_opt(&mut region);
+            let rle = ddg::memory_opt(&mut region);
+            if let Some(s) = sem.as_mut() {
+                s.steps.push(SemStep::MemoryOpt);
+                if rle > 0 {
+                    s.dirty = true;
+                }
+            }
             // Clean up RLE-introduced copies.
-            run_pipeline(&mut region, OptLevel::O2);
+            run_pipeline_sem(&mut sem, &mut region, OptLevel::O2);
+        }
+        // One composite check covers the pipeline(s) and memory_opt —
+        // the term evaluator's store-forwarding model proves the RLE
+        // rewrites equivalent, and a divergence is attributed to the
+        // offending pass by replaying the recorded steps.
+        if let Some(s) = sem.as_mut() {
+            s.check(&region, "optimizer");
+        }
+        if self.cfg.opt_level >= OptLevel::O3 {
             let allow_spec = asserts && self.cfg.speculation;
             let graph = ddg::build(&mut region, allow_spec);
             self.verify_ddg_stage(&region, &graph, "sbm-ddg");
             list_schedule(&mut region, &graph, &self.cfg.sched);
         }
         region.validate();
+        self.sem_finish(sem, "sbm-semantic");
         self.verify_ir(&region, "sbm-pipeline");
         let id = self.install(
             region,

@@ -5,6 +5,9 @@
 #   test   — full workspace test suite
 #   lint   — clippy with -D warnings on the whole workspace
 #   verify — darco-lint static verification over every workload
+#   semantic — darco-lint --semantic (symbolic translation validation)
+#            over every workload on both backends, plus the
+#            verify_overhead budget gate and committed BENCH_verify.json
 #   speed  — one tiny benchmark run as a smoke test of the speed harness
 #   trace  — darco-run/darco-lint trace + flight exporters, validated with
 #            the repo's own JSON reader (darco-trace-check)
@@ -56,12 +59,28 @@ stage "verify (darco-lint over all workloads)"
 ./target/release/darco-lint all --scale 1/512
 stage_done
 
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+
+# Semantic translation validation (DESIGN.md §13): symbolic per-pass
+# equivalence proofs over every translation of every workload, on both
+# backends (native adds the machine-code verifier on top; on hosts
+# without a JIT the second sweep transparently re-runs the emulator).
+# Then the overhead gate: verify_overhead exits 1 if the structural
+# share busts 10% or the semantic share busts 15% of translation time;
+# the committed BENCH_verify.json must carry passing gate fields.
+stage "semantic verify (darco-lint --semantic, both backends + overhead gate)"
+./target/release/darco-lint all --scale 1/512 --semantic
+./target/release/darco-lint all --scale 1/512 --semantic --backend native
+verify_bin="$PWD/target/release/verify_overhead"
+(cd "$smoke_dir" && "$verify_bin" --scale 1/64 --repeat 3 > /dev/null)
+test "$(grep -o '"within_budget":true' BENCH_verify.json | wc -l)" -eq 2
+stage_done
+
 # The harness writes BENCH_hotpath.json into the cwd; run from a scratch
 # directory so a tiny smoke run never clobbers the committed measurement.
 stage "speed smoke (tiny scale)"
 speed_bin="$PWD/target/release/speed"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && "$speed_bin" --scale 1/512)
 stage_done
 
