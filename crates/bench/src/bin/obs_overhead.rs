@@ -1,6 +1,6 @@
 //! **BENCH_obs** — pins the cost of the observability layer.
 //!
-//! Two guardrails, enforced in CI by `darco-trace-check --obs-gate`:
+//! Four guardrails, enforced in CI by `darco-trace-check --obs-gate`:
 //!
 //! - `overhead_traced`: wall-clock cost of running with the trace ring
 //!   enabled versus the disabled (`Tracer::Off`) path — budget 5%.
@@ -9,25 +9,46 @@
 //!   same mode and scale — budget 1%, i.e. threading the trace layer
 //!   through the hot paths must stay in the noise when it is off.
 //!   Omitted (null) when no baseline at the current scale is available.
+//! - `overhead_stream`: the fleet suite under a subscribed live-telemetry
+//!   hub (`SchedOpts::live`) versus the same campaign with streaming off
+//!   — budget 2%.
+//! - `overhead_profiler`: the engine subset with the guest-PC sampling
+//!   profiler attached at its default cadence versus the same stepping
+//!   schedule unprofiled — budget 2%.
 //!
 //! The workload subset and full-promotion configuration match the
 //! hot-path harness (`speed.rs`) so the baseline comparison is
-//! like-for-like. Each mode runs several repetitions interleaved and the
-//! best wall time is kept, which filters scheduler noise out of what is a
-//! sub-second measurement.
+//! like-for-like.
+//!
+//! Methodology: min-of-N per *workload*, modes interleaved within each
+//! repetition (the `verify_overhead` noise-rejection recipe). Summing
+//! whole-set wall clocks and taking the min of the sums — what this
+//! harness originally did — still lets one preempted workload poison a
+//! repetition, which is how a physically-impossible negative "overhead"
+//! (tracing 7% *faster* than not tracing) ended up in the committed
+//! artifact. Per-workload minima converge on the quiet-machine cost of
+//! each configuration, so the ratio gates an honest number.
 
 use darco::json::JsonWriter;
+use darco::{StepExit, System, SystemConfig};
 use darco_bench::{default_config, run_one, Scale};
+use darco_fleet::{parse_campaign, run_campaign_cooperative, Campaign, LiveHub, SchedOpts};
 use darco_obs::json::{parse, JsonValue};
 use darco_workloads::benchmarks;
+use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 /// Same representative subset (one benchmark per suite) as `speed.rs`.
 const SET: [usize; 3] = [0, 13, 24];
-/// Repetitions per mode; the minimum wall time wins.
-const REPS: usize = 3;
+/// Repetitions per configuration; the per-workload minimum wall wins.
+const REPS: usize = 5;
 /// Ring capacity for the traced mode (the `darco-run --trace` default).
 const TRACE_CAP: usize = 1 << 16;
+/// Stepping quantum for the profiler comparison: the profiler samples at
+/// quantum boundaries, so `darco-run --profile` clamps the quantum to the
+/// sampling period. Both sides step at this quantum; the delta is the
+/// sampling itself.
+const PROFILE_QUANTUM: u64 = darco::DEFAULT_SAMPLE_EVERY;
 
 struct ModeResult {
     guest_insns: u64,
@@ -36,31 +57,31 @@ struct ModeResult {
     trace_events: u64,
 }
 
-/// Runs the subset once; returns `(guest_insns, wall_s, trace_events)`.
-fn run_set(scale: Scale, traced: bool) -> (u64, f64, u64) {
-    let mut insns = 0u64;
-    let mut wall = 0.0f64;
-    let mut events = 0u64;
-    for &idx in &SET {
-        let b = &benchmarks()[idx];
-        let mut cfg = default_config();
-        if traced {
-            cfg.trace_capacity = Some(TRACE_CAP);
-        }
-        let t0 = Instant::now();
-        let r = run_one(b, scale, cfg);
-        wall += t0.elapsed().as_secs_f64();
-        insns += r.guest_insns;
-        events += r.trace.len() as u64;
+/// One timed run of one workload: `(guest_insns, wall_s, trace_events)`.
+fn run_workload(idx: usize, scale: Scale, traced: bool) -> (u64, f64, u64) {
+    let b = &benchmarks()[idx];
+    let mut cfg = default_config();
+    if traced {
+        cfg.trace_capacity = Some(TRACE_CAP);
     }
-    (insns, wall, events)
+    let t0 = Instant::now();
+    let r = run_one(b, scale, cfg);
+    (r.guest_insns, t0.elapsed().as_secs_f64(), r.trace.len() as u64)
 }
 
-/// Best-of-`REPS` for one mode, interleaving handled by the caller.
-fn best(results: &[(u64, f64, u64)]) -> ModeResult {
-    let &(insns, _, events) = &results[0];
-    let wall = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+/// Folds per-workload minima into one mode row.
+fn fold(mins: &[(u64, f64, u64)]) -> ModeResult {
+    let insns: u64 = mins.iter().map(|m| m.0).sum();
+    let wall: f64 = mins.iter().map(|m| m.1).sum();
+    let events: u64 = mins.iter().map(|m| m.2).sum();
     ModeResult { guest_insns: insns, wall_s: wall, mips: insns as f64 / wall / 1e6, trace_events: events }
+}
+
+/// Keeps the smaller-wall sample per workload slot.
+fn keep_min(slot: &mut Option<(u64, f64, u64)>, sample: (u64, f64, u64)) {
+    if slot.is_none_or(|s| sample.1 < s.1) {
+        *slot = Some(sample);
+    }
 }
 
 /// Reads `modes.sb.mips` out of `BENCH_hotpath.json` when it was recorded
@@ -76,21 +97,120 @@ fn hotpath_baseline(scale: Scale) -> Option<f64> {
     doc.get("modes").and_then(|m| m.get("sb")).and_then(|s| s.get("mips")).and_then(JsonValue::as_num)
 }
 
+/// The subset as a fleet campaign at the measurement scale.
+fn fleet_campaign(scale: Scale) -> Campaign {
+    let jobs: Vec<String> =
+        SET.iter().map(|&i| format!("{{\"workload\": \"{}\"}}", benchmarks()[i].name)).collect();
+    let text = format!(
+        "{{\"name\": \"obs-overhead\", \"defaults\": {{\"scale\": \"{}/{}\"}}, \"jobs\": [{}]}}",
+        scale.0,
+        scale.1,
+        jobs.join(", ")
+    );
+    parse_campaign(&text).expect("subset campaign")
+}
+
+/// One fleet-suite run, optionally under a subscribed live hub. The
+/// subscriber is a plain channel drained after the run — the worker-side
+/// cost (rate limiting, mirror sync, delta encode, event serialization)
+/// is what can perturb the suite, and that is what gets timed.
+fn run_fleet(campaign: &Campaign, live: bool) -> f64 {
+    let stop = AtomicBool::new(false);
+    let (hub, _rx) = if live {
+        let hub = LiveHub::detached();
+        let (tx, rx) = std::sync::mpsc::channel();
+        hub.subscribe_channel(tx);
+        (Some(hub), Some(rx))
+    } else {
+        (None, None)
+    };
+    let opts = SchedOpts { live: hub, ..SchedOpts::default() };
+    let t0 = Instant::now();
+    let outcome = run_campaign_cooperative(campaign, 1, &opts, &stop);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(outcome.failed_count(), 0, "fleet subset must run clean");
+    wall
+}
+
+/// Drives one engine to completion at `PROFILE_QUANTUM`, with or without
+/// the sampling profiler, returning `(guest_insns, wall_s)`.
+fn run_profiled(idx: usize, scale: Scale, profiled: bool) -> (u64, f64) {
+    let b = &benchmarks()[idx];
+    let program = darco_workloads::build(&b.profile.clone().scaled(scale.0, scale.1));
+    let t0 = Instant::now();
+    let mut e = System::new(SystemConfig::default(), program).start();
+    if profiled {
+        e.enable_profiler(darco::DEFAULT_SAMPLE_EVERY);
+    }
+    loop {
+        match e.step(PROFILE_QUANTUM) {
+            Ok(StepExit::Ended | StepExit::GuestFault) => break,
+            Ok(_) => {}
+            Err(err) => panic!("profiled run failed: {err}"),
+        }
+    }
+    if profiled {
+        let p = e.profiler().expect("profiler attached");
+        assert!(p.samples() > 0, "profiler must actually sample");
+    }
+    (e.insns(), t0.elapsed().as_secs_f64())
+}
+
+fn mode_json(w: &mut JsonWriter, name: &str, m: &ModeResult, events: bool) {
+    let obj = w
+        .begin_obj(Some(name))
+        .field_num("guest_insns", m.guest_insns)
+        .field_f64("wall_s", m.wall_s)
+        .field_f64("mips", m.mips);
+    if events {
+        obj.field_num("trace_events", m.trace_events);
+    }
+    obj.end_obj();
+}
+
 fn main() {
     let scale = Scale::from_args();
-    let mut off_runs = Vec::new();
-    let mut ring_runs = Vec::new();
+
+    // Trace-ring comparison: per-workload minima, modes interleaved.
+    let mut off_min: Vec<Option<(u64, f64, u64)>> = vec![None; SET.len()];
+    let mut ring_min: Vec<Option<(u64, f64, u64)>> = vec![None; SET.len()];
     for _ in 0..REPS {
-        off_runs.push(run_set(scale, false));
-        ring_runs.push(run_set(scale, true));
+        for (i, &idx) in SET.iter().enumerate() {
+            keep_min(&mut off_min[i], run_workload(idx, scale, false));
+            keep_min(&mut ring_min[i], run_workload(idx, scale, true));
+        }
     }
-    let off = best(&off_runs);
-    let ring = best(&ring_runs);
+    let off = fold(&off_min.iter().map(|s| s.unwrap()).collect::<Vec<_>>());
+    let ring = fold(&ring_min.iter().map(|s| s.unwrap()).collect::<Vec<_>>());
     let overhead_traced = ring.wall_s / off.wall_s - 1.0;
     let baseline = hotpath_baseline(scale);
     let overhead_null = baseline.map(|b| b / off.mips - 1.0);
 
-    println!("== Observability overhead ({} workloads, best of {REPS}) ==", SET.len());
+    // Fleet suite under live streaming, interleaved min-of-N.
+    let campaign = fleet_campaign(scale);
+    let (mut fleet_base, mut fleet_live) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        fleet_base = fleet_base.min(run_fleet(&campaign, false));
+        fleet_live = fleet_live.min(run_fleet(&campaign, true));
+    }
+    let overhead_stream = fleet_live / fleet_base - 1.0;
+
+    // Sampling profiler at its default cadence, per-workload minima.
+    let mut plain_min: Vec<Option<(u64, f64, u64)>> = vec![None; SET.len()];
+    let mut prof_min: Vec<Option<(u64, f64, u64)>> = vec![None; SET.len()];
+    for _ in 0..REPS {
+        for (i, &idx) in SET.iter().enumerate() {
+            let (insns, wall) = run_profiled(idx, scale, false);
+            keep_min(&mut plain_min[i], (insns, wall, 0));
+            let (insns, wall) = run_profiled(idx, scale, true);
+            keep_min(&mut prof_min[i], (insns, wall, 0));
+        }
+    }
+    let plain = fold(&plain_min.iter().map(|s| s.unwrap()).collect::<Vec<_>>());
+    let prof = fold(&prof_min.iter().map(|s| s.unwrap()).collect::<Vec<_>>());
+    let overhead_profiler = prof.wall_s / plain.wall_s - 1.0;
+
+    println!("== Observability overhead ({} workloads, per-workload min of {REPS}) ==", SET.len());
     println!("{:<10} {:>14} {:>10} {:>10} {:>14}", "mode", "guest insns", "wall s", "MIPS", "trace events");
     println!("{:<10} {:>14} {:>10.3} {:>10.2} {:>14}", "off", off.guest_insns, off.wall_s, off.mips, "-");
     println!("{:<10} {:>14} {:>10.3} {:>10.2} {:>14}", "ring", ring.guest_insns, ring.wall_s, ring.mips, ring.trace_events);
@@ -101,6 +221,16 @@ fn main() {
         }
         _ => println!("disabled-tracer vs hot-path baseline: no baseline at this scale"),
     }
+    println!(
+        "fleet suite: base {fleet_base:.3}s, live-streamed {fleet_live:.3}s: {:+.2}% (budget 2%)",
+        overhead_stream * 100.0
+    );
+    println!(
+        "profiler (sample every {PROFILE_QUANTUM}): off {:.3}s, on {:.3}s: {:+.2}% (budget 2%)",
+        plain.wall_s,
+        prof.wall_s,
+        overhead_profiler * 100.0
+    );
 
     let mut w = JsonWriter::new();
     w.begin_obj(None);
@@ -108,17 +238,8 @@ fn main() {
     w.field_str("scale", &format!("{}/{}", scale.0, scale.1));
     w.field_num("reps", REPS as u64);
     w.begin_obj(Some("modes"));
-    w.begin_obj(Some("off"))
-        .field_num("guest_insns", off.guest_insns)
-        .field_f64("wall_s", off.wall_s)
-        .field_f64("mips", off.mips)
-        .end_obj();
-    w.begin_obj(Some("ring"))
-        .field_num("guest_insns", ring.guest_insns)
-        .field_f64("wall_s", ring.wall_s)
-        .field_f64("mips", ring.mips)
-        .field_num("trace_events", ring.trace_events)
-        .end_obj();
+    mode_json(&mut w, "off", &off, false);
+    mode_json(&mut w, "ring", &ring, true);
     w.end_obj();
     w.field_f64("overhead_traced", overhead_traced);
     match baseline {
@@ -129,6 +250,17 @@ fn main() {
         Some(n) => w.field_f64("overhead_null_vs_baseline", n),
         None => w.field_null("overhead_null_vs_baseline"),
     };
+    w.begin_obj(Some("fleet"))
+        .field_f64("base_wall_s", fleet_base)
+        .field_f64("live_wall_s", fleet_live)
+        .end_obj();
+    w.field_f64("overhead_stream", overhead_stream);
+    w.begin_obj(Some("profiler"));
+    mode_json(&mut w, "off", &plain, false);
+    mode_json(&mut w, "on", &prof, false);
+    w.field_num("sample_every", PROFILE_QUANTUM);
+    w.end_obj();
+    w.field_f64("overhead_profiler", overhead_profiler);
     w.end_obj();
     std::fs::write("BENCH_obs.json", w.finish()).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

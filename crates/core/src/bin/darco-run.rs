@@ -57,6 +57,12 @@ fn usage() -> ! {
          \u{20}                        (or write it to FILE)\n\
            --flight[=]FILE        write a flight-recorder dump to FILE\n\
          \u{20}                        if the run diverges or panics\n\
+           --profile[=]FILE       sample guest PC/mode/region at quantum\n\
+         \u{20}                        boundaries; write collapsed-stack\n\
+         \u{20}                        (flamegraph) lines to FILE and put the\n\
+         \u{20}                        translation-cache heatmap in --json\n\
+           --profile-every N      sampling quantum in guest instructions\n\
+         \u{20}                        (default 10000)\n\
          \n\
          exit codes:\n\
            0  run completed (or guest faulted identically on both\n\
@@ -100,6 +106,8 @@ fn main() -> ExitCode {
     let mut checkpoint_at: Option<u64> = None;
     let mut checkpoint_to = "darco.snap".to_string();
     let mut restore_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut profile_every: u64 = darco::DEFAULT_SAMPLE_EVERY;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -174,6 +182,14 @@ fn main() -> ExitCode {
             a if a == "--flight" || a.starts_with("--flight=") => {
                 cfg.flight_path = Some(flag_value(&args, &mut i, "--flight"));
             }
+            a if a == "--profile" || a.starts_with("--profile=") => {
+                profile_path = Some(flag_value(&args, &mut i, "--profile"));
+            }
+            "--profile-every" => {
+                i += 1;
+                profile_every =
+                    args.get(i).and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
             a if a == "--backend" || a.starts_with("--backend=") => {
                 let v = flag_value(&args, &mut i, "--backend");
                 cfg.backend =
@@ -207,6 +223,9 @@ fn main() -> ExitCode {
     let t0 = std::time::Instant::now();
     let flight_path = cfg.flight_path.clone();
     let mut engine = System::new(cfg, program).start();
+    if profile_path.is_some() {
+        engine.enable_profiler(profile_every);
+    }
     if let Some(path) = &restore_path {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
@@ -231,11 +250,13 @@ fn main() -> ExitCode {
     let mut budget_exceeded = false;
     loop {
         // Stop exactly (well, at the next boundary) at the checkpoint
-        // point; otherwise run with an unbounded quantum.
+        // point; otherwise run with an unbounded quantum — unless the
+        // profiler needs boundaries at its sampling quantum.
         let budget = match checkpoint_at {
             Some(n) if engine.insns() < n => n - engine.insns(),
             _ => u64::MAX,
         };
+        let budget = if profile_path.is_some() { budget.min(profile_every) } else { budget };
         match engine.step(budget) {
             Ok(StepExit::Ended | StepExit::GuestFault) => break,
             Ok(_) => {
@@ -278,8 +299,16 @@ fn main() -> ExitCode {
             }
         }
     }
+    let profiler = engine.take_profiler();
     let report = engine.into_report();
     let dt = t0.elapsed().as_secs_f64();
+
+    if let (Some(path), Some(p)) = (&profile_path, &profiler) {
+        if let Err(e) = std::fs::write(path, p.to_folded(&report.name)) {
+            eprintln!("could not write profile to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &trace_path {
         let doc = darco_obs::chrome::to_chrome_trace(&report.name, &report.trace);
@@ -301,7 +330,13 @@ fn main() -> ExitCode {
 
     let exit = if budget_exceeded { ExitCode::from(EXIT_BUDGET) } else { ExitCode::SUCCESS };
     if json {
-        println!("{}", darco::json::report_to_json(&report));
+        match &profiler {
+            Some(p) => {
+                let heat = p.to_json();
+                println!("{}", darco::json::report_to_json_with(&report, &[("profile", &heat)]));
+            }
+            None => println!("{}", darco::json::report_to_json(&report)),
+        }
         return exit;
     }
     let (im, bbm, sbm) = report.mode_insns;
@@ -317,6 +352,11 @@ fn main() -> ExitCode {
     println!("  speculation          {:>12}  rollbacks", report.rollbacks);
     println!("  protocol             {:>12}  pages served, {} syscalls, {} validations",
         report.pages_served, report.syscalls, report.validations);
+    if let Some(p) = &profiler {
+        let (pim, pbbm, psbm) = p.mode_counts();
+        println!("  profile              {:>12}  samples (IM {pim} / BBM {pbbm} / SBM {psbm})",
+            p.samples());
+    }
     if let Some(t) = &report.timing {
         println!("  timing               {:>12}  cycles, IPC {:.2}, CPI(guest) {:.2}",
             t.cycles, t.ipc(), t.cycles as f64 / report.guest_insns as f64);

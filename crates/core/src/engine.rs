@@ -16,6 +16,7 @@
 //! measurements such as `*_nanos` counters are inherently excluded).
 
 use crate::machine::{Machine, MachineEvent};
+use crate::profiler::Profiler;
 use crate::system::{DarcoError, RunReport, SinkChoice, SystemConfig};
 use darco_guest::{Fault, GuestProgram, Wire, WireError, WireReader};
 use darco_host::sink::{InsnSink, NullSink, RetireEvent};
@@ -148,6 +149,16 @@ enum Finish {
     Fault(Fault),
 }
 
+/// Persistent registry mirror for flight dumps: `sync_from` at every
+/// quantum boundary accumulates honest epoch stamps (quiet metrics are
+/// not re-stamped), so on a crash `delta_since(boundary_epoch)` names
+/// exactly the metrics that moved after the last good boundary.
+struct ObsMirror {
+    reg: Registry,
+    /// Mirror epoch as of the last completed boundary.
+    boundary_epoch: u64,
+}
+
 /// A running simulation that the caller steps.
 ///
 /// Created by [`crate::System::start`]. Drop it at any point, resume it
@@ -162,6 +173,11 @@ pub struct Engine {
     /// periodic validation is off).
     next_validate: u64,
     finished: Option<Finish>,
+    /// Guest-PC sampling profiler, sampled at every quantum boundary when
+    /// enabled ([`Engine::enable_profiler`]). Boxed: most runs carry none.
+    profiler: Option<Box<Profiler>>,
+    /// Flight-dump registry mirror (allocated only with a flight path).
+    flight_mirror: Option<Box<ObsMirror>>,
 }
 
 impl Engine {
@@ -184,7 +200,30 @@ impl Engine {
             Some(step) => machine.insns().saturating_add(step),
             None => u64::MAX,
         };
-        Engine { cfg, program, machine, sink, next_validate, finished: None }
+        let flight_mirror = cfg
+            .flight_path
+            .is_some()
+            .then(|| Box::new(ObsMirror { reg: Registry::default(), boundary_epoch: 0 }));
+        Engine { cfg, program, machine, sink, next_validate, finished: None, profiler: None, flight_mirror }
+    }
+
+    /// Turns on the guest-PC sampling profiler. The engine samples once
+    /// per [`Engine::step`] boundary, so `every` is realized by stepping
+    /// with that budget (as `darco-run --profile` does); the value is
+    /// recorded in the profiler's reports. Replaces any prior profiler.
+    pub fn enable_profiler(&mut self, every: u64) {
+        self.profiler = Some(Box::new(Profiler::new(every)));
+    }
+
+    /// The profiler, when enabled.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Detaches and returns the profiler (e.g. before
+    /// [`Engine::into_report`]).
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take().map(|p| *p)
     }
 
     /// Total retired guest instructions so far.
@@ -206,6 +245,16 @@ impl Engine {
     /// Mutable access to the coupled machine.
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Assembles the current unified metrics registry: a read-only
+    /// snapshot of everything counted so far, exactly what
+    /// [`Engine::into_report`] would carry (minus the timing/power
+    /// bridges). Callers that publish incremental updates pair this with
+    /// [`Registry::sync_from`] on a persistent mirror and
+    /// [`Registry::delta_since`].
+    pub fn metrics(&self) -> Registry {
+        Self::assemble_metrics(&self.machine)
     }
 
     /// Runs up to `budget` more guest instructions, stopping early at
@@ -230,15 +279,14 @@ impl Engine {
         // With a flight path configured, a panic anywhere in the pipeline
         // (e.g. `VerifyMode::Fatal`) still produces the dump before
         // propagating, and so does every returned error.
-        if self.cfg.flight_path.is_some() {
+        let r = if self.cfg.flight_path.is_some() {
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.step_inner(budget)
             }));
             match r {
                 Ok(Ok(exit)) => Ok(exit),
                 Ok(Err(e)) => {
-                    let reg = Self::assemble_metrics(&self.machine);
-                    Self::write_flight(&self.cfg, &self.machine, &reg, &e.to_string());
+                    self.emit_flight(&e.to_string());
                     Err(e)
                 }
                 Err(payload) => {
@@ -247,14 +295,45 @@ impl Engine {
                         .cloned()
                         .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                         .unwrap_or_else(|| "non-string panic payload".to_string());
-                    let reg = Self::assemble_metrics(&self.machine);
-                    Self::write_flight(&self.cfg, &self.machine, &reg, &format!("panic: {msg}"));
+                    self.emit_flight(&format!("panic: {msg}"));
                     std::panic::resume_unwind(payload);
                 }
             }
         } else {
             self.step_inner(budget)
+        };
+        if matches!(r, Ok(StepExit::Yielded | StepExit::ValidationDue)) {
+            // A quantum boundary mid-run: the TOL sits at a mode boundary
+            // with transients drained, so the sample is well-defined.
+            if let Some(p) = &mut self.profiler {
+                p.sample(&self.machine);
+            }
+            if let Some(mirr) = &mut self.flight_mirror {
+                mirr.reg.sync_from(&Self::assemble_metrics(&self.machine));
+                mirr.boundary_epoch = mirr.reg.epoch();
+            }
         }
+        r
+    }
+
+    /// Assembles and writes the flight artifact for a failing step,
+    /// attaching the since-last-boundary registry delta and the profile
+    /// window when available.
+    fn emit_flight(&mut self, context: &str) {
+        let reg = Self::assemble_metrics(&self.machine);
+        let delta = self.flight_mirror.as_mut().map(|mirr| {
+            mirr.reg.sync_from(&reg);
+            mirr.reg.delta_since(mirr.boundary_epoch).to_json()
+        });
+        let window = self.profiler.as_ref().map(|p| p.window_json());
+        let mut extras: Vec<(&str, &str)> = Vec::new();
+        if let Some(d) = &delta {
+            extras.push(("delta", d));
+        }
+        if let Some(w) = &window {
+            extras.push(("profile_window", w));
+        }
+        Self::write_flight(&self.cfg, &self.machine, &reg, context, &extras);
     }
 
     fn step_inner(&mut self, budget: u64) -> Result<StepExit, DarcoError> {
@@ -471,13 +550,19 @@ impl Engine {
 
     /// Writes the flight-recorder artifact from a pre-assembled registry
     /// (best effort — a failing dump never masks the original error).
-    fn write_flight(cfg: &SystemConfig, machine: &Machine, reg: &Registry, context: &str) {
+    fn write_flight(
+        cfg: &SystemConfig,
+        machine: &Machine,
+        reg: &Registry,
+        context: &str,
+        extras: &[(&str, &str)],
+    ) {
         let Some(path) = &cfg.flight_path else { return };
         let (events, dropped) = match machine.tol.obs.trace.ring_ref() {
             Some(r) => (r.events(), r.dropped()),
             None => (Vec::new(), 0),
         };
-        let dump = darco_obs::flight::flight_dump(context, &events, dropped, reg);
+        let dump = darco_obs::flight::flight_dump_with(context, &events, dropped, reg, extras);
         if let Err(e) = std::fs::write(path, dump) {
             eprintln!("warning: could not write flight dump to {path}: {e}");
         }

@@ -15,6 +15,13 @@ pub use darco_obs::json::JsonWriter;
 
 /// Serializes a [`RunReport`] to a JSON object string.
 pub fn report_to_json(r: &RunReport) -> String {
+    report_to_json_with(r, &[])
+}
+
+/// [`report_to_json`] plus caller-supplied top-level sections, each a
+/// `(key, pre-rendered JSON value)` pair — `darco-run --profile --json`
+/// attaches the sampling profiler's translation-cache heatmap this way.
+pub fn report_to_json_with(r: &RunReport, extras: &[(&str, &str)]) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj(None);
     w.field_str("name", &r.name);
@@ -86,6 +93,9 @@ pub fn report_to_json(r: &RunReport) -> String {
         w.field_null("power");
     }
     w.field_raw("metrics", &r.metrics.to_json());
+    for (key, json) in extras {
+        w.field_raw(key, json);
+    }
     w.end_obj();
     w.finish()
 }

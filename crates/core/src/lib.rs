@@ -45,10 +45,12 @@ pub mod debug;
 pub mod engine;
 pub mod json;
 pub mod machine;
+pub mod profiler;
 pub mod sampling;
 pub mod system;
 
 pub use config_json::{config_apply_json, config_from_json, config_from_str, config_to_json};
 pub use engine::{Engine, Snapshot, StepExit};
+pub use profiler::{ProfSample, Profiler, RegionStat, DEFAULT_SAMPLE_EVERY};
 pub use machine::{Machine, MachineEvent};
 pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig};

@@ -1,0 +1,396 @@
+//! The guest-PC sampling profiler.
+//!
+//! At every [`crate::Engine::step`] quantum boundary the engine is at a
+//! synchronization-safe point: the TOL sits at a mode boundary with its
+//! transients drained, so the guest PC names the *next* dispatch site and
+//! the code cache answers, in O(1), which mode that dispatch will run in
+//! (a valid translation at the PC means BBM or SBM; no translation means
+//! the interpreter). [`Profiler::sample`] records exactly that — guest
+//! PC, execution mode and region identity — into power-of-two histograms
+//! and a region-residency table, which is the per-region/per-mode
+//! attribution data the DCG design-space work (ROADMAP item 4) needs.
+//!
+//! Sampling is a pure read of machine state: it never perturbs the
+//! simulation, so a profiled run retires exactly the instructions an
+//! unprofiled run does. Because the engine's stepping schedule is
+//! deterministic, the samples are too — two profiled runs of the same
+//! workload at the same quantum produce byte-identical folded output.
+//!
+//! Three export surfaces:
+//! * [`Profiler::to_folded`] — collapsed-stack ("folded") lines,
+//!   `workload;MODE;frame count`, the input format of standard flamegraph
+//!   tooling (`darco-run --profile out.folded`);
+//! * [`Profiler::to_json`] — the translation-cache heatmap for the debug
+//!   JSON: per-region residency, promotion lag and rollback density;
+//! * [`Profiler::window_json`] — the most recent samples, embedded in
+//!   flight dumps so a crash artifact shows where the guest was.
+
+use crate::machine::Machine;
+use darco_obs::{ExecMode, Histogram, JsonWriter};
+use darco_tol::TransKind;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default sampling quantum (guest instructions between samples) used by
+/// `darco-run --profile`.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 10_000;
+
+/// Samples kept in the rolling window for flight dumps.
+const WINDOW_CAP: usize = 64;
+
+/// One sample: where the guest was at a quantum boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfSample {
+    /// Retired guest instructions at the boundary.
+    pub insns: u64,
+    /// Guest PC of the next dispatch.
+    pub pc: u32,
+    /// Mode the next dispatch runs in.
+    pub mode: ExecMode,
+    /// Region entry PC when the dispatch hits the code cache.
+    pub region: Option<u32>,
+}
+
+/// Accumulated residency for one translated region (keyed by its guest
+/// entry PC, which is stable across BB→SB promotion and recreation,
+/// unlike translation ids).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionStat {
+    /// Samples that hit this region as a basic-block translation.
+    pub samples_bb: u64,
+    /// Samples that hit it as a superblock.
+    pub samples_sb: u64,
+    /// Instruction count at the first BBM sample.
+    pub first_bb: Option<u64>,
+    /// Instruction count at the first SBM sample.
+    pub first_sb: Option<u64>,
+    /// Instruction count at the most recent sample.
+    pub last_seen: u64,
+    /// Latest observed speculation-failure count (rollback density).
+    pub spec_fails: u32,
+    /// Host instructions in the current translation (static).
+    pub host_insns: u32,
+    /// Guest instructions in the source region (static).
+    pub src_insns: u32,
+}
+
+/// The sampling profiler (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    every: u64,
+    samples: u64,
+    mode_counts: [u64; 3], // IM, BBM, SBM
+    /// Power-of-two histogram over sampled guest PCs (address locality).
+    pc_histo: Histogram,
+    /// Power-of-two histogram of BB-sample→SB-sample promotion lags.
+    promotion_lag: Histogram,
+    /// Interpreter samples by exact guest PC.
+    im_pcs: BTreeMap<u32, u64>,
+    /// Region-residency table by guest entry PC.
+    regions: BTreeMap<u32, RegionStat>,
+    /// Rolling window of the most recent samples.
+    window: VecDeque<ProfSample>,
+}
+
+impl Profiler {
+    /// Creates a profiler; `every` is the sampling quantum it will be
+    /// driven at (recorded for the reports, not enforced here — the
+    /// engine's caller owns the stepping schedule).
+    pub fn new(every: u64) -> Profiler {
+        Profiler {
+            every: every.max(1),
+            samples: 0,
+            mode_counts: [0; 3],
+            pc_histo: Histogram::default(),
+            promotion_lag: Histogram::default(),
+            im_pcs: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            window: VecDeque::with_capacity(WINDOW_CAP),
+        }
+    }
+
+    /// Records one sample off the machine's current state.
+    pub fn sample(&mut self, m: &Machine) {
+        let insns = m.insns();
+        let pc = m.state.eip;
+        let (mode, region) = match m.tol.cache.lookup(pc) {
+            Some(id) => {
+                let t = m.tol.cache.translation(id);
+                let r = self.regions.entry(pc).or_default();
+                r.host_insns = t.host_insns;
+                r.src_insns = t.src_insns;
+                r.spec_fails = t.spec_fails;
+                r.last_seen = insns;
+                match t.kind {
+                    TransKind::Bb => {
+                        r.samples_bb += 1;
+                        r.first_bb.get_or_insert(insns);
+                        (ExecMode::Bbm, Some(pc))
+                    }
+                    TransKind::Sb { .. } => {
+                        r.samples_sb += 1;
+                        if r.first_sb.is_none() {
+                            r.first_sb = Some(insns);
+                            if let Some(fb) = r.first_bb {
+                                self.promotion_lag.record(insns - fb);
+                            }
+                        }
+                        (ExecMode::Sbm, Some(pc))
+                    }
+                }
+            }
+            None => {
+                *self.im_pcs.entry(pc).or_insert(0) += 1;
+                (ExecMode::Im, None)
+            }
+        };
+        self.samples += 1;
+        self.mode_counts[match mode {
+            ExecMode::Im => 0,
+            ExecMode::Bbm => 1,
+            ExecMode::Sbm => 2,
+        }] += 1;
+        self.pc_histo.record(pc as u64);
+        if self.window.len() == WINDOW_CAP {
+            self.window.pop_front();
+        }
+        self.window.push_back(ProfSample { insns, pc, mode, region });
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sample counts per mode `(IM, BBM, SBM)`.
+    pub fn mode_counts(&self) -> (u64, u64, u64) {
+        (self.mode_counts[0], self.mode_counts[1], self.mode_counts[2])
+    }
+
+    /// The region-residency table (entry PC → stats).
+    pub fn regions(&self) -> impl Iterator<Item = (u32, &RegionStat)> {
+        self.regions.iter().map(|(pc, r)| (*pc, r))
+    }
+
+    /// The sampling quantum this profiler was configured for.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Collapsed-stack flamegraph export: one `frames count` line per
+    /// distinct stack, frames separated by `;`. Stacks are
+    /// `workload;MODE;site`, where the site is the exact guest PC for
+    /// interpreter samples and `region_0x<entry>` for translated code.
+    /// Deterministic: lines are ordered by PC within each mode group.
+    pub fn to_folded(&self, workload: &str) -> String {
+        let mut out = String::new();
+        for (pc, n) in &self.im_pcs {
+            out.push_str(&format!("{workload};IM;0x{pc:08x} {n}\n"));
+        }
+        for (pc, r) in &self.regions {
+            if r.samples_bb > 0 {
+                out.push_str(&format!("{workload};BBM;region_0x{pc:08x} {}\n", r.samples_bb));
+            }
+            if r.samples_sb > 0 {
+                out.push_str(&format!("{workload};SBM;region_0x{pc:08x} {}\n", r.samples_sb));
+            }
+        }
+        out
+    }
+
+    fn histo_json(h: &Histogram) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_num("count", h.count);
+        w.field_num("sum", h.sum);
+        w.field_num("min", if h.count == 0 { 0 } else { h.min });
+        w.field_num("max", h.max);
+        w.begin_arr(Some("buckets"));
+        for (lo, hi, n) in h.nonzero_buckets() {
+            let mut b = JsonWriter::new();
+            b.begin_arr(None).elem_num(lo).elem_num(hi).elem_num(n).end_arr();
+            w.elem_raw(&b.finish());
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// The translation-cache heatmap: per-region residency (hot regions),
+    /// promotion lag and rollback density, plus the mode-residency and
+    /// PC-locality summaries. Embedded under `"profile"` in the debug
+    /// JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_num("samples", self.samples);
+        w.field_num("sample_every", self.every);
+        w.begin_obj(Some("mode_residency"));
+        w.field_num("im", self.mode_counts[0]);
+        w.field_num("bbm", self.mode_counts[1]);
+        w.field_num("sbm", self.mode_counts[2]);
+        w.end_obj();
+        w.field_raw("pc_histogram", &Self::histo_json(&self.pc_histo));
+        w.field_raw("promotion_lag", &Self::histo_json(&self.promotion_lag));
+        w.begin_arr(Some("regions"));
+        for (pc, r) in &self.regions {
+            let mut e = JsonWriter::new();
+            e.begin_obj(None);
+            e.field_str("entry", &format!("0x{pc:08x}"));
+            e.field_num("samples_bb", r.samples_bb);
+            e.field_num("samples_sb", r.samples_sb);
+            let share = (r.samples_bb + r.samples_sb) as f64 / self.samples.max(1) as f64;
+            e.field_f64("share", share);
+            match r.first_bb {
+                Some(v) => e.field_num("first_bb", v),
+                None => e.field_null("first_bb"),
+            };
+            match r.first_sb {
+                Some(v) => e.field_num("first_sb", v),
+                None => e.field_null("first_sb"),
+            };
+            if let (Some(fb), Some(fs)) = (r.first_bb, r.first_sb) {
+                e.field_num("promotion_lag", fs - fb);
+            }
+            e.field_num("last_seen", r.last_seen);
+            e.field_num("spec_fails", r.spec_fails);
+            e.field_num("host_insns", r.host_insns);
+            e.field_num("src_insns", r.src_insns);
+            e.end_obj();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        // Interpreter hot spots: the top sites by sample count (ties
+        // broken by PC so the list is deterministic).
+        let mut im: Vec<(u32, u64)> = self.im_pcs.iter().map(|(p, n)| (*p, *n)).collect();
+        im.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        w.begin_arr(Some("hot_im_pcs"));
+        for (pc, n) in im.into_iter().take(16) {
+            let mut e = JsonWriter::new();
+            e.begin_arr(None).elem_str(&format!("0x{pc:08x}")).elem_num(n).end_arr();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// The active profile window (most recent samples, oldest first) as a
+    /// JSON array — the flight-dump embedding.
+    pub fn window_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_arr(None);
+        for s in &self.window {
+            let mut e = JsonWriter::new();
+            e.begin_obj(None);
+            e.field_num("insns", s.insns);
+            e.field_str("pc", &format!("0x{:08x}", s.pc));
+            e.field_str("mode", s.mode.name());
+            match s.region {
+                Some(r) => e.field_str("region", &format!("0x{r:08x}")),
+                None => e.field_null("region"),
+            };
+            e.end_obj();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::system::{System, SystemConfig};
+    use crate::StepExit;
+    use darco_guest::program::DEFAULT_CODE_BASE;
+    use darco_guest::{Asm, Cond, Gpr};
+
+    fn loop_program(iters: i32) -> darco_guest::GuestProgram {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        a.mov_ri(Gpr::Ecx, iters);
+        let top = a.here();
+        a.add_rr(Gpr::Eax, Gpr::Ecx);
+        a.dec(Gpr::Ecx);
+        a.jcc_to(Cond::Ne, top);
+        a.halt();
+        a.into_program()
+    }
+
+    fn hot_cfg() -> SystemConfig {
+        SystemConfig {
+            tol: darco_tol::TolConfig { bbm_threshold: 3, sbm_threshold: 12, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn profiled_run_attributes_modes_and_regions() {
+        let mut e = System::new(hot_cfg(), loop_program(20_000)).start();
+        e.enable_profiler(500);
+        while let StepExit::Yielded | StepExit::ValidationDue = e.step(500).unwrap() {}
+        let p = e.take_profiler().expect("profiler was enabled");
+        assert!(p.samples() > 50, "60k insns at quantum 500: {}", p.samples());
+        let (_, _, sbm) = p.mode_counts();
+        assert!(sbm > 0, "a hot loop is sampled in SBM");
+        // The hot loop is one region; its residency dominates.
+        let hottest = p.regions().map(|(_, r)| r.samples_bb + r.samples_sb).max().unwrap();
+        assert!(
+            hottest as f64 / p.samples() as f64 > 0.5,
+            "hot region holds most samples: {hottest}/{}",
+            p.samples()
+        );
+        // Folded output: non-empty, parseable, counts match samples.
+        let folded = p.to_folded("loop");
+        let mut total = 0u64;
+        for line in folded.lines() {
+            let (stack, n) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3, "workload;MODE;site: {line}");
+            assert!(stack.starts_with("loop;"));
+            total += n.parse::<u64>().unwrap();
+        }
+        assert_eq!(total, p.samples(), "every sample lands in exactly one stack");
+        // The heatmap and window render as valid JSON.
+        let heat = darco_obs::parse(&p.to_json()).unwrap();
+        assert_eq!(
+            heat.get("samples").and_then(|v| v.as_num()),
+            Some(p.samples() as f64)
+        );
+        assert!(!heat.get("regions").unwrap().as_arr().unwrap().is_empty());
+        let win = darco_obs::parse(&p.window_json()).unwrap();
+        assert!(!win.as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn profiled_and_plain_runs_retire_identically() {
+        let mut plain = System::new(hot_cfg(), loop_program(5_000)).start();
+        let mut prof = System::new(hot_cfg(), loop_program(5_000)).start();
+        prof.enable_profiler(300);
+        loop {
+            let (a, b) = (plain.step(300).unwrap(), prof.step(300).unwrap());
+            assert_eq!(a, b);
+            if a == StepExit::Ended {
+                break;
+            }
+        }
+        let (ra, rb) = (plain.into_report(), prof.into_report());
+        assert_eq!(ra.guest_insns, rb.guest_insns);
+        assert_eq!(ra.mode_insns, rb.mode_insns);
+        assert_eq!(ra.overhead, rb.overhead);
+    }
+
+    #[test]
+    fn promotion_lag_is_observed_for_promoted_regions() {
+        let mut e = System::new(hot_cfg(), loop_program(50_000)).start();
+        // Tiny quantum so BB-phase samples land before promotion.
+        e.enable_profiler(20);
+        while let StepExit::Yielded | StepExit::ValidationDue = e.step(20).unwrap() {}
+        let p = e.take_profiler().unwrap();
+        let promoted = p
+            .regions()
+            .filter(|(_, r)| r.first_bb.is_some() && r.first_sb.is_some())
+            .count();
+        assert!(promoted > 0, "the hot loop was sampled in both BB and SB phases");
+        let doc = darco_obs::parse(&p.to_json()).unwrap();
+        let lag = doc.get("promotion_lag").unwrap();
+        assert!(lag.get("count").and_then(|v| v.as_num()).unwrap() >= 1.0);
+    }
+}

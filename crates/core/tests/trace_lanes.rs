@@ -1,0 +1,131 @@
+//! The `jit.*` / `verify.*` trace lanes: a traced run under the native
+//! backend with semantic verification must surface JIT compile activity
+//! and semantic-proof spans in the event window, and the chrome export
+//! must place them on their own lanes (5 = native JIT, 6 = verification
+//! spans) with balanced begin/end phases.
+
+use darco::{System, SystemConfig};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::{AluOp, Asm, Cond, Gpr, GuestProgram};
+use darco_host::codegen::Backend;
+use darco_obs::chrome::{to_chrome_trace, validate_chrome_trace};
+use darco_obs::json::{parse, JsonValue};
+use darco_obs::TraceEventKind;
+use darco_tol::{TolConfig, VerifyLevel};
+
+/// A hot counted loop that promotes through BBM into SBM, so both
+/// translation pipelines (and their semantic proofs) run.
+fn hot_loop() -> GuestProgram {
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ecx, 300);
+    let top = a.here();
+    a.alu_ri(AluOp::Add, Gpr::Eax, 7);
+    a.alu_rr(AluOp::Xor, Gpr::Ebx, Gpr::Eax);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    a.into_program()
+}
+
+fn traced_cfg() -> SystemConfig {
+    SystemConfig {
+        tol: TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 10,
+            verify_level: VerifyLevel::Semantic,
+            ..TolConfig::default()
+        },
+        backend: Backend::Native,
+        trace_capacity: Some(4096),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn semantic_proofs_and_jit_activity_land_on_their_lanes() {
+    let report = System::new(traced_cfg(), hot_loop()).run().expect("clean run");
+    let names: Vec<&str> = report.trace.iter().map(|e| e.kind.name()).collect();
+
+    // Semantic-proof spans: every begin has its end, in order, and at
+    // least one region was proven.
+    let begins = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::SemBegin { .. }))
+        .count();
+    let ends: Vec<&darco_obs::TraceEvent> = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::SemEnd { .. }))
+        .collect();
+    assert!(begins >= 1, "semantic verification ran: {names:?}");
+    assert_eq!(begins, ends.len(), "balanced verify.semantic spans");
+    for e in &ends {
+        let TraceEventKind::SemEnd { findings, .. } = e.kind else { unreachable!() };
+        assert_eq!(findings, 0, "clean run proves all regions");
+    }
+
+    // Native JIT activity (only where the backend actually exists).
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        assert!(names.contains(&"jit.compile"), "native backend compiled fragments: {names:?}");
+        let compiled: u64 = report
+            .trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::JitCompile { frags, bytes, .. } => {
+                    assert!(bytes > 0, "compiled fragments emit code bytes");
+                    Some(frags)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(compiled >= 1);
+    }
+
+    // Chrome export: validates, and the new kinds sit on lanes 5/6 with
+    // B/E phases for the proof spans.
+    let chrome = to_chrome_trace("trace-lanes", &report.trace);
+    let doc = parse(&chrome).expect("chrome export parses");
+    validate_chrome_trace(&doc).expect("chrome export validates");
+    let arr = doc.as_arr().unwrap();
+    let mut sem_depth = 0i64;
+    let mut saw_sem = false;
+    for ev in arr {
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap();
+        let tid = ev.get("tid").and_then(JsonValue::as_num).unwrap_or(-1.0) as i64;
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap();
+        if name.starts_with("jit.") {
+            assert_eq!(tid, 5, "jit events on lane 5: {name}");
+            assert_eq!(ph, "i");
+        }
+        if name == "verify.semantic" {
+            saw_sem = true;
+            assert_eq!(tid, 6, "semantic proofs on lane 6");
+            match ph {
+                "B" => sem_depth += 1,
+                "E" => sem_depth -= 1,
+                other => panic!("verify.semantic must be a span, got ph {other}"),
+            }
+            assert!(sem_depth >= 0, "span ends never precede their begins");
+        }
+        if name == "verify.mcode" {
+            assert_eq!(tid, 6, "machine-code checks on lane 6");
+        }
+    }
+    assert!(saw_sem, "export carries the proof spans");
+    assert_eq!(sem_depth, 0, "every span closed");
+}
+
+#[test]
+fn emulator_backend_emits_no_jit_events() {
+    let cfg = SystemConfig { backend: Backend::Emu, ..traced_cfg() };
+    let report = System::new(cfg, hot_loop()).run().expect("clean run");
+    assert!(
+        !report.trace.iter().any(|e| e.kind.name().starts_with("jit.")),
+        "the emulator backend must not fabricate jit.* events"
+    );
+    assert!(
+        report.trace.iter().any(|e| e.kind.name() == "verify.semantic"),
+        "semantic spans are backend-independent"
+    );
+}

@@ -21,7 +21,7 @@
 //! finish (`run` mode checkpoints live engines when a state dir is set),
 //! queued jobs drain as `skipped`.
 
-use darco_fleet::{parse_campaign, run_campaign_cooperative, signal, SchedOpts, Server};
+use darco_fleet::{parse_campaign, run_campaign_cooperative, signal, LiveHub, SchedOpts, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -32,7 +32,7 @@ fn usage() -> ! {
         "usage:\n\
          \u{20} darco-fleet run <campaign.json> [--jobs N] [--out FILE]\n\
          \u{20}             [--flight-dir DIR] [--quantum N]\n\
-         \u{20}             [--state-dir DIR] [--resume DIR]\n\
+         \u{20}             [--state-dir DIR] [--resume DIR] [--live ADDR]\n\
          \u{20} darco-fleet serve --addr HOST:PORT [--jobs N] [--queue-cap N]\n\
          \u{20}             [--flight-dir DIR]\n\
          \n\
@@ -46,6 +46,8 @@ fn usage() -> ! {
          \u{20} --resume D      continue a previous run from its state dir\n\
          \u{20}                 (implies --state-dir D): finished jobs are\n\
          \u{20}                 reused, checkpointed jobs restored mid-run\n\
+         \u{20} --live ADDR     stream live telemetry (JSON lines) on ADDR;\n\
+         \u{20}                 attach with `darco-top ADDR` (run)\n\
          \u{20} --queue-cap N   backpressure bound on unstarted jobs (serve)"
     );
     std::process::exit(2);
@@ -64,6 +66,7 @@ struct Opts {
     state_dir: Option<PathBuf>,
     resume: bool,
     addr: Option<String>,
+    live: Option<String>,
     positional: Vec<String>,
 }
 
@@ -77,6 +80,7 @@ fn parse_opts(args: &[String]) -> Opts {
         state_dir: None,
         resume: false,
         addr: None,
+        live: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -101,6 +105,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.resume = true;
             }
             "--addr" => o.addr = Some(take(&mut i)),
+            "--live" => o.live = Some(take(&mut i)),
             a if a.starts_with("--") => usage(),
             a => o.positional.push(a.to_string()),
         }
@@ -157,13 +162,33 @@ fn cmd_run(o: &Opts) -> ExitCode {
         o.jobs,
         o.quantum,
     );
+    let live = match &o.live {
+        Some(addr) => match LiveHub::bind(addr) {
+            Ok((hub, bound)) => {
+                eprintln!("darco-fleet: live telemetry on {bound} (attach with `darco-top {bound}`)");
+                Some(hub)
+            }
+            Err(e) => {
+                eprintln!("darco-fleet: cannot bind live address {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let sched = SchedOpts {
         quantum: o.quantum,
         state_dir: o.state_dir.clone(),
         resume: o.resume,
         flight_dir: o.flight_dir.clone(),
+        live: live.clone(),
     };
     let outcome = run_campaign_cooperative(&campaign, o.jobs, &sched, &stop);
+    if let Some(hub) = &live {
+        // The end event is already published; give attached dashboards a
+        // beat to drain their queues before the process exits.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        hub.close();
+    }
     for r in &outcome.results {
         eprintln!("  {}", r.schedule_json());
     }

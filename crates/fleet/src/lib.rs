@@ -24,6 +24,7 @@
 
 pub mod campaign;
 pub mod job;
+pub mod live;
 pub mod pool;
 pub mod runner;
 pub mod sched;
@@ -33,6 +34,7 @@ pub mod workload;
 
 pub use campaign::{parse_campaign, Campaign};
 pub use job::{JobKind, JobResult, JobSpec, JobStatus};
+pub use live::LiveHub;
 pub use pool::{Pool, TaskError};
 pub use runner::{execute_job, merge_results, run_campaign, CampaignOutcome};
 pub use sched::{run_campaign_cooperative, SchedOpts};

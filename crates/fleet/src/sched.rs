@@ -32,14 +32,17 @@
 
 use crate::campaign::Campaign;
 use crate::job::{run_payload, JobKind, JobResult, JobSpec, JobStatus};
+use crate::live::{self, LiveHub};
 use crate::pool::panic_message;
 use crate::runner::{execute_job, CampaignOutcome};
 use crate::workload::{resolve, Resolved};
 use darco::{Engine, Snapshot, System};
 use darco_guest::{Wire, WireError, WireReader};
+use darco_obs::Registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scheduling knobs for a cooperative campaign run.
@@ -59,13 +62,22 @@ pub struct SchedOpts {
     /// Flight-dump directory for failing jobs (same contract as the pool
     /// path's `--flight-dir`).
     pub flight_dir: Option<PathBuf>,
+    /// Live telemetry hub: workers publish job lifecycle, progress and
+    /// registry-delta events into it (see [`crate::live`]). Publishing
+    /// only reads engine state — the merged artifact is byte-identical
+    /// with or without a hub attached.
+    pub live: Option<Arc<LiveHub>>,
 }
 
 impl Default for SchedOpts {
     fn default() -> Self {
-        SchedOpts { quantum: 100_000, state_dir: None, resume: false, flight_dir: None }
+        SchedOpts { quantum: 100_000, state_dir: None, resume: false, flight_dir: None, live: None }
     }
 }
+
+/// Minimum wall-clock between per-job progress/delta publications (the
+/// first boundary and terminal states always publish).
+const PUBLISH_INTERVAL_MS: u128 = 200;
 
 /// `<state-dir>/job-<id>.snap` — where a timed-out (or interrupted) job's
 /// engine checkpoint lands.
@@ -182,6 +194,19 @@ struct Slot {
     /// budget — the timeout bounds one scheduling session, not the sum).
     started: Instant,
     flight: Option<String>,
+    /// Publisher state when a live hub is attached.
+    live: Option<SlotLive>,
+}
+
+/// Per-slot telemetry publisher: the persistent registry mirror
+/// accumulates honest epoch stamps across publications
+/// ([`Registry::sync_from`]), so `delta_since(published_epoch)` is
+/// exactly what changed since the job's previous `delta` event.
+struct SlotLive {
+    mirror: Registry,
+    published_epoch: u64,
+    last_pub: Option<Instant>,
+    last_insns: u64,
 }
 
 impl Slot {
@@ -190,6 +215,51 @@ impl Slot {
             Some(ms) => self.started.elapsed().as_millis() as u64 >= ms,
             None => false,
         }
+    }
+
+    /// Publishes a `progress` + `delta` event pair for this job, rate
+    /// limited unless `force` (terminal states flush unconditionally).
+    fn publish_live(&mut self, hub: &LiveHub, worker: usize, force: bool) {
+        let Some(live) = &mut self.live else { return };
+        let due = force
+            || match live.last_pub {
+                None => true,
+                Some(t) => t.elapsed().as_millis() >= PUBLISH_INTERVAL_MS,
+            };
+        if !due {
+            return;
+        }
+        let insns = self.engine.insns();
+        let dt = live.last_pub.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        let mips =
+            if dt > 0.0 { (insns - live.last_insns) as f64 / dt / 1e6 } else { 0.0 };
+        let m = self.engine.machine();
+        let mode = m.tol.mode_split();
+        let rollbacks = m.tol.emu.counters.assert_fails + m.tol.emu.counters.alias_fails;
+        let t_ms = hub.now_ms();
+        let id = self.spec.id;
+        hub.publish(
+            Some(&live::model_key(2, id)),
+            &live::progress_event(t_ms, id, worker, insns, mips, mode, rollbacks),
+        );
+        live.mirror.sync_from(&self.engine.metrics());
+        let delta = live.mirror.delta_since(live.published_epoch);
+        if !delta.is_empty() {
+            hub.publish(Some(&live::model_key(3, id)), &live::delta_event(t_ms, id, &delta));
+        }
+        live.published_epoch = live.mirror.epoch();
+        live.last_pub = Some(Instant::now());
+        live.last_insns = insns;
+    }
+}
+
+/// Publishes a terminal `job` lifecycle event.
+fn publish_done(opts: &SchedOpts, r: &JobResult, worker: usize) {
+    if let Some(hub) = &opts.live {
+        hub.publish(
+            Some(&live::model_key(1, r.id)),
+            &live::job_event(hub.now_ms(), r.id, &r.workload, "done", Some(r.status.name()), worker),
+        );
     }
 }
 
@@ -255,12 +325,23 @@ fn make_slot(spec: &JobSpec, opts: &SchedOpts) -> Result<Slot, Box<JobResult>> {
             }
         }
     }
-    Ok(Slot { spec: spec.clone(), engine, started: Instant::now(), flight })
+    let live = opts.live.is_some().then(|| SlotLive {
+        mirror: Registry::default(),
+        published_epoch: 0,
+        last_pub: None,
+        last_insns: engine.insns(),
+    });
+    Ok(Slot { spec: spec.clone(), engine, started: Instant::now(), flight, live })
 }
 
 /// Steps every slot on the slate round-robin until all are terminal (or
 /// the stop flag interrupts), producing one result per slot.
-fn drive_slate(mut slate: Vec<Slot>, opts: &SchedOpts, stop: &AtomicBool) -> Vec<JobResult> {
+fn drive_slate(
+    mut slate: Vec<Slot>,
+    opts: &SchedOpts,
+    stop: &AtomicBool,
+    worker: usize,
+) -> Vec<JobResult> {
     let mut out = Vec::with_capacity(slate.len());
     while !slate.is_empty() {
         let mut i = 0;
@@ -274,6 +355,7 @@ fn drive_slate(mut slate: Vec<Slot>, opts: &SchedOpts, stop: &AtomicBool) -> Vec
                             r.checkpoint_path = Some(p);
                         }
                     }
+                    publish_done(opts, &r, worker);
                     out.push(r);
                 }
                 return out;
@@ -294,17 +376,24 @@ fn drive_slate(mut slate: Vec<Slot>, opts: &SchedOpts, stop: &AtomicBool) -> Vec
                             }
                             Some(r)
                         } else {
+                            if let Some(hub) = &opts.live {
+                                slot.publish_live(hub, worker, false);
+                            }
                             None
                         }
                     }
                     darco::StepExit::Ended | darco::StepExit::GuestFault => {
-                        let slot = slate.remove(i);
+                        let mut slot = slate.remove(i);
+                        if let Some(hub) = &opts.live {
+                            slot.publish_live(hub, worker, true);
+                        }
                         let report = slot.engine.into_report();
                         let (payload, metrics) = run_payload(&report);
                         let mut r = result_shell(&slot.spec, JobStatus::Ok);
                         r.payload = Some(payload);
                         r.metrics = Some(metrics);
                         r.wall_ms = slot.started.elapsed().as_millis() as u64;
+                        publish_done(opts, &r, worker);
                         out.push(r);
                         continue; // `i` now points at the next slot
                     }
@@ -325,6 +414,7 @@ fn drive_slate(mut slate: Vec<Slot>, opts: &SchedOpts, stop: &AtomicBool) -> Vec
                 Some(mut r) => {
                     let slot = slate.remove(i);
                     r.wall_ms = slot.started.elapsed().as_millis() as u64;
+                    publish_done(opts, &r, worker);
                     out.push(r);
                 }
                 None => i += 1,
@@ -359,6 +449,12 @@ pub fn run_campaign_cooperative(
             eprintln!("warning: cannot create state dir {}: {e}", dir.display());
         }
     }
+    if let Some(hub) = &opts.live {
+        hub.publish(
+            Some(&live::model_key(0, 0)),
+            &live::campaign_event(hub.now_ms(), &c.name, c.jobs.len(), workers, opts.quantum),
+        );
+    }
     // Reused results and atomic-vs-engine classification happen up front,
     // single-threaded, in id order — cheap, and it keeps the worker loop
     // free of filesystem races on the state dir.
@@ -370,7 +466,10 @@ pub fn run_campaign_cooperative(
             _ => None,
         };
         match reused {
-            Some(r) => results[i] = Some(r),
+            Some(r) => {
+                publish_done(opts, &r, 0);
+                results[i] = Some(r);
+            }
             None => pending.push(spec),
         }
     }
@@ -385,19 +484,39 @@ pub fn run_campaign_cooperative(
                 let mut slate = Vec::new();
                 for spec in mine {
                     if !is_engine_job(spec) {
-                        if stop.load(Ordering::SeqCst) {
-                            out.push(result_shell(spec, JobStatus::Skipped));
+                        let r = if stop.load(Ordering::SeqCst) {
+                            result_shell(spec, JobStatus::Skipped)
                         } else {
-                            out.push(execute_job(spec, opts.flight_dir.as_deref()));
-                        }
+                            execute_job(spec, opts.flight_dir.as_deref())
+                        };
+                        publish_done(&opts, &r, w);
+                        out.push(r);
                         continue;
                     }
                     match make_slot(spec, &opts) {
-                        Ok(slot) => slate.push(slot),
-                        Err(r) => out.push(*r),
+                        Ok(slot) => {
+                            if let Some(hub) = &opts.live {
+                                hub.publish(
+                                    Some(&live::model_key(1, spec.id)),
+                                    &live::job_event(
+                                        hub.now_ms(),
+                                        spec.id,
+                                        &spec.workload,
+                                        "running",
+                                        None,
+                                        w,
+                                    ),
+                                );
+                            }
+                            slate.push(slot);
+                        }
+                        Err(r) => {
+                            publish_done(&opts, &r, w);
+                            out.push(*r);
+                        }
                     }
                 }
-                out.extend(drive_slate(slate, &opts, stop));
+                out.extend(drive_slate(slate, &opts, stop, w));
                 out
             }));
         }
@@ -420,7 +539,14 @@ pub fn run_campaign_cooperative(
             }
         }
     }
-    CampaignOutcome { name: c.name.clone(), results }
+    let outcome = CampaignOutcome { name: c.name.clone(), results };
+    if let Some(hub) = &opts.live {
+        hub.publish(
+            Some(&live::model_key(9, 0)),
+            &live::end_event(hub.now_ms(), outcome.ok_count(), outcome.failed_count()),
+        );
+    }
+    outcome
 }
 
 #[cfg(test)]

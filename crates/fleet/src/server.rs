@@ -15,12 +15,20 @@
 //!   results arrive in completion order, matched to requests by `id`.
 //! * `{"op":"shutdown"}` → acknowledged, then the server stops
 //!   accepting connections.
+//! * `{"op":"watch"}` → `{"ok":true,"op":"watch"}`, then the
+//!   connection also receives the server's live telemetry stream (see
+//!   [`crate::live`]): a catch-up replay of the latest per-job
+//!   lifecycle events, a `sync` marker, then live `job` events as
+//!   submissions are accepted and finish. Request/response lines and
+//!   telemetry lines share the connection's writer, so they never
+//!   interleave mid-line.
 //!
 //! Each connection gets a reader loop plus a writer thread fed over a
 //! channel, so slow result production never blocks request intake and
 //! concurrent job completions cannot interleave bytes on the wire.
 
 use crate::campaign::job_from_json;
+use crate::live::{self, LiveHub};
 use crate::pool::Pool;
 use crate::runner::execute_job;
 use std::io::{BufRead, BufReader, Write};
@@ -37,6 +45,7 @@ pub struct Server {
     flight_dir: Option<PathBuf>,
     next_id: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    hub: Arc<LiveHub>,
 }
 
 impl Server {
@@ -60,6 +69,7 @@ impl Server {
             flight_dir,
             next_id: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
+            hub: LiveHub::detached(),
         })
     }
 
@@ -88,10 +98,11 @@ impl Server {
             let stop = Arc::clone(&self.stop);
             let queue_cap = self.queue_cap;
             let flight_dir = self.flight_dir.clone();
+            let hub = Arc::clone(&self.hub);
             let _ = std::thread::Builder::new()
                 .name("fleet-conn".to_string())
                 .spawn(move || {
-                    handle_conn(stream, &pool, &next_id, &stop, queue_cap, flight_dir, addr)
+                    handle_conn(stream, &pool, &next_id, &stop, queue_cap, flight_dir, addr, &hub)
                 });
         }
     }
@@ -129,6 +140,7 @@ fn handle_conn(
     queue_cap: usize,
     flight_dir: Option<PathBuf>,
     addr: Option<SocketAddr>,
+    hub: &Arc<LiveHub>,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
     let (tx, rx) = mpsc::channel::<String>();
@@ -184,6 +196,15 @@ fn handle_conn(
                 }
                 break;
             }
+            Some("watch") => {
+                let mut w = darco_obs::JsonWriter::new();
+                w.begin_obj(None);
+                w.field_bool("ok", true);
+                w.field_str("op", "watch");
+                w.end_obj();
+                let _ = tx.send(w.finish());
+                hub.subscribe_channel(tx.clone());
+            }
             Some("job") => {
                 if pool.queued() >= queue_cap {
                     let mut w = darco_obs::JsonWriter::new();
@@ -209,10 +230,26 @@ fn handle_conn(
                         w.field_num("id", id);
                         w.end_obj();
                         let _ = tx.send(w.finish());
+                        hub.publish(
+                            Some(&live::model_key(1, id)),
+                            &live::job_event(hub.now_ms(), id, &spec.workload, "running", None, 0),
+                        );
                         let tx = tx.clone();
                         let flight_dir = flight_dir.clone();
+                        let hub = Arc::clone(hub);
                         pool.submit(move || {
                             let r = execute_job(&spec, flight_dir.as_deref());
+                            hub.publish(
+                                Some(&live::model_key(1, id)),
+                                &live::job_event(
+                                    hub.now_ms(),
+                                    id,
+                                    &r.workload,
+                                    "done",
+                                    Some(r.status.name()),
+                                    0,
+                                ),
+                            );
                             let mut w = darco_obs::JsonWriter::new();
                             w.begin_obj(None);
                             w.field_bool("ok", true);

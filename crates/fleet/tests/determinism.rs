@@ -2,7 +2,7 @@
 //! must merge to byte-identical artifacts — the contract every figure
 //! built on fleet output relies on.
 
-use darco_fleet::{parse_campaign, run_campaign, run_campaign_cooperative, Pool, SchedOpts};
+use darco_fleet::{parse_campaign, run_campaign, run_campaign_cooperative, LiveHub, Pool, SchedOpts};
 use std::sync::atomic::AtomicBool;
 
 const CAMPAIGN: &str = r#"{
@@ -72,6 +72,83 @@ fn cooperative_artifact_is_byte_identical_across_worker_counts() {
             artifact, reference,
             "cooperative artifact differs between --jobs 1 and --jobs {workers}"
         );
+    }
+}
+
+#[test]
+fn live_streaming_leaves_the_artifact_byte_identical() {
+    // The tentpole contract: attaching live telemetry must not perturb
+    // the simulation. Artifacts with a subscribed hub at 1, 2 and 8
+    // workers all equal the streaming-off reference, and the stream
+    // itself carries the protocol's required events.
+    let campaign = parse_campaign(CAMPAIGN).unwrap();
+    let stop = AtomicBool::new(false);
+    let quantum = 5_000u64;
+    let reference = {
+        let opts = SchedOpts { quantum, ..SchedOpts::default() };
+        run_campaign_cooperative(&campaign, 1, &opts, &stop).merged_json()
+    };
+    for workers in [1usize, 2, 8] {
+        let (hub, addr) = LiveHub::bind("127.0.0.1:0").unwrap();
+        // A real TCP subscriber drains the stream concurrently.
+        let collector = std::thread::spawn(move || {
+            use std::io::BufRead;
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut lines = Vec::new();
+            for line in std::io::BufReader::new(stream).lines() {
+                let Ok(l) = line else { break };
+                lines.push(l);
+            }
+            lines
+        });
+        // Wait for the subscription so the event sequence is complete.
+        while hub.subscribers() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let opts = SchedOpts { quantum, live: Some(hub.clone()), ..SchedOpts::default() };
+        let outcome = run_campaign_cooperative(&campaign, workers, &opts, &stop);
+        assert_eq!(
+            outcome.merged_json(),
+            reference,
+            "artifact with --live differs at {workers} workers"
+        );
+        hub.close();
+        let lines = collector.join().unwrap();
+        let ev_of = |l: &str| {
+            darco_obs::parse(l)
+                .unwrap()
+                .get("ev")
+                .and_then(|v| v.as_str())
+                .map(String::from)
+                .unwrap()
+        };
+        let evs: Vec<String> = lines.iter().map(|l| ev_of(l)).collect();
+        for required in ["sync", "campaign", "job", "progress", "delta", "end"] {
+            assert!(evs.iter().any(|e| e == required), "stream at {workers} workers misses `{required}`: {evs:?}");
+        }
+        // Every job reaches a terminal lifecycle event, and deltas decode.
+        for (l, e) in lines.iter().zip(&evs) {
+            let doc = darco_obs::parse(l).unwrap();
+            if e == "job" && doc.get("state").and_then(|v| v.as_str()) == Some("done") {
+                assert!(doc.get("status").and_then(|v| v.as_str()).is_some(), "{l}");
+            }
+            if e == "delta" {
+                let d = doc.get("delta").expect("delta body");
+                darco_obs::RegistryDelta::from_json(d).expect("wire-decodable delta");
+            }
+        }
+        let done: Vec<f64> = lines
+            .iter()
+            .filter_map(|l| {
+                let d = darco_obs::parse(l).unwrap();
+                (d.get("ev").and_then(|v| v.as_str()) == Some("job")
+                    && d.get("state").and_then(|v| v.as_str()) == Some("done"))
+                .then(|| d.get("id").and_then(|v| v.as_num()).unwrap())
+            })
+            .collect();
+        for id in 0..6 {
+            assert!(done.contains(&(id as f64)), "job {id} never reported done at {workers} workers");
+        }
     }
 }
 

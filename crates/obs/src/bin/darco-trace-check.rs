@@ -11,8 +11,9 @@
 //! `darco_flight`) for marker, ordered events and metrics; anything else
 //! just has to parse. `--obs-gate` reads a `BENCH_obs.json` produced by
 //! the `obs_overhead` harness and fails when tracing-enabled overhead
-//! exceeds 5% or the disabled-tracer overhead vs. the recorded hot-path
-//! baseline exceeds 1%.
+//! exceeds 5%, the disabled-tracer overhead vs. the recorded hot-path
+//! baseline exceeds 1%, or live streaming / the sampling profiler cost
+//! more than 2% each.
 
 use darco_obs::{chrome, flight, json};
 use std::process::ExitCode;
@@ -53,7 +54,33 @@ fn obs_gate(path: &str) -> Result<String, String> {
         }
         null_part = format!("null-vs-baseline {:+.2}%", null * 100.0);
     }
-    Ok(format!("overhead gate OK: traced {:+.2}%, {}", traced * 100.0, null_part))
+    let stream = doc
+        .get("overhead_stream")
+        .and_then(|v| v.as_num())
+        .ok_or("missing `overhead_stream` (regenerate BENCH_obs.json)")?;
+    if stream > 0.02 {
+        return Err(format!(
+            "live-streaming overhead {:.2}% on the fleet suite exceeds the 2% budget",
+            stream * 100.0
+        ));
+    }
+    let profiler = doc
+        .get("overhead_profiler")
+        .and_then(|v| v.as_num())
+        .ok_or("missing `overhead_profiler` (regenerate BENCH_obs.json)")?;
+    if profiler > 0.02 {
+        return Err(format!(
+            "sampling-profiler overhead {:.2}% exceeds the 2% budget",
+            profiler * 100.0
+        ));
+    }
+    Ok(format!(
+        "overhead gate OK: traced {:+.2}%, {}, stream {:+.2}%, profiler {:+.2}%",
+        traced * 100.0,
+        null_part,
+        stream * 100.0,
+        profiler * 100.0
+    ))
 }
 
 fn main() -> ExitCode {

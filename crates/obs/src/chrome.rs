@@ -1,19 +1,22 @@
 //! Chrome `chrome://tracing` (trace-event JSON array) export.
 //!
 //! Each [`TraceEvent`] becomes one trace-event object. Translation
-//! start/end pairs map to duration begin/end events (`"B"`/`"E"`);
-//! everything else is a thread-scoped instant (`"i"`). Events are grouped
-//! into lanes (tids): 1 execution, 2 translation/cache, 3 sync protocol,
-//! 4 verifier. Multi-workload exports (darco-lint) put each workload in
-//! its own pid with a `process_name` metadata record.
+//! start/end and semantic-proof begin/end pairs map to duration events
+//! (`"B"`/`"E"`); everything else is a thread-scoped instant (`"i"`).
+//! Events are grouped into lanes (tids): 1 execution, 2
+//! translation/cache, 3 sync protocol, 4 verifier findings, 5 native JIT
+//! (`jit.compile`/`jit.patch`/`jit.invalidate`), 6 verification spans
+//! (`verify.semantic` proofs, `verify.mcode` machine-code checks).
+//! Multi-workload exports (darco-lint) put each workload in its own pid
+//! with a `process_name` metadata record.
 
 use crate::json::JsonWriter;
 use crate::trace::{TraceEvent, TraceEventKind};
 
 fn write_event(w: &mut JsonWriter, ev: &TraceEvent, pid: usize) {
     let ph = match ev.kind {
-        TraceEventKind::TranslateStart { .. } => "B",
-        TraceEventKind::TranslateEnd { .. } => "E",
+        TraceEventKind::TranslateStart { .. } | TraceEventKind::SemBegin { .. } => "B",
+        TraceEventKind::TranslateEnd { .. } | TraceEventKind::SemEnd { .. } => "E",
         _ => "i",
     };
     w.begin_obj(None);

@@ -22,6 +22,22 @@ pub fn flight_dump(
     dropped: u64,
     metrics: &Registry,
 ) -> String {
+    flight_dump_with(context, events, dropped, metrics, &[])
+}
+
+/// [`flight_dump`] plus caller-supplied sections: each `(key, json)` pair
+/// is embedded verbatim as a top-level field (`json` must be a
+/// pre-rendered JSON value). The engine uses this to attach the last
+/// [`crate::RegistryDelta`] (`"delta"` — what changed since the final
+/// quantum boundary) and the sampling profiler's recent-sample window
+/// (`"profile_window"`), so a crash artifact shows *where the guest was*.
+pub fn flight_dump_with(
+    context: &str,
+    events: &[TraceEvent],
+    dropped: u64,
+    metrics: &Registry,
+    extras: &[(&str, &str)],
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj(None);
     w.field_num("darco_flight", 1);
@@ -40,6 +56,9 @@ pub fn flight_dump(
     }
     w.end_arr();
     w.field_raw("metrics", &metrics.to_json());
+    for (key, json) in extras {
+        w.field_raw(key, json);
+    }
     w.end_obj();
     w.finish()
 }

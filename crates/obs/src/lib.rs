@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use json::{parse, JsonError, JsonValue, JsonWriter};
-pub use metrics::{Histogram, HistoId, Registry};
+pub use metrics::{Histogram, HistoId, Registry, RegistryDelta};
 pub use trace::{
     ExecMode, NullTrace, RingTrace, TraceEvent, TraceEventKind, TraceSink, Tracer,
 };

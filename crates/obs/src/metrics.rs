@@ -8,7 +8,7 @@
 //! name lookup; bulk bridges from existing stat structs use the name-based
 //! setters at snapshot time.
 
-use crate::json::JsonWriter;
+use crate::json::{JsonValue, JsonWriter};
 
 /// Handle to a registered histogram (index into the registry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,11 +137,31 @@ impl Histogram {
 ///
 /// Names are dotted paths (`tol.spec_rollbacks`). Registration order is
 /// preserved in serialization, so artifacts diff cleanly run to run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Every metric carries a **modification epoch**: a per-registry counter
+/// bumped by each value-changing mutation and stamped onto the mutated
+/// metric. [`Registry::delta_since`] projects the metrics stamped after a
+/// given epoch into a [`RegistryDelta`] — the incremental-publication
+/// primitive the fleet's live telemetry stream is built on. Epochs are
+/// bookkeeping, not identity: equality compares values only, so a
+/// restored snapshot still compares equal to the registry it came from.
+#[derive(Debug, Clone, Default)]
 pub struct Registry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
     histograms: Vec<(String, Histogram)>,
+    epoch: u64,
+    c_ep: Vec<u64>,
+    g_ep: Vec<u64>,
+    h_ep: Vec<u64>,
+}
+
+impl PartialEq for Registry {
+    fn eq(&self, other: &Registry) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.histograms == other.histograms
+    }
 }
 
 impl Registry {
@@ -150,28 +170,62 @@ impl Registry {
         Registry::default()
     }
 
+    fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// Sets (registering if needed) a counter to an absolute value — the
-    /// bulk-bridge entry point for existing stat structs.
+    /// bulk-bridge entry point for existing stat structs. Stamps the
+    /// counter's epoch only when the value actually changes, so repeated
+    /// bridge snapshots of a quiet counter don't inflate deltas.
     pub fn set_counter(&mut self, name: &str, v: u64) {
-        match self.counters.iter_mut().find(|(n, _)| n == name) {
-            Some((_, slot)) => *slot = v,
-            None => self.counters.push((name.to_string(), v)),
+        match self.counters.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                if self.counters[i].1 != v {
+                    self.counters[i].1 = v;
+                    self.c_ep[i] = self.next_epoch();
+                }
+            }
+            None => {
+                self.counters.push((name.to_string(), v));
+                let e = self.next_epoch();
+                self.c_ep.push(e);
+            }
         }
     }
 
     /// Adds to (registering if needed) a counter.
     pub fn add_counter(&mut self, name: &str, n: u64) {
-        match self.counters.iter_mut().find(|(nm, _)| nm == name) {
-            Some((_, slot)) => *slot += n,
-            None => self.counters.push((name.to_string(), n)),
+        match self.counters.iter().position(|(nm, _)| nm == name) {
+            Some(i) => {
+                if n != 0 {
+                    self.counters[i].1 += n;
+                    self.c_ep[i] = self.next_epoch();
+                }
+            }
+            None => {
+                self.counters.push((name.to_string(), n));
+                let e = self.next_epoch();
+                self.c_ep.push(e);
+            }
         }
     }
 
     /// Sets (registering if needed) a gauge.
     pub fn set_gauge(&mut self, name: &str, v: f64) {
-        match self.gauges.iter_mut().find(|(n, _)| n == name) {
-            Some((_, slot)) => *slot = v,
-            None => self.gauges.push((name.to_string(), v)),
+        match self.gauges.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                if self.gauges[i].1.to_bits() != v.to_bits() {
+                    self.gauges[i].1 = v;
+                    self.g_ep[i] = self.next_epoch();
+                }
+            }
+            None => {
+                self.gauges.push((name.to_string(), v));
+                let e = self.next_epoch();
+                self.g_ep.push(e);
+            }
         }
     }
 
@@ -182,13 +236,36 @@ impl Registry {
             return HistoId(i);
         }
         self.histograms.push((name.to_string(), Histogram::default()));
+        let e = self.next_epoch();
+        self.h_ep.push(e);
         HistoId(self.histograms.len() - 1)
+    }
+
+    /// Replaces (registering if needed) a histogram's whole state — the
+    /// bulk-bridge counterpart of [`Self::set_counter`] used by
+    /// [`Self::sync_from`]. Stamps only on change.
+    pub fn set_histogram(&mut self, name: &str, h: &Histogram) {
+        match self.histograms.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                if self.histograms[i].1 != *h {
+                    self.histograms[i].1 = h.clone();
+                    self.h_ep[i] = self.next_epoch();
+                }
+            }
+            None => {
+                self.histograms.push((name.to_string(), h.clone()));
+                let e = self.next_epoch();
+                self.h_ep.push(e);
+            }
+        }
     }
 
     /// Records a sample into a registered histogram.
     #[inline]
     pub fn record(&mut self, id: HistoId, v: u64) {
         self.histograms[id.0].1.record(v);
+        self.epoch += 1;
+        self.h_ep[id.0] = self.epoch;
     }
 
     /// Current value of a counter.
@@ -237,7 +314,18 @@ impl Registry {
         gauges: Vec<(String, f64)>,
         histograms: Vec<(String, Histogram)>,
     ) -> Registry {
-        Registry { counters, gauges, histograms }
+        // A freshly materialized registry is all "new" relative to epoch
+        // 0, so `delta_since(0)` on it is the full-dump delta.
+        let (nc, ng, nh) = (counters.len(), gauges.len(), histograms.len());
+        Registry {
+            counters,
+            gauges,
+            histograms,
+            epoch: 1,
+            c_ep: vec![1; nc],
+            g_ep: vec![1; ng],
+            h_ep: vec![1; nh],
+        }
     }
 
     /// Folds another registry into this one, matching metrics by name:
@@ -271,6 +359,16 @@ impl Registry {
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        // A merge potentially rewrites everything (and re-sorts, which
+        // scrambles any per-slot stamping); re-stamp the whole registry
+        // at one fresh epoch.
+        let e = self.next_epoch();
+        self.c_ep.clear();
+        self.c_ep.resize(self.counters.len(), e);
+        self.g_ep.clear();
+        self.g_ep.resize(self.gauges.len(), e);
+        self.h_ep.clear();
+        self.h_ep.resize(self.histograms.len(), e);
     }
 
     /// Keeps only the metrics whose name satisfies `pred` (applied to
@@ -280,9 +378,26 @@ impl Registry {
     /// project away wall-clock metrics (`*_nanos`, `tol.translate_ns.*`)
     /// before building its byte-stable merged artifact.
     pub fn retain(&mut self, mut pred: impl FnMut(&str) -> bool) {
-        self.counters.retain(|(n, _)| pred(n));
-        self.gauges.retain(|(n, _)| pred(n));
-        self.histograms.retain(|(n, _)| pred(n));
+        fn retain_lockstep<T>(
+            items: &mut Vec<(String, T)>,
+            stamps: &mut Vec<u64>,
+            pred: &mut impl FnMut(&str) -> bool,
+        ) {
+            // Stable compaction keeping the stamp vector in lockstep.
+            let mut w = 0;
+            for r in 0..items.len() {
+                if pred(&items[r].0) {
+                    items.swap(w, r);
+                    stamps.swap(w, r);
+                    w += 1;
+                }
+            }
+            items.truncate(w);
+            stamps.truncate(w);
+        }
+        retain_lockstep(&mut self.counters, &mut self.c_ep, &mut pred);
+        retain_lockstep(&mut self.gauges, &mut self.g_ep, &mut pred);
+        retain_lockstep(&mut self.histograms, &mut self.h_ep, &mut pred);
     }
 
     /// Serializes only the counters as one flat JSON object
@@ -329,6 +444,252 @@ impl Registry {
         w.end_obj();
         w.end_obj();
         w.finish()
+    }
+
+    // -- incremental publication (deltas) ---------------------------------
+
+    /// The registry's current modification epoch. Monotonic; bumped by
+    /// every value-changing mutation. `delta_since(epoch())` is always
+    /// empty; `delta_since(0)` is always the full registry.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Projects every metric modified after `since` into a
+    /// [`RegistryDelta`] stamped `[since, epoch()]`. Entries keep
+    /// registration order, so applying the delta to the snapshot it was
+    /// cut against reproduces the live registry exactly — including the
+    /// order-sensitive parts of registry identity ([`HistoId`]
+    /// assignment, serialization order).
+    pub fn delta_since(&self, since: u64) -> RegistryDelta {
+        RegistryDelta {
+            from: since,
+            to: self.epoch,
+            counters: self
+                .counters
+                .iter()
+                .zip(&self.c_ep)
+                .filter(|(_, &e)| e > since)
+                .map(|((n, v), _)| (n.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .zip(&self.g_ep)
+                .filter(|(_, &e)| e > since)
+                .map(|((n, v), _)| (n.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .zip(&self.h_ep)
+                .filter(|(_, &e)| e > since)
+                .map(|((n, h), _)| (n.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Applies a delta: every carried metric is set to its absolute
+    /// value (registering — in delta order — when absent), and the
+    /// registry's epoch advances to at least `delta.to`. The consumer-side
+    /// inverse of [`Self::delta_since`]:
+    /// `apply_delta(snapshot_at_e, live.delta_since(e)) == live`.
+    pub fn apply_delta(&mut self, d: &RegistryDelta) {
+        for (n, v) in &d.counters {
+            self.set_counter(n, *v);
+        }
+        for (n, v) in &d.gauges {
+            self.set_gauge(n, *v);
+        }
+        for (n, h) in &d.histograms {
+            self.set_histogram(n, h);
+        }
+        self.epoch = self.epoch.max(d.to);
+    }
+
+    /// Copies every metric in `other` into `self` by name through the
+    /// change-stamping setters. This is the publisher-mirror primitive:
+    /// a long-lived registry `sync_from`'d off freshly assembled
+    /// snapshots accumulates honest epoch stamps (quiet metrics don't
+    /// re-stamp), so `delta_since` on the mirror yields exactly what
+    /// changed between publications. Names absent from `other` are kept.
+    pub fn sync_from(&mut self, other: &Registry) {
+        for (n, v) in &other.counters {
+            self.set_counter(n, *v);
+        }
+        for (n, v) in &other.gauges {
+            self.set_gauge(n, *v);
+        }
+        for (n, h) in &other.histograms {
+            self.set_histogram(n, h);
+        }
+    }
+}
+
+/// An incremental registry update: the metrics modified in the epoch
+/// window `(from, to]`, with absolute values (idempotent to re-apply, and
+/// a delta from epoch 0 doubles as a full snapshot). Produced by
+/// [`Registry::delta_since`], consumed by [`Registry::apply_delta`], and
+/// shipped over the fleet's live-telemetry stream via the compact JSON
+/// wire form ([`RegistryDelta::to_json`] / [`RegistryDelta::parse`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistryDelta {
+    /// Exclusive lower edge of the epoch window.
+    pub from: u64,
+    /// Inclusive upper edge (the source registry's epoch at the cut).
+    pub to: u64,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl RegistryDelta {
+    /// `true` when the delta carries no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Numbers of carried (counters, gauges, histograms).
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.counters.len(), self.gauges.len(), self.histograms.len())
+    }
+
+    /// Value of a carried counter, if present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The compact wire encoding:
+    ///
+    /// ```json
+    /// {"delta":1,"from":"0","to":"17",
+    ///  "c":[["name","123"],...],
+    ///  "g":[["name",1.5],...],
+    ///  "h":[["name","count","sum","min","max",[[bucket,"n"],...]],...]}
+    /// ```
+    ///
+    /// Every `u64` is a decimal **string**: the workspace JSON parser
+    /// reads numbers as `f64`, which silently corrupts values above
+    /// 2^53 (the empty-histogram `min` sentinel is `u64::MAX`). Bucket
+    /// indices (0..=64) ride as plain numbers.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_num("delta", 1);
+        w.field_str("from", &self.from.to_string());
+        w.field_str("to", &self.to.to_string());
+        w.begin_arr(Some("c"));
+        for (n, v) in &self.counters {
+            let mut e = JsonWriter::new();
+            e.begin_arr(None).elem_str(n).elem_str(&v.to_string()).end_arr();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        w.begin_arr(Some("g"));
+        for (n, v) in &self.gauges {
+            let mut e = JsonWriter::new();
+            e.begin_arr(None).elem_str(n).elem_raw(&JsonWriter::f64_token(*v)).end_arr();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        w.begin_arr(Some("h"));
+        for (n, h) in &self.histograms {
+            let mut e = JsonWriter::new();
+            e.begin_arr(None)
+                .elem_str(n)
+                .elem_str(&h.count.to_string())
+                .elem_str(&h.sum.to_string())
+                .elem_str(&h.min.to_string())
+                .elem_str(&h.max.to_string());
+            e.begin_arr(None);
+            for (k, &b) in h.buckets_raw().iter().enumerate() {
+                if b != 0 {
+                    let mut p = JsonWriter::new();
+                    p.begin_arr(None).elem_num(k).elem_str(&b.to_string()).end_arr();
+                    e.elem_raw(&p.finish());
+                }
+            }
+            e.end_arr();
+            e.end_arr();
+            w.elem_raw(&e.finish());
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Decodes the wire form produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed element.
+    pub fn parse(s: &str) -> Result<RegistryDelta, String> {
+        let v = crate::json::parse(s).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+
+    /// Decodes a parsed wire-form document (see [`Self::parse`]).
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed element.
+    pub fn from_json(v: &JsonValue) -> Result<RegistryDelta, String> {
+        fn u64_str(v: &JsonValue, what: &str) -> Result<u64, String> {
+            v.as_str()
+                .ok_or_else(|| format!("{what}: expected string-encoded u64"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{what}: {e}"))
+        }
+        if v.get("delta").and_then(JsonValue::as_num) != Some(1.0) {
+            return Err("not a v1 registry delta".to_string());
+        }
+        let from = u64_str(v.get("from").unwrap_or(&JsonValue::Null), "from")?;
+        let to = u64_str(v.get("to").unwrap_or(&JsonValue::Null), "to")?;
+        let mut d = RegistryDelta { from, to, ..RegistryDelta::default() };
+        for e in v.get("c").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            let pair = e.as_arr().filter(|p| p.len() == 2).ok_or("c: expected [name,value]")?;
+            let n = pair[0].as_str().ok_or("c: bad name")?;
+            d.counters.push((n.to_string(), u64_str(&pair[1], n)?));
+        }
+        for e in v.get("g").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            let pair = e.as_arr().filter(|p| p.len() == 2).ok_or("g: expected [name,value]")?;
+            let n = pair[0].as_str().ok_or("g: bad name")?;
+            let val = match &pair[1] {
+                JsonValue::Num(x) => *x,
+                JsonValue::Null => f64::NAN, // non-finite gauges wire as null
+                _ => return Err(format!("g: {n}: bad value")),
+            };
+            d.gauges.push((n.to_string(), val));
+        }
+        for e in v.get("h").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            let parts = e.as_arr().ok_or("h: expected array")?;
+            if parts.len() != 6 {
+                return Err("h: expected [name,count,sum,min,max,buckets]".to_string());
+            }
+            let n = parts[0].as_str().ok_or("h: bad name")?;
+            let mut buckets = [0u64; 65];
+            for p in parts[5].as_arr().ok_or_else(|| format!("h: {n}: bad buckets"))? {
+                let kv = p
+                    .as_arr()
+                    .filter(|kv| kv.len() == 2)
+                    .ok_or_else(|| format!("h: {n}: bad bucket pair"))?;
+                let k = kv[0]
+                    .as_num()
+                    .filter(|k| *k >= 0.0 && *k <= 64.0 && k.fract() == 0.0)
+                    .ok_or_else(|| format!("h: {n}: bad bucket index"))?
+                    as usize;
+                buckets[k] = u64_str(&kv[1], n)?;
+            }
+            d.histograms.push((
+                n.to_string(),
+                Histogram::from_raw(
+                    u64_str(&parts[1], n)?,
+                    u64_str(&parts[2], n)?,
+                    u64_str(&parts[3], n)?,
+                    u64_str(&parts[4], n)?,
+                    buckets,
+                ),
+            ));
+        }
+        Ok(d)
     }
 }
 
@@ -529,6 +890,139 @@ mod tests {
         let mut rb = rebuilt;
         assert_eq!(rb.histogram("h.used"), HistoId(0));
         assert_eq!(rb.histogram("h.empty"), HistoId(1));
+    }
+
+    #[test]
+    fn delta_since_tracks_only_changes() {
+        let mut r = Registry::new();
+        r.set_counter("c.a", 1);
+        r.set_counter("c.b", 2);
+        r.set_gauge("g", 0.5);
+        let h = r.histogram("h");
+        r.record(h, 3);
+        let e = r.epoch();
+        assert!(r.delta_since(e).is_empty(), "no mutations -> empty delta");
+
+        r.set_counter("c.a", 1); // unchanged value: not a mutation
+        r.set_gauge("g", 0.5); // unchanged bits: not a mutation
+        r.add_counter("c.b", 0); // +0: not a mutation
+        assert!(r.delta_since(e).is_empty(), "no-op writes don't stamp");
+
+        r.set_counter("c.b", 9);
+        r.record(h, 4);
+        r.set_counter("c.new", 7);
+        let d = r.delta_since(e);
+        assert_eq!(d.sizes(), (2, 0, 1));
+        assert_eq!(d.counter_value("c.b"), Some(9));
+        assert_eq!(d.counter_value("c.new"), Some(7));
+        assert_eq!(d.counter_value("c.a"), None);
+        assert_eq!(d.to, r.epoch());
+
+        // delta from 0 is the full registry.
+        let full = r.delta_since(0);
+        assert_eq!(full.sizes(), (3, 1, 1));
+        let mut rebuilt = Registry::new();
+        rebuilt.apply_delta(&full);
+        assert_eq!(rebuilt, r);
+    }
+
+    /// The tentpole round-trip property: for random counter/gauge/
+    /// histogram mutations, `apply_delta(snapshot, delta) ==
+    /// later_snapshot` — through the JSON wire form, with adversarial
+    /// u64 values (top-bucket samples, `u64::MAX`, the empty-histogram
+    /// `min` sentinel) that an f64-typed number path would corrupt.
+    #[test]
+    fn delta_round_trips_random_mutations() {
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let mut live = Registry::new();
+            let mutate = |r: &mut Registry, rng: &mut dyn FnMut() -> u64| {
+                for _ in 0..(rng() % 24) {
+                    let name = format!("m.{}", rng() % 12);
+                    match rng() % 5 {
+                        0 => r.set_counter(&name, rng()),
+                        1 => r.add_counter(&name, rng() % 1000),
+                        2 => r.set_gauge(&name, (rng() % 1_000_000) as f64 / 256.0 - 100.0),
+                        3 => {
+                            let id = r.histogram(&name);
+                            // Adversarial samples: all magnitudes incl. u64::MAX.
+                            let v = rng() >> (rng() % 64);
+                            r.record(id, if rng().is_multiple_of(7) { u64::MAX } else { v });
+                        }
+                        _ => {
+                            r.histogram(&name); // register-only: empty histogram
+                        }
+                    }
+                }
+            };
+            mutate(&mut live, &mut rng);
+            let snapshot = live.clone();
+            let cut = live.epoch();
+            mutate(&mut live, &mut rng);
+
+            let delta = live.delta_since(cut);
+            let wire = delta.to_json();
+            crate::json::parse(&wire).expect("wire form is valid JSON");
+            let decoded = RegistryDelta::parse(&wire).expect("wire form decodes");
+            assert_eq!(decoded, delta, "round {round}: wire round trip");
+
+            let mut rebuilt = snapshot.clone();
+            rebuilt.apply_delta(&decoded);
+            assert_eq!(rebuilt, live, "round {round}: apply_delta mismatch");
+            assert_eq!(rebuilt.to_json(), live.to_json(), "round {round}: JSON surface");
+            // Order-sensitive identity survives too: handle assignment.
+            let mut a = rebuilt.clone();
+            let mut b = live.clone();
+            for name in live.histograms_iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>() {
+                assert_eq!(a.histogram(&name), b.histogram(&name), "round {round}: {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_from_mirror_yields_precise_deltas() {
+        // The publisher pattern: a persistent mirror sync_from'd off
+        // freshly assembled snapshots; only real movement is published.
+        let mut mirror = Registry::new();
+        let mut snap1 = Registry::new();
+        snap1.set_counter("sys.guest_insns", 100);
+        snap1.set_counter("tol.rollbacks", 2);
+        snap1.set_gauge("tol.cache_occupancy", 0.25);
+        mirror.sync_from(&snap1);
+        let e = mirror.epoch();
+
+        let mut snap2 = Registry::new();
+        snap2.set_counter("sys.guest_insns", 250);
+        snap2.set_counter("tol.rollbacks", 2); // quiet
+        snap2.set_gauge("tol.cache_occupancy", 0.25); // quiet
+        mirror.sync_from(&snap2);
+        let d = mirror.delta_since(e);
+        assert_eq!(d.sizes(), (1, 0, 0), "only the moving counter publishes");
+        assert_eq!(d.counter_value("sys.guest_insns"), Some(250));
+    }
+
+    #[test]
+    fn delta_decoder_rejects_malformed_documents() {
+        assert!(RegistryDelta::parse("{}").is_err());
+        assert!(RegistryDelta::parse("{\"delta\":2,\"from\":\"0\",\"to\":\"1\"}").is_err());
+        assert!(RegistryDelta::parse(
+            "{\"delta\":1,\"from\":\"0\",\"to\":\"1\",\"c\":[[\"x\",3]]}"
+        )
+        .is_err(), "numeric u64 rejected (wire requires strings)");
+        assert!(RegistryDelta::parse(
+            "{\"delta\":1,\"from\":\"0\",\"to\":\"1\",\"c\":[[\"x\"]]}"
+        )
+        .is_err());
+        let ok = RegistryDelta::parse("{\"delta\":1,\"from\":\"3\",\"to\":\"9\",\"c\":[],\"g\":[],\"h\":[]}")
+            .unwrap();
+        assert!(ok.is_empty());
+        assert_eq!((ok.from, ok.to), (3, 9));
     }
 
     #[test]

@@ -152,6 +152,55 @@ pub enum TraceEventKind {
         /// Final retired-instruction count.
         at_insns: u64,
     },
+    /// The native JIT backend compiled fragments to machine code
+    /// (aggregated over one `execute` call).
+    JitCompile {
+        /// Fragments compiled in this batch.
+        frags: u64,
+        /// Machine-code bytes emitted.
+        bytes: u64,
+        /// Wall-clock nanoseconds spent compiling.
+        ns: u64,
+    },
+    /// The native backend patched direct jumps and/or inline IBTC caches
+    /// into already-compiled code.
+    JitPatch {
+        /// Direct jumps patched (fragment chaining).
+        jumps: u64,
+        /// Inline IBTC caches installed (subset of `jumps`).
+        ibtc: u64,
+    },
+    /// The native backend discarded compiled machine code (whole-buffer
+    /// flush or precise invalidation over mutated arena ranges).
+    JitInvalidate {
+        /// Machine-code bytes discarded.
+        bytes: u64,
+    },
+    /// Semantic translation validation opened over a region (span begin;
+    /// the matching [`TraceEventKind::SemEnd`] closes it).
+    SemBegin {
+        /// Guest entry PC of the region under proof.
+        pc: u32,
+    },
+    /// Semantic translation validation closed (span end).
+    SemEnd {
+        /// Guest entry PC of the region under proof.
+        pc: u32,
+        /// Wall-clock nanoseconds spent summarizing/comparing.
+        ns: u64,
+        /// Divergences found (0 = the proof went through).
+        findings: u32,
+    },
+    /// The x86-64 machine-code verifier checked freshly compiled
+    /// fragments (aggregated over one `execute` call).
+    McodeVerify {
+        /// Fragments checked.
+        fragments: u64,
+        /// Checker findings raised.
+        findings: u64,
+        /// Wall-clock nanoseconds inside the checker.
+        ns: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -176,6 +225,11 @@ impl TraceEventKind {
             TraceEventKind::Validation { .. } => "validation",
             TraceEventKind::Divergence { .. } => "divergence",
             TraceEventKind::RunEnd { .. } => "run_end",
+            TraceEventKind::JitCompile { .. } => "jit.compile",
+            TraceEventKind::JitPatch { .. } => "jit.patch",
+            TraceEventKind::JitInvalidate { .. } => "jit.invalidate",
+            TraceEventKind::SemBegin { .. } | TraceEventKind::SemEnd { .. } => "verify.semantic",
+            TraceEventKind::McodeVerify { .. } => "verify.mcode",
         }
     }
 
@@ -198,6 +252,12 @@ impl TraceEventKind {
             | TraceEventKind::Validation { .. }
             | TraceEventKind::Divergence { .. }
             | TraceEventKind::RunEnd { .. } => 3,
+            TraceEventKind::JitCompile { .. }
+            | TraceEventKind::JitPatch { .. }
+            | TraceEventKind::JitInvalidate { .. } => 5,
+            TraceEventKind::SemBegin { .. }
+            | TraceEventKind::SemEnd { .. }
+            | TraceEventKind::McodeVerify { .. } => 6,
         }
     }
 
@@ -249,6 +309,25 @@ impl TraceEventKind {
             }
             TraceEventKind::Divergence { at_insns, guest_pc } => {
                 w.field_num("at_insns", at_insns).field_num("guest_pc", guest_pc);
+            }
+            TraceEventKind::JitCompile { frags, bytes, ns } => {
+                w.field_num("frags", frags).field_num("bytes", bytes).field_num("ns", ns);
+            }
+            TraceEventKind::JitPatch { jumps, ibtc } => {
+                w.field_num("jumps", jumps).field_num("ibtc", ibtc);
+            }
+            TraceEventKind::JitInvalidate { bytes } => {
+                w.field_num("bytes", bytes);
+            }
+            TraceEventKind::SemBegin { pc } => {
+                w.field_num("pc", pc);
+            }
+            TraceEventKind::SemEnd { pc, ns, findings } => {
+                w.field_num("pc", pc).field_num("ns", ns).field_num("findings", findings);
+            }
+            TraceEventKind::McodeVerify { fragments, findings, ns } => {
+                w.field_num("fragments", fragments).field_num("findings", findings);
+                w.field_num("ns", ns);
             }
         }
     }

@@ -293,6 +293,10 @@ pub struct Tol {
     /// over the arena), and bypassed for any run that needs retire events
     /// (the emulator is the only backend that can feed a real sink).
     native: Option<Box<dyn HostCodeGen>>,
+    /// Native-backend counters at the last trace emission: the deltas
+    /// across one `execute` call become the `jit.*` / `verify.mcode`
+    /// trace events. Transient like the backend itself.
+    jit_seen: JitStats,
     counter_bb: HashMap<u32, u32>, // exec counter idx per BB pc
     bb_edges: HashMap<u32, EdgeCounters>,
     im_prof: HashMap<u32, ImProf>,
@@ -336,6 +340,7 @@ impl Tol {
             verify_log: Vec::new(),
             obs: TolObs::new(),
             native: None,
+            jit_seen: JitStats::default(),
             counter_bb: HashMap::new(),
             bb_edges: HashMap::new(),
             im_prof: HashMap::new(),
@@ -589,6 +594,36 @@ impl Tol {
                     self.verify_log.push(format!("[native-code] {f}"));
                 }
             }
+            let jit = native.stats();
+            if self.obs.is_on() {
+                let prev = self.jit_seen;
+                if jit.frags_compiled > prev.frags_compiled {
+                    self.obs.emit(TraceEventKind::JitCompile {
+                        frags: jit.frags_compiled - prev.frags_compiled,
+                        bytes: jit.code_bytes_emitted - prev.code_bytes_emitted,
+                        ns: jit.compile_nanos - prev.compile_nanos,
+                    });
+                }
+                if jit.jump_patches > prev.jump_patches {
+                    self.obs.emit(TraceEventKind::JitPatch {
+                        jumps: jit.jump_patches - prev.jump_patches,
+                        ibtc: jit.ibtc_patches - prev.ibtc_patches,
+                    });
+                }
+                if jit.code_bytes_flushed > prev.code_bytes_flushed {
+                    self.obs.emit(TraceEventKind::JitInvalidate {
+                        bytes: jit.code_bytes_flushed - prev.code_bytes_flushed,
+                    });
+                }
+                if jit.verify_fragments > prev.verify_fragments {
+                    self.obs.emit(TraceEventKind::McodeVerify {
+                        fragments: jit.verify_fragments - prev.verify_fragments,
+                        findings: jit.verify_findings - prev.verify_findings,
+                        ns: jit.verify_nanos - prev.verify_nanos,
+                    });
+                }
+            }
+            self.jit_seen = jit;
         }
         self.stats.host_app += info.executed;
 
@@ -830,6 +865,7 @@ impl Tol {
             }),
         };
         sem.nanos = t0.elapsed().as_nanos() as u64;
+        self.obs.emit(TraceEventKind::SemBegin { pc: sem.region_pc });
         Some(sem)
     }
 
@@ -845,6 +881,11 @@ impl Tol {
         let nanos = sem.nanos;
         self.sem_spare = Some(sem);
         self.stats.verify_sem_nanos += nanos;
+        self.obs.emit(TraceEventKind::SemEnd {
+            pc: report.region_pc,
+            ns: nanos,
+            findings: report.findings.len() as u32,
+        });
         self.note_report(stage, report, nanos);
     }
 

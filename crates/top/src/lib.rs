@@ -1,0 +1,418 @@
+//! # darco-top — terminal dashboard for live fleet campaigns
+//!
+//! The library half is deliberately I/O-free: [`Model`] folds the
+//! JSON-lines telemetry stream (`darco_fleet::live` protocol) into
+//! per-campaign/per-job state, and [`Model::render`] turns that state
+//! into one plain-text frame. Rendering is a pure function of the model
+//! — no clocks, no terminal queries — which is what makes
+//! `darco-top --replay` deterministic: the same recorded stream always
+//! renders the same final frame (the golden-render test pins this).
+//!
+//! The binary (`src/main.rs`) owns everything impure: connecting (with
+//! retry) to `darco-fleet run --live`, ANSI screen handling, `--record`
+//! (append the raw stream to a file) and `--replay` (re-render a
+//! recording without a fleet).
+
+use darco_obs::{JsonValue, Registry};
+use std::collections::BTreeMap;
+
+/// Campaign metadata from the `campaign` event.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignMeta {
+    /// Campaign name.
+    pub name: String,
+    /// Total jobs in the campaign.
+    pub jobs: u64,
+    /// Worker threads driving it.
+    pub workers: u64,
+    /// Scheduler quantum (guest instructions per slice).
+    pub quantum: u64,
+}
+
+/// Latest known state of one job, folded from `job` and `progress`
+/// events.
+#[derive(Debug, Clone, Default)]
+pub struct JobRow {
+    /// Job id (campaign expansion order).
+    pub id: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Lifecycle state: `running` or `done` (empty before the first
+    /// lifecycle event).
+    pub state: String,
+    /// Terminal status spelling (`ok`, `failed`, ...) once done.
+    pub status: Option<String>,
+    /// Worker index that last reported it.
+    pub worker: u64,
+    /// Retired guest instructions at the last progress event.
+    pub insns: u64,
+    /// Instantaneous MIPS over the last publication interval.
+    pub mips: f64,
+    /// Mode-residency split (IM, BBM, SBM) in guest instructions.
+    pub mode: (u64, u64, u64),
+    /// Speculation rollbacks so far.
+    pub rollbacks: u64,
+}
+
+/// The dashboard state: everything the stream has said so far.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// Campaign metadata, once announced.
+    pub campaign: Option<CampaignMeta>,
+    /// Per-job rows in id order.
+    pub jobs: BTreeMap<u64, JobRow>,
+    /// Per-job metric registries, folded from `delta` events.
+    pub metrics: BTreeMap<u64, Registry>,
+    /// `(ok, failed)` from the `end` event.
+    pub end: Option<(u64, u64)>,
+    /// Whether the catch-up replay finished (`sync` seen).
+    pub synced: bool,
+    /// Largest `t_ms` stamp seen — the stream's notion of elapsed time.
+    pub t_ms: u64,
+    /// Events applied (all kinds).
+    pub events: u64,
+}
+
+fn num(doc: &JsonValue, key: &str) -> u64 {
+    doc.get(key).and_then(|v| v.as_num()).unwrap_or(0.0) as u64
+}
+
+impl Model {
+    /// A blank model (what a freshly attached dashboard holds).
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Folds one stream line into the model. Unknown event kinds are
+    /// counted and otherwise ignored (forward compatibility).
+    ///
+    /// # Errors
+    /// The offending line, when it is not a JSON object with an `ev`.
+    pub fn apply_line(&mut self, line: &str) -> Result<(), String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let doc = darco_obs::parse(line).map_err(|e| format!("bad stream line ({e}): {line}"))?;
+        let ev = doc
+            .get("ev")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("stream line without `ev`: {line}"))?;
+        self.events += 1;
+        self.t_ms = self.t_ms.max(num(&doc, "t_ms"));
+        match ev {
+            "campaign" => {
+                self.campaign = Some(CampaignMeta {
+                    name: doc.get("name").and_then(|v| v.as_str()).unwrap_or("?").to_string(),
+                    jobs: num(&doc, "jobs"),
+                    workers: num(&doc, "workers"),
+                    quantum: num(&doc, "quantum"),
+                });
+            }
+            "job" => {
+                let id = num(&doc, "id");
+                let row = self.jobs.entry(id).or_default();
+                row.id = id;
+                if let Some(w) = doc.get("workload").and_then(|v| v.as_str()) {
+                    row.workload = w.to_string();
+                }
+                if let Some(s) = doc.get("state").and_then(|v| v.as_str()) {
+                    row.state = s.to_string();
+                }
+                row.status = doc.get("status").and_then(|v| v.as_str()).map(String::from);
+                row.worker = num(&doc, "worker");
+            }
+            "progress" => {
+                let id = num(&doc, "id");
+                let row = self.jobs.entry(id).or_default();
+                row.id = id;
+                if row.state.is_empty() {
+                    row.state = "running".to_string();
+                }
+                row.worker = num(&doc, "worker");
+                row.insns = num(&doc, "insns");
+                row.mips = doc.get("mips").and_then(|v| v.as_num()).unwrap_or(0.0);
+                row.mode = (num(&doc, "im"), num(&doc, "bbm"), num(&doc, "sbm"));
+                row.rollbacks = num(&doc, "rollbacks");
+            }
+            "delta" => {
+                if let Some(d) = doc.get("delta") {
+                    if let Ok(delta) = darco_obs::RegistryDelta::from_json(d) {
+                        self.metrics.entry(num(&doc, "id")).or_default().apply_delta(&delta);
+                    }
+                }
+            }
+            "end" => self.end = Some((num(&doc, "ok"), num(&doc, "failed"))),
+            "sync" => self.synced = true,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Whether the campaign reported termination.
+    pub fn ended(&self) -> bool {
+        self.end.is_some()
+    }
+
+    /// Renders one dashboard frame at the given terminal width (pure:
+    /// same model + width → same text). Plain text — the binary adds
+    /// cursor/clear control sequences around it.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.clamp(40, 200);
+        let mut out = String::new();
+        let meta = self.campaign.clone().unwrap_or_default();
+        let title = if meta.name.is_empty() { "(waiting for campaign)" } else { &meta.name };
+        out.push_str(&format!(
+            "darco-top — {title}  [{}]\n",
+            if self.ended() {
+                "finished"
+            } else if self.synced {
+                "live"
+            } else {
+                "catching up"
+            }
+        ));
+        out.push_str(&format!(
+            "elapsed {}  jobs {}  workers {}  quantum {}\n",
+            fmt_elapsed(self.t_ms),
+            meta.jobs,
+            meta.workers,
+            meta.quantum
+        ));
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+
+        // Aggregates over the latest per-job rows.
+        let running: Vec<&JobRow> =
+            self.jobs.values().filter(|j| j.state == "running").collect();
+        let done = self.jobs.values().filter(|j| j.state == "done").count();
+        // `.max(0.0)` also fixes the empty-sum case: f64's sum identity
+        // is -0.0, which would otherwise render as "-0.0 MIPS".
+        let agg_mips: f64 = running.iter().map(|j| j.mips).sum::<f64>().max(0.0);
+        let insns: u64 = self.jobs.values().map(|j| j.insns).sum();
+        let mode = self.jobs.values().fold((0u64, 0u64, 0u64), |a, j| {
+            (a.0 + j.mode.0, a.1 + j.mode.1, a.2 + j.mode.2)
+        });
+        let rollbacks: u64 = self.jobs.values().map(|j| j.rollbacks).sum();
+        let mtot = (mode.0 + mode.1 + mode.2).max(1) as f64;
+        out.push_str(&format!(
+            "running {:<3} done {:<3} aggregate {:>8.1} MIPS  {:>10} insns\n",
+            running.len(),
+            done,
+            agg_mips,
+            fmt_insns(insns)
+        ));
+        out.push_str(&format!(
+            "mode residency  IM {:>5.1}%  BBM {:>5.1}%  SBM {:>5.1}%   rollbacks {} ({:.2}/Mi)\n",
+            mode.0 as f64 / mtot * 100.0,
+            mode.1 as f64 / mtot * 100.0,
+            mode.2 as f64 / mtot * 100.0,
+            rollbacks,
+            rollbacks as f64 / (insns.max(1) as f64 / 1e6)
+        ));
+
+        // Per-worker utilization: how many live jobs each worker holds.
+        if meta.workers > 0 {
+            let mut per_worker = vec![0usize; meta.workers as usize];
+            for j in &running {
+                if let Some(slot) = per_worker.get_mut(j.worker as usize) {
+                    *slot += 1;
+                }
+            }
+            out.push_str("workers ");
+            for (w, n) in per_worker.iter().enumerate() {
+                out.push_str(&format!(" w{w}:{n}"));
+            }
+            out.push('\n');
+        }
+
+        // ETA from job completion rate (rendered only while running).
+        if !self.ended() && done > 0 && meta.jobs > 0 {
+            let remaining = meta.jobs.saturating_sub(done as u64);
+            let eta_ms = self.t_ms as f64 / done as f64 * remaining as f64;
+            out.push_str(&format!("eta ~{}\n", fmt_elapsed(eta_ms as u64)));
+        }
+        if let Some((ok, failed)) = self.end {
+            out.push_str(&format!("campaign finished: {ok} ok, {failed} failed\n"));
+        }
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+
+        // The job table, id order. Workload column flexes with width.
+        let wl_w = (width.saturating_sub(58)).clamp(12, 28);
+        out.push_str(&format!(
+            "{:>4} {:<wl$} {:<9} {:>10} {:>7} {:<12} {:>6}\n",
+            "id",
+            "workload",
+            "state",
+            "insns",
+            "mips",
+            "mode",
+            "rb",
+            wl = wl_w
+        ));
+        for j in self.jobs.values() {
+            let state = match (&j.state[..], &j.status) {
+                ("done", Some(s)) => s.clone(),
+                (s, _) => s.to_string(),
+            };
+            out.push_str(&format!(
+                "{:>4} {:<wl$} {:<9} {:>10} {:>7.1} {:<12} {:>6}\n",
+                j.id,
+                clip(&j.workload, wl_w),
+                clip(&state, 9),
+                fmt_insns(j.insns),
+                j.mips,
+                mode_bar(j.mode),
+                j.rollbacks,
+                wl = wl_w
+            ));
+        }
+        out.push_str(&format!("{} events\n", self.events));
+        out
+    }
+}
+
+/// `mm:ss` from milliseconds.
+fn fmt_elapsed(ms: u64) -> String {
+    let s = ms / 1000;
+    format!("{:02}:{:02}", s / 60, s % 60)
+}
+
+/// Guest-instruction counts in compact form (`999`, `12.3k`, `4.5M`,
+/// `1.2G`).
+fn fmt_insns(n: u64) -> String {
+    match n {
+        0..=999 => format!("{n}"),
+        1_000..=999_999 => format!("{:.1}k", n as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}M", n as f64 / 1e6),
+        _ => format!("{:.1}G", n as f64 / 1e9),
+    }
+}
+
+/// A 10-slot mode-residency bar: `.` IM, `o` BBM, `#` SBM.
+fn mode_bar(mode: (u64, u64, u64)) -> String {
+    let total = (mode.0 + mode.1 + mode.2) as f64;
+    if total == 0.0 {
+        return "..........".to_string();
+    }
+    // Largest-remainder apportionment of 10 slots keeps the bar exactly
+    // 10 wide and every non-zero share visible where possible.
+    let mut slots = [
+        (mode.0 as f64 * 10.0 / total) as usize,
+        (mode.1 as f64 * 10.0 / total) as usize,
+        (mode.2 as f64 * 10.0 / total) as usize,
+    ];
+    while slots.iter().sum::<usize>() < 10 {
+        let rem = [
+            mode.0 as f64 * 10.0 / total - slots[0] as f64,
+            mode.1 as f64 * 10.0 / total - slots[1] as f64,
+            mode.2 as f64 * 10.0 / total - slots[2] as f64,
+        ];
+        let k = (0..3).max_by(|&a, &b| rem[a].total_cmp(&rem[b])).unwrap();
+        slots[k] += 1;
+    }
+    format!("{}{}{}", ".".repeat(slots[0]), "o".repeat(slots[1]), "#".repeat(slots[2]))
+}
+
+/// Clips a string to `w` chars with a `…` marker.
+fn clip(s: &str, w: usize) -> String {
+    if s.chars().count() <= w {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(w.saturating_sub(1)).collect();
+        format!("{cut}\u{2026}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A recorded stream fragment: campaign of 2 jobs on 2 workers, one
+    /// finishes, telemetry for both, then the end event.
+    const RECORDING: &[&str] = &[
+        r#"{"ev":"campaign","t_ms":0,"name":"demo","jobs":2,"workers":2,"quantum":5000}"#,
+        r#"{"ev":"sync","t_ms":0}"#,
+        r#"{"ev":"job","t_ms":1,"id":0,"workload":"kernel:dot","state":"running","status":null,"worker":0}"#,
+        r#"{"ev":"job","t_ms":1,"id":1,"workload":"kernel:crc32","state":"running","status":null,"worker":1}"#,
+        r#"{"ev":"progress","t_ms":210,"id":0,"worker":0,"insns":1500000,"mips":30.5,"im":15000,"bbm":285000,"sbm":1200000,"rollbacks":12}"#,
+        r#"{"ev":"progress","t_ms":215,"id":1,"worker":1,"insns":800000,"mips":21.0,"im":80000,"bbm":720000,"sbm":0,"rollbacks":0}"#,
+        r#"{"ev":"delta","t_ms":216,"id":1,"delta":{"delta":1,"from":"0","to":"2","c":[["tol.rollbacks","0"],["sys.guest_insns","800000"]],"g":[],"h":[]}}"#,
+        r#"{"ev":"job","t_ms":400,"id":0,"workload":"kernel:dot","state":"done","status":"ok","worker":0}"#,
+        r#"{"ev":"progress","t_ms":400,"id":0,"worker":0,"insns":2000000,"mips":28.0,"im":15000,"bbm":285000,"sbm":1700000,"rollbacks":12}"#,
+        r#"{"ev":"end","t_ms":650,"ok":2,"failed":0}"#,
+    ];
+
+    fn replayed() -> Model {
+        let mut m = Model::new();
+        for l in RECORDING {
+            m.apply_line(l).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn model_folds_the_stream() {
+        let m = replayed();
+        assert!(m.synced);
+        assert_eq!(m.end, Some((2, 0)));
+        assert_eq!(m.t_ms, 650);
+        let meta = m.campaign.as_ref().unwrap();
+        assert_eq!((meta.jobs, meta.workers), (2, 2));
+        let j0 = &m.jobs[&0];
+        assert_eq!(j0.state, "done");
+        assert_eq!(j0.status.as_deref(), Some("ok"));
+        assert_eq!(j0.insns, 2_000_000);
+        let j1 = &m.jobs[&1];
+        assert_eq!(j1.state, "running");
+        assert_eq!(j1.mips, 21.0);
+        // The delta folded into a per-job registry.
+        assert_eq!(m.metrics[&1].counter_value("sys.guest_insns"), Some(800_000));
+    }
+
+    #[test]
+    fn golden_render_is_deterministic() {
+        let frame = replayed().render(80);
+        let golden = "\
+darco-top — demo  [finished]
+elapsed 00:00  jobs 2  workers 2  quantum 5000
+--------------------------------------------------------------------------------
+running 1   done 1   aggregate     21.0 MIPS        2.8M insns
+mode residency  IM   3.4%  BBM  35.9%  SBM  60.7%   rollbacks 12 (4.29/Mi)
+workers  w0:0 w1:1
+campaign finished: 2 ok, 0 failed
+--------------------------------------------------------------------------------
+  id workload               state          insns    mips mode             rb
+   0 kernel:dot             ok              2.0M    28.0 o#########       12
+   1 kernel:crc32           running       800.0k    21.0 .ooooooooo        0
+10 events
+";
+        assert_eq!(frame, golden, "render drifted:\n{frame}");
+        // And rendering twice is identical (purity).
+        assert_eq!(frame, replayed().render(80));
+    }
+
+    #[test]
+    fn renders_before_campaign_and_at_odd_widths() {
+        let mut m = Model::new();
+        let early = m.render(10); // clamped to 40
+        assert!(early.contains("waiting for campaign"));
+        m.apply_line(RECORDING[0]).unwrap();
+        m.apply_line(RECORDING[4]).unwrap();
+        let frame = m.render(200);
+        assert!(frame.contains("kernel") || frame.contains('0'));
+        assert!(m.apply_line("not json").is_err());
+        assert!(m.apply_line(r#"{"no_ev":1}"#).is_err());
+        assert!(m.apply_line(r#"{"ev":"future-kind","t_ms":9}"#).is_ok(), "unknown kinds skip");
+        assert!(m.apply_line("").is_ok(), "blank lines are benign");
+    }
+
+    #[test]
+    fn mode_bar_is_always_ten_wide() {
+        for mode in [(0, 0, 0), (1, 0, 0), (1, 1, 1), (99, 1, 0), (0, 1, 99), (7, 13, 80)] {
+            assert_eq!(mode_bar(mode).chars().count(), 10, "{mode:?}");
+        }
+        assert_eq!(mode_bar((0, 0, 1)), "##########");
+    }
+}

@@ -11,8 +11,9 @@
 #   speed  — one tiny benchmark run as a smoke test of the speed harness
 #   trace  — darco-run/darco-lint trace + flight exporters, validated with
 #            the repo's own JSON reader (darco-trace-check)
-#   obs    — the committed BENCH_obs.json must pass the tracing-overhead
-#            gate (traced <= 5%, disabled tracer <= 1% vs baseline)
+#   obs    — the committed BENCH_obs.json must pass the observability
+#            overhead gate (traced <= 5%, disabled tracer <= 1% vs
+#            baseline, live streaming <= 2%, sampling profiler <= 2%)
 #   engine — the committed BENCH_engine.json must pass its overhead gate
 #   backend — native-JIT-vs-emulator identity gate over every workload
 #   jit    — jit_speed smoke run + committed BENCH_jit.json sanity check
@@ -22,6 +23,11 @@
 #            must exit 1 for the partial failure
 #   checkpoint — mid-run checkpoint/restore round trips (darco-run and
 #            a fleet --state-dir / --resume cycle)
+#   profiler — darco-run --profile on two workloads: non-empty collapsed
+#            stacks whose region frames resolve in the JSON heatmap
+#   live   — darco-fleet run --live with a one-shot darco-top --once
+#            attach (required dashboard fields) + a --replay re-render
+#            of the recorded stream
 #
 # Each stage is timed; a per-stage summary prints at the end.
 # Everything runs offline; no network access is required.
@@ -198,6 +204,64 @@ test -s "$smoke_dir/ckpt-state/job-1.snap"
     --quantum 3000 --out "$smoke_dir/ckpt2.json" \
     --resume "$smoke_dir/ckpt-state" > /dev/null 2>&1       # resume completes -> exit 0
 test "$(grep -o '"status":"ok"' "$smoke_dir/ckpt2.json" | wc -l)" -eq 2
+stage_done
+
+# Sampling profiler: collapsed stacks must be non-empty and carry the
+# workload;MODE;site frame shape, and every promoted-region frame in the
+# folded output must resolve to a region entry in the JSON heatmap.
+stage "profiler smoke (darco-run --profile on two workloads)"
+for wl in kernel:matmul kernel:crc32; do
+    folded="$smoke_dir/${wl#kernel:}.folded"
+    ./target/release/darco-run "$wl" --scale 1/4 --profile "$folded" \
+        --profile-every 2000 --json > "$smoke_dir/prof.json"
+    test -s "$folded"
+    grep -qE '^[^;]+;(IM|BBM|SBM);' "$folded"       # collapsed-stack frames
+    grep -q '"profile"' "$smoke_dir/prof.json"      # heatmap rides the report
+    ./target/release/darco-trace-check "$smoke_dir/prof.json" > /dev/null
+    for region in $(grep -oE 'region_0x[0-9a-f]+' "$folded" | sort -u); do
+        grep -q "\"entry\":\"${region#region_}\"" "$smoke_dir/prof.json" \
+            || { echo "folded frame $region missing from heatmap"; exit 1; }
+    done
+done
+stage_done
+
+# Live telemetry: a dashboard attached over TCP must catch up, render one
+# frame with the required fields, and leave a recording that --replay
+# re-renders deterministically. darco-top starts first (it retries the
+# connect), the fleet run provides the stream.
+stage "live-stream smoke (fleet --live + darco-top --once attach)"
+cat > "$smoke_dir/live-campaign.json" <<'EOF'
+{
+  "name": "ci-live",
+  "defaults": {"scale": "1/4"},
+  "jobs": [
+    {"workload": "kernel:dot"},
+    {"workload": "kernel:crc32"},
+    {"workload": "kernel:quicksort"}
+  ]
+}
+EOF
+./target/release/darco-top 127.0.0.1:7391 --once \
+    --record "$smoke_dir/live.jsonl" --width 80 > "$smoke_dir/top.txt" &
+top_pid=$!
+./target/release/darco-fleet run "$smoke_dir/live-campaign.json" --jobs 2 \
+    --live 127.0.0.1:7391 --out "$smoke_dir/live-merged.json" > /dev/null 2>&1
+wait "$top_pid"                                     # --once attach succeeded
+grep -q '"ev":"sync"' "$smoke_dir/live.jsonl"       # catch-up completed
+grep -q '"ev":"campaign"' "$smoke_dir/live.jsonl"   # campaign metadata streamed
+grep -q 'darco-top — ci-live' "$smoke_dir/top.txt"  # frame names the campaign
+grep -q 'jobs 3  workers 2' "$smoke_dir/top.txt"    # ...and its shape
+grep -q 'MIPS' "$smoke_dir/top.txt"                 # aggregate throughput line
+grep -q 'mode residency' "$smoke_dir/top.txt"       # IM/BBM/SBM split line
+grep -q 'workers  w0:' "$smoke_dir/top.txt"         # per-worker utilization
+./target/release/darco-top --replay "$smoke_dir/live.jsonl" --width 80 \
+    > "$smoke_dir/top-replay.txt"
+grep -q 'darco-top — ci-live' "$smoke_dir/top-replay.txt"
+# The merged artifact is still the deterministic one (streaming may not
+# perturb it): byte-compare against a streaming-off run.
+./target/release/darco-fleet run "$smoke_dir/live-campaign.json" --jobs 2 \
+    --out "$smoke_dir/nolive-merged.json" > /dev/null 2>&1
+cmp "$smoke_dir/live-merged.json" "$smoke_dir/nolive-merged.json"
 stage_done
 
 echo
