@@ -20,10 +20,11 @@ const EXIT_BUDGET: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: darco-run <benchmark|kernel:NAME> [options]\n\
+        "usage: darco-run <benchmark|kernel:NAME|fuzz:PATH> [options]\n\
          \n\
          benchmarks: any name from --list (e.g. 403.gcc, breakable)\n\
          kernels:    kernel:dot, kernel:matmul, kernel:search, kernel:nbody,\n             kernel:quicksort, kernel:crc32\n\
+         fuzz:PATH   replay a darco-fuzz reproducer or corpus entry\n\
          \n\
          options:\n\
            --list                 list suite benchmarks and exit\n\
@@ -213,6 +214,18 @@ fn main() -> ExitCode {
             "crc32" => kernels::crc32(50_000),
             _ => usage(),
         }
+    } else if let Some(path) = target.strip_prefix("fuzz:") {
+        // A darco-fuzz reproducer/corpus entry: replay it through the
+        // full single-run harness (tracing, flight recorder, profiler).
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading fuzz reproducer `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let fp = darco_workloads::fuzzprog::FuzzProgram::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: parsing fuzz reproducer `{path}`: {e}");
+            std::process::exit(2);
+        });
+        fp.lower()
     } else {
         match benchmarks().into_iter().find(|b| b.name == target) {
             Some(b) => darco_workloads::build(&b.profile.scaled(scale.0, scale.1)),

@@ -42,7 +42,7 @@ pub enum StepExit {
 /// Snapshot format magic (`DARCOSNP`, little-endian).
 const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DARCOSNP");
 /// Snapshot format version.
-const SNAP_VERSION: u32 = 1;
+const SNAP_VERSION: u32 = 2;
 
 /// A serialized checkpoint of a running engine.
 ///
@@ -522,6 +522,19 @@ impl Engine {
         reg.set_counter("sync.pages_served", m.pages_served);
         reg.set_counter("sync.syscalls", m.syscalls);
         reg.set_counter("sync.xcomp_nanos", m.xcomp_nanos);
+        // Per-cause emulator counters: rollback and transaction causes
+        // individually, where `tol.spec_rollbacks` only has the merged
+        // total. Deterministic (no wall clock), so campaign artifacts and
+        // the fuzzer's coverage map can key on them.
+        let ec = &m.tol.emu.counters;
+        reg.set_counter("emu.chkpts", ec.chkpts);
+        reg.set_counter("emu.commits", ec.commits);
+        reg.set_counter("emu.assert_fails", ec.assert_fails);
+        reg.set_counter("emu.alias_fails", ec.alias_fails);
+        reg.set_counter("emu.page_faults", ec.page_faults);
+        reg.set_counter("emu.ibtc_hits", ec.ibtc_hits);
+        reg.set_counter("emu.ibtc_misses", ec.ibtc_misses);
+        reg.set_counter("emu.smc_aborts", ec.smc_aborts);
         // Native-backend self-counters. Assembled here, never into the
         // TOL's serialized registry: JIT state is not part of a snapshot.
         if let Some(j) = m.tol.jit_stats() {

@@ -48,7 +48,12 @@ pub use workload::{resolve, Resolved};
 /// keeps only names passing this predicate, which is what makes the
 /// merged artifact byte-stable across hosts and worker counts.
 pub fn deterministic_metric(name: &str) -> bool {
-    !(name.ends_with("_nanos") || name.ends_with("_ns") || name.contains("_ns."))
+    !(name.ends_with("_nanos")
+        || name.ends_with(".nanos")
+        || name.ends_with("_ns")
+        || name.ends_with(".ns")
+        || name.contains("_ns.")
+        || name.contains(".ns."))
 }
 
 // Send audit: the pool moves these across threads; a field change that
@@ -73,6 +78,7 @@ mod tests {
         assert!(super::deterministic_metric("tol.region_guest_insns"));
         assert!(!super::deterministic_metric("tol.verify_nanos"));
         assert!(!super::deterministic_metric("tol.translate_nanos"));
+        assert!(!super::deterministic_metric("jit.verify.nanos"));
         assert!(!super::deterministic_metric("tol.translate_ns.bb"));
         assert!(!super::deterministic_metric("tol.translate_ns.sb"));
     }

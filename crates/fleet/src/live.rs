@@ -282,6 +282,19 @@ pub fn delta_event(t_ms: u64, id: u64, delta: &RegistryDelta) -> String {
     w.finish()
 }
 
+/// `fuzz` event (model key `4.0`): campaign-level fuzzing stats from
+/// `darco-fuzz run --live` — executions, corpus size, distinct coverage
+/// edges and divergence findings so far.
+pub fn fuzz_event(t_ms: u64, execs: u64, corpus: u64, edges: u64, divergences: u64) -> String {
+    let mut w = base("fuzz", t_ms);
+    w.field_num("execs", execs);
+    w.field_num("corpus", corpus);
+    w.field_num("edges", edges);
+    w.field_num("divergences", divergences);
+    w.end_obj();
+    w.finish()
+}
+
 /// `end` event (model key `9.*`).
 pub fn end_event(t_ms: u64, ok: usize, failed: usize) -> String {
     let mut w = base("end", t_ms);

@@ -10,7 +10,10 @@
 //!   isolation machinery: `fault:panic` makes the runner panic inside
 //!   the job (never reaching a simulation), `fault:spin` is a guest
 //!   program that loops forever so only the wall-clock timeout (or the
-//!   configured instruction budget) ends it.
+//!   configured instruction budget) ends it;
+//! * `fuzz:PATH` — a `darco-fuzz` reproducer or corpus entry (the
+//!   fuzzprog JSON format), lowered to its guest program. Scale does
+//!   not apply: a reproducer must replay exactly as minimized.
 
 use darco_guest::program::DEFAULT_CODE_BASE;
 use darco_guest::{Asm, GuestProgram, Gpr};
@@ -68,6 +71,13 @@ pub fn resolve(name: &str, scale: (u32, u32)) -> Result<Resolved, String> {
             other => Err(format!("unknown fault workload `{other}`")),
         };
     }
+    if let Some(path) = name.strip_prefix("fuzz:") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading fuzz reproducer `{path}`: {e}"))?;
+        let prog = darco_workloads::fuzzprog::FuzzProgram::parse(&text)
+            .map_err(|e| format!("parsing fuzz reproducer `{path}`: {e}"))?;
+        return Ok(Resolved::Program(prog.lower()));
+    }
     match benchmarks().into_iter().find(|b| b.name == name) {
         Some(b) => Ok(Resolved::Program(darco_workloads::build(
             &b.profile.scaled(scale.0, scale.1),
@@ -101,6 +111,30 @@ mod tests {
         assert!(matches!(resolve("fault:spin", (1, 1)), Ok(Resolved::Program(_))));
         assert!(resolve("404.notfound", (1, 1)).is_err());
         assert!(resolve("kernel:fft", (1, 1)).is_err());
+    }
+
+    #[test]
+    fn fuzz_namespace_resolves_reproducer_files() {
+        let dir = std::env::temp_dir().join("fleet-test-fuzz-workload");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("repro.json");
+        let prog = darco_workloads::fuzzprog::FuzzProgram {
+            fuel: 3,
+            blocks: vec![darco_workloads::fuzzprog::FuzzBlock {
+                ops: vec![darco_workloads::fuzzprog::FuzzOp::Nop],
+                exit: darco_workloads::fuzzprog::FuzzExit::Fall,
+            }],
+        };
+        std::fs::write(&path, prog.to_json()).unwrap();
+        let name = format!("fuzz:{}", path.display());
+        let Ok(Resolved::Program(p)) = resolve(&name, (1, 1)) else {
+            panic!("fuzz reproducer should resolve")
+        };
+        assert_eq!(p.code, prog.lower().code);
+        assert!(resolve("fuzz:/nonexistent/x.json", (1, 1)).is_err());
+        std::fs::write(&path, "{\"v\":1}").unwrap();
+        assert!(resolve(&name, (1, 1)).is_err(), "junk must not resolve");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! `darco-fuzz` — coverage-guided differential fuzzing campaigns.
+//!
+//! ```text
+//! darco-fuzz run --seed 7 --iters 500 --jobs 4 --out fuzz-out/
+//! darco-fuzz replay fuzz-out/repro-verify-sbm-123.json
+//! ```
+//!
+//! `run` executes a seeded campaign (see `darco_fuzz::campaign`): the
+//! merged artifact (`fuzz-artifact.json`), the interesting-input corpus
+//! and every minimized reproducer land in `--out`. The campaign is
+//! byte-deterministic in `(--seed, --iters, --profile, --inject)` — the
+//! artifact and corpus are identical for any `--jobs`. Exit status: 0
+//! when no divergence was found, 1 when any was, 2 on usage errors.
+//!
+//! `replay` re-runs one reproducer (or corpus entry) through the full
+//! differential oracle and reports the verdict — same exit convention.
+//!
+//! `--inject KIND[:ORDINAL]` plants a known translator bug (the
+//! `darco_tol::BugKind` spellings) in every translating lane; it exists
+//! so CI can verify the fuzzer actually finds what it is supposed to
+//! find.
+
+use darco_fuzz::{lanes, run_differential, FuzzOpts, Profile, Verdict};
+use darco_tol::{BugKind, Injection};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         \u{20} darco-fuzz run [--seed N] [--iters N] [--jobs N] [--profile P]\n\
+         \u{20}             [--out DIR] [--inject KIND[:ORDINAL]] [--live ADDR]\n\
+         \u{20} darco-fuzz replay <reproducer.json> [--inject KIND[:ORDINAL]]\n\
+         \n\
+         \u{20} --seed N       campaign master seed (default 1)\n\
+         \u{20} --iters N      candidate executions (default 200)\n\
+         \u{20} --jobs N       worker threads (default 1; never affects results)\n\
+         \u{20} --profile P    restrict generation: alu fp rep smc fault indirect\n\
+         \u{20} --out DIR      artifact/corpus/reproducer directory (default fuzz-out)\n\
+         \u{20} --inject K[:O] plant a translator bug: wrong-constant, bad-fold,\n\
+         \u{20}                drop-store, clobber-pinned (test-only; ordinal\n\
+         \u{20}                picks which translation is perturbed, default 0)\n\
+         \u{20} --live ADDR    stream live telemetry; attach with `darco-top ADDR`"
+    );
+    std::process::exit(2);
+}
+
+fn parse_inject(s: &str) -> Option<Injection> {
+    let (kind, ord) = match s.split_once(':') {
+        Some((k, o)) => (k, o.parse().ok()?),
+        None => (s, 0),
+    };
+    let kind = match kind {
+        "wrong-constant" => BugKind::TranslatorWrongConstant,
+        "bad-fold" => BugKind::OptimizerBadFold,
+        "drop-store" => BugKind::CodegenDropStore,
+        "clobber-pinned" => BugKind::CodegenClobberPinnedReg,
+        _ => return None,
+    };
+    Some(Injection { kind, translation_ordinal: ord })
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut opts = FuzzOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--seed" => opts.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--iters" => opts.iters = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => opts.jobs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--profile" => {
+                opts.profile = Some(Profile::parse(&take(&mut i)).unwrap_or_else(|| usage()))
+            }
+            "--out" => opts.out_dir = PathBuf::from(take(&mut i)),
+            "--inject" => {
+                opts.inject = Some(parse_inject(&take(&mut i)).unwrap_or_else(|| usage()))
+            }
+            "--live" => opts.live = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match darco_fuzz::campaign::run(&opts) {
+        Ok(summary) => {
+            eprintln!(
+                "campaign {}: {} execs, corpus {}, {} coverage edges, {} divergences",
+                summary.name,
+                summary.execs,
+                summary.corpus.len(),
+                summary.cov.len(),
+                summary.divergences()
+            );
+            println!("{}", summary.artifact_json());
+            if summary.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for f in &summary.findings {
+                    eprintln!(
+                        "finding [{}]: {} — reproducer {}",
+                        f.label,
+                        f.detail,
+                        f.repro_path.as_deref().map(|p| p.display().to_string()).unwrap_or_default()
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut inject = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--inject" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                inject = Some(parse_inject(&v).unwrap_or_else(|| usage()));
+            }
+            a if path.is_none() && !a.starts_with("--") => path = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let prog = match darco_workloads::fuzzprog::FuzzProgram::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match run_differential(&prog, &lanes(inject)) {
+        Verdict::Clean(reports) => {
+            for (name, r) in &reports {
+                eprintln!("lane {name}: {} guest insns, exit {:?}", r.guest_insns, r.exit_status);
+            }
+            println!("clean: all lanes agree");
+            ExitCode::SUCCESS
+        }
+        Verdict::Diverged(d) => {
+            println!("divergence [{}]: {}", d.kind.label(), d.detail);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}

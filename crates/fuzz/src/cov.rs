@@ -1,0 +1,159 @@
+//! Translation-path coverage: the fuzzer's fitness signal.
+//!
+//! Coverage is read off the existing metrics registry rather than from
+//! instrumented code: every deterministic `tol.*`/`emu.*` counter a lane
+//! produced becomes a set of *edges* `(lane.counter, log2-bucket)`. A
+//! candidate is interesting — and enters the corpus — exactly when it
+//! lights up an edge no earlier candidate did: a new promotion path, a
+//! new rollback cause, an SMC invalidation, a verifier invariant, or an
+//! order-of-magnitude-new count on any of them.
+
+use darco_fleet::deterministic_metric;
+use darco_obs::Registry;
+use std::collections::BTreeSet;
+
+/// One coverage edge: lane-qualified counter name plus log2 bucket.
+pub type Edge = (String, u8);
+
+/// Buckets a counter value: 0 stays 0 (no edge), otherwise
+/// `1 + floor(log2(v))` so each order of magnitude is a distinct edge.
+fn bucket(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Extracts the edges one lane's registry contributes.
+pub fn edges_of(lane: &str, reg: &Registry) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for (name, v) in reg.counters_iter() {
+        if v == 0 || !deterministic_metric(name) {
+            continue;
+        }
+        if !(name.starts_with("tol.") || name.starts_with("emu.")) {
+            continue;
+        }
+        out.push((format!("{lane}.{name}"), bucket(v)));
+    }
+    out
+}
+
+/// The campaign-global coverage map.
+#[derive(Debug, Default, Clone)]
+pub struct CovMap {
+    seen: BTreeSet<Edge>,
+}
+
+impl CovMap {
+    /// An empty map.
+    pub fn new() -> CovMap {
+        CovMap::default()
+    }
+
+    /// Adds edges; returns how many were new.
+    pub fn add_all(&mut self, edges: impl IntoIterator<Item = Edge>) -> usize {
+        let mut fresh = 0;
+        for e in edges {
+            if self.seen.insert(e) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Total distinct edges observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no edge has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Writes the `fuzz.cov.*` family counters into a registry:
+    /// promotion paths, rollback causes, invalidation kinds, verifier
+    /// invariants, and the total.
+    pub fn report_into(&self, reg: &mut Registry) {
+        let mut fam = [0u64; 5];
+        for (name, _) in &self.seen {
+            fam[family_of(name)] += 1;
+        }
+        reg.set_counter("fuzz.cov.edges", self.seen.len() as u64);
+        reg.set_counter("fuzz.cov.promotion", fam[0]);
+        reg.set_counter("fuzz.cov.rollback", fam[1]);
+        reg.set_counter("fuzz.cov.invalidation", fam[2]);
+        reg.set_counter("fuzz.cov.verifier", fam[3]);
+        reg.set_counter("fuzz.cov.other", fam[4]);
+    }
+}
+
+/// Maps a lane-qualified counter name onto its `fuzz.cov.*` family.
+fn family_of(name: &str) -> usize {
+    const PROMOTION: [&str; 6] =
+        ["translations", "recreations", "chain", "promot", "ibtc", "chkpt"];
+    const ROLLBACK: [&str; 4] = ["rollback", "assert", "alias", "fault"];
+    const INVALIDATION: [&str; 3] = ["smc", "flush", "invalid"];
+    if PROMOTION.iter().any(|k| name.contains(k)) {
+        0
+    } else if ROLLBACK.iter().any(|k| name.contains(k)) {
+        1
+    } else if INVALIDATION.iter().any(|k| name.contains(k)) {
+        2
+    } else if name.contains("verify") {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_orders_of_magnitude() {
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(1024), 11);
+    }
+
+    #[test]
+    fn only_new_edges_count() {
+        let mut m = CovMap::new();
+        let e = |n: &str, b: u8| (n.to_string(), b);
+        assert_eq!(m.add_all([e("im.tol.blocks", 3), e("im.tol.blocks", 4)]), 2);
+        assert_eq!(m.add_all([e("im.tol.blocks", 3)]), 0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn edges_skip_zeros_and_wall_clock() {
+        let mut r = Registry::new();
+        r.set_counter("tol.translations_bb", 4);
+        r.set_counter("tol.verify_nanos", 123);
+        r.set_counter("tol.idle", 0);
+        r.set_counter("sync.pages", 9);
+        let edges = edges_of("sbm", &r);
+        assert_eq!(edges, vec![("sbm.tol.translations_bb".to_string(), 3)]);
+    }
+
+    #[test]
+    fn families_classify() {
+        let mut m = CovMap::new();
+        m.add_all([
+            ("sbm.tol.translations_bb".to_string(), 1),
+            ("sbm.tol.spec_rollbacks".to_string(), 1),
+            ("sbm.tol.smc_flushes".to_string(), 1),
+            ("sbm.tol.verify_findings".to_string(), 1),
+            ("sbm.tol.guest_insns".to_string(), 1),
+        ]);
+        let mut r = Registry::new();
+        m.report_into(&mut r);
+        assert_eq!(r.counter_value("fuzz.cov.edges"), Some(5));
+        assert_eq!(r.counter_value("fuzz.cov.promotion"), Some(1));
+        assert_eq!(r.counter_value("fuzz.cov.rollback"), Some(1));
+        assert_eq!(r.counter_value("fuzz.cov.invalidation"), Some(1));
+        assert_eq!(r.counter_value("fuzz.cov.verifier"), Some(1));
+        assert_eq!(r.counter_value("fuzz.cov.other"), Some(1));
+    }
+}

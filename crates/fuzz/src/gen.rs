@@ -1,0 +1,182 @@
+//! Structured program generation: weighted opcode-class profiles.
+//!
+//! Each profile biases the op-tag distribution toward one stressor —
+//! ALU-dense promotion pressure, FP/softfp, REP strings through the IM
+//! safety net, self-modifying code against the invalidation machinery,
+//! faults at the last mapped page, or indirect-branch soup through the
+//! IBTC. Generation is a pure function of `(profile, seed)`.
+
+use darco_guest::prng::{Rng, SmallRng};
+use darco_workloads::fuzzprog::{FuzzBlock, FuzzExit, FuzzOp, FuzzProgram};
+
+/// The opcode-class profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Integer-dense straight-line bodies with hot loops.
+    Alu,
+    /// FP/softfp heavy.
+    Fp,
+    /// REP string operations (interpreted: the IM safety net).
+    RepString,
+    /// Self-modifying: patchable slots and patches.
+    Smc,
+    /// Loads/stores straddling the last mapped data page.
+    FaultBoundary,
+    /// Indirect-branch-heavy control flow through the jump table.
+    IndirectBranch,
+}
+
+/// All profiles, in the fixed cycling order the campaign uses.
+pub const PROFILES: [Profile; 6] = [
+    Profile::Alu,
+    Profile::Fp,
+    Profile::RepString,
+    Profile::Smc,
+    Profile::FaultBoundary,
+    Profile::IndirectBranch,
+];
+
+impl Profile {
+    /// Stable name (CLI `--profile` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Alu => "alu",
+            Profile::Fp => "fp",
+            Profile::RepString => "rep",
+            Profile::Smc => "smc",
+            Profile::FaultBoundary => "fault",
+            Profile::IndirectBranch => "indirect",
+        }
+    }
+
+    /// Parses a `--profile` value.
+    pub fn parse(s: &str) -> Option<Profile> {
+        PROFILES.iter().copied().find(|p| p.name() == s)
+    }
+
+    /// Per-op-tag weights (index = `FuzzOp` tag). The base mix keeps
+    /// every class reachable; the profile multiplies its stressors.
+    fn weights(&self) -> [u32; 20] {
+        // Tags: 0 MovRI 1 AluRR 2 AluRI 3 Shift 4 MulDiv 5 Load 6 Store
+        //       7 StoreI 8 AluM 9 CmpTest 10 Cmov 11 Setcc 12 PushPop
+        //       13 Lea 14 Fp 15 Rep 16 Edge 17 Patchable 18 Patch 19 Nop
+        let mut w = [4, 8, 8, 4, 3, 6, 6, 3, 4, 5, 3, 2, 3, 2, 2, 0, 0, 0, 0, 1];
+        match self {
+            Profile::Alu => {
+                w[1] = 20;
+                w[2] = 20;
+                w[3] = 10;
+                w[4] = 8;
+            }
+            Profile::Fp => {
+                w[14] = 30;
+            }
+            Profile::RepString => {
+                w[15] = 14;
+            }
+            Profile::Smc => {
+                w[17] = 8;
+                w[18] = 8;
+            }
+            Profile::FaultBoundary => {
+                w[16] = 10;
+            }
+            Profile::IndirectBranch => {
+                w[9] = 10;
+            }
+        }
+        w
+    }
+
+    /// Exit-kind weights (index = `FuzzExit` tag: Fall, Jmp, Cond,
+    /// Indirect, CallThen).
+    fn exit_weights(&self) -> [u32; 5] {
+        match self {
+            Profile::IndirectBranch => [2, 2, 4, 12, 6],
+            _ => [4, 3, 8, 1, 2],
+        }
+    }
+}
+
+fn weighted<R: Rng>(rng: &mut R, weights: &[u32]) -> i64 {
+    let total: u32 = weights.iter().sum();
+    let mut pick = rng.gen_range(0..total.max(1));
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return i as i64;
+        }
+        pick -= w;
+    }
+    0
+}
+
+/// Generates one candidate program for a profile from a seed.
+pub fn generate(profile: Profile, seed: u64) -> FuzzProgram {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weights = profile.weights();
+    let exit_weights = profile.exit_weights();
+    let nblocks = rng.gen_range(2..7usize);
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let nops = rng.gen_range(2..12usize);
+        let ops = (0..nops)
+            .map(|_| {
+                let tag = weighted(&mut rng, &weights);
+                FuzzOp::decode([tag, rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+            })
+            .collect();
+        let exit = FuzzExit::decode([
+            weighted(&mut rng, &exit_weights),
+            rng.gen(),
+            rng.gen(),
+            rng.gen(),
+            rng.gen(),
+        ]);
+        blocks.push(FuzzBlock { ops, exit });
+    }
+    // Enough fuel for low-threshold promotion (bbm=2, sbm=6) to fire on
+    // looping CFGs, small enough that a candidate stays milliseconds.
+    let fuel = rng.gen_range(60..300u32);
+    FuzzProgram { fuel, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in PROFILES {
+            assert_eq!(generate(p, 42), generate(p, 42), "{}", p.name());
+            assert_ne!(generate(p, 1), generate(p, 2), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn profiles_bias_their_stressors() {
+        let count = |p: Profile, pred: fn(&FuzzOp) -> bool| -> usize {
+            (0..40)
+                .flat_map(|s| generate(p, s).blocks)
+                .flat_map(|b| b.ops)
+                .filter(pred)
+                .count()
+        };
+        assert!(count(Profile::Fp, |o| matches!(o, FuzzOp::Fp { .. })) > 40);
+        assert!(count(Profile::RepString, |o| matches!(o, FuzzOp::Rep { .. })) > 20);
+        assert!(
+            count(Profile::Smc, |o| matches!(o, FuzzOp::Patchable { .. } | FuzzOp::Patch { .. }))
+                > 20
+        );
+        assert!(count(Profile::FaultBoundary, |o| matches!(o, FuzzOp::Edge { .. })) > 20);
+        // Edge probes never appear outside their profile.
+        assert_eq!(count(Profile::Alu, |o| matches!(o, FuzzOp::Edge { .. })), 0);
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in PROFILES {
+            assert_eq!(Profile::parse(p.name()), Some(p));
+        }
+        assert_eq!(Profile::parse("nope"), None);
+    }
+}

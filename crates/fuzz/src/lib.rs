@@ -1,0 +1,37 @@
+//! # darco-fuzz — coverage-guided differential fuzzing for the stack
+//!
+//! A seeded, fully deterministic fuzzing soup over the whole co-designed
+//! stack (see `DESIGN.md` §15):
+//!
+//! * [`gen`] draws structured random guest programs from weighted
+//!   opcode-class profiles (ALU-dense, FP, REP-string, self-modifying,
+//!   fault-at-boundary, indirect-branch-heavy) — every candidate lowers
+//!   to well-formed, terminating GISA code by construction;
+//! * [`oracle`] runs each candidate differentially: interpreter vs BBM
+//!   vs SBM+speculation, emulator vs native backend, with final guest
+//!   output, retire counts, exit status, faults and per-cause exit
+//!   counters compared bit-for-bit, and semantic-verifier findings
+//!   treated as crashes;
+//! * [`cov`] turns the existing `tol.*`/`emu.*` metric counters into a
+//!   translation-path coverage signal (no instrumentation needed);
+//! * [`mutate`] evolves interesting candidates structurally (splice,
+//!   opcode flip, const tweak, block duplicate) — never byte-level;
+//! * [`shrink`] delta-debugs every divergence down to a minimal
+//!   standalone reproducer;
+//! * [`campaign`] ties it together generation-synchronously on the
+//!   fleet pool: the merged artifact, corpus and coverage trajectory
+//!   are byte-identical at any `--jobs` count.
+
+pub mod campaign;
+pub mod cov;
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod shrink;
+
+pub use campaign::{run, CampaignSummary, Finding, FuzzOpts, GENERATION};
+pub use cov::{edges_of, CovMap, Edge};
+pub use gen::{generate, Profile, PROFILES};
+pub use mutate::mutate;
+pub use oracle::{lanes, run_differential, DivKind, Divergence, Lane, Verdict};
+pub use shrink::shrink;

@@ -1,0 +1,110 @@
+//! Delta-debugging shrinker: minimize a diverging candidate while
+//! preserving its divergence kind.
+//!
+//! Classic ddmin adapted to the two-level structure: drop whole blocks,
+//! then binary-chunked op ranges inside each block, then simplify exits
+//! to fall-through and halve the fuel — iterated to a fixpoint. Every
+//! decision re-runs the full differential oracle, so the result is a
+//! standalone reproducer; the procedure is a pure function of the
+//! input program (the oracle is deterministic), so re-running the
+//! shrinker reproduces the same minimized program byte for byte.
+
+use crate::oracle::{run_differential, DivKind, Lane, Verdict};
+use darco_workloads::fuzzprog::{FuzzExit, FuzzProgram};
+
+/// Upper bound on oracle invocations per shrink (a cost valve: each
+/// probe is four full simulations).
+pub const MAX_PROBES: usize = 400;
+
+/// Shrinks `p`, preserving divergence `kind` under `lanes`. Returns the
+/// smallest program found and the number of oracle probes spent.
+pub fn shrink(p: &FuzzProgram, lanes: &[Lane], kind: &DivKind) -> (FuzzProgram, usize) {
+    let probes = std::cell::Cell::new(0usize);
+    let still_diverges = |cand: &FuzzProgram| -> bool {
+        if probes.get() >= MAX_PROBES {
+            return false;
+        }
+        probes.set(probes.get() + 1);
+        matches!(run_differential(cand, lanes), Verdict::Diverged(d) if d.kind == *kind)
+    };
+
+    let mut cur = p.clone();
+    loop {
+        let mut improved = false;
+
+        // 1. Drop whole blocks, last to first (dropping later blocks
+        // first keeps earlier targets' modular meaning more stable).
+        let mut bi = cur.blocks.len();
+        while bi > 0 && cur.blocks.len() > 1 {
+            bi -= 1;
+            if bi >= cur.blocks.len() {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.blocks.remove(bi);
+            if still_diverges(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
+
+        // 2. ddmin op ranges inside each block: chunk sizes n/2, n/4,
+        // ..., 1.
+        for bi in 0..cur.blocks.len() {
+            let mut chunk = (cur.blocks[bi].ops.len() / 2).max(1);
+            loop {
+                let n = cur.blocks[bi].ops.len();
+                if n == 0 {
+                    break;
+                }
+                let mut at = 0;
+                while at < cur.blocks[bi].ops.len() {
+                    let end = (at + chunk).min(cur.blocks[bi].ops.len());
+                    let mut cand = cur.clone();
+                    cand.blocks[bi].ops.drain(at..end);
+                    if still_diverges(&cand) {
+                        cur = cand;
+                        improved = true;
+                        // Same `at` now addresses the next chunk.
+                    } else {
+                        at = end;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk = (chunk / 2).max(1);
+            }
+        }
+
+        // 3. Simplify exits to fall-through.
+        for bi in 0..cur.blocks.len() {
+            if cur.blocks[bi].exit == FuzzExit::Fall {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.blocks[bi].exit = FuzzExit::Fall;
+            if still_diverges(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
+
+        // 4. Halve the fuel.
+        while cur.fuel > 1 {
+            let mut cand = cur.clone();
+            cand.fuel = (cur.fuel / 2).max(1);
+            if still_diverges(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        if !improved || probes.get() >= MAX_PROBES {
+            break;
+        }
+    }
+    (cur, probes.get())
+}

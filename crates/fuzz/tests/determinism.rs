@@ -1,0 +1,67 @@
+//! The fuzzing determinism contract (mirrors the fleet's): same seed ⇒
+//! byte-identical merged artifact and identical corpus/coverage
+//! trajectory at any `--jobs` count, and coverage strictly grows over
+//! the seed corpus once the soup evolves.
+
+use darco_fuzz::campaign::{run, FuzzOpts};
+
+fn opts(seed: u64, iters: u64, jobs: usize, dir: &str) -> FuzzOpts {
+    let out = std::env::temp_dir().join(format!("darco-fuzz-test-{dir}"));
+    let _ = std::fs::remove_dir_all(&out);
+    FuzzOpts { seed, iters, jobs, profile: None, inject: None, out_dir: out, live: None }
+}
+
+fn corpus_files(dir: &std::path::Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(dir.join("corpus")) {
+        for e in rd.flatten() {
+            out.push((
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read_to_string(e.path()).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn artifact_and_corpus_are_identical_for_any_worker_count() {
+    let mut artifacts = Vec::new();
+    let mut corpora = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let o = opts(11, 54, jobs, &format!("jobs{jobs}"));
+        let s = run(&o).expect("campaign runs");
+        assert!(s.findings.is_empty(), "clean build must not diverge: {:?}", s.findings);
+        artifacts.push(s.artifact_json());
+        corpora.push(corpus_files(&o.out_dir));
+        let _ = std::fs::remove_dir_all(&o.out_dir);
+    }
+    assert_eq!(artifacts[0], artifacts[1], "jobs=1 vs jobs=2 artifact");
+    assert_eq!(artifacts[0], artifacts[2], "jobs=1 vs jobs=8 artifact");
+    assert_eq!(corpora[0], corpora[1], "jobs=1 vs jobs=2 corpus");
+    assert_eq!(corpora[0], corpora[2], "jobs=1 vs jobs=8 corpus");
+}
+
+#[test]
+fn coverage_strictly_grows_past_the_seed_corpus() {
+    // Seed corpus only (iters == number of profiles: zero generations).
+    let o_seed = opts(11, 6, 2, "cov-seed");
+    let seed_only = run(&o_seed).expect("seed campaign");
+    let _ = std::fs::remove_dir_all(&o_seed.out_dir);
+    // Same seed with evolved generations on top.
+    let o_full = opts(11, 54, 2, "cov-full");
+    let full = run(&o_full).expect("full campaign");
+    let _ = std::fs::remove_dir_all(&o_full.out_dir);
+    assert!(
+        full.cov.len() > seed_only.cov.len(),
+        "evolution must find new coverage edges: {} vs {}",
+        full.cov.len(),
+        seed_only.cov.len()
+    );
+    assert!(full.execs > seed_only.execs);
+    assert_eq!(
+        full.metrics.counter_value("fuzz.cov.edges"),
+        Some(full.cov.len() as u64)
+    );
+}

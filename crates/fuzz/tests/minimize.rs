@@ -1,0 +1,51 @@
+//! Minimizer property test: with an injected translator bug, the
+//! shrinker converges to a tiny reproducer that still diverges with the
+//! same kind, and re-running the whole procedure is deterministic.
+
+use darco_fuzz::{generate, lanes, run_differential, shrink, Profile, Verdict};
+use darco_tol::{BugKind, Injection};
+
+#[test]
+fn injected_bad_fold_shrinks_to_tiny_deterministic_reproducer() {
+    let lanes = lanes(Some(Injection {
+        kind: BugKind::OptimizerBadFold,
+        translation_ordinal: 0,
+    }));
+
+    // Find a diverging candidate among the first few ALU seeds (the
+    // injected fold perturbs an early translation, so promotion-heavy
+    // candidates hit it quickly).
+    let (prog, kind) = (0..20)
+        .find_map(|s| {
+            let p = generate(Profile::Alu, s);
+            match run_differential(&p, &lanes) {
+                Verdict::Diverged(d) => Some((p, d.kind)),
+                Verdict::Clean(_) => None,
+            }
+        })
+        .expect("an injected bad-fold must surface within 20 ALU seeds");
+
+    let (min1, probes1) = shrink(&prog, &lanes, &kind);
+    assert!(
+        min1.op_count() <= 8,
+        "minimized reproducer should be tiny, got {} ops",
+        min1.op_count()
+    );
+    assert!(min1.op_count() <= prog.op_count());
+
+    // The minimized program still diverges with the same kind.
+    match run_differential(&min1, &lanes) {
+        Verdict::Diverged(d) => assert_eq!(d.kind, kind),
+        Verdict::Clean(_) => panic!("minimized reproducer no longer diverges"),
+    }
+
+    // Re-running the shrinker is byte-for-byte deterministic.
+    let (min2, probes2) = shrink(&prog, &lanes, &kind);
+    assert_eq!(min1, min2);
+    assert_eq!(probes1, probes2);
+
+    // And the reproducer round-trips through its JSON wire form.
+    let parsed =
+        darco_workloads::fuzzprog::FuzzProgram::parse(&min1.to_json()).expect("round trip");
+    assert_eq!(parsed, min1);
+}

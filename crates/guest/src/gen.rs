@@ -10,14 +10,28 @@ use crate::prng::Rng;
 use crate::reg::{Addr, Cond, Fpr, Gpr, Scale, Width};
 
 /// Generates a random well-formed addressing mode.
+///
+/// The displacement is drawn from four buckets: zero, short (byte-sized),
+/// page-boundary-straddling, and full-width. The straddle bucket places
+/// `disp` within a cache-line of a page-size multiple so accesses off a
+/// page-aligned base regularly cross page boundaries — the case that
+/// exercises split faults and TLB edges, and which a uniform 32-bit draw
+/// essentially never produces. The full-width bucket is inclusive on both
+/// ends (`i32::MIN..i32::MAX` exclusive could never yield `i32::MAX`).
 pub fn arbitrary_addr<R: Rng>(rng: &mut R) -> Addr {
     let base = if rng.gen_bool(0.8) { Some(arbitrary_gpr(rng)) } else { None };
     let index = if rng.gen_bool(0.3) { Some(arbitrary_gpr(rng)) } else { None };
     let scale = Scale::from_index(rng.gen_range(0..4));
-    let disp = match rng.gen_range(0..3) {
+    let disp = match rng.gen_range(0..4) {
         0 => 0,
-        1 => rng.gen_range(-128..128),
-        _ => rng.gen_range(i32::MIN..i32::MAX),
+        1 => rng.gen_range(-128..=127),
+        2 => {
+            // Within ±63 bytes of a multiple of the page size (including
+            // negative multiples), so a page-aligned base straddles.
+            let page = rng.gen_range(-8i32..=8) * 4096;
+            page.saturating_add(rng.gen_range(-63..=63))
+        }
+        _ => rng.gen_range(i32::MIN..=i32::MAX),
     };
     Addr { base, index, scale, disp }
 }

@@ -226,6 +226,22 @@ impl GuestMem {
         self.code_gen
     }
 
+    /// Whether `page` is marked as holding predecoded instructions.
+    #[inline]
+    pub fn is_code_page(&self, page: u32) -> bool {
+        self.code_pages.contains(&page)
+    }
+
+    /// Whether the byte range `[addr, addr+len)` touches a marked code
+    /// page. Host backends use this to detect self-modifying stores
+    /// before they enter a transaction.
+    #[inline]
+    pub fn is_code(&self, addr: u32, len: u32) -> bool {
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr.wrapping_add(len.saturating_sub(1)));
+        self.code_pages.contains(&first) || (last != first && self.code_pages.contains(&last))
+    }
+
     /// Returns a copy of a page's contents, if mapped.
     pub fn page(&self, page: u32) -> Option<&[u8]> {
         self.read_slot(page)

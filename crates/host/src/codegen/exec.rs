@@ -74,6 +74,7 @@ pub(super) const CAUSE_PAGE_FAULT: u32 = 3;
 pub(super) const CAUSE_DIV_ZERO: u32 = 4;
 pub(super) const CAUSE_TRIP: u32 = 5;
 pub(super) const CAUSE_FUEL: u32 = 6;
+pub(super) const CAUSE_SMC: u32 = 7;
 
 /// The JIT execution context. `r15` points here for the whole native
 /// call; every offset below is addressed as `[r15 + disp32]`.
@@ -96,6 +97,7 @@ pub(super) struct NativeCtx {
     pub page_faults: u64,
     pub ibtc_hits: u64,
     pub ibtc_misses: u64,
+    pub smc_aborts: u64,
     // -- rollback snapshot --
     pub snap_iregs: [u32; 64],
     pub snap_fregs: [f64; 64],
@@ -376,9 +378,15 @@ pub(super) extern "sysv64" fn h_rollback(ctx: *mut NativeCtx, pc: u64, cause: u6
 }
 
 /// Fills the native TLB slot for the page containing `addr`, if mapped.
+/// Marked code pages never enter the TLB: every access to one takes the
+/// slow helper, where self-modifying stores are detected and aborted
+/// (mirroring `GuestMem`'s write-TLB discipline).
 fn tlb_fill(c: &mut NativeCtx, addr: u32) {
     let page = addr >> 12;
     let mem = unsafe { &*c.mem };
+    if mem.is_code_page(page) {
+        return;
+    }
     if let Some(pg) = mem.page(page) {
         let slot = (page as usize & (TLB_SLOTS - 1)) * 2;
         c.tlb[slot] = page as u64 + 1;
@@ -470,6 +478,15 @@ pub(super) extern "sysv64" fn h_slow_store(
     if let Err(pf) = mem.probe(addr, len as u32, true) {
         c.page_faults += 1;
         rollback_to(c, pc, CAUSE_PAGE_FAULT, pf.addr, 1);
+        c.helper_exit = 1;
+        return;
+    }
+    // Self-modifying store: abort before buffering (same check order as
+    // `HostEmulator::write_mem` — probe, SMC, alias — so counters match
+    // across backends).
+    if mem.is_code(addr, len as u32) {
+        c.smc_aborts += 1;
+        rollback_to(c, pc, CAUSE_SMC, addr, 0);
         c.helper_exit = 1;
         return;
     }
@@ -985,6 +1002,7 @@ impl NativeEngine {
         c.assert_fails = emu.counters.assert_fails;
         c.alias_fails = emu.counters.alias_fails;
         c.page_faults = emu.counters.page_faults;
+        c.smc_aborts = emu.counters.smc_aborts;
         c.ibtc_hits = emu.counters.ibtc_hits;
         c.ibtc_misses = emu.counters.ibtc_misses;
         take_snapshot(c, entry as u64);
@@ -1061,6 +1079,7 @@ impl NativeEngine {
         emu.counters.assert_fails = c.assert_fails;
         emu.counters.alias_fails = c.alias_fails;
         emu.counters.page_faults = c.page_faults;
+        emu.counters.smc_aborts = c.smc_aborts;
         emu.counters.ibtc_hits = c.ibtc_hits;
         emu.counters.ibtc_misses = c.ibtc_misses;
         self.stats.slow_mem_exits += c.slow_mem;
@@ -1076,6 +1095,7 @@ impl NativeEngine {
             CAUSE_DIV_ZERO => ExitCause::DivByZero,
             CAUSE_TRIP => ExitCause::ProfileTrip { idx: c.exit_a },
             CAUSE_FUEL => ExitCause::Fuel,
+            CAUSE_SMC => ExitCause::SmcWrite { addr: c.exit_a },
             other => unreachable!("bad native exit cause {other}"),
         };
         ExitInfo {

@@ -97,6 +97,14 @@ pub enum ExitCause {
     /// The instruction budget ran out; stopped at a checkpoint boundary
     /// with the previous transaction committed.
     Fuel,
+    /// A store targeted a marked code page (self-modifying code); rolled
+    /// back before the store entered the transaction. The software layer
+    /// interprets forward so the write lands with the interpreter's
+    /// per-instruction visibility, then flushes stale translations.
+    SmcWrite {
+        /// Guest address the store targeted.
+        addr: u32,
+    },
 }
 
 /// Result of one [`HostEmulator::execute`] call.
@@ -130,6 +138,8 @@ pub struct EmuCounters {
     pub ibtc_hits: u64,
     /// IBTC misses.
     pub ibtc_misses: u64,
+    /// Self-modifying-store transaction aborts.
+    pub smc_aborts: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +148,16 @@ struct StoreEnt {
     addr: u32,
     len: u8,
     data: u64,
+}
+
+/// Outcome of buffering one store (page faults are reported separately).
+enum StoreOut {
+    /// Buffered.
+    Done,
+    /// Alias violation against a younger speculative load.
+    Alias,
+    /// The store targets a marked code page.
+    Smc,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -283,8 +303,9 @@ impl HostEmulator {
         Ok(u64::from_le_bytes(buf))
     }
 
-    /// Buffers a store; checks alias violations against executed
-    /// speculative loads that are *younger* in program order.
+    /// Buffers a store; checks code-page hits (self-modifying code) and
+    /// alias violations against executed speculative loads that are
+    /// *younger* in program order.
     fn write_mem(
         &mut self,
         mem: &GuestMem,
@@ -292,18 +313,24 @@ impl HostEmulator {
         len: u8,
         data: u64,
         seq: u16,
-    ) -> Result<Result<(), ()>, PageFault> {
+    ) -> Result<StoreOut, PageFault> {
         mem.probe(addr, len as u32, true)?;
+        // Self-modifying store: abort before the write enters the
+        // transaction (checked before the alias screen; the native
+        // backend's slow store helper must match this order).
+        if mem.is_code(addr, len as u32) {
+            return Ok(StoreOut::Smc);
+        }
         for l in &self.spec_loads {
             if l.seq > seq && overlaps(l.addr, l.len, addr, len) {
-                return Ok(Err(())); // alias violation
+                return Ok(StoreOut::Alias);
             }
         }
         // Insertion keeps the buffer sorted by `seq`; stores almost always
         // arrive in program order, so this is an O(1) append in practice.
         let pos = self.store_buf.iter().rposition(|e| e.seq <= seq).map_or(0, |i| i + 1);
         self.store_buf.insert(pos, StoreEnt { seq, addr, len, data });
-        Ok(Ok(()))
+        Ok(StoreOut::Done)
     }
 
     /// Executes host code starting at word index `entry` until an exit
@@ -438,8 +465,12 @@ impl HostEmulator {
                         srcs: [Some(rs.0), Some(base.0)],
                     });
                     match self.write_mem(mem, addr, len, data, seq) {
-                        Ok(Ok(())) => {}
-                        Ok(Err(())) => {
+                        Ok(StoreOut::Done) => {}
+                        Ok(StoreOut::Smc) => {
+                            self.counters.smc_aborts += 1;
+                            exit_rollback!(ExitCause::SmcWrite { addr });
+                        }
+                        Ok(StoreOut::Alias) => {
                             self.counters.alias_fails += 1;
                             exit_rollback!(ExitCause::AliasFail);
                         }
@@ -486,8 +517,12 @@ impl HostEmulator {
                         srcs: [Some(crate::sink::fp_reg(fs.0)), Some(base.0)],
                     });
                     match self.write_mem(mem, addr, 8, data, seq) {
-                        Ok(Ok(())) => {}
-                        Ok(Err(())) => {
+                        Ok(StoreOut::Done) => {}
+                        Ok(StoreOut::Smc) => {
+                            self.counters.smc_aborts += 1;
+                            exit_rollback!(ExitCause::SmcWrite { addr });
+                        }
+                        Ok(StoreOut::Alias) => {
                             self.counters.alias_fails += 1;
                             exit_rollback!(ExitCause::AliasFail);
                         }

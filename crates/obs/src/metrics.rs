@@ -697,6 +697,7 @@ impl RegistryDelta {
 mod tests {
     use super::*;
     use crate::json::{parse, JsonValue};
+    use darco_guest::prng::{Rng, SmallRng};
 
     #[test]
     fn histogram_buckets_are_powers_of_two() {
@@ -798,14 +799,9 @@ mod tests {
     /// names, all three metric kinds) yields byte-identical JSON.
     #[test]
     fn registry_merge_is_order_independent() {
-        // Tiny xorshift so the shuffle is deterministic and offline.
-        let mut state = 0x9e3779b97f4a7c15u64;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        // Seeded PRNG so the shuffle is deterministic and offline.
+        let mut sm = SmallRng::seed_from_u64(0x9e3779b97f4a7c15);
+        let mut rng = move || sm.next_u64();
         let snapshots: Vec<Registry> = (0..8u64)
             .map(|i| {
                 let mut r = Registry::new();
@@ -834,7 +830,7 @@ mod tests {
         let baseline = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
         for _ in 0..20 {
             let mut order: Vec<usize> = (0..8).collect();
-            // Fisher–Yates with the xorshift above.
+            // Fisher–Yates with the seeded generator above.
             for i in (1..order.len()).rev() {
                 let j = (rng() % (i as u64 + 1)) as usize;
                 order.swap(i, j);
@@ -933,13 +929,8 @@ mod tests {
     /// `min` sentinel) that an f64-typed number path would corrupt.
     #[test]
     fn delta_round_trips_random_mutations() {
-        let mut state = 0x243f6a8885a308d3u64;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        let mut sm = SmallRng::seed_from_u64(0x243f6a8885a308d3);
+        let mut rng = move || sm.next_u64();
         for round in 0..40 {
             let mut live = Registry::new();
             let mutate = |r: &mut Registry, rng: &mut dyn FnMut() -> u64| {

@@ -232,7 +232,7 @@ impl TolStats {
     /// (empty prefix → bare field names). This is the single source both
     /// the debug JSON and `darco-run --json`/`--metrics` serialize from.
     pub fn register_into(&self, reg: &mut Registry, prefix: &str) {
-        let fields: [(&str, u64); 17] = [
+        let fields: [(&str, u64); 19] = [
             ("guest_im", self.guest_im),
             ("translations_bb", self.translations_bb),
             ("translations_sb", self.translations_sb),
@@ -240,6 +240,8 @@ impl TolStats {
             ("host_app", self.host_app),
             ("interp_blocks", self.interp_blocks),
             ("spec_rollbacks", self.spec_rollbacks),
+            ("smc_aborts", self.smc_aborts),
+            ("smc_flushes", self.smc_flushes),
             ("chain_patches", self.chain_patches),
             ("ibtc_inserts", self.ibtc_inserts),
             ("guest_external", self.guest_external),
@@ -332,7 +334,7 @@ mod tests {
         assert_eq!(reg.counter_value("tol.spec_rollbacks"), Some(7));
         assert_eq!(reg.counter_value("tol.guest_im"), Some(0));
         let (counters, _, _) = reg.sizes();
-        assert_eq!(counters, 17 + darco_ir::KIND_COUNT);
+        assert_eq!(counters, 19 + darco_ir::KIND_COUNT);
     }
 
     #[test]

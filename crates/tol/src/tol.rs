@@ -222,6 +222,12 @@ pub struct TolStats {
     pub interp_blocks: u64,
     /// Assert/alias rollbacks.
     pub spec_rollbacks: u64,
+    /// Transactions aborted by a store into a marked code page
+    /// (self-modifying code), rolled back pre-store.
+    pub smc_aborts: u64,
+    /// Translation-cache flushes forced by a code-generation bump
+    /// (self-modifying code made installed translations stale).
+    pub smc_flushes: u64,
     /// Successful chain patches.
     pub chain_patches: u64,
     /// IBTC insertions.
@@ -306,6 +312,12 @@ pub struct Tol {
     /// Block head of an interpretation split by the fuel budget, so the
     /// repetition counter credits the true head when the block completes.
     im_split_entry: Option<u32>,
+    /// Guest code generation observed at the last dispatch. A bump means
+    /// self-modifying code landed (interpreted store, committed
+    /// transaction, or code page unmapped): installed translations were
+    /// built from the old bytes, so the dispatcher flushes them before
+    /// the next cache entry. `u64::MAX` until the first dispatch.
+    last_code_gen: u64,
     /// Predecoded guest-block cache backing the IM interpreter.
     decode: DecodeCache,
     /// Recycled semantic-validation scratch (term pool + pristine-region
@@ -348,6 +360,7 @@ impl Tol {
             translation_ordinal: 0,
             spill_mapped: false,
             im_split_entry: None,
+            last_code_gen: u64::MAX,
             decode: DecodeCache::new(),
             sem_spare: None,
             cfg,
@@ -442,6 +455,22 @@ impl Tol {
         loop {
             if self.total_guest() >= limit {
                 return TolEvent::FuelOut;
+            }
+            // Self-modifying code: a code-generation bump means installed
+            // translations may describe stale bytes. Flush them (chains
+            // and IBTC included) before the next cache entry; the decode
+            // cache re-checks the generation itself.
+            let gen = st.mem.code_gen();
+            if gen != self.last_code_gen {
+                if self.last_code_gen != u64::MAX && self.cache.live_translations() > 0 {
+                    self.obs.emit(TraceEventKind::CacheFlush {
+                        live: self.cache.live_translations() as u32,
+                        used_words: self.cache.used_words() as u64,
+                    });
+                    self.cache.flush();
+                    self.stats.smc_flushes += 1;
+                }
+                self.last_code_gen = gen;
             }
             self.acct.charge(OverheadKind::Others, self.costs.dispatch, sink);
             if !interp_next {
@@ -780,6 +809,25 @@ impl Tol {
                 self.writeback(st);
                 st.eip = self.cache.translation(tid).guest_pc;
                 CacheOutcome::Continue // outer loop re-checks the budget
+            }
+            ExitCause::SmcWrite { addr: _ } => {
+                // A store into a marked code page aborted the transaction
+                // before the write was buffered: state is back at the
+                // last checkpoint. Interpreting forward executes the
+                // store with per-instruction visibility (the generation
+                // bump then makes the dispatcher flush stale
+                // translations), exactly matching the reference
+                // component's view of self-modifying code.
+                let tid = self
+                    .cache
+                    .translation_at_host(info.chkpt_pc)
+                    .expect("smc abort outside any translation");
+                self.attribute_unattributed(tid);
+                self.writeback(st);
+                st.eip = self.cache.translation(tid).guest_pc;
+                self.stats.smc_aborts += 1;
+                self.obs.rollback(st.eip, info.executed);
+                CacheOutcome::InterpretNext
             }
         }
     }
@@ -1244,10 +1292,12 @@ impl Tol {
             ec.page_faults,
             ec.ibtc_hits,
             ec.ibtc_misses,
+            ec.smc_aborts,
             self.emu.gcnt_bb,
             self.emu.gcnt_sb,
             self.emu.host_bb,
             self.emu.host_sb,
+            self.last_code_gen,
         ] {
             w.put_u64(v);
         }
@@ -1273,6 +1323,8 @@ impl Tol {
             s.host_app,
             s.interp_blocks,
             s.spec_rollbacks,
+            s.smc_aborts,
+            s.smc_flushes,
             s.chain_patches,
             s.ibtc_inserts,
             s.guest_external,
@@ -1373,10 +1425,12 @@ impl Tol {
         emu.counters.page_faults = r.get_u64()?;
         emu.counters.ibtc_hits = r.get_u64()?;
         emu.counters.ibtc_misses = r.get_u64()?;
+        emu.counters.smc_aborts = r.get_u64()?;
         emu.gcnt_bb = r.get_u64()?;
         emu.gcnt_sb = r.get_u64()?;
         emu.host_bb = r.get_u64()?;
         emu.host_sb = r.get_u64()?;
+        self.last_code_gen = r.get_u64()?;
         self.emu = emu;
         self.acct.overhead = Overhead {
             interpreter: r.get_u64()?,
@@ -1396,6 +1450,8 @@ impl Tol {
             host_app: r.get_u64()?,
             interp_blocks: r.get_u64()?,
             spec_rollbacks: r.get_u64()?,
+            smc_aborts: r.get_u64()?,
+            smc_flushes: r.get_u64()?,
             chain_patches: r.get_u64()?,
             ibtc_inserts: r.get_u64()?,
             guest_external: r.get_u64()?,

@@ -54,11 +54,27 @@ pub struct JobRow {
     pub rollbacks: u64,
 }
 
+/// Fuzzing-campaign stats, folded from `fuzz` events (published by
+/// `darco-fuzz run --live`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Candidates evaluated so far.
+    pub execs: u64,
+    /// Interesting-input corpus size.
+    pub corpus: u64,
+    /// Distinct `fuzz.cov.*` coverage edges.
+    pub edges: u64,
+    /// Divergence findings (first hits plus duplicates).
+    pub divergences: u64,
+}
+
 /// The dashboard state: everything the stream has said so far.
 #[derive(Debug, Default)]
 pub struct Model {
     /// Campaign metadata, once announced.
     pub campaign: Option<CampaignMeta>,
+    /// Fuzzing stats, present only on `darco-fuzz` streams.
+    pub fuzz: Option<FuzzStats>,
     /// Per-job rows in id order.
     pub jobs: BTreeMap<u64, JobRow>,
     /// Per-job metric registries, folded from `delta` events.
@@ -142,6 +158,14 @@ impl Model {
                     }
                 }
             }
+            "fuzz" => {
+                self.fuzz = Some(FuzzStats {
+                    execs: num(&doc, "execs"),
+                    corpus: num(&doc, "corpus"),
+                    edges: num(&doc, "edges"),
+                    divergences: num(&doc, "divergences"),
+                });
+            }
             "end" => self.end = Some((num(&doc, "ok"), num(&doc, "failed"))),
             "sync" => self.synced = true,
             _ => {}
@@ -210,6 +234,15 @@ impl Model {
             rollbacks,
             rollbacks as f64 / (insns.max(1) as f64 / 1e6)
         ));
+
+        // Fuzzing stats (only on darco-fuzz streams, so plain fleet
+        // frames — and the golden render — are unchanged).
+        if let Some(f) = &self.fuzz {
+            out.push_str(&format!(
+                "fuzz  execs {}  corpus {}  cov edges {}  divergences {}\n",
+                f.execs, f.corpus, f.edges, f.divergences
+            ));
+        }
 
         // Per-worker utilization: how many live jobs each worker holds.
         if meta.workers > 0 {
@@ -406,6 +439,21 @@ campaign finished: 2 ok, 0 failed
         assert!(m.apply_line(r#"{"no_ev":1}"#).is_err());
         assert!(m.apply_line(r#"{"ev":"future-kind","t_ms":9}"#).is_ok(), "unknown kinds skip");
         assert!(m.apply_line("").is_ok(), "blank lines are benign");
+    }
+
+    #[test]
+    fn fuzz_events_fold_and_render_conditionally() {
+        let mut m = replayed();
+        assert!(m.fuzz.is_none(), "plain fleet streams carry no fuzz stats");
+        assert!(!m.render(80).contains("fuzz "));
+        m.apply_line(
+            r#"{"ev":"fuzz","t_ms":700,"execs":230,"corpus":41,"edges":187,"divergences":2}"#,
+        )
+        .unwrap();
+        let f = m.fuzz.unwrap();
+        assert_eq!((f.execs, f.corpus, f.edges, f.divergences), (230, 41, 187, 2));
+        let frame = m.render(80);
+        assert!(frame.contains("fuzz  execs 230  corpus 41  cov edges 187  divergences 2"), "{frame}");
     }
 
     #[test]

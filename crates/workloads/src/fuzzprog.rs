@@ -1,0 +1,646 @@
+//! Structured fuzz programs: the generation/mutation substrate of
+//! `darco-fuzz`.
+//!
+//! A [`FuzzProgram`] is a list of basic blocks over a small, *total* op
+//! vocabulary: every field of every op is interpreted modulo its valid
+//! range during lowering, so any mutation of the structure (or of its
+//! flat `[i64; 5]` word encoding) still lowers to a well-formed,
+//! terminating guest program. Termination is enforced structurally: a
+//! fuel counter in `EBP` is decremented on every block entry and routes
+//! to the exit stub when it reaches zero, so arbitrary control-flow
+//! graphs (including irreducible loops through the indirect-jump table)
+//! run a bounded number of guest instructions.
+//!
+//! Register discipline: `ESI` holds the data-window base and `EBP` the
+//! fuel counter — ops never name them (REP ops that use `ESI`
+//! implicitly save and restore it). `EAX EBX ECX EDX EDI` are fuzz
+//! scratch. Loads and stores are masked into the window, except the
+//! deliberate [`FuzzOp::Edge`] probe, which straddles the last mapped
+//! data page to exercise fault paths, and [`FuzzOp::Patch`], which
+//! rewrites the immediate of an earlier [`FuzzOp::Patchable`] in place —
+//! a length-stable store into the code page that drives the SMC
+//! invalidation machinery.
+//!
+//! Programs serialize to a compact JSON form (`to_json`/`parse`) so a
+//! minimized divergence ships as a standalone reproducer workload that
+//! `darco-run` and `darco-fleet` load via the `fuzz:PATH` namespace.
+
+use darco_guest::insn::{AluOp, FBinOp, FUnOp, Insn, RepCond, ShiftAmount, ShiftOp};
+use darco_guest::prng::{Rng, SmallRng};
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::reg::{Addr, Cond, Fpr, Gpr, Scale, Width};
+use darco_guest::{encode, Asm, GuestProgram};
+use darco_obs::{parse, JsonValue, JsonWriter};
+
+/// Base address of the fuzz data window.
+pub const WINDOW_BASE: u32 = 0x0040_0000;
+/// Bytes of window addressable by masked load/store ops.
+pub const WINDOW_LEN: u32 = 16 * 1024;
+/// Offset of the indirect-jump table (just past the masked window).
+pub const TABLE_OFF: u32 = WINDOW_LEN;
+/// Entries in the indirect-jump table (power of two).
+pub const TABLE_SLOTS: u32 = 8;
+/// Offset of the final-state spill area written by the exit stub.
+pub const OUT_OFF: u32 = TABLE_OFF + TABLE_SLOTS * 4;
+/// Total data-segment bytes.
+pub const DATA_LEN: u32 = OUT_OFF + 32;
+
+/// Number of op tags (`FuzzOp::decode` takes any `i64` tag modulo this).
+pub const N_OP_TAGS: i64 = 20;
+/// Number of exit tags.
+pub const N_EXIT_TAGS: i64 = 5;
+
+/// Fuzz scratch registers (everything except `ESI`, `EBP`, `ESP`).
+const SCRATCH: [Gpr; 5] = [Gpr::Eax, Gpr::Ebx, Gpr::Ecx, Gpr::Edx, Gpr::Edi];
+
+fn gpr(sel: u8) -> Gpr {
+    SCRATCH[sel as usize % SCRATCH.len()]
+}
+
+fn fpr(sel: u8) -> Fpr {
+    Fpr::new(sel % 8)
+}
+
+/// Masked window address: always at least 8 bytes short of the table so
+/// no op-sized access can clobber it.
+fn waddr(off: u16) -> Addr {
+    Addr::base_disp(Gpr::Esi, (off as u32 % (WINDOW_LEN - 8)) as i32)
+}
+
+/// One straight-line fuzz op. Every field is total under lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzOp {
+    /// `mov r, imm`.
+    MovRI { dst: u8, imm: i32 },
+    /// `op r, r` over the seven ALU ops.
+    AluRR { op: u8, dst: u8, src: u8 },
+    /// `op r, imm`.
+    AluRI { op: u8, dst: u8, imm: i32 },
+    /// Shift/rotate by a masked immediate amount.
+    Shift { op: u8, dst: u8, amt: u8 },
+    /// Multiply or guarded divide/remainder (divisor forced into
+    /// `257..=511`, so neither `#DE` case is reachable).
+    MulDiv { kind: u8, dst: u8, src: u8, imm: i32 },
+    /// Windowed load, optionally sub-word and sign-extending.
+    Load { dst: u8, off: u16, width: u8, sign: bool },
+    /// Windowed store.
+    Store { src: u8, off: u16, width: u8 },
+    /// Windowed store-immediate.
+    StoreI { off: u16, imm: i32, width: u8 },
+    /// Read-modify-write ALU against the window (`to_mem` picks the
+    /// memory-destination form).
+    AluM { op: u8, reg: u8, off: u16, to_mem: bool },
+    /// Flag producer: cmp/test in register, immediate and memory forms.
+    CmpTest { kind: u8, a: u8, b: u8, imm: i32 },
+    /// Conditional move consuming whatever flags are live.
+    Cmov { cc: u8, dst: u8, src: u8 },
+    /// Condition-to-register materialization.
+    Setcc { cc: u8, dst: u8 },
+    /// Balanced `push src; pop dst` pair (stack traffic).
+    PushPop { src: u8, dst: u8 },
+    /// `lea` of a windowed address.
+    Lea { dst: u8, off: u16 },
+    /// FP op family (load/store/const/move/arith/unary/compare/convert).
+    Fp { kind: u8, a: u8, b: u8, off: u16 },
+    /// REP string op between two windowed cursors; saves/restores
+    /// `ECX`/`ESI` around the implicit-register protocol.
+    Rep { kind: u8, width: u8, count: u8, off: u16 },
+    /// Access straddling the last mapped data page — deterministic
+    /// fault-or-not probe at the page boundary.
+    Edge { delta: i8, width: u8, store: bool },
+    /// A patchable `add ebx, imm` whose code address is recorded as an
+    /// SMC slot for later [`FuzzOp::Patch`] ops.
+    Patchable { imm: i32 },
+    /// Byte-store a new (length-stable) encoding over an earlier
+    /// [`FuzzOp::Patchable`] slot; a no-op when no slot exists yet.
+    Patch { slot: u8, imm: i32 },
+    /// `nop`.
+    Nop,
+}
+
+impl FuzzOp {
+    /// Flat word encoding `[tag, a, b, c, d]` — the mutation substrate.
+    pub fn encode(&self) -> [i64; 5] {
+        match *self {
+            FuzzOp::MovRI { dst, imm } => [0, dst as i64, imm as i64, 0, 0],
+            FuzzOp::AluRR { op, dst, src } => [1, op as i64, dst as i64, src as i64, 0],
+            FuzzOp::AluRI { op, dst, imm } => [2, op as i64, dst as i64, imm as i64, 0],
+            FuzzOp::Shift { op, dst, amt } => [3, op as i64, dst as i64, amt as i64, 0],
+            FuzzOp::MulDiv { kind, dst, src, imm } => {
+                [4, kind as i64, dst as i64, src as i64, imm as i64]
+            }
+            FuzzOp::Load { dst, off, width, sign } => {
+                [5, dst as i64, off as i64, width as i64, sign as i64]
+            }
+            FuzzOp::Store { src, off, width } => [6, src as i64, off as i64, width as i64, 0],
+            FuzzOp::StoreI { off, imm, width } => [7, off as i64, imm as i64, width as i64, 0],
+            FuzzOp::AluM { op, reg, off, to_mem } => {
+                [8, op as i64, reg as i64, off as i64, to_mem as i64]
+            }
+            FuzzOp::CmpTest { kind, a, b, imm } => {
+                [9, kind as i64, a as i64, b as i64, imm as i64]
+            }
+            FuzzOp::Cmov { cc, dst, src } => [10, cc as i64, dst as i64, src as i64, 0],
+            FuzzOp::Setcc { cc, dst } => [11, cc as i64, dst as i64, 0, 0],
+            FuzzOp::PushPop { src, dst } => [12, src as i64, dst as i64, 0, 0],
+            FuzzOp::Lea { dst, off } => [13, dst as i64, off as i64, 0, 0],
+            FuzzOp::Fp { kind, a, b, off } => [14, kind as i64, a as i64, b as i64, off as i64],
+            FuzzOp::Rep { kind, width, count, off } => {
+                [15, kind as i64, width as i64, count as i64, off as i64]
+            }
+            FuzzOp::Edge { delta, width, store } => {
+                [16, delta as i64, width as i64, store as i64, 0]
+            }
+            FuzzOp::Patchable { imm } => [17, imm as i64, 0, 0, 0],
+            FuzzOp::Patch { slot, imm } => [18, slot as i64, imm as i64, 0, 0],
+            FuzzOp::Nop => [19, 0, 0, 0, 0],
+        }
+    }
+
+    /// Total inverse of [`FuzzOp::encode`]: any five words decode to a
+    /// valid op (tag modulo [`N_OP_TAGS`], fields truncated).
+    pub fn decode(w: [i64; 5]) -> FuzzOp {
+        let [tag, a, b, c, d] = w;
+        match tag.rem_euclid(N_OP_TAGS) {
+            0 => FuzzOp::MovRI { dst: a as u8, imm: b as i32 },
+            1 => FuzzOp::AluRR { op: a as u8, dst: b as u8, src: c as u8 },
+            2 => FuzzOp::AluRI { op: a as u8, dst: b as u8, imm: c as i32 },
+            3 => FuzzOp::Shift { op: a as u8, dst: b as u8, amt: c as u8 },
+            4 => FuzzOp::MulDiv { kind: a as u8, dst: b as u8, src: c as u8, imm: d as i32 },
+            5 => FuzzOp::Load { dst: a as u8, off: b as u16, width: c as u8, sign: d != 0 },
+            6 => FuzzOp::Store { src: a as u8, off: b as u16, width: c as u8 },
+            7 => FuzzOp::StoreI { off: a as u16, imm: b as i32, width: c as u8 },
+            8 => FuzzOp::AluM { op: a as u8, reg: b as u8, off: c as u16, to_mem: d != 0 },
+            9 => FuzzOp::CmpTest { kind: a as u8, a: b as u8, b: c as u8, imm: d as i32 },
+            10 => FuzzOp::Cmov { cc: a as u8, dst: b as u8, src: c as u8 },
+            11 => FuzzOp::Setcc { cc: a as u8, dst: b as u8 },
+            12 => FuzzOp::PushPop { src: a as u8, dst: b as u8 },
+            13 => FuzzOp::Lea { dst: a as u8, off: b as u16 },
+            14 => FuzzOp::Fp { kind: a as u8, a: b as u8, b: c as u8, off: d as u16 },
+            15 => FuzzOp::Rep { kind: a as u8, width: b as u8, count: c as u8, off: d as u16 },
+            16 => FuzzOp::Edge { delta: a as i8, width: b as u8, store: c != 0 },
+            17 => FuzzOp::Patchable { imm: a as i32 },
+            18 => FuzzOp::Patch { slot: a as u8, imm: b as i32 },
+            _ => FuzzOp::Nop,
+        }
+    }
+}
+
+/// How a block ends. Control can only leave a block through its exit,
+/// and every entered block burns one unit of fuel first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzExit {
+    /// Fall through to the next block (or the exit stub after the last).
+    Fall,
+    /// Unconditional jump to block `target % nblocks`.
+    Jmp { target: u8 },
+    /// `cmp a, b; jcc cc target`, falling through otherwise.
+    Cond { cc: u8, a: u8, b: u8, target: u8 },
+    /// Indirect jump through the data-segment table, indexed by the
+    /// fuel counter (`ebp & (TABLE_SLOTS-1)`).
+    Indirect,
+    /// Call the shared tiny callee (exercising call/ret and the IBTC),
+    /// then jump to `target % nblocks`.
+    CallThen { target: u8 },
+}
+
+impl FuzzExit {
+    /// Flat word encoding `[tag, a, b, c, d]`.
+    pub fn encode(&self) -> [i64; 5] {
+        match *self {
+            FuzzExit::Fall => [0, 0, 0, 0, 0],
+            FuzzExit::Jmp { target } => [1, target as i64, 0, 0, 0],
+            FuzzExit::Cond { cc, a, b, target } => {
+                [2, cc as i64, a as i64, b as i64, target as i64]
+            }
+            FuzzExit::Indirect => [3, 0, 0, 0, 0],
+            FuzzExit::CallThen { target } => [4, target as i64, 0, 0, 0],
+        }
+    }
+
+    /// Total inverse of [`FuzzExit::encode`].
+    pub fn decode(w: [i64; 5]) -> FuzzExit {
+        let [tag, a, b, c, d] = w;
+        match tag.rem_euclid(N_EXIT_TAGS) {
+            0 => FuzzExit::Fall,
+            1 => FuzzExit::Jmp { target: a as u8 },
+            2 => FuzzExit::Cond { cc: a as u8, a: b as u8, b: c as u8, target: d as u8 },
+            3 => FuzzExit::Indirect,
+            _ => FuzzExit::CallThen { target: a as u8 },
+        }
+    }
+}
+
+/// One basic block: straight-line ops plus an exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzBlock {
+    /// Straight-line body.
+    pub ops: Vec<FuzzOp>,
+    /// Terminator.
+    pub exit: FuzzExit,
+}
+
+/// A structured fuzz program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzProgram {
+    /// Block-entry budget: every block entry decrements it; zero routes
+    /// to the exit stub. Bounds dynamic length for any CFG.
+    pub fuel: u32,
+    /// The blocks, in layout order.
+    pub blocks: Vec<FuzzBlock>,
+}
+
+impl FuzzProgram {
+    /// Total number of ops across all blocks.
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Lowers to a runnable guest program. Pure: the same structure
+    /// always yields byte-identical code and data.
+    pub fn lower(&self) -> GuestProgram {
+        let mut a = Asm::new(DEFAULT_CODE_BASE);
+        let n = self.blocks.len();
+        let block_labels: Vec<_> = (0..n).map(|_| a.label()).collect();
+        let exit_label = a.label();
+
+        // Prologue: window base, fuel, skip over the callee body.
+        a.mov_ri(Gpr::Esi, WINDOW_BASE as i32);
+        a.mov_ri(Gpr::Ebp, self.fuel.max(1) as i32);
+        let start = a.label();
+        a.jmp_to(start);
+        let callee = a.here();
+        a.alu_ri(AluOp::Add, Gpr::Ebx, 1);
+        a.alu_ri(AluOp::Xor, Gpr::Ebx, 0x55AA);
+        a.ret();
+        a.bind(start);
+
+        let mut slots: Vec<u32> = Vec::new();
+        let mut block_addrs: Vec<u32> = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            a.bind(block_labels[i]);
+            block_addrs.push(a.addr());
+            // Fuel gate: the one structural termination guarantee.
+            a.alu_ri(AluOp::Sub, Gpr::Ebp, 1);
+            a.jcc_to(Cond::E, exit_label);
+            for op in &b.ops {
+                lower_op(&mut a, op, &mut slots);
+            }
+            match b.exit {
+                FuzzExit::Fall => {}
+                FuzzExit::Jmp { target } => a.jmp_to(block_labels[target as usize % n]),
+                FuzzExit::Cond { cc, a: ra, b: rb, target } => {
+                    a.cmp_rr(gpr(ra), gpr(rb));
+                    a.jcc_to(Cond::from_index(cc as usize % 16), block_labels[target as usize % n]);
+                }
+                FuzzExit::Indirect => {
+                    a.mov_rr(Gpr::Eax, Gpr::Ebp);
+                    a.alu_ri(AluOp::And, Gpr::Eax, TABLE_SLOTS as i32 - 1);
+                    a.load(Gpr::Edx, Addr::full(Gpr::Esi, Gpr::Eax, Scale::S4, TABLE_OFF as i32));
+                    a.emit(Insn::JmpInd { target: Gpr::Edx });
+                }
+                FuzzExit::CallThen { target } => {
+                    a.call_to(callee);
+                    a.jmp_to(block_labels[target as usize % n]);
+                }
+            }
+        }
+
+        // Exit stub: spill scratch state, publish it, halt. The spill
+        // makes every scratch register part of the observable output
+        // even before the end-of-run state validation.
+        a.bind(exit_label);
+        let exit_addr = a.addr();
+        for (i, r) in SCRATCH.iter().enumerate() {
+            a.store(Addr::abs(WINDOW_BASE + OUT_OFF + 4 * i as u32), *r, Width::D);
+        }
+        a.mov_ri(Gpr::Eax, darco_xcomp::OS_WRITE as i32);
+        a.mov_ri(Gpr::Ebx, 1);
+        a.mov_ri(Gpr::Ecx, (WINDOW_BASE + OUT_OFF) as i32);
+        a.mov_ri(Gpr::Edx, 4 * SCRATCH.len() as i32);
+        a.syscall();
+        a.halt();
+
+        // Data: deterministically-seeded window, then the jump table.
+        let mut data = vec![0u8; DATA_LEN as usize];
+        let mut rng = SmallRng::seed_from_u64(0xF022_5EED);
+        for b in data[..WINDOW_LEN as usize].iter_mut() {
+            *b = rng.gen();
+        }
+        for k in 0..TABLE_SLOTS as usize {
+            let dest = if block_addrs.is_empty() {
+                exit_addr
+            } else {
+                block_addrs[k % block_addrs.len()]
+            };
+            let at = TABLE_OFF as usize + k * 4;
+            data[at..at + 4].copy_from_slice(&dest.to_le_bytes());
+        }
+
+        let mut p = a.into_program().with_data(data);
+        p.name = "fuzz".into();
+        p
+    }
+
+    /// Serializes to the reproducer JSON form.
+    pub fn to_json(&self) -> String {
+        let word_arr = |w: [i64; 5]| format!("[{},{},{},{},{}]", w[0], w[1], w[2], w[3], w[4]);
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_num("v", 1);
+        w.field_str("kind", "fuzzprog");
+        w.field_num("fuel", self.fuel);
+        w.begin_arr(Some("blocks"));
+        for b in &self.blocks {
+            w.begin_obj(None);
+            w.begin_arr(Some("ops"));
+            for op in &b.ops {
+                w.elem_raw(&word_arr(op.encode()));
+            }
+            w.end_arr();
+            w.field_raw("exit", &word_arr(b.exit.encode()));
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Parses the reproducer JSON form.
+    ///
+    /// # Errors
+    /// Malformed JSON or a document that is not a v1 fuzzprog.
+    pub fn parse(s: &str) -> Result<FuzzProgram, String> {
+        let doc = parse(s).map_err(|e| format!("fuzzprog: {e:?}"))?;
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("fuzzprog") {
+            return Err("fuzzprog: missing kind=\"fuzzprog\"".into());
+        }
+        let words = |v: &JsonValue| -> Result<[i64; 5], String> {
+            let arr = v.as_arr().ok_or("fuzzprog: op/exit must be an array")?;
+            let mut w = [0i64; 5];
+            for (i, slot) in w.iter_mut().enumerate() {
+                *slot = arr
+                    .get(i)
+                    .and_then(JsonValue::as_num)
+                    .ok_or("fuzzprog: op/exit needs 5 numbers")? as i64;
+            }
+            Ok(w)
+        };
+        let fuel = doc
+            .get("fuel")
+            .and_then(JsonValue::as_num)
+            .ok_or("fuzzprog: missing fuel")? as u32;
+        let mut blocks = Vec::new();
+        for b in doc
+            .get("blocks")
+            .and_then(JsonValue::as_arr)
+            .ok_or("fuzzprog: missing blocks")?
+        {
+            let mut ops = Vec::new();
+            for op in b.get("ops").and_then(JsonValue::as_arr).ok_or("fuzzprog: block.ops")? {
+                ops.push(FuzzOp::decode(words(op)?));
+            }
+            let exit = FuzzExit::decode(words(b.get("exit").ok_or("fuzzprog: block.exit")?)?);
+            blocks.push(FuzzBlock { ops, exit });
+        }
+        Ok(FuzzProgram { fuel, blocks })
+    }
+}
+
+fn lower_op(a: &mut Asm, op: &FuzzOp, slots: &mut Vec<u32>) {
+    match *op {
+        FuzzOp::MovRI { dst, imm } => a.mov_ri(gpr(dst), imm),
+        FuzzOp::AluRR { op, dst, src } => {
+            a.alu_rr(AluOp::from_index(op as usize % 7), gpr(dst), gpr(src))
+        }
+        FuzzOp::AluRI { op, dst, imm } => {
+            a.alu_ri(AluOp::from_index(op as usize % 7), gpr(dst), imm)
+        }
+        FuzzOp::Shift { op, dst, amt } => a.emit(Insn::Shift {
+            op: ShiftOp::from_index(op as usize % 5),
+            dst: gpr(dst),
+            amount: ShiftAmount::Imm(amt % 32),
+        }),
+        FuzzOp::MulDiv { kind, dst, src, imm } => match kind % 4 {
+            0 => a.emit(Insn::Imul { dst: gpr(dst), src: gpr(src) }),
+            1 => a.emit(Insn::ImulI { dst: gpr(dst), src: gpr(src), imm }),
+            k => {
+                // Divisor in 257..=511: nonzero and not -1, so neither
+                // divide-fault case is reachable.
+                a.mov_ri(Gpr::Edi, (imm & 0xFF) | 0x101);
+                if k == 2 {
+                    a.emit(Insn::Idiv { dst: gpr(dst), src: Gpr::Edi });
+                } else {
+                    a.emit(Insn::Irem { dst: gpr(dst), src: Gpr::Edi });
+                }
+            }
+        },
+        FuzzOp::Load { dst, off, width, sign } => a.emit(Insn::Load {
+            dst: gpr(dst),
+            addr: waddr(off),
+            width: Width::from_index(width as usize % 3),
+            sign,
+        }),
+        FuzzOp::Store { src, off, width } => {
+            a.store(waddr(off), gpr(src), Width::from_index(width as usize % 3))
+        }
+        FuzzOp::StoreI { off, imm, width } => a.emit(Insn::StoreI {
+            addr: waddr(off),
+            imm,
+            width: Width::from_index(width as usize % 3),
+        }),
+        FuzzOp::AluM { op, reg, off, to_mem } => {
+            let op = AluOp::from_index(op as usize % 7);
+            if to_mem {
+                a.emit(Insn::AluMR { op, addr: waddr(off), src: gpr(reg) });
+            } else {
+                a.emit(Insn::AluRM { op, dst: gpr(reg), addr: waddr(off) });
+            }
+        }
+        FuzzOp::CmpTest { kind, a: ra, b: rb, imm } => match kind % 5 {
+            0 => a.cmp_rr(gpr(ra), gpr(rb)),
+            1 => a.cmp_ri(gpr(ra), imm),
+            2 => a.emit(Insn::CmpRM { a: gpr(ra), addr: waddr(imm as u16) }),
+            3 => a.emit(Insn::TestRR { a: gpr(ra), b: gpr(rb) }),
+            _ => a.emit(Insn::TestRI { a: gpr(ra), imm }),
+        },
+        FuzzOp::Cmov { cc, dst, src } => a.emit(Insn::Cmov {
+            cc: Cond::from_index(cc as usize % 16),
+            dst: gpr(dst),
+            src: gpr(src),
+        }),
+        FuzzOp::Setcc { cc, dst } => {
+            a.emit(Insn::Setcc { cc: Cond::from_index(cc as usize % 16), dst: gpr(dst) })
+        }
+        FuzzOp::PushPop { src, dst } => {
+            a.push(gpr(src));
+            a.pop(gpr(dst));
+        }
+        FuzzOp::Lea { dst, off } => a.lea(gpr(dst), waddr(off)),
+        FuzzOp::Fp { kind, a: fa, b: fb, off } => match kind % 8 {
+            0 => a.emit(Insn::Fld { dst: fpr(fa), addr: waddr(off) }),
+            1 => a.emit(Insn::Fst { addr: waddr(off), src: fpr(fa) }),
+            2 => a.emit(Insn::FldI {
+                dst: fpr(fa),
+                bits: (off as f64 * 0.015625 - 256.0).to_bits(),
+            }),
+            3 => a.emit(Insn::FmovRR { dst: fpr(fa), src: fpr(fb) }),
+            4 => a.emit(Insn::Fbin {
+                op: FBinOp::from_index(off as usize % 6),
+                dst: fpr(fa),
+                src: fpr(fb),
+            }),
+            5 => a.emit(Insn::Funary { op: FUnOp::from_index(off as usize % 5), dst: fpr(fa) }),
+            6 => a.emit(Insn::Fcmp { a: fpr(fa), b: fpr(fb) }),
+            _ => {
+                if fb & 1 == 0 {
+                    a.emit(Insn::Cvtsi2f { dst: fpr(fa), src: gpr(fb) });
+                } else {
+                    a.emit(Insn::Cvtf2si { dst: gpr(fb), src: fpr(fa) });
+                }
+            }
+        },
+        FuzzOp::Rep { kind, width, count, off } => {
+            let width = Width::from_index(width as usize % 3);
+            let n = 1 + (count % 32) as i32;
+            let src = WINDOW_BASE + off as u32 % (WINDOW_LEN / 2);
+            let dst = WINDOW_BASE + WINDOW_LEN / 2 + (off as u32 ^ 0x155) % (WINDOW_LEN / 2 - 256);
+            // The string protocol owns ECX/ESI/EDI; the window base and
+            // (for REP ops only) the count register are restored after.
+            a.push(Gpr::Ecx);
+            a.mov_ri(Gpr::Esi, src as i32);
+            a.mov_ri(Gpr::Edi, dst as i32);
+            a.mov_ri(Gpr::Ecx, n);
+            let cond = if count & 1 == 0 { RepCond::Eq } else { RepCond::Ne };
+            match kind % 5 {
+                0 => a.emit(Insn::Movs { width, rep: true }),
+                1 => a.emit(Insn::Stos { width, rep: true }),
+                2 => a.emit(Insn::Lods { width, rep: true }),
+                3 => a.emit(Insn::Scas { width, rep: Some(cond) }),
+                _ => a.emit(Insn::Cmps { width, rep: Some(cond) }),
+            }
+            a.mov_ri(Gpr::Esi, WINDOW_BASE as i32);
+            a.pop(Gpr::Ecx);
+        }
+        FuzzOp::Edge { delta, width, store } => {
+            // First unmapped byte after the data segment, page-rounded.
+            let edge = WINDOW_BASE + ((DATA_LEN + 0xFFF) & !0xFFF);
+            let addr = Addr::abs(edge.wrapping_add(delta as i32 as u32));
+            let width = Width::from_index(width as usize % 3);
+            if store {
+                a.store(addr, Gpr::Eax, width);
+            } else {
+                a.emit(Insn::Load { dst: Gpr::Eax, addr, width, sign: false });
+            }
+        }
+        FuzzOp::Patchable { imm } => {
+            slots.push(a.addr());
+            a.emit(Insn::AluRI { op: AluOp::Add, dst: Gpr::Ebx, imm });
+        }
+        FuzzOp::Patch { slot, imm } => {
+            if slots.is_empty() {
+                a.nop();
+                return;
+            }
+            let target = slots[slot as usize % slots.len()];
+            // AluRI always carries a 4-byte immediate, so the rewrite is
+            // length-stable for any imm.
+            let mut bytes = Vec::new();
+            encode::encode(&Insn::AluRI { op: AluOp::Add, dst: Gpr::Ebx, imm }, &mut bytes);
+            for (i, b) in bytes.iter().enumerate() {
+                a.emit(Insn::StoreI {
+                    addr: Addr::abs(target + i as u32),
+                    imm: *b as i32,
+                    width: Width::B,
+                });
+            }
+        }
+        FuzzOp::Nop => a.nop(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbitrary_program(seed: u64, nblocks: usize, ops_per_block: usize) -> FuzzProgram {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut blocks = Vec::new();
+        for _ in 0..nblocks {
+            let ops = (0..ops_per_block)
+                .map(|_| {
+                    FuzzOp::decode([rng.gen(), rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+                })
+                .collect();
+            let exit =
+                FuzzExit::decode([rng.gen(), rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+            blocks.push(FuzzBlock { ops, exit });
+        }
+        FuzzProgram { fuel: 200, blocks }
+    }
+
+    #[test]
+    fn decode_is_total_and_lowering_produces_decodable_code() {
+        for seed in 0..20u64 {
+            let p = arbitrary_program(seed, 6, 12);
+            let g = p.lower();
+            let mut off = 0;
+            while off < g.code.len() {
+                let (_, len) = darco_guest::decode(&g.code[off..])
+                    .unwrap_or_else(|e| panic!("seed {seed}: undecodable at {off}: {e}"));
+                off += len;
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let p = arbitrary_program(7, 5, 10);
+        let a = p.lower();
+        let b = p.lower();
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn word_encoding_round_trips() {
+        for seed in 0..200u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let w = [rng.gen(), rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            let op = FuzzOp::decode(w);
+            assert_eq!(FuzzOp::decode(op.encode()), op);
+            let ex = FuzzExit::decode(w);
+            assert_eq!(FuzzExit::decode(ex.encode()), ex);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = arbitrary_program(3, 4, 9);
+        let j = p.to_json();
+        let q = FuzzProgram::parse(&j).expect("parse back");
+        assert_eq!(p, q);
+        assert_eq!(q.to_json(), j);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(FuzzProgram::parse("{}").is_err());
+        assert!(FuzzProgram::parse("not json").is_err());
+        assert!(FuzzProgram::parse(r#"{"kind":"fuzzprog"}"#).is_err());
+    }
+
+    #[test]
+    fn jump_table_points_at_blocks() {
+        let p = arbitrary_program(11, 3, 4);
+        let g = p.lower();
+        for k in 0..TABLE_SLOTS as usize {
+            let at = TABLE_OFF as usize + k * 4;
+            let dest = u32::from_le_bytes(g.data[at..at + 4].try_into().unwrap());
+            assert!(
+                dest >= g.code_base && dest < g.code_base + g.code.len() as u32,
+                "table entry {k} ({dest:#x}) outside code"
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //!
 //! All generation is seeded; a benchmark builds bit-identically every time.
 
+pub mod fuzzprog;
 pub mod gen;
 pub mod kernels;
 pub mod suite;

@@ -28,6 +28,11 @@
 #   live   — darco-fleet run --live with a one-shot darco-top --once
 #            attach (required dashboard fields) + a --replay re-render
 #            of the recorded stream
+#   fuzz   — darco-fuzz smoke: a clean seeded campaign must find zero
+#            divergences, grow coverage past the seed corpus and be
+#            byte-deterministic across worker counts; a campaign with an
+#            injected translator bug must find it and emit a minimized,
+#            replayable reproducer + flight dump
 #
 # Each stage is timed; a per-stage summary prints at the end.
 # Everything runs offline; no network access is required.
@@ -262,6 +267,40 @@ grep -q 'darco-top — ci-live' "$smoke_dir/top-replay.txt"
 ./target/release/darco-fleet run "$smoke_dir/live-campaign.json" --jobs 2 \
     --out "$smoke_dir/nolive-merged.json" > /dev/null 2>&1
 cmp "$smoke_dir/live-merged.json" "$smoke_dir/nolive-merged.json"
+stage_done
+
+# Coverage-guided differential fuzzing (DESIGN.md §15). Clean build: a
+# short seeded campaign must find zero divergences, report strictly more
+# coverage edges than the seed corpus alone, and produce a byte-identical
+# artifact at any worker count. Injected build: the campaign must find
+# the planted optimizer bug (exit 1) and emit a minimized reproducer that
+# replays to the same divergence — and to a clean verdict once the
+# injection is removed.
+stage "fuzz smoke (clean campaign + injected-bug detection)"
+./target/release/darco-fuzz run --seed 7 --iters 120 --jobs 4 \
+    --out "$smoke_dir/fuzz-clean" > "$smoke_dir/fuzz-clean.json"
+grep -q '"divergences":0' "$smoke_dir/fuzz-clean.json"
+./target/release/darco-fuzz run --seed 7 --iters 6 --jobs 4 \
+    --out "$smoke_dir/fuzz-seed" > "$smoke_dir/fuzz-seed.json"
+seed_edges=$(grep -o '"cov_edges":[0-9]*' "$smoke_dir/fuzz-seed.json" | cut -d: -f2)
+full_edges=$(grep -o '"cov_edges":[0-9]*' "$smoke_dir/fuzz-clean.json" | cut -d: -f2)
+test "$full_edges" -gt "$seed_edges"        # evolution found new coverage
+./target/release/darco-fuzz run --seed 7 --iters 120 --jobs 1 \
+    --out "$smoke_dir/fuzz-clean1" > /dev/null
+cmp "$smoke_dir/fuzz-clean/fuzz-artifact.json" \
+    "$smoke_dir/fuzz-clean1/fuzz-artifact.json"  # --jobs never changes results
+fuzz_rc=0
+./target/release/darco-fuzz run --seed 7 --iters 60 --jobs 4 --inject bad-fold \
+    --out "$smoke_dir/fuzz-inj" > "$smoke_dir/fuzz-inj.json" 2> /dev/null || fuzz_rc=$?
+test "$fuzz_rc" -eq 1                        # injected bug found -> exit 1
+repro=$(ls "$smoke_dir"/fuzz-inj/repro-*.json | grep -v '\.flight\.json$' | head -1)
+test -s "$repro"                             # minimized reproducer written
+ls "$smoke_dir"/fuzz-inj/repro-*.flight.json > /dev/null  # ...with a flight dump
+replay_rc=0
+./target/release/darco-fuzz replay "$repro" --inject bad-fold \
+    > /dev/null || replay_rc=$?
+test "$replay_rc" -eq 1                      # reproducer still diverges under the bug
+./target/release/darco-fuzz replay "$repro" > /dev/null  # ...and is clean without it
 stage_done
 
 echo

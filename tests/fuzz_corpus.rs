@@ -1,0 +1,42 @@
+//! Regression-corpus replay: every checked-in fuzz corpus entry
+//! (`tests/corpus/*.json` — interesting inputs harvested by
+//! `darco-fuzz run` and auto-minimized reproducers of fixed bugs) must
+//! run cleanly through the full differential oracle: interpreter vs BBM
+//! vs SBM+speculation vs native backend, semantic verifier armed.
+//!
+//! A failure here means a translator regression reintroduced a
+//! divergence an earlier fuzzing campaign already found.
+
+use darco_fuzz::{lanes, run_differential, Verdict};
+use darco_workloads::fuzzprog::FuzzProgram;
+
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "the regression corpus must not be empty");
+
+    let lanes = lanes(None);
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let prog = FuzzProgram::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match run_differential(&prog, &lanes) {
+            Verdict::Clean(reports) => {
+                assert_eq!(reports.len(), lanes.len(), "{}", path.display());
+            }
+            Verdict::Diverged(d) => panic!(
+                "{}: regression — {} ({})",
+                path.display(),
+                d.kind.label(),
+                d.detail
+            ),
+        }
+    }
+}

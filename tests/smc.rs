@@ -1,0 +1,145 @@
+//! Self-modifying-code regression tests for the translation layer.
+//!
+//! The decode cache and the authoritative component re-check the code
+//! generation after every retired instruction, but installed BBM/SBM
+//! translations are compiled from a byte snapshot: without invalidation
+//! they keep executing stale code after the guest patches itself. These
+//! tests pin the two mechanisms that close that hole — the dispatcher's
+//! generation check (flush stale translations before the next cache
+//! entry) and the store-to-code transaction abort inside a translation.
+
+use darco_guest::program::DEFAULT_CODE_BASE;
+use darco_guest::{encode, AluOp, Asm, Cond, Gpr, Insn, Width};
+use darco_host::sink::NullSink;
+
+fn emit_patch_stores(a: &mut Asm, slot_addr: u32, bytes: &[u8]) {
+    for (i, b) in bytes.iter().enumerate() {
+        a.emit(Insn::StoreI {
+            addr: darco_guest::Addr::abs(slot_addr + i as u32),
+            imm: *b as i32,
+            width: Width::B,
+        });
+    }
+}
+
+/// Patches an instruction in a hot loop from *outside* the loop: the
+/// stale translation must be flushed at the next dispatch, not keep
+/// running with the old immediate.
+#[test]
+fn patch_outside_hot_loop_invalidates_translations() {
+    let patch_a = Insn::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 };
+    let patch_b = Insn::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 2 };
+    let mut ea = Vec::new();
+    encode::encode(&patch_a, &mut ea);
+    let mut eb = Vec::new();
+    encode::encode(&patch_b, &mut eb);
+    assert_eq!(ea.len(), eb.len(), "patch family must be length-stable");
+
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Edx, 2);
+    let phase_top = a.here();
+    a.mov_ri(Gpr::Ecx, 400);
+    let top = a.here();
+    let slot_addr = a.addr();
+    a.emit(patch_a);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    emit_patch_stores(&mut a, slot_addr, &eb);
+    a.dec(Gpr::Edx);
+    a.jcc_to(Cond::Ne, phase_top);
+    a.halt();
+    let p = a.into_program();
+
+    let cfg = darco_tol::TolConfig {
+        bbm_threshold: 3,
+        sbm_threshold: 12,
+        ..Default::default()
+    };
+    let mut m = darco::machine::Machine::new(cfg, &p);
+    m.run_to(u64::MAX, true, &mut NullSink)
+        .expect("SMC over translated code must not diverge");
+    // Phase 1 adds 1 four hundred times, phase 2 adds 2.
+    assert_eq!(m.state.gpr(Gpr::Eax), 400 + 800);
+    assert!(m.tol.stats.smc_flushes > 0, "dispatcher must flush stale translations");
+}
+
+/// A hot loop that patches its *own* body every iteration (it rewrites
+/// the same bytes, so the architectural result is unchanged): once the
+/// loop is translated, each store must abort the transaction and land
+/// through the interpreter instead of being buffered behind stale code.
+/// Runs on the emulator and, where available, the native JIT backend —
+/// both must take the same abort path.
+#[test]
+fn store_into_own_loop_aborts_transaction() {
+    let patch = Insn::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 5 };
+    let mut enc = Vec::new();
+    encode::encode(&patch, &mut enc);
+
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ecx, 300);
+    let top = a.here();
+    let slot_addr = a.addr();
+    a.emit(patch);
+    emit_patch_stores(&mut a, slot_addr, &enc);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    let p = a.into_program();
+
+    for native in [false, true] {
+        let cfg = darco_tol::TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 12,
+            ..Default::default()
+        };
+        let mut m = darco::machine::Machine::new(cfg, &p);
+        if native {
+            m.tol.set_backend(darco_host::codegen::Backend::Native);
+        }
+        m.run_to(u64::MAX, true, &mut NullSink)
+            .expect("self-patching loop must not diverge");
+        assert_eq!(m.state.gpr(Gpr::Eax), 300 * 5, "native={native}");
+        assert!(
+            m.tol.stats.smc_aborts > 0,
+            "translated stores into code pages must abort the transaction (native={native})"
+        );
+    }
+}
+
+/// Determinism: the SMC paths (aborts, flushes, retranslations) must be
+/// a pure function of the program — two runs agree on every statistic.
+#[test]
+fn smc_handling_is_deterministic() {
+    let patch = Insn::AluRI { op: AluOp::Xor, dst: Gpr::Ebx, imm: 3 };
+    let mut enc = Vec::new();
+    encode::encode(&patch, &mut enc);
+
+    let mut a = Asm::new(DEFAULT_CODE_BASE);
+    a.mov_ri(Gpr::Ecx, 200);
+    let top = a.here();
+    let slot_addr = a.addr();
+    a.emit(patch);
+    emit_patch_stores(&mut a, slot_addr, &enc);
+    a.dec(Gpr::Ecx);
+    a.jcc_to(Cond::Ne, top);
+    a.halt();
+    let p = a.into_program();
+
+    let run = || {
+        let cfg = darco_tol::TolConfig {
+            bbm_threshold: 3,
+            sbm_threshold: 12,
+            ..Default::default()
+        };
+        let mut m = darco::machine::Machine::new(cfg, &p);
+        m.run_to(u64::MAX, true, &mut NullSink).expect("run must not diverge");
+        let mut stats = m.tol.stats;
+        // Wall-clock telemetry is the one legitimately nondeterministic
+        // part of the statistics.
+        stats.verify_nanos = 0;
+        stats.verify_sem_nanos = 0;
+        stats.translate_nanos = 0;
+        (m.state.gpr(Gpr::Ebx), format!("{stats:?}"))
+    };
+    assert_eq!(run(), run());
+}
