@@ -30,7 +30,13 @@ fn usage() -> ! {
            --list                 list suite benchmarks and exit\n\
            --scale N/D            scale iteration counts (default 1/1)\n\
            --timing               attach the in-order timing simulator\n\
+           --timing-mode M        fast|full (default full): `fast` charges\n\
+         \u{20}                        cycle-annotated translated blocks in\n\
+         \u{20}                        O(1) and escapes into the detailed\n\
+         \u{20}                        model on misses/mispredicts — cycle\n\
+         \u{20}                        counts stay bit-identical to full\n\
            --ooo                  attach the out-of-order core instead\n\
+         \u{20}                        (no fast path; always detailed)\n\
            --power                add the power report (implies --timing)\n\
            --validate-every N     periodic state validation interval\n\
            --strict-flags         materialize all guest flags (ablation)\n\
@@ -121,7 +127,22 @@ fn main() -> ExitCode {
                     it.next().and_then(|x| x.parse().ok()).unwrap_or(1),
                 );
             }
-            "--timing" => cfg.sink = SinkChoice::InOrder,
+            "--timing" => {
+                if cfg.sink == SinkChoice::None {
+                    cfg.sink = SinkChoice::InOrder;
+                }
+            }
+            a if a == "--timing-mode" || a.starts_with("--timing-mode=") => {
+                let v = flag_value(&args, &mut i, "--timing-mode");
+                if cfg.sink == SinkChoice::None {
+                    cfg.sink = SinkChoice::InOrder;
+                }
+                cfg.timing_mode = match v.as_str() {
+                    "full" => darco::TimingMode::Full,
+                    "fast" => darco::TimingMode::Fast,
+                    _ => usage(),
+                };
+            }
             "--ooo" => cfg.sink = SinkChoice::OutOfOrder,
             "--power" => {
                 if cfg.sink == SinkChoice::None {
@@ -377,6 +398,11 @@ fn main() -> ExitCode {
             t.dl1_misses as f64 / t.dl1_accesses.max(1) as f64 * 100.0,
             t.l2_misses as f64 / t.l2_accesses.max(1) as f64 * 100.0,
             t.mispredicts as f64 / t.branches.max(1) as f64 * 100.0);
+    }
+    if let Some(fs) = &report.fast {
+        let blocks = (fs.memo_blocks + fs.escapes + fs.plain_blocks).max(1);
+        println!("  fast path            {:>12}  memo blocks ({:.1}% of {} blocks), {} escapes",
+            fs.memo_blocks, fs.memo_blocks as f64 / blocks as f64 * 100.0, blocks, fs.escapes);
     }
     if let Some(p) = &report.power {
         println!("  power                {:>9.1} mW  avg, {:.1} pJ/insn", p.avg_power_mw, p.total_pj / report.guest_insns as f64);

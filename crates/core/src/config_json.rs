@@ -12,7 +12,7 @@
 //! Integer fields round-trip exactly up to 2^53 (the parser reads numbers
 //! as `f64`); every knob in the system is far below that.
 
-use crate::system::{SinkChoice, SystemConfig};
+use crate::system::{SinkChoice, SystemConfig, TimingMode};
 use darco_ir::sched::SchedConfig;
 use darco_ir::OptLevel;
 use darco_obs::json::{JsonValue, JsonWriter};
@@ -35,6 +35,13 @@ fn sink_name(s: SinkChoice) -> &'static str {
         SinkChoice::None => "none",
         SinkChoice::InOrder => "inorder",
         SinkChoice::OutOfOrder => "ooo",
+    }
+}
+
+fn timing_mode_name(m: TimingMode) -> &'static str {
+    match m {
+        TimingMode::Full => "full",
+        TimingMode::Fast => "fast",
     }
 }
 
@@ -166,6 +173,7 @@ pub fn config_to_json(c: &SystemConfig) -> String {
     };
     w.field_bool("compare_flags", c.compare_flags);
     w.field_str("sink", sink_name(c.sink));
+    w.field_str("timing_mode", timing_mode_name(c.timing_mode));
     write_timing(&mut w, "timing", &c.timing);
     w.field_bool("timing_includes_tol", c.timing_includes_tol);
     w.field_bool("power", c.power);
@@ -417,6 +425,13 @@ pub fn config_apply_json(c: &mut SystemConfig, v: &JsonValue) -> Result<(), Stri
                     other => return Err(format!("{ctx}: unknown sink `{other}`")),
                 }
             }
+            "timing_mode" => {
+                c.timing_mode = match want_str(val, &ctx)? {
+                    "full" => TimingMode::Full,
+                    "fast" => TimingMode::Fast,
+                    other => return Err(format!("{ctx}: unknown timing mode `{other}`")),
+                }
+            }
             "timing" => apply_timing(&mut c.timing, val, &ctx)?,
             "timing_includes_tol" => c.timing_includes_tol = want_bool(val, &ctx)?,
             "power" => c.power = want_bool(val, &ctx)?,
@@ -478,6 +493,7 @@ mod tests {
             Some(Injection { kind: BugKind::CodegenClobberPinnedReg, translation_ordinal: 5 });
         c.validate_every = Some(10_000);
         c.sink = SinkChoice::OutOfOrder;
+        c.timing_mode = TimingMode::Fast;
         c.timing = TimingConfig::narrow_ooo();
         c.power = true;
         c.trace_capacity = Some(4096);
@@ -519,6 +535,11 @@ mod tests {
         assert!(e.contains("config.tol.bmm_threshold"), "{e}");
         let e = config_from_str(r#"{"sink":"fast"}"#).unwrap_err();
         assert!(e.contains("unknown sink"), "{e}");
+        // `fast` is a timing *mode*, not a sink — and it has its own key.
+        let c = config_from_str(r#"{"sink":"inorder","timing_mode":"fast"}"#).unwrap();
+        assert_eq!(c.timing_mode, TimingMode::Fast);
+        let e = config_from_str(r#"{"timing_mode":"turbo"}"#).unwrap_err();
+        assert!(e.contains("unknown timing mode"), "{e}");
         let e = config_from_str(r#"{"max_guest_insns":-4}"#).unwrap_err();
         assert!(e.contains("non-negative"), "{e}");
         let e = config_from_str(r#"{"timing":{"il1":{"sets":4}}}"#).unwrap_err();

@@ -17,12 +17,13 @@
 
 use crate::machine::{Machine, MachineEvent};
 use crate::profiler::Profiler;
-use crate::system::{DarcoError, RunReport, SinkChoice, SystemConfig};
+use crate::system::{DarcoError, RunReport, SinkChoice, SystemConfig, TimingMode};
 use darco_guest::{Fault, GuestProgram, Wire, WireError, WireReader};
 use darco_host::sink::{InsnSink, NullSink, RetireEvent};
+use darco_host::HInsn;
 use darco_obs::{Registry, Tracer};
 use darco_power::EnergyModel;
-use darco_timing::{InOrderCore, OooCore};
+use darco_timing::{FastTimer, InOrderCore, OooCore};
 
 /// Why [`Engine::step`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +42,10 @@ pub enum StepExit {
 
 /// Snapshot format magic (`DARCOSNP`, little-endian).
 const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DARCOSNP");
-/// Snapshot format version.
-const SNAP_VERSION: u32 = 2;
+/// Snapshot format version. v3: the TOL body carries per-translation
+/// static cycle annotations (and their `TolStats` aggregate), and sink
+/// tag 3 (`fast`) exists.
+const SNAP_VERSION: u32 = 3;
 
 /// A serialized checkpoint of a running engine.
 ///
@@ -128,6 +131,9 @@ pub(crate) enum Sink {
     Null(NullSink),
     InOrder(Box<InOrderCore>),
     Ooo(Box<OooCore>),
+    /// The in-order model behind the block-granular accelerated path
+    /// ([`TimingMode::Fast`]) — bit-identical to `InOrder` by contract.
+    Fast(Box<FastTimer>),
 }
 
 impl InsnSink for Sink {
@@ -136,11 +142,39 @@ impl InsnSink for Sink {
             Sink::Null(s) => s.retire(ev),
             Sink::InOrder(s) => s.retire(ev),
             Sink::Ooo(s) => s.retire(ev),
+            Sink::Fast(s) => s.retire(ev),
         }
     }
 
     fn is_null(&self) -> bool {
         matches!(self, Sink::Null(_))
+    }
+
+    fn wants_blocks(&self) -> bool {
+        match self {
+            Sink::Null(s) => s.wants_blocks(),
+            Sink::InOrder(s) => s.wants_blocks(),
+            Sink::Ooo(s) => s.wants_blocks(),
+            Sink::Fast(s) => s.wants_blocks(),
+        }
+    }
+
+    fn retire_block(&mut self, events: &[RetireEvent], complete: bool) {
+        match self {
+            Sink::Null(s) => s.retire_block(events, complete),
+            Sink::InOrder(s) => s.retire_block(events, complete),
+            Sink::Ooo(s) => s.retire_block(events, complete),
+            Sink::Fast(s) => s.retire_block(events, complete),
+        }
+    }
+
+    fn install_note(&mut self, host_base: u64, code: &[HInsn]) -> Option<u64> {
+        match self {
+            Sink::Null(s) => s.install_note(host_base, code),
+            Sink::InOrder(s) => s.install_note(host_base, code),
+            Sink::Ooo(s) => s.install_note(host_base, code),
+            Sink::Fast(s) => s.install_note(host_base, code),
+        }
     }
 }
 
@@ -191,10 +225,18 @@ impl Engine {
             machine.tol.set_synthesize_overhead(true);
         }
         machine.tol.set_backend(cfg.backend);
-        let sink = match cfg.sink {
-            SinkChoice::None => Sink::Null(NullSink),
-            SinkChoice::InOrder => Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone()))),
-            SinkChoice::OutOfOrder => Sink::Ooo(Box::new(OooCore::new(cfg.timing.clone()))),
+        let sink = match (cfg.sink, cfg.timing_mode) {
+            (SinkChoice::None, _) => Sink::Null(NullSink),
+            (SinkChoice::InOrder, TimingMode::Full) => {
+                Sink::InOrder(Box::new(InOrderCore::new(cfg.timing.clone())))
+            }
+            (SinkChoice::InOrder, TimingMode::Fast) => {
+                Sink::Fast(Box::new(FastTimer::new(cfg.timing.clone())))
+            }
+            // The out-of-order model has no accelerated path; `fast`
+            // degrades to the detailed simulation it would escape into
+            // anyway.
+            (SinkChoice::OutOfOrder, _) => Sink::Ooo(Box::new(OooCore::new(cfg.timing.clone()))),
         };
         let next_validate = match cfg.validate_every {
             Some(step) => machine.insns().saturating_add(step),
@@ -249,12 +291,12 @@ impl Engine {
 
     /// Assembles the current unified metrics registry: a read-only
     /// snapshot of everything counted so far, exactly what
-    /// [`Engine::into_report`] would carry (minus the timing/power
-    /// bridges). Callers that publish incremental updates pair this with
+    /// [`Engine::into_report`] would carry (minus the power bridge).
+    /// Callers that publish incremental updates pair this with
     /// [`Registry::sync_from`] on a persistent mirror and
     /// [`Registry::delta_since`].
     pub fn metrics(&self) -> Registry {
-        Self::assemble_metrics(&self.machine)
+        Self::assemble_metrics(&self.machine, &self.sink)
     }
 
     /// Runs up to `budget` more guest instructions, stopping early at
@@ -309,7 +351,7 @@ impl Engine {
                 p.sample(&self.machine);
             }
             if let Some(mirr) = &mut self.flight_mirror {
-                mirr.reg.sync_from(&Self::assemble_metrics(&self.machine));
+                mirr.reg.sync_from(&Self::assemble_metrics(&self.machine, &self.sink));
                 mirr.boundary_epoch = mirr.reg.epoch();
             }
         }
@@ -320,7 +362,7 @@ impl Engine {
     /// attaching the since-last-boundary registry delta and the profile
     /// window when available.
     fn emit_flight(&mut self, context: &str) {
-        let reg = Self::assemble_metrics(&self.machine);
+        let reg = Self::assemble_metrics(&self.machine, &self.sink);
         let delta = self.flight_mirror.as_mut().map(|mirr| {
             mirr.reg.sync_from(&reg);
             mirr.reg.delta_since(mirr.boundary_epoch).to_json()
@@ -400,6 +442,10 @@ impl Engine {
                 w.put_u8(2);
                 c.snapshot_into(&mut w);
             }
+            Sink::Fast(c) => {
+                w.put_u8(3);
+                c.snapshot_into(&mut w);
+            }
         }
         Ok(Snapshot { bytes: w.finish(), guest_insns, program_fingerprint })
     }
@@ -440,6 +486,7 @@ impl Engine {
             (Sink::Null(_), 0) => {}
             (Sink::InOrder(c), 1) => c.restore_from(&mut r).map_err(wire_err)?,
             (Sink::Ooo(c), 2) => c.restore_from(&mut r).map_err(wire_err)?,
+            (Sink::Fast(c), 3) => c.restore_from(&mut r).map_err(wire_err)?,
             _ => {
                 return Err(DarcoError::Protocol(
                     "snapshot was taken with a different timing sink".into(),
@@ -470,6 +517,11 @@ impl Engine {
             Sink::Null(_) => None,
             Sink::InOrder(c) => Some(c.stats()),
             Sink::Ooo(c) => Some(c.stats()),
+            Sink::Fast(c) => Some(c.stats()),
+        };
+        let fast = match &sink {
+            Sink::Fast(c) => Some(c.fast_stats()),
+            _ => None,
         };
         let power = match (&timing, cfg.power) {
             (Some(ts), true) => Some(darco_power::report(ts, &cfg.timing, &EnergyModel::default())),
@@ -477,11 +529,10 @@ impl Engine {
         };
         // Single metric assembly: the registry built here is the one the
         // report carries (the flight path assembles its own only on the
-        // error path, where no report exists).
-        let mut metrics = Self::assemble_metrics(&m);
-        if let Some(t) = &timing {
-            t.register_into(&mut metrics, "timing");
-        }
+        // error path, where no report exists). The timing bridge lives in
+        // `assemble_metrics`, so live consumers (`--metrics`, flight
+        // dumps, the dashboard) see the same `timing.*`/`fast.*` keys.
+        let mut metrics = Self::assemble_metrics(&m, &sink);
         if let Some(p) = &power {
             metrics.set_gauge("power.total_pj", p.total_pj);
             metrics.set_gauge("power.avg_power_mw", p.avg_power_mw);
@@ -504,6 +555,7 @@ impl Engine {
             exit_status,
             guest_fault: fault.map(|f| f.to_string()),
             timing,
+            fast,
             power,
             metrics,
             trace: m.tol.obs.trace.events(),
@@ -512,9 +564,21 @@ impl Engine {
 
     /// Builds the unified registry from everything the machine counted:
     /// the TOL's live histograms/gauges, the `TolStats` and overhead
-    /// bridges, sync-protocol counters and the authoritative component.
-    fn assemble_metrics(m: &Machine) -> Registry {
+    /// bridges, sync-protocol counters, the authoritative component and
+    /// the timing sink (`timing.*`, plus `fast.*` in accelerated mode) —
+    /// so `--metrics`, flight dumps and the final report all expose the
+    /// same keys.
+    fn assemble_metrics(m: &Machine, sink: &Sink) -> Registry {
         let mut reg = m.tol.obs.metrics.clone();
+        match sink {
+            Sink::Null(_) => {}
+            Sink::InOrder(c) => c.stats().register_into(&mut reg, "timing"),
+            Sink::Ooo(c) => c.stats().register_into(&mut reg, "timing"),
+            Sink::Fast(c) => {
+                c.stats().register_into(&mut reg, "timing");
+                c.fast_stats().register_into(&mut reg, "fast");
+            }
+        }
         m.tol.stats.register_into(&mut reg, "tol");
         m.tol.overhead().register_into(&mut reg, "tol");
         m.xcomp.register_metrics(&mut reg, "xcomp");
@@ -682,6 +746,65 @@ mod tests {
         let (tb, tp) = (rb.timing.unwrap(), rp.timing.unwrap());
         assert_eq!(tb.cycles, tp.cycles, "timing state carries over exactly");
         assert_eq!(tb.il1_misses, tp.il1_misses);
+    }
+
+    #[test]
+    fn fast_timing_mode_matches_full_and_checkpoints() {
+        let mut full = hot_cfg();
+        full.sink = crate::SinkChoice::InOrder;
+        let mut fast = full.clone();
+        fast.timing_mode = crate::TimingMode::Fast;
+        let rf = System::new(full, loop_program(4000)).run().unwrap();
+        // Same (trivial) stepping schedule: the synthesized overhead
+        // stream depends on quantum boundaries, so oracle comparisons
+        // must hold the schedule fixed.
+        let rb = System::new(fast.clone(), loop_program(4000)).run().unwrap();
+        assert_eq!(rb.guest_insns, rf.guest_insns);
+        assert_eq!(rb.timing, rf.timing, "fast path is bit-identical to full");
+        let fs = rb.fast.expect("fast stats present in fast mode");
+        assert!(fs.memo_blocks > 0, "steady loop must take the fast path: {fs:?}");
+        assert!(rf.fast.is_none(), "full mode reports no fast stats");
+        assert_eq!(
+            rb.metrics.counter_value("timing.cycles"),
+            rf.metrics.counter_value("timing.cycles"),
+            "timing bridge is assembled identically in both modes"
+        );
+        assert!(rb.metrics.counter_value("fast.memo_blocks").is_some());
+
+        // Checkpoint/restore under the fast sink (tag 3): a restored run
+        // finishes identically to an uninterrupted run on the same
+        // stepping schedule.
+        let mut a = System::new(fast.clone(), loop_program(4000)).start();
+        let mut plain = System::new(fast.clone(), loop_program(4000)).start();
+        for _ in 0..3 {
+            assert_eq!(a.step(1000).unwrap(), StepExit::Yielded);
+            assert_eq!(plain.step(1000).unwrap(), StepExit::Yielded);
+        }
+        let snap = a.checkpoint().unwrap();
+        let mut b = System::new(fast, loop_program(4000)).start();
+        b.restore(&snap).unwrap();
+        loop {
+            let (x, y) = (b.step(1000).unwrap(), plain.step(1000).unwrap());
+            assert_eq!(x, y);
+            if x == StepExit::Ended {
+                break;
+            }
+        }
+        let (rb, rp) = (b.into_report(), plain.into_report());
+        assert_eq!(rb.timing, rp.timing, "fast sink state survives checkpoint/restore");
+    }
+
+    #[test]
+    fn live_metrics_carry_timing_bridge() {
+        let mut cfg = hot_cfg();
+        cfg.sink = crate::SinkChoice::InOrder;
+        let mut e = System::new(cfg, loop_program(2000)).start();
+        e.step(1000).unwrap();
+        let m = e.metrics();
+        assert!(
+            m.counter_value("timing.cycles").unwrap_or(0) > 0,
+            "mid-run metrics expose timing.* without finalizing the report"
+        );
     }
 
     #[test]

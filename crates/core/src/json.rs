@@ -83,6 +83,20 @@ pub fn report_to_json_with(r: &RunReport, extras: &[(&str, &str)]) -> String {
     } else {
         w.field_null("timing");
     }
+    if let Some(f) = &r.fast {
+        w.begin_obj(Some("fast"))
+            .field_num("memo_blocks", f.memo_blocks)
+            .field_num("memo_events", f.memo_events)
+            .field_num("escapes", f.escapes)
+            .field_num("learns", f.learns)
+            .field_num("plain_blocks", f.plain_blocks)
+            .field_num("memo_clears", f.memo_clears)
+            .field_num("installs", f.installs)
+            .field_num("static_cycles", f.static_cycles)
+            .end_obj();
+    } else {
+        w.field_null("fast");
+    }
     if let Some(p) = &r.power {
         w.begin_obj(Some("power"))
             .field_f64("total_pj", p.total_pj)

@@ -53,4 +53,4 @@ pub use config_json::{config_apply_json, config_from_json, config_from_str, conf
 pub use engine::{Engine, Snapshot, StepExit};
 pub use profiler::{ProfSample, Profiler, RegionStat, DEFAULT_SAMPLE_EVERY};
 pub use machine::{Machine, MachineEvent};
-pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig};
+pub use system::{DarcoError, RunReport, SinkChoice, System, SystemConfig, TimingMode};

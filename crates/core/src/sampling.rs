@@ -1,28 +1,44 @@
-//! The warm-up simulation methodology (paper §VI-E case study).
+//! Sampling-based timing simulation: the §VI-E warm-up methodology and a
+//! SMARTS-style sampled-CPI campaign, both fast-forwarding through a
+//! shared functional checkpoint bank.
 //!
 //! Sampling-based timing simulation needs the *software-layer state* (code
 //! cache contents, profile counters) warmed up in addition to the
 //! microarchitectural state, and an inaccurate TOL state costs thousands
-//! of cycles per spurious retranslation. The paper's technique:
+//! of cycles per spurious retranslation. Two harnesses share one
+//! fast-forward primitive here:
 //!
-//! 1. during each sample's warm-up window the promotion thresholds are
-//!    *downscaled* by a scaling factor, so code reaches the higher
-//!    optimization modes with far fewer executions than in the
-//!    authoritative run;
-//! 2. an **offline heuristic** picks the `(scaling factor, warm-up
-//!    length)` pair per sample whose execution distribution best matches
-//!    the authoritative execution's distribution;
-//! 3. detailed timing simulation runs only inside the samples; thresholds
-//!    are restored while statistics are collected.
+//! * [`SnapshotBank`] — a single functional pass (null sink, base TOL
+//!   configuration) over the program, serializing the coupled machine at
+//!   each requested instruction count. Every sample then *restores* its
+//!   starting state in O(state) instead of re-executing the prefix — the
+//!   stepping-engine replacement for run-from-zero-per-sample schemes.
+//!   Because the checkpoint carries the TOL (code cache, profile
+//!   counters) along with the architectural state, the software layer
+//!   arrives warm for free.
 //!
-//! The execution-distribution metric here is the per-mode (IM/BBM/SBM)
-//! instruction distribution inside the sample window — the observable
-//! footprint of the TOL state the paper's heuristic reconstructs.
+//! * [`warmup_study`] — the paper's §VI-E case study: during each
+//!   sample's warm-up window the promotion thresholds are *downscaled* by
+//!   a scaling factor (applied by mutating the restored machine's TOL
+//!   thresholds) so any code the prefix had not yet promoted reaches the
+//!   higher optimization modes with far fewer executions; an offline
+//!   heuristic picks the `(scaling factor, warm-up length)` pair per
+//!   sample whose execution distribution best matches the authoritative
+//!   run's; thresholds are restored while statistics are collected.
+//!
+//! * [`sampled_cpi`] — a SMARTS-style statistical campaign: `n` windows
+//!   strided evenly over the run, each fast-forwarded via the bank,
+//!   detail-warmed, then measured; the result is a per-workload CPI with
+//!   a 95% confidence interval. The measurement windows default to the
+//!   accelerated timing path ([`TimingMode::Fast`]), which is
+//!   bit-identical to the full model, so sampling error is the *only*
+//!   error source versus a full detailed run.
 
 use crate::machine::Machine;
+use crate::system::TimingMode;
 use darco_guest::GuestProgram;
-use darco_host::sink::NullSink;
-use darco_timing::{InOrderCore, TimingConfig};
+use darco_host::sink::{InsnSink, NullSink};
+use darco_timing::{FastTimer, InOrderCore, TimingConfig, TimingStats};
 use darco_tol::TolConfig;
 
 /// Warm-up study configuration.
@@ -110,67 +126,165 @@ struct RefWindow {
     dist: ModeDist,
 }
 
-/// Pre-computed fast-forward checkpoints for one threshold scale: the
-/// machine is driven forward once (functionally, cheapest possible) and
-/// snapshotted at every requested warm-up start, so each `(sample,
-/// warm-up length)` candidate restores in O(state) instead of re-executing
-/// the whole prefix — the stepping-engine replacement for the old
-/// run-from-zero-per-candidate scheme.
-struct WarmStartBank {
-    scaled: TolConfig,
-    /// `warm_start → serialized machine` at (or just past) that count.
+/// Pre-computed functional fast-forward checkpoints: one machine is
+/// driven forward once (null sink — the cheapest possible execution)
+/// under the base TOL configuration and serialized at every requested
+/// point, so each sample restores in O(state) instead of re-executing
+/// the whole prefix. Shared by [`warmup_study`] and [`sampled_cpi`].
+pub struct SnapshotBank {
+    cfg: TolConfig,
+    /// `point → serialized machine` at (or just past) that count.
     snaps: Vec<(u64, Vec<u8>)>,
 }
 
-impl WarmStartBank {
-    /// Drives one machine through all `points` (ascending), checkpointing
-    /// at each. Returns `None` when the coupled run fails.
-    fn build(program: &GuestProgram, base: &TolConfig, scale: u64, points: &[u64]) -> Option<WarmStartBank> {
-        // Cold TOL at the warm-up start: the methodology reconstructs the
-        // software-layer state inside the warm-up window.
-        let scaled = TolConfig {
-            bbm_threshold: (base.bbm_threshold / scale).max(1),
-            sbm_threshold: (base.sbm_threshold / scale).max(2),
-            ..base.clone()
-        };
-        let mut m = Machine::new(scaled.clone(), program);
+impl SnapshotBank {
+    /// Drives one machine through all `points` (must be ascending),
+    /// checkpointing at each. Returns `None` when the coupled run fails
+    /// or ends before the last point.
+    pub fn build(program: &GuestProgram, cfg: &TolConfig, points: &[u64]) -> Option<SnapshotBank> {
+        let mut m = Machine::new(cfg.clone(), program);
         let mut snaps = Vec::with_capacity(points.len());
         for &p in points {
-            // Functional fast-forward (not charged to simulation cost).
             m.run_to(p, true, &mut NullSink).ok()?;
+            if m.ended() {
+                return None;
+            }
             let mut w = darco_guest::Wire::new();
             m.snapshot_into(&mut w).ok()?;
             snaps.push((p, w.finish()));
         }
-        Some(WarmStartBank { scaled, snaps })
+        Some(SnapshotBank { cfg: cfg.clone(), snaps })
     }
 
-    /// A fresh machine restored to the checkpoint taken at `warm_start`.
-    fn machine_at(&self, program: &GuestProgram, warm_start: u64) -> Option<Machine> {
-        let (_, bytes) = self.snaps.iter().find(|(p, _)| *p == warm_start)?;
-        let mut m = Machine::new(self.scaled.clone(), program);
+    /// A fresh machine restored to the checkpoint taken at `point`.
+    pub fn machine_at(&self, program: &GuestProgram, point: u64) -> Option<Machine> {
+        let (_, bytes) = self.snaps.iter().find(|(p, _)| *p == point)?;
+        let mut m = Machine::new(self.cfg.clone(), program);
         let mut r = darco_guest::WireReader::new(bytes);
         m.restore_from(&mut r).ok()?;
         Some(m)
     }
+
+    /// The checkpointed instruction counts, ascending.
+    pub fn points(&self) -> Vec<u64> {
+        self.snaps.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// [`SnapshotBank::build`], but the functional pass continues to the
+    /// end of the program and reports its exact totals — the guest
+    /// length and the *sink-visible* host instruction count (application
+    /// host instructions plus synthesizable TOL overhead; construction
+    /// charges like TOL init, which never reach a timing sink, are
+    /// excluded via the baseline). [`sampled_cpi`] scales its sampled
+    /// cycles-per-host-instruction by `host_insns / guest_insns`.
+    pub fn build_to_end(
+        program: &GuestProgram,
+        cfg: &TolConfig,
+        points: &[u64],
+    ) -> Option<(SnapshotBank, FunctionalTotals)> {
+        let mut m = Machine::new(cfg.clone(), program);
+        let acct_base = host_acct(&m);
+        let mut snaps = Vec::with_capacity(points.len());
+        for &p in points {
+            m.run_to(p, true, &mut NullSink).ok()?;
+            if m.ended() {
+                return None;
+            }
+            let mut w = darco_guest::Wire::new();
+            m.snapshot_into(&mut w).ok()?;
+            snaps.push((p, w.finish()));
+        }
+        m.run_to(u64::MAX, true, &mut NullSink).ok()?;
+        let totals = FunctionalTotals {
+            guest_insns: m.insns(),
+            host_app_insns: m.tol.stats.host_app - acct_base.0,
+            overhead_insns: m.tol.overhead().total() - acct_base.1,
+            sb_overhead_insns: m.tol.overhead().sb_translator,
+            sb_translations: m.tol.stats.translations_sb,
+        };
+        Some((SnapshotBank { cfg: cfg.clone(), snaps }, totals))
+    }
+}
+
+/// Exact totals of a functional pass (see [`SnapshotBank::build_to_end`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionalTotals {
+    /// Retired guest instructions.
+    pub guest_insns: u64,
+    /// Application host instructions (translated/interpreted guest work).
+    pub host_app_insns: u64,
+    /// Sink-visible TOL overhead host instructions (construction charges
+    /// like TOL init, which never reach a timing sink, are excluded).
+    pub overhead_insns: u64,
+    /// The superblock-translator share of `overhead_insns` — the big
+    /// (tens of kilo-instruction) bursts whose cache/predictor
+    /// interference the effective-overhead calibration must capture.
+    pub sb_overhead_insns: u64,
+    /// Number of SBM translations (bursts) behind `sb_overhead_insns`.
+    pub sb_translations: u64,
+}
+
+impl FunctionalTotals {
+    /// Total host instructions a timing sink would retire over the run.
+    pub fn host_insns(&self) -> u64 {
+        self.host_app_insns + self.overhead_insns
+    }
+}
+
+/// Host-instruction accounting snapshot `(application, overhead)`.
+/// Deltas of the sum over a window equal the events a timing sink
+/// retires in that window (overhead synthesis emits exactly what it
+/// charges).
+fn host_acct(m: &Machine) -> (u64, u64) {
+    (m.tol.stats.host_app, m.tol.overhead().total())
+}
+
+/// Steady-state cycles per instruction of the synthesized TOL-overhead
+/// stream under `timing`. The overhead instruction mix is a fixed
+/// workload-independent rotating pattern (see
+/// `darco_tol::overhead::Accountant`), so one calibration run serves
+/// every workload: a fresh core retires the pure synthetic stream, the
+/// first chunk warms it, the second is measured. Deterministic.
+pub fn calibrate_overhead_cph(timing: &TimingConfig) -> f64 {
+    let mut core = InOrderCore::new(timing.clone());
+    let mut acct = darco_tol::overhead::Accountant::new(true);
+    acct.charge(darco_tol::OverheadKind::Others, 50_000, &mut core);
+    let c0 = core.stats().cycles;
+    acct.charge(darco_tol::OverheadKind::Others, 200_000, &mut core);
+    (core.stats().cycles - c0) as f64 / 200_000.0
+}
+
+/// Total retired guest instructions of a functional (null-sink) run —
+/// the scout pass that sizes a sampling plan. `None` when the coupled
+/// run fails.
+pub fn functional_length(program: &GuestProgram, cfg: &TolConfig) -> Option<u64> {
+    let mut scout = Machine::new(cfg.clone(), program);
+    scout.run_to(u64::MAX, true, &mut NullSink).ok()?;
+    Some(scout.insns())
 }
 
 /// Runs a window `[start, start+len)`: restore the functional
-/// fast-forward state at `warm_start` from `bank`, warm-up (downscaled
-/// thresholds) to `start`, detailed sample to `start+len`. Returns
-/// (cycles, dist).
+/// fast-forward state at `warm_start` from the shared `bank`, warm up
+/// in detail with thresholds downscaled by `scale` (re-promoting any
+/// code the checkpoint left cold), restore thresholds, measure the
+/// sample. Returns (cycles, dist).
+#[allow(clippy::too_many_arguments)]
 fn run_methodology_sample(
     program: &GuestProgram,
     base: &TolConfig,
     timing: &TimingConfig,
-    bank: &WarmStartBank,
+    bank: &SnapshotBank,
+    scale: u64,
     warm_start: u64,
     start: u64,
     len: u64,
 ) -> Option<(u64, ModeDist)> {
     let mut m = bank.machine_at(program, warm_start)?;
     // Warm-up window: detailed, with downscaled thresholds — this warms
-    // both the microarchitectural state and the software-layer state.
+    // the microarchitectural state and finishes warming the
+    // software-layer state.
+    m.tol.cfg.bbm_threshold = (base.bbm_threshold / scale).max(1);
+    m.tol.cfg.sbm_threshold = (base.sbm_threshold / scale).max(2);
     let mut core = InOrderCore::new(timing.clone());
     m.tol.set_synthesize_overhead(true);
     m.run_to(start, true, &mut core).ok()?;
@@ -199,21 +313,15 @@ pub fn warmup_study(
     let mut m = Machine::new(tol.clone(), program);
     let mut core = InOrderCore::new(timing.clone());
     m.tol.set_synthesize_overhead(true);
-    // First find program length cheaply by running it (detailed; this IS
-    // the authoritative run, windows measured on the fly).
-    let mut windows: Vec<RefWindow> = Vec::new();
-    // Estimate total length with a scout run.
-    let total = {
-        let mut scout = Machine::new(tol.clone(), program);
-        scout.run_to(u64::MAX, true, &mut NullSink).ok()?;
-        scout.insns()
-    };
+    // Estimate total length with a functional scout run.
+    let total = functional_length(program, tol)?;
     let needed = wcfg.sample_len * wcfg.num_samples as u64 * 2;
     if total < needed {
         return None;
     }
     let stride = total / (wcfg.num_samples as u64 + 1);
     let starts: Vec<u64> = (1..=wcfg.num_samples as u64).map(|i| i * stride).collect();
+    let mut windows: Vec<RefWindow> = Vec::new();
     for &s in &starts {
         m.run_to(s, true, &mut core).ok()?;
         let c0 = core.stats().cycles;
@@ -225,33 +333,31 @@ pub fn warmup_study(
     }
 
     // --- methodology: per sample, pick the best (scale, warmup) ---------
-    // One functional fast-forward per scale factor, checkpointed at every
-    // warm-up start; each candidate below restores instead of re-running
-    // the prefix from instruction zero.
+    // ONE functional fast-forward, checkpointed at every warm-up start;
+    // every `(scale, warm-up length)` candidate below restores from the
+    // shared bank instead of re-running the prefix from instruction zero
+    // (scaling factors only shape the warm-up window itself, so they no
+    // longer need separate fast-forward passes).
     let mut points: Vec<u64> = windows
         .iter()
         .flat_map(|w| wcfg.warmup_lens.iter().map(|wl| w.start.saturating_sub(*wl)))
         .collect();
     points.sort_unstable();
     points.dedup();
-    let banks: Vec<(u64, WarmStartBank)> = wcfg
-        .scale_factors
-        .iter()
-        .filter_map(|&s| WarmStartBank::build(program, tol, s, &points).map(|b| (s, b)))
-        .collect();
+    let bank = SnapshotBank::build(program, tol, &points)?;
     let mut samples = Vec::new();
     let mut sampled_cost = 0u64;
     for w in &windows {
         let mut best: Option<(f64, u64, u64, u64)> = None; // (score, scale, wlen, cycles)
-        for (scale, bank) in &banks {
-            let scale = *scale;
+        for &scale in &wcfg.scale_factors {
             for &wlen in &wcfg.warmup_lens {
                 let warm_start = w.start.saturating_sub(wlen);
                 let Some((cycles, dist)) = run_methodology_sample(
                     program,
                     tol,
                     timing,
-                    bank,
+                    &bank,
+                    scale,
                     warm_start,
                     w.start,
                     wcfg.sample_len,
@@ -297,6 +403,315 @@ pub fn warmup_study(
         full_cost: total,
         sampled_cost,
         cost_reduction: total as f64 / sampled_cost.max(1) as f64,
+        samples,
+    })
+}
+
+// -- SMARTS-style sampled CPI -------------------------------------------------
+
+/// Configuration of a [`sampled_cpi`] campaign.
+#[derive(Debug, Clone)]
+pub struct SmartsConfig {
+    /// Number of measurement windows, strided evenly over the run.
+    pub num_samples: usize,
+    /// Detailed warm-up window before each measurement (guest insns) —
+    /// warms the fresh core's caches and predictors; the software layer
+    /// arrives warm from the checkpoint.
+    pub warm_len: u64,
+    /// Measured window length (guest insns).
+    pub measure_len: u64,
+    /// Which timing path the windows run under. `Fast` is bit-identical
+    /// to `Full` for the in-order core, so it is the default.
+    pub timing_mode: TimingMode,
+    /// Effective overhead cycles-per-instruction override. `None` (the
+    /// default, recommended) calibrates in context per workload by burst
+    /// injection: one sample window is run twice, once as control and
+    /// once with a synthetic 30k-instruction overhead burst injected
+    /// into the timing stream, and the cycle delta per injected
+    /// instruction gives the effective cost — including the cache and
+    /// predictor interference with the application working set that an
+    /// isolated calibration (see [`calibrate_overhead_cph`]) misses.
+    pub overhead_cph: Option<f64>,
+}
+
+impl Default for SmartsConfig {
+    fn default() -> Self {
+        SmartsConfig {
+            num_samples: 7,
+            warm_len: 4_000,
+            measure_len: 12_000,
+            timing_mode: TimingMode::Fast,
+            overhead_cph: None,
+        }
+    }
+}
+
+/// One measurement window's outcome.
+#[derive(Debug, Clone)]
+pub struct SmartsSample {
+    /// Window start (guest instruction count).
+    pub start: u64,
+    /// Cycles per *guest* instruction in the measured window.
+    pub cpi: f64,
+    /// Cycles per *host* instruction in the measured window — the
+    /// quantity the estimator fits (see [`SampledCpi::cpi`]).
+    pub cph: f64,
+    /// Cycle delta of the measured window.
+    pub cycles: u64,
+    /// Guest instructions actually measured.
+    pub insns: u64,
+    /// Application host instructions measured.
+    pub host_app_insns: u64,
+    /// Synthesized TOL-overhead host instructions measured.
+    pub overhead_insns: u64,
+}
+
+/// Result of a [`sampled_cpi`] campaign.
+///
+/// The estimator exploits the co-designed structure of guest CPI:
+/// `guest cycles = app_CPH × app_host_insns + ovh_CPH × overhead_insns`.
+/// The host-instruction totals come *exactly* from the functional
+/// fast-forward pass (the TOL's accounting is identical whether or not
+/// a timing sink is attached); `ovh_CPH` is calibrated once from the
+/// workload-independent synthetic overhead stream; only `app_CPH` — a
+/// smooth pipeline property — needs detailed sampling. Sampling guest
+/// CPI directly would miss TOL overhead bursts entirely: a translation
+/// charges tens of thousands of host instructions at a single
+/// guest-instruction boundary, a zero-width spike in guest position
+/// space that strided windows almost never straddle.
+#[derive(Debug, Clone)]
+pub struct SampledCpi {
+    /// Total guest instructions of the workload.
+    pub total_insns: u64,
+    /// Total sink-visible host instructions (functional pass, exact).
+    pub host_insns: u64,
+    /// Fitted cycles per application host instruction.
+    pub app_cph: f64,
+    /// Calibrated cycles per synthesized-overhead host instruction.
+    pub overhead_cph: f64,
+    /// Estimated cycles per guest instruction:
+    /// `(app_cph × app_host + overhead_cph × overhead) / guest_insns`.
+    pub cpi: f64,
+    /// Half-width of the 95% confidence interval on [`SampledCpi::cpi`]
+    /// (`1.96·s/√n` over the window CPHs, scaled by the expansion
+    /// factor; 0 when fewer than two windows).
+    pub ci95: f64,
+    /// Guest instructions simulated in detail (warm-up + measurement).
+    pub detailed_insns: u64,
+    /// Per-window outcomes, in ascending start order.
+    pub samples: Vec<SmartsSample>,
+}
+
+/// Runtime-selected window sink: the campaign chooses fast or full per
+/// configuration, both over the identical in-order model.
+enum WindowSink {
+    Fast(Box<FastTimer>),
+    Full(Box<InOrderCore>),
+}
+
+impl WindowSink {
+    fn new(mode: TimingMode, cfg: &TimingConfig) -> WindowSink {
+        match mode {
+            TimingMode::Fast => WindowSink::Fast(Box::new(FastTimer::new(cfg.clone()))),
+            TimingMode::Full => WindowSink::Full(Box::new(InOrderCore::new(cfg.clone()))),
+        }
+    }
+
+    fn as_sink(&mut self) -> &mut dyn InsnSink {
+        match self {
+            WindowSink::Fast(s) => &mut **s,
+            WindowSink::Full(s) => &mut **s,
+        }
+    }
+
+    fn stats(&self) -> TimingStats {
+        match self {
+            WindowSink::Fast(s) => s.stats(),
+            WindowSink::Full(s) => s.stats(),
+        }
+    }
+}
+
+/// Runs a SMARTS-style sampled-CPI campaign: scout the workload length
+/// functionally, checkpoint a [`SnapshotBank`] at `n` strided warm-up
+/// starts, then per sample restore, warm a fresh core in detail and
+/// measure CPI over the window. Fully deterministic: samples run
+/// serially in ascending order and nothing depends on wall clock.
+///
+/// Returns `None` when the program is too short for the requested plan
+/// (it needs at least `2·n·(warm+measure)` instructions).
+pub fn sampled_cpi(
+    program: &GuestProgram,
+    tol: &TolConfig,
+    timing: &TimingConfig,
+    scfg: &SmartsConfig,
+) -> Option<SampledCpi> {
+    let total = functional_length(program, tol)?;
+    sampled_cpi_with_len(program, tol, timing, scfg, total)
+}
+
+/// [`sampled_cpi`] with the workload length already known (e.g. from a
+/// prior oracle or functional run), skipping the scout pass. Windows
+/// are placed by systematic midpoint sampling — the `i`-th measurement
+/// starts at `stride/2 + i·stride` with `stride = total/n` — so every
+/// region of the run, including the cold-start phase, is represented
+/// proportionally (skipping the start would bias the estimate low on
+/// workloads whose translation warm-up is a visible fraction of the
+/// run).
+pub fn sampled_cpi_with_len(
+    program: &GuestProgram,
+    tol: &TolConfig,
+    timing: &TimingConfig,
+    scfg: &SmartsConfig,
+    total: u64,
+) -> Option<SampledCpi> {
+    let n = scfg.num_samples.max(1) as u64;
+    let window = scfg.warm_len + scfg.measure_len;
+    if total < window * n * 2 {
+        return None;
+    }
+    let stride = total / n;
+    let starts: Vec<u64> = (0..n).map(|i| stride / 2 + i * stride).collect();
+    let points: Vec<u64> = starts.iter().map(|s| s.saturating_sub(scfg.warm_len)).collect();
+    let (bank, totals) = SnapshotBank::build_to_end(program, tol, &points)?;
+    let mut samples = Vec::with_capacity(starts.len());
+    let mut detailed_insns = 0u64;
+    for (&start, &ws) in starts.iter().zip(&points) {
+        let mut m = bank.machine_at(program, ws)?;
+        let restored_at = m.insns();
+        let mut sink = WindowSink::new(scfg.timing_mode, timing);
+        m.tol.set_synthesize_overhead(true);
+        // Warm-up: charge the fresh core without recording.
+        m.run_to(start, true, &mut sink.as_sink()).ok()?;
+        let c0 = sink.stats().cycles;
+        let g0 = m.insns();
+        let (a0, o0) = host_acct(&m);
+        // Measurement.
+        m.run_to(start + scfg.measure_len, true, &mut sink.as_sink()).ok()?;
+        let c1 = sink.stats().cycles;
+        let g1 = m.insns();
+        let (a1, o1) = host_acct(&m);
+        if g1 == g0 || (a1 - a0) + (o1 - o0) == 0 {
+            return None;
+        }
+        detailed_insns += g1 - restored_at;
+        samples.push(SmartsSample {
+            start,
+            cpi: (c1 - c0) as f64 / (g1 - g0) as f64,
+            cph: (c1 - c0) as f64 / ((a1 - a0) + (o1 - o0)) as f64,
+            cycles: c1 - c0,
+            insns: g1 - g0,
+            host_app_insns: a1 - a0,
+            overhead_insns: o1 - o0,
+        });
+    }
+    let k = samples.len() as f64;
+    let sum_c: u64 = samples.iter().map(|s| s.cycles).sum();
+    let sum_a: u64 = samples.iter().map(|s| s.host_app_insns).sum();
+    let sum_o: u64 = samples.iter().map(|s| s.overhead_insns).sum();
+    // Effective overhead CPH. Two calibrations bracket the truth:
+    //
+    // * the **isolated** stream cost ([`calibrate_overhead_cph`]) — right
+    //   for small overhead events (dispatch, lookups, basic-block
+    //   translations of a few hundred instructions) whose footprint is
+    //   too small to evict application cache and predictor state;
+    // * the **injected** in-context cost (a control window versus the
+    //   same window with a synthetic 30k-instruction burst) — right for
+    //   big superblock-translation bursts, which thrash the application
+    //   working set and charge an interference premium on top of the
+    //   stream cost.
+    //
+    // Compose per overhead stream: the SBM-translator share pays the
+    // injected rate scaled by how close its mean burst size comes to
+    // the injected burst; everything else pays the isolated rate.
+    let ovh_cph = match scfg.overhead_cph {
+        Some(b) => b,
+        None => {
+            const INJECT: u64 = 30_000;
+            let run = |inject: u64| -> Option<(u64, u64)> {
+                let ws = points[points.len() / 2];
+                let mut m = bank.machine_at(program, ws)?;
+                let base = m.insns();
+                let mut sink = WindowSink::new(scfg.timing_mode, timing);
+                m.tol.set_synthesize_overhead(true);
+                m.run_to(base + scfg.warm_len, true, &mut sink.as_sink()).ok()?;
+                let c0 = sink.stats().cycles;
+                if inject > 0 {
+                    // The injected burst only touches the timing sink;
+                    // the guest/TOL state evolves identically to the
+                    // control window, so the cycle delta is purely the
+                    // burst's pipeline cost plus its interference.
+                    let mut acct = darco_tol::overhead::Accountant::new(true);
+                    acct.charge(
+                        darco_tol::OverheadKind::SbTranslator,
+                        inject,
+                        &mut sink.as_sink(),
+                    );
+                }
+                m.run_to(base + scfg.warm_len + scfg.measure_len, true, &mut sink.as_sink())
+                    .ok()?;
+                Some((sink.stats().cycles - c0, m.insns() - base))
+            };
+            let (ctrl, g_ctrl) = run(0)?;
+            let (inj, g_inj) = run(INJECT)?;
+            detailed_insns += g_ctrl + g_inj;
+            let beta_inj =
+                ((inj.saturating_sub(ctrl)) as f64 / INJECT as f64).clamp(0.3, 8.0);
+            let beta_iso = calibrate_overhead_cph(timing);
+            let o = totals.overhead_insns.max(1) as f64;
+            let o_sb = totals.sb_overhead_insns.min(totals.overhead_insns) as f64;
+            let mean_burst = if totals.sb_translations > 0 {
+                o_sb / totals.sb_translations as f64
+            } else {
+                0.0
+            };
+            let w = (mean_burst / INJECT as f64).clamp(0.0, 1.0);
+            let beta_sb = beta_iso + w * (beta_inj - beta_iso);
+            (o_sb * beta_sb + (o - o_sb) * beta_iso) / o
+        }
+    };
+    // Fit the application CPH by subtracting the overhead contribution
+    // from the pooled window cycles (host-weighted ratio fit — a window
+    // that straddles a translation burst contributes the burst's host
+    // instructions with proportional weight), then compose with the
+    // exact functional host-instruction split.
+    let app_cph = if sum_a > 0 {
+        ((sum_c as f64 - ovh_cph * sum_o as f64) / sum_a as f64).max(0.1)
+    } else {
+        ovh_cph
+    };
+    let g = totals.guest_insns as f64;
+    let cpi = (app_cph * totals.host_app_insns as f64
+        + ovh_cph * totals.overhead_insns as f64)
+        / g;
+    let ci95 = if samples.len() >= 2 && sum_a > 0 {
+        // Linearized ratio-estimator variance of the app fit: residuals
+        // of window cycles against the fitted model, normalized by the
+        // mean app window size, scaled to guest CPI via the exact
+        // app-host expansion.
+        let a_mean = sum_a as f64 / k;
+        let var_d = samples
+            .iter()
+            .map(|s| {
+                let d = s.cycles as f64
+                    - app_cph * s.host_app_insns as f64
+                    - ovh_cph * s.overhead_insns as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / (k - 1.0);
+        1.96 * (var_d / k).sqrt() / a_mean * (totals.host_app_insns as f64 / g)
+    } else {
+        0.0
+    };
+    Some(SampledCpi {
+        total_insns: totals.guest_insns,
+        host_insns: totals.host_insns(),
+        app_cph,
+        overhead_cph: ovh_cph,
+        cpi,
+        ci95,
+        detailed_insns,
         samples,
     })
 }
@@ -355,5 +770,63 @@ mod tests {
             &WarmupConfig::default()
         )
         .is_none());
+        assert!(sampled_cpi(
+            &p,
+            &TolConfig::default(),
+            &TimingConfig::default(),
+            &SmartsConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn snapshot_bank_restores_exact_counts() {
+        let tol = TolConfig { bbm_threshold: 10, sbm_threshold: 60, ..Default::default() };
+        let p = phased_program();
+        let points = vec![10_000, 50_000, 200_000];
+        let bank = SnapshotBank::build(&p, &tol, &points).expect("bank builds");
+        assert_eq!(bank.points(), points);
+        for &pt in &points {
+            let m = bank.machine_at(&p, pt).expect("restore");
+            assert!(m.insns() >= pt, "restored at {} for point {pt}", m.insns());
+            // Restores are repeatable: same point, same state bytes.
+            let m2 = bank.machine_at(&p, pt).unwrap();
+            assert_eq!(m.insns(), m2.insns());
+        }
+        assert!(bank.machine_at(&p, 12345).is_none(), "unknown point");
+    }
+
+    #[test]
+    fn sampled_cpi_is_deterministic_and_mode_agnostic() {
+        let tol = TolConfig { bbm_threshold: 20, sbm_threshold: 200, ..Default::default() };
+        let timing = TimingConfig::default();
+        let scfg = SmartsConfig {
+            num_samples: 3,
+            warm_len: 4_000,
+            measure_len: 6_000,
+            timing_mode: TimingMode::Fast,
+            overhead_cph: None,
+        };
+        let p = phased_program();
+        let a = sampled_cpi(&p, &tol, &timing, &scfg).expect("campaign runs");
+        let b = sampled_cpi(&p, &tol, &timing, &scfg).expect("campaign runs");
+        assert_eq!(a.cpi.to_bits(), b.cpi.to_bits(), "bitwise deterministic");
+        assert_eq!(a.ci95.to_bits(), b.ci95.to_bits());
+        assert_eq!(a.samples.len(), 3);
+        assert!(a.cpi > 0.0 && a.detailed_insns < a.total_insns);
+        // The fast path is bit-identical to full simulation, so the whole
+        // campaign must agree bit-for-bit across modes.
+        let full = sampled_cpi(
+            &p,
+            &tol,
+            &timing,
+            &SmartsConfig { timing_mode: TimingMode::Full, ..scfg },
+        )
+        .expect("full-mode campaign runs");
+        assert_eq!(a.cpi.to_bits(), full.cpi.to_bits(), "fast == full per window");
+        for (x, y) in a.samples.iter().zip(&full.samples) {
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.insns, y.insns);
+        }
     }
 }

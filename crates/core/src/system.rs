@@ -22,6 +22,23 @@ pub enum SinkChoice {
     OutOfOrder,
 }
 
+/// How the attached timing sink charges cycles.
+///
+/// `Full` is the oracle: every retired host instruction walks the
+/// detailed pipeline model. `Fast` consults per-translation cycle
+/// annotations (stamped at install time) and a block memo, charging a
+/// whole translated block in O(1) when the microarchitectural state is
+/// provably clean, and escaping into the full model otherwise — by
+/// construction bit-identical to `Full` for the in-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Detailed per-instruction simulation (the oracle).
+    #[default]
+    Full,
+    /// Block-granular accelerated path with escape into the full model.
+    Fast,
+}
+
 /// Top-level configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -35,6 +52,10 @@ pub struct SystemConfig {
     pub compare_flags: bool,
     /// Timing simulation.
     pub sink: SinkChoice,
+    /// Accelerated vs detailed timing (used when `sink != None`).
+    /// `Fast` applies to the in-order sink; the out-of-order sink has no
+    /// accelerated path and always runs detailed.
+    pub timing_mode: TimingMode,
     /// Timing configuration (used when `sink != None`).
     pub timing: TimingConfig,
     /// Synthesize TOL-overhead instructions into the timing stream.
@@ -65,6 +86,7 @@ impl Default for SystemConfig {
             validate_every: None,
             compare_flags: true,
             sink: SinkChoice::None,
+            timing_mode: TimingMode::default(),
             timing: TimingConfig::default(),
             timing_includes_tol: true,
             power: false,
@@ -157,6 +179,8 @@ pub struct RunReport {
     pub guest_fault: Option<String>,
     /// Timing statistics (when a sink was attached).
     pub timing: Option<TimingStats>,
+    /// Fast-path accounting (when the sink ran in [`TimingMode::Fast`]).
+    pub fast: Option<darco_timing::FastStats>,
     /// Power report (when requested).
     pub power: Option<PowerReport>,
     /// The unified metrics registry: TOL stats/overhead, live TOL

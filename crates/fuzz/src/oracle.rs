@@ -10,7 +10,7 @@
 //! native backends of the identical configuration, the per-cause exit
 //! counter stream. Semantic-verifier findings are treated as crashes.
 
-use darco::{DarcoError, RunReport, SinkChoice, System, SystemConfig};
+use darco::{DarcoError, RunReport, SinkChoice, System, SystemConfig, TimingMode};
 use darco_host::codegen::Backend;
 use darco_tol::{Injection, TolConfig, VerifyLevel, VerifyMode};
 use darco_workloads::fuzzprog::FuzzProgram;
@@ -22,15 +22,20 @@ pub const INSN_BUDGET: u64 = 4_000_000;
 /// One lane: a named configuration of the whole stack.
 #[derive(Debug, Clone)]
 pub struct Lane {
-    /// Short stable name (`im`, `bbm`, `sbm`, `sbm-native`).
+    /// Short stable name (`im`, `bbm`, `sbm`, `sbm-native`,
+    /// `sbm-timed`, `sbm-fast`).
     pub name: &'static str,
     /// The configuration the candidate runs under.
     pub cfg: SystemConfig,
 }
 
-/// The four differential lanes. `inject` plants a bug in every
+/// The six differential lanes. `inject` plants a bug in every
 /// translating lane (the interpreter lane never translates, so it acts
-/// as the unperturbed reference either way).
+/// as the unperturbed reference either way). The last two lanes run the
+/// identical configuration under the detailed and the accelerated
+/// (cycle-annotated) timing paths: beyond agreeing with every other
+/// lane on final guest state, the pair must agree with *each other*
+/// bit-for-bit on retired events and cycles.
 pub fn lanes(inject: Option<Injection>) -> Vec<Lane> {
     let base = |bbm: u64, sbm: u64, spec: bool, backend: Backend| SystemConfig {
         tol: TolConfig {
@@ -50,11 +55,19 @@ pub fn lanes(inject: Option<Injection>) -> Vec<Lane> {
         backend,
         ..SystemConfig::default()
     };
+    let timed = |mode: TimingMode| {
+        let mut cfg = base(2, 6, true, Backend::Emu);
+        cfg.sink = SinkChoice::InOrder;
+        cfg.timing_mode = mode;
+        cfg
+    };
     vec![
         Lane { name: "im", cfg: base(u64::MAX, u64::MAX, false, Backend::Emu) },
         Lane { name: "bbm", cfg: base(2, u64::MAX, false, Backend::Emu) },
         Lane { name: "sbm", cfg: base(2, 6, true, Backend::Emu) },
         Lane { name: "sbm-native", cfg: base(2, 6, true, Backend::Native) },
+        Lane { name: "sbm-timed", cfg: timed(TimingMode::Full) },
+        Lane { name: "sbm-fast", cfg: timed(TimingMode::Fast) },
     ]
 }
 
@@ -128,6 +141,12 @@ pub enum DivKind {
         /// The differing counter name.
         counter: String,
     },
+    /// The detailed and accelerated timing paths of the same
+    /// configuration disagreed on a timing counter.
+    Timing {
+        /// The differing counter name.
+        counter: String,
+    },
 }
 
 impl DivKind {
@@ -138,6 +157,7 @@ impl DivKind {
             DivKind::VerifyFinding { lane } => format!("verify-{lane}"),
             DivKind::CrossLane { field } => format!("cross-{field}"),
             DivKind::ExitCounters { counter } => format!("exitctr-{counter}"),
+            DivKind::Timing { counter } => format!("timing-{counter}"),
         }
     }
 }
@@ -249,6 +269,23 @@ pub fn run_differential(prog: &FuzzProgram, lanes: &[Lane]) -> Verdict {
                 return Verdict::Diverged(Divergence {
                     kind: DivKind::ExitCounters { counter: c.to_string() },
                     detail: format!("sbm vs sbm-native: {c} = {a:?} vs {b:?}"),
+                });
+            }
+        }
+    }
+
+    // Timing-path agreement: identical config, detailed versus
+    // accelerated timing, retired events and cycles bit-for-bit. The
+    // two lanes step on the same schedule (same quantum, same config),
+    // so the accelerated path's memoized block costs must replay to
+    // exactly the detailed model's totals.
+    if let (Some(full), Some(fast)) = (find("sbm-timed"), find("sbm-fast")) {
+        for c in ["timing.insns", "timing.cycles"] {
+            let (a, b) = (full.metrics.counter_value(c), fast.metrics.counter_value(c));
+            if a != b {
+                return Verdict::Diverged(Divergence {
+                    kind: DivKind::Timing { counter: c.to_string() },
+                    detail: format!("sbm-timed vs sbm-fast: {c} = {a:?} vs {b:?}"),
                 });
             }
         }

@@ -198,6 +198,9 @@ pub struct HostEmulator {
     store_buf: Vec<StoreEnt>,
     spec_loads: Vec<SpecLoad>,
     snapshot: Snapshot,
+    /// Retire events buffered for block-granular sinks
+    /// ([`InsnSink::wants_blocks`]); drained at architectural boundaries.
+    block_buf: Vec<RetireEvent>,
 }
 
 impl Default for HostEmulator {
@@ -229,6 +232,7 @@ impl HostEmulator {
             unattributed: 0,
             store_buf: Vec::new(),
             spec_loads: Vec::new(),
+            block_buf: Vec::new(),
             snapshot: Snapshot {
                 iregs: [0; 64],
                 fregs: [0.0; 64],
@@ -352,10 +356,39 @@ impl HostEmulator {
     ) -> ExitInfo {
         let mut pc = entry;
         let mut executed: u64 = 0;
+        // Hoisted once: per-instruction delivery vs block buffering is a
+        // property of the sink, decided before the hot loop.
+        let buffered = sink.wants_blocks();
+        self.block_buf.clear();
         self.take_snapshot(pc);
+
+        // Event delivery: per-instruction for plain sinks, buffered for
+        // block-granular ones. The stream a buffered sink sees across
+        // `retire_block` calls is event-for-event identical to what a
+        // plain sink sees through `retire`.
+        macro_rules! emit {
+            ($ev:expr) => {{
+                let ev = $ev;
+                if buffered {
+                    self.block_buf.push(ev);
+                } else {
+                    sink.retire(&ev);
+                }
+            }};
+        }
+
+        macro_rules! flush {
+            ($complete:expr) => {
+                if buffered && !self.block_buf.is_empty() {
+                    sink.retire_block(&self.block_buf, $complete);
+                    self.block_buf.clear();
+                }
+            };
+        }
 
         macro_rules! exit_rollback {
             ($cause:expr) => {{
+                flush!(false);
                 let chkpt_pc = self.rollback();
                 return ExitInfo { cause: $cause, executed, host_pc: pc, chkpt_pc };
             }};
@@ -371,12 +404,12 @@ impl HostEmulator {
                     let a = self.iregs[ra.index()];
                     let b = self.iregs[rb.index()];
                     if matches!(op, HAluOp::Div | HAluOp::Rem) && b == 0 {
-                        sink.retire(&RetireEvent::plain(pc as u64, EventKind::IntDiv));
+                        emit!(RetireEvent::plain(pc as u64, EventKind::IntDiv));
                         self.counters.page_faults += 0; // no-op; keeps match simple
                         exit_rollback!(ExitCause::DivByZero);
                     }
                     self.iregs[rd.index()] = eval_halu(op, a, b);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: alu_kind(op),
                         dst: Some(rd.0),
@@ -387,11 +420,11 @@ impl HostEmulator {
                     let a = self.iregs[ra.index()];
                     let b = imm as i32 as u32;
                     if matches!(op, HAluOp::Div | HAluOp::Rem) && b == 0 {
-                        sink.retire(&RetireEvent::plain(pc as u64, EventKind::IntDiv));
+                        emit!(RetireEvent::plain(pc as u64, EventKind::IntDiv));
                         exit_rollback!(ExitCause::DivByZero);
                     }
                     self.iregs[rd.index()] = eval_halu(op, a, b);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: alu_kind(op),
                         dst: Some(rd.0),
@@ -400,7 +433,7 @@ impl HostEmulator {
                 }
                 HInsn::Lui { rd, imm } => {
                     self.iregs[rd.index()] = (imm as u32) << 16;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: Some(rd.0),
@@ -409,7 +442,7 @@ impl HostEmulator {
                 }
                 HInsn::OriZ { rd, imm } => {
                     self.iregs[rd.index()] |= imm as u32;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: Some(rd.0),
@@ -418,7 +451,7 @@ impl HostEmulator {
                 }
                 HInsn::Li16 { rd, imm } => {
                     self.iregs[rd.index()] = imm as i32 as u32;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: Some(rd.0),
@@ -435,7 +468,7 @@ impl HostEmulator {
                             if spec {
                                 self.spec_loads.push(SpecLoad { seq, addr, len });
                             }
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Load { addr, bytes: len },
                                 dst: Some(rd.0),
@@ -443,7 +476,7 @@ impl HostEmulator {
                             });
                         }
                         Err(pf) => {
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Load { addr, bytes: len },
                                 dst: Some(rd.0),
@@ -458,7 +491,7 @@ impl HostEmulator {
                     let addr = self.iregs[base.index()].wrapping_add(off as u32);
                     let len = width.bytes() as u8;
                     let data = self.iregs[rs.index()] as u64;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Store { addr, bytes: len },
                         dst: None,
@@ -488,7 +521,7 @@ impl HostEmulator {
                             if spec {
                                 self.spec_loads.push(SpecLoad { seq, addr, len: 8 });
                             }
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Load { addr, bytes: 8 },
                                 dst: Some(crate::sink::fp_reg(fd.0)),
@@ -496,7 +529,7 @@ impl HostEmulator {
                             });
                         }
                         Err(pf) => {
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Load { addr, bytes: 8 },
                                 dst: Some(crate::sink::fp_reg(fd.0)),
@@ -510,7 +543,7 @@ impl HostEmulator {
                 HInsn::StoreF { fs, base, off, spec: _, seq } => {
                     let addr = self.iregs[base.index()].wrapping_add(off as u32);
                     let data = self.fregs[fs.index()].to_bits();
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Store { addr, bytes: 8 },
                         dst: None,
@@ -534,7 +567,7 @@ impl HostEmulator {
                 }
                 HInsn::B { rel } => {
                     next = add_rel(pc, rel);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Branch { taken: true, target: next as u64, cond: false },
                         dst: None,
@@ -544,7 +577,7 @@ impl HostEmulator {
                 HInsn::Bl { rel } => {
                     self.iregs[crate::regs::R_LINK.index()] = (pc + 1) as u32;
                     next = add_rel(pc, rel);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Branch { taken: true, target: next as u64, cond: false },
                         dst: Some(crate::regs::R_LINK.0),
@@ -553,7 +586,7 @@ impl HostEmulator {
                 }
                 HInsn::Blr => {
                     next = self.iregs[crate::regs::R_LINK.index()] as usize;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Branch { taken: true, target: next as u64, cond: false },
                         dst: None,
@@ -566,7 +599,7 @@ impl HostEmulator {
                     if taken {
                         next = target;
                     }
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Branch { taken, target: target as u64, cond: true },
                         dst: None,
@@ -579,7 +612,7 @@ impl HostEmulator {
                     if taken {
                         next = target;
                     }
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Branch { taken, target: target as u64, cond: true },
                         dst: None,
@@ -590,7 +623,7 @@ impl HostEmulator {
                     let a = self.fregs[fa.index()];
                     let b = self.fregs[fb.index()];
                     self.fregs[fd.index()] = eval_falu(op, a, b);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: falu_kind(op),
                         dst: Some(crate::sink::fp_reg(fd.0)),
@@ -606,7 +639,7 @@ impl HostEmulator {
                         FUnOp2::Neg => -a,
                     };
                     let kind = if op == FUnOp2::Sqrt { EventKind::FpSqrt } else { EventKind::FpAdd };
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind,
                         dst: Some(crate::sink::fp_reg(fd.0)),
@@ -623,7 +656,7 @@ impl HostEmulator {
                         FCmpOp::Unord => a.is_nan() || b.is_nan(),
                     };
                     self.iregs[rd.index()] = v as u32;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::FpAdd,
                         dst: Some(rd.0),
@@ -632,7 +665,7 @@ impl HostEmulator {
                 }
                 HInsn::CvtIF { fd, ra } => {
                     self.fregs[fd.index()] = self.iregs[ra.index()] as i32 as f64;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::FpAdd,
                         dst: Some(crate::sink::fp_reg(fd.0)),
@@ -641,7 +674,7 @@ impl HostEmulator {
                 }
                 HInsn::CvtFI { rd, fa } => {
                     self.iregs[rd.index()] = self.fregs[fa.index()] as i32 as u32;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::FpAdd,
                         dst: Some(rd.0),
@@ -650,7 +683,7 @@ impl HostEmulator {
                 }
                 HInsn::FLoadImm { fd, bits } => {
                     self.fregs[fd.index()] = f64::from_bits(bits);
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Other,
                         dst: Some(crate::sink::fp_reg(fd.0)),
@@ -659,8 +692,13 @@ impl HostEmulator {
                 }
                 HInsn::Chkpt => {
                     self.commit(mem);
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::Other));
+                    // The committed transaction is a complete block; the
+                    // checkpoint event itself opens the next one, so memo
+                    // blocks are keyed by their checkpoint pc.
+                    flush!(true);
+                    emit!(RetireEvent::plain(pc as u64, EventKind::Other));
                     if self.gcnt_bb + self.gcnt_sb >= fuel {
+                        flush!(false);
                         return ExitInfo {
                             cause: ExitCause::Fuel,
                             executed,
@@ -673,10 +711,10 @@ impl HostEmulator {
                 }
                 HInsn::Commit => {
                     self.commit(mem);
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::Other));
+                    emit!(RetireEvent::plain(pc as u64, EventKind::Other));
                 }
                 HInsn::AssertZ { rs } => {
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: None,
@@ -688,7 +726,7 @@ impl HostEmulator {
                     }
                 }
                 HInsn::AssertNz { rs } => {
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: None,
@@ -700,8 +738,9 @@ impl HostEmulator {
                     }
                 }
                 HInsn::TolExit { id } | HInsn::ChainSlot { id } => {
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::Other));
+                    emit!(RetireEvent::plain(pc as u64, EventKind::Other));
                     self.commit(mem);
+                    flush!(true);
                     return ExitInfo {
                         cause: ExitCause::Exit { id },
                         executed,
@@ -713,31 +752,31 @@ impl HostEmulator {
                     let guest_target = self.iregs[rs.index()];
                     // The software IBTC probe: hash, table load, compare.
                     let table_addr = 0xF000_0000u32 | ((guest_target >> 2) & 0x3FF) << 3;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: Some(57),
                         srcs: [Some(rs.0), None],
                     });
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::IntAlu));
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent::plain(pc as u64, EventKind::IntAlu));
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Load { addr: table_addr, bytes: 8 },
                         dst: Some(58),
                         srcs: [Some(57), None],
                     });
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: None,
                         srcs: [Some(58), None],
                     });
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::IntAlu));
+                    emit!(RetireEvent::plain(pc as u64, EventKind::IntAlu));
                     match ibtc.get(&guest_target) {
                         Some(&hpc) => {
                             self.counters.ibtc_hits += 1;
                             next = hpc;
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Branch {
                                     taken: true,
@@ -750,7 +789,7 @@ impl HostEmulator {
                         }
                         None => {
                             self.counters.ibtc_misses += 1;
-                            sink.retire(&RetireEvent {
+                            emit!(RetireEvent {
                                 host_pc: pc as u64,
                                 kind: EventKind::Branch {
                                     taken: false,
@@ -761,6 +800,7 @@ impl HostEmulator {
                                 srcs: [Some(58), None],
                             });
                             self.commit(mem);
+                            flush!(true);
                             return ExitInfo {
                                 cause: ExitCause::Exit { id },
                                 executed,
@@ -784,19 +824,19 @@ impl HostEmulator {
                 }
                 HInsn::Count { idx } => {
                     let slot = PROF_TABLE_ADDR + idx * 8;
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Load { addr: slot, bytes: 8 },
                         dst: Some(59),
                         srcs: [None, None],
                     });
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::IntAlu,
                         dst: Some(59),
                         srcs: [Some(59), None],
                     });
-                    sink.retire(&RetireEvent {
+                    emit!(RetireEvent {
                         host_pc: pc as u64,
                         kind: EventKind::Store { addr: slot, bytes: 8 },
                         dst: None,
@@ -806,6 +846,7 @@ impl HostEmulator {
                     prof.counts[i] += 1;
                     if prof.trips[i] != 0 && prof.counts[i] == prof.trips[i] {
                         self.commit(mem);
+                        flush!(true);
                         return ExitInfo {
                             cause: ExitCause::ProfileTrip { idx },
                             executed,
@@ -815,7 +856,7 @@ impl HostEmulator {
                     }
                 }
                 HInsn::Nop => {
-                    sink.retire(&RetireEvent::plain(pc as u64, EventKind::IntAlu));
+                    emit!(RetireEvent::plain(pc as u64, EventKind::IntAlu));
                 }
             }
             pc = next;
@@ -921,7 +962,7 @@ fn falu_kind(op: FAluOp) -> EventKind {
 mod tests {
     use super::*;
     use crate::regs::HReg;
-    use crate::sink::NullSink;
+    use crate::sink::{DynSink, NullSink};
 
     fn run(code: Vec<HInsn>, setup: impl FnOnce(&mut HostEmulator, &mut GuestMem)) -> (HostEmulator, GuestMem, ExitInfo) {
         let mut emu = HostEmulator::new();
@@ -1134,6 +1175,62 @@ mod tests {
         let mut prof = ProfTable::new();
         let info = emu.execute(&code, 0, &mut mem, &ibtc, &mut prof, u64::MAX, &mut NullSink);
         assert_eq!(info.executed, 1 + 6, "chkpt + 6-slot IBTC probe");
+    }
+
+    #[test]
+    fn block_delivery_matches_per_event_stream() {
+        #[derive(Default)]
+        struct PerEvent(Vec<RetireEvent>);
+        impl InsnSink for PerEvent {
+            fn retire(&mut self, ev: &RetireEvent) {
+                self.0.push(*ev);
+            }
+        }
+        #[derive(Default)]
+        struct Blocks {
+            events: Vec<RetireEvent>,
+            blocks: Vec<(usize, bool)>,
+        }
+        impl InsnSink for Blocks {
+            fn retire(&mut self, ev: &RetireEvent) {
+                self.events.push(*ev);
+            }
+            fn wants_blocks(&self) -> bool {
+                true
+            }
+            fn retire_block(&mut self, events: &[RetireEvent], complete: bool) {
+                self.blocks.push((events.len(), complete));
+                self.events.extend_from_slice(events);
+            }
+        }
+        // Two committed transactions, then an assert-fail rollback.
+        let code = vec![
+            HInsn::Chkpt,
+            HInsn::Li16 { rd: HReg(16), imm: 2 },
+            HInsn::Store { rs: HReg(16), base: HReg(17), off: 0x20, width: Width::D, spec: false, seq: 0 },
+            HInsn::Chkpt,
+            HInsn::AluI { op: HAluOp::Add, rd: HReg(16), ra: HReg(16), imm: 1 },
+            HInsn::AssertZ { rs: HReg(16) }, // fails: r16 == 3
+            HInsn::TolExit { id: 0 },
+        ];
+        let run_with = |sink: &mut dyn InsnSink| {
+            let mut emu = HostEmulator::new();
+            let mut mem = GuestMem::new();
+            mem.map_zero(0);
+            let ibtc = IbtcTable::new();
+            let mut prof = ProfTable::new();
+            emu.execute(&code, 0, &mut mem, &ibtc, &mut prof, u64::MAX, &mut DynSink(sink))
+        };
+        let mut per_event = PerEvent::default();
+        let a = run_with(&mut per_event);
+        let mut blocks = Blocks::default();
+        let b = run_with(&mut blocks);
+        assert_eq!(a, b, "exit info must not depend on delivery granularity");
+        assert_eq!(per_event.0, blocks.events, "streams must be identical");
+        // First transaction flushes complete at the second chkpt; the
+        // rolled-back tail flushes incomplete.
+        assert_eq!(blocks.blocks.first().map(|b| b.1), Some(true));
+        assert_eq!(blocks.blocks.last().map(|b| b.1), Some(false));
     }
 
     #[test]

@@ -84,6 +84,45 @@ pub trait InsnSink {
     fn is_null(&self) -> bool {
         false
     }
+
+    /// Whether this sink wants block-granular delivery. When true, the
+    /// emulator buffers retire events between architectural boundaries
+    /// (checkpoints, cache exits, rollbacks) and hands them over through
+    /// [`InsnSink::retire_block`] instead of one [`InsnSink::retire`] call
+    /// per instruction, which is what lets a fast timing path charge a
+    /// whole block at once.
+    #[inline]
+    fn wants_blocks(&self) -> bool {
+        false
+    }
+
+    /// Receives one block of retired instructions in program order.
+    /// `complete` is true when the block ended at a planned boundary
+    /// (checkpoint, cache exit) and false when it was cut short by a
+    /// rollback or a fuel stop — incomplete blocks are valid retire
+    /// history but not representative block shapes worth memoizing.
+    ///
+    /// The default forwards to per-instruction [`InsnSink::retire`], so
+    /// sinks that don't opt into blocks behave identically either way.
+    #[inline]
+    fn retire_block(&mut self, events: &[RetireEvent], complete: bool) {
+        let _ = complete;
+        for ev in events {
+            self.retire(ev);
+        }
+    }
+
+    /// Notification that a translation was installed into the code cache at
+    /// word address `host_base`, with its code body. Timing sinks use this
+    /// to statically annotate the translation with its steady-state
+    /// (miss-free, predicted) cycle cost, which the software layer stamps
+    /// on the cache entry. Returns that cost, or `None` for sinks that
+    /// don't annotate.
+    #[inline]
+    fn install_note(&mut self, host_base: u64, code: &[crate::insn::HInsn]) -> Option<u64> {
+        let _ = (host_base, code);
+        None
+    }
 }
 
 impl<S: InsnSink + ?Sized> InsnSink for &mut S {
@@ -95,6 +134,21 @@ impl<S: InsnSink + ?Sized> InsnSink for &mut S {
     #[inline]
     fn is_null(&self) -> bool {
         (**self).is_null()
+    }
+
+    #[inline]
+    fn wants_blocks(&self) -> bool {
+        (**self).wants_blocks()
+    }
+
+    #[inline]
+    fn retire_block(&mut self, events: &[RetireEvent], complete: bool) {
+        (**self).retire_block(events, complete);
+    }
+
+    #[inline]
+    fn install_note(&mut self, host_base: u64, code: &[crate::insn::HInsn]) -> Option<u64> {
+        (**self).install_note(host_base, code)
     }
 }
 
@@ -120,6 +174,26 @@ impl InsnSink for DynSink<'_> {
     #[inline]
     fn retire(&mut self, ev: &RetireEvent) {
         self.0.retire(ev);
+    }
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        self.0.is_null()
+    }
+
+    #[inline]
+    fn wants_blocks(&self) -> bool {
+        self.0.wants_blocks()
+    }
+
+    #[inline]
+    fn retire_block(&mut self, events: &[RetireEvent], complete: bool) {
+        self.0.retire_block(events, complete);
+    }
+
+    #[inline]
+    fn install_note(&mut self, host_base: u64, code: &[crate::insn::HInsn]) -> Option<u64> {
+        self.0.install_note(host_base, code)
     }
 }
 

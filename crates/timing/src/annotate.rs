@@ -1,0 +1,371 @@
+//! Static cycle annotation of translated blocks.
+//!
+//! At translation install time the software layer hands the timing sink
+//! the translation body ([`darco_host::sink::InsnSink::install_note`]).
+//! This pass walks the translation's main path, synthesizes the retire
+//! events the emulator would produce for it (same templates as
+//! `host::emu`), and measures the path's *steady-state* cost on a scratch
+//! [`InOrderCore`]: every cache/TLB line prefilled, branch predictor and
+//! BTB trained to the path, prefetcher quiet. The result is the
+//! miss-free, predicted cycle cost the fast timing path charges for the
+//! common case — exactly the "precomputed cycle cost per translated
+//! block" of cycle-accurate binary translation (Schnerr et al.), stamped
+//! on the code-cache entry as `Translation::static_cycles`.
+
+use crate::config::TimingConfig;
+use crate::core::InOrderCore;
+use darco_host::emu::PROF_TABLE_ADDR;
+use darco_host::insn::{FAluOp, FUnOp2, HAluOp, HInsn};
+use darco_host::regs::R_LINK;
+use darco_host::sink::{fp_reg, EventKind, RetireEvent};
+
+/// Walk limit: translations are region-sized; anything longer is not a
+/// single block worth annotating precisely.
+const MAX_WALK_EVENTS: usize = 4096;
+
+/// Synthetic data address used by all loads/stores on the annotated path.
+/// The scratch core prefills it, so data references cost an L1 hit — the
+/// definition of the steady-state path.
+const DATA_ADDR: u32 = 0x40;
+
+/// Computes the steady-state (miss-free, predicted) cycle cost of the
+/// translation's main path. Returns 0 for bodies with no retire events.
+pub fn annotate(cfg: &TimingConfig, host_base: u64, code: &[HInsn]) -> u64 {
+    let events = synthesize_events(host_base, code);
+    if events.is_empty() {
+        return 0;
+    }
+    steady_state_cycles(cfg, &events)
+}
+
+/// Synthesizes the retire-event stream of the translation's main path:
+/// straight-line fall-through for conditional branches (superblocks are
+/// biased that way by construction), followed unconditional branches,
+/// stop at cache exits, calls, indirect jumps and transaction boundaries.
+/// Event templates mirror `host::emu::HostEmulator::execute` exactly.
+fn synthesize_events(host_base: u64, code: &[HInsn]) -> Vec<RetireEvent> {
+    let mut events = Vec::new();
+    let mut visited = vec![false; code.len()];
+    let mut pc = 0usize;
+    let mut seen_chkpt = false;
+    while pc < code.len() && !visited[pc] && events.len() < MAX_WALK_EVENTS {
+        visited[pc] = true;
+        let hp = host_base + pc as u64;
+        let mut next = pc + 1;
+        match code[pc] {
+            HInsn::Alu { op, rd, ra, rb } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: alu_kind(op),
+                dst: Some(rd.0),
+                srcs: [Some(ra.0), Some(rb.0)],
+            }),
+            HInsn::AluI { op, rd, ra, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: alu_kind(op),
+                dst: Some(rd.0),
+                srcs: [Some(ra.0), None],
+            }),
+            HInsn::Lui { rd, .. } | HInsn::Li16 { rd, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::IntAlu,
+                dst: Some(rd.0),
+                srcs: [None, None],
+            }),
+            HInsn::OriZ { rd, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::IntAlu,
+                dst: Some(rd.0),
+                srcs: [Some(rd.0), None],
+            }),
+            HInsn::Load { rd, base, width, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::Load { addr: DATA_ADDR, bytes: width.bytes() as u8 },
+                dst: Some(rd.0),
+                srcs: [Some(base.0), None],
+            }),
+            HInsn::Store { rs, base, width, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::Store { addr: DATA_ADDR, bytes: width.bytes() as u8 },
+                dst: None,
+                srcs: [Some(rs.0), Some(base.0)],
+            }),
+            HInsn::LoadF { fd, base, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::Load { addr: DATA_ADDR, bytes: 8 },
+                dst: Some(fp_reg(fd.0)),
+                srcs: [Some(base.0), None],
+            }),
+            HInsn::StoreF { fs, base, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::Store { addr: DATA_ADDR, bytes: 8 },
+                dst: None,
+                srcs: [Some(fp_reg(fs.0)), Some(base.0)],
+            }),
+            HInsn::B { rel } => {
+                next = add_rel(pc, rel);
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Branch {
+                        taken: true,
+                        target: host_base.wrapping_add(next as u64),
+                        cond: false,
+                    },
+                    dst: None,
+                    srcs: [None, None],
+                });
+            }
+            HInsn::Bl { rel } => {
+                // Calls leave the annotated path (the callee is a runtime
+                // routine with its own cost); charge the branch and stop.
+                let target = add_rel(pc, rel);
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Branch {
+                        taken: true,
+                        target: host_base.wrapping_add(target as u64),
+                        cond: false,
+                    },
+                    dst: Some(R_LINK.0),
+                    srcs: [None, None],
+                });
+                break;
+            }
+            HInsn::Blr => {
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Branch { taken: true, target: host_base, cond: false },
+                    dst: None,
+                    srcs: [Some(R_LINK.0), None],
+                });
+                break;
+            }
+            HInsn::Bz { rs, rel } | HInsn::Bnz { rs, rel } => {
+                // Main path assumes fall-through (not taken).
+                let target = add_rel(pc, rel);
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Branch {
+                        taken: false,
+                        target: host_base.wrapping_add(target as u64),
+                        cond: true,
+                    },
+                    dst: None,
+                    srcs: [Some(rs.0), None],
+                });
+            }
+            HInsn::FAlu { op, fd, fa, fb } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: falu_kind(op),
+                dst: Some(fp_reg(fd.0)),
+                srcs: [Some(fp_reg(fa.0)), Some(fp_reg(fb.0))],
+            }),
+            HInsn::FUn { op, fd, fa } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: if op == FUnOp2::Sqrt { EventKind::FpSqrt } else { EventKind::FpAdd },
+                dst: Some(fp_reg(fd.0)),
+                srcs: [Some(fp_reg(fa.0)), None],
+            }),
+            HInsn::FCmp { rd, fa, fb, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::FpAdd,
+                dst: Some(rd.0),
+                srcs: [Some(fp_reg(fa.0)), Some(fp_reg(fb.0))],
+            }),
+            HInsn::CvtIF { fd, ra } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::FpAdd,
+                dst: Some(fp_reg(fd.0)),
+                srcs: [Some(ra.0), None],
+            }),
+            HInsn::CvtFI { rd, fa } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::FpAdd,
+                dst: Some(rd.0),
+                srcs: [Some(fp_reg(fa.0)), None],
+            }),
+            HInsn::FLoadImm { fd, .. } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::Other,
+                dst: Some(fp_reg(fd.0)),
+                srcs: [None, None],
+            }),
+            HInsn::Chkpt => {
+                if seen_chkpt {
+                    // Next transaction: block boundary.
+                    break;
+                }
+                seen_chkpt = true;
+                events.push(RetireEvent::plain(hp, EventKind::Other));
+            }
+            HInsn::Commit => events.push(RetireEvent::plain(hp, EventKind::Other)),
+            HInsn::AssertZ { rs } | HInsn::AssertNz { rs } => events.push(RetireEvent {
+                host_pc: hp,
+                kind: EventKind::IntAlu,
+                dst: None,
+                srcs: [Some(rs.0), None],
+            }),
+            HInsn::TolExit { .. } | HInsn::ChainSlot { .. } => {
+                events.push(RetireEvent::plain(hp, EventKind::Other));
+                break;
+            }
+            HInsn::IbtcJmp { rs, .. } => {
+                // The 6-slot software IBTC probe, hit path.
+                let table_addr = 0xF000_0000u32;
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::IntAlu,
+                    dst: Some(57),
+                    srcs: [Some(rs.0), None],
+                });
+                events.push(RetireEvent::plain(hp, EventKind::IntAlu));
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Load { addr: table_addr, bytes: 8 },
+                    dst: Some(58),
+                    srcs: [Some(57), None],
+                });
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::IntAlu,
+                    dst: None,
+                    srcs: [Some(58), None],
+                });
+                events.push(RetireEvent::plain(hp, EventKind::IntAlu));
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Branch { taken: true, target: hp + 1, cond: false },
+                    dst: None,
+                    srcs: [Some(58), None],
+                });
+                break;
+            }
+            HInsn::Gcnt { .. } => {}
+            HInsn::Count { idx } => {
+                let slot = PROF_TABLE_ADDR + idx * 8;
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Load { addr: slot, bytes: 8 },
+                    dst: Some(59),
+                    srcs: [None, None],
+                });
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::IntAlu,
+                    dst: Some(59),
+                    srcs: [Some(59), None],
+                });
+                events.push(RetireEvent {
+                    host_pc: hp,
+                    kind: EventKind::Store { addr: slot, bytes: 8 },
+                    dst: None,
+                    srcs: [Some(59), None],
+                });
+            }
+            HInsn::Nop => events.push(RetireEvent::plain(hp, EventKind::IntAlu)),
+        }
+        pc = next;
+    }
+    events
+}
+
+/// Measures the event stream's steady-state cycle cost: the stream is run
+/// three times on a scratch core (first pass fills caches/TLBs and trains
+/// the BTB, second saturates the direction predictor), and the cost is
+/// the cycle delta of the third, fully clean pass. Global history is
+/// reset between passes so gshare trains the same PHT entries it will
+/// predict from.
+fn steady_state_cycles(cfg: &TimingConfig, events: &[RetireEvent]) -> u64 {
+    let mut core = InOrderCore::new(cfg.clone());
+    let mut at_two = 0;
+    for pass in 0..3 {
+        core.gshare.reset_history();
+        for ev in events {
+            core.consume(ev);
+        }
+        if pass == 1 {
+            at_two = core.stats().cycles;
+        }
+    }
+    core.stats().cycles - at_two
+}
+
+fn add_rel(pc: usize, rel: i32) -> usize {
+    (pc as i64 + 1 + rel as i64) as usize
+}
+
+fn alu_kind(op: HAluOp) -> EventKind {
+    match op {
+        HAluOp::Mul | HAluOp::MulHS => EventKind::IntMul,
+        HAluOp::Div | HAluOp::Rem => EventKind::IntDiv,
+        _ => EventKind::IntAlu,
+    }
+}
+
+fn falu_kind(op: FAluOp) -> EventKind {
+    match op {
+        FAluOp::Mul => EventKind::FpMul,
+        FAluOp::Div => EventKind::FpDiv,
+        _ => EventKind::FpAdd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_host::regs::HReg;
+
+    #[test]
+    fn straight_line_block_costs_its_issue_packing() {
+        // 8 independent ALU ops on a 2-wide core: ~4 cycles of issue, so
+        // the annotation must be small and nonzero.
+        let code: Vec<HInsn> = (0..8)
+            .map(|i| HInsn::AluI {
+                op: HAluOp::Add,
+                rd: HReg(16 + i),
+                ra: HReg(40),
+                imm: 1,
+            })
+            .chain([HInsn::TolExit { id: 0 }])
+            .collect();
+        let c = annotate(&TimingConfig::default(), 0x100, &code);
+        assert!(c >= 4, "issue width bounds the block at 4+ cycles: {c}");
+        assert!(c <= 16, "a clean block must not charge miss costs: {c}");
+    }
+
+    #[test]
+    fn divide_chain_costs_latency() {
+        let cfg = TimingConfig::default();
+        let code: Vec<HInsn> = (0..4)
+            .map(|_| HInsn::Alu { op: HAluOp::Div, rd: HReg(16), ra: HReg(16), rb: HReg(17) })
+            .chain([HInsn::TolExit { id: 0 }])
+            .collect();
+        let c = annotate(&cfg, 0, &code);
+        assert!(
+            c >= 3 * cfg.lat_div as u64,
+            "serial divides must expose their latency: {c}"
+        );
+    }
+
+    #[test]
+    fn taken_branch_on_trained_path_is_cheap() {
+        // chkpt; alu; b +1 (skip a nop); alu; tolexit — the unconditional
+        // branch is BTB-trained by the measurement itself, so no
+        // mispredict penalty lands in the steady state.
+        let code = vec![
+            HInsn::Chkpt,
+            HInsn::AluI { op: HAluOp::Add, rd: HReg(16), ra: HReg(16), imm: 1 },
+            HInsn::B { rel: 1 },
+            HInsn::Nop,
+            HInsn::AluI { op: HAluOp::Add, rd: HReg(17), ra: HReg(17), imm: 1 },
+            HInsn::TolExit { id: 0 },
+        ];
+        let cfg = TimingConfig::default();
+        let c = annotate(&cfg, 0x40, &code);
+        assert!(c < cfg.mispredict_penalty as u64 + 8, "trained branch stays cheap: {c}");
+    }
+
+    #[test]
+    fn empty_body_costs_nothing() {
+        assert_eq!(annotate(&TimingConfig::default(), 0, &[HInsn::Gcnt { n: 1, sb: false }]), 0);
+    }
+}

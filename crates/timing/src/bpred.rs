@@ -35,6 +35,19 @@ impl Gshare {
         self.pht[self.index(pc)] >= 2
     }
 
+    /// Pure probe: would [`Gshare::update`] with this outcome count as a
+    /// correct prediction? No state is touched.
+    pub fn peek_correct(&self, pc: u64, taken: bool) -> bool {
+        (self.pht[self.index(pc)] >= 2) == taken
+    }
+
+    /// Zeroes the global history register (PHT and counters are kept).
+    /// The static annotator uses this between its training passes so the
+    /// PHT entries trained by one pass are the ones indexed by the next.
+    pub fn reset_history(&mut self) {
+        self.ghr = 0;
+    }
+
     /// Updates with the actual outcome; returns whether the prediction
     /// was correct.
     pub fn update(&mut self, pc: u64, taken: bool) -> bool {
@@ -107,6 +120,13 @@ impl Btb {
             lookups: 0,
             target_misses: 0,
         }
+    }
+
+    /// Pure probe: does the slot for `pc` already hold exactly
+    /// `(pc, target)`, i.e. would a lookup+update pair cause no redirect
+    /// and change no entry? No state is touched.
+    pub fn peek_same(&self, pc: u64, target: u64) -> bool {
+        matches!(self.entries[(pc & self.mask) as usize], Some((tag, t)) if tag == pc && t == target)
     }
 
     /// Looks up the predicted target for a branch at `pc`; `None` if

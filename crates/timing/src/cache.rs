@@ -60,6 +60,30 @@ impl CacheModel {
         self.probe_fill(addr)
     }
 
+    /// Pure probe: returns the `(set, way)` of `addr` if it would hit,
+    /// without touching any state. Pair with [`CacheModel::commit_hit`] to
+    /// realize the access, or fall back to [`CacheModel::access`] on a
+    /// miss. The pair `peek_hit` + `commit_hit` is byte-for-byte
+    /// equivalent to one hitting `access` call.
+    pub fn peek_hit(&self, addr: u64) -> Option<(u32, u32)> {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        self.sets[set]
+            .iter()
+            .position(|e| e.0 == tag)
+            .map(|way| (set as u32, way as u32))
+    }
+
+    /// Applies the bookkeeping of a hitting access previously confirmed by
+    /// [`CacheModel::peek_hit`] (same tick/LRU/counter effects as
+    /// [`CacheModel::access`] returning true).
+    pub fn commit_hit(&mut self, set: u32, way: u32) {
+        self.accesses += 1;
+        self.tick += 1;
+        self.sets[set as usize][way as usize].1 = self.tick;
+    }
+
     fn probe_fill(&mut self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
@@ -190,6 +214,23 @@ impl TlbModel {
         false
     }
 
+    /// Pure probe: index of the entry mapping `addr`'s page, or `None` if
+    /// the access would miss. No state is touched; pair with
+    /// [`TlbModel::commit_hit`] to realize the access exactly as a hitting
+    /// [`TlbModel::access`] would.
+    pub fn peek_hit(&self, addr: u64) -> Option<u32> {
+        let page = addr >> 12;
+        self.map.iter().position(|e| e.0 == page).map(|i| i as u32)
+    }
+
+    /// Applies the bookkeeping of a hitting access previously confirmed by
+    /// [`TlbModel::peek_hit`].
+    pub fn commit_hit(&mut self, idx: u32) {
+        self.accesses += 1;
+        self.tick += 1;
+        self.map[idx as usize].1 = self.tick;
+    }
+
     /// Serializes the TLB's dynamic state (entries in storage order, tick,
     /// stat counters).
     pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
@@ -270,6 +311,42 @@ mod tests {
         t.access(0x2000);
         t.access(0x3000); // evicts 0x1000
         assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn peek_commit_pair_matches_a_hitting_access() {
+        let cfg = CacheConfig { size: 1024, ways: 2, line: 64, latency: 1 };
+        let mut a = CacheModel::new(&cfg);
+        let mut b = CacheModel::new(&cfg);
+        for c in [&mut a, &mut b] {
+            c.access(0x1000);
+            c.access(0x2000);
+        }
+        assert!(a.access(0x1000));
+        let (set, way) = b.peek_hit(0x1000).expect("resident line");
+        b.commit_hit(set, way);
+        let mut wa = darco_guest::Wire::new();
+        let mut wb = darco_guest::Wire::new();
+        a.snapshot_into(&mut wa);
+        b.snapshot_into(&mut wb);
+        assert_eq!(wa.finish(), wb.finish());
+        assert_eq!(a.peek_hit(0x3000), None, "absent line does not peek");
+
+        let mut ta = TlbModel::new(&TlbConfig { entries: 4, miss_penalty: 8 });
+        let mut tb = TlbModel::new(&TlbConfig { entries: 4, miss_penalty: 8 });
+        for t in [&mut ta, &mut tb] {
+            t.access(0x1000);
+            t.access(0x5000);
+        }
+        assert!(ta.access(0x1234));
+        let i = tb.peek_hit(0x1234).expect("resident page");
+        tb.commit_hit(i);
+        let mut wa = darco_guest::Wire::new();
+        let mut wb = darco_guest::Wire::new();
+        ta.snapshot_into(&mut wa);
+        tb.snapshot_into(&mut wb);
+        assert_eq!(wa.finish(), wb.finish());
+        assert_eq!(tb.peek_hit(0x9000), None);
     }
 
     #[test]

@@ -113,18 +113,18 @@ impl TimingStats {
 }
 
 /// Rolling per-cycle resource usage for monotonic (in-order) issue.
-#[derive(Debug, Clone, Copy, Default)]
-struct Usage {
-    issued: u32,
-    simple: u32,
-    complex: u32,
-    fp: u32,
-    rports: u32,
-    wports: u32,
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Usage {
+    pub(crate) issued: u32,
+    pub(crate) simple: u32,
+    pub(crate) complex: u32,
+    pub(crate) fp: u32,
+    pub(crate) rports: u32,
+    pub(crate) wports: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
+pub(crate) enum Class {
     Simple,
     Complex,
     Fp,
@@ -133,42 +133,46 @@ enum Class {
 }
 
 /// The in-order core.
+///
+/// Fields are crate-visible so the memoizing fast path
+/// ([`crate::fast::FastTimer`]) can verify entry state and commit
+/// recorded schedules without an abstraction tax.
 #[derive(Debug)]
 pub struct InOrderCore {
-    cfg: TimingConfig,
+    pub(crate) cfg: TimingConfig,
     // front end
-    fe_cycle: u64,
-    fe_count: u32,
-    last_fetch_line: u64,
-    redirect_until: u64,
+    pub(crate) fe_cycle: u64,
+    pub(crate) fe_count: u32,
+    pub(crate) last_fetch_line: u64,
+    pub(crate) redirect_until: u64,
     // IQ decoupling: issue cycles of the last `iq_size` instructions.
-    iq_ring: Vec<u64>,
-    iq_pos: usize,
+    pub(crate) iq_ring: Vec<u64>,
+    pub(crate) iq_pos: usize,
     // back end
-    scoreboard: [u64; 128],
-    cur_cycle: u64,
-    usage: Usage,
-    last_complete: u64,
+    pub(crate) scoreboard: [u64; 128],
+    pub(crate) cur_cycle: u64,
+    pub(crate) usage: Usage,
+    pub(crate) last_complete: u64,
     // structures
-    gshare: Gshare,
-    btb: Btb,
-    il1: CacheModel,
-    dl1: CacheModel,
-    l2: CacheModel,
-    itlb: TlbModel,
-    dtlb: TlbModel,
-    l2tlb: TlbModel,
-    prefetcher: StridePrefetcher,
+    pub(crate) gshare: Gshare,
+    pub(crate) btb: Btb,
+    pub(crate) il1: CacheModel,
+    pub(crate) dl1: CacheModel,
+    pub(crate) l2: CacheModel,
+    pub(crate) itlb: TlbModel,
+    pub(crate) dtlb: TlbModel,
+    pub(crate) l2tlb: TlbModel,
+    pub(crate) prefetcher: StridePrefetcher,
     // stats
-    insns: u64,
-    loads: u64,
-    stores: u64,
-    int_ops: u64,
-    mul_ops: u64,
-    div_ops: u64,
-    fp_ops: u64,
-    reg_reads: u64,
-    reg_writes: u64,
+    pub(crate) insns: u64,
+    pub(crate) loads: u64,
+    pub(crate) stores: u64,
+    pub(crate) int_ops: u64,
+    pub(crate) mul_ops: u64,
+    pub(crate) div_ops: u64,
+    pub(crate) fp_ops: u64,
+    pub(crate) reg_reads: u64,
+    pub(crate) reg_writes: u64,
 }
 
 impl InOrderCore {
@@ -349,7 +353,7 @@ impl InOrderCore {
         Ok(())
     }
 
-    fn classify(kind: &EventKind) -> (Class, u32) {
+    pub(crate) fn classify(kind: &EventKind) -> (Class, u32) {
         match kind {
             EventKind::IntAlu | EventKind::Branch { .. } | EventKind::Other => (Class::Simple, 1),
             EventKind::IntMul => (Class::Complex, 0), // latency filled by caller
@@ -363,7 +367,7 @@ impl InOrderCore {
         }
     }
 
-    fn latency_of(&self, kind: &EventKind) -> u32 {
+    pub(crate) fn latency_of(&self, kind: &EventKind) -> u32 {
         match kind {
             EventKind::IntMul => self.cfg.lat_mul,
             EventKind::IntDiv => self.cfg.lat_div,
@@ -420,7 +424,7 @@ impl InOrderCore {
         lat
     }
 
-    fn consume(&mut self, ev: &RetireEvent) {
+    pub(crate) fn consume(&mut self, ev: &RetireEvent) {
         let pc_bytes = ev.host_pc * 4;
 
         // ---- front end -----------------------------------------------------
@@ -545,6 +549,10 @@ impl InOrderCore {
 impl InsnSink for InOrderCore {
     fn retire(&mut self, ev: &RetireEvent) {
         self.consume(ev);
+    }
+
+    fn install_note(&mut self, host_base: u64, code: &[darco_host::insn::HInsn]) -> Option<u64> {
+        Some(crate::annotate::annotate(&self.cfg, host_base, code))
     }
 }
 

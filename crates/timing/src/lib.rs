@@ -17,13 +17,16 @@
 //! microarchitecture styles can be compared on identical instruction
 //! streams (ablation A4).
 
+pub mod annotate;
 pub mod bpred;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod fast;
 pub mod ooo;
 pub mod prefetch;
 
 pub use config::{CacheConfig, TimingConfig, TlbConfig};
 pub use core::{InOrderCore, TimingStats};
+pub use fast::{FastStats, FastTimer};
 pub use ooo::OooCore;

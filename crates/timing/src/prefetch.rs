@@ -55,6 +55,29 @@ impl StridePrefetcher {
         out
     }
 
+    /// Pure probe: would training on `(pc, addr)` issue any prefetches?
+    /// No state is touched. When this returns false, a subsequent
+    /// [`StridePrefetcher::train`] call is guaranteed to return an empty
+    /// list (and is the way to commit the training update).
+    pub fn would_issue(&self, pc: u64, addr: u64) -> bool {
+        let e = self.table[(pc & self.mask) as usize];
+        if e.tag != pc {
+            return false;
+        }
+        let stride = addr as i64 - e.last_addr as i64;
+        let confidence = if stride == e.stride && stride != 0 {
+            (e.confidence + 1).min(3)
+        } else {
+            e.confidence.saturating_sub(1)
+        };
+        // `stride` is the value train() would leave in the entry either way.
+        if confidence >= 2 && stride != 0 {
+            (1..=self.degree as i64).any(|k| addr as i64 + stride * k > 0)
+        } else {
+            false
+        }
+    }
+
     /// Serializes the prefetcher state (training table, issue counter).
     pub fn snapshot_into(&self, w: &mut darco_guest::Wire) {
         w.put_usize(self.table.len());
@@ -104,6 +127,22 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], 0x1000 + 8 * 64);
         assert_eq!(got[1], 0x1000 + 9 * 64);
+    }
+
+    #[test]
+    fn would_issue_agrees_with_train() {
+        let mut p = StridePrefetcher::new(2);
+        let mut x = 7u64;
+        for i in 0..4_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = x % 32;
+            // Mix of strided and erratic access patterns per pc.
+            let addr = if pc.is_multiple_of(2) { 0x1000 + i * 64 } else { x % (1 << 20) };
+            let predicted = p.would_issue(pc, addr);
+            let issued = !p.train(pc, addr).is_empty();
+            assert_eq!(predicted, issued, "at step {i} pc {pc}");
+        }
+        assert!(p.issued > 0, "the strided half must have issued prefetches");
     }
 
     #[test]

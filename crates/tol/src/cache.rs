@@ -55,6 +55,11 @@ pub struct Translation {
     pub shape: Option<SbShape>,
     /// Still dispatchable?
     pub valid: bool,
+    /// Steady-state (miss-free, predicted) cycle cost of the main path,
+    /// stamped at install time by the timing sink's static annotator
+    /// ([`darco_host::sink::InsnSink::install_note`]); 0 when no timing
+    /// sink is attached.
+    pub static_cycles: u64,
 }
 
 /// The code cache.
@@ -377,6 +382,7 @@ impl CodeCache {
                 w.put_u8(s.unroll);
             }
             w.put_bool(t.valid);
+            w.put_u64(t.static_cycles);
         }
         let mut chains: Vec<_> = self.chains_in.iter().collect();
         chains.sort_by_key(|(id, _)| **id);
@@ -515,6 +521,7 @@ impl CodeCache {
                 None
             };
             let valid = r.get_bool()?;
+            let static_cycles = r.get_u64()?;
             translations.push(Translation {
                 guest_pc,
                 kind,
@@ -528,6 +535,7 @@ impl CodeCache {
                 spec_fails,
                 shape,
                 valid,
+                static_cycles,
             });
         }
         let n_chains = r.get_usize()?;
@@ -656,6 +664,7 @@ mod tests {
             spec_fails: 0,
             shape: None,
             valid: true,
+            static_cycles: 0,
         };
         (t, code)
     }

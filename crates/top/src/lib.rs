@@ -68,6 +68,20 @@ pub struct FuzzStats {
     pub divergences: u64,
 }
 
+/// The aggregate CPI/MPKI view of a timing-enabled campaign (see
+/// [`Model::timing_panel`]). Rates are per guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingPanel {
+    /// Cycles per guest instruction across all reporting jobs.
+    pub cpi: f64,
+    /// Data-cache misses per kilo guest instruction.
+    pub dl1_mpki: f64,
+    /// Branch mispredicts per kilo guest instruction.
+    pub br_mpki: f64,
+    /// Jobs whose registries carry timing counters.
+    pub jobs: u64,
+}
+
 /// The dashboard state: everything the stream has said so far.
 #[derive(Debug, Default)]
 pub struct Model {
@@ -178,6 +192,46 @@ impl Model {
         self.end.is_some()
     }
 
+    /// Aggregates `timing.*` counters across the per-job registries into
+    /// the dashboard's CPI/MPKI panel. `None` when no job has reported a
+    /// timing delta yet (functional-only campaigns).
+    pub fn timing_panel(&self) -> Option<TimingPanel> {
+        let mut cycles = 0u64;
+        let mut guest = 0u64;
+        let mut dl1 = 0u64;
+        let mut br = 0u64;
+        let mut jobs = 0u64;
+        for reg in self.metrics.values() {
+            let Some(c) = reg.counter_value("timing.cycles").filter(|&c| c > 0) else { continue };
+            // Guest retire count for the architectural rate; the sink's
+            // own (host) instruction count is the fallback for streams
+            // that don't publish `sys.guest_insns`.
+            let g = reg
+                .counter_value("sys.guest_insns")
+                .filter(|&g| g > 0)
+                .or_else(|| reg.counter_value("timing.insns"))
+                .unwrap_or(0);
+            if g == 0 {
+                continue;
+            }
+            cycles += c;
+            guest += g;
+            dl1 += reg.counter_value("timing.dl1_misses").unwrap_or(0);
+            br += reg.counter_value("timing.mispredicts").unwrap_or(0);
+            jobs += 1;
+        }
+        if jobs == 0 {
+            return None;
+        }
+        let kilo = guest as f64 / 1e3;
+        Some(TimingPanel {
+            cpi: cycles as f64 / guest as f64,
+            dl1_mpki: dl1 as f64 / kilo,
+            br_mpki: br as f64 / kilo,
+            jobs,
+        })
+    }
+
     /// Renders one dashboard frame at the given terminal width (pure:
     /// same model + width → same text). Plain text — the binary adds
     /// cursor/clear control sequences around it.
@@ -241,6 +295,22 @@ impl Model {
             out.push_str(&format!(
                 "fuzz  execs {}  corpus {}  cov edges {}  divergences {}\n",
                 f.execs, f.corpus, f.edges, f.divergences
+            ));
+        }
+
+        // Timing panel, folded live from the per-job `delta` registries
+        // (present only when jobs run with a timing sink, so untimed
+        // campaigns render the same frames as before). CPI and MPKI are
+        // against *guest* instructions — the co-designed machine's
+        // architectural rate, the number the sampling campaign reports.
+        if let Some(t) = self.timing_panel() {
+            out.push_str(&format!(
+                "timing  CPI {:.2}  dl1 {:.2} MPKI  br-miss {:.2} MPKI  ({} job{} reporting)\n",
+                t.cpi,
+                t.dl1_mpki,
+                t.br_mpki,
+                t.jobs,
+                if t.jobs == 1 { "" } else { "s" }
             ));
         }
 
@@ -454,6 +524,34 @@ campaign finished: 2 ok, 0 failed
         assert_eq!((f.execs, f.corpus, f.edges, f.divergences), (230, 41, 187, 2));
         let frame = m.render(80);
         assert!(frame.contains("fuzz  execs 230  corpus 41  cov edges 187  divergences 2"), "{frame}");
+    }
+
+    #[test]
+    fn timing_panel_folds_from_deltas_and_renders_conditionally() {
+        let mut m = replayed();
+        assert!(m.timing_panel().is_none(), "functional streams carry no timing counters");
+        assert!(!m.render(80).contains("timing  CPI"));
+        // Two jobs report timing deltas: 1.5M cycles over 1M guest insns
+        // and 2.5M over 1M — aggregate CPI 2.00; 4k + 2k dl1 misses over
+        // 2M insns — 3.00 MPKI; 1k + 1k mispredicts — 1.00 MPKI.
+        m.apply_line(
+            r#"{"ev":"delta","t_ms":500,"id":0,"delta":{"delta":1,"from":"0","to":"1","c":[["timing.cycles","1500000"],["sys.guest_insns","1000000"],["timing.dl1_misses","4000"],["timing.mispredicts","1000"]],"g":[],"h":[]}}"#,
+        )
+        .unwrap();
+        m.apply_line(
+            r#"{"ev":"delta","t_ms":501,"id":1,"delta":{"delta":1,"from":"2","to":"3","c":[["timing.cycles","2500000"],["sys.guest_insns","1000000"],["timing.dl1_misses","2000"],["timing.mispredicts","1000"]],"g":[],"h":[]}}"#,
+        )
+        .unwrap();
+        let t = m.timing_panel().unwrap();
+        assert_eq!(t.jobs, 2);
+        assert!((t.cpi - 2.0).abs() < 1e-9, "{t:?}");
+        assert!((t.dl1_mpki - 3.0).abs() < 1e-9, "{t:?}");
+        assert!((t.br_mpki - 1.0).abs() < 1e-9, "{t:?}");
+        let frame = m.render(80);
+        assert!(
+            frame.contains("timing  CPI 2.00  dl1 3.00 MPKI  br-miss 1.00 MPKI  (2 jobs reporting)"),
+            "{frame}"
+        );
     }
 
     #[test]

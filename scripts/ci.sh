@@ -28,6 +28,11 @@
 #   live   — darco-fleet run --live with a one-shot darco-top --once
 #            attach (required dashboard fields) + a --replay re-render
 #            of the recorded stream
+#   timing — two-speed timing gate: the accelerated (cycle-annotated)
+#            path must match the detailed model bit-for-bit on whole
+#            runs; the committed BENCH_timing.json must pass its stated
+#            error bound and cost-reduction floors; sampling artifacts
+#            must be byte-identical at any --jobs
 #   fuzz   — darco-fuzz smoke: a clean seeded campaign must find zero
 #            divergences, grow coverage past the seed corpus and be
 #            byte-deterministic across worker counts; a campaign with an
@@ -267,6 +272,44 @@ grep -q 'darco-top — ci-live' "$smoke_dir/top-replay.txt"
 ./target/release/darco-fleet run "$smoke_dir/live-campaign.json" --jobs 2 \
     --out "$smoke_dir/nolive-merged.json" > /dev/null 2>&1
 cmp "$smoke_dir/live-merged.json" "$smoke_dir/nolive-merged.json"
+stage_done
+
+# Two-speed timing + checkpoint sampling (DESIGN.md §16). Three gates:
+# (1) the accelerated timing path must reproduce the detailed in-order
+# model's cycle count bit-for-bit over whole runs while actually
+# memoizing (the escape hatch alone would pass trivially); (2) the
+# committed BENCH_timing.json must stay inside its own stated error
+# bound with the accuracy and cost-reduction floors the docs claim;
+# (3) the sampling campaign's deterministic artifact may not depend on
+# the worker count.
+stage "timing (fast==full gate + sampled-CPI bounds + determinism)"
+for w in kernel:quicksort 429.mcf; do
+    ./target/release/darco-run "$w" --scale 1/64 --timing --timing-mode full \
+        --json > "$smoke_dir/timing-full.json"
+    ./target/release/darco-run "$w" --scale 1/64 --timing --timing-mode fast \
+        --json > "$smoke_dir/timing-fast.json"
+    full_cycles=$(grep -o '"cycles":[0-9]*' "$smoke_dir/timing-full.json" | head -1 | cut -d: -f2)
+    fast_cycles=$(grep -o '"cycles":[0-9]*' "$smoke_dir/timing-fast.json" | head -1 | cut -d: -f2)
+    test "$full_cycles" = "$fast_cycles"         # accelerated path is exact
+    memo=$(grep -o '"memo_events":[0-9]*' "$smoke_dir/timing-fast.json" | cut -d: -f2)
+    test "$memo" -gt 0                           # ...and actually took the fast path
+done
+read -r bt_mean bt_max bt_bound bt_red bt_speedup <<EOF
+$(tr ',' '\n' < BENCH_timing.json | awk -F: '
+    /"mean_err_pct"/ {m=$2} /"max_err_pct"/ {x=$2}
+    /"stated_error_bound_pct"/ {b=$2} /"mean_cost_reduction"/ {r=$2}
+    /"mean_speedup"/ {s=$2}
+    END {print m, x, b, r, s}')
+EOF
+awk -v x="$bt_max" -v b="$bt_bound" 'BEGIN{exit !(x <= b)}'   # inside stated bound
+awk -v m="$bt_mean" 'BEGIN{exit !(m <= 6.0)}'                 # mean error floor
+awk -v r="$bt_red" 'BEGIN{exit !(r >= 10.0)}'                 # paper-style cost reduction
+awk -v s="$bt_speedup" 'BEGIN{exit !(s >= 1.5)}'              # recorded wall-clock floor
+./target/release/timing_sampling --scale 1/8 --jobs 4 \
+    --out "$smoke_dir/bt8-4.json" --det "$smoke_dir/bt8-det4.json" > /dev/null
+./target/release/timing_sampling --scale 1/8 --jobs 1 \
+    --out "$smoke_dir/bt8-1.json" --det "$smoke_dir/bt8-det1.json" > /dev/null
+cmp "$smoke_dir/bt8-det4.json" "$smoke_dir/bt8-det1.json"     # --jobs never changes results
 stage_done
 
 # Coverage-guided differential fuzzing (DESIGN.md §15). Clean build: a
